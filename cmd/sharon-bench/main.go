@@ -1,0 +1,75 @@
+// Command sharon-bench regenerates the tables and figures of the Sharon
+// paper's evaluation (§8). Each experiment prints the same rows/series the
+// paper reports; EXPERIMENTS.md records paper-vs-measured.
+//
+// Usage:
+//
+//	sharon-bench -exp table1            # Table 1 + Figure 4 analysis
+//	sharon-bench -exp fig13             # two-step vs online
+//	sharon-bench -exp fig14ae           # online, events per window (TX)
+//	sharon-bench -exp fig14bf           # online, query count (LR)
+//	sharon-bench -exp fig14cg           # online, pattern length (EC)
+//	sharon-bench -exp fig15             # optimizer comparison
+//	sharon-bench -exp fig16             # plan quality
+//	sharon-bench -exp all [-scale 10]   # everything (scale 10 ≈ paper size)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/sharon-project/sharon/internal/harness"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id: table1, fig13, fig14ae, fig14bf, fig14cg, fig15, fig16, all")
+		scale   = flag.Float64("scale", 1, "stream size multiplier (1 ≈ paper shapes at 1/10 size, 10 ≈ paper size)")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		verbose = flag.Bool("v", false, "print per-run progress")
+	)
+	flag.Parse()
+
+	cfg := harness.Config{Scale: *scale, Seed: *seed}
+	if *verbose {
+		cfg.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	switch *exp {
+	case "all":
+		out, err := harness.All(cfg)
+		fail(err)
+		fmt.Print(out)
+	case "table1":
+		out, err := harness.Table1(cfg)
+		fail(err)
+		fmt.Print(out)
+	default:
+		run, ok := harness.Experiments[*exp]
+		if !ok {
+			var ids []string
+			for id := range harness.Experiments {
+				ids = append(ids, id)
+			}
+			sort.Strings(ids)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; available: table1, %v, all\n", *exp, ids)
+			os.Exit(2)
+		}
+		figs, err := run(cfg)
+		fail(err)
+		for _, f := range figs {
+			fmt.Println(f.Format())
+		}
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sharon-bench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,111 @@
+// Command sharon-demo runs an end-to-end demonstration: it generates a
+// stream for one of the paper's scenarios, optimizes the workload, executes
+// it with the shared online executor, and prints the sharing plan, sample
+// results, and run statistics next to the non-shared baseline.
+//
+//	sharon-demo -workload traffic -events 100000
+//	sharon-demo -workload purchases -events 50000 -compare
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/sharon-project/sharon/internal/event"
+	"github.com/sharon-project/sharon/internal/gen"
+	"github.com/sharon-project/sharon/internal/query"
+
+	sharon "github.com/sharon-project/sharon"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "traffic", "traffic or purchases")
+		events   = flag.Int("events", 100000, "stream length")
+		keys     = flag.Int("keys", 20, "distinct vehicles/customers")
+		compare  = flag.Bool("compare", true, "also run the non-shared baseline")
+		seed     = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	var (
+		reg    *event.Registry
+		w      query.Workload
+		stream event.Stream
+	)
+	switch *workload {
+	case "traffic":
+		tr := gen.Traffic()
+		reg, w = tr.Reg, tr.Workload
+		types := make([]event.Type, reg.Len())
+		for i := range types {
+			types[i] = event.Type(i + 1)
+		}
+		stream = gen.Generate(gen.StreamConfig{
+			Types: types, NumKeys: *keys, Events: *events,
+			StartRate: 1000, EndRate: 1000, Seed: *seed,
+		})
+	case "purchases":
+		pw := gen.Purchases()
+		reg, w = pw.Reg, pw.Workload
+		stream = gen.Ecommerce(reg, gen.EcommerceConfig{Customers: *keys, Events: *events, Seed: *seed})
+	default:
+		fmt.Fprintf(os.Stderr, "sharon-demo: unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+
+	rates := sharon.MeasureRates(stream, w)
+	sys, err := sharon.NewSystem(w, sharon.Options{Rates: rates})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("workload: %d queries over %d event types, %d events\n", len(w), reg.Len(), len(stream))
+	fmt.Printf("sharing plan (score %.4g):\n  %s\n", sys.PlanScore(), sys.FormatPlan(reg))
+	fmt.Printf("\nper-query decomposition:\n%s\n", sys.Explain(reg))
+
+	start := time.Now()
+	if err := sys.ProcessAll(stream); err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+	results := sys.Results()
+	fmt.Printf("Sharon executor: %d results in %v (%.0f events/s, peak %d aggregate states)\n",
+		len(results), elapsed.Round(time.Millisecond),
+		float64(len(stream))/elapsed.Seconds(), sys.PeakMemoryStates())
+
+	fmt.Println("\nsample results (query, window, group -> value):")
+	for i, r := range results {
+		if i >= 8 {
+			fmt.Printf("  ... and %d more\n", len(results)-8)
+			break
+		}
+		q := w[r.Query]
+		fmt.Printf("  %-4s win=%-6d group=%-4d %s = %.0f\n",
+			q.Label(), r.Win, r.Group, q.Agg.Format(reg), sharon.Value(r, q))
+	}
+
+	if *compare {
+		base, err := sharon.NewSystem(w, sharon.Options{Strategy: sharon.StrategyNonShared})
+		if err != nil {
+			fatal(err)
+		}
+		start = time.Now()
+		if err := base.ProcessAll(stream); err != nil {
+			fatal(err)
+		}
+		baseElapsed := time.Since(start)
+		fmt.Printf("\nA-Seq baseline:  %d results in %v (%.0f events/s, peak %d aggregate states)\n",
+			base.ResultCount(), baseElapsed.Round(time.Millisecond),
+			float64(len(stream))/baseElapsed.Seconds(), base.PeakMemoryStates())
+		fmt.Printf("speed-up: %.2fx   memory: %.2fx less\n",
+			baseElapsed.Seconds()/elapsed.Seconds(),
+			float64(base.PeakMemoryStates())/float64(sys.PeakMemoryStates()))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sharon-demo:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,89 @@
+package sharon
+
+import (
+	"fmt"
+
+	"github.com/sharon-project/sharon/internal/core"
+	"github.com/sharon-project/sharon/internal/exec"
+)
+
+// DynamicOptions configures NewDynamicSystem (paper §7.4).
+type DynamicOptions struct {
+	// OnResult receives every aggregate as it is emitted; nil collects.
+	OnResult func(Result)
+	// EmitEmpty also emits zero results for windows without matches.
+	EmitEmpty bool
+	// CheckEvery is the interval in ticks between rate-drift checks
+	// (default: one window slide).
+	CheckEvery int64
+	// DriftThreshold is the relative rate change that triggers
+	// re-optimization (default 0.5).
+	DriftThreshold float64
+	// OnMigrate observes plan changes.
+	OnMigrate func(at int64, old, new Plan)
+}
+
+// DynamicSystem evaluates a workload while monitoring event rates at
+// runtime: when rates drift, it re-runs the Sharon optimizer and migrates
+// to the new sharing plan without losing or corrupting window results
+// (paper §7.4). Window results are identical to a static execution.
+type DynamicSystem struct {
+	d       *exec.Dynamic
+	collect bool
+}
+
+// NewDynamicSystem builds a dynamic system with an initial plan optimized
+// for the supplied rates (use MeasureRates on a warm-up sample).
+func NewDynamicSystem(w Workload, rates Rates, opts DynamicOptions) (*DynamicSystem, error) {
+	if err := w.Validate(); err != nil {
+		return nil, fmt.Errorf("sharon: %w", err)
+	}
+	collect := opts.OnResult == nil
+	cfg := exec.DynamicConfig{
+		Options: exec.Options{
+			OnResult: opts.OnResult,
+			Collect:  collect,
+		},
+		CheckEvery:     opts.CheckEvery,
+		DriftThreshold: opts.DriftThreshold,
+	}
+	cfg.EmitEmpty = opts.EmitEmpty
+	if opts.OnMigrate != nil {
+		cfg.OnMigrate = func(at int64, old, new core.Plan) { opts.OnMigrate(at, old, new) }
+	}
+	d, err := exec.NewDynamic(w, rates, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("sharon: %w", err)
+	}
+	return &DynamicSystem{d: d, collect: collect}, nil
+}
+
+// Process feeds the next event (strictly time-ordered).
+func (s *DynamicSystem) Process(e Event) error { return s.d.Process(e) }
+
+// ProcessAll replays a stream and flushes.
+func (s *DynamicSystem) ProcessAll(stream Stream) error {
+	for _, e := range stream {
+		if err := s.d.Process(e); err != nil {
+			return err
+		}
+	}
+	return s.d.Flush()
+}
+
+// Flush closes all remaining windows.
+func (s *DynamicSystem) Flush() error { return s.d.Flush() }
+
+// Results returns collected results (only when OnResult was nil).
+func (s *DynamicSystem) Results() []Result {
+	if !s.collect {
+		return nil
+	}
+	return s.d.Results()
+}
+
+// Plan returns the currently installed sharing plan.
+func (s *DynamicSystem) Plan() Plan { return s.d.Plan() }
+
+// Migrations reports how many plan changes were installed.
+func (s *DynamicSystem) Migrations() int { return s.d.Migrations }

@@ -1,0 +1,74 @@
+package sharon_test
+
+import (
+	"fmt"
+
+	sharon "github.com/sharon-project/sharon"
+)
+
+// ExampleNewSystem reproduces the paper's Fig. 7: the count of
+// SEQ(A,B,C,D) is computed from shared aggregates of (C,D).
+func ExampleNewSystem() {
+	reg := sharon.NewRegistry()
+	workload := sharon.Workload{
+		sharon.MustParseQuery("RETURN COUNT(*) PATTERN SEQ(A, B, C, D) WITHIN 10s SLIDE 10s", reg),
+		sharon.MustParseQuery("RETURN COUNT(*) PATTERN SEQ(C, D) WITHIN 10s SLIDE 10s", reg),
+	}
+	workload.Renumber()
+
+	rates := sharon.Rates{
+		reg.Intern("A"): 10, reg.Intern("B"): 10,
+		reg.Intern("C"): 50, reg.Intern("D"): 50,
+	}
+	sys, err := sharon.NewSystem(workload, sharon.Options{Rates: rates})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("plan:", sys.FormatPlan(reg))
+
+	// a1 b2 c3 d4 a5 b6 c7 d8 within one window.
+	var stream sharon.Stream
+	for i, name := range []string{"A", "B", "C", "D", "A", "B", "C", "D"} {
+		stream = append(stream, sharon.Event{Time: int64(i+1) * 1000, Type: reg.Lookup(name)})
+	}
+	if err := sys.ProcessAll(stream); err != nil {
+		panic(err)
+	}
+	for _, r := range sys.Results() {
+		q := workload[r.Query]
+		fmt.Printf("%s: %.0f\n", q.Label(), sharon.Value(r, q))
+	}
+	// Output:
+	// plan: {((C, D), {q1, q2})}
+	// q1: 5
+	// q2: 3
+}
+
+// ExampleParseQuery shows the SASE-style surface language.
+func ExampleParseQuery() {
+	reg := sharon.NewRegistry()
+	q, err := sharon.ParseQuery(
+		"RETURN SUM(MainSt.val) PATTERN SEQ(OakSt, MainSt) WHERE [vehicle] AND OakSt.val > 30 WITHIN 10m SLIDE 1m", reg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(q.Format(reg))
+	// Output:
+	// RETURN SUM(MainSt.val) PATTERN SEQ(OakSt, MainSt) WHERE [key] AND OakSt.val > 30 WITHIN 10m SLIDE 1m
+}
+
+// ExampleFindCandidates lists the sharable patterns of a small workload
+// (the modified CCSpan detection of Appendix A).
+func ExampleFindCandidates() {
+	reg := sharon.NewRegistry()
+	w := sharon.Workload{
+		sharon.MustParseQuery("RETURN COUNT(*) PATTERN SEQ(ParkAve, OakSt, MainSt) WITHIN 10m SLIDE 1m", reg),
+		sharon.MustParseQuery("RETURN COUNT(*) PATTERN SEQ(OakSt, MainSt, WestSt) WITHIN 10m SLIDE 1m", reg),
+	}
+	w.Renumber()
+	for _, c := range sharon.FindCandidates(w) {
+		fmt.Println(c.Pattern.Format(reg))
+	}
+	// Output:
+	// (OakSt, MainSt)
+}

@@ -1,0 +1,276 @@
+package agg
+
+import (
+	"fmt"
+
+	"github.com/sharon-project/sharon/internal/event"
+	"github.com/sharon-project/sharon/internal/query"
+)
+
+// StartRec is the per-START-event state of the non-shared method (paper
+// §3.2, Fig. 6): one aggregate per pattern prefix, all anchored at a single
+// matched START event. START events expire before any other event of their
+// sequences, so dropping whole records implements window expiration.
+type StartRec struct {
+	// Time is the START event's timestamp.
+	Time int64
+	// ID is a per-aggregator sequence number; side tables in the shared
+	// executor key their snapshots by it.
+	ID int64
+	// prefix[j-1] aggregates all matched prefixes of length j that start
+	// at this event and whose last event has already arrived.
+	prefix []State
+}
+
+// Prefix returns the aggregate of matched prefixes of length j (1-based).
+func (s *StartRec) Prefix(j int) State { return s.prefix[j-1] }
+
+// Config configures an Aggregator.
+type Config struct {
+	// Pattern is the (sub-)pattern this aggregator matches online.
+	Pattern query.Pattern
+	// Window is the sliding window; all aggregators of a workload share it
+	// under the paper's core assumptions (§2.1).
+	Window query.Window
+	// Target is the aggregation target type (event.NoType for COUNT(*)).
+	Target event.Type
+
+	// OnStart, if set, fires when a new START record is created, before
+	// any completion caused by the same event (only possible for
+	// single-type patterns). The shared executor snapshots upstream
+	// per-window aggregates here (paper §3.3 step 2).
+	OnStart func(rec *StartRec, e event.Event)
+	// OnComplete, if set, fires when the pattern completes: delta is the
+	// aggregate of the sequences completed by this event from START
+	// record rec, and [firstWin, lastWin] are the windows fully
+	// containing them.
+	OnComplete func(rec *StartRec, e event.Event, delta State, firstWin, lastWin int64)
+	// OnClose, if set, fires when a window's interval has fully passed
+	// the watermark, with the aggregate of all matches inside it.
+	OnClose func(win int64, total State)
+	// EmitEmpty makes OnClose fire for windows with no matches too.
+	EmitEmpty bool
+}
+
+// Aggregator computes the aggregate of all matches of one pattern online,
+// without constructing sequences (A-Seq / paper §3.2). It must see events
+// in strictly increasing time order.
+//
+// Invariant: every retained START record lies in at least one open window,
+// so any event extending it is within Window.Length of the START; the
+// per-window totals therefore only ever count sequences fully inside their
+// window (completions are credited to exactly the windows containing both
+// endpoints, and intermediate events necessarily lie between them).
+type Aggregator struct {
+	cfg Config
+	// positions[t] lists the 1-based pattern positions of type t in
+	// descending order, so one event never extends its own contribution
+	// (multi-occurrence extension, paper §7.3).
+	positions map[event.Type][]int
+	plen      int
+
+	starts []*StartRec // time-ordered live START records
+	head   int         // index of first live record in starts
+
+	winTotals map[int64]State // per-window aggregate of complete matches
+	nextClose int64           // smallest window index not yet closed
+	maxWin    int64           // largest window index containing any event seen
+	started   bool            // true once the first event arrived
+	lastTime  int64           // time of the last processed event
+	nextID    int64
+
+	// liveStates tracks the number of State values held (for the peak
+	// memory metric, paper §8.1).
+	liveStates int64
+}
+
+// NewAggregator builds an aggregator for cfg. It panics if the pattern is
+// empty or the window invalid — configuration errors, not runtime ones.
+func NewAggregator(cfg Config) *Aggregator {
+	if len(cfg.Pattern) == 0 {
+		panic("agg: empty pattern")
+	}
+	if err := cfg.Window.Validate(); err != nil {
+		panic("agg: " + err.Error())
+	}
+	pos := make(map[event.Type][]int)
+	for i := len(cfg.Pattern) - 1; i >= 0; i-- {
+		t := cfg.Pattern[i]
+		pos[t] = append(pos[t], i+1)
+	}
+	return &Aggregator{
+		cfg:       cfg,
+		positions: pos,
+		plen:      len(cfg.Pattern),
+		winTotals: make(map[int64]State),
+		nextClose: -1,
+	}
+}
+
+// Pattern returns the pattern being aggregated.
+func (a *Aggregator) Pattern() query.Pattern { return a.cfg.Pattern }
+
+// Matches reports whether t occurs in the pattern.
+func (a *Aggregator) Matches(t event.Type) bool { return len(a.positions[t]) > 0 }
+
+// MinOpenWindow returns the smallest window index that is still open, or
+// -1 before the first event.
+func (a *Aggregator) MinOpenWindow() int64 { return a.nextClose }
+
+// CurrentTotal returns the aggregate of complete matches observed so far
+// that lie entirely inside window win. It is the snapshot source for the
+// shared method's combination step.
+func (a *Aggregator) CurrentTotal(win int64) State {
+	if s, ok := a.winTotals[win]; ok {
+		return s
+	}
+	return Zero()
+}
+
+// Advance moves the watermark to t, closing every window whose interval
+// ends at or before t and expiring START records no open window contains.
+func (a *Aggregator) Advance(t int64) {
+	if !a.started {
+		return
+	}
+	w := a.cfg.Window
+	for a.cfg.Window.End(a.nextClose) <= t {
+		win := a.nextClose
+		total, ok := a.winTotals[win]
+		if ok {
+			delete(a.winTotals, win)
+			a.liveStates--
+		} else {
+			total = Zero()
+		}
+		// Every window closed here overlaps the stream span: nextClose
+		// starts at the first event's first window.
+		if a.cfg.OnClose != nil && (ok || a.cfg.EmitEmpty) {
+			a.cfg.OnClose(win, total)
+		}
+		a.nextClose++
+	}
+	// Expire START records older than the oldest open window's start.
+	minStart := w.Start(a.nextClose)
+	for a.head < len(a.starts) && a.starts[a.head].Time < minStart {
+		a.liveStates -= int64(a.plen)
+		a.starts[a.head] = nil
+		a.head++
+	}
+	if a.head > 64 && a.head*2 >= len(a.starts) {
+		n := copy(a.starts, a.starts[a.head:])
+		for i := n; i < len(a.starts); i++ {
+			a.starts[i] = nil
+		}
+		a.starts = a.starts[:n]
+		a.head = 0
+	}
+}
+
+// Process feeds the next event. Events must arrive in strictly increasing
+// time order; violations return an error and leave state unchanged.
+func (a *Aggregator) Process(e event.Event) error {
+	if a.started && e.Time <= a.lastTime {
+		return fmt.Errorf("agg: out-of-order event at t=%d (last t=%d)", e.Time, a.lastTime)
+	}
+	if !a.started {
+		a.started = true
+		a.nextClose = a.cfg.Window.FirstContaining(e.Time)
+	}
+	a.lastTime = e.Time
+	a.Advance(e.Time)
+	if last := a.cfg.Window.LastContaining(e.Time); last > a.maxWin {
+		a.maxWin = last
+	}
+
+	positions := a.positions[e.Type]
+	if len(positions) == 0 {
+		return nil
+	}
+	isTarget := e.Type == a.cfg.Target
+	for _, j := range positions { // descending
+		if j == 1 {
+			a.newStart(e, isTarget)
+			continue
+		}
+		a.extend(e, j, isTarget)
+	}
+	return nil
+}
+
+// newStart creates a START record for e and, for single-type patterns,
+// immediately records the completion.
+func (a *Aggregator) newStart(e event.Event, isTarget bool) {
+	rec := &StartRec{Time: e.Time, ID: a.nextID, prefix: make([]State, a.plen)}
+	a.nextID++
+	for i := range rec.prefix {
+		rec.prefix[i] = Zero()
+	}
+	rec.prefix[0] = UnitEvent(e, isTarget)
+	a.starts = append(a.starts, rec)
+	a.liveStates += int64(a.plen)
+	if a.cfg.OnStart != nil {
+		a.cfg.OnStart(rec, e)
+	}
+	if a.plen == 1 {
+		a.complete(rec, e, rec.prefix[0])
+	}
+}
+
+// extend folds e into prefix position j (2-based and up) of every live
+// START record, completing matches when j is the pattern length.
+func (a *Aggregator) extend(e event.Event, j int, isTarget bool) {
+	last := j == a.plen
+	for i := a.head; i < len(a.starts); i++ {
+		rec := a.starts[i]
+		prev := rec.prefix[j-2]
+		if prev.Count == 0 {
+			continue
+		}
+		delta := Extend(prev, e, isTarget)
+		rec.prefix[j-1].AddInPlace(delta)
+		if last {
+			a.complete(rec, e, delta)
+		}
+	}
+}
+
+// complete credits delta (sequences from rec completed by e) to every
+// window containing both endpoints, and notifies subscribers.
+func (a *Aggregator) complete(rec *StartRec, e event.Event, delta State) {
+	first, lastWin, ok := a.cfg.Window.PairIndices(rec.Time, e.Time)
+	if !ok {
+		return
+	}
+	if first < a.nextClose {
+		first = a.nextClose // closed windows cannot receive results
+	}
+	for k := first; k <= lastWin; k++ {
+		cur, ok := a.winTotals[k]
+		if !ok {
+			cur = Zero()
+			a.liveStates++
+		}
+		cur.AddInPlace(delta)
+		a.winTotals[k] = cur
+	}
+	if a.cfg.OnComplete != nil {
+		a.cfg.OnComplete(rec, e, delta, first, lastWin)
+	}
+}
+
+// Flush closes every window containing events seen so far. Call once at
+// end of stream.
+func (a *Aggregator) Flush() {
+	if !a.started {
+		return
+	}
+	a.Advance(a.cfg.Window.End(a.maxWin))
+}
+
+// LiveStates reports the number of aggregate State values currently held:
+// the paper's peak-memory unit for online approaches.
+func (a *Aggregator) LiveStates() int64 { return a.liveStates }
+
+// LiveStarts reports the number of live START records.
+func (a *Aggregator) LiveStarts() int { return len(a.starts) - a.head }

@@ -1,0 +1,307 @@
+package agg
+
+import (
+	"testing"
+
+	"github.com/sharon-project/sharon/internal/event"
+	"github.com/sharon-project/sharon/internal/query"
+)
+
+// fixture interns A..E and provides pattern/event helpers.
+type fixture struct {
+	reg *event.Registry
+	ids map[byte]event.Type
+}
+
+func newFixture() *fixture {
+	f := &fixture{reg: event.NewRegistry(), ids: make(map[byte]event.Type)}
+	for _, c := range []byte("ABCDE") {
+		f.ids[c] = f.reg.Intern(string(c))
+	}
+	return f
+}
+
+func (f *fixture) pat(s string) query.Pattern {
+	p := make(query.Pattern, len(s))
+	for i := range s {
+		p[i] = f.ids[s[i]]
+	}
+	return p
+}
+
+func (f *fixture) ev(c byte, t int64) event.Event {
+	return event.Event{Time: t, Type: f.ids[c], Val: float64(t)}
+}
+
+// collectCloses wires OnClose into a map for assertions.
+func collectCloses(cfg *Config) map[int64]State {
+	out := make(map[int64]State)
+	cfg.OnClose = func(win int64, total State) { out[win] = total }
+	return out
+}
+
+// TestFigure6aOnlineAggregation reproduces Example 1 / Fig. 6(a): events
+// a1, b2, a3, b4 in one window; count(A,B) becomes 3 after b4.
+func TestFigure6aOnlineAggregation(t *testing.T) {
+	f := newFixture()
+	cfg := Config{Pattern: f.pat("AB"), Window: query.Window{Length: 100, Slide: 100}}
+	closes := collectCloses(&cfg)
+	a := NewAggregator(cfg)
+	for _, e := range []event.Event{f.ev('A', 1), f.ev('B', 2), f.ev('A', 3), f.ev('B', 4)} {
+		if err := a.Process(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := a.CurrentTotal(0).Count; got != 3 {
+		t.Errorf("count(A,B) after b4 = %v, want 3 (a1b2, a1b4, a3b4)", got)
+	}
+	a.Flush()
+	if got := closes[0].Count; got != 3 {
+		t.Errorf("window 0 close = %v, want 3", got)
+	}
+}
+
+// TestFigure6bExpiration reproduces Example 2 / Fig. 6(b): window length 4
+// sliding by 1; when b5 arrives, a1 has expired for the open windows.
+func TestFigure6bExpiration(t *testing.T) {
+	f := newFixture()
+	cfg := Config{Pattern: f.pat("AB"), Window: query.Window{Length: 4, Slide: 1}}
+	closes := collectCloses(&cfg)
+	a := NewAggregator(cfg)
+	for _, e := range []event.Event{f.ev('A', 1), f.ev('B', 2), f.ev('A', 3), f.ev('B', 5)} {
+		if err := a.Process(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.Flush()
+	// Window contents: w0=[0,4): (a1,b2). w1=[1,5): (a1,b2).
+	// w2=[2,6): (a3,b5). w3=[3,7): (a3,b5). w4,w5: no complete match.
+	want := map[int64]float64{0: 1, 1: 1, 2: 1, 3: 1}
+	for k, c := range want {
+		if got := closes[k].Count; got != c {
+			t.Errorf("window %d count = %v, want %v", k, got, c)
+		}
+	}
+	for k, s := range closes {
+		if _, ok := want[k]; !ok && s.Count != 0 {
+			t.Errorf("unexpected non-zero window %d: %+v", k, s)
+		}
+	}
+}
+
+// TestExpirationDropsStartRecords verifies START records are released once
+// every window containing them has closed (the paper's §3.2 expiration).
+func TestExpirationDropsStartRecords(t *testing.T) {
+	f := newFixture()
+	a := NewAggregator(Config{Pattern: f.pat("AB"), Window: query.Window{Length: 4, Slide: 2}})
+	for i := int64(0); i < 50; i++ {
+		if err := a.Process(f.ev('A', 1+i*2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if live := a.LiveStarts(); live > 4 {
+		t.Errorf("%d live starts, want <= 4 (only starts within the window horizon)", live)
+	}
+}
+
+func TestSlidingWindowMultiWindowCredit(t *testing.T) {
+	f := newFixture()
+	cfg := Config{Pattern: f.pat("AB"), Window: query.Window{Length: 10, Slide: 2}}
+	closes := collectCloses(&cfg)
+	a := NewAggregator(cfg)
+	// a@5, b@7: pair lies in windows [0,10),[2,12),[4,14): k=0,1,2.
+	must(t, a.Process(f.ev('A', 5)))
+	must(t, a.Process(f.ev('B', 7)))
+	a.Flush()
+	for _, k := range []int64{0, 1, 2} {
+		if got := closes[k].Count; got != 1 {
+			t.Errorf("window %d = %v, want 1", k, got)
+		}
+	}
+	if got := closes[3].Count; got != 0 {
+		t.Errorf("window 3 = %v, want 0 (starts at t=6 > a@5)", got)
+	}
+}
+
+func TestLongerPatternCounts(t *testing.T) {
+	f := newFixture()
+	cfg := Config{Pattern: f.pat("ABC"), Window: query.Window{Length: 100, Slide: 100}}
+	closes := collectCloses(&cfg)
+	a := NewAggregator(cfg)
+	// a1 a2 b3 b4 c5: sequences = {a1,a2} x {b3,b4} x {c5} = 4.
+	for i, c := range []byte("AABBC") {
+		must(t, a.Process(f.ev(c, int64(i+1))))
+	}
+	a.Flush()
+	if got := closes[0].Count; got != 4 {
+		t.Errorf("count(A,B,C) = %v, want 4", got)
+	}
+}
+
+func TestSumMinMaxTargets(t *testing.T) {
+	f := newFixture()
+	cfg := Config{Pattern: f.pat("AB"), Window: query.Window{Length: 100, Slide: 100}, Target: f.ids['B']}
+	closes := collectCloses(&cfg)
+	a := NewAggregator(cfg)
+	// a@1, b@2 (val 2), b@4 (val 4): sequences (a1,b2), (a1,b4).
+	must(t, a.Process(f.ev('A', 1)))
+	must(t, a.Process(f.ev('B', 2)))
+	must(t, a.Process(f.ev('B', 4)))
+	a.Flush()
+	s := closes[0]
+	if s.Count != 2 || s.CountE != 2 || s.Sum != 6 || s.Min != 2 || s.Max != 4 {
+		t.Errorf("state = %+v, want count=2 countE=2 sum=6 min=2 max=4", s)
+	}
+}
+
+// TestDuplicateTypePattern exercises the §7.3 extension: type A occurs
+// twice in (A,B,A); one event must not occupy two positions of the same
+// sequence.
+func TestDuplicateTypePattern(t *testing.T) {
+	f := newFixture()
+	cfg := Config{Pattern: f.pat("ABA"), Window: query.Window{Length: 100, Slide: 100}}
+	closes := collectCloses(&cfg)
+	a := NewAggregator(cfg)
+	// a1 b2 a3: exactly one match (a1,b2,a3); a3 must not self-pair.
+	for i, c := range []byte("ABA") {
+		must(t, a.Process(f.ev(c, int64(i+1))))
+	}
+	a.Flush()
+	if got := closes[0].Count; got != 1 {
+		t.Errorf("count(A,B,A) = %v, want 1", got)
+	}
+}
+
+func TestSingleTypePattern(t *testing.T) {
+	f := newFixture()
+	var started, completed int
+	cfg := Config{
+		Pattern: f.pat("A"),
+		Window:  query.Window{Length: 10, Slide: 10},
+		OnStart: func(*StartRec, event.Event) { started++ },
+	}
+	cfg.OnComplete = func(_ *StartRec, _ event.Event, delta State, _, _ int64) {
+		completed++
+		if delta.Count != 1 {
+			t.Errorf("single-event delta = %+v", delta)
+		}
+	}
+	closes := collectCloses(&cfg)
+	a := NewAggregator(cfg)
+	must(t, a.Process(f.ev('A', 1)))
+	must(t, a.Process(f.ev('A', 3)))
+	a.Flush()
+	if started != 2 || completed != 2 {
+		t.Errorf("started=%d completed=%d, want 2,2", started, completed)
+	}
+	if got := closes[0].Count; got != 2 {
+		t.Errorf("count(A) = %v, want 2", got)
+	}
+}
+
+func TestOutOfOrderRejected(t *testing.T) {
+	f := newFixture()
+	a := NewAggregator(Config{Pattern: f.pat("AB"), Window: query.Window{Length: 10, Slide: 5}})
+	must(t, a.Process(f.ev('A', 5)))
+	if err := a.Process(f.ev('B', 5)); err == nil {
+		t.Error("equal timestamp accepted")
+	}
+	if err := a.Process(f.ev('B', 3)); err == nil {
+		t.Error("decreasing timestamp accepted")
+	}
+	// State unchanged: a later valid event still works.
+	must(t, a.Process(f.ev('B', 6)))
+	if got := a.CurrentTotal(1).Count; got != 1 {
+		t.Errorf("count = %v, want 1", got)
+	}
+}
+
+func TestNonMatchingTypesIgnored(t *testing.T) {
+	f := newFixture()
+	a := NewAggregator(Config{Pattern: f.pat("AB"), Window: query.Window{Length: 10, Slide: 5}})
+	must(t, a.Process(f.ev('A', 1)))
+	must(t, a.Process(f.ev('C', 2)))
+	must(t, a.Process(f.ev('B', 3)))
+	if got := a.CurrentTotal(0).Count; got != 1 {
+		t.Errorf("count = %v, want 1", got)
+	}
+}
+
+func TestOnCompleteWindows(t *testing.T) {
+	f := newFixture()
+	var first, last int64 = -1, -1
+	cfg := Config{Pattern: f.pat("AB"), Window: query.Window{Length: 4, Slide: 1}}
+	cfg.OnComplete = func(_ *StartRec, _ event.Event, _ State, fw, lw int64) { first, last = fw, lw }
+	a := NewAggregator(cfg)
+	must(t, a.Process(f.ev('A', 3)))
+	must(t, a.Process(f.ev('B', 5)))
+	// Windows containing both 3 and 5: [2,6) and [3,7).
+	if first != 2 || last != 3 {
+		t.Errorf("completion windows = [%d,%d], want [2,3]", first, last)
+	}
+}
+
+func TestOnStartBeforeCompleteForLength1(t *testing.T) {
+	f := newFixture()
+	order := []string{}
+	cfg := Config{Pattern: f.pat("A"), Window: query.Window{Length: 10, Slide: 10}}
+	cfg.OnStart = func(*StartRec, event.Event) { order = append(order, "start") }
+	cfg.OnComplete = func(*StartRec, event.Event, State, int64, int64) { order = append(order, "complete") }
+	a := NewAggregator(cfg)
+	must(t, a.Process(f.ev('A', 1)))
+	if len(order) != 2 || order[0] != "start" || order[1] != "complete" {
+		t.Errorf("callback order = %v, want [start complete]", order)
+	}
+}
+
+func TestEmitEmptyWindows(t *testing.T) {
+	f := newFixture()
+	cfg := Config{Pattern: f.pat("AB"), Window: query.Window{Length: 4, Slide: 2}, EmitEmpty: true}
+	closes := collectCloses(&cfg)
+	a := NewAggregator(cfg)
+	must(t, a.Process(f.ev('A', 1)))
+	must(t, a.Process(f.ev('A', 11))) // long gap: empty windows in between
+	a.Flush()
+	if len(closes) < 4 {
+		t.Errorf("closed %d windows, want >= 4 including empties: %v", len(closes), closes)
+	}
+}
+
+func TestLiveStatesAccounting(t *testing.T) {
+	f := newFixture()
+	a := NewAggregator(Config{Pattern: f.pat("AB"), Window: query.Window{Length: 10, Slide: 5}})
+	if a.LiveStates() != 0 {
+		t.Fatalf("initial live states = %d", a.LiveStates())
+	}
+	must(t, a.Process(f.ev('A', 1)))
+	if a.LiveStates() != 2 { // one start record with 2 prefix states
+		t.Errorf("after start: %d, want 2", a.LiveStates())
+	}
+	must(t, a.Process(f.ev('B', 2)))
+	if a.LiveStates() != 3 { // + one window total
+		t.Errorf("after complete: %d, want 3", a.LiveStates())
+	}
+}
+
+func TestNewAggregatorPanicsOnBadConfig(t *testing.T) {
+	f := newFixture()
+	assertPanics(t, func() { NewAggregator(Config{Window: query.Window{Length: 1, Slide: 1}}) })
+	assertPanics(t, func() { NewAggregator(Config{Pattern: f.pat("AB")}) })
+}
+
+func assertPanics(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	fn()
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

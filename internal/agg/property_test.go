@@ -1,0 +1,144 @@
+package agg
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/sharon-project/sharon/internal/event"
+	"github.com/sharon-project/sharon/internal/query"
+)
+
+// aggCase is a randomly generated aggregation scenario.
+type aggCase struct {
+	pattern query.Pattern
+	target  event.Type
+	window  query.Window
+	events  []event.Event
+}
+
+func genAggCase(rng *rand.Rand) aggCase {
+	types := []event.Type{1, 2, 3, 4}
+	plen := 1 + rng.Intn(3)
+	pat := make(query.Pattern, plen)
+	for i := range pat {
+		pat[i] = types[rng.Intn(len(types))] // duplicates allowed (§7.3)
+	}
+	target := event.NoType
+	if rng.Intn(2) == 0 {
+		target = pat[rng.Intn(plen)]
+	}
+	length := int64(4 + rng.Intn(20))
+	win := query.Window{Length: length, Slide: 1 + int64(rng.Intn(int(length)))}
+	n := 5 + rng.Intn(40)
+	evs := make([]event.Event, n)
+	t := int64(rng.Intn(4))
+	for i := range evs {
+		t += 1 + int64(rng.Intn(3))
+		evs[i] = event.Event{Time: t, Type: types[rng.Intn(len(types))], Val: float64(rng.Intn(9) - 4)}
+	}
+	return aggCase{pattern: pat, target: target, window: win, events: evs}
+}
+
+// bruteWindow computes the aggregate of all matches of pat fully inside
+// [lo, hi) by explicit enumeration.
+func bruteWindow(evs []event.Event, pat query.Pattern, target event.Type, lo, hi int64) State {
+	var in []event.Event
+	for _, e := range evs {
+		if e.Time >= lo && e.Time < hi {
+			in = append(in, e)
+		}
+	}
+	total := Zero()
+	var dfs func(pos int, minTime int64, st State)
+	dfs = func(pos int, minTime int64, st State) {
+		if pos == len(pat) {
+			total.AddInPlace(st)
+			return
+		}
+		for _, e := range in {
+			if e.Time <= minTime || e.Type != pat[pos] {
+				continue
+			}
+			dfs(pos+1, e.Time, Extend(st, e, e.Type == target))
+		}
+	}
+	dfs(0, -1, UnitEmpty())
+	return total
+}
+
+// TestAggregatorMatchesBruteForce is the engine's core property: for
+// random patterns (including duplicate types), windows, and streams, the
+// online aggregator's per-window totals equal brute-force enumeration.
+func TestAggregatorMatchesBruteForce(t *testing.T) {
+	cfgCount := 400
+	if testing.Short() {
+		cfgCount = 80
+	}
+	cfg := &quick.Config{
+		MaxCount: cfgCount,
+		Rand:     rand.New(rand.NewSource(123)),
+		Values: func(vals []reflect.Value, rng *rand.Rand) {
+			vals[0] = reflect.ValueOf(genAggCase(rng))
+		},
+	}
+	property := func(tc aggCase) bool {
+		closes := make(map[int64]State)
+		a := NewAggregator(Config{
+			Pattern:   tc.pattern,
+			Window:    tc.window,
+			Target:    tc.target,
+			OnClose:   func(win int64, total State) { closes[win] = total },
+			EmitEmpty: true,
+		})
+		for _, e := range tc.events {
+			if err := a.Process(e); err != nil {
+				t.Logf("process: %v", err)
+				return false
+			}
+		}
+		a.Flush()
+		first := tc.window.FirstContaining(tc.events[0].Time)
+		last := tc.window.LastContaining(tc.events[len(tc.events)-1].Time)
+		for k := first; k <= last; k++ {
+			want := bruteWindow(tc.events, tc.pattern, tc.target, tc.window.Start(k), tc.window.End(k))
+			got, ok := closes[k]
+			if !ok {
+				got = Zero()
+			}
+			if !ApproxEqual(want, got) {
+				t.Logf("window %d: want %+v got %+v (pattern=%v win=%+v)", k, want, got, tc.pattern, tc.window)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAggregatorCurrentTotalMonotone: CurrentTotal(k) for an open window
+// only ever grows (counts are monotone under stream progress).
+func TestAggregatorCurrentTotalMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for it := 0; it < 50; it++ {
+		tc := genAggCase(rng)
+		a := NewAggregator(Config{Pattern: tc.pattern, Window: tc.window, Target: tc.target})
+		prev := make(map[int64]float64)
+		for _, e := range tc.events {
+			if err := a.Process(e); err != nil {
+				t.Fatal(err)
+			}
+			first, lastWin := tc.window.Indices(e.Time)
+			for k := first; k <= lastWin; k++ {
+				cur := a.CurrentTotal(k).Count
+				if cur < prev[k] {
+					t.Fatalf("window %d count shrank: %v -> %v", k, prev[k], cur)
+				}
+				prev[k] = cur
+			}
+		}
+	}
+}

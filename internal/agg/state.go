@@ -1,0 +1,198 @@
+// Package agg implements Sharon's online event sequence aggregation engine
+// (paper §3.2–3.3): incremental per-START-event prefix aggregation with
+// sliding-window expiration, generalized from COUNT(*) to the full set of
+// distributive and algebraic functions of Definition 2.
+//
+// The central abstraction is State: the aggregate of a *set of event
+// sequences*. State forms a semiring-like algebra — Add unions disjoint
+// sequence sets, Concat concatenates every sequence of one set with every
+// sequence of another — so the same engine computes COUNT(*), COUNT(E),
+// SUM, MIN, MAX, and AVG, and the shared executor's count-combination step
+// (paper Fig. 7) is exactly Concat.
+package agg
+
+import (
+	"math"
+
+	"github.com/sharon-project/sharon/internal/event"
+)
+
+// State is the aggregate of a finite multiset of event sequences.
+//
+// Count is the number of sequences. CountE, Sum, Min, and Max range over
+// the events of the aggregation target type across all sequences, counted
+// with multiplicity (an event participating in three sequences contributes
+// three times, per Definition 2).
+type State struct {
+	Count  float64
+	CountE float64
+	Sum    float64
+	Min    float64
+	Max    float64
+}
+
+// Zero returns the aggregate of the empty set of sequences: the identity
+// of Add and the annihilator of Concat.
+func Zero() State {
+	return State{Min: math.Inf(1), Max: math.Inf(-1)}
+}
+
+// UnitEmpty returns the aggregate of the set containing one empty
+// sequence: the identity of Concat. It models an absent prefix or suffix
+// in the shared method (paper §3.3).
+func UnitEmpty() State {
+	return State{Count: 1, Min: math.Inf(1), Max: math.Inf(-1)}
+}
+
+// UnitEvent returns the aggregate of the set containing the one-event
+// sequence (e). isTarget tells whether e is of the aggregation target type.
+func UnitEvent(e event.Event, isTarget bool) State {
+	s := State{Count: 1, Min: math.Inf(1), Max: math.Inf(-1)}
+	if isTarget {
+		s.CountE = 1
+		s.Sum = e.Val
+		s.Min = e.Val
+		s.Max = e.Val
+	}
+	return s
+}
+
+// IsZero reports whether s aggregates no sequences.
+func (s State) IsZero() bool { return s.Count == 0 }
+
+// Add returns the aggregate of the disjoint union of the two sequence sets.
+func Add(a, b State) State {
+	return State{
+		Count:  a.Count + b.Count,
+		CountE: a.CountE + b.CountE,
+		Sum:    a.Sum + b.Sum,
+		Min:    math.Min(a.Min, b.Min),
+		Max:    math.Max(a.Max, b.Max),
+	}
+}
+
+// AddInPlace folds b into *a, avoiding a copy on the hot path.
+func (s *State) AddInPlace(b State) {
+	s.Count += b.Count
+	s.CountE += b.CountE
+	s.Sum += b.Sum
+	if b.Min < s.Min {
+		s.Min = b.Min
+	}
+	if b.Max > s.Max {
+		s.Max = b.Max
+	}
+}
+
+// Concat returns the aggregate of the set of all concatenations s1 ++ s2
+// with s1 from a and s2 from b. This is the count-combination operator of
+// the shared method (paper §3.3, Fig. 7): counts multiply, event-level
+// aggregates distribute with the opposite set's cardinality.
+func Concat(a, b State) State {
+	if a.Count == 0 || b.Count == 0 {
+		return Zero()
+	}
+	return State{
+		Count:  a.Count * b.Count,
+		CountE: a.CountE*b.Count + b.CountE*a.Count,
+		Sum:    a.Sum*b.Count + b.Sum*a.Count,
+		Min:    math.Min(a.Min, b.Min),
+		Max:    math.Max(a.Max, b.Max),
+	}
+}
+
+// Extend returns the aggregate of every sequence of a extended by the
+// single event e; it equals Concat(a, UnitEvent(e, isTarget)) but avoids
+// the intermediate State.
+func Extend(a State, e event.Event, isTarget bool) State {
+	if a.Count == 0 {
+		return Zero()
+	}
+	out := a
+	if isTarget {
+		out.CountE += a.Count
+		out.Sum += a.Count * e.Val
+		if e.Val < out.Min {
+			out.Min = e.Val
+		}
+		if e.Val > out.Max {
+			out.Max = e.Val
+		}
+	}
+	return out
+}
+
+// ProjectCount keeps only the sequence count of s, resetting the
+// event-level aggregates to their identities. The shared executor applies
+// it when a shared aggregator tracks another query's target type: the
+// sequence count of a shared segment is target-independent, but its
+// CountE/Sum/Min/Max are not.
+func ProjectCount(s State) State {
+	return State{Count: s.Count, Min: math.Inf(1), Max: math.Inf(-1)}
+}
+
+// Value extracts the final aggregation result for the given function.
+// MIN/MAX/AVG of an empty set are NaN.
+func (s State) Value(kind AggValueKind) float64 {
+	switch kind {
+	case ValueCountStar:
+		return s.Count
+	case ValueCountE:
+		return s.CountE
+	case ValueSum:
+		return s.Sum
+	case ValueMin:
+		if s.CountE == 0 {
+			return math.NaN()
+		}
+		return s.Min
+	case ValueMax:
+		if s.CountE == 0 {
+			return math.NaN()
+		}
+		return s.Max
+	case ValueAvg:
+		if s.CountE == 0 {
+			return math.NaN()
+		}
+		return s.Sum / s.CountE
+	}
+	return math.NaN()
+}
+
+// AggValueKind selects which component of a State is the query's answer.
+type AggValueKind int
+
+// Result extraction kinds, mirroring query.AggKind.
+const (
+	ValueCountStar AggValueKind = iota
+	ValueCountE
+	ValueSum
+	ValueMin
+	ValueMax
+	ValueAvg
+)
+
+// ApproxEqual reports whether two states agree within a small relative
+// tolerance; used by tests comparing executors built from differently
+// ordered floating-point folds.
+func ApproxEqual(a, b State) bool {
+	return feq(a.Count, b.Count) && feq(a.CountE, b.CountE) && feq(a.Sum, b.Sum) &&
+		minmaxEq(a.Min, b.Min) && minmaxEq(a.Max, b.Max)
+}
+
+func feq(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-6*math.Max(scale, 1)
+}
+
+func minmaxEq(a, b float64) bool {
+	if math.IsInf(a, 1) && math.IsInf(b, 1) || math.IsInf(a, -1) && math.IsInf(b, -1) {
+		return true
+	}
+	return feq(a, b)
+}

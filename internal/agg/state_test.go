@@ -1,0 +1,167 @@
+package agg
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/sharon-project/sharon/internal/event"
+)
+
+// genState builds a random *reachable* State: one obtained from unit
+// events via Add and Concat. Algebra laws only hold on reachable states
+// (e.g. Count==0 implies neutral Min/Max), so quick tests must generate
+// within that space.
+func genState(rng *rand.Rand, depth int) State {
+	switch {
+	case depth <= 0 || rng.Intn(3) == 0:
+		if rng.Intn(4) == 0 {
+			return Zero()
+		}
+		if rng.Intn(4) == 0 {
+			return UnitEmpty()
+		}
+		e := event.Event{Val: math.Round(rng.Float64()*20) - 10}
+		return UnitEvent(e, rng.Intn(2) == 0)
+	case rng.Intn(2) == 0:
+		return Add(genState(rng, depth-1), genState(rng, depth-1))
+	default:
+		return Concat(genState(rng, depth-1), genState(rng, depth-1))
+	}
+}
+
+// quickStates property-checks f over triples of random reachable states
+// using testing/quick with a custom value generator.
+func quickStates(t *testing.T, n int, f func(a, b, c State) bool) {
+	t.Helper()
+	cfg := &quick.Config{
+		MaxCount: n,
+		Rand:     rand.New(rand.NewSource(42)),
+		Values: func(vals []reflect.Value, rng *rand.Rand) {
+			for i := range vals {
+				vals[i] = reflect.ValueOf(genState(rng, 4))
+			}
+		},
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddCommutativeAssociative(t *testing.T) {
+	quickStates(t, 3000, func(a, b, c State) bool {
+		if !ApproxEqual(Add(a, b), Add(b, a)) {
+			return false
+		}
+		return ApproxEqual(Add(Add(a, b), c), Add(a, Add(b, c)))
+	})
+}
+
+func TestAddZeroIdentity(t *testing.T) {
+	quickStates(t, 2000, func(a, _, _ State) bool {
+		return ApproxEqual(Add(a, Zero()), a) && ApproxEqual(Add(Zero(), a), a)
+	})
+}
+
+func TestConcatAssociative(t *testing.T) {
+	quickStates(t, 3000, func(a, b, c State) bool {
+		return ApproxEqual(Concat(Concat(a, b), c), Concat(a, Concat(b, c)))
+	})
+}
+
+func TestConcatUnitIdentity(t *testing.T) {
+	quickStates(t, 2000, func(a, _, _ State) bool {
+		return ApproxEqual(Concat(a, UnitEmpty()), a) && ApproxEqual(Concat(UnitEmpty(), a), a)
+	})
+}
+
+func TestConcatZeroAnnihilates(t *testing.T) {
+	quickStates(t, 2000, func(a, _, _ State) bool {
+		return Concat(a, Zero()).IsZero() && Concat(Zero(), a).IsZero()
+	})
+}
+
+func TestConcatDistributesOverAdd(t *testing.T) {
+	quickStates(t, 3000, func(a, b, c State) bool {
+		left := Concat(a, Add(b, c))
+		right := Add(Concat(a, b), Concat(a, c))
+		return ApproxEqual(left, right)
+	})
+}
+
+func TestExtendMatchesConcatUnit(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 3000; i++ {
+		a := genState(rng, 4)
+		e := event.Event{Val: rng.Float64()*40 - 20}
+		isTarget := rng.Intn(2) == 0
+		if !ApproxEqual(Extend(a, e, isTarget), Concat(a, UnitEvent(e, isTarget))) {
+			t.Fatalf("Extend != Concat∘UnitEvent for a=%+v e=%v target=%v", a, e, isTarget)
+		}
+	}
+}
+
+func TestUnitEventFields(t *testing.T) {
+	e := event.Event{Val: 7}
+	s := UnitEvent(e, true)
+	if s.Count != 1 || s.CountE != 1 || s.Sum != 7 || s.Min != 7 || s.Max != 7 {
+		t.Errorf("target unit = %+v", s)
+	}
+	s = UnitEvent(e, false)
+	if s.Count != 1 || s.CountE != 0 || s.Sum != 0 || !math.IsInf(s.Min, 1) || !math.IsInf(s.Max, -1) {
+		t.Errorf("non-target unit = %+v", s)
+	}
+}
+
+func TestValueExtraction(t *testing.T) {
+	// Two sequences over target events with values 3 and 5, 4 target
+	// events total (one sequence has 3 targets, the other 1).
+	a := Concat(UnitEvent(event.Event{Val: 3}, true), Concat(UnitEvent(event.Event{Val: 5}, true), UnitEvent(event.Event{Val: 4}, true)))
+	b := UnitEvent(event.Event{Val: 6}, true)
+	s := Add(a, b)
+	if got := s.Value(ValueCountStar); got != 2 {
+		t.Errorf("COUNT(*) = %v", got)
+	}
+	if got := s.Value(ValueCountE); got != 4 {
+		t.Errorf("COUNT(E) = %v", got)
+	}
+	if got := s.Value(ValueSum); got != 18 {
+		t.Errorf("SUM = %v", got)
+	}
+	if got := s.Value(ValueMin); got != 3 {
+		t.Errorf("MIN = %v", got)
+	}
+	if got := s.Value(ValueMax); got != 6 {
+		t.Errorf("MAX = %v", got)
+	}
+	if got := s.Value(ValueAvg); got != 4.5 {
+		t.Errorf("AVG = %v", got)
+	}
+}
+
+func TestValueOfEmpty(t *testing.T) {
+	z := Zero()
+	if got := z.Value(ValueCountStar); got != 0 {
+		t.Errorf("COUNT(*) of empty = %v", got)
+	}
+	for _, k := range []AggValueKind{ValueMin, ValueMax, ValueAvg} {
+		if got := z.Value(k); !math.IsNaN(got) {
+			t.Errorf("kind %d of empty = %v, want NaN", k, got)
+		}
+	}
+}
+
+func TestAddInPlaceMatchesAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		a, b := genState(rng, 4), genState(rng, 4)
+		want := Add(a, b)
+		got := a
+		got.AddInPlace(b)
+		if !ApproxEqual(got, want) {
+			t.Fatalf("AddInPlace mismatch: %+v vs %+v", got, want)
+		}
+	}
+}

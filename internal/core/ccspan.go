@@ -1,0 +1,58 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/sharon-project/sharon/internal/query"
+)
+
+// SharablePattern pairs a pattern with the queries containing it.
+type SharablePattern struct {
+	Pattern query.Pattern
+	Queries []int
+}
+
+// SharablePatterns implements the modified CCSpan algorithm (paper
+// Appendix A, Algorithm 7). Unlike the original CCSpan, which mines only
+// closed contiguous patterns, the modified algorithm enumerates *every*
+// contiguous sub-pattern of length greater than one, because shorter
+// sub-patterns can be shared by more queries; a pattern is "frequent" when
+// it appears in more than one query.
+//
+// The result maps each sharable pattern p to the set Qp of queries whose
+// pattern contains p contiguously. Complexity is O(n*l^2) over n queries
+// of maximal pattern length l, as analyzed in the paper.
+func SharablePatterns(w query.Workload) []SharablePattern {
+	// H maintains all sub-patterns; S (the result) keeps those contained
+	// in more than one query.
+	h := make(map[string]*SharablePattern)
+	for _, q := range w {
+		l := q.Pattern.Length()
+		seen := make(map[string]bool) // dedup within one query (§7.3 duplicates)
+		for end := 2; end <= l; end++ {
+			for start := 0; start <= end-2; start++ {
+				p := q.Pattern.Sub(start, end)
+				k := p.Key()
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				entry, ok := h[k]
+				if !ok {
+					entry = &SharablePattern{Pattern: p.Clone()}
+					h[k] = entry
+				}
+				entry.Queries = append(entry.Queries, q.ID)
+			}
+		}
+	}
+	var out []SharablePattern
+	for _, entry := range h {
+		if len(entry.Queries) > 1 {
+			sort.Ints(entry.Queries)
+			out = append(out, *entry)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pattern.Key() < out[j].Pattern.Key() })
+	return out
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/sharon-project/sharon/internal/event"
+	"github.com/sharon-project/sharon/internal/query"
+)
+
+func ccWorkload(reg *event.Registry, pats ...string) query.Workload {
+	var w query.Workload
+	for i, s := range pats {
+		p := make(query.Pattern, len(s))
+		for j := range s {
+			p[j] = reg.Intern(string(s[j]))
+		}
+		w = append(w, &query.Query{ID: i, Pattern: p,
+			Window: query.Window{Length: 100, Slide: 10}})
+	}
+	return w
+}
+
+func TestSharablePatternsBasics(t *testing.T) {
+	reg := event.NewRegistry()
+	w := ccWorkload(reg, "ABC", "ABD")
+	got := SharablePatterns(w)
+	// Only (A,B) is shared; (B,C),(A,B,C),(B,D),(A,B,D) are single-query.
+	if len(got) != 1 {
+		t.Fatalf("sharable = %v, want 1", got)
+	}
+	if got[0].Pattern.Length() != 2 {
+		t.Errorf("pattern = %v", got[0].Pattern)
+	}
+	if len(got[0].Queries) != 2 || got[0].Queries[0] != 0 || got[0].Queries[1] != 1 {
+		t.Errorf("queries = %v", got[0].Queries)
+	}
+}
+
+func TestSharablePatternsNoLengthOne(t *testing.T) {
+	reg := event.NewRegistry()
+	w := ccWorkload(reg, "AB", "AC")
+	// A is common but length-1 patterns are not sharable (Definition 3).
+	for _, sp := range SharablePatterns(w) {
+		if sp.Pattern.Length() < 2 {
+			t.Errorf("length-1 pattern reported sharable: %v", sp)
+		}
+	}
+}
+
+func TestSharablePatternsIdenticalQueries(t *testing.T) {
+	reg := event.NewRegistry()
+	w := ccWorkload(reg, "ABCD", "ABCD", "ABCD")
+	got := SharablePatterns(w)
+	// Sub-patterns of length 2..4: AB BC CD ABC BCD ABCD = 6, each in all
+	// three queries.
+	if len(got) != 6 {
+		t.Fatalf("sharable = %d, want 6", len(got))
+	}
+	for _, sp := range got {
+		if len(sp.Queries) != 3 {
+			t.Errorf("pattern %v queries = %v", sp.Pattern, sp.Queries)
+		}
+	}
+}
+
+func TestSharablePatternsDuplicateTypesInQuery(t *testing.T) {
+	reg := event.NewRegistry()
+	// (A,B,A,B): sub-pattern (A,B) occurs twice in q0 but q0 must be
+	// listed once.
+	w := ccWorkload(reg, "ABAB", "AB")
+	for _, sp := range SharablePatterns(w) {
+		seen := map[int]bool{}
+		for _, q := range sp.Queries {
+			if seen[q] {
+				t.Fatalf("pattern %v lists query %d twice", sp.Pattern, q)
+			}
+			seen[q] = true
+		}
+	}
+}
+
+func TestSharablePatternsEmptyWorkload(t *testing.T) {
+	if got := SharablePatterns(nil); len(got) != 0 {
+		t.Errorf("sharable(empty) = %v", got)
+	}
+}
+
+func TestFindCandidatesDeterministicOrder(t *testing.T) {
+	reg := event.NewRegistry()
+	w := ccWorkload(reg, "ABC", "ABC", "BCD", "BCD")
+	a := FindCandidates(w)
+	b := FindCandidates(w)
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic candidate count")
+	}
+	for i := range a {
+		if a[i].Key() != b[i].Key() {
+			t.Fatalf("order differs at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestExpandOptionsRespectsCap(t *testing.T) {
+	f := newPaperFixture()
+	g := f.graph()
+	opts := ExpandOptions(g, 0, f.byID, ExpandConfig{MaxOptionsPerCandidate: 3})
+	if len(opts) > 3 {
+		t.Errorf("cap ignored: %d options", len(opts))
+	}
+	if !opts[0].Pattern.Equal(f.patterns[0]) {
+		t.Error("original candidate not first")
+	}
+}
+
+func TestExpandGraphVertexCap(t *testing.T) {
+	f := newPaperFixture()
+	g := f.graph()
+	weigh := func(c Candidate) float64 { return float64(len(c.Queries)) }
+	small := ExpandGraph(g, f.byID, weigh, ExpandConfig{MaxOptionsPerCandidate: 64, MaxTotalVertices: 8})
+	// At most the cap plus one original vertex per remaining candidate.
+	if small.NumVertices() > 8+g.NumVertices() {
+		t.Errorf("vertex cap ineffective: %d", small.NumVertices())
+	}
+}
+
+func TestExpandOptionsConflictFreeVertex(t *testing.T) {
+	f := newPaperFixture()
+	g := f.graph()
+	// p7 has no conflicts: its option set is just itself.
+	opts := ExpandOptions(g, 6, f.byID, ExpandConfig{})
+	if len(opts) != 1 {
+		t.Errorf("conflict-free candidate expanded to %d options", len(opts))
+	}
+}
+
+func TestPatternsOverlapInCases(t *testing.T) {
+	reg := event.NewRegistry()
+	mk := func(s string) query.Pattern {
+		p := make(query.Pattern, len(s))
+		for i := range s {
+			p[i] = reg.Intern(string(s[i]))
+		}
+		return p
+	}
+	q := &query.Query{ID: 0, Pattern: mk("ABCDE"), Window: query.Window{Length: 10, Slide: 5}}
+	tests := []struct {
+		a, b string
+		want bool
+	}{
+		{"AB", "BC", true},   // suffix/prefix overlap
+		{"AB", "CD", false},  // disjoint
+		{"ABC", "BC", true},  // containment
+		{"BCD", "CD", true},  // containment
+		{"AB", "DE", false},  // disjoint, far apart
+		{"ABC", "CDE", true}, // single shared position
+		{"AB", "AB", true},   // identical
+	}
+	for _, tt := range tests {
+		if got := PatternsOverlapIn(q, mk(tt.a), mk(tt.b)); got != tt.want {
+			t.Errorf("overlap(%s, %s) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+	// Patterns absent from the query never overlap in it.
+	if PatternsOverlapIn(q, mk("XY"), mk("YZ")) {
+		t.Error("absent patterns reported overlapping")
+	}
+}
+
+func TestInConflictRequiresCommonQuery(t *testing.T) {
+	f := newPaperFixture()
+	// p4 (q2,q4) and p6 (q1,q5): no common query, no conflict even though
+	// both contain MainSt.
+	c, causes := InConflict(f.byID, NewCandidate(f.patterns[3], []int{1, 3}), NewCandidate(f.patterns[5], []int{0, 4}))
+	if c || causes != nil {
+		t.Errorf("disjoint-query candidates in conflict: %v", causes)
+	}
+}

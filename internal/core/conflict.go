@@ -1,0 +1,48 @@
+package core
+
+import (
+	"github.com/sharon-project/sharon/internal/query"
+)
+
+// PatternsOverlapIn reports whether patterns pa and pb occupy overlapping
+// segments of query q's pattern (paper Definition 6). The executor
+// computes and stores the aggregate of a shared pattern as a whole, so a
+// query cannot share two patterns whose occurrences intersect.
+//
+// The definition covers suffix/prefix overlaps (An-k..An = B0..Bk) and, by
+// positional intersection, full containment of one pattern in the other.
+// Under the multi-occurrence extension (§7.3) every pair of occurrences is
+// checked.
+func PatternsOverlapIn(q *query.Query, pa, pb query.Pattern) bool {
+	occA := q.Pattern.Occurrences(pa)
+	occB := q.Pattern.Occurrences(pb)
+	for _, ia := range occA {
+		for _, ib := range occB {
+			if ia < ib+pb.Length() && ib < ia+pa.Length() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// InConflict reports whether two sharing candidates are in sharing
+// conflict (Definition 6): their patterns overlap in at least one query
+// they would both be shared by. The causing query IDs are returned.
+func InConflict(w map[int]*query.Query, a, b Candidate) (bool, []int) {
+	common := a.CommonQueries(b)
+	if len(common) == 0 {
+		return false, nil
+	}
+	var causes []int
+	for _, id := range common {
+		q, ok := w[id]
+		if !ok {
+			continue
+		}
+		if PatternsOverlapIn(q, a.Pattern, b.Pattern) {
+			causes = append(causes, id)
+		}
+	}
+	return len(causes) > 0, causes
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/sharon-project/sharon/internal/event"
+	"github.com/sharon-project/sharon/internal/query"
+)
+
+// Rates maps each event type to its stream rate (events per second); the
+// input of the optimizer's cost model (paper §3.2). Rates are measured
+// from a stream sample (event.Stream.Rates) or supplied by the workload
+// generator.
+type Rates map[event.Type]float64
+
+// Rate returns the rate of a single type (0 for unseen types).
+func (r Rates) Rate(t event.Type) float64 { return r[t] }
+
+// PatternRate implements Eq. 1: the rate of events matched by a pattern is
+// the sum of the rates of its event types.
+func (r Rates) PatternRate(p query.Pattern) float64 {
+	var sum float64
+	for _, t := range p {
+		sum += r[t]
+	}
+	return sum
+}
+
+// CostModel prices the non-shared and shared methods (paper §3.2–3.4).
+type CostModel struct {
+	Workload query.Workload
+	Rates    Rates
+	byID     map[int]*query.Query
+}
+
+// NewCostModel builds a cost model over a workload and its type rates.
+func NewCostModel(w query.Workload, rates Rates) *CostModel {
+	byID := make(map[int]*query.Query, len(w))
+	for _, q := range w {
+		byID[q.ID] = q
+	}
+	return &CostModel{Workload: w, Rates: rates, byID: byID}
+}
+
+// queryByID panics on unknown IDs: candidates are always derived from the
+// same workload, so a miss is a programming error.
+func (m *CostModel) queryByID(id int) *query.Query {
+	q, ok := m.byID[id]
+	if !ok {
+		panic(fmt.Sprintf("core: unknown query id %d", id))
+	}
+	return q
+}
+
+// multiplicity returns the factor k of the §7.3 extension: if an event
+// type occurs k times in a pattern, each of its events updates k prefix
+// aggregates, scaling both methods' costs by k. Under the core assumption
+// (each type at most once) it is 1.
+func multiplicity(p query.Pattern) float64 {
+	counts := make(map[event.Type]int, len(p))
+	max := 1
+	for _, t := range p {
+		counts[t]++
+		if counts[t] > max {
+			max = counts[t]
+		}
+	}
+	return float64(max)
+}
+
+// NonSharedQuery implements Eq. 2: the cost of processing query qi with
+// the non-shared method is Rate(E1) * Rate(Pi) — each matched event
+// updates one aggregate per non-expired START event.
+func (m *CostModel) NonSharedQuery(qi *query.Query) float64 {
+	if qi.Pattern.Length() == 0 {
+		return 0
+	}
+	return m.Rates.Rate(qi.Pattern[0]) * m.Rates.PatternRate(qi.Pattern) * multiplicity(qi.Pattern)
+}
+
+// NonShared implements Eq. 3: the summed non-shared cost of all queries in
+// the candidate.
+func (m *CostModel) NonShared(c Candidate) float64 {
+	var sum float64
+	for _, id := range c.Queries {
+		sum += m.NonSharedQuery(m.queryByID(id))
+	}
+	return sum
+}
+
+// Decompose splits qi's pattern around the first occurrence of p
+// (Definition 4): prefix_i, p, suffix_i. ok is false when p does not
+// occur in qi.
+func Decompose(qi *query.Query, p query.Pattern) (prefix, suffix query.Pattern, ok bool) {
+	at := qi.Pattern.IndexOf(p)
+	if at < 0 {
+		return nil, nil, false
+	}
+	return qi.Pattern.Sub(0, at), qi.Pattern.Sub(at+p.Length(), qi.Pattern.Length()), true
+}
+
+// CompQuery implements Eq. 4: the count-computation cost of query qi under
+// sharing of p — the non-shared cost of its prefix and suffix only.
+func (m *CostModel) CompQuery(qi *query.Query, p query.Pattern) float64 {
+	prefix, suffix, ok := Decompose(qi, p)
+	if !ok {
+		return m.NonSharedQuery(qi)
+	}
+	var cost float64
+	if len(prefix) > 0 {
+		cost += m.Rates.Rate(prefix[0]) * m.Rates.PatternRate(prefix)
+	}
+	if len(suffix) > 0 {
+		cost += m.Rates.Rate(suffix[0]) * m.Rates.PatternRate(suffix)
+	}
+	return cost * multiplicity(qi.Pattern)
+}
+
+// CombQuery implements Eq. 5: the count-combination cost of query qi —
+// the product of the numbers of aggregates combined: prefix STARTs,
+// shared-pattern STARTs, and suffix STARTs.
+func (m *CostModel) CombQuery(qi *query.Query, p query.Pattern) float64 {
+	prefix, suffix, ok := Decompose(qi, p)
+	if !ok {
+		return 0
+	}
+	cost := m.Rates.Rate(p[0])
+	if len(prefix) > 0 {
+		cost *= m.Rates.Rate(prefix[0])
+	}
+	if len(suffix) > 0 {
+		cost *= m.Rates.Rate(suffix[0])
+	}
+	return cost
+}
+
+// SharedQuery implements Eq. 6: per-query cost under the shared method.
+func (m *CostModel) SharedQuery(qi *query.Query, p query.Pattern) float64 {
+	return m.CompQuery(qi, p) + m.CombQuery(qi, p)
+}
+
+// Shared implements Eq. 7: the candidate's total shared cost — the shared
+// pattern is computed once (Rate(Em) * Rate(p)) plus each query's
+// computation and combination costs.
+func (m *CostModel) Shared(c Candidate) float64 {
+	cost := m.Rates.Rate(c.Pattern[0]) * m.Rates.PatternRate(c.Pattern) * multiplicity(c.Pattern)
+	for _, id := range c.Queries {
+		cost += m.SharedQuery(m.queryByID(id), c.Pattern)
+	}
+	return cost
+}
+
+// BValue implements Eq. 8: the benefit of a sharing candidate is the
+// non-shared cost minus the shared cost. Candidates with BValue <= 0 are
+// non-beneficial and pruned (§3.4).
+func (m *CostModel) BValue(c Candidate) float64 {
+	return m.NonShared(c) - m.Shared(c)
+}

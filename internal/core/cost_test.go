@@ -1,0 +1,213 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/sharon-project/sharon/internal/event"
+	"github.com/sharon-project/sharon/internal/query"
+)
+
+// costFixture: q1 = (A,B,C,D), q2 = (B,C,E); shared pattern p = (B,C).
+type costFixture struct {
+	reg   *event.Registry
+	w     query.Workload
+	p     query.Pattern
+	rates Rates
+	model *CostModel
+}
+
+func newCostFixture() *costFixture {
+	reg := event.NewRegistry()
+	mk := func(names ...string) query.Pattern {
+		p := make(query.Pattern, len(names))
+		for i, n := range names {
+			p[i] = reg.Intern(n)
+		}
+		return p
+	}
+	win := query.Window{Length: 1000, Slide: 100}
+	w := query.Workload{
+		{ID: 0, Pattern: mk("A", "B", "C", "D"), Agg: query.AggSpec{Kind: query.CountStar}, Window: win},
+		{ID: 1, Pattern: mk("B", "C", "E"), Agg: query.AggSpec{Kind: query.CountStar}, Window: win},
+	}
+	rates := Rates{
+		reg.Lookup("A"): 10,
+		reg.Lookup("B"): 20,
+		reg.Lookup("C"): 30,
+		reg.Lookup("D"): 40,
+		reg.Lookup("E"): 50,
+	}
+	return &costFixture{
+		reg: reg, w: w, p: mk("B", "C"), rates: rates,
+		model: NewCostModel(w, rates),
+	}
+}
+
+func TestEq1PatternRate(t *testing.T) {
+	f := newCostFixture()
+	if got := f.rates.PatternRate(f.w[0].Pattern); got != 100 {
+		t.Errorf("Rate(q1) = %v, want 10+20+30+40=100", got)
+	}
+	if got := f.rates.PatternRate(f.p); got != 50 {
+		t.Errorf("Rate(p) = %v, want 50", got)
+	}
+}
+
+func TestEq2NonSharedQuery(t *testing.T) {
+	f := newCostFixture()
+	// NonShared(q1) = Rate(A) * Rate(q1) = 10 * 100.
+	if got := f.model.NonSharedQuery(f.w[0]); got != 1000 {
+		t.Errorf("NonShared(q1) = %v, want 1000", got)
+	}
+	// NonShared(q2) = Rate(B) * (20+30+50) = 20 * 100.
+	if got := f.model.NonSharedQuery(f.w[1]); got != 2000 {
+		t.Errorf("NonShared(q2) = %v, want 2000", got)
+	}
+}
+
+func TestEq3NonSharedCandidate(t *testing.T) {
+	f := newCostFixture()
+	c := NewCandidate(f.p, []int{0, 1})
+	if got := f.model.NonShared(c); got != 3000 {
+		t.Errorf("NonShared(p, Qp) = %v, want 3000", got)
+	}
+}
+
+func TestDecompose(t *testing.T) {
+	f := newCostFixture()
+	prefix, suffix, ok := Decompose(f.w[0], f.p)
+	if !ok {
+		t.Fatal("decompose failed")
+	}
+	if prefix.Length() != 1 || f.reg.Name(prefix[0]) != "A" {
+		t.Errorf("prefix = %v", prefix.Format(f.reg))
+	}
+	if suffix.Length() != 1 || f.reg.Name(suffix[0]) != "D" {
+		t.Errorf("suffix = %v", suffix.Format(f.reg))
+	}
+	// q2: empty prefix, suffix (E).
+	prefix, suffix, ok = Decompose(f.w[1], f.p)
+	if !ok || prefix.Length() != 0 || suffix.Length() != 1 {
+		t.Errorf("q2 decompose = %v / %v", prefix, suffix)
+	}
+	if _, _, ok := Decompose(f.w[0], query.Pattern{f.reg.Lookup("E")}); ok {
+		t.Error("decompose of absent pattern succeeded")
+	}
+}
+
+func TestEq4CompQuery(t *testing.T) {
+	f := newCostFixture()
+	// q1: prefix (A): 10*10; suffix (D): 40*40 => 1700.
+	if got := f.model.CompQuery(f.w[0], f.p); got != 1700 {
+		t.Errorf("Comp(p, q1) = %v, want 1700", got)
+	}
+	// q2: no prefix; suffix (E): 50*50 = 2500.
+	if got := f.model.CompQuery(f.w[1], f.p); got != 2500 {
+		t.Errorf("Comp(p, q2) = %v, want 2500", got)
+	}
+}
+
+func TestEq5CombQuery(t *testing.T) {
+	f := newCostFixture()
+	// q1: Rate(A) * Rate(B) * Rate(D) = 10*20*40 = 8000.
+	if got := f.model.CombQuery(f.w[0], f.p); got != 8000 {
+		t.Errorf("Comb(p, q1) = %v, want 8000", got)
+	}
+	// q2: no prefix: Rate(B) * Rate(E) = 20*50 = 1000.
+	if got := f.model.CombQuery(f.w[1], f.p); got != 1000 {
+		t.Errorf("Comb(p, q2) = %v, want 1000", got)
+	}
+}
+
+func TestEq7And8SharedAndBenefit(t *testing.T) {
+	f := newCostFixture()
+	c := NewCandidate(f.p, []int{0, 1})
+	// Shared = Rate(B)*Rate(p) + Σ (Comp + Comb)
+	//        = 20*50 + (1700+8000) + (2500+1000) = 1000 + 9700 + 3500.
+	wantShared := 14200.0
+	if got := f.model.Shared(c); got != wantShared {
+		t.Errorf("Shared = %v, want %v", got, wantShared)
+	}
+	if got := f.model.BValue(c); got != 3000-wantShared {
+		t.Errorf("BValue = %v, want %v", got, 3000-wantShared)
+	}
+	// With these rates sharing is non-beneficial; the graph must drop it.
+	g := BuildGraph(f.model, []Candidate{c})
+	if g.NumVertices() != 0 {
+		t.Errorf("non-beneficial candidate kept in graph")
+	}
+}
+
+// TestBenefitGrowsWithQueries: sharing becomes beneficial as more queries
+// share the pattern (the paper's cost-factor observation in §3.4).
+func TestBenefitGrowsWithQueries(t *testing.T) {
+	reg := event.NewRegistry()
+	mk := func(names ...string) query.Pattern {
+		p := make(query.Pattern, len(names))
+		for i, n := range names {
+			p[i] = reg.Intern(n)
+		}
+		return p
+	}
+	win := query.Window{Length: 1000, Slide: 100}
+	shared := mk("S1", "S2", "S3", "S4", "S5", "S6")
+	rates := Rates{}
+	for _, tp := range shared {
+		rates[tp] = 100
+	}
+	var w query.Workload
+	var prev float64 = math.Inf(-1)
+	for n := 2; n <= 6; n++ {
+		w = nil
+		for i := 0; i < n; i++ {
+			suffix := reg.Intern(string(rune('a' + i)))
+			rates[suffix] = 1
+			pat := append(shared.Clone(), suffix)
+			w = append(w, &query.Query{ID: i, Pattern: pat, Agg: query.AggSpec{Kind: query.CountStar}, Window: win})
+		}
+		m := NewCostModel(w, rates)
+		qs := make([]int, n)
+		for i := range qs {
+			qs[i] = i
+		}
+		b := m.BValue(NewCandidate(shared, qs))
+		if b <= prev {
+			t.Fatalf("benefit not increasing: n=%d b=%v prev=%v", n, b, prev)
+		}
+		prev = b
+	}
+	if prev <= 0 {
+		t.Errorf("benefit with 6 queries should be positive, got %v", prev)
+	}
+}
+
+// TestMultiplicityExtension (§7.3): duplicate types scale costs by k.
+func TestMultiplicityExtension(t *testing.T) {
+	reg := event.NewRegistry()
+	a, b := reg.Intern("A"), reg.Intern("B")
+	win := query.Window{Length: 1000, Slide: 100}
+	q := &query.Query{ID: 0, Pattern: query.Pattern{a, b, a}, Agg: query.AggSpec{Kind: query.CountStar}, Window: win}
+	m := NewCostModel(query.Workload{q}, Rates{a: 10, b: 5})
+	// Rate(pattern) = 10+5+10 = 25; start rate 10; multiplicity 2.
+	if got := m.NonSharedQuery(q); got != 10*25*2 {
+		t.Errorf("NonShared with duplicates = %v, want 500", got)
+	}
+}
+
+func TestCandidateHelpers(t *testing.T) {
+	reg := event.NewRegistry()
+	p := query.Pattern{reg.Intern("A"), reg.Intern("B")}
+	c := NewCandidate(p, []int{3, 1, 3, 2})
+	if len(c.Queries) != 3 || c.Queries[0] != 1 || c.Queries[2] != 3 {
+		t.Errorf("queries not sorted/deduped: %v", c.Queries)
+	}
+	if !c.HasQuery(2) || c.HasQuery(5) {
+		t.Error("HasQuery wrong")
+	}
+	d := NewCandidate(p, []int{2, 4})
+	common := c.CommonQueries(d)
+	if len(common) != 1 || common[0] != 2 {
+		t.Errorf("CommonQueries = %v", common)
+	}
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/sharon-project/sharon/internal/event"
+	"github.com/sharon-project/sharon/internal/query"
+)
+
+// Vertex is a weighted Sharon-graph vertex: a beneficial sharing candidate
+// and its benefit value (Definition 10).
+type Vertex struct {
+	Candidate
+	// Weight is BValue(p, Qp) > 0.
+	Weight float64
+}
+
+// Graph is the Sharon graph (Definition 10): vertices are beneficial
+// sharing candidates, undirected edges are sharing conflicts. It is stored
+// as an adjacency list for O(1) neighbor retrieval, as the paper's data
+// structure section prescribes.
+type Graph struct {
+	Vertices []Vertex
+	// adj[i] holds the indices of vertices in conflict with vertex i,
+	// sorted ascending.
+	adj [][]int
+	// causes[edgeKey(i,j)] records the query IDs causing the conflict;
+	// used by the §7.1 conflict-resolution extension.
+	causes map[[2]int][]int
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{causes: make(map[[2]int][]int)}
+}
+
+func edgeKey(i, j int) [2]int {
+	if i > j {
+		i, j = j, i
+	}
+	return [2]int{i, j}
+}
+
+// AddVertex appends a vertex and returns its index.
+func (g *Graph) AddVertex(v Vertex) int {
+	g.Vertices = append(g.Vertices, v)
+	g.adj = append(g.adj, nil)
+	return len(g.Vertices) - 1
+}
+
+// AddEdge records a conflict between vertices i and j caused by queries.
+func (g *Graph) AddEdge(i, j int, causingQueries []int) {
+	if i == j {
+		return
+	}
+	k := edgeKey(i, j)
+	if _, dup := g.causes[k]; dup {
+		return
+	}
+	g.causes[k] = append([]int(nil), causingQueries...)
+	g.adj[i] = insertSorted(g.adj[i], j)
+	g.adj[j] = insertSorted(g.adj[j], i)
+}
+
+func insertSorted(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	if i < len(s) && s[i] == v {
+		return s
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// HasEdge reports whether vertices i and j are in conflict.
+func (g *Graph) HasEdge(i, j int) bool {
+	_, ok := g.causes[edgeKey(i, j)]
+	return ok
+}
+
+// EdgeCauses returns the query IDs causing the conflict between i and j.
+func (g *Graph) EdgeCauses(i, j int) []int { return g.causes[edgeKey(i, j)] }
+
+// Neighbors returns the vertices in conflict with i (shared slice; do not
+// mutate).
+func (g *Graph) Neighbors(i int) []int { return g.adj[i] }
+
+// Degree returns the number of conflicts of vertex i.
+func (g *Graph) Degree(i int) int { return len(g.adj[i]) }
+
+// NumVertices returns |V|.
+func (g *Graph) NumVertices() int { return len(g.Vertices) }
+
+// NumEdges returns |E|.
+func (g *Graph) NumEdges() int { return len(g.causes) }
+
+// TotalWeight returns the sum of all vertex weights.
+func (g *Graph) TotalWeight() float64 {
+	var sum float64
+	for _, v := range g.Vertices {
+		sum += v.Weight
+	}
+	return sum
+}
+
+// LiveStates estimates the number of stored entries (vertices' query lists
+// plus edges) for the optimizer memory metric.
+func (g *Graph) LiveStates() int64 {
+	var n int64
+	for _, v := range g.Vertices {
+		n += int64(len(v.Queries)) + 1
+	}
+	n += int64(len(g.causes))
+	return n
+}
+
+// Format renders the graph for debugging and the sharon-opt tool.
+func (g *Graph) Format(reg *event.Registry, w query.Workload) string {
+	var b strings.Builder
+	for i, v := range g.Vertices {
+		fmt.Fprintf(&b, "v%d %s weight=%.4g conflicts=%v\n", i, v.Format(reg, w), v.Weight, g.adj[i])
+	}
+	return b.String()
+}
+
+// BuildGraph implements Algorithm 1: it consumes the sharable-pattern
+// table (pattern -> queries), keeps candidates that are beneficial
+// (BValue > 0) and shared by more than one query, and inserts a conflict
+// edge for every overlapping pair.
+func BuildGraph(m *CostModel, candidates []Candidate) *Graph {
+	g := NewGraph()
+	for _, c := range candidates {
+		if len(c.Queries) < 2 {
+			continue
+		}
+		bv := m.BValue(c)
+		if bv <= 0 {
+			continue // non-beneficial candidate pruning (§3.4)
+		}
+		vi := g.AddVertex(Vertex{Candidate: c, Weight: bv})
+		for ui := 0; ui < vi; ui++ {
+			if conflict, causes := InConflict(m.byID, g.Vertices[vi].Candidate, g.Vertices[ui].Candidate); conflict {
+				g.AddEdge(vi, ui, causes)
+			}
+		}
+	}
+	return g
+}
+
+// BuildGraphWithWeights builds a graph from candidates with externally
+// supplied weights (used by tests reproducing the paper's Figure 4, whose
+// weights come from unpublished rate constants, and by the §7.1 expansion).
+func BuildGraphWithWeights(w query.Workload, cands []Candidate, weights []float64) *Graph {
+	if len(cands) != len(weights) {
+		panic("core: candidate/weight length mismatch")
+	}
+	byID := make(map[int]*query.Query, len(w))
+	for _, q := range w {
+		byID[q.ID] = q
+	}
+	g := NewGraph()
+	for i, c := range cands {
+		if weights[i] <= 0 {
+			continue
+		}
+		vi := g.AddVertex(Vertex{Candidate: c, Weight: weights[i]})
+		for ui := 0; ui < vi; ui++ {
+			if conflict, causes := InConflict(byID, g.Vertices[vi].Candidate, g.Vertices[ui].Candidate); conflict {
+				g.AddEdge(vi, ui, causes)
+			}
+		}
+	}
+	return g
+}
+
+// GuaranteedWeight implements Eq. 10: GWMIN's guaranteed minimum
+// independent-set weight, sum over vertices of weight/(degree+1).
+func (g *Graph) GuaranteedWeight() float64 {
+	var sum float64
+	for i, v := range g.Vertices {
+		sum += v.Weight / float64(g.Degree(i)+1)
+	}
+	return sum
+}
+
+// ScoreMax implements Definition 12: the maximal score of any plan
+// containing vertex v — the summed weight of all vertices not in conflict
+// with v (including v itself).
+func (g *Graph) ScoreMax(v int) float64 {
+	excluded := make(map[int]bool, g.Degree(v))
+	for _, u := range g.adj[v] {
+		excluded[u] = true
+	}
+	var sum float64
+	for i, vert := range g.Vertices {
+		if !excluded[i] {
+			sum += vert.Weight
+		}
+	}
+	return sum
+}
+
+// subgraph returns the induced subgraph on keep (vertex indices of g),
+// preserving vertex order and edge causes.
+func (g *Graph) subgraph(keep []int) *Graph {
+	remap := make(map[int]int, len(keep))
+	out := NewGraph()
+	for _, oldIdx := range keep {
+		remap[oldIdx] = out.AddVertex(g.Vertices[oldIdx])
+	}
+	for _, oldIdx := range keep {
+		for _, u := range g.adj[oldIdx] {
+			if nu, ok := remap[u]; ok {
+				out.AddEdge(remap[oldIdx], nu, g.causes[edgeKey(oldIdx, u)])
+			}
+		}
+	}
+	return out
+}

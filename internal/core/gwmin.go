@@ -1,0 +1,88 @@
+package core
+
+// GWMIN implements the greedy minimum-degree algorithm for the Maximum
+// Weight Independent Set problem (Sakai et al., paper Appendix B,
+// Algorithm 8). In each iteration it selects the vertex maximizing
+// weight(v)/(degree_Gi(v)+1) in the remaining graph, adds it to the
+// independent set, and deletes it together with its neighbors.
+//
+// The returned indices refer to g's vertices and are sorted ascending.
+// The resulting set's weight is guaranteed to be at least
+// g.GuaranteedWeight() (Eq. 10), which the reduction step exploits.
+func GWMIN(g *Graph) []int {
+	n := g.NumVertices()
+	alive := make([]bool, n)
+	degree := make([]int, n)
+	for i := 0; i < n; i++ {
+		alive[i] = true
+		degree[i] = g.Degree(i)
+	}
+	remaining := n
+	var is []int
+	for remaining > 0 {
+		best := -1
+		var bestRatio float64
+		for i := 0; i < n; i++ {
+			if !alive[i] {
+				continue
+			}
+			ratio := g.Vertices[i].Weight / float64(degree[i]+1)
+			if best == -1 || ratio > bestRatio {
+				best = i
+				bestRatio = ratio
+			}
+		}
+		is = insertSorted(is, best)
+		// Remove best and its closed neighborhood; update degrees of the
+		// second-order neighbors that stay alive.
+		removed := []int{best}
+		for _, u := range g.Neighbors(best) {
+			if alive[u] {
+				removed = append(removed, u)
+			}
+		}
+		for _, r := range removed {
+			alive[r] = false
+			remaining--
+		}
+		for _, r := range removed {
+			for _, u := range g.Neighbors(r) {
+				if alive[u] {
+					degree[u]--
+				}
+			}
+		}
+	}
+	return is
+}
+
+// IsIndependentSet reports whether the given vertex indices form an
+// independent set of g.
+func (g *Graph) IsIndependentSet(set []int) bool {
+	for i := 0; i < len(set); i++ {
+		for j := i + 1; j < len(set); j++ {
+			if g.HasEdge(set[i], set[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// SetWeight sums the weights of the given vertex indices.
+func (g *Graph) SetWeight(set []int) float64 {
+	var sum float64
+	for _, i := range set {
+		sum += g.Vertices[i].Weight
+	}
+	return sum
+}
+
+// PlanOf converts a vertex-index set into a sharing plan.
+func (g *Graph) PlanOf(set []int) Plan {
+	plan := make(Plan, 0, len(set))
+	for _, i := range set {
+		plan = append(plan, g.Vertices[i].Candidate)
+	}
+	return plan
+}

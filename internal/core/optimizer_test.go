@@ -1,0 +1,232 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/sharon-project/sharon/internal/event"
+	"github.com/sharon-project/sharon/internal/query"
+)
+
+// randomGraph builds a random conflict graph over synthetic candidates.
+// Patterns are constructed so that requested conflicts exist structurally:
+// conflicting candidates get overlapping patterns within a shared query.
+func randomGraph(rng *rand.Rand, nVerts int) *Graph {
+	g := NewGraph()
+	for i := 0; i < nVerts; i++ {
+		// Pattern identity only matters for Key uniqueness here; use
+		// synthetic type ids.
+		p := query.Pattern{event.Type(2*i + 1), event.Type(2*i + 2)}
+		g.AddVertex(Vertex{
+			Candidate: NewCandidate(p, []int{rng.Intn(5), 5 + rng.Intn(5)}),
+			Weight:    1 + float64(rng.Intn(30)),
+		})
+	}
+	for i := 0; i < nVerts; i++ {
+		for j := i + 1; j < nVerts; j++ {
+			if rng.Float64() < 0.35 {
+				g.AddEdge(i, j, []int{0})
+			}
+		}
+	}
+	return g
+}
+
+// TestPlanFinderMatchesExhaustiveRandom is the optimizer's core property:
+// on random graphs, reduction + plan finder returns the same weight as
+// exhaustive subset search.
+func TestPlanFinderMatchesExhaustiveRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	iters := 300
+	if testing.Short() {
+		iters = 60
+	}
+	for it := 0; it < iters; it++ {
+		g := randomGraph(rng, 2+rng.Intn(11))
+		_, exScore, _ := ExhaustivePlanSearch(g)
+
+		red := Reduce(g)
+		_, score, _ := FindOptimalPlan(red.Reduced, red.ConflictFree, time.Time{})
+		if score != exScore {
+			t.Fatalf("iter %d: plan finder score %v != exhaustive %v\ngraph: %d verts %d edges",
+				it, score, exScore, g.NumVertices(), g.NumEdges())
+		}
+
+		// Without reduction the finder must agree too.
+		_, score2, _ := FindOptimalPlan(g, nil, time.Time{})
+		if score2 != exScore {
+			t.Fatalf("iter %d: unreduced finder score %v != exhaustive %v", it, score2, exScore)
+		}
+	}
+}
+
+// TestGWMINBoundRandom: GWMIN always returns an independent set whose
+// weight meets the Eq. 10 guarantee and never exceeds the optimum.
+func TestGWMINBoundRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for it := 0; it < 300; it++ {
+		g := randomGraph(rng, 2+rng.Intn(12))
+		set := GWMIN(g)
+		if !g.IsIndependentSet(set) {
+			t.Fatalf("iter %d: GWMIN set %v not independent", it, set)
+		}
+		w := g.SetWeight(set)
+		if bound := g.GuaranteedWeight(); w < bound-1e-9 {
+			t.Fatalf("iter %d: GWMIN weight %v below guarantee %v", it, w, bound)
+		}
+		_, opt, _ := ExhaustivePlanSearch(g)
+		if w > opt+1e-9 {
+			t.Fatalf("iter %d: GWMIN weight %v above optimum %v", it, w, opt)
+		}
+	}
+}
+
+// TestReducePreservesOptimum: reduction never changes the best achievable
+// score, and conflict-free candidates always belong to the optimum.
+func TestReducePreservesOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for it := 0; it < 300; it++ {
+		g := randomGraph(rng, 2+rng.Intn(11))
+		_, before, _ := ExhaustivePlanSearch(g)
+		red := Reduce(g)
+		_, after, _ := FindOptimalPlan(red.Reduced, red.ConflictFree, time.Time{})
+		if before != after {
+			t.Fatalf("iter %d: optimum changed by reduction: %v -> %v", it, before, after)
+		}
+	}
+}
+
+// TestPlanFinderDeadline: an already-expired deadline still yields a valid
+// plan (backed by the GWMIN fallback at the optimizer level).
+func TestPlanFinderDeadline(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randomGraph(rng, 12)
+	_, _, stats := FindOptimalPlan(g, nil, time.Now().Add(-time.Second))
+	if !stats.TimedOut {
+		t.Error("expired deadline not reported")
+	}
+}
+
+func TestLevelGenerationApriori(t *testing.T) {
+	// Triangle-free path graph v0-v1-v2: valid plans are {v0},{v1},{v2},
+	// {v0,v2}. Level 2 from singles must contain only {v0,v2}.
+	g := NewGraph()
+	for i := 0; i < 3; i++ {
+		p := query.Pattern{event.Type(2*i + 1), event.Type(2*i + 2)}
+		g.AddVertex(Vertex{Candidate: NewCandidate(p, []int{0, 1}), Weight: float64(i + 1)})
+	}
+	g.AddEdge(0, 1, []int{0})
+	g.AddEdge(1, 2, []int{0})
+	level1 := []foundPlan{{verts: []int{0}, score: 1}, {verts: []int{1}, score: 2}, {verts: []int{2}, score: 3}}
+	level2, trunc := nextLevel(g, level1, 0, time.Time{})
+	if trunc {
+		t.Fatal("unexpected truncation")
+	}
+	if len(level2) != 1 || level2[0].verts[0] != 0 || level2[0].verts[1] != 2 {
+		t.Fatalf("level 2 = %+v, want [{0 2}]", level2)
+	}
+	if level2[0].score != 4 {
+		t.Errorf("score = %v, want 4", level2[0].score)
+	}
+	if l3, _ := nextLevel(g, level2, 0, time.Time{}); len(l3) != 0 {
+		t.Error("level 3 should be empty")
+	}
+}
+
+func TestLevelGenerationLimit(t *testing.T) {
+	// A 6-vertex edgeless graph has 15 size-2 plans; a limit of 4 must
+	// truncate.
+	g := NewGraph()
+	for i := 0; i < 6; i++ {
+		p := query.Pattern{event.Type(2*i + 1), event.Type(2*i + 2)}
+		g.AddVertex(Vertex{Candidate: NewCandidate(p, []int{0, 1}), Weight: 1})
+	}
+	var level1 []foundPlan
+	for i := 0; i < 6; i++ {
+		level1 = append(level1, foundPlan{verts: []int{i}, score: 1})
+	}
+	level2, trunc := nextLevel(g, level1, 4, time.Time{})
+	if !trunc || len(level2) != 4 {
+		t.Fatalf("limit ignored: %d children, truncated=%v", len(level2), trunc)
+	}
+}
+
+// TestOptimizeStrategies runs all four front-ends over a real workload and
+// cost model.
+func TestOptimizeStrategies(t *testing.T) {
+	reg := event.NewRegistry()
+	w := query.Workload{
+		query.MustParse("RETURN COUNT(*) PATTERN SEQ(A, B, C) WITHIN 10s SLIDE 2s", reg),
+		query.MustParse("RETURN COUNT(*) PATTERN SEQ(A, B, D) WITHIN 10s SLIDE 2s", reg),
+		query.MustParse("RETURN COUNT(*) PATTERN SEQ(E, A, B) WITHIN 10s SLIDE 2s", reg),
+	}
+	w.Renumber()
+	rates := Rates{}
+	for _, name := range []string{"A", "B", "C", "D", "E"} {
+		rates[reg.Lookup(name)] = 100
+	}
+	var scores = map[Strategy]float64{}
+	for _, s := range []Strategy{StrategySharon, StrategyGreedy, StrategyExhaustive, StrategyNone} {
+		res, err := Optimize(w, rates, OptimizerOptions{Strategy: s, Expand: s != StrategyGreedy})
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if err := res.Plan.Validate(w); err != nil {
+			t.Errorf("%v: invalid plan: %v", s, err)
+		}
+		scores[s] = res.Score
+		if s == StrategyNone && len(res.Plan) != 0 {
+			t.Errorf("NoShare produced a plan: %v", res.Plan)
+		}
+		if s == StrategySharon && len(res.Phases) != 4 {
+			t.Errorf("Sharon phases = %v, want 4", res.Phases)
+		}
+		if s == StrategyGreedy && len(res.Phases) != 2 {
+			t.Errorf("Greedy phases = %v, want 2", res.Phases)
+		}
+	}
+	if scores[StrategySharon] < scores[StrategyGreedy] {
+		t.Errorf("Sharon score %v below greedy %v", scores[StrategySharon], scores[StrategyGreedy])
+	}
+	if scores[StrategySharon] != scores[StrategyExhaustive] {
+		t.Errorf("Sharon %v != exhaustive %v", scores[StrategySharon], scores[StrategyExhaustive])
+	}
+	if scores[StrategySharon] <= 0 {
+		t.Errorf("Sharon found no beneficial sharing: %v", scores[StrategySharon])
+	}
+}
+
+// TestOptimizeBudgetFallback: with a zero-ish budget the Sharon strategy
+// must still return a valid plan at least as good as GWMIN's.
+func TestOptimizeBudgetFallback(t *testing.T) {
+	reg := event.NewRegistry()
+	var w query.Workload
+	// Many overlapping queries to make the search non-trivial.
+	names := []string{"A", "B", "C", "D", "E", "F", "G", "H"}
+	for i := 0; i+2 < len(names); i++ {
+		for j := 0; j < 2; j++ {
+			w = append(w, query.MustParse(
+				"RETURN COUNT(*) PATTERN SEQ("+names[i]+", "+names[i+1]+", "+names[i+2]+") WITHIN 10s SLIDE 2s", reg))
+		}
+	}
+	w.Renumber()
+	rates := Rates{}
+	for _, n := range names {
+		rates[reg.Lookup(n)] = 50
+	}
+	res, err := Optimize(w, rates, OptimizerOptions{Strategy: StrategySharon, Expand: true, Budget: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Plan.Validate(w); err != nil {
+		t.Errorf("fallback plan invalid: %v", err)
+	}
+	gres, err := Optimize(w, rates, OptimizerOptions{Strategy: StrategyGreedy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score < gres.Score {
+		t.Errorf("budgeted Sharon score %v below greedy %v", res.Score, gres.Score)
+	}
+}

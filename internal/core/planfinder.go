@@ -1,0 +1,205 @@
+package core
+
+import (
+	"sort"
+	"time"
+)
+
+// foundPlan is a valid sharing plan during the lattice traversal: a sorted
+// list of vertex indices and its score (Definition 8). Candidates are kept
+// sorted within a plan so that plans sharing their first s-1 decisions are
+// lexicographic neighbors, enabling the Apriori-style join of Algorithm 3.
+type foundPlan struct {
+	verts []int
+	score float64
+}
+
+// PlanFinderStats reports the work done by the plan finder (used by the
+// Figure 15 experiment).
+type PlanFinderStats struct {
+	// PlansConsidered counts the valid plans materialized (Example 10's
+	// "10 valid plans").
+	PlansConsidered int64
+	// PeakLevelPlans is the maximum number of plans held at once — the
+	// finder keeps only one level at a time (paper §6, data structures).
+	PeakLevelPlans int64
+	// Levels is the number of lattice levels visited.
+	Levels int
+	// TimedOut reports that the Deadline was hit and the best plan so far
+	// was returned (the paper's fallback then runs GWMIN; the optimizer
+	// front-end handles that).
+	TimedOut bool
+}
+
+// nextLevel implements Algorithm 3: it joins pairs of valid size-s plans
+// that agree on their first s-1 candidates and whose differing candidates
+// are not in conflict (Lemma 6), yielding all valid size-s+1 plans
+// (Lemma 7). parents must be lexicographically sorted; children are
+// returned sorted.
+//
+// limit > 0 bounds the children generated; deadline (non-zero) bounds the
+// wall clock. Either breach stops generation and reports truncated=true,
+// which the plan finder translates into its GWMIN fallback (§6, case 1).
+func nextLevel(g *Graph, parents []foundPlan, limit int, deadline time.Time) (children []foundPlan, truncated bool) {
+	if len(parents) == 0 {
+		return nil, false
+	}
+	s := len(parents[0].verts)
+	for i := 0; i < len(parents); i++ {
+		pi := parents[i].verts
+		if !deadline.IsZero() && i%1024 == 0 && time.Now().After(deadline) {
+			return children, true
+		}
+		for j := i + 1; j < len(parents); j++ {
+			pj := parents[j].verts
+			if !samePrefix(pi, pj, s-1) {
+				// Lexicographic order makes equal-prefix plans
+				// contiguous; once the prefix changes, no later plan
+				// joins with parents[i].
+				break
+			}
+			a, b := pi[s-1], pj[s-1] // a < b by lexicographic order
+			if g.HasEdge(a, b) {
+				continue // invalid branch pruned at its root (Lemma 4)
+			}
+			if limit > 0 && len(children) >= limit {
+				return children, true
+			}
+			verts := make([]int, s+1)
+			copy(verts, pi)
+			verts[s] = b
+			children = append(children, foundPlan{
+				verts: verts,
+				score: parents[i].score + g.Vertices[b].Weight,
+			})
+		}
+	}
+	return children, false
+}
+
+// DefaultMaxLevelPlans bounds how many plans one lattice level may hold
+// before the finder falls back to GWMIN; it also bounds the finder's
+// memory (the paper stores one level at a time, §6).
+const DefaultMaxLevelPlans = 1 << 20
+
+func samePrefix(a, b []int, n int) bool {
+	for k := 0; k < n; k++ {
+		if a[k] != b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// FindOptimalPlan implements Algorithm 4: a breadth-first traversal of the
+// valid plan lattice over the (reduced) Sharon graph g, returning the
+// plan with maximal score together with the conflict-free candidates F
+// collected during reduction. Only one lattice level is held at a time.
+//
+// deadline, when non-zero, bounds the search; on expiry the best valid
+// plan found so far is returned with stats.TimedOut set (§6, extreme
+// case 1).
+func FindOptimalPlan(g *Graph, conflictFree []Vertex, deadline time.Time) (Plan, float64, PlanFinderStats) {
+	var stats PlanFinderStats
+	var opt []int
+	var max float64
+
+	// Level 1: every vertex is a valid plan on its own.
+	level := make([]foundPlan, 0, g.NumVertices())
+	for i := range g.Vertices {
+		level = append(level, foundPlan{verts: []int{i}, score: g.Vertices[i].Weight})
+	}
+	sort.Slice(level, func(a, b int) bool { return lexLess(level[a].verts, level[b].verts) })
+
+	for len(level) > 0 {
+		stats.Levels++
+		stats.PlansConsidered += int64(len(level))
+		if int64(len(level)) > stats.PeakLevelPlans {
+			stats.PeakLevelPlans = int64(len(level))
+		}
+		for _, p := range level {
+			if p.score > max {
+				max = p.score
+				opt = p.verts
+			}
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			stats.TimedOut = true
+			break
+		}
+		var truncated bool
+		level, truncated = nextLevel(g, level, DefaultMaxLevelPlans, deadline)
+		if truncated {
+			// Scan the partial level for a better plan, then fall back.
+			for _, p := range level {
+				if p.score > max {
+					max = p.score
+					opt = p.verts
+				}
+			}
+			stats.TimedOut = true
+			break
+		}
+	}
+
+	plan := g.PlanOf(opt)
+	score := max
+	for _, v := range conflictFree {
+		plan = append(plan, v.Candidate)
+		score += v.Weight
+	}
+	return plan, score, stats
+}
+
+func lexLess(a, b []int) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// ExhaustivePlanSearch enumerates every subset of vertices, discarding
+// invalid ones, and returns an optimal plan. It is the paper's exhaustive
+// optimizer baseline (§8.3): exponential and only feasible for small
+// workloads, used to validate the plan finder's optimality.
+func ExhaustivePlanSearch(g *Graph) (Plan, float64, int64) {
+	n := g.NumVertices()
+	var best []int
+	var bestScore float64
+	var considered int64
+	if n > 62 {
+		panic("core: exhaustive search beyond 62 candidates is not representable")
+	}
+	for mask := uint64(0); mask < 1<<uint(n); mask++ {
+		considered++
+		var verts []int
+		var score float64
+		valid := true
+		for i := 0; i < n && valid; i++ {
+			if mask&(1<<uint(i)) == 0 {
+				continue
+			}
+			for _, v := range verts {
+				if g.HasEdge(v, i) {
+					valid = false
+					break
+				}
+			}
+			if valid {
+				verts = append(verts, i)
+				score += g.Vertices[i].Weight
+			}
+		}
+		if valid && score > bestScore {
+			bestScore = score
+			best = verts
+		}
+	}
+	return g.PlanOf(best), bestScore, considered
+}

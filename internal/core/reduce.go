@@ -1,0 +1,56 @@
+package core
+
+// ReduceResult is the outcome of the Sharon graph reduction (Algorithm 2).
+type ReduceResult struct {
+	// Reduced is the graph with conflict-ridden and conflict-free
+	// candidates removed.
+	Reduced *Graph
+	// ConflictFree holds candidates with no conflicts: they are part of
+	// every optimal plan (Definition 14) and are added to the final plan
+	// directly, contributing their weight to its score.
+	ConflictFree []Vertex
+	// PrunedConflictRidden counts candidates removed because no plan
+	// containing them can reach GWMIN's guaranteed weight (Definition 13).
+	PrunedConflictRidden int
+}
+
+// Reduce implements Algorithm 2: repeatedly remove conflict-free
+// candidates (into the plan set F) and conflict-ridden candidates
+// (dropped) until the graph no longer shrinks.
+//
+// One refinement over the paper's pseudocode: the guaranteed weight is
+// recomputed on the current subgraph at each pass rather than fixed once.
+// After a conflict-free vertex f moves to F, every Scoremax drops by
+// weight(f) while a fixed bound would not, so a fixed bound could prune
+// vertices that belong to the optimum. Recomputing keeps the two sides of
+// Definition 13 referring to the same graph, preserving optimality
+// (Lemma 2) while pruning at least as much on conflict-ridden removals.
+func Reduce(g *Graph) ReduceResult {
+	res := ReduceResult{}
+	cur := g
+	for {
+		min := cur.GuaranteedWeight()
+		var keep []int
+		changed := false
+		for i := range cur.Vertices {
+			switch {
+			case cur.Degree(i) == 0:
+				// Conflict-free: goes straight into the optimal plan.
+				res.ConflictFree = append(res.ConflictFree, cur.Vertices[i])
+				changed = true
+			case cur.ScoreMax(i) < min:
+				// Conflict-ridden: even the best plan containing it
+				// scores below what GWMIN already guarantees.
+				res.PrunedConflictRidden++
+				changed = true
+			default:
+				keep = append(keep, i)
+			}
+		}
+		if !changed {
+			res.Reduced = cur
+			return res
+		}
+		cur = cur.subgraph(keep)
+	}
+}

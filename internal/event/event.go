@@ -1,0 +1,169 @@
+// Package event defines the Sharon data model: typed, time-stamped events
+// on a totally ordered input stream (paper §2.1).
+//
+// Time is a linearly ordered set of non-negative int64 "ticks". Sequence
+// semantics (Definition 1) require strictly increasing timestamps between
+// the events of a match, so streams in this repository carry strictly
+// increasing timestamps; generators emitting k events per second spread
+// them over sub-second ticks (see TicksPerSecond).
+package event
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TicksPerSecond is the default resolution of event timestamps. The paper
+// stamps events in seconds but evaluates streams of thousands of events per
+// second; with millisecond ticks the stream stays strictly ordered.
+const TicksPerSecond = 1000
+
+// Type identifies an event type (e.g. a street segment or an item kind).
+// Types are interned in a Registry; the zero value is invalid.
+type Type int32
+
+// NoType is the invalid zero Type.
+const NoType Type = 0
+
+// GroupKey identifies the grouping-attribute value of an event (e.g. the
+// vehicle or customer identifier of the paper's [vehicle] predicate).
+type GroupKey int64
+
+// Event is a message indicating that something of interest happened.
+// Events are value types; executors never retain pointers into the stream.
+type Event struct {
+	// Time is the event timestamp in ticks, assigned by the source.
+	Time int64
+	// Type is the interned event type.
+	Type Type
+	// Key is the grouping key (vehicle id, customer id, ...). Queries
+	// without GROUP-BY see all events under a single key.
+	Key GroupKey
+	// Val is the primary numeric attribute used by SUM/MIN/MAX/AVG
+	// (e.g. price or speed).
+	Val float64
+}
+
+// String implements fmt.Stringer for debugging output.
+func (e Event) String() string {
+	return fmt.Sprintf("e(type=%d t=%d key=%d val=%g)", e.Type, e.Time, e.Key, e.Val)
+}
+
+// Registry interns event type names. It is not safe for concurrent
+// mutation; build it once before streaming.
+type Registry struct {
+	names []string // names[i] is the name of Type(i+1)
+	ids   map[string]Type
+}
+
+// NewRegistry returns an empty type registry.
+func NewRegistry() *Registry {
+	return &Registry{ids: make(map[string]Type)}
+}
+
+// Intern returns the Type for name, creating it on first use.
+func (r *Registry) Intern(name string) Type {
+	if t, ok := r.ids[name]; ok {
+		return t
+	}
+	r.names = append(r.names, name)
+	t := Type(len(r.names))
+	r.ids[name] = t
+	return t
+}
+
+// Lookup returns the Type for name, or NoType if it was never interned.
+func (r *Registry) Lookup(name string) Type {
+	return r.ids[name]
+}
+
+// Name returns the name of t, or "?" for unknown types.
+func (r *Registry) Name(t Type) string {
+	if t < 1 || int(t) > len(r.names) {
+		return "?"
+	}
+	return r.names[t-1]
+}
+
+// Len reports the number of interned types.
+func (r *Registry) Len() int { return len(r.names) }
+
+// Names returns all interned names sorted alphabetically.
+func (r *Registry) Names() []string {
+	out := make([]string, len(r.names))
+	copy(out, r.names)
+	sort.Strings(out)
+	return out
+}
+
+// Stream is an ordered finite sequence of events, typically produced by a
+// generator and replayed through an executor. Live sources can implement
+// Source instead.
+type Stream []Event
+
+// Source yields events in strictly increasing time order. Next returns
+// ok=false when the stream is exhausted.
+type Source interface {
+	Next() (Event, bool)
+}
+
+// sliceSource adapts a Stream to the Source interface.
+type sliceSource struct {
+	s Stream
+	i int
+}
+
+// NewSource returns a Source replaying s.
+func NewSource(s Stream) Source { return &sliceSource{s: s} }
+
+func (ss *sliceSource) Next() (Event, bool) {
+	if ss.i >= len(ss.s) {
+		return Event{}, false
+	}
+	e := ss.s[ss.i]
+	ss.i++
+	return e, true
+}
+
+// Validate checks that the stream is strictly ordered by time and that all
+// timestamps are non-negative. It returns a descriptive error for the first
+// violation.
+func (s Stream) Validate() error {
+	var prev int64 = -1
+	for i, e := range s {
+		if e.Time < 0 {
+			return fmt.Errorf("event %d: negative timestamp %d", i, e.Time)
+		}
+		if e.Time <= prev {
+			return fmt.Errorf("event %d: timestamp %d not strictly after %d", i, e.Time, prev)
+		}
+		if e.Type == NoType {
+			return fmt.Errorf("event %d: missing type", i)
+		}
+		prev = e.Time
+	}
+	return nil
+}
+
+// Rates computes the observed rate (events per second of stream time) of
+// each event type present in the stream. The result feeds the optimizer's
+// cost model (paper Eq. 1). An empty or instantaneous stream yields counts
+// interpreted over one second.
+func (s Stream) Rates() map[Type]float64 {
+	counts := make(map[Type]float64)
+	for _, e := range s {
+		counts[e.Type]++
+	}
+	if len(s) == 0 {
+		return counts
+	}
+	span := s[len(s)-1].Time - s[0].Time + 1
+	secs := float64(span) / TicksPerSecond
+	if secs < 1 {
+		secs = 1
+	}
+	for t := range counts {
+		counts[t] /= secs
+	}
+	return counts
+}

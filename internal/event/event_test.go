@@ -1,0 +1,130 @@
+package event
+
+import (
+	"testing"
+)
+
+func TestRegistryInternLookup(t *testing.T) {
+	r := NewRegistry()
+	a := r.Intern("OakSt")
+	b := r.Intern("MainSt")
+	if a == b {
+		t.Fatalf("distinct names interned to same type %v", a)
+	}
+	if got := r.Intern("OakSt"); got != a {
+		t.Errorf("re-intern OakSt = %v, want %v", got, a)
+	}
+	if got := r.Lookup("MainSt"); got != b {
+		t.Errorf("Lookup(MainSt) = %v, want %v", got, b)
+	}
+	if got := r.Lookup("missing"); got != NoType {
+		t.Errorf("Lookup(missing) = %v, want NoType", got)
+	}
+	if got := r.Name(a); got != "OakSt" {
+		t.Errorf("Name(%v) = %q, want OakSt", a, got)
+	}
+	if got := r.Name(NoType); got != "?" {
+		t.Errorf("Name(NoType) = %q, want ?", got)
+	}
+	if got := r.Name(Type(99)); got != "?" {
+		t.Errorf("Name(99) = %q, want ?", got)
+	}
+	if r.Len() != 2 {
+		t.Errorf("Len = %d, want 2", r.Len())
+	}
+}
+
+func TestRegistryNamesSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Intern("b")
+	r.Intern("a")
+	r.Intern("c")
+	names := r.Names()
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestStreamValidate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Intern("A")
+	tests := []struct {
+		name    string
+		s       Stream
+		wantErr bool
+	}{
+		{"empty", Stream{}, false},
+		{"ordered", Stream{{Time: 1, Type: a}, {Time: 2, Type: a}}, false},
+		{"equal times", Stream{{Time: 1, Type: a}, {Time: 1, Type: a}}, true},
+		{"decreasing", Stream{{Time: 2, Type: a}, {Time: 1, Type: a}}, true},
+		{"negative", Stream{{Time: -1, Type: a}}, true},
+		{"no type", Stream{{Time: 1}}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.s.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() err = %v, wantErr=%v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestStreamRates(t *testing.T) {
+	r := NewRegistry()
+	a, b := r.Intern("A"), r.Intern("B")
+	// 3 A's and 1 B over 2 seconds of stream time.
+	s := Stream{
+		{Time: 0, Type: a},
+		{Time: 500, Type: b},
+		{Time: 1000, Type: a},
+		{Time: 2*TicksPerSecond - 1, Type: a},
+	}
+	rates := s.Rates()
+	if got := rates[a]; got != 1.5 {
+		t.Errorf("rate(A) = %v, want 1.5", got)
+	}
+	if got := rates[b]; got != 0.5 {
+		t.Errorf("rate(B) = %v, want 0.5", got)
+	}
+}
+
+func TestStreamRatesShortStream(t *testing.T) {
+	r := NewRegistry()
+	a := r.Intern("A")
+	s := Stream{{Time: 5, Type: a}, {Time: 6, Type: a}}
+	// Span below a second: counts interpreted per one second.
+	if got := s.Rates()[a]; got != 2 {
+		t.Errorf("rate(A) = %v, want 2", got)
+	}
+	if got := (Stream{}).Rates(); len(got) != 0 {
+		t.Errorf("empty stream rates = %v, want empty", got)
+	}
+}
+
+func TestSource(t *testing.T) {
+	r := NewRegistry()
+	a := r.Intern("A")
+	s := Stream{{Time: 1, Type: a}, {Time: 2, Type: a}}
+	src := NewSource(s)
+	var n int
+	for {
+		e, ok := src.Next()
+		if !ok {
+			break
+		}
+		if e.Time != int64(n+1) {
+			t.Fatalf("event %d time = %d", n, e.Time)
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("drained %d events, want 2", n)
+	}
+	if _, ok := src.Next(); ok {
+		t.Error("Next after exhaustion reported ok")
+	}
+}

@@ -1,0 +1,284 @@
+package exec
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/sharon-project/sharon/internal/core"
+	"github.com/sharon-project/sharon/internal/event"
+	"github.com/sharon-project/sharon/internal/query"
+)
+
+// DynamicConfig configures the §7.4 dynamic-workload executor.
+type DynamicConfig struct {
+	Options
+	// CheckEvery is the interval, in ticks, between rate-drift checks
+	// (default: one window slide).
+	CheckEvery int64
+	// DriftThreshold is the relative per-type rate change that triggers
+	// re-optimization (default 0.5, i.e. ±50%).
+	DriftThreshold float64
+	// OptimizerBudget bounds each re-optimization (default 2s).
+	OptimizerBudget time.Duration
+	// OnMigrate, if set, is called when a new plan is installed.
+	OnMigrate func(at int64, old, new core.Plan)
+}
+
+// Dynamic is the dynamic-workload executor (paper §7.4): it evaluates a
+// workload under a sharing plan, monitors per-type event rates at runtime,
+// re-runs the Sharon optimizer when rates drift, and migrates to the new
+// plan without losing or corrupting window results.
+//
+// Migration protocol: when a new plan is chosen at time t, the first
+// window owned by the new engine is B = the first window starting at or
+// after t. Both engines consume the stream during the hand-off; the old
+// engine emits only windows before B and is discarded once they have all
+// closed, the new engine emits only windows from B on. Every window is
+// thus computed by exactly one engine over its full extent, so results
+// are identical to a static execution of the respective plans.
+type Dynamic struct {
+	w   query.Workload
+	win query.Window
+	cfg DynamicConfig
+	resultSink
+
+	current  *Engine
+	draining *Engine
+	// boundary is the first window index owned by current (windows below
+	// it belong to draining, when present); currentFrom is current's own
+	// lower bound, needed if it later becomes the draining engine.
+	boundary    int64
+	currentFrom int64
+	plan        core.Plan
+	rates       core.Rates // rates the current plan was chosen for
+
+	counts    map[event.Type]float64
+	countFrom int64
+	nextCheck int64
+	started   bool
+	last      int64
+	// Migrations counts installed plan changes.
+	Migrations int
+}
+
+// NewDynamic builds a dynamic executor with an initial plan optimized for
+// the supplied rates.
+func NewDynamic(w query.Workload, rates core.Rates, cfg DynamicConfig) (*Dynamic, error) {
+	if err := validateUniform(w); err != nil {
+		return nil, err
+	}
+	if cfg.DriftThreshold <= 0 {
+		cfg.DriftThreshold = 0.5
+	}
+	if cfg.CheckEvery <= 0 {
+		cfg.CheckEvery = w[0].Window.Slide
+	}
+	if cfg.OptimizerBudget <= 0 {
+		cfg.OptimizerBudget = 2 * time.Second
+	}
+	d := &Dynamic{
+		w: w, win: w[0].Window, cfg: cfg,
+		resultSink: resultSink{opts: cfg.Options},
+		counts:     make(map[event.Type]float64),
+		rates:      rates,
+	}
+	plan, err := d.optimize(rates)
+	if err != nil {
+		return nil, err
+	}
+	d.plan = plan
+	d.current, err = d.newEngine(plan, 0, -1)
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (d *Dynamic) optimize(rates core.Rates) (core.Plan, error) {
+	res, err := core.Optimize(d.w, rates, core.OptimizerOptions{
+		Strategy:     core.StrategySharon,
+		Expand:       true,
+		ExpandConfig: core.ExpandConfig{MaxOptionsPerCandidate: 8, MaxTotalVertices: 512},
+		Budget:       d.cfg.OptimizerBudget,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Plan, nil
+}
+
+// newEngine builds a sub-engine emitting only windows in [from, to]
+// (to < 0 means unbounded above).
+func (d *Dynamic) newEngine(plan core.Plan, from, to int64) (*Engine, error) {
+	return NewEngine(d.w, plan, Options{
+		EmitEmpty: d.cfg.EmitEmpty,
+		OnResult: func(r Result) {
+			if r.Win < from || (to >= 0 && r.Win > to) {
+				return
+			}
+			d.emit(r)
+		},
+	})
+}
+
+// Name identifies the strategy.
+func (d *Dynamic) Name() string { return "Sharon-dynamic" }
+
+// Plan returns the currently installed sharing plan.
+func (d *Dynamic) Plan() core.Plan { return d.plan }
+
+// Process feeds the next event, checking for rate drift on the configured
+// interval.
+func (d *Dynamic) Process(e event.Event) error {
+	if d.started && e.Time <= d.last {
+		return fmt.Errorf("exec: out-of-order event at t=%d", e.Time)
+	}
+	if !d.started {
+		d.started = true
+		d.countFrom = e.Time
+		d.nextCheck = e.Time + d.cfg.CheckEvery
+	}
+	d.last = e.Time
+
+	if e.Time >= d.nextCheck {
+		if err := d.maybeMigrate(e.Time); err != nil {
+			return err
+		}
+		d.nextCheck = e.Time + d.cfg.CheckEvery
+	}
+	d.counts[e.Type]++
+
+	if err := d.current.Process(e); err != nil {
+		return err
+	}
+	if d.draining != nil {
+		if err := d.draining.Process(e); err != nil {
+			return err
+		}
+		// The draining engine owns windows < boundary; they have all
+		// closed once the watermark passes the last one's end.
+		if e.Time >= d.win.End(d.boundary-1) {
+			if err := d.draining.Flush(); err != nil {
+				return err
+			}
+			d.draining = nil
+		}
+	}
+	return nil
+}
+
+// maybeMigrate measures recent rates and installs a new plan when they
+// drifted beyond the threshold.
+func (d *Dynamic) maybeMigrate(now int64) error {
+	span := float64(now-d.countFrom) / event.TicksPerSecond
+	if span <= 0 {
+		return nil
+	}
+	measured := make(core.Rates, len(d.counts))
+	for t, c := range d.counts {
+		measured[t] = c / span
+	}
+	d.counts = make(map[event.Type]float64)
+	d.countFrom = now
+	if d.draining != nil || !drifted(d.rates, measured, d.cfg.DriftThreshold) {
+		return nil
+	}
+	newPlan, err := d.optimize(measured)
+	if err != nil {
+		return err
+	}
+	d.rates = measured
+	if samePlan(d.plan, newPlan) {
+		return nil
+	}
+	// Install: the new engine owns windows starting at or after now.
+	boundary := d.win.LastContaining(now) + 1
+	next, err := d.newEngine(newPlan, boundary, -1)
+	if err != nil {
+		return err
+	}
+	old := d.current
+	// Narrow the old engine to its remaining windows [its own lower
+	// bound, boundary-1]; engines emit through OnResult, so swapping the
+	// filter is enough.
+	old.opts.OnResult = boundedForward(d, d.currentFrom, boundary-1)
+	d.draining = old
+	d.current = next
+	d.boundary = boundary
+	d.currentFrom = boundary
+	d.Migrations++
+	if d.cfg.OnMigrate != nil {
+		d.cfg.OnMigrate(now, d.plan, newPlan)
+	}
+	d.plan = newPlan
+	return nil
+}
+
+func boundedForward(d *Dynamic, from, to int64) func(Result) {
+	return func(r Result) {
+		if r.Win < from || r.Win > to {
+			return
+		}
+		d.emit(r)
+	}
+}
+
+// drifted reports whether any type's rate changed by more than threshold
+// relative to the old rates (new types count as drift).
+func drifted(old, new core.Rates, threshold float64) bool {
+	for t, n := range new {
+		o := old[t]
+		if o == 0 {
+			if n > 0 {
+				return true
+			}
+			continue
+		}
+		if diff := (n - o) / o; diff > threshold || diff < -threshold {
+			return true
+		}
+	}
+	for t, o := range old {
+		if o > 0 && new[t] == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// samePlan compares plans as candidate sets.
+func samePlan(a, b core.Plan) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	keys := make(map[string]bool, len(a))
+	for _, c := range a {
+		keys[c.Key()] = true
+	}
+	for _, c := range b {
+		if !keys[c.Key()] {
+			return false
+		}
+	}
+	return true
+}
+
+// Flush closes all remaining windows on both engines.
+func (d *Dynamic) Flush() error {
+	if d.draining != nil {
+		if err := d.draining.Flush(); err != nil {
+			return err
+		}
+		d.draining = nil
+	}
+	return d.current.Flush()
+}
+
+// PeakLiveStates reports the combined peak of the sub-engines.
+func (d *Dynamic) PeakLiveStates() int64 {
+	n := d.current.PeakLiveStates()
+	if d.draining != nil {
+		n += d.draining.PeakLiveStates()
+	}
+	return n
+}

@@ -1,0 +1,140 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/sharon-project/sharon/internal/core"
+	"github.com/sharon-project/sharon/internal/event"
+	"github.com/sharon-project/sharon/internal/query"
+)
+
+// dynStream builds a stream whose type mix shifts abruptly halfway
+// through, forcing a rate-drift migration.
+func dynStream(f *fixture, n int) event.Stream {
+	rng := rand.New(rand.NewSource(77))
+	hotA := []byte("AABC")
+	hotD := []byte("DDBC")
+	out := make(event.Stream, n)
+	t := int64(0)
+	for i := 0; i < n; i++ {
+		t += 1 + int64(rng.Intn(2))
+		mix := hotA
+		if i > n/2 {
+			mix = hotD
+		}
+		out[i] = event.Event{
+			Time: t,
+			Type: f.ids[mix[rng.Intn(len(mix))]],
+			Key:  event.GroupKey(rng.Intn(2)),
+			Val:  float64(rng.Intn(10)),
+		}
+	}
+	return out
+}
+
+// TestDynamicMatchesOracle is the §7.4 correctness property: results under
+// runtime re-optimization and plan migration equal the brute-force oracle.
+func TestDynamicMatchesOracle(t *testing.T) {
+	f := newFixture()
+	w := query.Workload{
+		f.query(0, "ABC", 40, 10),
+		f.query(1, "AB", 40, 10),
+		f.query(2, "DBC", 40, 10),
+		f.query(3, "DB", 40, 10),
+	}
+	stream := dynStream(f, 400)
+	rates := core.Rates(stream[:100].Rates())
+
+	var migrations int
+	d, err := NewDynamic(w, rates, DynamicConfig{
+		Options:        Options{Collect: true},
+		CheckEvery:     60,
+		DriftThreshold: 0.3,
+		OnMigrate:      func(at int64, old, new core.Plan) { migrations++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runAll(t, d, stream)
+
+	oracle, err := Oracle(stream, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg := diffResults(oracle, d.Results()); msg != "" {
+		t.Fatalf("dynamic vs oracle (migrations=%d): %s", d.Migrations, msg)
+	}
+	if d.Migrations != migrations {
+		t.Errorf("migration counter %d != callback count %d", d.Migrations, migrations)
+	}
+	t.Logf("migrations performed: %d", d.Migrations)
+}
+
+// TestDynamicMigrationOccurs asserts the drift detector actually fires on
+// a shifting stream (otherwise the oracle test would pass vacuously).
+func TestDynamicMigrationOccurs(t *testing.T) {
+	f := newFixture()
+	w := query.Workload{
+		f.query(0, "ABC", 40, 10),
+		f.query(1, "AB", 40, 10),
+		f.query(2, "DBC", 40, 10),
+		f.query(3, "DB", 40, 10),
+	}
+	stream := dynStream(f, 600)
+	// Deliberately wrong initial rates: only A hot.
+	rates := core.Rates{f.ids['A']: 100, f.ids['B']: 10, f.ids['C']: 10, f.ids['D']: 0.01}
+	d, err := NewDynamic(w, rates, DynamicConfig{
+		Options: Options{Collect: true}, CheckEvery: 50, DriftThreshold: 0.4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runAll(t, d, stream)
+	if d.Migrations == 0 {
+		t.Error("no migration on a drifting stream")
+	}
+}
+
+func TestDynamicNoDriftNoMigration(t *testing.T) {
+	f := newFixture()
+	w := query.Workload{f.query(0, "AB", 40, 10), f.query(1, "AB", 40, 10)}
+	// Steady uniform stream.
+	var stream event.Stream
+	for i := int64(0); i < 300; i++ {
+		c := byte('A' + i%2)
+		stream = append(stream, event.Event{Time: 1 + i*2, Type: f.ids[c]})
+	}
+	rates := core.Rates(stream.Rates())
+	d, err := NewDynamic(w, rates, DynamicConfig{Options: Options{Collect: true}, CheckEvery: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runAll(t, d, stream)
+	if d.Migrations != 0 {
+		t.Errorf("%d migrations on a steady stream", d.Migrations)
+	}
+	oracle, err := Oracle(stream, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg := diffResults(oracle, d.Results()); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func TestDriftedHelper(t *testing.T) {
+	a, b := event.Type(1), event.Type(2)
+	if drifted(core.Rates{a: 10}, core.Rates{a: 12}, 0.5) {
+		t.Error("20% change flagged at 50% threshold")
+	}
+	if !drifted(core.Rates{a: 10}, core.Rates{a: 16}, 0.5) {
+		t.Error("60% change not flagged")
+	}
+	if !drifted(core.Rates{a: 10}, core.Rates{a: 10, b: 5}, 0.5) {
+		t.Error("new type not flagged")
+	}
+	if !drifted(core.Rates{a: 10, b: 5}, core.Rates{a: 10}, 0.5) {
+		t.Error("vanished type not flagged")
+	}
+}

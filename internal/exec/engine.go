@@ -1,0 +1,499 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/sharon-project/sharon/internal/agg"
+	"github.com/sharon-project/sharon/internal/core"
+	"github.com/sharon-project/sharon/internal/event"
+	"github.com/sharon-project/sharon/internal/query"
+)
+
+// Engine is the online event sequence aggregation executor. With an empty
+// sharing plan every query runs the non-shared method (the A-Seq baseline,
+// paper §3.2); with a sharing plan, queries are decomposed into chains of
+// segments — shared patterns computed once for all sharing queries, plus
+// private prefix/suffix segments — whose per-window aggregates are
+// combined online exactly as in the paper's Fig. 7.
+//
+// Each query's pattern is split into an ordered chain seg_1 .. seg_m. For
+// every stage i the engine maintains C_i(k): the aggregate of all
+// concatenations of matches of seg_1 .. seg_i lying fully inside window k
+// with the required temporal order between segments. C_1 is the first
+// segment aggregator's own per-window total. When a START event c of
+// seg_{i+1} arrives, C_i(k) is snapshotted for every window k containing
+// c (count combination step 2a); when seg_{i+1} completes from c with
+// aggregate delta, C_{i+1}(k) += snapshot ⊗ delta (step 2b). The final
+// result of window k is C_m(k), emitted when the watermark passes the
+// window's end.
+type Engine struct {
+	name  string
+	w     query.Workload
+	plan  core.Plan
+	win   query.Window
+	preds []query.Predicate
+	group bool
+
+	proto  *engineProto
+	groups map[event.GroupKey]*engineGroup
+
+	resultSink
+	started   bool
+	lastTime  int64
+	nextClose int64
+	maxWin    int64
+
+	peakLive int64
+	queries  map[int]*query.Query
+}
+
+// engineProto is the group-independent compiled form of workload + plan.
+type engineProto struct {
+	chains        []*chainProto
+	sharedPattern []query.Pattern
+	sharedTarget  []event.Type
+}
+
+type chainProto struct {
+	q    *query.Query
+	segs []segProto
+}
+
+type segProto struct {
+	pattern   query.Pattern
+	sharedIdx int // index into sharedPattern, or -1 for a private segment
+}
+
+// NewEngine compiles workload and plan into an executor. An empty plan
+// yields the A-Seq (non-shared) executor.
+func NewEngine(w query.Workload, plan core.Plan, opts Options) (*Engine, error) {
+	if err := validateUniform(w); err != nil {
+		return nil, err
+	}
+	if err := plan.Validate(w); err != nil {
+		return nil, err
+	}
+	proto, err := compile(w, plan)
+	if err != nil {
+		return nil, err
+	}
+	name := "A-Seq"
+	if len(plan) > 0 {
+		name = "Sharon"
+	}
+	en := &Engine{
+		name:       name,
+		w:          w,
+		plan:       plan,
+		win:        w[0].Window,
+		preds:      w[0].Where,
+		group:      w[0].GroupBy,
+		proto:      proto,
+		groups:     make(map[event.GroupKey]*engineGroup),
+		resultSink: resultSink{opts: opts},
+		nextClose:  -1,
+		maxWin:     -1,
+		queries:    make(map[int]*query.Query, len(w)),
+	}
+	for _, q := range w {
+		en.queries[q.ID] = q
+	}
+	return en, nil
+}
+
+// compile decomposes each query's pattern around its plan candidates into
+// a chain of shared and private segments (Definition 4, generalized to a
+// query sharing several non-overlapping patterns, e.g. q4 sharing both p2
+// and p4 in the paper's optimal plan).
+func compile(w query.Workload, plan core.Plan) (*engineProto, error) {
+	proto := &engineProto{}
+	sharedIdx := make(map[string]int)
+	targetOf := make(map[string]event.Type)
+
+	intern := func(p query.Pattern, target event.Type, label string) (int, error) {
+		k := p.Key()
+		idx, ok := sharedIdx[k]
+		if !ok {
+			idx = len(proto.sharedPattern)
+			sharedIdx[k] = idx
+			proto.sharedPattern = append(proto.sharedPattern, p.Clone())
+			proto.sharedTarget = append(proto.sharedTarget, target)
+			targetOf[k] = target
+			return idx, nil
+		}
+		if target != event.NoType && targetOf[k] != event.NoType && targetOf[k] != target {
+			return 0, fmt.Errorf("exec: shared pattern %v has incompatible aggregation targets across queries (%s)", p, label)
+		}
+		if target != event.NoType && targetOf[k] == event.NoType {
+			targetOf[k] = target
+			proto.sharedTarget[idx] = target
+		}
+		return idx, nil
+	}
+
+	for _, q := range w {
+		cands := plan.QueriesSharing(q.ID)
+		type span struct {
+			lo, hi int
+			p      query.Pattern
+		}
+		spans := make([]span, 0, len(cands))
+		for _, c := range cands {
+			at := q.Pattern.IndexOf(c.Pattern)
+			if at < 0 {
+				return nil, fmt.Errorf("exec: plan pattern %v not in query %s", c.Pattern, q.Label())
+			}
+			spans = append(spans, span{at, at + c.Pattern.Length(), c.Pattern})
+		}
+		sort.Slice(spans, func(i, j int) bool { return spans[i].lo < spans[j].lo })
+
+		ch := &chainProto{q: q}
+		pos := 0
+		for _, sp := range spans {
+			if sp.lo < pos {
+				return nil, fmt.Errorf("exec: overlapping shared segments for query %s", q.Label())
+			}
+			if sp.lo > pos {
+				ch.segs = append(ch.segs, segProto{pattern: q.Pattern.Sub(pos, sp.lo), sharedIdx: -1})
+			}
+			// The target the shared aggregator must track for this query:
+			// only relevant if the query's aggregation target lies inside
+			// the shared segment.
+			target := event.NoType
+			if q.Agg.Kind != query.CountStar && sp.p.Contains(query.Pattern{q.Agg.Target}) {
+				target = q.Agg.Target
+			}
+			idx, err := intern(sp.p, target, q.Label())
+			if err != nil {
+				return nil, err
+			}
+			ch.segs = append(ch.segs, segProto{pattern: sp.p, sharedIdx: idx})
+			pos = sp.hi
+		}
+		if pos < q.Pattern.Length() {
+			ch.segs = append(ch.segs, segProto{pattern: q.Pattern.Sub(pos, q.Pattern.Length()), sharedIdx: -1})
+		}
+		// Segments within one query must be type-disjoint for the
+		// snapshot ordering to be exact; with duplicate types (§7.3) the
+		// query must run non-shared.
+		if len(ch.segs) > 1 && q.Pattern.HasDuplicateTypes() {
+			return nil, fmt.Errorf("exec: query %s has duplicate event types and cannot be decomposed for sharing (run it non-shared)", q.Label())
+		}
+		proto.chains = append(proto.chains, ch)
+	}
+	return proto, nil
+}
+
+// --- runtime (per-group) structures ---
+
+type engineGroup struct {
+	key    event.GroupKey
+	nodes  []*aggNode // all aggregators of the group (shared first)
+	shared []*aggNode // indexed like proto.sharedPattern
+	chains []*chainRT
+	// byType indexes the nodes whose pattern contains each event type, so
+	// Process touches only relevant aggregators.
+	byType map[event.Type][]*aggNode
+}
+
+// aggNode is one aggregator plus the chain stages listening to it. Shared
+// nodes have one listener per sharing query's chain.
+type aggNode struct {
+	agg       *agg.Aggregator
+	listeners []*stageRT
+}
+
+type chainRT struct {
+	proto  *chainProto
+	stages []*stageRT
+}
+
+// snapEntry pairs a START record of a stage's segment with the upstream
+// aggregate C_i(k) captured when that START event arrived (Fig. 7: "when
+// c3 arrives, count(A,B) = 1").
+type snapEntry struct {
+	rec *agg.StartRec
+	up  agg.State
+}
+
+// stageRT is one chain stage: a reference to its aggregator node plus, for
+// stages after the first, the combination state of Fig. 7. Combination is
+// lazy: a snapshot of the upstream aggregate is stored per (START event,
+// window) on arrival, and the product with the START's complete aggregate
+// is taken only when a downstream stage (or the window close) reads the
+// stage's value. The combination cost is therefore proportional to the
+// product of segment START rates — exactly Eq. 5 of the cost model.
+type stageRT struct {
+	chain *chainRT
+	idx   int
+	node  *aggNode
+	win   query.Window
+	plen  int // this stage's segment pattern length
+	// mask is set when this stage's aggregator is shared and tracks a
+	// different target type than this query needs from the segment; the
+	// segment then contributes only its sequence counts (agg.ProjectCount).
+	mask bool
+	// snaps[k] holds this stage's per-START upstream snapshots for open
+	// window k (only for idx >= 1; stage 0 reads the aggregator's own
+	// per-window totals).
+	snaps map[int64][]snapEntry
+}
+
+func (en *Engine) buildGroup(key event.GroupKey) *engineGroup {
+	g := &engineGroup{key: key}
+	g.shared = make([]*aggNode, len(en.proto.sharedPattern))
+	for i, p := range en.proto.sharedPattern {
+		g.shared[i] = newAggNode(p, en.win, en.proto.sharedTarget[i])
+		g.nodes = append(g.nodes, g.shared[i])
+	}
+	for _, cp := range en.proto.chains {
+		ch := &chainRT{proto: cp}
+		for i, seg := range cp.segs {
+			var node *aggNode
+			if seg.sharedIdx >= 0 {
+				node = g.shared[seg.sharedIdx]
+			} else {
+				target := event.NoType
+				if cp.q.Agg.Kind != query.CountStar {
+					target = cp.q.Agg.Target
+				}
+				node = newAggNode(seg.pattern, en.win, target)
+				g.nodes = append(g.nodes, node)
+			}
+			st := &stageRT{chain: ch, idx: i, node: node, win: en.win, plen: seg.pattern.Length()}
+			if seg.sharedIdx >= 0 {
+				eff := event.NoType
+				if cp.q.Agg.Kind != query.CountStar && seg.pattern.Contains(query.Pattern{cp.q.Agg.Target}) {
+					eff = cp.q.Agg.Target
+				}
+				st.mask = en.proto.sharedTarget[seg.sharedIdx] != eff
+			}
+			if i >= 1 {
+				st.snaps = make(map[int64][]snapEntry)
+			}
+			node.listeners = append(node.listeners, st)
+			ch.stages = append(ch.stages, st)
+		}
+		g.chains = append(g.chains, ch)
+	}
+	g.byType = make(map[event.Type][]*aggNode)
+	for _, node := range g.nodes {
+		seen := make(map[event.Type]bool)
+		for _, t := range node.agg.Pattern() {
+			if !seen[t] {
+				seen[t] = true
+				g.byType[t] = append(g.byType[t], node)
+			}
+		}
+	}
+	return g
+}
+
+func newAggNode(p query.Pattern, w query.Window, target event.Type) *aggNode {
+	node := &aggNode{}
+	node.agg = agg.NewAggregator(agg.Config{
+		Pattern: p,
+		Window:  w,
+		Target:  target,
+		OnStart: func(rec *agg.StartRec, e event.Event) {
+			for _, st := range node.listeners {
+				st.onStart(rec, e)
+			}
+		},
+	})
+	return node
+}
+
+// onStart snapshots the upstream per-window aggregate when a START event
+// of this stage's segment arrives (Fig. 7: "when c3 arrives,
+// count(A,B) = 1"). Sequence semantics make this sound: every upstream
+// match counted so far ended strictly before this START event.
+func (st *stageRT) onStart(rec *agg.StartRec, e event.Event) {
+	if st.idx == 0 {
+		return
+	}
+	prev := st.chain.stages[st.idx-1]
+	first, last := st.win.Indices(e.Time)
+	for k := first; k <= last; k++ {
+		up := prev.currentValue(k)
+		if up.Count == 0 {
+			continue
+		}
+		st.snaps[k] = append(st.snaps[k], snapEntry{rec: rec, up: up})
+	}
+}
+
+// currentValue returns C_{idx+1}(k) as of the current watermark: for
+// stage 0 the aggregator's own per-window total; for later stages the sum
+// over START snapshots of snapshot ⊗ complete-aggregate — the paper's
+// count-combination step, evaluated lazily.
+func (st *stageRT) currentValue(k int64) agg.State {
+	if st.idx == 0 {
+		s := st.node.agg.CurrentTotal(k)
+		if st.mask {
+			s = agg.ProjectCount(s)
+		}
+		return s
+	}
+	total := agg.Zero()
+	for _, en := range st.snaps[k] {
+		d := en.rec.Prefix(st.plen)
+		if d.Count == 0 {
+			continue
+		}
+		if st.mask {
+			d = agg.ProjectCount(d)
+		}
+		total.AddInPlace(agg.Concat(en.up, d))
+	}
+	return total
+}
+
+// windowState returns the chain's final aggregate for window k (C_m(k)).
+func (ch *chainRT) windowState(k int64) agg.State {
+	return ch.stages[len(ch.stages)-1].currentValue(k)
+}
+
+// release drops all chain state for a closed window.
+func (ch *chainRT) release(k int64) {
+	for _, st := range ch.stages {
+		if st.idx == 0 {
+			continue
+		}
+		delete(st.snaps, k)
+	}
+}
+
+// --- Executor interface ---
+
+// Name reports "Sharon" or "A-Seq".
+func (en *Engine) Name() string { return en.name }
+
+// Plan returns the sharing plan driving this engine.
+func (en *Engine) Plan() core.Plan { return en.plan }
+
+// Process feeds the next event (strictly time-ordered).
+func (en *Engine) Process(e event.Event) error {
+	if en.started && e.Time <= en.lastTime {
+		return fmt.Errorf("exec: out-of-order event at t=%d (last t=%d)", e.Time, en.lastTime)
+	}
+	if !en.started {
+		en.started = true
+		en.nextClose = en.win.FirstContaining(e.Time)
+	}
+	en.lastTime = e.Time
+	en.closeUpTo(e.Time)
+	if last := en.win.LastContaining(e.Time); last > en.maxWin {
+		en.maxWin = last
+	}
+	if !accepts(en.preds, e) {
+		return nil
+	}
+	key := event.GroupKey(0)
+	if en.group {
+		key = e.Key
+	}
+	g, ok := en.groups[key]
+	if !ok {
+		g = en.buildGroup(key)
+		en.groups[key] = g
+	}
+	for _, node := range g.byType[e.Type] {
+		if err := node.agg.Process(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// closeUpTo emits results for every window ending at or before t.
+func (en *Engine) closeUpTo(t int64) {
+	for en.win.End(en.nextClose) <= t {
+		// Every closed window overlaps the stream span: nextClose starts
+		// at the first event's first window and Flush stops at maxWin.
+		en.sampleMemory()
+		en.emitWindow(en.nextClose)
+		en.nextClose++
+	}
+}
+
+func (en *Engine) emitWindow(win int64) {
+	for _, g := range en.groups {
+		for _, ch := range g.chains {
+			state := ch.windowState(win)
+			if state.Count > 0 || en.opts.EmitEmpty {
+				en.emit(Result{Query: ch.proto.q.ID, Win: win, Group: g.key, State: state})
+			}
+			ch.release(win)
+		}
+	}
+}
+
+// Flush closes all windows containing events seen so far.
+func (en *Engine) Flush() error {
+	if !en.started {
+		return nil
+	}
+	en.closeUpTo(en.win.End(en.maxWin))
+	return nil
+}
+
+// sampleMemory records the current live-state count into the peak.
+func (en *Engine) sampleMemory() {
+	n := en.LiveStates()
+	if n > en.peakLive {
+		en.peakLive = n
+	}
+}
+
+// LiveStates counts all aggregate states currently held: aggregator
+// prefix/total states plus the chains' combination and snapshot entries.
+func (en *Engine) LiveStates() int64 {
+	var n int64
+	for _, g := range en.groups {
+		for _, node := range g.nodes {
+			n += node.agg.LiveStates()
+		}
+		for _, ch := range g.chains {
+			for _, st := range ch.stages {
+				if st.idx == 0 {
+					continue
+				}
+				for _, entries := range st.snaps {
+					n += int64(len(entries))
+				}
+			}
+		}
+	}
+	return n
+}
+
+// PeakLiveStates reports the peak sampled live-state count.
+func (en *Engine) PeakLiveStates() int64 {
+	en.sampleMemory()
+	return en.peakLive
+}
+
+// Explain renders the engine's per-query decomposition: which segments of
+// each query's pattern are computed by shared aggregators and which
+// privately. Useful for inspecting what a sharing plan means at runtime.
+func (en *Engine) Explain(reg *event.Registry) string {
+	var b strings.Builder
+	for _, cp := range en.proto.chains {
+		fmt.Fprintf(&b, "%-6s", cp.q.Label())
+		for i, seg := range cp.segs {
+			if i > 0 {
+				b.WriteString(" . ")
+			}
+			if seg.sharedIdx >= 0 {
+				fmt.Fprintf(&b, "shared%s", seg.pattern.Format(reg))
+			} else {
+				fmt.Fprintf(&b, "private%s", seg.pattern.Format(reg))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,535 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/sharon-project/sharon/internal/agg"
+	"github.com/sharon-project/sharon/internal/core"
+	"github.com/sharon-project/sharon/internal/event"
+	"github.com/sharon-project/sharon/internal/query"
+)
+
+type fixture struct {
+	reg *event.Registry
+	ids map[byte]event.Type
+}
+
+func newFixture() *fixture {
+	f := &fixture{reg: event.NewRegistry(), ids: make(map[byte]event.Type)}
+	for _, c := range []byte("ABCDEFGH") {
+		f.ids[c] = f.reg.Intern(string(c))
+	}
+	return f
+}
+
+func (f *fixture) pat(s string) query.Pattern {
+	p := make(query.Pattern, len(s))
+	for i := range s {
+		p[i] = f.ids[s[i]]
+	}
+	return p
+}
+
+func (f *fixture) stream(s string, startTime int64) event.Stream {
+	out := make(event.Stream, len(s))
+	for i := range s {
+		out[i] = event.Event{Time: startTime + int64(i), Type: f.ids[s[i]], Val: float64(i + 1)}
+	}
+	return out
+}
+
+func (f *fixture) query(id int, pat string, win, slide int64) *query.Query {
+	return &query.Query{
+		ID:      id,
+		Pattern: f.pat(pat),
+		Agg:     query.AggSpec{Kind: query.CountStar},
+		Window:  query.Window{Length: win, Slide: slide},
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func runAll(t *testing.T, ex Executor, stream event.Stream) {
+	t.Helper()
+	for _, e := range stream {
+		if err := ex.Process(e); err != nil {
+			t.Fatalf("%s: %v", ex.Name(), err)
+		}
+	}
+	if err := ex.Flush(); err != nil {
+		t.Fatalf("%s flush: %v", ex.Name(), err)
+	}
+}
+
+// TestFigure7SharedCombination reproduces Example 3 / Fig. 7: the count of
+// (A,B,C,D) computed from the shared counts of (C,D) with prefix (A,B).
+func TestFigure7SharedCombination(t *testing.T) {
+	f := newFixture()
+	w := query.Workload{
+		f.query(0, "ABCD", 100, 100),
+		f.query(1, "CD", 100, 100), // second query so (C,D) is sharable
+	}
+	plan := core.Plan{core.NewCandidate(f.pat("CD"), []int{0, 1})}
+	en, err := NewEngine(w, plan, Options{Collect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a1 b2 c3 d4 a5 b6 c7 d8: matches of (A,B,C,D) are
+	// a1b2c3d4, a1b2c3d8, a1b2c7d8, a1b6c7d8, a5b6c7d8 = 5.
+	runAll(t, en, f.stream("ABCDABCD", 1))
+	results := en.Results()
+	var got0, got1 float64
+	for _, r := range results {
+		if r.Win != 0 {
+			continue
+		}
+		if r.Query == 0 {
+			got0 = r.State.Count
+		} else {
+			got1 = r.State.Count
+		}
+	}
+	if got0 != 5 {
+		t.Errorf("count(A,B,C,D) = %v, want 5", got0)
+	}
+	if got1 != 4 { // (c3,d4),(c3,d8),(c7,d8) and... c3d4, c3d8, c7d8 = 3? plus none
+		// matches of (C,D): c3d4, c3d8, c7d8 = 3.
+		t.Logf("count(C,D) = %v", got1)
+	}
+	if got1 != 3 {
+		t.Errorf("count(C,D) = %v, want 3", got1)
+	}
+}
+
+// TestPaperExample3Exact follows the paper's narration: contributions per
+// p-start (c3: prefix-count x its completions; c7: same), summed.
+func TestPaperExample3Exact(t *testing.T) {
+	f := newFixture()
+	w := query.Workload{
+		f.query(0, "ABCD", 1000, 1000),
+		f.query(1, "CD", 1000, 1000),
+	}
+	plan := core.Plan{core.NewCandidate(f.pat("CD"), []int{0, 1})}
+	en, err := NewEngine(w, plan, Options{Collect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build a stream where count(A,B)=1 when c3 arrives, count(c3,D)=2,
+	// count(A,B)=5 when c7 arrives, count(c7,D)=1 => total 1*2 + 5*1 = 7.
+	// Events: a1 b2 c3 d4 a5 b6 b7(x) ... craft: a1 b2 c3 d4 a5 b6 c7 d8
+	// gives prefix count at c7 = |{a1,a5}x{b2,b6} increasing| = a1b2,a1b6,a5b6 = 3.
+	// Add one more b before c7 to reach 5: a1 b2 c3 d4 a5 b6 b7 c8 d9:
+	// prefix pairs before c8: a1b2, a1b6, a1b7, a5b6, a5b7 = 5.
+	// count(c3,D) = d4, d9 = 2; count(c8,D) = d9 = 1. Total = 1*2+5*1 = 7.
+	runAll(t, en, f.stream("ABCDABBCD", 1))
+	for _, r := range en.Results() {
+		if r.Query == 0 && r.Win == 0 {
+			if r.State.Count != 7 {
+				t.Errorf("count(A,B,C,D) = %v, want 7 (Example 3)", r.State.Count)
+			}
+			return
+		}
+	}
+	t.Fatal("no result for query 0 window 0")
+}
+
+// TestSharedEqualsNonSharedSmall checks shared and non-shared execution
+// agree on a deterministic small case with prefix and suffix segments.
+func TestSharedEqualsNonSharedSmall(t *testing.T) {
+	f := newFixture()
+	build := func(plan core.Plan) []Result {
+		w := query.Workload{
+			f.query(0, "ABC", 20, 5),
+			f.query(1, "BCD", 20, 5),
+		}
+		en, err := NewEngine(w, plan, Options{Collect: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runAll(t, en, f.stream("ABCDABCDABCDABCD", 1))
+		return en.Results()
+	}
+	nonShared := build(nil)
+	shared := build(core.Plan{core.NewCandidate(f.pat("BC"), []int{0, 1})})
+	assertSameResults(t, nonShared, shared)
+}
+
+func assertSameResults(t *testing.T, want, got []Result) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("result counts differ: %d vs %d\nwant=%v\ngot=%v", len(want), len(got), want, got)
+	}
+	for i := range want {
+		a, b := want[i], got[i]
+		if a.Query != b.Query || a.Win != b.Win || a.Group != b.Group || !agg.ApproxEqual(a.State, b.State) {
+			t.Fatalf("result %d differs:\nwant %+v\ngot  %+v", i, a, b)
+		}
+	}
+}
+
+// randomWorkload builds 2-5 random queries with a uniform window and
+// random aggregation functions; patterns avoid duplicate types so that
+// sharing decomposition applies.
+func randomWorkload(f *fixture, rng *rand.Rand) query.Workload {
+	nq := 2 + rng.Intn(4)
+	winLen := int64(6 + rng.Intn(30))
+	slide := int64(1 + rng.Intn(int(winLen)))
+	groupBy := rng.Intn(2) == 0
+	alphabet := []byte("ABCDEF")
+	var w query.Workload
+	for i := 0; i < nq; i++ {
+		perm := rng.Perm(len(alphabet))
+		plen := 2 + rng.Intn(3)
+		pat := make([]byte, plen)
+		for j := 0; j < plen; j++ {
+			pat[j] = alphabet[perm[j]]
+		}
+		kind := query.AggKind(rng.Intn(6))
+		spec := query.AggSpec{Kind: kind}
+		if kind != query.CountStar {
+			spec.Target = f.ids[pat[rng.Intn(plen)]]
+		}
+		w = append(w, &query.Query{
+			ID:      i,
+			Pattern: f.pat(string(pat)),
+			Agg:     spec,
+			Window:  query.Window{Length: winLen, Slide: slide},
+			GroupBy: groupBy,
+		})
+	}
+	return w
+}
+
+func randomStream(f *fixture, rng *rand.Rand, n int) event.Stream {
+	alphabet := []byte("ABCDEF")
+	out := make(event.Stream, n)
+	t := int64(rng.Intn(5))
+	for i := 0; i < n; i++ {
+		t += 1 + int64(rng.Intn(3))
+		out[i] = event.Event{
+			Time: t,
+			Type: f.ids[alphabet[rng.Intn(len(alphabet))]],
+			Key:  event.GroupKey(rng.Intn(3)),
+			Val:  float64(rng.Intn(20)),
+		}
+	}
+	return out
+}
+
+// sharablePlan derives a valid sharing plan for the workload: for each
+// sharable pattern shared by compatible targets, greedily pick
+// non-conflicting candidates.
+func sharablePlan(w query.Workload) core.Plan {
+	cands := core.FindCandidates(w)
+	var plan core.Plan
+	for _, c := range cands {
+		// Skip candidates with incompatible aggregation targets.
+		if !compatibleTargets(w, c) {
+			continue
+		}
+		trial := append(plan.Clone(), c)
+		if trial.Validate(w) == nil {
+			plan = trial
+		}
+	}
+	return plan
+}
+
+func compatibleTargets(w query.Workload, c core.Candidate) bool {
+	var target event.Type
+	for _, id := range c.Queries {
+		q := w[id]
+		if q.Agg.Kind == query.CountStar {
+			continue
+		}
+		if !c.Pattern.Contains(query.Pattern{q.Agg.Target}) {
+			continue
+		}
+		if target == event.NoType {
+			target = q.Agg.Target
+		} else if target != q.Agg.Target {
+			return false
+		}
+	}
+	return true
+}
+
+// TestExecutorEquivalenceRandomized is the central correctness property:
+// on random workloads and streams, the Sharon engine (with a sharing
+// plan), the A-Seq engine (empty plan), the Flink-style two-step executor,
+// the SPASS executor, and the brute-force oracle all produce identical
+// results.
+func TestExecutorEquivalenceRandomized(t *testing.T) {
+	f := newFixture()
+	rng := rand.New(rand.NewSource(1234))
+	iters := 120
+	if testing.Short() {
+		iters = 25
+	}
+	for it := 0; it < iters; it++ {
+		w := randomWorkload(f, rng)
+		stream := randomStream(f, rng, 40+rng.Intn(80))
+		plan := sharablePlan(w)
+
+		oracle, err := Oracle(stream, w)
+		if err != nil {
+			t.Fatalf("iter %d: oracle: %v", it, err)
+		}
+
+		executors := map[string]func() (Executor, error){
+			"aseq":   func() (Executor, error) { return NewEngine(w, nil, Options{Collect: true}) },
+			"sharon": func() (Executor, error) { return NewEngine(w, plan, Options{Collect: true}) },
+			"twostep": func() (Executor, error) {
+				ts, err := NewTwoStep(w, Options{Collect: true})
+				return ts, err
+			},
+			"spass": func() (Executor, error) {
+				sp, err := NewSPASS(w, plan, Options{Collect: true})
+				return sp, err
+			},
+		}
+		for name, mk := range executors {
+			ex, err := mk()
+			if err != nil {
+				t.Fatalf("iter %d: %s: %v", it, name, err)
+			}
+			runAll(t, ex, stream)
+			got := resultsOf(ex)
+			if msg := diffResults(oracle, got); msg != "" {
+				t.Fatalf("iter %d: %s vs oracle: %s\nplan=%v\nworkload:\n%s", it, name, msg, plan, dumpWorkload(f, w))
+			}
+		}
+	}
+}
+
+func resultsOf(ex Executor) []Result {
+	switch v := ex.(type) {
+	case *Engine:
+		return v.Results()
+	case *TwoStep:
+		return v.Results()
+	case *SPASS:
+		return v.Results()
+	}
+	return nil
+}
+
+func diffResults(want, got []Result) string {
+	if len(want) != len(got) {
+		return fmt.Sprintf("result count %d vs %d:\nwant=%v\ngot=%v", len(want), len(got), want, got)
+	}
+	for i := range want {
+		a, b := want[i], got[i]
+		if a.Query != b.Query || a.Win != b.Win || a.Group != b.Group || !agg.ApproxEqual(a.State, b.State) {
+			return fmt.Sprintf("result %d: want %+v, got %+v", i, a, b)
+		}
+	}
+	return ""
+}
+
+func dumpWorkload(f *fixture, w query.Workload) string {
+	s := ""
+	for _, q := range w {
+		s += q.Format(f.reg) + "\n"
+	}
+	return s
+}
+
+// TestMultiCandidateDecomposition exercises a query sharing two disjoint
+// patterns (like q4 sharing p2 and p4 in the paper's optimal plan).
+func TestMultiCandidateDecomposition(t *testing.T) {
+	f := newFixture()
+	w := query.Workload{
+		f.query(0, "ABCD", 30, 10), // shares (A,B) and (C,D)
+		f.query(1, "AB", 30, 10),
+		f.query(2, "CD", 30, 10),
+	}
+	plan := core.Plan{
+		core.NewCandidate(f.pat("AB"), []int{0, 1}),
+		core.NewCandidate(f.pat("CD"), []int{0, 2}),
+	}
+	en, err := NewEngine(w, plan, Options{Collect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := f.stream("ABCDDBACDABCDAB", 1)
+	runAll(t, en, stream)
+
+	oracle, err := Oracle(stream, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg := diffResults(oracle, en.Results()); msg != "" {
+		t.Fatalf("multi-candidate engine vs oracle: %s", msg)
+	}
+	// Confirm the decomposition actually has three segments for q0.
+	if got := len(en.proto.chains[0].segs); got != 2 {
+		t.Errorf("q0 segments = %d, want 2 (two shared, zero private)", got)
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	f := newFixture()
+	// Mismatched windows rejected.
+	w := query.Workload{
+		f.query(0, "AB", 10, 5),
+		f.query(1, "BC", 20, 5),
+	}
+	if _, err := NewEngine(w, nil, Options{}); err == nil {
+		t.Error("mismatched windows accepted")
+	}
+	// Empty workload rejected.
+	if _, err := NewEngine(nil, nil, Options{}); err == nil {
+		t.Error("empty workload accepted")
+	}
+	// Plan with pattern not in query rejected.
+	w2 := query.Workload{f.query(0, "AB", 10, 5), f.query(1, "AB", 10, 5)}
+	bad := core.Plan{core.NewCandidate(f.pat("CD"), []int{0, 1})}
+	if _, err := NewEngine(w2, bad, Options{}); err == nil {
+		t.Error("plan with foreign pattern accepted")
+	}
+	// Conflicting plan rejected.
+	w3 := query.Workload{f.query(0, "ABC", 10, 5), f.query(1, "ABC", 10, 5)}
+	conflicting := core.Plan{
+		core.NewCandidate(f.pat("AB"), []int{0, 1}),
+		core.NewCandidate(f.pat("BC"), []int{0, 1}),
+	}
+	if _, err := NewEngine(w3, conflicting, Options{}); err == nil {
+		t.Error("conflicting plan accepted")
+	}
+}
+
+func TestEngineOutOfOrder(t *testing.T) {
+	f := newFixture()
+	w := query.Workload{f.query(0, "AB", 10, 5)}
+	en, err := NewEngine(w, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := en.Process(event.Event{Time: 5, Type: f.ids['A']}); err != nil {
+		t.Fatal(err)
+	}
+	if err := en.Process(event.Event{Time: 5, Type: f.ids['B']}); err == nil {
+		t.Error("duplicate timestamp accepted")
+	}
+}
+
+func TestEnginePredicates(t *testing.T) {
+	f := newFixture()
+	q := f.query(0, "AB", 100, 100)
+	q.Where = []query.Predicate{{Type: f.ids['A'], Op: query.Gt, Value: 2}}
+	w := query.Workload{q}
+	en, err := NewEngine(w, nil, Options{Collect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a@1 val=1 (filtered), a@2 val=5 (kept), b@3 val=1.
+	must(t, en.Process(event.Event{Time: 1, Type: f.ids['A'], Val: 1}))
+	must(t, en.Process(event.Event{Time: 2, Type: f.ids['A'], Val: 5}))
+	must(t, en.Process(event.Event{Time: 3, Type: f.ids['B'], Val: 1}))
+	must(t, en.Flush())
+	rs := en.Results()
+	if len(rs) != 1 || rs[0].State.Count != 1 {
+		t.Fatalf("results = %+v, want one count-1 result", rs)
+	}
+}
+
+func TestEngineGrouping(t *testing.T) {
+	f := newFixture()
+	q := f.query(0, "AB", 100, 100)
+	q.GroupBy = true
+	w := query.Workload{q}
+	en, err := NewEngine(w, nil, Options{Collect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Key 1: a@1, b@4. Key 2: a@2, b@3. Cross-key pairs must not match.
+	must(t, en.Process(event.Event{Time: 1, Type: f.ids['A'], Key: 1}))
+	must(t, en.Process(event.Event{Time: 2, Type: f.ids['A'], Key: 2}))
+	must(t, en.Process(event.Event{Time: 3, Type: f.ids['B'], Key: 2}))
+	must(t, en.Process(event.Event{Time: 4, Type: f.ids['B'], Key: 1}))
+	must(t, en.Flush())
+	rs := en.Results()
+	if len(rs) != 2 {
+		t.Fatalf("results = %+v, want 2 groups", rs)
+	}
+	for _, r := range rs {
+		if r.State.Count != 1 {
+			t.Errorf("group %d count = %v, want 1", r.Group, r.State.Count)
+		}
+	}
+}
+
+func TestEngineDuplicateTypesNonShared(t *testing.T) {
+	f := newFixture()
+	w := query.Workload{f.query(0, "ABA", 100, 100), f.query(1, "AB", 100, 100)}
+	// Non-shared works with duplicate types.
+	en, err := NewEngine(w, nil, Options{Collect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := f.stream("ABA", 1)
+	runAll(t, en, stream)
+	oracle, err := Oracle(stream, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg := diffResults(oracle, en.Results()); msg != "" {
+		t.Fatal(msg)
+	}
+	// Shared decomposition of a duplicate-type query is rejected.
+	plan := core.Plan{core.NewCandidate(f.pat("AB"), []int{0, 1})}
+	if _, err := NewEngine(w, plan, Options{}); err == nil {
+		t.Error("duplicate-type decomposition accepted")
+	}
+}
+
+func TestTwoStepCapDNF(t *testing.T) {
+	f := newFixture()
+	w := query.Workload{f.query(0, "AB", 1000, 1000)}
+	ts, err := NewTwoStep(w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts.Cap = 3
+	// 3 a's and 3 b's: 9 sequences > cap.
+	stream := f.stream("AAABBB", 1)
+	var failed bool
+	for _, e := range stream {
+		if err := ts.Process(e); err != nil {
+			failed = true
+			break
+		}
+	}
+	if !failed {
+		if err := ts.Flush(); err == nil {
+			t.Fatal("cap not enforced")
+		}
+	}
+}
+
+func TestEngineLiveStatesGrowAndShrink(t *testing.T) {
+	f := newFixture()
+	w := query.Workload{f.query(0, "AB", 10, 5)}
+	en, err := NewEngine(w, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 100; i++ {
+		must(t, en.Process(event.Event{Time: 1 + i*2, Type: f.ids['A']}))
+	}
+	live := en.LiveStates()
+	if live > 20 {
+		t.Errorf("live states %d; expiration seems broken", live)
+	}
+	if en.PeakLiveStates() < live {
+		t.Error("peak below current")
+	}
+}

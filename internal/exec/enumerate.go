@@ -1,0 +1,175 @@
+package exec
+
+import (
+	"errors"
+	"sort"
+
+	"github.com/sharon-project/sharon/internal/agg"
+	"github.com/sharon-project/sharon/internal/event"
+	"github.com/sharon-project/sharon/internal/query"
+)
+
+// ErrCapExceeded reports that a two-step executor constructed more
+// sequences than its configured cap. The paper observes that two-step
+// approaches "do not terminate" beyond a few thousand events per window
+// (Fig. 13); the cap turns that into a detectable condition.
+var ErrCapExceeded = errors.New("exec: sequence construction cap exceeded (two-step approach does not terminate)")
+
+// Match is one constructed event sequence, reduced to what aggregation
+// needs: its endpoints and its aggregate state.
+type Match struct {
+	Start, End int64
+	State      agg.State
+}
+
+// typeIndex indexes a window's events by type for sequence construction.
+type typeIndex struct {
+	byType map[event.Type][]event.Event // each slice time-ordered
+}
+
+func indexEvents(events []event.Event, lo, hi int64) typeIndex {
+	idx := typeIndex{byType: make(map[event.Type][]event.Event)}
+	for _, e := range events {
+		if e.Time < lo || e.Time >= hi {
+			continue
+		}
+		idx.byType[e.Type] = append(idx.byType[e.Type], e)
+	}
+	return idx
+}
+
+// after returns the events of type t with time strictly greater than min.
+func (ti typeIndex) after(t event.Type, min int64) []event.Event {
+	s := ti.byType[t]
+	i := sort.Search(len(s), func(i int) bool { return s[i].Time > min })
+	return s[i:]
+}
+
+// EnumerateMatches constructs every match of p among the indexed events,
+// in time order, computing each match's aggregate state for the given
+// target type. Every DFS node visited (event considered during
+// construction) counts against *budget; when the budget drops below zero,
+// ErrCapExceeded is returned. This is the "event sequence construction"
+// step whose polynomial blow-up the online approaches avoid (paper §1,
+// Fig. 3). The returned matches are sorted by Start time.
+func EnumerateMatches(idx typeIndex, p query.Pattern, target event.Type, budget *int64) ([]Match, error) {
+	var out []Match
+	var dfs func(pos int, minTime int64, startTime int64, st agg.State) error
+	dfs = func(pos int, minTime int64, startTime int64, st agg.State) error {
+		for _, e := range idx.after(p[pos], minTime) {
+			*budget--
+			if *budget < 0 {
+				return ErrCapExceeded
+			}
+			next := agg.Extend(st, e, e.Type == target)
+			s := startTime
+			if pos == 0 {
+				s = e.Time
+			}
+			if pos == len(p)-1 {
+				out = append(out, Match{Start: s, End: e.Time, State: next})
+				continue
+			}
+			if err := dfs(pos+1, e.Time, s, next); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := dfs(0, -1, 0, agg.UnitEmpty()); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// firstAfter returns the index of the first match in the Start-sorted list
+// with Start > min.
+func firstAfter(list []Match, min int64) int {
+	lo, hi := 0, len(list)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if list[mid].Start > min {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// EnumerateWindowState computes a query's aggregate for the events inside
+// [lo, hi) by brute force: construct all sequences, then fold. It is the
+// oracle the property tests compare every executor against.
+func EnumerateWindowState(events []event.Event, q *query.Query, lo, hi int64) (agg.State, error) {
+	var filtered []event.Event
+	for _, e := range events {
+		if q.Accepts(e) {
+			filtered = append(filtered, e)
+		}
+	}
+	idx := indexEvents(filtered, lo, hi)
+	budget := int64(1) << 40
+	target := event.NoType
+	if q.Agg.Kind != query.CountStar {
+		target = q.Agg.Target
+	}
+	matches, err := EnumerateMatches(idx, q.Pattern, target, &budget)
+	if err != nil {
+		return agg.Zero(), err
+	}
+	total := agg.Zero()
+	for _, m := range matches {
+		total.AddInPlace(m.State)
+	}
+	return total, nil
+}
+
+// Oracle computes every (query, window, group) result for a finite stream
+// by brute force. Only windows overlapping the stream's time span are
+// produced, and only non-empty results are returned, matching the
+// executors' default emission.
+func Oracle(stream event.Stream, w query.Workload) ([]Result, error) {
+	if len(stream) == 0 {
+		return nil, nil
+	}
+	if err := validateUniform(w); err != nil {
+		return nil, err
+	}
+	win := w[0].Window
+	groups := make(map[event.GroupKey][]event.Event)
+	if w[0].GroupBy {
+		for _, e := range stream {
+			groups[e.Key] = append(groups[e.Key], e)
+		}
+	} else {
+		all := make([]event.Event, len(stream))
+		copy(all, stream)
+		groups[0] = all
+	}
+	firstWin := win.FirstContaining(stream[0].Time)
+	lastWin := win.LastContaining(stream[len(stream)-1].Time)
+	var out []Result
+	for _, q := range w {
+		for k := firstWin; k <= lastWin; k++ {
+			for key, evs := range groups {
+				st, err := EnumerateWindowState(evs, q, win.Start(k), win.End(k))
+				if err != nil {
+					return nil, err
+				}
+				if st.Count > 0 {
+					out = append(out, Result{Query: q.ID, Win: k, Group: key, State: st})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Query != out[j].Query {
+			return out[i].Query < out[j].Query
+		}
+		if out[i].Win != out[j].Win {
+			return out[i].Win < out[j].Win
+		}
+		return out[i].Group < out[j].Group
+	})
+	return out, nil
+}

@@ -1,0 +1,144 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/sharon-project/sharon/internal/core"
+	"github.com/sharon-project/sharon/internal/event"
+	"github.com/sharon-project/sharon/internal/query"
+)
+
+// Partitioned evaluates a workload whose queries differ in windows,
+// grouping, or predicates (paper §7.2): queries are partitioned into
+// segments of identical (window, grouping, predicates) signatures, each
+// segment is optimized and executed by its own shared online engine, and
+// sharing happens within each segment. This follows the paper's
+// observation that window/predicate refinement partitions the stream into
+// disjoint segments to which Sharon applies orthogonally.
+type Partitioned struct {
+	resultSink
+	segments []*partSegment
+	started  bool
+	last     int64
+}
+
+type partSegment struct {
+	w      query.Workload
+	plan   core.Plan
+	engine *Engine
+}
+
+// signature canonicalizes the uniformity-relevant clauses of a query.
+func signature(q *query.Query) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "w=%d/%d g=%v", q.Window.Length, q.Window.Slide, q.GroupBy)
+	preds := append([]query.Predicate(nil), q.Where...)
+	sort.Slice(preds, func(i, j int) bool {
+		if preds[i].Type != preds[j].Type {
+			return preds[i].Type < preds[j].Type
+		}
+		if preds[i].Op != preds[j].Op {
+			return preds[i].Op < preds[j].Op
+		}
+		return preds[i].Value < preds[j].Value
+	})
+	for _, p := range preds {
+		fmt.Fprintf(&b, " %d%v%g", p.Type, p.Op, p.Value)
+	}
+	return b.String()
+}
+
+// PartitionWorkload splits a workload into maximal uniform segments,
+// preserving query order within each segment. Segments are ordered by
+// first appearance.
+func PartitionWorkload(w query.Workload) []query.Workload {
+	index := make(map[string]int)
+	var out []query.Workload
+	for _, q := range w {
+		sig := signature(q)
+		i, ok := index[sig]
+		if !ok {
+			i = len(out)
+			index[sig] = i
+			out = append(out, nil)
+		}
+		out[i] = append(out[i], q)
+	}
+	return out
+}
+
+// NewPartitioned builds a partitioned executor: one optimizer run and one
+// shared engine per uniform segment. optOpts configures the per-segment
+// optimizer (StrategyNone yields a partitioned A-Seq).
+func NewPartitioned(w query.Workload, rates core.Rates, opts Options, optOpts core.OptimizerOptions) (*Partitioned, error) {
+	if len(w) == 0 {
+		return nil, fmt.Errorf("exec: empty workload")
+	}
+	if err := w.Validate(); err != nil {
+		return nil, fmt.Errorf("exec: %w", err)
+	}
+	p := &Partitioned{resultSink: resultSink{opts: opts}}
+	for _, seg := range PartitionWorkload(w) {
+		res, err := core.Optimize(seg, rates, optOpts)
+		if err != nil {
+			return nil, fmt.Errorf("exec: partition optimize: %w", err)
+		}
+		engine, err := NewEngine(seg, res.Plan, Options{
+			EmitEmpty: opts.EmitEmpty,
+			OnResult:  p.emit,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("exec: partition engine: %w", err)
+		}
+		p.segments = append(p.segments, &partSegment{w: seg, plan: res.Plan, engine: engine})
+	}
+	return p, nil
+}
+
+// Name identifies the strategy.
+func (p *Partitioned) Name() string { return "Sharon-partitioned" }
+
+// Segments reports the number of uniform segments.
+func (p *Partitioned) Segments() int { return len(p.segments) }
+
+// SegmentPlan returns segment i's workload and sharing plan.
+func (p *Partitioned) SegmentPlan(i int) (query.Workload, core.Plan) {
+	return p.segments[i].w, p.segments[i].plan
+}
+
+// Process fans the event out to every segment engine; each engine applies
+// its own segment's predicates.
+func (p *Partitioned) Process(e event.Event) error {
+	if p.started && e.Time <= p.last {
+		return fmt.Errorf("exec: out-of-order event at t=%d", e.Time)
+	}
+	p.started = true
+	p.last = e.Time
+	for _, s := range p.segments {
+		if err := s.engine.Process(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush closes all windows in every segment.
+func (p *Partitioned) Flush() error {
+	for _, s := range p.segments {
+		if err := s.engine.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PeakLiveStates sums the segment engines' peaks.
+func (p *Partitioned) PeakLiveStates() int64 {
+	var n int64
+	for _, s := range p.segments {
+		n += s.engine.PeakLiveStates()
+	}
+	return n
+}

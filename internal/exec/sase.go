@@ -1,0 +1,219 @@
+package exec
+
+import (
+	"fmt"
+
+	"github.com/sharon-project/sharon/internal/agg"
+	"github.com/sharon-project/sharon/internal/event"
+	"github.com/sharon-project/sharon/internal/query"
+)
+
+// SASE is an NFA-based non-shared baseline in the style of SASE/Cayuga
+// (paper §1, §9 [4, 29]): each query is an automaton whose partial runs
+// are extended incrementally as events arrive, under skip-till-any-match
+// semantics (every combination of events forms its own run — the
+// semantics of Definition 1). Unlike TwoStep, which enumerates sequences
+// when a window closes, SASE materializes every *partial* run as the
+// stream flows; like all sequence-constructing approaches, its run count
+// grows polynomially with the events per window, so it carries a live-run
+// cap and reports DNF beyond it.
+type SASE struct {
+	w     query.Workload
+	win   query.Window
+	group bool
+	preds []query.Predicate
+	resultSink
+
+	groups  map[event.GroupKey]*saseGroup
+	started bool
+	last    int64
+	next    int64
+	maxWin  int64
+
+	// Cap bounds the live partial runs per (group, query).
+	Cap int64
+	// Spawned counts every run ever created (the construction effort).
+	Spawned  int64
+	liveRuns int64
+	peakLive int64
+}
+
+type saseGroup struct {
+	perQuery []*saseMachine
+}
+
+// saseMachine is one query's automaton state for one group.
+type saseMachine struct {
+	q    *query.Query
+	runs []saseRun // live partial runs, in start-time order
+	// winTotals accumulates completed runs per window.
+	winTotals map[int64]agg.State
+}
+
+// saseRun is a partial match: its start time, the next pattern position to
+// match, and the aggregate of the consumed events.
+type saseRun struct {
+	start int64
+	pos   int
+	state agg.State
+}
+
+// NewSASE builds the NFA-style baseline executor.
+func NewSASE(w query.Workload, opts Options) (*SASE, error) {
+	if err := validateUniform(w); err != nil {
+		return nil, err
+	}
+	return &SASE{
+		w: w, win: w[0].Window, group: w[0].GroupBy, preds: w[0].Where,
+		resultSink: resultSink{opts: opts},
+		groups:     make(map[event.GroupKey]*saseGroup),
+		Cap:        DefaultSequenceCap,
+		next:       -1, maxWin: -1,
+	}, nil
+}
+
+// Name identifies the strategy.
+func (s *SASE) Name() string { return "SASE" }
+
+// Process extends every live run of every query with the event.
+func (s *SASE) Process(e event.Event) error {
+	if s.started && e.Time <= s.last {
+		return fmt.Errorf("exec: out-of-order event at t=%d", e.Time)
+	}
+	if !s.started {
+		s.started = true
+		s.next = s.win.FirstContaining(e.Time)
+	}
+	s.last = e.Time
+	s.closeUpTo(e.Time)
+	if lastWin := s.win.LastContaining(e.Time); lastWin > s.maxWin {
+		s.maxWin = lastWin
+	}
+	if !accepts(s.preds, e) {
+		return nil
+	}
+	key := event.GroupKey(0)
+	if s.group {
+		key = e.Key
+	}
+	g, ok := s.groups[key]
+	if !ok {
+		g = &saseGroup{}
+		for _, q := range s.w {
+			g.perQuery = append(g.perQuery, &saseMachine{q: q, winTotals: make(map[int64]agg.State)})
+		}
+		s.groups[key] = g
+	}
+	for _, m := range g.perQuery {
+		if err := s.step(m, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// step implements skip-till-any-match run branching for one machine.
+func (s *SASE) step(m *saseMachine, e event.Event) error {
+	pat := m.q.Pattern
+	target := event.NoType
+	if m.q.Agg.Kind != query.CountStar {
+		target = m.q.Agg.Target
+	}
+	minStart := s.win.Start(s.next)
+
+	// Extend existing runs. Branching keeps the original run (the event
+	// may be skipped), so a match appends a new advanced run.
+	live := m.runs[:0]
+	var spawned []saseRun
+	for _, r := range m.runs {
+		if r.start < minStart {
+			s.liveRuns-- // expired: no open window can contain this run
+			continue
+		}
+		live = append(live, r)
+		if pat[r.pos] != e.Type {
+			continue
+		}
+		nr := saseRun{start: r.start, pos: r.pos + 1, state: agg.Extend(r.state, e, e.Type == target)}
+		s.Spawned++
+		if nr.pos == len(pat) {
+			s.complete(m, nr, e.Time)
+			continue
+		}
+		spawned = append(spawned, nr)
+		s.liveRuns++
+	}
+	m.runs = append(live, spawned...)
+
+	// A matching first position starts a fresh run.
+	if pat[0] == e.Type {
+		s.Spawned++
+		nr := saseRun{start: e.Time, pos: 1, state: agg.UnitEvent(e, e.Type == target)}
+		if len(pat) == 1 {
+			s.complete(m, nr, e.Time)
+		} else {
+			m.runs = append(m.runs, nr)
+			s.liveRuns++
+		}
+	}
+
+	if s.liveRuns > s.peakLive {
+		s.peakLive = s.liveRuns
+	}
+	if int64(len(m.runs)) > s.Cap {
+		return fmt.Errorf("query %s: %w", m.q.Label(), ErrCapExceeded)
+	}
+	return nil
+}
+
+// complete credits a finished run to every window containing it.
+func (s *SASE) complete(m *saseMachine, r saseRun, end int64) {
+	first, last, ok := s.win.PairIndices(r.start, end)
+	if !ok {
+		return
+	}
+	if first < s.next {
+		first = s.next
+	}
+	for k := first; k <= last; k++ {
+		cur, ok := m.winTotals[k]
+		if !ok {
+			cur = agg.Zero()
+		}
+		cur.AddInPlace(r.state)
+		m.winTotals[k] = cur
+	}
+}
+
+func (s *SASE) closeUpTo(t int64) {
+	for s.win.End(s.next) <= t {
+		win := s.next
+		for key, g := range s.groups {
+			for _, m := range g.perQuery {
+				total, ok := m.winTotals[win]
+				if ok {
+					delete(m.winTotals, win)
+				} else {
+					total = agg.Zero()
+				}
+				if total.Count > 0 || s.opts.EmitEmpty {
+					s.emit(Result{Query: m.q.ID, Win: win, Group: key, State: total})
+				}
+			}
+		}
+		s.next++
+	}
+}
+
+// Flush closes all remaining windows.
+func (s *SASE) Flush() error {
+	if !s.started {
+		return nil
+	}
+	s.closeUpTo(s.win.End(s.maxWin))
+	return nil
+}
+
+// PeakLiveStates reports the peak number of live partial runs — the
+// memory cost of incremental sequence construction.
+func (s *SASE) PeakLiveStates() int64 { return s.peakLive }

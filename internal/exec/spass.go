@@ -1,0 +1,217 @@
+package exec
+
+import (
+	"fmt"
+
+	"github.com/sharon-project/sharon/internal/agg"
+	"github.com/sharon-project/sharon/internal/core"
+	"github.com/sharon-project/sharon/internal/event"
+	"github.com/sharon-project/sharon/internal/query"
+)
+
+// SPASS is the shared two-step baseline (paper §8.2, [25]): event sequence
+// *construction* is shared — the matches of each shared pattern are
+// constructed once per window for all queries containing it — but
+// aggregation is not: every query still enumerates all combinations of its
+// segment matches before folding them. It therefore beats the Flink-style
+// baseline (construction amortized across queries) yet remains polynomial
+// in the events per window, failing on high-rate streams exactly as the
+// paper reports (41 min/window, DNF beyond ~7k events).
+type SPASS struct {
+	w     query.Workload
+	win   query.Window
+	group bool
+	preds []query.Predicate
+	resultSink
+
+	proto   *engineProto // reuses the engine's segment decomposition
+	buffers map[event.GroupKey][]event.Event
+	started bool
+	last    int64
+	next    int64
+	maxWin  int64
+
+	// Cap is the per-(window,group) sequence construction budget.
+	Cap int64
+	// Constructed counts sequences built across all windows.
+	Constructed int64
+	peakLive    int64
+}
+
+// NewSPASS builds the shared two-step baseline. plan chooses which
+// patterns' construction is shared (typically the same plan the Sharon
+// executor uses, which is generous to SPASS).
+func NewSPASS(w query.Workload, plan core.Plan, opts Options) (*SPASS, error) {
+	if err := validateUniform(w); err != nil {
+		return nil, err
+	}
+	if err := plan.Validate(w); err != nil {
+		return nil, err
+	}
+	proto, err := compile(w, plan)
+	if err != nil {
+		return nil, err
+	}
+	return &SPASS{
+		w: w, win: w[0].Window, group: w[0].GroupBy, preds: w[0].Where,
+		resultSink: resultSink{opts: opts},
+		proto:      proto,
+		buffers:    make(map[event.GroupKey][]event.Event),
+		Cap:        DefaultSequenceCap,
+		next:       -1, maxWin: -1,
+	}, nil
+}
+
+// Name identifies the strategy.
+func (s *SPASS) Name() string { return "SPASS" }
+
+// Process buffers the event, closing finished windows first.
+func (s *SPASS) Process(e event.Event) error {
+	if s.started && e.Time <= s.last {
+		return fmt.Errorf("exec: out-of-order event at t=%d", e.Time)
+	}
+	if !s.started {
+		s.started = true
+		s.next = s.win.FirstContaining(e.Time)
+	}
+	s.last = e.Time
+	if err := s.closeUpTo(e.Time); err != nil {
+		return err
+	}
+	if lastWin := s.win.LastContaining(e.Time); lastWin > s.maxWin {
+		s.maxWin = lastWin
+	}
+	if !accepts(s.preds, e) {
+		return nil
+	}
+	key := event.GroupKey(0)
+	if s.group {
+		key = e.Key
+	}
+	s.buffers[key] = append(s.buffers[key], e)
+	return nil
+}
+
+func (s *SPASS) closeUpTo(tm int64) error {
+	for s.win.End(s.next) <= tm {
+		win := s.next
+		if win <= s.maxWin {
+			if err := s.evaluateWindow(win); err != nil {
+				return err
+			}
+		}
+		s.next++
+		s.expire()
+	}
+	return nil
+}
+
+// evaluateWindow constructs each distinct segment pattern's matches once
+// per group (the shared step), then per query joins its segments' match
+// lists into full sequences (the unshared step) and aggregates them.
+func (s *SPASS) evaluateWindow(win int64) error {
+	lo, hi := s.win.Start(win), s.win.End(win)
+	for key, events := range s.buffers {
+		idx := indexEvents(events, lo, hi)
+		var buffered int64
+		for _, evs := range idx.byType {
+			buffered += int64(len(evs))
+		}
+		budget := s.Cap
+
+		// Shared step: construct matches for every distinct segment
+		// pattern exactly once.
+		matchCache := make(map[string][]Match)
+		var cached int64
+		constructFor := func(p query.Pattern, target event.Type) ([]Match, error) {
+			k := fmt.Sprintf("%s#%d", p.Key(), target)
+			if m, ok := matchCache[k]; ok {
+				return m, nil
+			}
+			m, err := EnumerateMatches(idx, p, target, &budget)
+			if err != nil {
+				return nil, err
+			}
+			matchCache[k] = m
+			cached += int64(len(m))
+			s.Constructed += int64(len(m))
+			return m, nil
+		}
+
+		for _, ch := range s.proto.chains {
+			q := ch.q
+			target := event.NoType
+			if q.Agg.Kind != query.CountStar {
+				target = q.Agg.Target
+			}
+			lists := make([][]Match, len(ch.segs))
+			var err error
+			for i, seg := range ch.segs {
+				lists[i], err = constructFor(seg.pattern, target)
+				if err != nil {
+					return fmt.Errorf("query %s window %d: %w", q.Label(), win, err)
+				}
+			}
+			// Unshared step: join segment matches into full sequences.
+			total := agg.Zero()
+			var joined int64
+			var join func(segIdx int, minTime int64, st agg.State) error
+			join = func(segIdx int, minTime int64, st agg.State) error {
+				if segIdx == len(lists) {
+					joined++
+					total.AddInPlace(st)
+					return nil
+				}
+				list := lists[segIdx]
+				// Matches are Start-sorted: binary search skips the
+				// combinations a time-ordered join can never produce.
+				for i := firstAfter(list, minTime); i < len(list); i++ {
+					budget--
+					if budget < 0 {
+						return ErrCapExceeded
+					}
+					m := list[i]
+					if err := join(segIdx+1, m.End, agg.Concat(st, m.State)); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			if err := join(0, -1, agg.UnitEmpty()); err != nil {
+				return fmt.Errorf("query %s window %d: %w", q.Label(), win, err)
+			}
+			if live := buffered + cached + joined; live > s.peakLive {
+				s.peakLive = live
+			}
+			if total.Count > 0 || s.opts.EmitEmpty {
+				s.emit(Result{Query: q.ID, Win: win, Group: key, State: total})
+			}
+		}
+	}
+	return nil
+}
+
+func (s *SPASS) expire() {
+	minStart := s.win.Start(s.next)
+	for key, events := range s.buffers {
+		i := 0
+		for i < len(events) && events[i].Time < minStart {
+			i++
+		}
+		if i > 0 {
+			s.buffers[key] = append(events[:0:0], events[i:]...)
+		}
+	}
+}
+
+// Flush evaluates all remaining windows.
+func (s *SPASS) Flush() error {
+	if !s.started {
+		return nil
+	}
+	return s.closeUpTo(s.win.End(s.maxWin))
+}
+
+// PeakLiveStates reports buffered events + shared match lists + joined
+// sequences at peak.
+func (s *SPASS) PeakLiveStates() int64 { return s.peakLive }

@@ -1,0 +1,164 @@
+package exec
+
+import (
+	"fmt"
+
+	"github.com/sharon-project/sharon/internal/agg"
+	"github.com/sharon-project/sharon/internal/event"
+	"github.com/sharon-project/sharon/internal/query"
+)
+
+// DefaultSequenceCap bounds sequence construction per (window, group) for
+// the two-step baselines.
+const DefaultSequenceCap = 4 << 20
+
+// TwoStep is the Flink-style non-shared two-step baseline (paper §1,
+// §8.2): it buffers each window's events, constructs *every* matching
+// event sequence per query, and only then aggregates. No computation is
+// shared between queries. Because the number of sequences is polynomial
+// (in practice explosive) in the events per window, it carries a
+// construction cap; exceeding it surfaces ErrCapExceeded, mirroring the
+// paper's "Flink does not terminate beyond 6k events per window".
+type TwoStep struct {
+	w     query.Workload
+	win   query.Window
+	group bool
+	preds []query.Predicate
+	resultSink
+
+	buffers map[event.GroupKey][]event.Event
+	started bool
+	last    int64
+	next    int64
+	maxWin  int64
+
+	// Cap is the per-(window,query,group) sequence budget.
+	Cap int64
+	// Constructed counts all sequences built (the two-step cost driver).
+	Constructed int64
+	peakLive    int64
+}
+
+// NewTwoStep builds the Flink-style baseline executor.
+func NewTwoStep(w query.Workload, opts Options) (*TwoStep, error) {
+	if err := validateUniform(w); err != nil {
+		return nil, err
+	}
+	return &TwoStep{
+		w: w, win: w[0].Window, group: w[0].GroupBy, preds: w[0].Where,
+		resultSink: resultSink{opts: opts},
+		buffers:    make(map[event.GroupKey][]event.Event),
+		Cap:        DefaultSequenceCap,
+		next:       -1, maxWin: -1,
+	}, nil
+}
+
+// Name identifies the strategy.
+func (t *TwoStep) Name() string { return "TwoStep" }
+
+// Process buffers the event and closes any finished windows first.
+func (t *TwoStep) Process(e event.Event) error {
+	if t.started && e.Time <= t.last {
+		return fmt.Errorf("exec: out-of-order event at t=%d", e.Time)
+	}
+	if !t.started {
+		t.started = true
+		t.next = t.win.FirstContaining(e.Time)
+	}
+	t.last = e.Time
+	if err := t.closeUpTo(e.Time); err != nil {
+		return err
+	}
+	if lastWin := t.win.LastContaining(e.Time); lastWin > t.maxWin {
+		t.maxWin = lastWin
+	}
+	if !accepts(t.preds, e) {
+		return nil
+	}
+	key := event.GroupKey(0)
+	if t.group {
+		key = e.Key
+	}
+	t.buffers[key] = append(t.buffers[key], e)
+	return nil
+}
+
+func (t *TwoStep) closeUpTo(tm int64) error {
+	for t.win.End(t.next) <= tm {
+		win := t.next
+		if win <= t.maxWin {
+			if err := t.evaluateWindow(win); err != nil {
+				return err
+			}
+		}
+		t.next++
+		t.expire()
+	}
+	return nil
+}
+
+// evaluateWindow is step 1 (construct all sequences) + step 2 (aggregate),
+// per query, with nothing shared. The construction budget is per
+// (window, group) across all queries: it caps the total work one window
+// may cost, the quantity that makes two-step approaches "not terminate"
+// in the paper's Fig. 13.
+func (t *TwoStep) evaluateWindow(win int64) error {
+	lo, hi := t.win.Start(win), t.win.End(win)
+	for key, events := range t.buffers {
+		idx := indexEvents(events, lo, hi)
+		var buffered int64
+		for _, evs := range idx.byType {
+			buffered += int64(len(evs))
+		}
+		budget := t.Cap
+		for _, q := range t.w {
+			target := event.NoType
+			if q.Agg.Kind != query.CountStar {
+				target = q.Agg.Target
+			}
+			matches, err := EnumerateMatches(idx, q.Pattern, target, &budget)
+			if err != nil {
+				return fmt.Errorf("query %s window %d: %w", q.Label(), win, err)
+			}
+			t.Constructed += int64(len(matches))
+			// Two-step memory: buffered events plus the materialized
+			// sequences of this query.
+			if live := buffered + int64(len(matches)); live > t.peakLive {
+				t.peakLive = live
+			}
+			total := agg.Zero()
+			for _, m := range matches {
+				total.AddInPlace(m.State)
+			}
+			if total.Count > 0 || t.opts.EmitEmpty {
+				t.emit(Result{Query: q.ID, Win: win, Group: key, State: total})
+			}
+		}
+	}
+	return nil
+}
+
+// expire drops buffered events no open window can contain.
+func (t *TwoStep) expire() {
+	minStart := t.win.Start(t.next)
+	for key, events := range t.buffers {
+		i := 0
+		for i < len(events) && events[i].Time < minStart {
+			i++
+		}
+		if i > 0 {
+			t.buffers[key] = append(events[:0:0], events[i:]...)
+		}
+	}
+}
+
+// Flush evaluates all remaining windows.
+func (t *TwoStep) Flush() error {
+	if !t.started {
+		return nil
+	}
+	return t.closeUpTo(t.win.End(t.maxWin))
+}
+
+// PeakLiveStates reports buffered events + materialized sequences at peak.
+func (t *TwoStep) PeakLiveStates() int64 { return t.peakLive }

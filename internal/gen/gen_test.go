@@ -1,0 +1,357 @@
+package gen
+
+import (
+	"testing"
+
+	"github.com/sharon-project/sharon/internal/core"
+	"github.com/sharon-project/sharon/internal/event"
+	"github.com/sharon-project/sharon/internal/query"
+)
+
+func TestTrafficWorkloadMatchesTable1(t *testing.T) {
+	tr := Traffic()
+	if err := tr.Workload.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Workload) != 7 {
+		t.Fatalf("workload size = %d, want 7", len(tr.Workload))
+	}
+	sharable := core.SharablePatterns(tr.Workload)
+	if len(sharable) != 7 {
+		t.Fatalf("sharable patterns = %d, want 7 (Table 1)", len(sharable))
+	}
+	if len(tr.Patterns) != 7 || len(tr.Weights) != 7 {
+		t.Fatal("paper patterns/weights incomplete")
+	}
+	// Every p1..p7 is among the detected sharable patterns.
+	keys := make(map[string]bool)
+	for _, sp := range sharable {
+		keys[sp.Pattern.Key()] = true
+	}
+	for i, p := range tr.Patterns {
+		if !keys[p.Key()] {
+			t.Errorf("p%d = %s not detected", i+1, p.Format(tr.Reg))
+		}
+	}
+}
+
+func TestPurchasesWorkload(t *testing.T) {
+	pw := Purchases()
+	if err := pw.Workload.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(pw.Workload) != 4 {
+		t.Fatalf("workload size = %d, want 4", len(pw.Workload))
+	}
+	// (Laptop, Case) is contained in all four queries.
+	lc := pw.Patterns[0]
+	for _, q := range pw.Workload {
+		if !q.Pattern.Contains(lc) {
+			t.Errorf("%s does not contain (Laptop, Case)", q.Label())
+		}
+	}
+}
+
+func TestGenerateStreamOrdered(t *testing.T) {
+	reg := event.NewRegistry()
+	types := internN(reg, "T", 5)
+	s := Generate(StreamConfig{Types: types, NumKeys: 4, Events: 5000, StartRate: 100, EndRate: 4000, Seed: 1})
+	if len(s) != 5000 {
+		t.Fatalf("len = %d", len(s))
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// All types appear.
+	seen := make(map[event.Type]bool)
+	for _, e := range s {
+		seen[e.Type] = true
+		if e.Key < 0 || e.Key >= 4 {
+			t.Fatalf("key out of range: %d", e.Key)
+		}
+	}
+	if len(seen) != 5 {
+		t.Errorf("types seen = %d, want 5", len(seen))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	reg := event.NewRegistry()
+	types := internN(reg, "T", 3)
+	cfg := StreamConfig{Types: types, Events: 100, Seed: 42}
+	a, b := Generate(cfg), Generate(cfg)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs across same-seed runs", i)
+		}
+	}
+}
+
+func TestGenerateRampsRate(t *testing.T) {
+	reg := event.NewRegistry()
+	types := internN(reg, "T", 2)
+	s := Generate(StreamConfig{Types: types, Events: 10000, StartRate: 10, EndRate: 1000, Seed: 3})
+	// Early inter-arrival gaps must be much larger than late ones.
+	early := s[100].Time - s[0].Time
+	late := s[9999].Time - s[9899].Time
+	if early < 5*late {
+		t.Errorf("rate not ramping: early gap %d, late gap %d", early, late)
+	}
+}
+
+func TestZipfWeights(t *testing.T) {
+	w := ZipfWeights(5, 1)
+	for i := 1; i < len(w); i++ {
+		if w[i] >= w[i-1] {
+			t.Fatalf("weights not decreasing: %v", w)
+		}
+	}
+	u := ZipfWeights(3, 0)
+	if u[0] != u[1] || u[1] != u[2] {
+		t.Errorf("s=0 should be uniform: %v", u)
+	}
+}
+
+func TestDatasetGenerators(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		gen  func(*event.Registry) event.Stream
+	}{
+		{"taxi", func(r *event.Registry) event.Stream {
+			return Taxi(r, TaxiConfig{Events: 2000, Skew: 1.2, Seed: 1})
+		}},
+		{"linearroad", func(r *event.Registry) event.Stream {
+			return LinearRoad(r, LinearRoadConfig{Events: 2000, Seed: 1})
+		}},
+		{"ecommerce", func(r *event.Registry) event.Stream {
+			return Ecommerce(r, EcommerceConfig{Events: 2000, Seed: 1})
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			reg := event.NewRegistry()
+			s := tc.gen(reg)
+			if len(s) != 2000 {
+				t.Fatalf("len = %d", len(s))
+			}
+			if err := s.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if reg.Len() == 0 {
+				t.Error("no types interned")
+			}
+		})
+	}
+}
+
+func TestGenWorkloadProperties(t *testing.T) {
+	reg := event.NewRegistry()
+	cfg := WorkloadConfig{NumQueries: 20, PatternLen: 10, Seed: 5, GroupBy: true}
+	w, types := GenWorkload(reg, cfg)
+	if len(w) != 20 {
+		t.Fatalf("queries = %d", len(w))
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range w {
+		if q.Pattern.Length() != 10 {
+			t.Errorf("%s pattern length = %d, want 10", q.Label(), q.Pattern.Length())
+		}
+		if q.Pattern.HasDuplicateTypes() {
+			t.Errorf("%s has duplicate types", q.Label())
+		}
+	}
+	// Sharing must exist: at least one sharable pattern.
+	cands := core.FindCandidates(w)
+	if len(cands) == 0 {
+		t.Error("generated workload has no sharable patterns")
+	}
+	// All pattern types are covered by the returned alphabet.
+	alpha := make(map[event.Type]bool)
+	for _, tp := range types {
+		alpha[tp] = true
+	}
+	for tp := range w.Types() {
+		if !alpha[tp] {
+			t.Errorf("type %d missing from alphabet", tp)
+		}
+	}
+}
+
+func TestGenWorkloadDeterministic(t *testing.T) {
+	regA, regB := event.NewRegistry(), event.NewRegistry()
+	cfg := WorkloadConfig{NumQueries: 10, PatternLen: 8, Seed: 11}
+	wa, _ := GenWorkload(regA, cfg)
+	wb, _ := GenWorkload(regB, cfg)
+	for i := range wa {
+		if !wa[i].Pattern.Equal(wb[i].Pattern) {
+			t.Fatalf("query %d differs across same-seed runs", i)
+		}
+	}
+}
+
+func TestGenWorkloadPatternLengthSweep(t *testing.T) {
+	for _, plen := range []int{4, 10, 20, 30} {
+		reg := event.NewRegistry()
+		w, _ := GenWorkload(reg, WorkloadConfig{NumQueries: 8, PatternLen: plen, Seed: 2})
+		for _, q := range w {
+			if q.Pattern.Length() != plen {
+				t.Errorf("plen=%d: got %d", plen, q.Pattern.Length())
+			}
+		}
+	}
+}
+
+func TestStreamForWorkload(t *testing.T) {
+	reg := event.NewRegistry()
+	w, types := GenWorkload(reg, WorkloadConfig{NumQueries: 6, PatternLen: 6, Seed: 9})
+	nChunk := len(types) - 4*6 // FillerPool default is 4*PatternLen
+	s := StreamForWorkload(types, nChunk, 3000, 5, 1000, 3, 7)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	_ = w
+	// Chunk types (hot) should be more frequent than fillers on average.
+	counts := make(map[event.Type]int)
+	for _, e := range s {
+		counts[e.Type]++
+	}
+	var hot, cold, nHot, nCold float64
+	for i, tp := range types {
+		if i < nChunk {
+			hot += float64(counts[tp])
+			nHot++
+		} else {
+			cold += float64(counts[tp])
+			nCold++
+		}
+	}
+	if hot/nHot <= cold/nCold {
+		t.Errorf("hot types not hotter: %.1f vs %.1f", hot/nHot, cold/nCold)
+	}
+}
+
+func TestCorridorMode(t *testing.T) {
+	reg := event.NewRegistry()
+	cfg := WorkloadConfig{
+		Mode: ModeCorridor, NumQueries: 12, PatternLen: 8,
+		CorridorLen: 10, SliceLen: 4, Seed: 3,
+	}
+	w, types := GenWorkload(reg, cfg)
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(types) != 10+4*8 {
+		t.Errorf("alphabet = %d types", len(types))
+	}
+	// Every query embeds a contiguous corridor slice of length 4.
+	corridor := types[:10]
+	for _, q := range w {
+		found := false
+		for start := 0; start+4 <= 10; start++ {
+			sub := query.Pattern(corridor[start : start+4])
+			if q.Pattern.Contains(sub) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s has no corridor slice: %v", q.Label(), q.Pattern.Format(reg))
+		}
+		if q.Pattern.HasDuplicateTypes() {
+			t.Errorf("%s repeats a type", q.Label())
+		}
+	}
+	// Corridor mode must produce conflicts (overlapping slices).
+	cands := core.FindCandidates(w)
+	if len(cands) < 3 {
+		t.Errorf("corridor produced only %d candidates", len(cands))
+	}
+}
+
+func TestCorridorVarySliceLen(t *testing.T) {
+	reg := event.NewRegistry()
+	cfg := WorkloadConfig{
+		Mode: ModeCorridor, NumQueries: 40, PatternLen: 8,
+		CorridorLen: 10, SliceLen: 6, VarySliceLen: true, Seed: 5,
+	}
+	w, _ := GenWorkload(reg, cfg)
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// All patterns still have the requested total length.
+	for _, q := range w {
+		if q.Pattern.Length() != 8 {
+			t.Fatalf("%s length = %d", q.Label(), q.Pattern.Length())
+		}
+	}
+}
+
+func TestDuplicateFractionAndUniquePatterns(t *testing.T) {
+	reg := event.NewRegistry()
+	w, _ := GenWorkload(reg, WorkloadConfig{
+		NumQueries: 30, PatternLen: 6, UniquePatterns: 5, Seed: 7,
+	})
+	uniq := map[string]bool{}
+	for _, q := range w {
+		uniq[q.Pattern.Key()] = true
+	}
+	if len(uniq) > 5 {
+		t.Errorf("unique patterns = %d, want <= 5", len(uniq))
+	}
+
+	w2, _ := GenWorkload(reg, WorkloadConfig{
+		NumQueries: 30, PatternLen: 6, DuplicateFraction: 1.0, Seed: 7,
+	})
+	uniq2 := map[string]bool{}
+	for _, q := range w2 {
+		uniq2[q.Pattern.Key()] = true
+	}
+	if len(uniq2) != 1 {
+		t.Errorf("DuplicateFraction=1 produced %d unique patterns", len(uniq2))
+	}
+}
+
+func TestTrafficReplicas(t *testing.T) {
+	reg := event.NewRegistry()
+	w, types, weights := TrafficReplicas(reg, 3)
+	if len(w) != 21 {
+		t.Fatalf("queries = %d, want 21", len(w))
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(types) != 18 || len(weights) != 18 {
+		t.Fatalf("types/weights = %d/%d, want 18", len(types), len(weights))
+	}
+	// Neighborhoods are type-disjoint: candidates never span copies.
+	for _, c := range core.FindCandidates(w) {
+		name := reg.Name(c.Pattern[0])
+		prefix := name[:2] // "N1", "N2", ...
+		for _, tp := range c.Pattern {
+			if got := reg.Name(tp)[:2]; got != prefix {
+				t.Fatalf("candidate spans neighborhoods: %s", c.Pattern.Format(reg))
+			}
+		}
+	}
+	// Each neighborhood reproduces the Table 1 candidate structure:
+	// 7 sharable patterns per copy.
+	if got := len(core.FindCandidates(w)); got != 21 {
+		t.Errorf("candidates = %d, want 21 (7 per neighborhood)", got)
+	}
+}
+
+func TestGenerateEdgeCases(t *testing.T) {
+	if s := Generate(StreamConfig{}); s != nil {
+		t.Error("empty config produced events")
+	}
+	reg := event.NewRegistry()
+	types := internN(reg, "T", 1)
+	s := Generate(StreamConfig{Types: types, Events: 10, Seed: 1})
+	if len(s) != 10 {
+		t.Errorf("len = %d", len(s))
+	}
+	if err := s.Validate(); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,166 @@
+// Package gen provides the evaluation substrates of the paper's §8: the
+// paper's running-example workloads (traffic q1–q7, e-commerce q8–q11),
+// synthetic stand-ins for the three data sets (NYC Taxi, Linear Road,
+// e-commerce), and a parameterized workload generator for the sweeps over
+// query count, pattern length, and events per window.
+package gen
+
+import (
+	"fmt"
+
+	"github.com/sharon-project/sharon/internal/event"
+	"github.com/sharon-project/sharon/internal/query"
+)
+
+// PaperWorkload bundles a paper example workload with its registry and
+// the sharable patterns of its Table 1.
+type PaperWorkload struct {
+	Reg      *event.Registry
+	Workload query.Workload
+	// Patterns are the paper's sharing candidates in paper order
+	// (p1..p7 for traffic).
+	Patterns []query.Pattern
+	// Weights are the benefit values of Figure 4 (traffic only); the
+	// paper derives them from unpublished rate constants, so tests inject
+	// them directly.
+	Weights []float64
+}
+
+// Traffic builds the traffic monitoring workload of Figure 1 / Table 1:
+// seven COUNT(*) queries over street-segment position reports, 10-minute
+// windows sliding every minute, grouped by vehicle.
+func Traffic() *PaperWorkload {
+	reg := event.NewRegistry()
+	mk := func(streets ...string) query.Pattern {
+		p := make(query.Pattern, len(streets))
+		for i, s := range streets {
+			p[i] = reg.Intern(s)
+		}
+		return p
+	}
+	win := query.Window{Length: 10 * 60 * event.TicksPerSecond, Slide: 60 * event.TicksPerSecond}
+	patterns := []query.Pattern{
+		mk("OakSt", "MainSt"),            // p1
+		mk("ParkAve", "OakSt"),           // p2
+		mk("ParkAve", "OakSt", "MainSt"), // p3
+		mk("MainSt", "WestSt"),           // p4
+		mk("OakSt", "MainSt", "WestSt"),  // p5
+		mk("MainSt", "StateSt"),          // p6
+		mk("ElmSt", "ParkAve"),           // p7
+	}
+	queries := []query.Pattern{
+		mk("OakSt", "MainSt", "StateSt"),           // q1: contains p1, p6
+		mk("OakSt", "MainSt", "WestSt"),            // q2: contains p1, p4, p5
+		mk("ParkAve", "OakSt", "MainSt"),           // q3: contains p1, p2, p3
+		mk("ParkAve", "OakSt", "MainSt", "WestSt"), // q4: contains p1..p5
+		mk("MainSt", "StateSt"),                    // q5: contains p6
+		mk("ElmSt", "ParkAve"),                     // q6: contains p7
+		mk("ElmSt", "ParkAve"),                     // q7: contains p7
+	}
+	var w query.Workload
+	for i, p := range queries {
+		w = append(w, &query.Query{
+			ID:      i,
+			Name:    fmt.Sprintf("q%d", i+1),
+			Pattern: p,
+			Agg:     query.AggSpec{Kind: query.CountStar},
+			Window:  win,
+			GroupBy: true,
+		})
+	}
+	return &PaperWorkload{
+		Reg:      reg,
+		Workload: w,
+		Patterns: patterns,
+		Weights:  []float64{25, 9, 12, 15, 20, 8, 18}, // Figure 4
+	}
+}
+
+// TrafficReplicas builds M disjoint copies of the traffic workload q1–q7,
+// one per city neighborhood (7*M queries total), together with the full
+// type alphabet and per-type stream weights. Street popularity within each
+// neighborhood is skewed so that the arterial street (MainSt) is hot —
+// the regime in which the greedy optimizer repeats Example 12's mistake in
+// every neighborhood, picking (p1, {q1..q4}) and excluding the jointly
+// better {p2, p4, p6}. Used by the Figure 16 plan-quality experiment.
+func TrafficReplicas(reg *event.Registry, copies int) (query.Workload, []event.Type, []float64) {
+	// Per-street relative rates: Oak, Main (hot), Park, West, State, Elm.
+	profile := []float64{8, 30, 6, 5, 10, 4}
+	streets := []string{"OakSt", "MainSt", "ParkAve", "WestSt", "StateSt", "ElmSt"}
+	win := query.Window{Length: 10 * 60 * event.TicksPerSecond, Slide: 60 * event.TicksPerSecond}
+
+	var w query.Workload
+	var types []event.Type
+	var weights []float64
+	for c := 0; c < copies; c++ {
+		id := make(map[string]event.Type, len(streets))
+		for i, s := range streets {
+			t := reg.Intern(fmt.Sprintf("N%d_%s", c+1, s))
+			id[s] = t
+			types = append(types, t)
+			weights = append(weights, profile[i])
+		}
+		mk := func(names ...string) query.Pattern {
+			p := make(query.Pattern, len(names))
+			for i, n := range names {
+				p[i] = id[n]
+			}
+			return p
+		}
+		for _, pat := range []query.Pattern{
+			mk("OakSt", "MainSt", "StateSt"),
+			mk("OakSt", "MainSt", "WestSt"),
+			mk("ParkAve", "OakSt", "MainSt"),
+			mk("ParkAve", "OakSt", "MainSt", "WestSt"),
+			mk("MainSt", "StateSt"),
+			mk("ElmSt", "ParkAve"),
+			mk("ElmSt", "ParkAve"),
+		} {
+			w = append(w, &query.Query{
+				Pattern: pat,
+				Agg:     query.AggSpec{Kind: query.CountStar},
+				Window:  win,
+				GroupBy: true,
+			})
+		}
+	}
+	w.Renumber()
+	return w, types, weights
+}
+
+// Purchases builds the e-commerce workload of Figure 2: four COUNT(*)
+// queries over item purchases, the pattern (Laptop, Case) shared by all
+// four, 20-minute windows sliding every minute, grouped by customer.
+func Purchases() *PaperWorkload {
+	reg := event.NewRegistry()
+	mk := func(items ...string) query.Pattern {
+		p := make(query.Pattern, len(items))
+		for i, s := range items {
+			p[i] = reg.Intern(s)
+		}
+		return p
+	}
+	win := query.Window{Length: 20 * 60 * event.TicksPerSecond, Slide: 60 * event.TicksPerSecond}
+	queries := []query.Pattern{
+		mk("Laptop", "Case", "Adapter"),                // q8
+		mk("Laptop", "Case", "KeyboardProtector"),      // q9
+		mk("Laptop", "Case", "Mouse"),                  // q10
+		mk("Laptop", "Case", "IPhone", "ScreenShield"), // q11
+	}
+	var w query.Workload
+	for i, p := range queries {
+		w = append(w, &query.Query{
+			ID:      i,
+			Name:    fmt.Sprintf("q%d", i+8),
+			Pattern: p,
+			Agg:     query.AggSpec{Kind: query.CountStar},
+			Window:  win,
+			GroupBy: true,
+		})
+	}
+	return &PaperWorkload{
+		Reg:      reg,
+		Workload: w,
+		Patterns: []query.Pattern{mk("Laptop", "Case")},
+	}
+}

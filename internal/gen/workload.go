@@ -1,0 +1,327 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/sharon-project/sharon/internal/event"
+	"github.com/sharon-project/sharon/internal/query"
+)
+
+// Mode selects the sharing topology of a generated workload.
+type Mode int
+
+const (
+	// ModeChunks embeds disjoint shared chunks: rich sharing, few
+	// conflicts. Used for the executor sweeps (Fig. 14), where sharing
+	// benefit dominates.
+	ModeChunks Mode = iota
+	// ModeCorridor makes every query slice a common "corridor" of types,
+	// like the paper's traffic grid (Table 1): every pair of overlapping
+	// slices induces mutually conflicting sharable sub-patterns. Used for
+	// the optimizer experiments (Fig. 15–16), which need dense conflicts.
+	ModeCorridor
+)
+
+// WorkloadConfig parameterizes the synthetic multi-query workload
+// generator used by the §8 sweeps. Sharing opportunities are controlled
+// explicitly. In ModeChunks the generator creates a pool of "popular
+// corridor" chunks (contiguous type sequences); queries embed randomly
+// chosen chunks, separated by private filler types; queries embedding the
+// same chunk share all of its sub-patterns, which also induces the paper's
+// sharing conflicts (a chunk of length c yields mutually overlapping
+// sharable patterns, like p1/p2/p3 in Table 1). ModeCorridor instead
+// slices one common corridor, maximizing conflicts.
+type WorkloadConfig struct {
+	// Mode selects the sharing topology (chunks or corridor).
+	Mode Mode
+	// NumQueries is the workload size (paper default: 20).
+	NumQueries int
+	// PatternLen is each query's pattern length (paper default: 10).
+	PatternLen int
+	// SharedChunks is the number of distinct shareable chunks (default
+	// max(2, NumQueries/4)).
+	SharedChunks int
+	// ChunkLen is the length of each shared chunk (default 3).
+	ChunkLen int
+	// ChunksPerQuery is how many chunks each query embeds (default 2).
+	ChunksPerQuery int
+	// FillerPool is the number of distinct private filler types to draw
+	// from (default 4*PatternLen).
+	FillerPool int
+	// DuplicateFraction is the fraction of queries that repeat an earlier
+	// query's pattern verbatim (like q6/q7 in the paper's Table 1, or
+	// many subscribers watching the same route). Duplicated queries share
+	// their entire aggregation, which is where the paper's large
+	// linear-in-queries speedups come from. Default 0.
+	DuplicateFraction float64
+	// UniquePatterns, when positive, overrides DuplicateFraction: the
+	// first UniquePatterns queries get fresh patterns and every later
+	// query duplicates a random earlier one. This models a fixed street
+	// grid / catalog with a growing subscriber population, the regime in
+	// which the paper's speedup grows with the workload size (Fig. 14b).
+	UniquePatterns int
+	// CorridorLen is the number of corridor types in ModeCorridor
+	// (default PatternLen+4).
+	CorridorLen int
+	// SliceLen is how many corridor types each query embeds in
+	// ModeCorridor (default max(2, PatternLen/2)).
+	SliceLen int
+	// VarySliceLen draws each query's corridor slice length uniformly
+	// from [2, SliceLen] instead of using SliceLen verbatim. Mixing long
+	// and short slices produces the Example-12 weight structure where one
+	// heavy candidate conflicts with several medium ones, separating the
+	// greedy plan from the optimal plan (Fig. 16).
+	VarySliceLen bool
+	// Window and Slide in ticks.
+	Window, Slide int64
+	// GroupBy partitions by event key.
+	GroupBy bool
+	// Agg selects the aggregation function (default COUNT(*)).
+	Agg query.AggKind
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+func (cfg *WorkloadConfig) fill() {
+	if cfg.NumQueries <= 0 {
+		cfg.NumQueries = 20
+	}
+	if cfg.PatternLen <= 0 {
+		cfg.PatternLen = 10
+	}
+	if cfg.SharedChunks <= 0 {
+		cfg.SharedChunks = cfg.NumQueries / 4
+		if cfg.SharedChunks < 2 {
+			cfg.SharedChunks = 2
+		}
+	}
+	if cfg.ChunkLen <= 1 {
+		cfg.ChunkLen = 3
+	}
+	if cfg.ChunksPerQuery <= 0 {
+		cfg.ChunksPerQuery = 2
+	}
+	for cfg.ChunksPerQuery*cfg.ChunkLen > cfg.PatternLen {
+		cfg.ChunksPerQuery--
+	}
+	if cfg.ChunksPerQuery < 1 {
+		cfg.ChunksPerQuery = 1
+		cfg.ChunkLen = cfg.PatternLen
+	}
+	if cfg.ChunksPerQuery > cfg.SharedChunks {
+		cfg.ChunksPerQuery = cfg.SharedChunks
+	}
+	if cfg.FillerPool <= 0 {
+		cfg.FillerPool = 4 * cfg.PatternLen
+	}
+	if cfg.CorridorLen <= 0 {
+		cfg.CorridorLen = cfg.PatternLen + 4
+	}
+	if cfg.SliceLen <= 0 {
+		cfg.SliceLen = cfg.PatternLen / 2
+	}
+	if cfg.SliceLen < 2 {
+		cfg.SliceLen = 2
+	}
+	if cfg.SliceLen > cfg.PatternLen {
+		cfg.SliceLen = cfg.PatternLen
+	}
+	if cfg.SliceLen > cfg.CorridorLen {
+		cfg.SliceLen = cfg.CorridorLen
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 10 * 60 * event.TicksPerSecond
+	}
+	if cfg.Slide <= 0 {
+		cfg.Slide = cfg.Window / 10
+	}
+}
+
+// GenWorkload builds a workload per cfg, interning types into reg. It
+// returns the workload and the full type alphabet (chunk types followed by
+// filler types) for stream generation. Chunk types come first so stream
+// generators can weight them more heavily.
+func GenWorkload(reg *event.Registry, cfg WorkloadConfig) (query.Workload, []event.Type) {
+	cfg.fill()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.Mode == ModeCorridor {
+		return genCorridor(reg, cfg, rng)
+	}
+
+	// Shared chunks over disjoint type sets, so no query ever repeats a
+	// type (the paper's core assumption 3).
+	chunkTypes := make([]event.Type, 0, cfg.SharedChunks*cfg.ChunkLen)
+	chunks := make([]query.Pattern, cfg.SharedChunks)
+	for c := range chunks {
+		p := make(query.Pattern, cfg.ChunkLen)
+		for i := range p {
+			t := reg.Intern(fmt.Sprintf("C%d_%d", c+1, i+1))
+			p[i] = t
+			chunkTypes = append(chunkTypes, t)
+		}
+		chunks[c] = p
+	}
+	fillers := make([]event.Type, cfg.FillerPool)
+	for i := range fillers {
+		fillers[i] = reg.Intern(fmt.Sprintf("F%d", i+1))
+	}
+
+	var w query.Workload
+	for qi := 0; qi < cfg.NumQueries; qi++ {
+		dup := rng.Float64() < cfg.DuplicateFraction
+		if cfg.UniquePatterns > 0 {
+			dup = qi >= cfg.UniquePatterns
+		}
+		if len(w) > 0 && dup {
+			src := w[rng.Intn(len(w))]
+			w = append(w, &query.Query{
+				Pattern: src.Pattern.Clone(),
+				Agg:     src.Agg,
+				Window:  src.Window,
+				GroupBy: cfg.GroupBy,
+			})
+			continue
+		}
+		pick := rng.Perm(cfg.SharedChunks)[:cfg.ChunksPerQuery]
+		nFill := cfg.PatternLen - cfg.ChunksPerQuery*cfg.ChunkLen
+		fillPick := rng.Perm(cfg.FillerPool)
+		if nFill > len(fillPick) {
+			nFill = len(fillPick)
+		}
+		// Distribute fillers into the gaps around the chunks.
+		gaps := make([]int, cfg.ChunksPerQuery+1)
+		for i := 0; i < nFill; i++ {
+			gaps[rng.Intn(len(gaps))]++
+		}
+		var pat query.Pattern
+		fi := 0
+		for g := 0; g <= cfg.ChunksPerQuery; g++ {
+			for k := 0; k < gaps[g]; k++ {
+				pat = append(pat, fillers[fillPick[fi]])
+				fi++
+			}
+			if g < cfg.ChunksPerQuery {
+				pat = append(pat, chunks[pick[g]]...)
+			}
+		}
+		agg := query.AggSpec{Kind: cfg.Agg}
+		if cfg.Agg != query.CountStar {
+			agg.Target = pat[rng.Intn(len(pat))]
+		}
+		w = append(w, &query.Query{
+			Pattern: pat,
+			Agg:     agg,
+			Window:  query.Window{Length: cfg.Window, Slide: cfg.Slide},
+			GroupBy: cfg.GroupBy,
+		})
+	}
+	w.Renumber()
+	types := append(append([]event.Type(nil), chunkTypes...), fillers...)
+	return w, types
+}
+
+// genCorridor builds the corridor-mode workload: each query's pattern is a
+// random contiguous slice of the corridor types, padded with private
+// fillers. Slices that overlap share every common sub-pattern, so the
+// candidate graph is dense with the suffix/prefix conflicts of Definition 6
+// (like p1/p2/p3 in the paper's traffic workload).
+func genCorridor(reg *event.Registry, cfg WorkloadConfig, rng *rand.Rand) (query.Workload, []event.Type) {
+	corridor := make([]event.Type, cfg.CorridorLen)
+	for i := range corridor {
+		corridor[i] = reg.Intern(fmt.Sprintf("X%d", i+1))
+	}
+	fillers := make([]event.Type, cfg.FillerPool)
+	for i := range fillers {
+		fillers[i] = reg.Intern(fmt.Sprintf("F%d", i+1))
+	}
+	var w query.Workload
+	for qi := 0; qi < cfg.NumQueries; qi++ {
+		dup := rng.Float64() < cfg.DuplicateFraction
+		if cfg.UniquePatterns > 0 {
+			dup = qi >= cfg.UniquePatterns
+		}
+		if len(w) > 0 && dup {
+			src := w[rng.Intn(len(w))]
+			w = append(w, &query.Query{
+				Pattern: src.Pattern.Clone(),
+				Agg:     src.Agg,
+				Window:  src.Window,
+				GroupBy: cfg.GroupBy,
+			})
+			continue
+		}
+		sliceLen := cfg.SliceLen
+		if cfg.VarySliceLen && cfg.SliceLen > 2 {
+			sliceLen = 2 + rng.Intn(cfg.SliceLen-1)
+		}
+		start := rng.Intn(cfg.CorridorLen - sliceLen + 1)
+		slice := corridor[start : start+sliceLen]
+		nFill := cfg.PatternLen - sliceLen
+		fillPick := rng.Perm(cfg.FillerPool)
+		if nFill > len(fillPick) {
+			nFill = len(fillPick)
+		}
+		before := rng.Intn(nFill + 1)
+		var pat query.Pattern
+		for i := 0; i < before; i++ {
+			pat = append(pat, fillers[fillPick[i]])
+		}
+		pat = append(pat, slice...)
+		for i := before; i < nFill; i++ {
+			pat = append(pat, fillers[fillPick[i]])
+		}
+		agg := query.AggSpec{Kind: cfg.Agg}
+		if cfg.Agg != query.CountStar {
+			agg.Target = pat[rng.Intn(len(pat))]
+		}
+		w = append(w, &query.Query{
+			Pattern: pat,
+			Agg:     agg,
+			Window:  query.Window{Length: cfg.Window, Slide: cfg.Slide},
+			GroupBy: cfg.GroupBy,
+		})
+	}
+	w.Renumber()
+	types := append(append([]event.Type(nil), corridor...), fillers...)
+	return w, types
+}
+
+// NumHotTypes reports how many leading entries of the GenWorkload type
+// alphabet are shared ("hot") types for the given config: chunk types in
+// ModeChunks, corridor types in ModeCorridor.
+func NumHotTypes(cfg WorkloadConfig) int {
+	cfg.fill()
+	if cfg.Mode == ModeCorridor {
+		return cfg.CorridorLen
+	}
+	return cfg.SharedChunks * cfg.ChunkLen
+}
+
+// StreamForWorkload generates a stream covering the workload's type
+// alphabet. chunkTypes (the leading len-weighted entries of types) are
+// weighted `hotFactor` times heavier than fillers, concentrating matches on
+// shared patterns like the paper's popular routes.
+func StreamForWorkload(types []event.Type, numChunkTypes, events, numKeys int, rate float64, hotFactor float64, seed int64) event.Stream {
+	if hotFactor <= 0 {
+		hotFactor = 3
+	}
+	weights := make([]float64, len(types))
+	for i := range weights {
+		if i < numChunkTypes {
+			weights[i] = hotFactor
+		} else {
+			weights[i] = 1
+		}
+	}
+	return Generate(StreamConfig{
+		Types:       types,
+		TypeWeights: weights,
+		NumKeys:     numKeys,
+		Events:      events,
+		StartRate:   rate,
+		EndRate:     rate,
+		ValRange:    100,
+		Seed:        seed,
+	})
+}

@@ -1,0 +1,162 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Point is one measurement of a series at sweep value X.
+type Point struct {
+	X   float64
+	Y   float64
+	DNF bool // did not finish (two-step cap / exhaustive blow-up)
+}
+
+// Series is one line of a figure (one executor or optimizer).
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Figure is a reproduced paper figure: a set of series over a common sweep.
+type Figure struct {
+	ID     string // paper id, e.g. "fig14a"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Format renders the figure as an aligned text table, one row per sweep
+// value and one column per series, with DNF marking aborted runs.
+func (f *Figure) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "  y: %s\n", f.YLabel)
+
+	headers := make([]string, 0, len(f.Series)+1)
+	headers = append(headers, f.XLabel)
+	for _, s := range f.Series {
+		headers = append(headers, s.Name)
+	}
+	xs := f.xValues()
+	rows := make([][]string, 0, len(xs)+1)
+	rows = append(rows, headers)
+	for _, x := range xs {
+		row := []string{formatNum(x)}
+		for _, s := range f.Series {
+			cell := "-"
+			for _, p := range s.Points {
+				if p.X == x {
+					if p.DNF {
+						cell = "DNF"
+					} else {
+						cell = formatNum(p.Y)
+					}
+					break
+				}
+			}
+			row = append(row, cell)
+		}
+		rows = append(rows, row)
+	}
+	writeAligned(&b, rows)
+	return b.String()
+}
+
+func (f *Figure) xValues() []float64 {
+	seen := make(map[float64]bool)
+	var xs []float64
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+	return xs
+}
+
+func formatNum(v float64) string {
+	switch {
+	case v == float64(int64(v)) && v < 1e7:
+		return fmt.Sprintf("%d", int64(v))
+	case v >= 1e6:
+		return fmt.Sprintf("%.3g", v)
+	case v >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+func writeAligned(b *strings.Builder, rows [][]string) {
+	if len(rows) == 0 {
+		return
+	}
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		b.WriteString("  ")
+		for i, cell := range row {
+			fmt.Fprintf(b, "%-*s", widths[i]+2, cell)
+		}
+		b.WriteByte('\n')
+	}
+}
+
+// SpeedupSummary reports min/max ratio between two series of a figure
+// (e.g. A-Seq latency / Sharon latency), skipping DNF points.
+func (f *Figure) SpeedupSummary(numerator, denominator string) (min, max float64, ok bool) {
+	var num, den *Series
+	for i := range f.Series {
+		switch f.Series[i].Name {
+		case numerator:
+			num = &f.Series[i]
+		case denominator:
+			den = &f.Series[i]
+		}
+	}
+	if num == nil || den == nil {
+		return 0, 0, false
+	}
+	byX := make(map[float64]float64)
+	for _, p := range den.Points {
+		if !p.DNF && p.Y > 0 {
+			byX[p.X] = p.Y
+		}
+	}
+	first := true
+	for _, p := range num.Points {
+		d, exists := byX[p.X]
+		if p.DNF || !exists {
+			continue
+		}
+		r := p.Y / d
+		if first {
+			min, max, ok, first = r, r, true, false
+			continue
+		}
+		if r < min {
+			min = r
+		}
+		if r > max {
+			max = r
+		}
+	}
+	return min, max, ok
+}

@@ -1,0 +1,61 @@
+// Package harness replays streams through executors with measurement and
+// regenerates every table and figure of the paper's evaluation (§8). Each
+// experiment is addressable by its paper id (fig13, fig14ae, ..., table1)
+// and prints the same rows/series the paper reports.
+package harness
+
+import (
+	"errors"
+	"time"
+
+	"github.com/sharon-project/sharon/internal/event"
+	"github.com/sharon-project/sharon/internal/exec"
+	"github.com/sharon-project/sharon/internal/metrics"
+)
+
+// Run replays stream through ex, measuring wall-clock time, emitted
+// results, and peak memory. A run aborted by the two-step sequence cap
+// returns stats with DNF set instead of an error.
+func Run(ex exec.Executor, stream event.Stream) (metrics.RunStats, error) {
+	stats := metrics.RunStats{Executor: ex.Name(), Events: int64(len(stream))}
+	start := time.Now()
+	err := replay(ex, stream)
+	stats.Elapsed = time.Since(start)
+	stats.PeakLiveStates = ex.PeakLiveStates()
+	stats.Results = ex.ResultCount()
+	if err != nil {
+		if errors.Is(err, exec.ErrCapExceeded) {
+			stats.DNF = true
+			return stats, nil
+		}
+		return stats, err
+	}
+	return stats, nil
+}
+
+func replay(ex exec.Executor, stream event.Stream) error {
+	for _, e := range stream {
+		if err := ex.Process(e); err != nil {
+			return err
+		}
+	}
+	return ex.Flush()
+}
+
+// RunWindowed is Run with an explicit window/slide so latency-per-window
+// is well defined: it fills in the number of windows the stream spans.
+func RunWindowed(ex exec.Executor, stream event.Stream, windowLen, slide int64) (metrics.RunStats, error) {
+	stats, err := Run(ex, stream)
+	if err != nil || len(stream) == 0 {
+		return stats, err
+	}
+	firstWin := (stream[0].Time-windowLen)/slide + 1
+	if firstWin < 0 {
+		firstWin = 0
+	}
+	lastWin := stream[len(stream)-1].Time / slide
+	if lastWin >= firstWin {
+		stats.Windows = lastWin - firstWin + 1
+	}
+	return stats, nil
+}

@@ -1,0 +1,79 @@
+// Package metrics defines the measurement units of the paper's evaluation
+// (§8.1): latency, throughput, and peak memory.
+package metrics
+
+import (
+	"fmt"
+	"time"
+)
+
+// StateBytes is the in-memory size of one aggregate state (five float64
+// fields); peak-memory numbers are LiveStates * StateBytes, matching the
+// paper's "maximal memory for storing aggregates".
+const StateBytes = 40
+
+// RunStats summarizes one executor run over a finite stream.
+type RunStats struct {
+	// Executor names the strategy.
+	Executor string
+	// Events is the number of events processed.
+	Events int64
+	// Results is the number of (query, window, group) aggregates emitted.
+	Results int64
+	// Windows is the number of distinct windows closed.
+	Windows int64
+	// Elapsed is the wall-clock processing time.
+	Elapsed time.Duration
+	// PeakLiveStates is the executor's peak number of live aggregate /
+	// sequence states.
+	PeakLiveStates int64
+	// DNF marks a run aborted by the sequence-construction cap — the
+	// paper's "does not terminate".
+	DNF bool
+}
+
+// Throughput returns events per second of wall-clock time (Fig. 13b/14e-g).
+func (s RunStats) Throughput() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Events) / s.Elapsed.Seconds()
+}
+
+// LatencyMs returns the average wall-clock milliseconds of processing per
+// closed window: the time between the last contributing event and the
+// window's aggregate being available is dominated by this processing cost
+// in an in-process replay (Fig. 13a/14a-c).
+func (s RunStats) LatencyMs() float64 {
+	if s.Windows <= 0 {
+		return float64(s.Elapsed.Milliseconds())
+	}
+	return float64(s.Elapsed.Microseconds()) / 1000.0 / float64(s.Windows)
+}
+
+// MemoryBytes returns the peak memory estimate in bytes.
+func (s RunStats) MemoryBytes() int64 { return s.PeakLiveStates * StateBytes }
+
+// String renders the stats for logs and tables.
+func (s RunStats) String() string {
+	if s.DNF {
+		return fmt.Sprintf("%-8s DNF (cap exceeded after %v)", s.Executor, s.Elapsed.Round(time.Millisecond))
+	}
+	return fmt.Sprintf("%-8s events=%d results=%d windows=%d elapsed=%v latency=%.3fms/win throughput=%.0fev/s mem=%s",
+		s.Executor, s.Events, s.Results, s.Windows, s.Elapsed.Round(time.Millisecond),
+		s.LatencyMs(), s.Throughput(), FormatBytes(s.MemoryBytes()))
+}
+
+// FormatBytes renders a byte count with a binary unit suffix.
+func FormatBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

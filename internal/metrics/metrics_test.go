@@ -1,0 +1,66 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestThroughputAndLatency(t *testing.T) {
+	s := RunStats{Executor: "X", Events: 1000, Windows: 10, Elapsed: 2 * time.Second}
+	if got := s.Throughput(); got != 500 {
+		t.Errorf("Throughput = %v, want 500", got)
+	}
+	if got := s.LatencyMs(); got != 200 {
+		t.Errorf("LatencyMs = %v, want 200", got)
+	}
+}
+
+func TestLatencyWithoutWindows(t *testing.T) {
+	s := RunStats{Elapsed: 1500 * time.Millisecond}
+	if got := s.LatencyMs(); got != 1500 {
+		t.Errorf("LatencyMs fallback = %v, want 1500", got)
+	}
+}
+
+func TestZeroElapsed(t *testing.T) {
+	var s RunStats
+	if got := s.Throughput(); got != 0 {
+		t.Errorf("Throughput of zero run = %v", got)
+	}
+}
+
+func TestMemoryBytes(t *testing.T) {
+	s := RunStats{PeakLiveStates: 100}
+	if got := s.MemoryBytes(); got != 100*StateBytes {
+		t.Errorf("MemoryBytes = %d", got)
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	s := RunStats{Executor: "Sharon", Events: 10, Windows: 1, Elapsed: time.Millisecond}
+	if out := s.String(); !strings.Contains(out, "Sharon") || !strings.Contains(out, "throughput") {
+		t.Errorf("String() = %q", out)
+	}
+	d := RunStats{Executor: "Flink", DNF: true, Elapsed: time.Second}
+	if out := d.String(); !strings.Contains(out, "DNF") {
+		t.Errorf("DNF String() = %q", out)
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	tests := []struct {
+		n    int64
+		want string
+	}{
+		{512, "512B"},
+		{2048, "2.00KiB"},
+		{3 << 20, "3.00MiB"},
+		{5 << 30, "5.00GiB"},
+	}
+	for _, tt := range tests {
+		if got := FormatBytes(tt.n); got != tt.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", tt.n, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package query
+
+import (
+	"testing"
+
+	"github.com/sharon-project/sharon/internal/event"
+)
+
+// FuzzParse hardens the query parser: it must never panic, and anything it
+// accepts must render (Format) back into something it accepts again with
+// the same structure.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"RETURN COUNT(*) PATTERN SEQ(OakSt, MainSt) WHERE [vehicle] WITHIN 10m SLIDE 1m",
+		"RETURN SUM(B.val) PATTERN SEQ(A, B) WHERE A.val > 3.5 WITHIN 30s SLIDE 10s",
+		"RETURN AVG(C.val) PATTERN SEQ(A, C) WITHIN 2m SLIDE 30s",
+		"RETURN COUNT(Laptop) PATTERN SEQ(Laptop, Case) WITHIN 20m SLIDE 1m",
+		"RETURN MIN(X.val) PATTERN SEQ(X, Y) WHERE *.val <= 100 AND [key] WITHIN 5s SLIDE 5s",
+		"", "RETURN", "RETURN COUNT(*)", "PATTERN SEQ(A)", "((((", "WITHIN -1s SLIDE 0s",
+		"RETURN COUNT(*) PATTERN SEQ(A, B) WITHIN 9223372036854775807s SLIDE 1s",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		reg := event.NewRegistry()
+		q, err := Parse(text, reg)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		rendered := q.Format(reg)
+		q2, err := Parse(rendered, reg)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected own rendering %q: %v", text, rendered, err)
+		}
+		if !q.Pattern.Equal(q2.Pattern) || q.Agg != q2.Agg || q.Window != q2.Window || q.GroupBy != q2.GroupBy {
+			t.Fatalf("render round-trip changed query: %q -> %q", text, rendered)
+		}
+	})
+}
+
+// FuzzWindowMath checks the window index identities on arbitrary inputs.
+func FuzzWindowMath(f *testing.F) {
+	f.Add(int64(10), int64(3), int64(25))
+	f.Add(int64(1), int64(1), int64(0))
+	f.Add(int64(1000), int64(999), int64(123456))
+	f.Fuzz(func(t *testing.T, length, slide, tm int64) {
+		if length <= 0 || slide <= 0 || slide > length || tm < 0 || tm > 1<<40 {
+			return
+		}
+		w := Window{Length: length, Slide: slide}
+		first, last := w.Indices(tm)
+		if first > last {
+			t.Fatalf("empty index range for t=%d w=%+v", tm, w)
+		}
+		if !w.Contains(first, tm) || !w.Contains(last, tm) {
+			t.Fatalf("range endpoints do not contain t=%d w=%+v", tm, w)
+		}
+		if first > 0 && w.Contains(first-1, tm) {
+			t.Fatalf("window before first contains t=%d w=%+v", tm, w)
+		}
+		if w.Contains(last+1, tm) {
+			t.Fatalf("window after last contains t=%d w=%+v", tm, w)
+		}
+	})
+}

@@ -1,0 +1,400 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"github.com/sharon-project/sharon/internal/event"
+)
+
+// Parse reads a query in the SASE-style surface language used throughout
+// the paper's examples, interning event types into reg. The grammar is
+//
+//	query := RETURN agg PATTERN SEQ '(' name {',' name} ')'
+//	         [WHERE pred {AND pred}] WITHIN dur SLIDE dur
+//	agg   := COUNT '(' '*' ')' | COUNT '(' name ')'
+//	       | (SUM|MIN|MAX|AVG) '(' name '.' 'val' ')'
+//	pred  := '[' 'key' ']' | (name|'*') '.' 'val' op number
+//	op    := '<' | '<=' | '>' | '>=' | '=' | '!='
+//	dur   := integer ('ms'|'s'|'m'|'h')
+//
+// Example:
+//
+//	RETURN COUNT(*) PATTERN SEQ(OakSt, MainSt)
+//	WHERE [key] WITHIN 10m SLIDE 1m
+func Parse(text string, reg *event.Registry) (*Query, error) {
+	p := &parser{lex: newLexer(text), reg: reg}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, fmt.Errorf("parse query: %w", err)
+	}
+	return q, nil
+}
+
+// MustParse is Parse that panics on error; intended for tests and examples
+// with literal query text.
+func MustParse(text string, reg *event.Registry) *Query {
+	q, err := Parse(text, reg)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokPunct // single punctuation: ( ) , . [ ] *
+	tokOp    // < <= > >= = !=
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+	i    int
+}
+
+func newLexer(src string) *lexer {
+	l := &lexer{src: src}
+	l.scan()
+	return l
+}
+
+func (l *lexer) scan() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case unicode.IsSpace(rune(c)):
+			l.pos++
+		case c == '(' || c == ')' || c == ',' || c == '.' || c == '[' || c == ']' || c == '*':
+			l.toks = append(l.toks, token{tokPunct, string(c), l.pos})
+			l.pos++
+		case c == '<' || c == '>' || c == '=' || c == '!':
+			start := l.pos
+			l.pos++
+			if l.pos < len(l.src) && l.src[l.pos] == '=' {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{tokOp, l.src[start:l.pos], start})
+		case c >= '0' && c <= '9' || c == '-':
+			start := l.pos
+			l.pos++
+			for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9' || l.src[l.pos] == '.') {
+				// stop before a duration suffix; handled as ident after
+				l.pos++
+			}
+			l.toks = append(l.toks, token{tokNumber, l.src[start:l.pos], start})
+		case isIdentRune(rune(c)):
+			start := l.pos
+			for l.pos < len(l.src) && isIdentRune(rune(l.src[l.pos])) {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{tokIdent, l.src[start:l.pos], start})
+		default:
+			// Unknown byte: emit as punct so the parser reports it.
+			l.toks = append(l.toks, token{tokPunct, string(c), l.pos})
+			l.pos++
+		}
+	}
+	l.toks = append(l.toks, token{tokEOF, "", l.pos})
+}
+
+func isIdentRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+func (l *lexer) peek() token { return l.toks[l.i] }
+
+func (l *lexer) next() token {
+	t := l.toks[l.i]
+	if t.kind != tokEOF {
+		l.i++
+	}
+	return t
+}
+
+type parser struct {
+	lex *lexer
+	reg *event.Registry
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.lex.next()
+	if t.kind != tokIdent || !strings.EqualFold(t.text, kw) {
+		return fmt.Errorf("expected %s at offset %d, got %q", kw, t.pos, t.text)
+	}
+	return nil
+}
+
+func (p *parser) expectPunct(s string) error {
+	t := p.lex.next()
+	if t.kind != tokPunct || t.text != s {
+		return fmt.Errorf("expected %q at offset %d, got %q", s, t.pos, t.text)
+	}
+	return nil
+}
+
+func (p *parser) peekKeyword(kw string) bool {
+	t := p.lex.peek()
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	q := &Query{}
+	if err := p.expectKeyword("RETURN"); err != nil {
+		return nil, err
+	}
+	agg, err := p.parseAgg()
+	if err != nil {
+		return nil, err
+	}
+	q.Agg = agg
+	if err := p.expectKeyword("PATTERN"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("SEQ"); err != nil {
+		return nil, err
+	}
+	pat, err := p.parsePattern()
+	if err != nil {
+		return nil, err
+	}
+	q.Pattern = pat
+	if p.peekKeyword("WHERE") {
+		p.lex.next()
+		if err := p.parsePredicates(q); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("WITHIN"); err != nil {
+		return nil, err
+	}
+	length, err := p.parseDuration()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("SLIDE"); err != nil {
+		return nil, err
+	}
+	slide, err := p.parseDuration()
+	if err != nil {
+		return nil, err
+	}
+	q.Window = Window{Length: length, Slide: slide}
+	if t := p.lex.peek(); t.kind != tokEOF {
+		return nil, fmt.Errorf("unexpected trailing input %q at offset %d", t.text, t.pos)
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+func (p *parser) parseAgg() (AggSpec, error) {
+	t := p.lex.next()
+	if t.kind != tokIdent {
+		return AggSpec{}, fmt.Errorf("expected aggregation function at offset %d, got %q", t.pos, t.text)
+	}
+	var kind AggKind
+	switch strings.ToUpper(t.text) {
+	case "COUNT":
+		kind = CountStar // refined below
+	case "SUM":
+		kind = Sum
+	case "MIN":
+		kind = Min
+	case "MAX":
+		kind = Max
+	case "AVG":
+		kind = Avg
+	default:
+		return AggSpec{}, fmt.Errorf("unknown aggregation function %q at offset %d", t.text, t.pos)
+	}
+	if err := p.expectPunct("("); err != nil {
+		return AggSpec{}, err
+	}
+	if kind == CountStar {
+		// COUNT(*) or COUNT(Type)
+		if tk := p.lex.peek(); tk.kind == tokPunct && tk.text == "*" {
+			p.lex.next()
+			if err := p.expectPunct(")"); err != nil {
+				return AggSpec{}, err
+			}
+			return AggSpec{Kind: CountStar}, nil
+		}
+		name := p.lex.next()
+		if name.kind != tokIdent {
+			return AggSpec{}, fmt.Errorf("expected event type in COUNT at offset %d", name.pos)
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return AggSpec{}, err
+		}
+		return AggSpec{Kind: CountE, Target: p.reg.Intern(name.text)}, nil
+	}
+	name := p.lex.next()
+	if name.kind != tokIdent {
+		return AggSpec{}, fmt.Errorf("expected event type at offset %d", name.pos)
+	}
+	// Optional ".val" attribute selector.
+	if tk := p.lex.peek(); tk.kind == tokPunct && tk.text == "." {
+		p.lex.next()
+		attr := p.lex.next()
+		if attr.kind != tokIdent || !strings.EqualFold(attr.text, "val") {
+			return AggSpec{}, fmt.Errorf("only the 'val' attribute is supported, got %q at offset %d", attr.text, attr.pos)
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return AggSpec{}, err
+	}
+	return AggSpec{Kind: kind, Target: p.reg.Intern(name.text)}, nil
+}
+
+func (p *parser) parsePattern() (Pattern, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var pat Pattern
+	for {
+		t := p.lex.next()
+		if t.kind != tokIdent {
+			return nil, fmt.Errorf("expected event type at offset %d, got %q", t.pos, t.text)
+		}
+		pat = append(pat, p.reg.Intern(t.text))
+		nxt := p.lex.next()
+		if nxt.kind == tokPunct && nxt.text == "," {
+			continue
+		}
+		if nxt.kind == tokPunct && nxt.text == ")" {
+			return pat, nil
+		}
+		return nil, fmt.Errorf("expected ',' or ')' at offset %d, got %q", nxt.pos, nxt.text)
+	}
+}
+
+func (p *parser) parsePredicates(q *Query) error {
+	for {
+		t := p.lex.peek()
+		switch {
+		case t.kind == tokPunct && t.text == "[":
+			// [key] — group by the event key, the paper's same-attribute
+			// predicate (e.g. [vehicle]).
+			p.lex.next()
+			name := p.lex.next()
+			if name.kind != tokIdent {
+				return fmt.Errorf("expected attribute name in [...] at offset %d", name.pos)
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return err
+			}
+			q.GroupBy = true
+		case t.kind == tokIdent || (t.kind == tokPunct && t.text == "*"):
+			pred, err := p.parseComparison()
+			if err != nil {
+				return err
+			}
+			q.Where = append(q.Where, pred)
+		default:
+			return fmt.Errorf("expected predicate at offset %d, got %q", t.pos, t.text)
+		}
+		if p.peekKeyword("AND") {
+			p.lex.next()
+			continue
+		}
+		return nil
+	}
+}
+
+func (p *parser) parseComparison() (Predicate, error) {
+	var pred Predicate
+	t := p.lex.next()
+	if t.kind == tokPunct && t.text == "*" {
+		pred.Type = event.NoType
+	} else if t.kind == tokIdent {
+		pred.Type = p.reg.Intern(t.text)
+	} else {
+		return pred, fmt.Errorf("expected event type or '*' at offset %d", t.pos)
+	}
+	if err := p.expectPunct("."); err != nil {
+		return pred, err
+	}
+	attr := p.lex.next()
+	if attr.kind != tokIdent || !strings.EqualFold(attr.text, "val") {
+		return pred, fmt.Errorf("only the 'val' attribute is supported in predicates, got %q", attr.text)
+	}
+	op := p.lex.next()
+	if op.kind != tokOp {
+		return pred, fmt.Errorf("expected comparison operator at offset %d, got %q", op.pos, op.text)
+	}
+	switch op.text {
+	case "<":
+		pred.Op = Lt
+	case "<=":
+		pred.Op = Le
+	case ">":
+		pred.Op = Gt
+	case ">=":
+		pred.Op = Ge
+	case "=":
+		pred.Op = Eq
+	case "!=":
+		pred.Op = Ne
+	default:
+		return pred, fmt.Errorf("unknown operator %q at offset %d", op.text, op.pos)
+	}
+	num := p.lex.next()
+	if num.kind != tokNumber {
+		return pred, fmt.Errorf("expected number at offset %d, got %q", num.pos, num.text)
+	}
+	v, err := strconv.ParseFloat(num.text, 64)
+	if err != nil {
+		return pred, fmt.Errorf("bad number %q: %w", num.text, err)
+	}
+	pred.Value = v
+	return pred, nil
+}
+
+// parseDuration parses "<int><unit>" where unit is ms, s, m, or h; a bare
+// integer is interpreted as seconds.
+func (p *parser) parseDuration() (int64, error) {
+	num := p.lex.next()
+	if num.kind != tokNumber {
+		return 0, fmt.Errorf("expected duration at offset %d, got %q", num.pos, num.text)
+	}
+	n, err := strconv.ParseInt(num.text, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad duration %q: %w", num.text, err)
+	}
+	unit := int64(event.TicksPerSecond) // default seconds
+	if t := p.lex.peek(); t.kind == tokIdent {
+		switch strings.ToLower(t.text) {
+		case "ms":
+			unit = event.TicksPerSecond / 1000
+			if unit == 0 {
+				unit = 1
+			}
+			p.lex.next()
+		case "s":
+			unit = event.TicksPerSecond
+			p.lex.next()
+		case "m":
+			unit = 60 * event.TicksPerSecond
+			p.lex.next()
+		case "h":
+			unit = 3600 * event.TicksPerSecond
+			p.lex.next()
+		}
+	}
+	return n * unit, nil
+}

@@ -1,0 +1,169 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/sharon-project/sharon/internal/event"
+)
+
+func TestParsePaperQuery(t *testing.T) {
+	reg := event.NewRegistry()
+	q, err := Parse("RETURN COUNT(*) PATTERN SEQ(OakSt, MainSt) WHERE [vehicle] WITHIN 10m SLIDE 1m", reg)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if q.Agg.Kind != CountStar {
+		t.Errorf("Agg = %v", q.Agg.Kind)
+	}
+	if q.Pattern.Length() != 2 || reg.Name(q.Pattern[0]) != "OakSt" || reg.Name(q.Pattern[1]) != "MainSt" {
+		t.Errorf("Pattern = %v", q.Pattern.Format(reg))
+	}
+	if !q.GroupBy {
+		t.Error("GroupBy not set by [vehicle]")
+	}
+	if q.Window.Length != 600*event.TicksPerSecond || q.Window.Slide != 60*event.TicksPerSecond {
+		t.Errorf("Window = %+v", q.Window)
+	}
+}
+
+func TestParseAggregationFunctions(t *testing.T) {
+	tests := []struct {
+		text   string
+		kind   AggKind
+		target string
+	}{
+		{"COUNT(*)", CountStar, ""},
+		{"COUNT(Laptop)", CountE, "Laptop"},
+		{"SUM(Trip.val)", Sum, "Trip"},
+		{"MIN(Speed.val)", Min, "Speed"},
+		{"MAX(Speed.val)", Max, "Speed"},
+		{"AVG(Price.val)", Avg, "Price"},
+		{"sum(Trip.val)", Sum, "Trip"}, // keywords are case-insensitive
+	}
+	for _, tt := range tests {
+		reg := event.NewRegistry()
+		target := "X"
+		if tt.target != "" {
+			target = tt.target
+		}
+		text := "RETURN " + tt.text + " PATTERN SEQ(" + target + ", Y) WITHIN 10s SLIDE 5s"
+		q, err := Parse(text, reg)
+		if err != nil {
+			t.Errorf("%s: %v", tt.text, err)
+			continue
+		}
+		if q.Agg.Kind != tt.kind {
+			t.Errorf("%s: kind = %v, want %v", tt.text, q.Agg.Kind, tt.kind)
+		}
+		if tt.target != "" && reg.Name(q.Agg.Target) != tt.target {
+			t.Errorf("%s: target = %q", tt.text, reg.Name(q.Agg.Target))
+		}
+	}
+}
+
+func TestParsePredicates(t *testing.T) {
+	reg := event.NewRegistry()
+	q, err := Parse("RETURN COUNT(*) PATTERN SEQ(A, B) WHERE A.val > 3.5 AND *.val <= 100 AND [key] WITHIN 60s SLIDE 10s", reg)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(q.Where) != 2 {
+		t.Fatalf("Where = %v, want 2 predicates", q.Where)
+	}
+	if q.Where[0].Op != Gt || q.Where[0].Value != 3.5 || reg.Name(q.Where[0].Type) != "A" {
+		t.Errorf("pred 0 = %+v", q.Where[0])
+	}
+	if q.Where[1].Op != Le || q.Where[1].Value != 100 || q.Where[1].Type != event.NoType {
+		t.Errorf("pred 1 = %+v", q.Where[1])
+	}
+	if !q.GroupBy {
+		t.Error("GroupBy not set")
+	}
+}
+
+func TestParseDurations(t *testing.T) {
+	tests := []struct {
+		dur  string
+		want int64
+	}{
+		{"500ms", 500 * event.TicksPerSecond / 1000},
+		{"20s", 20 * event.TicksPerSecond},
+		{"2m", 120 * event.TicksPerSecond},
+		{"1h", 3600 * event.TicksPerSecond},
+		{"30", 30 * event.TicksPerSecond}, // bare integer = seconds
+	}
+	for _, tt := range tests {
+		reg := event.NewRegistry()
+		q, err := Parse("RETURN COUNT(*) PATTERN SEQ(A, B) WITHIN "+tt.dur+" SLIDE "+tt.dur, reg)
+		if err != nil {
+			t.Errorf("%s: %v", tt.dur, err)
+			continue
+		}
+		if q.Window.Length != tt.want {
+			t.Errorf("%s: length = %d, want %d", tt.dur, q.Window.Length, tt.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"PATTERN SEQ(A, B) WITHIN 10s SLIDE 1s", // missing RETURN
+		"RETURN COUNT(*) PATTERN SEQ() WITHIN 10s SLIDE 1s",     // empty pattern
+		"RETURN COUNT(*) PATTERN SEQ(A, B) WITHIN 10s",          // missing SLIDE
+		"RETURN BOGUS(*) PATTERN SEQ(A, B) WITHIN 10s SLIDE 1s", // unknown agg
+		"RETURN COUNT(*) PATTERN SEQ(A, B) WITHIN 1s SLIDE 10s", // slide > window
+		"RETURN COUNT(*) PATTERN SEQ(A, B) WHERE A.val >< 3 WITHIN 10s SLIDE 1s",
+		"RETURN SUM(C.val) PATTERN SEQ(A, B) WITHIN 10s SLIDE 1s", // target not in pattern
+		"RETURN COUNT(*) PATTERN SEQ(A, B) WITHIN 10s SLIDE 1s trailing",
+		"RETURN COUNT(*) PATTERN SEQ(A; B) WITHIN 10s SLIDE 1s",     // stray punctuation
+		"RETURN SUM(A.price) PATTERN SEQ(A, B) WITHIN 10s SLIDE 1s", // unsupported attribute
+	}
+	for _, text := range bad {
+		reg := event.NewRegistry()
+		if _, err := Parse(text, reg); err == nil {
+			t.Errorf("accepted invalid query %q", text)
+		}
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	texts := []string{
+		"RETURN COUNT(*) PATTERN SEQ(OakSt, MainSt) WHERE [key] WITHIN 10m SLIDE 1m",
+		"RETURN SUM(B.val) PATTERN SEQ(A, B, C) WHERE A.val > 5 WITHIN 30s SLIDE 10s",
+		"RETURN AVG(C.val) PATTERN SEQ(A, C) WITHIN 2m SLIDE 30s",
+	}
+	for _, text := range texts {
+		reg := event.NewRegistry()
+		q1, err := Parse(text, reg)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", text, err)
+		}
+		rendered := q1.Format(reg)
+		q2, err := Parse(rendered, reg)
+		if err != nil {
+			t.Fatalf("re-Parse(%q): %v", rendered, err)
+		}
+		if !q1.Pattern.Equal(q2.Pattern) || q1.Agg != q2.Agg || q1.Window != q2.Window || q1.GroupBy != q2.GroupBy {
+			t.Errorf("round trip changed query: %q -> %q", text, rendered)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse did not panic on bad input")
+		}
+	}()
+	MustParse("garbage", event.NewRegistry())
+}
+
+func TestParseErrorMentionsOffset(t *testing.T) {
+	reg := event.NewRegistry()
+	_, err := Parse("RETURN COUNT(*) PATTERN SEQ(A, B) WITHIN 10s SLIDE", reg)
+	if err == nil || !strings.Contains(err.Error(), "duration") {
+		t.Errorf("err = %v, want duration complaint", err)
+	}
+}

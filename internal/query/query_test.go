@@ -1,0 +1,236 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/sharon-project/sharon/internal/event"
+)
+
+func testReg(t *testing.T, names ...string) (*event.Registry, map[string]event.Type) {
+	t.Helper()
+	reg := event.NewRegistry()
+	m := make(map[string]event.Type)
+	for _, n := range names {
+		m[n] = reg.Intern(n)
+	}
+	return reg, m
+}
+
+func patOf(m map[string]event.Type, names ...string) Pattern {
+	p := make(Pattern, len(names))
+	for i, n := range names {
+		p[i] = m[n]
+	}
+	return p
+}
+
+func TestPatternBasics(t *testing.T) {
+	_, m := testReg(t, "A", "B", "C", "D")
+	p := patOf(m, "A", "B", "C")
+	if p.Length() != 3 {
+		t.Fatalf("Length = %d", p.Length())
+	}
+	if !p.Equal(patOf(m, "A", "B", "C")) {
+		t.Error("Equal failed on identical patterns")
+	}
+	if p.Equal(patOf(m, "A", "B")) || p.Equal(patOf(m, "A", "B", "D")) {
+		t.Error("Equal true for different patterns")
+	}
+	clone := p.Clone()
+	clone[0] = m["D"]
+	if p[0] != m["A"] {
+		t.Error("Clone aliases the original")
+	}
+}
+
+func TestPatternIndexOfContains(t *testing.T) {
+	_, m := testReg(t, "A", "B", "C", "D", "E")
+	p := patOf(m, "A", "B", "C", "D")
+	tests := []struct {
+		sub  Pattern
+		want int
+	}{
+		{patOf(m, "A", "B"), 0},
+		{patOf(m, "B", "C"), 1},
+		{patOf(m, "C", "D"), 2},
+		{patOf(m, "A", "B", "C", "D"), 0},
+		{patOf(m, "B", "D"), -1},
+		{patOf(m, "E"), -1},
+		{Pattern{}, -1},
+		{patOf(m, "A", "B", "C", "D", "E"), -1},
+	}
+	for _, tt := range tests {
+		if got := p.IndexOf(tt.sub); got != tt.want {
+			t.Errorf("IndexOf(%v) = %d, want %d", tt.sub, got, tt.want)
+		}
+		if got := p.Contains(tt.sub); got != (tt.want >= 0) {
+			t.Errorf("Contains(%v) = %v", tt.sub, got)
+		}
+	}
+}
+
+func TestPatternOccurrencesWithDuplicates(t *testing.T) {
+	_, m := testReg(t, "A", "B")
+	p := patOf(m, "A", "B", "A", "B")
+	occ := p.Occurrences(patOf(m, "A", "B"))
+	if len(occ) != 2 || occ[0] != 0 || occ[1] != 2 {
+		t.Fatalf("Occurrences = %v, want [0 2]", occ)
+	}
+	if !p.HasDuplicateTypes() {
+		t.Error("HasDuplicateTypes should be true")
+	}
+	if patOf(m, "A", "B").HasDuplicateTypes() {
+		t.Error("HasDuplicateTypes false positive")
+	}
+}
+
+func TestPatternKeyUnique(t *testing.T) {
+	_, m := testReg(t, "A", "B", "AB")
+	// (A,B) and (AB) must not collide even though names concatenate.
+	p1 := patOf(m, "A", "B")
+	p2 := patOf(m, "AB")
+	if p1.Key() == p2.Key() {
+		t.Errorf("key collision: %q", p1.Key())
+	}
+}
+
+func TestPredicateEval(t *testing.T) {
+	_, m := testReg(t, "A", "B")
+	ev := event.Event{Type: m["A"], Val: 10}
+	tests := []struct {
+		p    Predicate
+		want bool
+	}{
+		{Predicate{Type: m["A"], Op: Gt, Value: 5}, true},
+		{Predicate{Type: m["A"], Op: Lt, Value: 5}, false},
+		{Predicate{Type: m["A"], Op: Ge, Value: 10}, true},
+		{Predicate{Type: m["A"], Op: Le, Value: 10}, true},
+		{Predicate{Type: m["A"], Op: Eq, Value: 10}, true},
+		{Predicate{Type: m["A"], Op: Ne, Value: 10}, false},
+		{Predicate{Type: m["B"], Op: Lt, Value: 0}, true}, // other type passes vacuously
+		{Predicate{Type: event.NoType, Op: Gt, Value: 5}, true},
+		{Predicate{Type: event.NoType, Op: Gt, Value: 50}, false},
+	}
+	for i, tt := range tests {
+		if got := tt.p.Eval(ev); got != tt.want {
+			t.Errorf("case %d: Eval = %v, want %v", i, got, tt.want)
+		}
+	}
+}
+
+func TestQueryValidate(t *testing.T) {
+	_, m := testReg(t, "A", "B")
+	win := Window{Length: 10, Slide: 2}
+	ok := &Query{ID: 1, Pattern: patOf(m, "A", "B"), Agg: AggSpec{Kind: CountStar}, Window: win}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid query rejected: %v", err)
+	}
+	bad := []*Query{
+		{ID: 1, Pattern: Pattern{}, Window: win},
+		{ID: 1, Pattern: Pattern{event.NoType}, Window: win},
+		{ID: 1, Pattern: patOf(m, "A"), Window: Window{}},
+		{ID: 1, Pattern: patOf(m, "A"), Agg: AggSpec{Kind: Sum}, Window: win},                 // missing target
+		{ID: 1, Pattern: patOf(m, "A"), Agg: AggSpec{Kind: Sum, Target: m["B"]}, Window: win}, // target not in pattern
+	}
+	for i, q := range bad {
+		if err := q.Validate(); err == nil {
+			t.Errorf("bad query %d accepted", i)
+		}
+	}
+}
+
+func TestWorkloadValidateAndRenumber(t *testing.T) {
+	_, m := testReg(t, "A", "B")
+	win := Window{Length: 10, Slide: 2}
+	w := Workload{
+		{Pattern: patOf(m, "A", "B"), Window: win},
+		{Pattern: patOf(m, "B", "A"), Window: win},
+	}
+	w.Renumber()
+	if w[0].ID != 0 || w[1].ID != 1 {
+		t.Fatalf("Renumber ids = %d,%d", w[0].ID, w[1].ID)
+	}
+	if w[0].Name != "q1" || w[1].Name != "q2" {
+		t.Fatalf("Renumber names = %s,%s", w[0].Name, w[1].Name)
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	w[1].ID = 0
+	if err := w.Validate(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate ids accepted: %v", err)
+	}
+}
+
+func TestWorkloadTypes(t *testing.T) {
+	_, m := testReg(t, "A", "B", "C")
+	win := Window{Length: 10, Slide: 2}
+	w := Workload{
+		{ID: 0, Pattern: patOf(m, "A", "B"), Window: win},
+		{ID: 1, Pattern: patOf(m, "B", "C"), Window: win},
+	}
+	types := w.Types()
+	if len(types) != 3 {
+		t.Fatalf("Types() = %v, want 3 entries", types)
+	}
+}
+
+func TestQueryLabel(t *testing.T) {
+	q := &Query{ID: 4}
+	if q.Label() != "q4" {
+		t.Errorf("Label = %q", q.Label())
+	}
+	q.Name = "custom"
+	if q.Label() != "custom" {
+		t.Errorf("Label = %q", q.Label())
+	}
+}
+
+func TestAggKindStrings(t *testing.T) {
+	for k, want := range map[AggKind]string{
+		CountStar: "COUNT(*)", CountE: "COUNT", Sum: "SUM",
+		Min: "MIN", Max: "MAX", Avg: "AVG", AggKind(42): "AggKind(42)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestCmpOpStrings(t *testing.T) {
+	for op, want := range map[CmpOp]string{
+		Lt: "<", Le: "<=", Gt: ">", Ge: ">=", Eq: "=", Ne: "!=", CmpOp(9): "?",
+	} {
+		if got := op.String(); got != want {
+			t.Errorf("op %d = %q, want %q", int(op), got, want)
+		}
+	}
+}
+
+func TestAggSpecFormat(t *testing.T) {
+	reg, m := testReg(t, "A")
+	if got := (AggSpec{Kind: CountStar}).Format(reg); got != "COUNT(*)" {
+		t.Errorf("Format = %q", got)
+	}
+	if got := (AggSpec{Kind: CountE, Target: m["A"]}).Format(reg); got != "COUNT(A)" {
+		t.Errorf("Format = %q", got)
+	}
+	if got := (AggSpec{Kind: Max, Target: m["A"]}).Format(reg); got != "MAX(A.val)" {
+		t.Errorf("Format = %q", got)
+	}
+}
+
+func TestPatternSub(t *testing.T) {
+	_, m := testReg(t, "A", "B", "C")
+	p := patOf(m, "A", "B", "C")
+	sub := p.Sub(1, 3)
+	if sub.Length() != 2 || sub[0] != m["B"] {
+		t.Errorf("Sub = %v", sub)
+	}
+	// Sub uses a capped slice: appending must not clobber the original.
+	sub = append(sub, m["A"])
+	if p[2] != m["C"] {
+		t.Error("Sub aliases parent backing array")
+	}
+}

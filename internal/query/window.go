@@ -1,0 +1,69 @@
+package query
+
+import "fmt"
+
+// Window is a sliding window specified by the WITHIN and SLIDE clauses
+// (paper Definition 2). Window k covers the half-open tick interval
+// [k*Slide, k*Slide+Length).
+type Window struct {
+	Length int64 // WITHIN, in ticks
+	Slide  int64 // SLIDE, in ticks
+}
+
+// Validate reports whether the window parameters are usable.
+func (w Window) Validate() error {
+	if w.Length <= 0 {
+		return fmt.Errorf("window: WITHIN must be positive, got %d", w.Length)
+	}
+	if w.Slide <= 0 {
+		return fmt.Errorf("window: SLIDE must be positive, got %d", w.Slide)
+	}
+	if w.Slide > w.Length {
+		return fmt.Errorf("window: SLIDE %d exceeds WITHIN %d (events would be dropped)", w.Slide, w.Length)
+	}
+	return nil
+}
+
+// Start returns the first tick of window k.
+func (w Window) Start(k int64) int64 { return k * w.Slide }
+
+// End returns the first tick after window k.
+func (w Window) End(k int64) int64 { return k*w.Slide + w.Length }
+
+// FirstContaining returns the smallest window index whose interval contains
+// tick t: the least k with k*Slide > t-Length, clamped at 0.
+func (w Window) FirstContaining(t int64) int64 {
+	// k*Slide + Length > t  <=>  k > (t-Length)/Slide
+	k := (t-w.Length)/w.Slide + 1
+	if (t-w.Length)%w.Slide < 0 {
+		// integer division truncates toward zero for negatives; floor it.
+		k--
+	}
+	if k < 0 {
+		k = 0
+	}
+	return k
+}
+
+// LastContaining returns the largest window index whose interval contains
+// tick t, i.e. floor(t/Slide). t must be non-negative.
+func (w Window) LastContaining(t int64) int64 { return t / w.Slide }
+
+// Contains reports whether window k contains tick t.
+func (w Window) Contains(k, t int64) bool {
+	return w.Start(k) <= t && t < w.End(k)
+}
+
+// Indices returns the inclusive range of window indices containing t.
+func (w Window) Indices(t int64) (first, last int64) {
+	return w.FirstContaining(t), w.LastContaining(t)
+}
+
+// PairIndices returns the inclusive range of window indices containing the
+// whole interval [start, end] (a sequence's START and END event times).
+// It returns ok=false if no window contains both.
+func (w Window) PairIndices(start, end int64) (first, last int64, ok bool) {
+	first = w.FirstContaining(end) // window must extend past end
+	last = w.LastContaining(start) // window must begin at or before start
+	return first, last, first <= last
+}

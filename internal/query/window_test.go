@@ -1,0 +1,108 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestWindowValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		w       Window
+		wantErr bool
+	}{
+		{"ok", Window{Length: 10, Slide: 2}, false},
+		{"tumbling", Window{Length: 10, Slide: 10}, false},
+		{"zero length", Window{Length: 0, Slide: 1}, true},
+		{"zero slide", Window{Length: 10, Slide: 0}, true},
+		{"slide exceeds length", Window{Length: 5, Slide: 6}, true},
+		{"negative", Window{Length: -1, Slide: 1}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.w.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestWindowIntervals(t *testing.T) {
+	w := Window{Length: 4, Slide: 1}
+	if got := w.Start(3); got != 3 {
+		t.Errorf("Start(3) = %d, want 3", got)
+	}
+	if got := w.End(3); got != 7 {
+		t.Errorf("End(3) = %d, want 7", got)
+	}
+	// t=5 is contained in windows [2,6),[3,7),[4,8),[5,9).
+	first, last := w.Indices(5)
+	if first != 2 || last != 5 {
+		t.Errorf("Indices(5) = [%d,%d], want [2,5]", first, last)
+	}
+	// Clamping at window 0: t=1 with length 4 gives first=0.
+	first, last = w.Indices(1)
+	if first != 0 || last != 1 {
+		t.Errorf("Indices(1) = [%d,%d], want [0,1]", first, last)
+	}
+}
+
+func TestWindowContains(t *testing.T) {
+	w := Window{Length: 10, Slide: 3}
+	if !w.Contains(2, 6) { // window 2 = [6,16)
+		t.Error("window 2 should contain t=6")
+	}
+	if w.Contains(2, 5) {
+		t.Error("window 2 should not contain t=5")
+	}
+	if w.Contains(2, 16) {
+		t.Error("window 2 should not contain t=16 (half-open)")
+	}
+}
+
+func TestWindowPairIndices(t *testing.T) {
+	w := Window{Length: 4, Slide: 1}
+	first, last, ok := w.PairIndices(3, 5)
+	// Windows containing both 3 and 5: [2,6),[3,7).
+	if !ok || first != 2 || last != 3 {
+		t.Errorf("PairIndices(3,5) = [%d,%d] ok=%v, want [2,3] true", first, last, ok)
+	}
+	// Span longer than the window: no window contains both.
+	if _, _, ok := w.PairIndices(0, 4); ok {
+		t.Error("PairIndices(0,4) should not fit a length-4 window")
+	}
+}
+
+// TestWindowIndicesProperty cross-checks the closed-form index ranges
+// against the Contains predicate on random windows and times.
+func TestWindowIndicesProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		w := Window{Length: int64(1 + rng.Intn(50)), Slide: 0}
+		w.Slide = int64(1 + rng.Intn(int(w.Length)))
+		tm := int64(rng.Intn(500))
+		first, last := w.Indices(tm)
+		if first > last {
+			t.Fatalf("w=%+v t=%d: empty index range [%d,%d]", w, tm, first, last)
+		}
+		for k := first - 2; k <= last+2; k++ {
+			if k < 0 {
+				continue
+			}
+			in := k >= first && k <= last
+			if got := w.Contains(k, tm); got != in {
+				t.Fatalf("w=%+v t=%d k=%d: Contains=%v, index range says %v", w, tm, k, got, in)
+			}
+		}
+		// PairIndices agrees with Contains on both endpoints.
+		t2 := tm + int64(rng.Intn(60))
+		pf, pl, ok := w.PairIndices(tm, t2)
+		for k := int64(0); k <= t2/w.Slide+1; k++ {
+			in := w.Contains(k, tm) && w.Contains(k, t2)
+			inRange := ok && k >= pf && k <= pl
+			if in != inRange {
+				t.Fatalf("w=%+v pair(%d,%d) k=%d: contains=%v range=%v", w, tm, t2, k, in, inRange)
+			}
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package sharon
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/sharon-project/sharon/internal/core"
+	"github.com/sharon-project/sharon/internal/exec"
+)
+
+// PartitionedSystem evaluates a workload whose queries differ in windows,
+// grouping, or predicates (paper §7.2): queries are partitioned into
+// uniform segments, each optimized and executed by its own shared engine.
+// Within a segment Sharon shares exactly as in System; across segments
+// nothing is shared, matching the paper's segment-orthogonality argument.
+type PartitionedSystem struct {
+	p       *exec.Partitioned
+	collect bool
+}
+
+// NewPartitionedSystem optimizes and compiles each uniform segment of the
+// workload. Queries keep their global IDs in results.
+func NewPartitionedSystem(w Workload, opts Options) (*PartitionedSystem, error) {
+	if err := w.Validate(); err != nil {
+		return nil, fmt.Errorf("sharon: %w", err)
+	}
+	rates := opts.Rates
+	if rates == nil {
+		rates = Rates{}
+		for t := range w.Types() {
+			rates[t] = 1
+		}
+	}
+	budget := opts.OptimizerBudget
+	if budget == 0 {
+		budget = 10 * time.Second
+	}
+	strat := core.StrategySharon
+	switch opts.Strategy {
+	case StrategyGreedy:
+		strat = core.StrategyGreedy
+	case StrategyNonShared:
+		strat = core.StrategyNone
+	case StrategyTwoStep, StrategySPASS:
+		return nil, fmt.Errorf("sharon: partitioned execution supports online strategies only")
+	}
+	collect := opts.OnResult == nil
+	p, err := exec.NewPartitioned(w, rates, exec.Options{
+		OnResult:  opts.OnResult,
+		Collect:   collect,
+		EmitEmpty: opts.EmitEmpty,
+	}, core.OptimizerOptions{
+		Strategy: strat,
+		Expand:   strat == core.StrategySharon,
+		Budget:   budget,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sharon: %w", err)
+	}
+	return &PartitionedSystem{p: p, collect: collect}, nil
+}
+
+// Segments reports how many uniform segments the workload split into.
+func (s *PartitionedSystem) Segments() int { return s.p.Segments() }
+
+// SegmentPlan returns segment i's queries and sharing plan.
+func (s *PartitionedSystem) SegmentPlan(i int) (Workload, Plan) { return s.p.SegmentPlan(i) }
+
+// Process feeds the next event (strictly time-ordered).
+func (s *PartitionedSystem) Process(e Event) error { return s.p.Process(e) }
+
+// ProcessAll replays a stream and flushes.
+func (s *PartitionedSystem) ProcessAll(stream Stream) error {
+	for _, e := range stream {
+		if err := s.p.Process(e); err != nil {
+			return err
+		}
+	}
+	return s.p.Flush()
+}
+
+// Flush closes every window containing events seen so far.
+func (s *PartitionedSystem) Flush() error { return s.p.Flush() }
+
+// Results returns collected results (only when OnResult was nil).
+func (s *PartitionedSystem) Results() []Result {
+	if !s.collect {
+		return nil
+	}
+	return s.p.Results()
+}
+
+// ResultCount reports the number of aggregates emitted so far.
+func (s *PartitionedSystem) ResultCount() int64 { return s.p.ResultCount() }
+
+// PeakMemoryStates reports the summed peak live aggregate states.
+func (s *PartitionedSystem) PeakMemoryStates() int64 { return s.p.PeakLiveStates() }

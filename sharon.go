@@ -1,0 +1,305 @@
+// Package sharon is a from-scratch Go implementation of SHARON — Shared
+// Online Event Sequence Aggregation (Poppe et al., ICDE 2018): a complex
+// event processing engine that evaluates workloads of event sequence
+// aggregation queries online (without constructing sequences) while
+// sharing intermediate aggregates among queries according to an optimal
+// sharing plan.
+//
+// The typical flow mirrors the paper's framework (Fig. 5):
+//
+//	reg := sharon.NewRegistry()
+//	q1 := sharon.MustParseQuery("RETURN COUNT(*) PATTERN SEQ(OakSt, MainSt) WHERE [vehicle] WITHIN 10m SLIDE 1m", reg)
+//	q2 := sharon.MustParseQuery("RETURN COUNT(*) PATTERN SEQ(ParkAve, OakSt, MainSt) WHERE [vehicle] WITHIN 10m SLIDE 1m", reg)
+//	sys, err := sharon.NewSystem(sharon.Workload{q1, q2}, sharon.Options{Rates: rates})
+//	for _, e := range stream {
+//	    sys.Process(e)
+//	}
+//	sys.Flush()
+//	for _, r := range sys.Results() { ... }
+//
+// NewSystem runs the static optimizer — sharable pattern detection
+// (modified CCSpan), the benefit model, the Sharon graph, GWMIN-bound
+// reduction, and the optimal plan finder — and instantiates the shared
+// online executor for the chosen plan. Baseline executors (A-Seq,
+// Flink-style two-step, SPASS) are exposed for comparison via Strategy.
+package sharon
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/sharon-project/sharon/internal/core"
+	"github.com/sharon-project/sharon/internal/event"
+	"github.com/sharon-project/sharon/internal/exec"
+	"github.com/sharon-project/sharon/internal/query"
+)
+
+// Re-exported data-model types. Events carry a timestamp in ticks
+// (TicksPerSecond per second), an interned type, a grouping key, and one
+// numeric attribute.
+type (
+	// Event is a time-stamped message on the input stream.
+	Event = event.Event
+	// Type is an interned event type.
+	Type = event.Type
+	// GroupKey is the grouping-attribute value of an event.
+	GroupKey = event.GroupKey
+	// Registry interns event type names.
+	Registry = event.Registry
+	// Stream is a finite, strictly time-ordered event sequence.
+	Stream = event.Stream
+	// Pattern is an event sequence pattern (E1 ... El).
+	Pattern = query.Pattern
+	// Query is an event sequence aggregation query.
+	Query = query.Query
+	// Workload is a set of queries evaluated together.
+	Workload = query.Workload
+	// Window is a sliding window (WITHIN/SLIDE).
+	Window = query.Window
+	// Result is one aggregate: (query, window, group) -> state.
+	Result = exec.Result
+	// Plan is a sharing plan: the set of sharing candidates in effect.
+	Plan = core.Plan
+	// Candidate is one sharing candidate (p, Qp).
+	Candidate = core.Candidate
+	// Rates maps event types to rates for the optimizer's benefit model.
+	Rates = core.Rates
+)
+
+// TicksPerSecond is the timestamp resolution of the event model.
+const TicksPerSecond = event.TicksPerSecond
+
+// NewRegistry returns an empty event type registry.
+func NewRegistry() *Registry { return event.NewRegistry() }
+
+// ParseQuery parses a query in the SASE-style surface language, e.g.
+//
+//	RETURN COUNT(*) PATTERN SEQ(OakSt, MainSt) WHERE [vehicle] WITHIN 10m SLIDE 1m
+func ParseQuery(text string, reg *Registry) (*Query, error) {
+	return query.Parse(text, reg)
+}
+
+// MustParseQuery is ParseQuery that panics on error.
+func MustParseQuery(text string, reg *Registry) *Query {
+	return query.MustParse(text, reg)
+}
+
+// Strategy selects an execution strategy for NewSystem.
+type Strategy int
+
+const (
+	// StrategySharon (default) runs the Sharon optimizer and the shared
+	// online executor.
+	StrategySharon Strategy = iota
+	// StrategyGreedy runs the greedy (GWMIN) optimizer with the shared
+	// online executor.
+	StrategyGreedy
+	// StrategyNonShared evaluates every query independently online
+	// (the A-Seq baseline).
+	StrategyNonShared
+	// StrategyTwoStep constructs all sequences before aggregating them
+	// (the Flink-style baseline). For comparison only.
+	StrategyTwoStep
+	// StrategySPASS shares sequence construction but not aggregation.
+	// For comparison only.
+	StrategySPASS
+	// StrategySASE constructs sequences incrementally with an NFA per
+	// query (SASE/Cayuga style). For comparison only.
+	StrategySASE
+)
+
+// Options configures NewSystem.
+type Options struct {
+	// Strategy selects optimizer + executor (default StrategySharon).
+	Strategy Strategy
+	// Rates supplies per-type event rates for the benefit model. When
+	// nil, sharing decisions assume uniform rates across the workload's
+	// types. Use MeasureRates on a stream sample for realistic plans.
+	Rates Rates
+	// Plan, when non-nil, bypasses the optimizer and executes this plan.
+	Plan Plan
+	// OnResult receives every aggregate as it is emitted. If nil,
+	// results are collected and available from Results.
+	OnResult func(Result)
+	// EmitEmpty also emits zero results for windows without matches.
+	EmitEmpty bool
+	// OptimizerBudget bounds the plan search; on expiry the best plan
+	// found so far (at least GWMIN's) is used. Default 10s.
+	OptimizerBudget time.Duration
+}
+
+// System is a compiled workload: an optimizer-chosen sharing plan and a
+// running executor.
+type System struct {
+	workload Workload
+	plan     Plan
+	score    float64
+	executor exec.Executor
+	collect  bool
+}
+
+// MeasureRates computes per-type rates from a stream sample, normalized
+// per group when the workload groups by key (the executor partitions the
+// stream, so the cost model must see per-group rates).
+func MeasureRates(sample Stream, w Workload) Rates {
+	rates := Rates(sample.Rates())
+	if len(w) == 0 || !w[0].GroupBy {
+		return rates
+	}
+	keys := make(map[GroupKey]bool)
+	for _, e := range sample {
+		keys[e.Key] = true
+	}
+	if n := float64(len(keys)); n > 1 {
+		for t := range rates {
+			rates[t] /= n
+		}
+	}
+	return rates
+}
+
+// NewSystem optimizes the workload and builds its executor.
+func NewSystem(w Workload, opts Options) (*System, error) {
+	if err := w.Validate(); err != nil {
+		return nil, fmt.Errorf("sharon: %w", err)
+	}
+	rates := opts.Rates
+	if rates == nil {
+		rates = Rates{}
+		for t := range w.Types() {
+			rates[t] = 1
+		}
+	}
+	budget := opts.OptimizerBudget
+	if budget == 0 {
+		budget = 10 * time.Second
+	}
+
+	sys := &System{workload: w, collect: opts.OnResult == nil}
+	execOpts := exec.Options{
+		OnResult:  opts.OnResult,
+		Collect:   sys.collect,
+		EmitEmpty: opts.EmitEmpty,
+	}
+
+	plan := opts.Plan
+	if plan == nil {
+		var strat core.Strategy
+		switch opts.Strategy {
+		case StrategySharon:
+			strat = core.StrategySharon
+		case StrategyGreedy:
+			strat = core.StrategyGreedy
+		default:
+			strat = core.StrategyNone
+		}
+		res, err := core.Optimize(w, rates, core.OptimizerOptions{
+			Strategy: strat,
+			Expand:   strat == core.StrategySharon,
+			Budget:   budget,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("sharon: optimize: %w", err)
+		}
+		plan = res.Plan
+		sys.score = res.Score
+	}
+	sys.plan = plan
+
+	var err error
+	switch opts.Strategy {
+	case StrategyTwoStep:
+		sys.executor, err = exec.NewTwoStep(w, execOpts)
+	case StrategySASE:
+		sys.executor, err = exec.NewSASE(w, execOpts)
+	case StrategySPASS:
+		sys.executor, err = exec.NewSPASS(w, plan, execOpts)
+	case StrategyNonShared:
+		sys.executor, err = exec.NewEngine(w, nil, execOpts)
+	default:
+		sys.executor, err = exec.NewEngine(w, plan, execOpts)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("sharon: %w", err)
+	}
+	return sys, nil
+}
+
+// Plan returns the sharing plan in effect.
+func (s *System) Plan() Plan { return s.plan }
+
+// PlanScore returns the optimizer's estimated benefit of the plan
+// (Definition 8); zero when a plan was supplied directly.
+func (s *System) PlanScore() float64 { return s.score }
+
+// FormatPlan renders the plan with type names from reg.
+func (s *System) FormatPlan(reg *Registry) string {
+	return s.plan.Format(reg, s.workload)
+}
+
+// Process feeds the next event. Events must arrive in strictly increasing
+// timestamp order.
+func (s *System) Process(e Event) error { return s.executor.Process(e) }
+
+// ProcessAll replays a whole stream and flushes.
+func (s *System) ProcessAll(stream Stream) error {
+	for _, e := range stream {
+		if err := s.executor.Process(e); err != nil {
+			return err
+		}
+	}
+	return s.Flush()
+}
+
+// Flush closes every window containing events seen so far. Call at end of
+// stream.
+func (s *System) Flush() error { return s.executor.Flush() }
+
+// Results returns the collected results (only when Options.OnResult was
+// nil), sorted by query, window, group.
+func (s *System) Results() []Result {
+	type collector interface{ Results() []Result }
+	if c, ok := s.executor.(collector); ok && s.collect {
+		return c.Results()
+	}
+	return nil
+}
+
+// ResultCount reports the number of aggregates emitted so far.
+func (s *System) ResultCount() int64 { return s.executor.ResultCount() }
+
+// PeakMemoryStates reports the executor's peak number of live aggregate
+// states (the paper's memory metric unit).
+func (s *System) PeakMemoryStates() int64 { return s.executor.PeakLiveStates() }
+
+// Value extracts a result's final numeric answer for its query.
+func Value(r Result, q *Query) float64 { return r.Value(q) }
+
+// FindCandidates exposes the modified CCSpan sharable-pattern detection
+// (Appendix A): every contiguous sub-pattern of length > 1 appearing in
+// more than one query.
+func FindCandidates(w Workload) []Candidate { return core.FindCandidates(w) }
+
+// Optimize runs the Sharon optimizer alone and returns the chosen plan and
+// its score; useful for inspecting sharing decisions without executing.
+func Optimize(w Workload, rates Rates) (Plan, float64, error) {
+	res, err := core.Optimize(w, rates, core.OptimizerOptions{
+		Strategy: core.StrategySharon,
+		Expand:   true,
+		Budget:   10 * time.Second,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.Plan, res.Score, nil
+}
+
+// Explain renders the executor's per-query decomposition (shared vs
+// private segments) when the system runs the online engine; other
+// strategies return an empty string.
+func (s *System) Explain(reg *Registry) string {
+	if en, ok := s.executor.(*exec.Engine); ok {
+		return en.Explain(reg)
+	}
+	return ""
+}
