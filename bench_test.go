@@ -254,6 +254,52 @@ func BenchmarkFig16PlanQuality(b *testing.B) {
 	})
 }
 
+// BenchmarkParallelThroughput sweeps the sharded parallel executor's
+// worker count on a multi-query grouped workload (the group-hash
+// sharding axis). workers=1 is the sequential engine baseline; on a
+// multi-core machine the 4-worker run should sustain at least twice the
+// single-thread throughput (on a single-core machine the sweep only
+// measures dispatch overhead). Events are fed through FeedBatch, which
+// hoists per-call checks; the executor batches events into shard
+// messages internally on either entry point.
+func BenchmarkParallelThroughput(b *testing.B) {
+	s := setupChunks(b, 20, 10, 40000, 8000)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run("workers="+itoa(workers), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var ex exec.Executor
+				var err error
+				if workers == 1 {
+					ex, err = exec.NewEngine(s.w, s.plan, exec.Options{})
+				} else {
+					ex, err = exec.NewParallelEngine(s.w, s.plan, workers, exec.Options{})
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				type batcher interface{ FeedBatch([]event.Event) error }
+				if f, ok := ex.(batcher); ok {
+					if err := f.FeedBatch(s.stream); err != nil {
+						b.Fatal(err)
+					}
+				} else {
+					for _, e := range s.stream {
+						if err := ex.Process(e); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				if err := ex.Flush(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(len(s.stream)) * 16)
+		})
+	}
+}
+
 // BenchmarkAggregatorProcess measures the core online aggregation hot path
 // in isolation (not a paper figure; ablation reference).
 func BenchmarkAggregatorProcess(b *testing.B) {

@@ -11,7 +11,8 @@
 //	sharon-bench -exp fig14cg           # online, pattern length (EC)
 //	sharon-bench -exp fig15             # optimizer comparison
 //	sharon-bench -exp fig16             # plan quality
-//	sharon-bench -exp all [-scale 10]   # everything (scale 10 ≈ paper size)
+//	sharon-bench -exp parallel          # sharded parallel executor scaling (not a paper figure)
+//	sharon-bench -exp all [-scale 10]   # every paper experiment (scale 10 ≈ paper size)
 package main
 
 import (
@@ -25,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id: table1, fig13, fig14ae, fig14bf, fig14cg, fig15, fig16, all")
+		exp     = flag.String("exp", "all", "experiment id: table1, fig13, fig14ae, fig14bf, fig14cg, fig15, fig16, parallel, all")
 		scale   = flag.Float64("scale", 1, "stream size multiplier (1 ≈ paper shapes at 1/10 size, 10 ≈ paper size)")
 		seed    = flag.Int64("seed", 1, "generator seed")
 		verbose = flag.Bool("v", false, "print per-run progress")

@@ -19,8 +19,17 @@ type DynamicOptions struct {
 	// DriftThreshold is the relative rate change that triggers
 	// re-optimization (default 0.5).
 	DriftThreshold float64
-	// OnMigrate observes plan changes.
+	// OnMigrate observes plan changes. With Parallelism > 1 each shard
+	// migrates independently; invocations are serialized but may arrive
+	// from different shards at different stream times.
 	OnMigrate func(at int64, old, new Plan)
+	// Parallelism selects the number of shard workers, as in
+	// Options.Parallelism: events are hash-partitioned by group key and
+	// each shard runs its own rate monitor and migration protocol
+	// (results are plan-invariant, so this does not affect output).
+	// 0 = auto (GOMAXPROCS for grouped workloads, sequential otherwise),
+	// 1 = always sequential.
+	Parallelism int
 }
 
 // DynamicSystem evaluates a workload while monitoring event rates at
@@ -28,13 +37,21 @@ type DynamicOptions struct {
 // to the new sharing plan without losing or corrupting window results
 // (paper §7.4). Window results are identical to a static execution.
 type DynamicSystem struct {
-	d       *exec.Dynamic
-	collect bool
+	executor exec.Executor
+	shards   []*exec.Dynamic // parallel path: one Dynamic per shard
+	seq      *exec.Dynamic   // sequential path
+	// initialPlan is the construction-time plan, served by Plan() on the
+	// parallel path until the shards become readable at Flush.
+	initialPlan Plan
+	collect     bool
 }
 
 // NewDynamicSystem builds a dynamic system with an initial plan optimized
 // for the supplied rates (use MeasureRates on a warm-up sample).
 func NewDynamicSystem(w Workload, rates Rates, opts DynamicOptions) (*DynamicSystem, error) {
+	if len(w) == 0 {
+		return nil, fmt.Errorf("sharon: empty workload")
+	}
 	if err := w.Validate(); err != nil {
 		return nil, fmt.Errorf("sharon: %w", err)
 	}
@@ -51,39 +68,96 @@ func NewDynamicSystem(w Workload, rates Rates, opts DynamicOptions) (*DynamicSys
 	if opts.OnMigrate != nil {
 		cfg.OnMigrate = func(at int64, old, new core.Plan) { opts.OnMigrate(at, old, new) }
 	}
+	sys := &DynamicSystem{collect: collect}
+	if workers := resolveParallelism(opts.Parallelism, w[0].GroupBy, opts.OnResult != nil); workers > 1 {
+		p, dyns, err := exec.NewParallelDynamic(w, rates, workers, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("sharon: %w", err)
+		}
+		sys.executor, sys.shards = p, dyns
+		// Safe: the workers have not been sent any message yet, so no
+		// goroutine touches shard state before this read.
+		sys.initialPlan = dyns[0].Plan()
+		reclaimOnDrop(sys, p)
+		return sys, nil
+	}
 	d, err := exec.NewDynamic(w, rates, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("sharon: %w", err)
 	}
-	return &DynamicSystem{d: d, collect: collect}, nil
+	sys.executor, sys.seq = d, d
+	return sys, nil
 }
 
 // Process feeds the next event (strictly time-ordered).
-func (s *DynamicSystem) Process(e Event) error { return s.d.Process(e) }
+func (s *DynamicSystem) Process(e Event) error { return s.executor.Process(e) }
 
-// ProcessAll replays a stream and flushes.
+// FeedBatch feeds a batch of strictly time-ordered events.
+func (s *DynamicSystem) FeedBatch(events []Event) error {
+	return feedBatch(s.executor, events)
+}
+
+// ProcessAll replays a stream and flushes. On a feed error the run is
+// stopped without emitting partial windows.
 func (s *DynamicSystem) ProcessAll(stream Stream) error {
-	for _, e := range stream {
-		if err := s.d.Process(e); err != nil {
-			return err
-		}
+	if err := s.FeedBatch(stream); err != nil {
+		stopParallel(s.executor)
+		return err
 	}
-	return s.d.Flush()
+	return s.Flush()
 }
 
 // Flush closes all remaining windows.
-func (s *DynamicSystem) Flush() error { return s.d.Flush() }
+func (s *DynamicSystem) Flush() error { return s.executor.Flush() }
+
+// Close releases the executor without emitting the windows still open;
+// see System.Close. Idempotent, and safe after Flush.
+func (s *DynamicSystem) Close() { stopParallel(s.executor) }
 
 // Results returns collected results (only when OnResult was nil).
-func (s *DynamicSystem) Results() []Result {
-	if !s.collect {
-		return nil
+func (s *DynamicSystem) Results() []Result { return collectedResults(s.executor, s.collect) }
+
+// shardsReadable reports whether the shard Dynamics may be inspected:
+// always sequentially, only after Flush/Stop on the parallel path
+// (worker goroutines own the shards while the run is live).
+func (s *DynamicSystem) shardsReadable() bool {
+	if s.seq != nil {
+		return true
 	}
-	return s.d.Results()
+	p, ok := s.executor.(*exec.Parallel)
+	return ok && p.Flushed()
 }
 
-// Plan returns the currently installed sharing plan.
-func (s *DynamicSystem) Plan() Plan { return s.d.Plan() }
+// Plan returns the currently installed sharing plan. On the parallel
+// path shards migrate independently; Plan reports the initial plan
+// while the run is live and shard 0's final plan after Flush.
+func (s *DynamicSystem) Plan() Plan {
+	if s.seq != nil {
+		return s.seq.Plan()
+	}
+	if !s.shardsReadable() {
+		return s.initialPlan
+	}
+	return s.shards[0].Plan()
+}
 
-// Migrations reports how many plan changes were installed.
-func (s *DynamicSystem) Migrations() int { return s.d.Migrations }
+// Migrations reports how many plan changes were installed, summed
+// across shards on the parallel path, where the count is available only
+// after Flush (0 before).
+func (s *DynamicSystem) Migrations() int {
+	if s.seq != nil {
+		return s.seq.Migrations
+	}
+	if !s.shardsReadable() {
+		return 0
+	}
+	n := 0
+	for _, d := range s.shards {
+		n += d.Migrations
+	}
+	return n
+}
+
+// ParallelStats reports the parallel executor's counters; the zero value
+// when the system runs sequentially.
+func (s *DynamicSystem) ParallelStats() ParallelStats { return parallelStats(s.executor) }

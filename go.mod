@@ -1,0 +1,3 @@
+module github.com/sharon-project/sharon
+
+go 1.24

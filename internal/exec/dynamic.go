@@ -263,6 +263,26 @@ func samePlan(a, b core.Plan) bool {
 	return true
 }
 
+// AdvanceWatermark closes windows ending at or before t on the active
+// engines without consuming an event (used by the parallel executor).
+// Rate accounting is untouched: drift is measured over observed events
+// only.
+func (d *Dynamic) AdvanceWatermark(t int64) {
+	if !d.started || t <= d.last {
+		return
+	}
+	d.last = t
+	d.current.AdvanceWatermark(t)
+	if d.draining != nil {
+		d.draining.AdvanceWatermark(t)
+		if t >= d.win.End(d.boundary-1) {
+			// Engine.Flush never fails once events are in order.
+			_ = d.draining.Flush()
+			d.draining = nil
+		}
+	}
+}
+
 // Flush closes all remaining windows on both engines.
 func (d *Dynamic) Flush() error {
 	if d.draining != nil {

@@ -28,6 +28,14 @@ import (
 // aggregate delta, C_{i+1}(k) += snapshot ⊗ delta (step 2b). The final
 // result of window k is C_m(k), emitted when the watermark passes the
 // window's end.
+//
+// Parallel execution: all per-group runtime state lives in engineGroup
+// and groups never interact, so the engine shards cleanly by group key —
+// the Parallel executor runs one Engine per worker goroutine, routes
+// events by group-key hash, and drives window emission on idle shards
+// with AdvanceWatermark. A single Engine instance is still strictly
+// single-threaded; sharding happens by giving each worker its own
+// instance (see NewParallelEngine).
 type Engine struct {
 	name  string
 	w     query.Workload
@@ -428,6 +436,24 @@ func (en *Engine) emitWindow(win int64) {
 			}
 			ch.release(win)
 		}
+	}
+}
+
+// AdvanceWatermark closes every window ending at or before t without
+// consuming an event, and extends the flushable range exactly as an
+// event at time t would. The parallel executor calls it so that a shard
+// whose groups go quiet still emits its windows in step with the global
+// stream watermark. Calls at or before the engine's current watermark
+// are no-ops; an engine that has seen no events has no groups and
+// nothing to emit, so it ignores the watermark entirely.
+func (en *Engine) AdvanceWatermark(t int64) {
+	if !en.started || t <= en.lastTime {
+		return
+	}
+	en.lastTime = t
+	en.closeUpTo(t)
+	if last := en.win.LastContaining(t); last > en.maxWin {
+		en.maxWin = last
 	}
 }
 

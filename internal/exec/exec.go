@@ -99,20 +99,26 @@ func (rs *resultSink) emit(r Result) {
 	}
 }
 
+// lessResult is the canonical (query, window, group) result order used
+// by every executor's Results() and by the parallel merge stage — a
+// single definition keeps the parallel-equals-sequential byte-for-byte
+// guarantee intact.
+func lessResult(a, b Result) bool {
+	if a.Query != b.Query {
+		return a.Query < b.Query
+	}
+	if a.Win != b.Win {
+		return a.Win < b.Win
+	}
+	return a.Group < b.Group
+}
+
 // Results returns collected results (Options.Collect must be set), sorted
 // by query, window, group for deterministic comparison.
 func (rs *resultSink) Results() []Result {
 	out := make([]Result, len(rs.results))
 	copy(out, rs.results)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Query != out[j].Query {
-			return out[i].Query < out[j].Query
-		}
-		if out[i].Win != out[j].Win {
-			return out[i].Win < out[j].Win
-		}
-		return out[i].Group < out[j].Group
-	})
+	sort.Slice(out, func(i, j int) bool { return lessResult(out[i], out[j]) })
 	return out
 }
 

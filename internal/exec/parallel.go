@@ -1,0 +1,666 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/sharon-project/sharon/internal/core"
+	"github.com/sharon-project/sharon/internal/event"
+	"github.com/sharon-project/sharon/internal/metrics"
+	"github.com/sharon-project/sharon/internal/query"
+)
+
+// DefaultBatchSize is the per-shard event batch size of the parallel
+// executor: the feeder hands events to workers in batches of roughly
+// this size to amortize channel crossings, and advances the shared
+// watermark once per dispatch round.
+const DefaultBatchSize = 256
+
+// ShardTarget is the contract a per-shard executor must satisfy to run
+// under Parallel. A target is driven from exactly one worker goroutine:
+// Process feeds it the shard's (strictly time-ordered) sub-stream,
+// AdvanceWatermark closes windows in step with the global stream when
+// the shard itself received no events, Flush closes the tail at end of
+// stream. Engine, Dynamic, and segmentShard implement it.
+type ShardTarget interface {
+	Process(e event.Event) error
+	AdvanceWatermark(t int64)
+	Flush() error
+	PeakLiveStates() int64
+}
+
+// ParallelConfig configures NewParallel.
+type ParallelConfig struct {
+	// Workers is the number of shard workers (goroutines). <1 means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// BatchSize is the per-shard event batch size (default
+	// DefaultBatchSize).
+	BatchSize int
+	// Opts configures merged-result delivery. OnResult is invoked from
+	// the merge goroutine while the stream is being fed.
+	Opts Options
+	// Broadcast routes every event to every shard (segment sharding);
+	// when false, events are routed to one shard by group-key hash.
+	Broadcast bool
+	// WinEnd maps an emitted result to its window-end tick, the primary
+	// merge ordering key.
+	WinEnd func(Result) int64
+	// NewShard builds shard i's executor. The executor must deliver its
+	// results through sink (and nowhere else).
+	NewShard func(shard int, sink func(Result)) (ShardTarget, error)
+	// Name is the Executor.Name of the parallel run.
+	Name string
+}
+
+// Parallel is the sharded parallel executor: it fans a strictly
+// time-ordered event stream out to worker goroutines in batches, tracks
+// a per-shard watermark, and merges the shards' window results back into
+// one deterministic output stream ordered by (window end, query ID,
+// window, group).
+//
+// Sharding axes (paper §7.2 and the VLDB'21 follow-up on parallel
+// sharing): group-hash routing splits a grouped workload's independent
+// per-group state across workers within one shared plan, while broadcast
+// routing splits a partitioned workload's independent uniform segments
+// across workers. Each worker owns a full sequential executor, so every
+// per-(query, window, group) aggregate is computed by exactly one worker
+// from events in original stream order — results are bit-identical to a
+// sequential run.
+//
+// Watermarks: a shard only closes windows when it observes time passing.
+// The feeder therefore dispatches in rounds — every round sends each
+// worker its pending batch (possibly empty) stamped with the global
+// watermark, and workers call AdvanceWatermark after draining the batch.
+// The merge stage emits window k once every shard's acknowledged
+// watermark has passed k's end, at which point no shard can still
+// produce results for it.
+//
+// Lifecycle: Process/FeedBatch from one goroutine, then Flush exactly
+// once; Flush drains the workers, stops them, and delivers every
+// remaining window. A flushed Parallel rejects further events.
+type Parallel struct {
+	name      string
+	opts      Options
+	winEnd    func(Result) int64
+	broadcast bool
+	batchSize int
+	// batchLimit is the number of buffered feeder events that triggers a
+	// dispatch round (batchSize per worker under hash routing, batchSize
+	// under broadcast routing where every shard sees every event).
+	batchLimit int
+
+	workers []*shardWorker
+	pending [][]event.Event
+	// first is shard 0's target, kept for introspection (Explain).
+	first ShardTarget
+
+	started  bool
+	last     int64
+	pendingN int
+	closed   bool
+
+	out       chan shardOut
+	mergeDone chan struct{}
+
+	// Merge-side state. results is written by the merge goroutine and
+	// read only after mergeDone closes; count and errv are atomic for
+	// concurrent ResultCount / error checks from the feeder.
+	results []Result
+	count   atomic.Int64
+	errv    atomic.Value // error
+	peak    int64
+
+	fed       atomic.Int64
+	rounds    atomic.Int64
+	dropped   atomic.Bool
+	startedAt time.Time
+	elapsed   time.Duration
+}
+
+// shardMsg is one feeder→worker message: a batch of the shard's events
+// followed by the global watermark at dispatch time.
+type shardMsg struct {
+	events []event.Event
+	wm     int64
+	hasWM  bool
+	flush  bool
+}
+
+// shardOut is one worker→merger message: the results the shard produced
+// while consuming the corresponding shardMsg, plus the watermark it has
+// now fully processed.
+type shardOut struct {
+	shard   int
+	results []Result
+	wm      int64
+	hasWM   bool
+	flush   bool
+	err     error
+}
+
+type shardWorker struct {
+	id     int
+	in     chan shardMsg
+	target ShardTarget
+	// buf accumulates results between messages; the target's sink
+	// appends to it from the worker goroutine.
+	buf   []Result
+	err   error
+	stats metrics.ShardCounters
+}
+
+func (w *shardWorker) run(out chan<- shardOut) {
+	for msg := range w.in {
+		if w.err == nil {
+			for _, e := range msg.events {
+				if err := w.target.Process(e); err != nil {
+					w.err = err
+					break
+				}
+			}
+			if w.err == nil && msg.hasWM {
+				w.target.AdvanceWatermark(msg.wm)
+			}
+			if w.err == nil && msg.flush {
+				w.err = w.target.Flush()
+			}
+		}
+		res := w.buf
+		w.buf = nil
+		w.stats.Events.Add(int64(len(msg.events)))
+		w.stats.Batches.Add(1)
+		w.stats.Results.Add(int64(len(res)))
+		// An errored shard must not acknowledge the watermark: its
+		// contributions to the frontier's windows are missing, and
+		// acking would let the merge emit them truncated.
+		out <- shardOut{shard: w.id, results: res, wm: msg.wm, hasWM: msg.hasWM && w.err == nil, flush: msg.flush, err: w.err}
+	}
+}
+
+// NewParallel builds and starts a parallel executor: cfg.Workers worker
+// goroutines plus one merge goroutine.
+func NewParallel(cfg ParallelConfig) (*Parallel, error) {
+	if cfg.NewShard == nil || cfg.WinEnd == nil {
+		return nil, fmt.Errorf("exec: ParallelConfig needs NewShard and WinEnd")
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = DefaultBatchSize
+	}
+	if cfg.Name == "" {
+		cfg.Name = "parallel"
+	}
+	p := &Parallel{
+		name:      cfg.Name,
+		opts:      cfg.Opts,
+		winEnd:    cfg.WinEnd,
+		broadcast: cfg.Broadcast,
+		batchSize: cfg.BatchSize,
+		pending:   make([][]event.Event, cfg.Workers),
+		out:       make(chan shardOut, cfg.Workers*4),
+		mergeDone: make(chan struct{}),
+		startedAt: time.Now(), // re-stamped on the first event
+	}
+	p.batchLimit = cfg.BatchSize
+	if !cfg.Broadcast {
+		p.batchLimit = cfg.BatchSize * cfg.Workers
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		w := &shardWorker{id: i, in: make(chan shardMsg, 4)}
+		target, err := cfg.NewShard(i, func(r Result) { w.buf = append(w.buf, r) })
+		if err != nil {
+			return nil, err
+		}
+		w.target = target
+		p.workers = append(p.workers, w)
+	}
+	p.first = p.workers[0].target
+	for _, w := range p.workers {
+		go w.run(p.out)
+	}
+	go p.mergeLoop()
+	return p, nil
+}
+
+// shardOf maps a group key to a worker by Fibonacci-hashing the key.
+func shardOf(k event.GroupKey, n int) int {
+	h := uint64(k) * 0x9E3779B97F4A7C15
+	h ^= h >> 32
+	return int(h % uint64(n))
+}
+
+// Name identifies the strategy.
+func (p *Parallel) Name() string { return p.name }
+
+// Workers reports the shard worker count.
+func (p *Parallel) Workers() int { return len(p.workers) }
+
+// Process feeds the next event (strictly time-ordered). The event is
+// buffered and dispatched to its shard in batches; processing errors
+// from workers surface on a later Process or on Flush.
+func (p *Parallel) Process(e event.Event) error {
+	if err := p.checkFeedable(); err != nil {
+		return err
+	}
+	return p.feedOne(e)
+}
+
+// FeedBatch feeds a batch of strictly time-ordered events, hoisting the
+// per-call liveness checks out of the event loop.
+func (p *Parallel) FeedBatch(events []event.Event) error {
+	if err := p.checkFeedable(); err != nil {
+		return err
+	}
+	for _, e := range events {
+		if err := p.feedOne(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *Parallel) checkFeedable() error {
+	if p.closed {
+		return fmt.Errorf("exec: Process after Flush on parallel executor")
+	}
+	return p.loadErr()
+}
+
+func (p *Parallel) feedOne(e event.Event) error {
+	if p.started && e.Time <= p.last {
+		return fmt.Errorf("exec: out-of-order event at t=%d (last t=%d)", e.Time, p.last)
+	}
+	if !p.started {
+		p.started = true
+		p.startedAt = time.Now()
+	}
+	p.last = e.Time
+	if p.broadcast {
+		// All shards receive the same batch; buffer it once and share
+		// the slice (workers only read it).
+		p.pending[0] = append(p.pending[0], e)
+	} else {
+		s := shardOf(e.Key, len(p.workers))
+		p.pending[s] = append(p.pending[s], e)
+	}
+	p.pendingN++
+	p.fed.Add(1)
+	if p.pendingN >= p.batchLimit {
+		p.dispatch(false)
+	}
+	return nil
+}
+
+// dispatch sends every shard its pending batch — empty batches included,
+// so all shards observe the current watermark — and starts a new round.
+// Under broadcast routing all shards share one read-only batch slice.
+func (p *Parallel) dispatch(flush bool) {
+	for i, w := range p.workers {
+		batch := p.pending[i]
+		if p.broadcast {
+			batch = p.pending[0]
+		}
+		msg := shardMsg{events: batch, flush: flush}
+		if p.started {
+			msg.wm, msg.hasWM = p.last, true
+		}
+		w.in <- msg
+	}
+	for i := range p.pending {
+		p.pending[i] = nil
+	}
+	p.pendingN = 0
+	p.rounds.Add(1)
+}
+
+// Flush dispatches the remaining events, closes the tail windows on
+// every shard, drains the merge stage, and stops all goroutines. It
+// reports the first error any worker hit. Flush is idempotent.
+func (p *Parallel) Flush() error {
+	p.shutdown()
+	return p.loadErr()
+}
+
+// Stop tears the executor down like Flush but discards every window not
+// yet delivered, so a run abandoned mid-stream (e.g. ProcessAll hitting
+// a feed error) does not emit truncated aggregates through OnResult.
+func (p *Parallel) Stop() {
+	if !p.closed {
+		p.dropped.Store(true)
+		p.shutdown()
+	}
+}
+
+func (p *Parallel) shutdown() {
+	if p.closed {
+		return
+	}
+	p.dispatch(true)
+	for _, w := range p.workers {
+		close(w.in)
+	}
+	p.closed = true
+	<-p.mergeDone
+	var peak int64
+	for _, w := range p.workers {
+		peak += w.target.PeakLiveStates()
+	}
+	p.peak = peak
+	p.elapsed = time.Since(p.startedAt)
+}
+
+// Flushed reports whether the executor has been torn down (by Flush or
+// Stop). Callers use it to gate post-run introspection of shard state.
+func (p *Parallel) Flushed() bool { return p.closed }
+
+func (p *Parallel) loadErr() error {
+	if v := p.errv.Load(); v != nil {
+		return v.(error)
+	}
+	return nil
+}
+
+// mergeLoop is the merge stage: it buckets incoming results by window
+// end, tracks each shard's acknowledged watermark, and emits a window's
+// results — sorted by (query, window, group) — once every shard's
+// watermark passed its end. Windows therefore stream out in
+// deterministic (window end, query ID, window, group) order regardless
+// of worker scheduling.
+func (p *Parallel) mergeLoop() {
+	const noWM = math.MinInt64
+	wms := make([]int64, len(p.workers))
+	for i := range wms {
+		wms[i] = noWM
+	}
+	buckets := make(map[int64][]Result)
+	flushed := 0
+	for o := range p.out {
+		if o.err != nil {
+			if p.errv.Load() == nil {
+				p.errv.Store(o.err)
+			}
+			// A failed run delivers nothing further: every window at
+			// or past the stall is missing the errored shard's data.
+			p.dropped.Store(true)
+		}
+		for _, r := range o.results {
+			end := p.winEnd(r)
+			buckets[end] = append(buckets[end], r)
+		}
+		if o.hasWM && o.wm > wms[o.shard] {
+			wms[o.shard] = o.wm
+		}
+		if o.flush {
+			flushed++
+			if flushed == len(p.workers) {
+				p.emitReady(buckets, math.MaxInt64)
+				close(p.mergeDone)
+				return
+			}
+			continue
+		}
+		frontier := int64(math.MaxInt64)
+		for _, wm := range wms {
+			if wm < frontier {
+				frontier = wm
+			}
+		}
+		if frontier > noWM {
+			p.emitReady(buckets, frontier)
+		}
+	}
+}
+
+// emitReady delivers every buffered window whose end is at or below
+// limit, in ascending end order, each window's results sorted by
+// (query, window, group). After Stop, buffered windows are discarded
+// instead of delivered.
+func (p *Parallel) emitReady(buckets map[int64][]Result, limit int64) {
+	if p.dropped.Load() {
+		clear(buckets)
+		return
+	}
+	var ready []int64
+	for end := range buckets {
+		if end <= limit {
+			ready = append(ready, end)
+		}
+	}
+	sort.Slice(ready, func(i, j int) bool { return ready[i] < ready[j] })
+	for _, end := range ready {
+		rs := buckets[end]
+		delete(buckets, end)
+		sort.Slice(rs, func(i, j int) bool { return lessResult(rs[i], rs[j]) })
+		for _, r := range rs {
+			p.count.Add(1)
+			if p.opts.OnResult != nil {
+				p.opts.OnResult(r)
+			}
+			if p.opts.Collect {
+				p.results = append(p.results, r)
+			}
+		}
+	}
+}
+
+// Results returns the merged results (Options.Collect must be set),
+// sorted by query, window, group like the sequential executors. It is
+// valid only after Flush.
+func (p *Parallel) Results() []Result {
+	if !p.opts.Collect || !p.closed {
+		return nil
+	}
+	out := make([]Result, len(p.results))
+	copy(out, p.results)
+	sort.Slice(out, func(i, j int) bool { return lessResult(out[i], out[j]) })
+	return out
+}
+
+// ResultCount reports the number of merged results emitted so far.
+func (p *Parallel) ResultCount() int64 { return p.count.Load() }
+
+// PeakLiveStates sums the shards' peaks; available after Flush.
+func (p *Parallel) PeakLiveStates() int64 { return p.peak }
+
+// Explain renders the per-query decomposition when the shards run the
+// online Engine (all shards share the same compiled form).
+func (p *Parallel) Explain(reg *event.Registry) string {
+	if en, ok := p.first.(*Engine); ok {
+		return en.Explain(reg)
+	}
+	return ""
+}
+
+// Stats snapshots the run's throughput and shard-occupancy counters.
+func (p *Parallel) Stats() metrics.ParallelStats {
+	st := metrics.ParallelStats{
+		Workers:       len(p.workers),
+		BatchSize:     p.batchSize,
+		EventsFed:     p.fed.Load(),
+		Rounds:        p.rounds.Load(),
+		ResultsMerged: p.count.Load(),
+		Elapsed:       p.elapsed,
+	}
+	for _, w := range p.workers {
+		st.Shards = append(st.Shards, w.stats.Snapshot(w.id))
+	}
+	return st
+}
+
+// --- concrete sharded executors ---
+
+// NewParallelEngine builds a group-hash sharded online engine: workers
+// copies of the (workload, plan) engine, each owning the groups that
+// hash to it. An ungrouped workload aggregates all events under a
+// single group regardless of their keys, so it cannot shard by key:
+// workers is clamped to 1 (the constructor still works, it just cannot
+// scale — use the sequential Engine instead).
+func NewParallelEngine(w query.Workload, plan core.Plan, workers int, opts Options) (*Parallel, error) {
+	if err := validateUniform(w); err != nil {
+		return nil, err
+	}
+	if err := plan.Validate(w); err != nil {
+		return nil, err
+	}
+	if !w[0].GroupBy {
+		workers = 1
+	}
+	win := w[0].Window
+	name := "A-Seq-parallel"
+	if len(plan) > 0 {
+		name = "Sharon-parallel"
+	}
+	return NewParallel(ParallelConfig{
+		Workers: workers,
+		Opts:    opts,
+		Name:    name,
+		WinEnd:  func(r Result) int64 { return win.End(r.Win) },
+		NewShard: func(_ int, sink func(Result)) (ShardTarget, error) {
+			return NewEngine(w, plan, Options{EmitEmpty: opts.EmitEmpty, OnResult: sink})
+		},
+	})
+}
+
+// segmentShard is one worker's slice of a partitioned workload: the
+// segment engines assigned to it, all fed the full broadcast stream.
+type segmentShard struct {
+	engines []*Engine
+}
+
+func (s *segmentShard) Process(e event.Event) error {
+	for _, en := range s.engines {
+		if err := en.Process(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *segmentShard) AdvanceWatermark(t int64) {
+	for _, en := range s.engines {
+		en.AdvanceWatermark(t)
+	}
+}
+
+func (s *segmentShard) Flush() error {
+	for _, en := range s.engines {
+		if err := en.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *segmentShard) PeakLiveStates() int64 {
+	var n int64
+	for _, en := range s.engines {
+		n += en.PeakLiveStates()
+	}
+	return n
+}
+
+// NewParallelPartitioned builds a segment-sharded partitioned executor
+// from pre-planned segments (PlanSegments): the workload's uniform
+// segments (paper §7.2) are distributed round-robin across at most
+// workers worker goroutines and fed the full stream by broadcast.
+func NewParallelPartitioned(specs []SegmentSpec, workers int, opts Options) (*Parallel, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("exec: no segments")
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	qwin := make(map[int]query.Window)
+	for _, spec := range specs {
+		for _, q := range spec.Workload {
+			qwin[q.ID] = q.Window
+		}
+	}
+	return NewParallel(ParallelConfig{
+		Workers:   workers,
+		Opts:      opts,
+		Broadcast: true,
+		Name:      "Sharon-partitioned-parallel",
+		WinEnd:    func(r Result) int64 { return qwin[r.Query].End(r.Win) },
+		NewShard: func(shard int, sink func(Result)) (ShardTarget, error) {
+			sh := &segmentShard{}
+			for j := shard; j < len(specs); j += workers {
+				en, err := NewEngine(specs[j].Workload, specs[j].Plan, Options{
+					EmitEmpty: opts.EmitEmpty,
+					OnResult:  sink,
+				})
+				if err != nil {
+					return nil, err
+				}
+				sh.engines = append(sh.engines, en)
+			}
+			return sh, nil
+		},
+	})
+}
+
+// NewParallelDynamic builds a group-hash sharded dynamic executor: each
+// shard runs its own §7.4 Dynamic instance over its groups, measuring
+// its own rates and migrating independently (results are plan-invariant,
+// so per-shard migration points do not affect output). Initial rates are
+// scaled to the per-shard share so drift thresholds line up with what a
+// shard actually observes. It returns the shard Dynamics for
+// introspection (plan, migration counts); read them only after Flush.
+func NewParallelDynamic(w query.Workload, rates core.Rates, workers int, cfg DynamicConfig) (*Parallel, []*Dynamic, error) {
+	if err := validateUniform(w); err != nil {
+		return nil, nil, err
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// An ungrouped workload aggregates across all keys and cannot shard
+	// by key hash (see NewParallelEngine).
+	if !w[0].GroupBy {
+		workers = 1
+	}
+	win := w[0].Window
+	shardRates := make(core.Rates, len(rates))
+	for t, v := range rates {
+		shardRates[t] = v / float64(workers)
+	}
+	var migrateMu sync.Mutex
+	dyns := make([]*Dynamic, workers)
+	p, err := NewParallel(ParallelConfig{
+		Workers: workers,
+		Opts:    cfg.Options,
+		Name:    "Sharon-dynamic-parallel",
+		WinEnd:  func(r Result) int64 { return win.End(r.Win) },
+		NewShard: func(shard int, sink func(Result)) (ShardTarget, error) {
+			c := cfg
+			c.Options = Options{EmitEmpty: cfg.EmitEmpty, OnResult: sink}
+			if cfg.OnMigrate != nil {
+				c.OnMigrate = func(at int64, old, new core.Plan) {
+					migrateMu.Lock()
+					defer migrateMu.Unlock()
+					cfg.OnMigrate(at, old, new)
+				}
+			}
+			d, err := NewDynamic(w, shardRates, c)
+			if err != nil {
+				return nil, err
+			}
+			dyns[shard] = d
+			return d, nil
+		},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, dyns, nil
+}

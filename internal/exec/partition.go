@@ -17,6 +17,12 @@ import (
 // sharing happens within each segment. This follows the paper's
 // observation that window/predicate refinement partitions the stream into
 // disjoint segments to which Sharon applies orthogonally.
+//
+// Parallel execution: segments are mutually independent (nothing is
+// shared across them), so they form the second natural sharding axis —
+// NewParallelPartitioned distributes the segment engines across worker
+// goroutines and broadcasts the stream, each worker evaluating only its
+// own segments.
 type Partitioned struct {
 	resultSink
 	segments []*partSegment
@@ -69,30 +75,59 @@ func PartitionWorkload(w query.Workload) []query.Workload {
 	return out
 }
 
-// NewPartitioned builds a partitioned executor: one optimizer run and one
-// shared engine per uniform segment. optOpts configures the per-segment
-// optimizer (StrategyNone yields a partitioned A-Seq).
-func NewPartitioned(w query.Workload, rates core.Rates, opts Options, optOpts core.OptimizerOptions) (*Partitioned, error) {
+// SegmentSpec is one uniform segment of a partitioned workload together
+// with the sharing plan its optimizer run chose.
+type SegmentSpec struct {
+	Workload query.Workload
+	Plan     core.Plan
+}
+
+// PlanSegments partitions the workload into uniform segments and runs
+// the optimizer once per segment. Both the sequential Partitioned
+// executor and the parallel segment-sharded executor build from these
+// specs.
+func PlanSegments(w query.Workload, rates core.Rates, optOpts core.OptimizerOptions) ([]SegmentSpec, error) {
 	if len(w) == 0 {
 		return nil, fmt.Errorf("exec: empty workload")
 	}
 	if err := w.Validate(); err != nil {
 		return nil, fmt.Errorf("exec: %w", err)
 	}
-	p := &Partitioned{resultSink: resultSink{opts: opts}}
+	var specs []SegmentSpec
 	for _, seg := range PartitionWorkload(w) {
 		res, err := core.Optimize(seg, rates, optOpts)
 		if err != nil {
 			return nil, fmt.Errorf("exec: partition optimize: %w", err)
 		}
-		engine, err := NewEngine(seg, res.Plan, Options{
+		specs = append(specs, SegmentSpec{Workload: seg, Plan: res.Plan})
+	}
+	return specs, nil
+}
+
+// NewPartitioned builds a partitioned executor: one optimizer run and one
+// shared engine per uniform segment. optOpts configures the per-segment
+// optimizer (StrategyNone yields a partitioned A-Seq).
+func NewPartitioned(w query.Workload, rates core.Rates, opts Options, optOpts core.OptimizerOptions) (*Partitioned, error) {
+	specs, err := PlanSegments(w, rates, optOpts)
+	if err != nil {
+		return nil, err
+	}
+	return NewPartitionedFromSpecs(specs, opts)
+}
+
+// NewPartitionedFromSpecs builds the sequential partitioned executor
+// from pre-planned segments.
+func NewPartitionedFromSpecs(specs []SegmentSpec, opts Options) (*Partitioned, error) {
+	p := &Partitioned{resultSink: resultSink{opts: opts}}
+	for _, spec := range specs {
+		engine, err := NewEngine(spec.Workload, spec.Plan, Options{
 			EmitEmpty: opts.EmitEmpty,
 			OnResult:  p.emit,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("exec: partition engine: %w", err)
 		}
-		p.segments = append(p.segments, &partSegment{w: seg, plan: res.Plan, engine: engine})
+		p.segments = append(p.segments, &partSegment{w: spec.Workload, plan: spec.Plan, engine: engine})
 	}
 	return p, nil
 }

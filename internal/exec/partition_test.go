@@ -114,16 +114,6 @@ func TestPartitionedMatchesPerSegmentOracle(t *testing.T) {
 	}
 }
 
-func lessResult(a, b Result) bool {
-	if a.Query != b.Query {
-		return a.Query < b.Query
-	}
-	if a.Win != b.Win {
-		return a.Win < b.Win
-	}
-	return a.Group < b.Group
-}
-
 func TestPartitionedSharesWithinSegment(t *testing.T) {
 	f := newFixture()
 	w := query.Workload{

@@ -530,10 +530,11 @@ func All(cfg Config) (string, error) {
 
 // Experiments maps experiment ids to their runners, for the CLI.
 var Experiments = map[string]func(Config) ([]Figure, error){
-	"fig13":   Fig13,
-	"fig14ae": Fig14EventsPerWindow,
-	"fig14bf": Fig14QueryCount,
-	"fig14cg": Fig14PatternLength,
-	"fig15":   Fig15,
-	"fig16":   Fig16,
+	"fig13":    Fig13,
+	"fig14ae":  Fig14EventsPerWindow,
+	"fig14bf":  Fig14QueryCount,
+	"fig14cg":  Fig14PatternLength,
+	"fig15":    Fig15,
+	"fig16":    Fig16,
+	"parallel": ParallelScaling,
 }

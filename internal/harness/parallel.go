@@ -1,0 +1,66 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+
+	"github.com/sharon-project/sharon/internal/exec"
+	"github.com/sharon-project/sharon/internal/gen"
+)
+
+// ParallelScaling measures the sharded parallel executor against the
+// sequential engine on a grouped multi-query workload, sweeping the
+// worker count (1 = sequential baseline). Not a paper figure: it
+// characterizes the parallel execution layer this repository adds on top
+// of the paper's engine (the sharding axes follow §7.2 segment
+// orthogonality and per-group independence). Ideal scaling is limited by
+// GOMAXPROCS (currently reported in the figure title).
+func ParallelScaling(cfg Config) ([]Figure, error) {
+	cfg.fill()
+	n := cfg.scaled(40000)
+	winLen := int64(8000)
+	wcfg := gen.WorkloadConfig{
+		NumQueries: 20, PatternLen: 10,
+		SharedChunks: 3, ChunkLen: 4, ChunksPerQuery: 2, FillerPool: 20,
+		UniquePatterns: 10,
+		Window:         winLen, Slide: winLen / 2,
+		GroupBy: true, Seed: cfg.Seed,
+	}
+	wl, types := gen.GenWorkload(nil2reg(), wcfg)
+	stream := gen.StreamForWorkload(types, gen.NumHotTypes(wcfg), n, 50, 1000, 3, cfg.Seed)
+	rates := ratesOf(stream, wl)
+	plan, err := optimalPlan(wl, rates)
+	if err != nil {
+		return nil, err
+	}
+
+	thrF := Figure{
+		ID:     "parallel",
+		Title:  fmt.Sprintf("Sharded parallel executor (GOMAXPROCS=%d)", runtime.GOMAXPROCS(0)),
+		XLabel: "workers",
+		YLabel: "throughput events/s",
+		Series: []Series{{Name: "Sharon"}},
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		var ex exec.Executor
+		if workers == 1 {
+			ex, err = exec.NewEngine(wl, plan, exec.Options{})
+		} else {
+			ex, err = exec.NewParallelEngine(wl, plan, workers, exec.Options{})
+		}
+		if err != nil {
+			return nil, err
+		}
+		stats, err := Run(ex, stream)
+		if err != nil {
+			return nil, fmt.Errorf("parallel workers=%d: %w", workers, err)
+		}
+		if p, ok := ex.(*exec.Parallel); ok {
+			cfg.Progress("parallel workers=%d: %s\n  %s", workers, stats, p.Stats())
+		} else {
+			cfg.Progress("parallel workers=%d: %s", workers, stats)
+		}
+		thrF.Series[0].Points = append(thrF.Series[0].Points, Point{X: float64(workers), Y: stats.Throughput()})
+	}
+	return []Figure{thrF}, nil
+}

@@ -34,10 +34,24 @@ func Run(ex exec.Executor, stream event.Stream) (metrics.RunStats, error) {
 }
 
 func replay(ex exec.Executor, stream event.Stream) error {
-	for _, e := range stream {
-		if err := ex.Process(e); err != nil {
-			return err
+	type batcher interface{ FeedBatch([]event.Event) error }
+	var err error
+	if b, ok := ex.(batcher); ok {
+		err = b.FeedBatch(stream)
+	} else {
+		for _, e := range stream {
+			if err = ex.Process(e); err != nil {
+				break
+			}
 		}
+	}
+	if err != nil {
+		// A parallel executor abandoned mid-run must be torn down or
+		// its worker goroutines leak.
+		if p, ok := ex.(*exec.Parallel); ok {
+			p.Stop()
+		}
+		return err
 	}
 	return ex.Flush()
 }

@@ -1,0 +1,136 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// ShardCounters are the race-safe counters one parallel-executor worker
+// maintains while it runs. Workers update them from their own goroutine;
+// any goroutine may Snapshot them at any time.
+type ShardCounters struct {
+	// Events is the number of events the shard processed.
+	Events atomic.Int64
+	// Batches is the number of batch messages the shard consumed
+	// (including watermark-only and flush messages).
+	Batches atomic.Int64
+	// Results is the number of results the shard's executor emitted.
+	Results atomic.Int64
+}
+
+// Snapshot copies the counters into a plain ShardStats value.
+func (c *ShardCounters) Snapshot(shard int) ShardStats {
+	return ShardStats{
+		Shard:   shard,
+		Events:  c.Events.Load(),
+		Batches: c.Batches.Load(),
+		Results: c.Results.Load(),
+	}
+}
+
+// ShardStats is a point-in-time copy of one shard's counters.
+type ShardStats struct {
+	Shard   int
+	Events  int64
+	Batches int64
+	Results int64
+}
+
+// ParallelStats summarizes a parallel sharded run: feeder-level
+// throughput counters plus the per-shard occupancy profile.
+type ParallelStats struct {
+	// Workers is the number of shard workers.
+	Workers int
+	// BatchSize is the per-shard event batch size in effect.
+	BatchSize int
+	// EventsFed is the number of events accepted by the feeder.
+	EventsFed int64
+	// Rounds is the number of dispatch rounds (each round sends one
+	// message, possibly empty, to every shard and advances the shared
+	// watermark).
+	Rounds int64
+	// ResultsMerged is the number of results emitted by the merge stage.
+	ResultsMerged int64
+	// Elapsed is the wall-clock span of the run, set once the executor
+	// is flushed.
+	Elapsed time.Duration
+	// Shards holds one snapshot per shard worker.
+	Shards []ShardStats
+}
+
+// TotalShardEvents sums the events processed across shards. Under
+// group-hash routing it equals EventsFed; under broadcast (segment)
+// routing it is EventsFed times the worker count.
+func (p ParallelStats) TotalShardEvents() int64 {
+	var n int64
+	for _, s := range p.Shards {
+		n += s.Events
+	}
+	return n
+}
+
+// Occupancy returns each shard's fraction of all shard-processed events:
+// the shard-occupancy profile of the run. A perfectly balanced hash
+// assignment yields 1/Workers everywhere.
+func (p ParallelStats) Occupancy() []float64 {
+	total := p.TotalShardEvents()
+	out := make([]float64, len(p.Shards))
+	if total == 0 {
+		return out
+	}
+	for i, s := range p.Shards {
+		out[i] = float64(s.Events) / float64(total)
+	}
+	return out
+}
+
+// Imbalance reports the hottest shard's load relative to the mean
+// (1 = perfectly balanced, 2 = the hottest shard saw twice its fair
+// share). Zero-event runs report 1.
+func (p ParallelStats) Imbalance() float64 {
+	if len(p.Shards) == 0 {
+		return 1
+	}
+	total := p.TotalShardEvents()
+	if total == 0 {
+		return 1
+	}
+	var max int64
+	for _, s := range p.Shards {
+		if s.Events > max {
+			max = s.Events
+		}
+	}
+	mean := float64(total) / float64(len(p.Shards))
+	return float64(max) / mean
+}
+
+// Throughput returns feeder events per second of wall-clock time, or 0
+// before the run is flushed.
+func (p ParallelStats) Throughput() float64 {
+	if p.Elapsed <= 0 {
+		return 0
+	}
+	return float64(p.EventsFed) / p.Elapsed.Seconds()
+}
+
+// String renders the stats for logs: totals plus per-shard occupancy.
+func (p ParallelStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "parallel workers=%d batch=%d events=%d rounds=%d results=%d",
+		p.Workers, p.BatchSize, p.EventsFed, p.Rounds, p.ResultsMerged)
+	if p.Elapsed > 0 {
+		fmt.Fprintf(&b, " elapsed=%v throughput=%.0fev/s", p.Elapsed.Round(time.Millisecond), p.Throughput())
+	}
+	fmt.Fprintf(&b, " imbalance=%.2f occupancy=[", p.Imbalance())
+	for i, f := range p.Occupancy() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%.2f", f)
+	}
+	b.WriteByte(']')
+	return b.String()
+}

@@ -1,0 +1,64 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestShardCountersSnapshot(t *testing.T) {
+	var c ShardCounters
+	c.Events.Add(10)
+	c.Batches.Add(2)
+	c.Results.Add(3)
+	s := c.Snapshot(5)
+	if s.Shard != 5 || s.Events != 10 || s.Batches != 2 || s.Results != 3 {
+		t.Errorf("snapshot = %+v", s)
+	}
+}
+
+func TestParallelStatsOccupancy(t *testing.T) {
+	p := ParallelStats{
+		Workers:   2,
+		BatchSize: 256,
+		EventsFed: 100,
+		Elapsed:   time.Second,
+		Shards: []ShardStats{
+			{Shard: 0, Events: 75},
+			{Shard: 1, Events: 25},
+		},
+	}
+	if got := p.TotalShardEvents(); got != 100 {
+		t.Errorf("TotalShardEvents = %d, want 100", got)
+	}
+	occ := p.Occupancy()
+	if occ[0] != 0.75 || occ[1] != 0.25 {
+		t.Errorf("Occupancy = %v, want [0.75 0.25]", occ)
+	}
+	// Hottest shard saw 75 of a 50-event fair share: imbalance 1.5.
+	if got := p.Imbalance(); got != 1.5 {
+		t.Errorf("Imbalance = %v, want 1.5", got)
+	}
+	if got := p.Throughput(); got != 100 {
+		t.Errorf("Throughput = %v, want 100", got)
+	}
+	s := p.String()
+	for _, want := range []string{"workers=2", "imbalance=1.50", "occupancy=[0.75 0.25]"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestParallelStatsEmpty(t *testing.T) {
+	var p ParallelStats
+	if got := p.Imbalance(); got != 1 {
+		t.Errorf("empty Imbalance = %v, want 1", got)
+	}
+	if got := p.Throughput(); got != 0 {
+		t.Errorf("unflushed Throughput = %v, want 0", got)
+	}
+	if occ := p.Occupancy(); len(occ) != 0 {
+		t.Errorf("empty Occupancy = %v", occ)
+	}
+}

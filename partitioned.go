@@ -13,9 +13,15 @@ import (
 // uniform segments, each optimized and executed by its own shared engine.
 // Within a segment Sharon shares exactly as in System; across segments
 // nothing is shared, matching the paper's segment-orthogonality argument.
+//
+// With Options.Parallelism != 1 the independent segments are distributed
+// across worker goroutines (segment sharding) and window results are
+// merged back in deterministic (window end, query ID, group) order; see
+// Options.Parallelism.
 type PartitionedSystem struct {
-	p       *exec.Partitioned
-	collect bool
+	executor exec.Executor
+	specs    []exec.SegmentSpec
+	collect  bool
 }
 
 // NewPartitionedSystem optimizes and compiles each uniform segment of the
@@ -45,53 +51,92 @@ func NewPartitionedSystem(w Workload, opts Options) (*PartitionedSystem, error) 
 		return nil, fmt.Errorf("sharon: partitioned execution supports online strategies only")
 	}
 	collect := opts.OnResult == nil
-	p, err := exec.NewPartitioned(w, rates, exec.Options{
+	execOpts := exec.Options{
 		OnResult:  opts.OnResult,
 		Collect:   collect,
 		EmitEmpty: opts.EmitEmpty,
-	}, core.OptimizerOptions{
+	}
+	optOpts := core.OptimizerOptions{
 		Strategy: strat,
 		Expand:   strat == core.StrategySharon,
 		Budget:   budget,
-	})
+	}
+
+	specs, err := exec.PlanSegments(w, rates, optOpts)
 	if err != nil {
 		return nil, fmt.Errorf("sharon: %w", err)
 	}
-	return &PartitionedSystem{p: p, collect: collect}, nil
+	sys := &PartitionedSystem{specs: specs, collect: collect}
+	// Segment sharding scales with the segment count: auto parallelism
+	// engages when several segments and several procs are available;
+	// a single uniform segment gains nothing from broadcast dispatch.
+	// Segments shard regardless of grouping, hence grouped=true here.
+	workers := resolveParallelism(opts.Parallelism, true, opts.OnResult != nil)
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	if workers > 1 {
+		p, err := exec.NewParallelPartitioned(specs, workers, execOpts)
+		if err != nil {
+			return nil, fmt.Errorf("sharon: %w", err)
+		}
+		sys.executor = p
+		reclaimOnDrop(sys, p)
+		return sys, nil
+	}
+	seq, err := exec.NewPartitionedFromSpecs(specs, execOpts)
+	if err != nil {
+		return nil, fmt.Errorf("sharon: %w", err)
+	}
+	sys.executor = seq
+	return sys, nil
 }
 
 // Segments reports how many uniform segments the workload split into.
-func (s *PartitionedSystem) Segments() int { return s.p.Segments() }
+func (s *PartitionedSystem) Segments() int { return len(s.specs) }
 
 // SegmentPlan returns segment i's queries and sharing plan.
-func (s *PartitionedSystem) SegmentPlan(i int) (Workload, Plan) { return s.p.SegmentPlan(i) }
+func (s *PartitionedSystem) SegmentPlan(i int) (Workload, Plan) {
+	return s.specs[i].Workload, s.specs[i].Plan
+}
 
 // Process feeds the next event (strictly time-ordered).
-func (s *PartitionedSystem) Process(e Event) error { return s.p.Process(e) }
+func (s *PartitionedSystem) Process(e Event) error { return s.executor.Process(e) }
 
-// ProcessAll replays a stream and flushes.
+// FeedBatch feeds a batch of strictly time-ordered events.
+func (s *PartitionedSystem) FeedBatch(events []Event) error {
+	return feedBatch(s.executor, events)
+}
+
+// ProcessAll replays a stream and flushes. On a feed error the run is
+// stopped without emitting partial windows.
 func (s *PartitionedSystem) ProcessAll(stream Stream) error {
-	for _, e := range stream {
-		if err := s.p.Process(e); err != nil {
-			return err
-		}
+	if err := s.FeedBatch(stream); err != nil {
+		stopParallel(s.executor)
+		return err
 	}
-	return s.p.Flush()
+	return s.Flush()
 }
 
 // Flush closes every window containing events seen so far.
-func (s *PartitionedSystem) Flush() error { return s.p.Flush() }
+func (s *PartitionedSystem) Flush() error { return s.executor.Flush() }
 
-// Results returns collected results (only when OnResult was nil).
-func (s *PartitionedSystem) Results() []Result {
-	if !s.collect {
-		return nil
-	}
-	return s.p.Results()
-}
+// Close releases the executor without emitting the windows still open;
+// see System.Close. Idempotent, and safe after Flush.
+func (s *PartitionedSystem) Close() { stopParallel(s.executor) }
+
+// Results returns collected results (only when OnResult was nil). On
+// the parallel path results are available only after Flush (nil
+// before).
+func (s *PartitionedSystem) Results() []Result { return collectedResults(s.executor, s.collect) }
 
 // ResultCount reports the number of aggregates emitted so far.
-func (s *PartitionedSystem) ResultCount() int64 { return s.p.ResultCount() }
+func (s *PartitionedSystem) ResultCount() int64 { return s.executor.ResultCount() }
 
-// PeakMemoryStates reports the summed peak live aggregate states.
-func (s *PartitionedSystem) PeakMemoryStates() int64 { return s.p.PeakLiveStates() }
+// PeakMemoryStates reports the summed peak live aggregate states. On
+// the parallel path the sum is computed at Flush time (0 before).
+func (s *PartitionedSystem) PeakMemoryStates() int64 { return s.executor.PeakLiveStates() }
+
+// ParallelStats reports the parallel executor's counters; the zero value
+// when the system runs sequentially.
+func (s *PartitionedSystem) ParallelStats() ParallelStats { return parallelStats(s.executor) }

@@ -26,11 +26,13 @@ package sharon
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"github.com/sharon-project/sharon/internal/core"
 	"github.com/sharon-project/sharon/internal/event"
 	"github.com/sharon-project/sharon/internal/exec"
+	"github.com/sharon-project/sharon/internal/metrics"
 	"github.com/sharon-project/sharon/internal/query"
 )
 
@@ -64,6 +66,9 @@ type (
 	Candidate = core.Candidate
 	// Rates maps event types to rates for the optimizer's benefit model.
 	Rates = core.Rates
+	// ParallelStats summarizes a parallel run: throughput counters and
+	// the per-shard occupancy profile.
+	ParallelStats = metrics.ParallelStats
 )
 
 // TicksPerSecond is the timestamp resolution of the event model.
@@ -126,6 +131,78 @@ type Options struct {
 	// OptimizerBudget bounds the plan search; on expiry the best plan
 	// found so far (at least GWMIN's) is used. Default 10s.
 	OptimizerBudget time.Duration
+	// Parallelism selects the number of shard workers for the online
+	// executors (StrategySharon, StrategyGreedy, StrategyNonShared).
+	// Events are hash-partitioned by group key across worker goroutines,
+	// each running an independent copy of the engine, and window results
+	// are merged back in deterministic (window end, query ID, group)
+	// order — identical to a sequential run. 0 = auto: GOMAXPROCS
+	// workers for grouped workloads without an OnResult callback, the
+	// sequential path otherwise (ungrouped workloads have a single group
+	// and cannot shard by key, and auto never changes where an existing
+	// OnResult callback runs); 1 = always sequential. For
+	// PartitionedSystem, auto shards by segment regardless of grouping.
+	// The comparison baselines (TwoStep, SPASS, SASE) always run
+	// sequentially. With Parallelism > 1, OnResult is invoked from a
+	// merge goroutine rather than from inside Process — the callback
+	// must not share unsynchronized state with the feeding loop.
+	Parallelism int
+}
+
+// resolveParallelism maps Options.Parallelism to a worker count. An
+// ungrouped workload aggregates all events under one group and cannot
+// shard by key, so it always runs the plain sequential path, even under
+// an explicit Parallelism. Auto (0) additionally requires no OnResult
+// callback: auto must not silently move an existing callback onto
+// another goroutine.
+func resolveParallelism(p int, grouped, callback bool) int {
+	switch {
+	case !grouped:
+		return 1
+	case p > 1:
+		return p
+	case p == 0 && !callback:
+		return runtime.GOMAXPROCS(0)
+	default:
+		return 1
+	}
+}
+
+// stopParallel tears down a parallel executor without emitting partial
+// windows; sequential executors hold no goroutines and need no teardown.
+func stopParallel(ex exec.Executor) {
+	if p, ok := ex.(*exec.Parallel); ok {
+		p.Stop()
+	}
+}
+
+// reclaimOnDrop arranges for an abandoned parallel run to be torn down
+// when its owning system is garbage collected, so dropping a system
+// without Flush/Close (always safe sequentially) cannot leak worker
+// goroutines. It is a backstop: Flush or Close remains the correct way
+// to end a run.
+func reclaimOnDrop[T any](owner *T, ex exec.Executor) {
+	if p, ok := ex.(*exec.Parallel); ok {
+		runtime.AddCleanup(owner, func(p *exec.Parallel) { p.Stop() }, p)
+	}
+}
+
+// parallelStats snapshots a parallel executor's counters; the zero
+// value for sequential executors.
+func parallelStats(ex exec.Executor) ParallelStats {
+	if p, ok := ex.(*exec.Parallel); ok {
+		return p.Stats()
+	}
+	return ParallelStats{}
+}
+
+// collectedResults reads back an executor's collected results.
+func collectedResults(ex exec.Executor, collect bool) []Result {
+	type collector interface{ Results() []Result }
+	if c, ok := ex.(collector); ok && collect {
+		return c.Results()
+	}
+	return nil
 }
 
 // System is a compiled workload: an optimizer-chosen sharing plan and a
@@ -160,6 +237,9 @@ func MeasureRates(sample Stream, w Workload) Rates {
 
 // NewSystem optimizes the workload and builds its executor.
 func NewSystem(w Workload, opts Options) (*System, error) {
+	if len(w) == 0 {
+		return nil, fmt.Errorf("sharon: empty workload")
+	}
 	if err := w.Validate(); err != nil {
 		return nil, fmt.Errorf("sharon: %w", err)
 	}
@@ -206,6 +286,7 @@ func NewSystem(w Workload, opts Options) (*System, error) {
 	}
 	sys.plan = plan
 
+	workers := resolveParallelism(opts.Parallelism, w[0].GroupBy, opts.OnResult != nil)
 	var err error
 	switch opts.Strategy {
 	case StrategyTwoStep:
@@ -215,13 +296,22 @@ func NewSystem(w Workload, opts Options) (*System, error) {
 	case StrategySPASS:
 		sys.executor, err = exec.NewSPASS(w, plan, execOpts)
 	case StrategyNonShared:
-		sys.executor, err = exec.NewEngine(w, nil, execOpts)
+		if workers > 1 {
+			sys.executor, err = exec.NewParallelEngine(w, nil, workers, execOpts)
+		} else {
+			sys.executor, err = exec.NewEngine(w, nil, execOpts)
+		}
 	default:
-		sys.executor, err = exec.NewEngine(w, plan, execOpts)
+		if workers > 1 {
+			sys.executor, err = exec.NewParallelEngine(w, plan, workers, execOpts)
+		} else {
+			sys.executor, err = exec.NewEngine(w, plan, execOpts)
+		}
 	}
 	if err != nil {
 		return nil, fmt.Errorf("sharon: %w", err)
 	}
+	reclaimOnDrop(sys, sys.executor)
 	return sys, nil
 }
 
@@ -241,12 +331,35 @@ func (s *System) FormatPlan(reg *Registry) string {
 // timestamp order.
 func (s *System) Process(e Event) error { return s.executor.Process(e) }
 
-// ProcessAll replays a whole stream and flushes.
-func (s *System) ProcessAll(stream Stream) error {
-	for _, e := range stream {
-		if err := s.executor.Process(e); err != nil {
+// FeedBatch feeds a batch of strictly time-ordered events. On the
+// parallel path this hoists the per-call liveness checks out of the
+// event loop; the event batching itself happens inside the executor on
+// both entry points, so Process-in-a-loop delivers the same batches.
+func (s *System) FeedBatch(events []Event) error {
+	return feedBatch(s.executor, events)
+}
+
+// feedBatch routes a batch through an executor's own FeedBatch when it
+// has one, falling back to per-event Process.
+func feedBatch(ex exec.Executor, events []Event) error {
+	type batcher interface{ FeedBatch([]Event) error }
+	if b, ok := ex.(batcher); ok {
+		return b.FeedBatch(events)
+	}
+	for _, e := range events {
+		if err := ex.Process(e); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// ProcessAll replays a whole stream and flushes. On a feed error the
+// run is stopped without emitting partial windows.
+func (s *System) ProcessAll(stream Stream) error {
+	if err := s.FeedBatch(stream); err != nil {
+		stopParallel(s.executor)
+		return err
 	}
 	return s.Flush()
 }
@@ -255,21 +368,25 @@ func (s *System) ProcessAll(stream Stream) error {
 // stream.
 func (s *System) Flush() error { return s.executor.Flush() }
 
+// Close releases the executor without emitting the windows still open.
+// A parallel run (Parallelism != 1) must end with Flush — which
+// delivers all windows — or Close: dropping an unflushed parallel
+// System leaks its worker goroutines. On the sequential path Close is a
+// no-op. Idempotent, and safe after Flush.
+func (s *System) Close() { stopParallel(s.executor) }
+
 // Results returns the collected results (only when Options.OnResult was
-// nil), sorted by query, window, group.
-func (s *System) Results() []Result {
-	type collector interface{ Results() []Result }
-	if c, ok := s.executor.(collector); ok && s.collect {
-		return c.Results()
-	}
-	return nil
-}
+// nil), sorted by query, window, group. On the parallel path results
+// are available only after Flush (nil before); the sequential path also
+// exposes the results collected so far mid-run.
+func (s *System) Results() []Result { return collectedResults(s.executor, s.collect) }
 
 // ResultCount reports the number of aggregates emitted so far.
 func (s *System) ResultCount() int64 { return s.executor.ResultCount() }
 
 // PeakMemoryStates reports the executor's peak number of live aggregate
-// states (the paper's memory metric unit).
+// states (the paper's memory metric unit). On the parallel path the
+// shards' peaks are summed at Flush time (0 before).
 func (s *System) PeakMemoryStates() int64 { return s.executor.PeakLiveStates() }
 
 // Value extracts a result's final numeric answer for its query.
@@ -295,11 +412,19 @@ func Optimize(w Workload, rates Rates) (Plan, float64, error) {
 }
 
 // Explain renders the executor's per-query decomposition (shared vs
-// private segments) when the system runs the online engine; other
-// strategies return an empty string.
+// private segments) when the system runs the online engine (sequential
+// or parallel); other strategies return an empty string.
 func (s *System) Explain(reg *Registry) string {
-	if en, ok := s.executor.(*exec.Engine); ok {
+	switch en := s.executor.(type) {
+	case *exec.Engine:
+		return en.Explain(reg)
+	case *exec.Parallel:
 		return en.Explain(reg)
 	}
 	return ""
 }
+
+// ParallelStats reports the parallel executor's throughput and
+// shard-occupancy counters; the zero value when the system runs
+// sequentially. Elapsed/throughput fields are populated by Flush.
+func (s *System) ParallelStats() ParallelStats { return parallelStats(s.executor) }
