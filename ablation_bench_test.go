@@ -41,6 +41,7 @@ func ablationGraph(b *testing.B, nq int) (*core.Graph, *core.CostModel) {
 func BenchmarkAblationReduction(b *testing.B) {
 	g, _ := ablationGraph(b, 40)
 	b.Run("with-reduction", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			red := core.Reduce(g)
 			_, score, _ := core.FindOptimalPlan(red.Reduced, red.ConflictFree, time.Time{})
@@ -50,6 +51,7 @@ func BenchmarkAblationReduction(b *testing.B) {
 		}
 	})
 	b.Run("without-reduction", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			_, score, _ := core.FindOptimalPlan(g, nil, time.Time{})
 			if score <= 0 {
@@ -67,11 +69,13 @@ func BenchmarkAblationPlanFinderVsExhaustive(b *testing.B) {
 		b.Skipf("graph has %d vertices; exhaustive ablation needs <= 22", g.NumVertices())
 	}
 	b.Run("plan-finder", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			core.FindOptimalPlan(g, nil, time.Time{})
 		}
 	})
 	b.Run("exhaustive", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			core.ExhaustivePlanSearch(g)
 		}
@@ -85,12 +89,14 @@ func BenchmarkAblationExpansion(b *testing.B) {
 	cfg := core.ExpandConfig{MaxOptionsPerCandidate: 8, MaxTotalVertices: 512}
 
 	b.Run("without-expansion", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			red := core.Reduce(g)
 			core.FindOptimalPlan(red.Reduced, red.ConflictFree, time.Time{})
 		}
 	})
 	b.Run("with-expansion", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			eg := model.Expand(g, cfg)
 			red := core.Reduce(eg)

@@ -12,7 +12,13 @@
 //	sharon-bench -exp fig15             # optimizer comparison
 //	sharon-bench -exp fig16             # plan quality
 //	sharon-bench -exp parallel          # sharded parallel executor scaling (not a paper figure)
+//	sharon-bench -exp hotpath           # steady-state per-event engine cost (ns/event, allocs/event)
 //	sharon-bench -exp all [-scale 10]   # every paper experiment (scale 10 ≈ paper size)
+//
+// With -json DIR, every experiment additionally writes its results as
+// machine-readable BENCH_<exp>.json into DIR (events/sec, ns/event,
+// allocs/event, peak live states; format documented in the README's
+// "Benchmarking" section), so successive runs record a perf trajectory.
 package main
 
 import (
@@ -26,9 +32,10 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id: table1, fig13, fig14ae, fig14bf, fig14cg, fig15, fig16, parallel, all")
+		exp     = flag.String("exp", "all", "experiment id: table1, fig13, fig14ae, fig14bf, fig14cg, fig15, fig16, parallel, hotpath, all")
 		scale   = flag.Float64("scale", 1, "stream size multiplier (1 ≈ paper shapes at 1/10 size, 10 ≈ paper size)")
 		seed    = flag.Int64("seed", 1, "generator seed")
+		jsonDir = flag.String("json", "", "directory to write machine-readable BENCH_<exp>.json results into (empty: don't)")
 		verbose = flag.Bool("v", false, "print per-run progress")
 	)
 	flag.Parse()
@@ -49,6 +56,19 @@ func main() {
 		out, err := harness.Table1(cfg)
 		fail(err)
 		fmt.Print(out)
+	case "hotpath":
+		recs, err := harness.Hotpath(cfg)
+		fail(err)
+		fmt.Printf("hotpath — steady-state per-event engine cost (warm engine, construction excluded)\n")
+		fmt.Print(harness.FormatBenchRecords(recs))
+		base := harness.HotpathBaseline
+		fmt.Printf("  reference: %s  %.1f ns/event  %.2f allocs/event  (%s)\n",
+			base.Executor, base.NsPerEvent, base.AllocsPerEvent, base.Note)
+		writeJSON(*jsonDir, harness.BenchFile{
+			Experiment: "hotpath",
+			Records:    recs,
+			Reference:  []harness.BenchRecord{base},
+		})
 	default:
 		run, ok := harness.Experiments[*exp]
 		if !ok {
@@ -57,7 +77,7 @@ func main() {
 				ids = append(ids, id)
 			}
 			sort.Strings(ids)
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; available: table1, %v, all\n", *exp, ids)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; available: table1, hotpath, %v, all\n", *exp, ids)
 			os.Exit(2)
 		}
 		figs, err := run(cfg)
@@ -65,7 +85,18 @@ func main() {
 		for _, f := range figs {
 			fmt.Println(f.Format())
 		}
+		writeJSON(*jsonDir, harness.BenchFile{Experiment: *exp, Figures: figs})
 	}
+}
+
+// writeJSON writes a BENCH_<exp>.json snapshot when -json is set.
+func writeJSON(dir string, f harness.BenchFile) {
+	if dir == "" {
+		return
+	}
+	path, err := harness.WriteBenchFile(dir, f)
+	fail(err)
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 }
 
 func fail(err error) {

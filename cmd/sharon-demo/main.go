@@ -39,7 +39,7 @@ func main() {
 	case "traffic":
 		tr := gen.Traffic()
 		reg, w = tr.Reg, tr.Workload
-		types := make([]event.Type, reg.Len())
+		types := make([]event.Type, reg.Count())
 		for i := range types {
 			types[i] = event.Type(i + 1)
 		}
@@ -61,7 +61,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("workload: %d queries over %d event types, %d events\n", len(w), reg.Len(), len(stream))
+	fmt.Printf("workload: %d queries over %d event types, %d events\n", len(w), reg.Count(), len(stream))
 	fmt.Printf("sharing plan (score %.4g):\n  %s\n", sys.PlanScore(), sys.FormatPlan(reg))
 	fmt.Printf("\nper-query decomposition:\n%s\n", sys.Explain(reg))
 

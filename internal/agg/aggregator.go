@@ -11,11 +11,21 @@ import (
 // §3.2, Fig. 6): one aggregate per pattern prefix, all anchored at a single
 // matched START event. START events expire before any other event of their
 // sequences, so dropping whole records implements window expiration.
+//
+// Lifecycle: records are pooled. A *StartRec passed to OnStart/OnComplete
+// stays valid — identity and contents — exactly as long as the record is
+// live, i.e. while at least one open window contains its START event. When
+// Advance expires it, the record returns to the aggregator's freelist and
+// may be reissued (with a new ID) for a later START event. Subscribers must
+// therefore drop their references no later than the close of the last
+// window containing the record's Time; the shared executor does (its
+// per-window snapshots are released when the window closes, which the
+// lockstep watermark orders before the record's expiration).
 type StartRec struct {
 	// Time is the START event's timestamp.
 	Time int64
 	// ID is a per-aggregator sequence number; side tables in the shared
-	// executor key their snapshots by it.
+	// executor key their snapshots by it. Reissued records get fresh IDs.
 	ID int64
 	// prefix[j-1] aggregates all matched prefixes of length j that start
 	// at this event and whose last event has already arrived.
@@ -52,6 +62,17 @@ type Config struct {
 	EmitEmpty bool
 }
 
+// Slab chunk sizing: START records (and their prefix blocks) are carved
+// from backing allocations that start small — a low-rate aggregator in a
+// many-group workload must not pre-pay for records it never creates — and
+// double per chunk up to the cap, so a high-rate aggregator's warm-up ramp
+// still costs O(log n) allocations. Steady-state processing is served from
+// the freelist and allocates nothing.
+const (
+	minRecSlab = 8
+	maxRecSlab = 1024
+)
+
 // Aggregator computes the aggregate of all matches of one pattern online,
 // without constructing sequences (A-Seq / paper §3.2). It must see events
 // in strictly increasing time order.
@@ -61,26 +82,52 @@ type Config struct {
 // per-window totals therefore only ever count sequences fully inside their
 // window (completions are credited to exactly the windows containing both
 // endpoints, and intermediate events necessarily lie between them).
+//
+// Hot-path data layout: the open windows are always the contiguous index
+// range [nextClose, maxWin], whose width is bounded by the window overlap
+// Length/Slide. Per-window totals therefore live in a power-of-two ring
+// buffer indexed by window index (winRing), not a map; START records and
+// their prefix arrays come from slab allocations recycled through a
+// freelist fed by window expiration. Steady-state processing allocates
+// nothing.
 type Aggregator struct {
 	cfg Config
 	// positions[t] lists the 1-based pattern positions of type t in
 	// descending order, so one event never extends its own contribution
-	// (multi-occurrence extension, paper §7.3).
-	positions map[event.Type][]int
+	// (multi-occurrence extension, paper §7.3). It is a dense table
+	// indexed by the interned event.Type; types beyond the pattern's
+	// maximum are absent by bounds check.
+	positions [][]int
 	plen      int
 
 	starts []*StartRec // time-ordered live START records
 	head   int         // index of first live record in starts
 
-	winTotals map[int64]State // per-window aggregate of complete matches
-	nextClose int64           // smallest window index not yet closed
-	maxWin    int64           // largest window index containing any event seen
-	started   bool            // true once the first event arrived
-	lastTime  int64           // time of the last processed event
+	// free holds expired records for reuse; recSlab/prefixSlab serve
+	// first-time allocations in geometrically growing chunks (they are
+	// allocated and consumed in lockstep: one record = plen states).
+	free       []*StartRec
+	recSlab    []StartRec
+	prefixSlab []State
+	nextSlab   int
+
+	// winRing[k&winMask] is the aggregate of complete matches fully
+	// inside open window k. Zero-slot semantics are explicit: a slot
+	// whose Count is zero means "no matches in this window" — identical
+	// to the window never having been touched. Slots outside the live
+	// range [nextClose, maxWin] are always Zero (restored as each window
+	// closes), so slot reuse across ring wraparound is sound.
+	winRing   []State
+	winMask   int64
+	nextClose int64 // smallest window index not yet closed
+	maxWin    int64 // largest window index containing any event seen
+	started   bool  // true once the first event arrived
+	lastTime  int64 // time of the last processed event
 	nextID    int64
 
 	// liveStates tracks the number of State values held (for the peak
-	// memory metric, paper §8.1).
+	// memory metric, paper §8.1): prefix states of live START records
+	// plus non-zero window slots.
 	liveStates int64
 }
 
@@ -93,25 +140,73 @@ func NewAggregator(cfg Config) *Aggregator {
 	if err := cfg.Window.Validate(); err != nil {
 		panic("agg: " + err.Error())
 	}
-	pos := make(map[event.Type][]int)
+	maxType := event.Type(0)
+	for _, t := range cfg.Pattern {
+		if t > maxType {
+			maxType = t
+		}
+	}
+	pos := make([][]int, maxType+1)
 	for i := len(cfg.Pattern) - 1; i >= 0; i-- {
 		t := cfg.Pattern[i]
 		pos[t] = append(pos[t], i+1)
+	}
+	// The ring starts small and grows geometrically with the observed
+	// live span, up to NextPow2(MaxConcurrent+2): a high-overlap window
+	// (large Length/Slide) does not pre-pay its worst case at
+	// construction, which matters when an engine builds one aggregator
+	// per (group, node).
+	ringLen := query.NextPow2(cfg.Window.MaxConcurrent() + 2)
+	if ringLen > initialRingLen {
+		ringLen = initialRingLen
+	}
+	ring := make([]State, ringLen)
+	for i := range ring {
+		ring[i] = Zero()
 	}
 	return &Aggregator{
 		cfg:       cfg,
 		positions: pos,
 		plen:      len(cfg.Pattern),
-		winTotals: make(map[int64]State),
+		winRing:   ring,
+		winMask:   ringLen - 1,
 		nextClose: -1,
 	}
+}
+
+// initialRingLen is the window ring's starting capacity (power of two);
+// rings whose MaxConcurrent bound is smaller start at that bound instead.
+const initialRingLen = 16
+
+// ensureRing grows the window ring to cover the live span [nextClose,
+// maxWin]. All non-zero slots correspond to windows within the ring's old
+// coverage [nextClose, nextClose+len-1] (writes are preceded by ensureRing
+// in Process), so copying exactly that range is a bijection — no two live
+// windows can alias one old slot.
+func (a *Aggregator) ensureRing() {
+	span := a.maxWin - a.nextClose + 1
+	oldLen := int64(len(a.winRing))
+	if span <= oldLen {
+		return
+	}
+	n := query.NextPow2(span)
+	ring := make([]State, n)
+	for i := range ring {
+		ring[i] = Zero()
+	}
+	for k := a.nextClose; k < a.nextClose+oldLen; k++ {
+		ring[k&(n-1)] = a.winRing[k&a.winMask]
+	}
+	a.winRing, a.winMask = ring, n-1
 }
 
 // Pattern returns the pattern being aggregated.
 func (a *Aggregator) Pattern() query.Pattern { return a.cfg.Pattern }
 
 // Matches reports whether t occurs in the pattern.
-func (a *Aggregator) Matches(t event.Type) bool { return len(a.positions[t]) > 0 }
+func (a *Aggregator) Matches(t event.Type) bool {
+	return int(t) < len(a.positions) && len(a.positions[t]) > 0
+}
 
 // MinOpenWindow returns the smallest window index that is still open, or
 // -1 before the first event.
@@ -119,16 +214,18 @@ func (a *Aggregator) MinOpenWindow() int64 { return a.nextClose }
 
 // CurrentTotal returns the aggregate of complete matches observed so far
 // that lie entirely inside window win. It is the snapshot source for the
-// shared method's combination step.
+// shared method's combination step. Windows outside the live range have
+// the Zero aggregate by definition.
 func (a *Aggregator) CurrentTotal(win int64) State {
-	if s, ok := a.winTotals[win]; ok {
-		return s
+	if !a.started || win < a.nextClose || win > a.maxWin {
+		return Zero()
 	}
-	return Zero()
+	return a.winRing[win&a.winMask]
 }
 
 // Advance moves the watermark to t, closing every window whose interval
 // ends at or before t and expiring START records no open window contains.
+// Expired records are recycled through the freelist (see StartRec).
 func (a *Aggregator) Advance(t int64) {
 	if !a.started {
 		return
@@ -136,16 +233,16 @@ func (a *Aggregator) Advance(t int64) {
 	w := a.cfg.Window
 	for a.cfg.Window.End(a.nextClose) <= t {
 		win := a.nextClose
-		total, ok := a.winTotals[win]
-		if ok {
-			delete(a.winTotals, win)
+		slot := &a.winRing[win&a.winMask]
+		total := *slot
+		matched := total.Count != 0
+		if matched {
+			*slot = Zero()
 			a.liveStates--
-		} else {
-			total = Zero()
 		}
 		// Every window closed here overlaps the stream span: nextClose
 		// starts at the first event's first window.
-		if a.cfg.OnClose != nil && (ok || a.cfg.EmitEmpty) {
+		if a.cfg.OnClose != nil && (matched || a.cfg.EmitEmpty) {
 			a.cfg.OnClose(win, total)
 		}
 		a.nextClose++
@@ -154,6 +251,7 @@ func (a *Aggregator) Advance(t int64) {
 	minStart := w.Start(a.nextClose)
 	for a.head < len(a.starts) && a.starts[a.head].Time < minStart {
 		a.liveStates -= int64(a.plen)
+		a.free = append(a.free, a.starts[a.head])
 		a.starts[a.head] = nil
 		a.head++
 	}
@@ -181,8 +279,12 @@ func (a *Aggregator) Process(e event.Event) error {
 	a.Advance(e.Time)
 	if last := a.cfg.Window.LastContaining(e.Time); last > a.maxWin {
 		a.maxWin = last
+		a.ensureRing()
 	}
 
+	if int(e.Type) >= len(a.positions) {
+		return nil
+	}
 	positions := a.positions[e.Type]
 	if len(positions) == 0 {
 		return nil
@@ -198,14 +300,43 @@ func (a *Aggregator) Process(e event.Event) error {
 	return nil
 }
 
-// newStart creates a START record for e and, for single-type patterns,
-// immediately records the completion.
-func (a *Aggregator) newStart(e event.Event, isTarget bool) {
-	rec := &StartRec{Time: e.Time, ID: a.nextID, prefix: make([]State, a.plen)}
-	a.nextID++
+// getRec returns a START record with a zeroed prefix array of length plen:
+// from the freelist when expiration has fed it, from the slabs otherwise.
+func (a *Aggregator) getRec() *StartRec {
+	var rec *StartRec
+	if n := len(a.free); n > 0 {
+		rec = a.free[n-1]
+		a.free[n-1] = nil
+		a.free = a.free[:n-1]
+	} else {
+		if len(a.recSlab) == 0 {
+			n := a.nextSlab
+			if n < minRecSlab {
+				n = minRecSlab
+			}
+			a.recSlab = make([]StartRec, n)
+			a.prefixSlab = make([]State, n*a.plen)
+			if n < maxRecSlab {
+				a.nextSlab = n * 2
+			}
+		}
+		rec = &a.recSlab[0]
+		a.recSlab = a.recSlab[1:]
+		rec.prefix = a.prefixSlab[:a.plen:a.plen]
+		a.prefixSlab = a.prefixSlab[a.plen:]
+	}
 	for i := range rec.prefix {
 		rec.prefix[i] = Zero()
 	}
+	return rec
+}
+
+// newStart creates a START record for e and, for single-type patterns,
+// immediately records the completion.
+func (a *Aggregator) newStart(e event.Event, isTarget bool) {
+	rec := a.getRec()
+	rec.Time, rec.ID = e.Time, a.nextID
+	a.nextID++
 	rec.prefix[0] = UnitEvent(e, isTarget)
 	a.starts = append(a.starts, rec)
 	a.liveStates += int64(a.plen)
@@ -246,13 +377,11 @@ func (a *Aggregator) complete(rec *StartRec, e event.Event, delta State) {
 		first = a.nextClose // closed windows cannot receive results
 	}
 	for k := first; k <= lastWin; k++ {
-		cur, ok := a.winTotals[k]
-		if !ok {
-			cur = Zero()
+		slot := &a.winRing[k&a.winMask]
+		if slot.Count == 0 {
 			a.liveStates++
 		}
-		cur.AddInPlace(delta)
-		a.winTotals[k] = cur
+		slot.AddInPlace(delta)
 	}
 	if a.cfg.OnComplete != nil {
 		a.cfg.OnComplete(rec, e, delta, first, lastWin)

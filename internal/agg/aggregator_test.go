@@ -305,3 +305,128 @@ func must(t *testing.T, err error) {
 		t.Fatal(err)
 	}
 }
+
+// TestEmptyWindowEmissionSparseStream is the regression test for the
+// window-ring's zero-slot semantics: under a sparse stream whose gaps span
+// many multiples of the ring capacity, every window overlapping the stream
+// must close exactly once, in ascending order, as exactly Zero() when it
+// holds no match — a recycled ring slot must never leak a previous
+// window's total (the map-based predecessor conflated "no entry" with
+// "present but zero" in its EmitEmpty accounting; the ring makes slot
+// Count == 0 the single, explicit "no matches" state).
+func TestEmptyWindowEmissionSparseStream(t *testing.T) {
+	f := newFixture()
+	win := query.Window{Length: 4, Slide: 2}
+	// Matches: (a1,b2) and, after a gap of ~50 ring lengths, (a400,b401).
+	stream := []event.Event{f.ev('A', 1), f.ev('B', 2), f.ev('A', 400), f.ev('B', 401)}
+
+	t.Run("EmitEmpty", func(t *testing.T) {
+		var order []int64
+		totals := make(map[int64]State)
+		a := NewAggregator(Config{
+			Pattern: f.pat("AB"), Window: win, EmitEmpty: true,
+			OnClose: func(w int64, total State) {
+				order = append(order, w)
+				totals[w] = total
+			},
+		})
+		for _, e := range stream {
+			must(t, a.Process(e))
+		}
+		a.Flush()
+		first := win.FirstContaining(1) // 0
+		last := win.LastContaining(401) // 200
+		if want := last - first + 1; int64(len(order)) != want {
+			t.Fatalf("closed %d windows, want %d", len(order), want)
+		}
+		for i, w := range order {
+			if w != first+int64(i) {
+				t.Fatalf("close %d was window %d, want %d (ascending, exactly once)", i, w, first+int64(i))
+			}
+		}
+		for w, total := range totals {
+			matched := w == 0 || w == 199 || w == 200 // windows containing both endpoints of a match
+			if matched && total.Count != 1 {
+				t.Errorf("window %d total = %+v, want count 1", w, total)
+			}
+			if !matched && total != Zero() {
+				t.Errorf("window %d total = %+v, want exactly Zero()", w, total)
+			}
+		}
+	})
+
+	t.Run("NoEmitEmpty", func(t *testing.T) {
+		totals := make(map[int64]State)
+		a := NewAggregator(Config{
+			Pattern: f.pat("AB"), Window: win,
+			OnClose: func(w int64, total State) { totals[w] = total },
+		})
+		for _, e := range stream {
+			must(t, a.Process(e))
+		}
+		a.Flush()
+		if len(totals) != 3 {
+			t.Fatalf("closed %d matched windows, want 3 (0, 199, 200): %v", len(totals), totals)
+		}
+		for _, w := range []int64{0, 199, 200} {
+			if totals[w].Count != 1 {
+				t.Errorf("window %d = %+v, want count 1", w, totals[w])
+			}
+		}
+	})
+}
+
+// TestStartRecPoolingReusesRecords pins the pooling lifecycle: once
+// expiration has fed the freelist, new START events must reuse records
+// (fresh IDs, no growth of the backing slabs) and an expired-then-reused
+// record must not corrupt later windows' totals.
+func TestStartRecPoolingReusesRecords(t *testing.T) {
+	f := newFixture()
+	win := query.Window{Length: 4, Slide: 4}
+	closes := make(map[int64]State)
+	// IDs must be captured during the callback: retaining the *StartRec
+	// past its window is exactly what the pooling contract forbids.
+	var recs []*StartRec
+	var seenIDs []int64
+	a := NewAggregator(Config{
+		Pattern: f.pat("AB"), Window: win,
+		OnStart: func(rec *StartRec, e event.Event) {
+			recs = append(recs, rec)
+			seenIDs = append(seenIDs, rec.ID)
+		},
+		OnClose: func(w int64, total State) { closes[w] = total },
+	})
+	// One (A,B) match per tumbling window, far enough apart that each
+	// window's START record expires before the next one arrives.
+	for i := int64(0); i < 50; i++ {
+		must(t, a.Process(f.ev('A', i*8)))
+		must(t, a.Process(f.ev('B', i*8+1)))
+	}
+	a.Flush()
+	if len(recs) != 50 {
+		t.Fatalf("got %d START records, want 50", len(recs))
+	}
+	distinct := make(map[*StartRec]bool)
+	ids := make(map[int64]bool)
+	for _, r := range recs {
+		distinct[r] = true
+	}
+	for _, id := range seenIDs {
+		ids[id] = true
+	}
+	if len(ids) != 50 {
+		t.Errorf("reissued records must get fresh IDs: %d distinct of 50", len(ids))
+	}
+	if len(distinct) >= 50 {
+		t.Errorf("expected pooled reuse, got %d distinct record pointers", len(distinct))
+	}
+	for i := int64(0); i < 50; i++ {
+		w := i * 2 // window index of the i-th match (Slide 4, events at 8i)
+		if closes[w].Count != 1 {
+			t.Errorf("window %d = %+v, want count 1", w, closes[w])
+		}
+	}
+	if a.LiveStarts() != 0 || a.LiveStates() != 0 {
+		t.Errorf("after flush: LiveStarts=%d LiveStates=%d, want 0/0", a.LiveStarts(), a.LiveStates())
+	}
+}

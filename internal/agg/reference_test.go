@@ -1,0 +1,231 @@
+package agg
+
+// refAggregator is the retained map-based reference implementation of the
+// online aggregator: the pre-ring design (winTotals keyed by window index,
+// one heap-allocated StartRec per START event, map-based type dispatch),
+// kept test-only as the oracle for the ring-buffer/pooled production
+// Aggregator. Totals, close order, and the live-state metrics must match
+// the production engine EXACTLY (same float operations in the same order),
+// not just approximately.
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/sharon-project/sharon/internal/event"
+)
+
+type refStartRec struct {
+	time   int64
+	prefix []State
+}
+
+type refAggregator struct {
+	cfg       Config
+	positions map[event.Type][]int
+	plen      int
+
+	starts []*refStartRec
+	head   int
+
+	winTotals map[int64]State
+	nextClose int64
+	maxWin    int64
+	started   bool
+	lastTime  int64
+
+	liveStates int64
+}
+
+func newRefAggregator(cfg Config) *refAggregator {
+	pos := make(map[event.Type][]int)
+	for i := len(cfg.Pattern) - 1; i >= 0; i-- {
+		t := cfg.Pattern[i]
+		pos[t] = append(pos[t], i+1)
+	}
+	return &refAggregator{
+		cfg:       cfg,
+		positions: pos,
+		plen:      len(cfg.Pattern),
+		winTotals: make(map[int64]State),
+		nextClose: -1,
+	}
+}
+
+func (a *refAggregator) advance(t int64) {
+	if !a.started {
+		return
+	}
+	w := a.cfg.Window
+	for a.cfg.Window.End(a.nextClose) <= t {
+		win := a.nextClose
+		total, ok := a.winTotals[win]
+		if ok {
+			delete(a.winTotals, win)
+			a.liveStates--
+		} else {
+			total = Zero()
+		}
+		if a.cfg.OnClose != nil && (ok || a.cfg.EmitEmpty) {
+			a.cfg.OnClose(win, total)
+		}
+		a.nextClose++
+	}
+	minStart := w.Start(a.nextClose)
+	for a.head < len(a.starts) && a.starts[a.head].time < minStart {
+		a.liveStates -= int64(a.plen)
+		a.starts[a.head] = nil
+		a.head++
+	}
+}
+
+func (a *refAggregator) process(e event.Event) error {
+	if !a.started {
+		a.started = true
+		a.nextClose = a.cfg.Window.FirstContaining(e.Time)
+	}
+	a.lastTime = e.Time
+	a.advance(e.Time)
+	if last := a.cfg.Window.LastContaining(e.Time); last > a.maxWin {
+		a.maxWin = last
+	}
+	positions := a.positions[e.Type]
+	isTarget := e.Type == a.cfg.Target
+	for _, j := range positions {
+		if j == 1 {
+			rec := &refStartRec{time: e.Time, prefix: make([]State, a.plen)}
+			for i := range rec.prefix {
+				rec.prefix[i] = Zero()
+			}
+			rec.prefix[0] = UnitEvent(e, isTarget)
+			a.starts = append(a.starts, rec)
+			a.liveStates += int64(a.plen)
+			if a.plen == 1 {
+				a.complete(rec, e, rec.prefix[0])
+			}
+			continue
+		}
+		last := j == a.plen
+		for i := a.head; i < len(a.starts); i++ {
+			rec := a.starts[i]
+			prev := rec.prefix[j-2]
+			if prev.Count == 0 {
+				continue
+			}
+			delta := Extend(prev, e, isTarget)
+			rec.prefix[j-1].AddInPlace(delta)
+			if last {
+				a.complete(rec, e, delta)
+			}
+		}
+	}
+	return nil
+}
+
+func (a *refAggregator) complete(rec *refStartRec, e event.Event, delta State) {
+	first, lastWin, ok := a.cfg.Window.PairIndices(rec.time, e.Time)
+	if !ok {
+		return
+	}
+	if first < a.nextClose {
+		first = a.nextClose
+	}
+	for k := first; k <= lastWin; k++ {
+		cur, ok := a.winTotals[k]
+		if !ok {
+			cur = Zero()
+			a.liveStates++
+		}
+		cur.AddInPlace(delta)
+		a.winTotals[k] = cur
+	}
+}
+
+func (a *refAggregator) flush() {
+	if !a.started {
+		return
+	}
+	a.advance(a.cfg.Window.End(a.maxWin))
+}
+
+func (a *refAggregator) liveStarts() int { return len(a.starts) - a.head }
+
+// closeEvent records one OnClose callback for exact comparison.
+type closeEvent struct {
+	win   int64
+	total State
+}
+
+// TestRingAggregatorMatchesMapReference runs the production ring-buffer /
+// pooled aggregator and the map-based reference side by side on randomized
+// streams (the property_test generator, duplicate types and all): the
+// OnClose sequence (order, windows, bit-exact totals), every intermediate
+// CurrentTotal, and the live-state / live-start metrics must agree exactly
+// at every step, with EmitEmpty both off and on.
+func TestRingAggregatorMatchesMapReference(t *testing.T) {
+	iters := 600
+	if testing.Short() {
+		iters = 100
+	}
+	rng := rand.New(rand.NewSource(99))
+	for it := 0; it < iters; it++ {
+		tc := genAggCase(rng)
+		for _, emitEmpty := range []bool{false, true} {
+			var gotCloses, wantCloses []closeEvent
+			a := NewAggregator(Config{
+				Pattern: tc.pattern, Window: tc.window, Target: tc.target,
+				EmitEmpty: emitEmpty,
+				OnClose: func(win int64, total State) {
+					gotCloses = append(gotCloses, closeEvent{win, total})
+				},
+			})
+			ref := newRefAggregator(Config{
+				Pattern: tc.pattern, Window: tc.window, Target: tc.target,
+				EmitEmpty: emitEmpty,
+				OnClose: func(win int64, total State) {
+					wantCloses = append(wantCloses, closeEvent{win, total})
+				},
+			})
+			for i, e := range tc.events {
+				if err := a.Process(e); err != nil {
+					t.Fatal(err)
+				}
+				if err := ref.process(e); err != nil {
+					t.Fatal(err)
+				}
+				if a.LiveStates() != ref.liveStates {
+					t.Fatalf("it=%d emitEmpty=%v event %d: LiveStates=%d ref=%d",
+						it, emitEmpty, i, a.LiveStates(), ref.liveStates)
+				}
+				if a.LiveStarts() != ref.liveStarts() {
+					t.Fatalf("it=%d emitEmpty=%v event %d: LiveStarts=%d ref=%d",
+						it, emitEmpty, i, a.LiveStarts(), ref.liveStarts())
+				}
+				// Every open (and a few closed/future) windows agree.
+				first, last := tc.window.Indices(e.Time)
+				for k := first - 2; k <= last+2; k++ {
+					got := a.CurrentTotal(k)
+					want, ok := ref.winTotals[k]
+					if !ok {
+						want = Zero()
+					}
+					if got != want {
+						t.Fatalf("it=%d emitEmpty=%v event %d win %d: CurrentTotal=%+v ref=%+v",
+							it, emitEmpty, i, k, got, want)
+					}
+				}
+			}
+			a.Flush()
+			ref.flush()
+			if len(gotCloses) != len(wantCloses) {
+				t.Fatalf("it=%d emitEmpty=%v: %d closes, ref %d", it, emitEmpty, len(gotCloses), len(wantCloses))
+			}
+			for i := range gotCloses {
+				if gotCloses[i] != wantCloses[i] {
+					t.Fatalf("it=%d emitEmpty=%v close %d: got %+v ref %+v",
+						it, emitEmpty, i, gotCloses[i], wantCloses[i])
+				}
+			}
+		}
+	}
+}

@@ -85,8 +85,10 @@ func (r *Registry) Name(t Type) string {
 	return r.names[t-1]
 }
 
-// Len reports the number of interned types.
-func (r *Registry) Len() int { return len(r.names) }
+// Count reports the number of interned types; valid Type values are
+// 1..Count() (types are 1-based). Executors use it to size dense
+// per-type dispatch tables indexed by Type.
+func (r *Registry) Count() int { return len(r.names) }
 
 // Names returns all interned names sorted alphabetically.
 func (r *Registry) Names() []string {

@@ -29,8 +29,8 @@ func TestRegistryInternLookup(t *testing.T) {
 	if got := r.Name(Type(99)); got != "?" {
 		t.Errorf("Name(99) = %q, want ?", got)
 	}
-	if r.Len() != 2 {
-		t.Errorf("Len = %d, want 2", r.Len())
+	if r.Count() != 2 {
+		t.Errorf("Count = %d, want 2", r.Count())
 	}
 }
 

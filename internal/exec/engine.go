@@ -202,8 +202,10 @@ type engineGroup struct {
 	shared []*aggNode // indexed like proto.sharedPattern
 	chains []*chainRT
 	// byType indexes the nodes whose pattern contains each event type, so
-	// Process touches only relevant aggregators.
-	byType map[event.Type][]*aggNode
+	// Process touches only relevant aggregators. It is a dense table
+	// indexed by the interned event.Type (sized to the workload's largest
+	// pattern type; other types dispatch to nothing by bounds check).
+	byType [][]*aggNode
 }
 
 // aggNode is one aggregator plus the chain stages listening to it. Shared
@@ -237,16 +239,24 @@ type stageRT struct {
 	chain *chainRT
 	idx   int
 	node  *aggNode
-	win   query.Window
-	plen  int // this stage's segment pattern length
+	// eng is the owning engine; its [nextClose, maxWin] live range
+	// drives the snapshot ring's lazy growth.
+	eng  *Engine
+	win  query.Window
+	plen int // this stage's segment pattern length
 	// mask is set when this stage's aggregator is shared and tracks a
 	// different target type than this query needs from the segment; the
 	// segment then contributes only its sequence counts (agg.ProjectCount).
 	mask bool
-	// snaps[k] holds this stage's per-START upstream snapshots for open
-	// window k (only for idx >= 1; stage 0 reads the aggregator's own
-	// per-window totals).
-	snaps map[int64][]snapEntry
+	// snapRing[k&snapMask] holds this stage's per-START upstream
+	// snapshots for open window k (only for idx >= 1; stage 0 reads the
+	// aggregator's own per-window totals). Open windows are the
+	// contiguous range [nextClose, maxWin], so a power-of-two ring
+	// replaces the map; a closing window's slice is reset in place
+	// (length 0, capacity kept) so the slot's backing array is recycled
+	// when the ring wraps around to window k+len(snapRing).
+	snapRing [][]snapEntry
+	snapMask int64
 }
 
 func (en *Engine) buildGroup(key event.GroupKey) *engineGroup {
@@ -270,7 +280,7 @@ func (en *Engine) buildGroup(key event.GroupKey) *engineGroup {
 				node = newAggNode(seg.pattern, en.win, target)
 				g.nodes = append(g.nodes, node)
 			}
-			st := &stageRT{chain: ch, idx: i, node: node, win: en.win, plen: seg.pattern.Length()}
+			st := &stageRT{chain: ch, idx: i, node: node, eng: en, win: en.win, plen: seg.pattern.Length()}
 			if seg.sharedIdx >= 0 {
 				eff := event.NoType
 				if cp.q.Agg.Kind != query.CountStar && seg.pattern.Contains(query.Pattern{cp.q.Agg.Target}) {
@@ -279,14 +289,24 @@ func (en *Engine) buildGroup(key event.GroupKey) *engineGroup {
 				st.mask = en.proto.sharedTarget[seg.sharedIdx] != eff
 			}
 			if i >= 1 {
-				st.snaps = make(map[int64][]snapEntry)
+				n := initialSnapRing(en.win)
+				st.snapRing = make([][]snapEntry, n)
+				st.snapMask = n - 1
 			}
 			node.listeners = append(node.listeners, st)
 			ch.stages = append(ch.stages, st)
 		}
 		g.chains = append(g.chains, ch)
 	}
-	g.byType = make(map[event.Type][]*aggNode)
+	maxType := event.Type(0)
+	for _, node := range g.nodes {
+		for _, t := range node.agg.Pattern() {
+			if t > maxType {
+				maxType = t
+			}
+		}
+	}
+	g.byType = make([][]*aggNode, maxType+1)
 	for _, node := range g.nodes {
 		seen := make(map[event.Type]bool)
 		for _, t := range node.agg.Pattern() {
@@ -297,6 +317,38 @@ func (en *Engine) buildGroup(key event.GroupKey) *engineGroup {
 		}
 	}
 	return g
+}
+
+// initialSnapRing returns the snapshot ring's starting capacity: the
+// full MaxConcurrent bound when small, else a small seed that ensureRing
+// grows geometrically with the observed live span (cf. agg's window ring
+// — a high-overlap window must not pre-pay its worst case per stage per
+// group at construction).
+func initialSnapRing(w query.Window) int64 {
+	n := query.NextPow2(w.MaxConcurrent() + 2)
+	if n > 16 {
+		n = 16
+	}
+	return n
+}
+
+// ensureRing grows the snapshot ring to cover the engine's live window
+// range. Copying exactly the old coverage [nextClose, nextClose+len-1] is
+// a bijection onto old slots, so no two live windows can inherit the same
+// recycled slice (appends are always preceded by ensureRing in onStart,
+// hence windows beyond the old coverage hold no entries).
+func (st *stageRT) ensureRing() {
+	span := st.eng.maxWin - st.eng.nextClose + 1
+	oldLen := int64(len(st.snapRing))
+	if span <= oldLen {
+		return
+	}
+	n := query.NextPow2(span)
+	ring := make([][]snapEntry, n)
+	for k := st.eng.nextClose; k < st.eng.nextClose+oldLen; k++ {
+		ring[k&(n-1)] = st.snapRing[k&st.snapMask]
+	}
+	st.snapRing, st.snapMask = ring, n-1
 }
 
 func newAggNode(p query.Pattern, w query.Window, target event.Type) *aggNode {
@@ -323,13 +375,15 @@ func (st *stageRT) onStart(rec *agg.StartRec, e event.Event) {
 		return
 	}
 	prev := st.chain.stages[st.idx-1]
+	st.ensureRing()
 	first, last := st.win.Indices(e.Time)
 	for k := first; k <= last; k++ {
 		up := prev.currentValue(k)
 		if up.Count == 0 {
 			continue
 		}
-		st.snaps[k] = append(st.snaps[k], snapEntry{rec: rec, up: up})
+		slot := k & st.snapMask
+		st.snapRing[slot] = append(st.snapRing[slot], snapEntry{rec: rec, up: up})
 	}
 }
 
@@ -346,7 +400,7 @@ func (st *stageRT) currentValue(k int64) agg.State {
 		return s
 	}
 	total := agg.Zero()
-	for _, en := range st.snaps[k] {
+	for _, en := range st.snapRing[k&st.snapMask] {
 		d := en.rec.Prefix(st.plen)
 		if d.Count == 0 {
 			continue
@@ -364,13 +418,23 @@ func (ch *chainRT) windowState(k int64) agg.State {
 	return ch.stages[len(ch.stages)-1].currentValue(k)
 }
 
-// release drops all chain state for a closed window.
+// release drops all chain state for a closed window: each stage's ring
+// slot is reset to length zero with its capacity kept, so the next window
+// landing on the slot appends into the recycled backing array. Releasing
+// here — before the aggregators observe a later watermark — also orders
+// the drop of every *StartRec reference ahead of the record's return to
+// its aggregator's pool (see agg.StartRec).
 func (ch *chainRT) release(k int64) {
 	for _, st := range ch.stages {
 		if st.idx == 0 {
 			continue
 		}
-		delete(st.snaps, k)
+		slot := k & st.snapMask
+		entries := st.snapRing[slot]
+		for i := range entries {
+			entries[i] = snapEntry{} // drop rec pointers for GC hygiene
+		}
+		st.snapRing[slot] = entries[:0]
 	}
 }
 
@@ -408,9 +472,11 @@ func (en *Engine) Process(e event.Event) error {
 		g = en.buildGroup(key)
 		en.groups[key] = g
 	}
-	for _, node := range g.byType[e.Type] {
-		if err := node.agg.Process(e); err != nil {
-			return err
+	if int(e.Type) < len(g.byType) {
+		for _, node := range g.byType[e.Type] {
+			if err := node.agg.Process(e); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -487,7 +553,7 @@ func (en *Engine) LiveStates() int64 {
 				if st.idx == 0 {
 					continue
 				}
-				for _, entries := range st.snaps {
+				for _, entries := range st.snapRing {
 					n += int64(len(entries))
 				}
 			}

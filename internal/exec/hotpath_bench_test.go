@@ -1,0 +1,123 @@
+package exec
+
+import (
+	"testing"
+
+	"github.com/sharon-project/sharon/internal/core"
+	"github.com/sharon-project/sharon/internal/event"
+	"github.com/sharon-project/sharon/internal/query"
+)
+
+// hotPathRig is a steady-state engine feed: one engine built up front, a
+// deterministic cyclic stream, and a monotone clock, so measurements see
+// only the per-event processing path (no construction, no group warm-up).
+type hotPathRig struct {
+	en    *Engine
+	types [4]event.Type
+	clock int64
+	i     int64
+}
+
+// newHotPathRig builds a three-query workload (one shared segment, one
+// fully private query) over a 13-group stream. The group count is coprime
+// to the 4-type cycle so every group sees every type: each event extends
+// live START records, every fourth event per group starts new records,
+// and windows accumulate completions — the full per-event path.
+func newHotPathRig(tb testing.TB) *hotPathRig {
+	tb.Helper()
+	f := newFixture()
+	const winLen, slide = 1024, 256
+	w := query.Workload{
+		f.query(0, "ABCD", winLen, slide),
+		f.query(1, "CD", winLen, slide),
+		f.query(2, "AB", winLen, slide),
+	}
+	for _, q := range w {
+		q.GroupBy = true
+	}
+	plan := core.Plan{core.NewCandidate(f.pat("CD"), []int{0, 1})}
+	en, err := NewEngine(w, plan, Options{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	r := &hotPathRig{en: en, clock: 1}
+	for i, c := range []byte("ABCD") {
+		r.types[i] = f.ids[c]
+	}
+	return r
+}
+
+// feed pushes n further events through the engine.
+func (r *hotPathRig) feed(tb testing.TB, n int) {
+	tb.Helper()
+	for k := 0; k < n; k++ {
+		e := event.Event{
+			Time: r.clock,
+			Type: r.types[r.i%4],
+			Key:  event.GroupKey(r.i % 13),
+			Val:  float64(r.i%7) + 1,
+		}
+		r.clock++
+		r.i++
+		if err := r.en.Process(e); err != nil {
+			tb.Fatal(err)
+		}
+	}
+}
+
+// hotPathWarmup is enough events for every group's aggregators, rings,
+// and pools to reach steady state (several full windows per group).
+const hotPathWarmup = 40000
+
+// BenchmarkHotPathProcess measures the per-event cost of the shared online
+// engine in steady state: ns/event and allocs/event with construction and
+// warm-up excluded. This is the number the window-ring + pooling design is
+// accountable to (see README "Performance" and BENCH_hotpath.json).
+func BenchmarkHotPathProcess(b *testing.B) {
+	r := newHotPathRig(b)
+	r.feed(b, hotPathWarmup)
+	b.ReportAllocs()
+	b.ResetTimer()
+	r.feed(b, b.N)
+}
+
+// hotPathAllocsPerEvent measures steady-state allocations per event via
+// testing.AllocsPerRun over chunks of 2000 events.
+func hotPathAllocsPerEvent(tb testing.TB) float64 {
+	r := newHotPathRig(tb)
+	r.feed(tb, hotPathWarmup)
+	const chunk = 2000
+	return testing.AllocsPerRun(10, func() { r.feed(tb, chunk) }) / chunk
+}
+
+// maxHotPathAllocsPerEvent is the regression budget for the zero-allocation
+// hot path: the window-ring + pooled engine sustains ~0 allocs/event in
+// steady state (slice-growth amortization and map resizes round to well
+// under 0.01/event); the pre-ring engine sat at 1.80 allocs/event on this
+// rig, so any reintroduced per-event allocation trips this immediately.
+const maxHotPathAllocsPerEvent = 0.05
+
+// TestHotPathAllocs makes per-event allocation regressions fail `go test`,
+// not just benchmarks.
+func TestHotPathAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement needs the full warm-up")
+	}
+	got := hotPathAllocsPerEvent(t)
+	t.Logf("steady-state allocs/event = %.4f", got)
+	if got > maxHotPathAllocsPerEvent {
+		t.Fatalf("steady-state allocs/event = %.4f, budget %.2f", got, maxHotPathAllocsPerEvent)
+	}
+}
+
+// BenchmarkHotPathAllocs is the same assertion in benchmark form so
+// `-bench=HotPath` smoke runs (CI) check it too, and reports the measured
+// value as a benchmark metric.
+func BenchmarkHotPathAllocs(b *testing.B) {
+	got := hotPathAllocsPerEvent(b)
+	b.ReportMetric(got, "allocs/event")
+	b.ReportMetric(0, "ns/op")
+	if got > maxHotPathAllocsPerEvent {
+		b.Fatalf("steady-state allocs/event = %.4f, budget %.2f", got, maxHotPathAllocsPerEvent)
+	}
+}

@@ -97,6 +97,14 @@ type Parallel struct {
 
 	workers []*shardWorker
 	pending [][]event.Event
+	// batchPool and resultPool recycle the feeder's event batches and the
+	// workers' result buffers (as *[]T to keep sync.Pool allocation-free):
+	// a batch returns to the pool once its worker drained it, a result
+	// buffer once the merge stage bucketed it, so steady-state dispatch
+	// allocates nothing. Broadcast batches are shared by all workers and
+	// are not pooled (no single owner to return them).
+	batchPool  sync.Pool
+	resultPool sync.Pool
 	// first is shard 0's target, kept for introspection (Explain).
 	first ShardTarget
 
@@ -130,6 +138,9 @@ type shardMsg struct {
 	wm     int64
 	hasWM  bool
 	flush  bool
+	// pooled marks a batch owned by exactly one worker (hash routing);
+	// the worker returns it to the batch pool after draining it.
+	pooled bool
 }
 
 // shardOut is one worker→merger message: the results the shard produced
@@ -148,8 +159,11 @@ type shardWorker struct {
 	id     int
 	in     chan shardMsg
 	target ShardTarget
+	// pool is the owning executor, for the shared batch/result pools.
+	pool *Parallel
 	// buf accumulates results between messages; the target's sink
-	// appends to it from the worker goroutine.
+	// appends to it from the worker goroutine, drawing recycled backing
+	// arrays from the result pool.
 	buf   []Result
 	err   error
 	stats metrics.ShardCounters
@@ -170,6 +184,9 @@ func (w *shardWorker) run(out chan<- shardOut) {
 			if w.err == nil && msg.flush {
 				w.err = w.target.Flush()
 			}
+		}
+		if msg.pooled && msg.events != nil {
+			w.pool.putBatch(msg.events)
 		}
 		res := w.buf
 		w.buf = nil
@@ -214,8 +231,13 @@ func NewParallel(cfg ParallelConfig) (*Parallel, error) {
 		p.batchLimit = cfg.BatchSize * cfg.Workers
 	}
 	for i := 0; i < cfg.Workers; i++ {
-		w := &shardWorker{id: i, in: make(chan shardMsg, 4)}
-		target, err := cfg.NewShard(i, func(r Result) { w.buf = append(w.buf, r) })
+		w := &shardWorker{id: i, in: make(chan shardMsg, 4), pool: p}
+		target, err := cfg.NewShard(i, func(r Result) {
+			if w.buf == nil {
+				w.buf = p.getResBuf()
+			}
+			w.buf = append(w.buf, r)
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -228,6 +250,38 @@ func NewParallel(cfg ParallelConfig) (*Parallel, error) {
 	}
 	go p.mergeLoop()
 	return p, nil
+}
+
+// getBatch returns a recycled (or fresh) event batch with zero length.
+func (p *Parallel) getBatch() []event.Event {
+	if b, ok := p.batchPool.Get().(*[]event.Event); ok {
+		return (*b)[:0]
+	}
+	return make([]event.Event, 0, p.batchSize)
+}
+
+// putBatch returns a drained batch's backing array to the pool. Called
+// from worker goroutines; sync.Pool is safe for concurrent use.
+func (p *Parallel) putBatch(b []event.Event) {
+	b = b[:0]
+	p.batchPool.Put(&b)
+}
+
+// getResBuf returns a recycled (or fresh) result buffer with zero length.
+func (p *Parallel) getResBuf() []Result {
+	if b, ok := p.resultPool.Get().(*[]Result); ok {
+		return (*b)[:0]
+	}
+	return nil
+}
+
+// putResBuf recycles a result buffer after the merge stage bucketed it.
+func (p *Parallel) putResBuf(b []Result) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	p.resultPool.Put(&b)
 }
 
 // shardOf maps a group key to a worker by Fibonacci-hashing the key.
@@ -289,6 +343,9 @@ func (p *Parallel) feedOne(e event.Event) error {
 		p.pending[0] = append(p.pending[0], e)
 	} else {
 		s := shardOf(e.Key, len(p.workers))
+		if p.pending[s] == nil {
+			p.pending[s] = p.getBatch()
+		}
 		p.pending[s] = append(p.pending[s], e)
 	}
 	p.pendingN++
@@ -308,7 +365,7 @@ func (p *Parallel) dispatch(flush bool) {
 		if p.broadcast {
 			batch = p.pending[0]
 		}
-		msg := shardMsg{events: batch, flush: flush}
+		msg := shardMsg{events: batch, flush: flush, pooled: !p.broadcast}
 		if p.started {
 			msg.wm, msg.hasWM = p.last, true
 		}
@@ -395,6 +452,7 @@ func (p *Parallel) mergeLoop() {
 			end := p.winEnd(r)
 			buckets[end] = append(buckets[end], r)
 		}
+		p.putResBuf(o.results)
 		if o.hasWM && o.wm > wms[o.shard] {
 			wms[o.shard] = o.wm
 		}

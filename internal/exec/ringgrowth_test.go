@@ -1,0 +1,58 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/sharon-project/sharon/internal/agg"
+	"github.com/sharon-project/sharon/internal/core"
+	"github.com/sharon-project/sharon/internal/event"
+	"github.com/sharon-project/sharon/internal/query"
+)
+
+// TestRingGrowthHighOverlapWindow pins the lazy window-ring growth: a
+// high-overlap window (Length/Slide = 100, far beyond the rings' initial
+// 16 slots) forces both the aggregator's total ring and the chain stages'
+// snapshot rings through several geometric growth steps mid-stream, and
+// the shared engine must keep producing exactly the non-shared engine's
+// results throughout (both orders of growth-then-append and
+// append-then-grow occur as the live span widens event by event).
+func TestRingGrowthHighOverlapWindow(t *testing.T) {
+	f := newFixture()
+	win := int64(6400)
+	slide := int64(64) // MaxConcurrent = 101 ≫ initial ring capacity
+	w := query.Workload{
+		f.query(0, "ABCD", win, slide),
+		f.query(1, "CD", win, slide),
+	}
+	plan := core.Plan{core.NewCandidate(f.pat("CD"), []int{0, 1})}
+
+	rng := rand.New(rand.NewSource(17))
+	letters := []byte("ABCD")
+	var stream event.Stream
+	tm := int64(1)
+	for i := 0; i < 4000; i++ {
+		tm += 1 + int64(rng.Intn(7))
+		stream = append(stream, f.stream(string(letters[rng.Intn(4)]), tm)[0:1]...)
+	}
+
+	shared, err := NewEngine(w, plan, Options{Collect: true, EmitEmpty: true})
+	must(t, err)
+	nonShared, err := NewEngine(w, nil, Options{Collect: true, EmitEmpty: true})
+	must(t, err)
+	runAll(t, shared, stream)
+	runAll(t, nonShared, stream)
+
+	got, want := shared.Results(), nonShared.Results()
+	if len(got) != len(want) || len(got) == 0 {
+		t.Fatalf("result counts differ: shared %d, non-shared %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Query != want[i].Query || got[i].Win != want[i].Win || got[i].Group != want[i].Group {
+			t.Fatalf("result %d keys differ: %+v vs %+v", i, got[i], want[i])
+		}
+		if !agg.ApproxEqual(got[i].State, want[i].State) {
+			t.Fatalf("result %d state differs: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}

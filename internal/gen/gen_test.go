@@ -136,7 +136,7 @@ func TestDatasetGenerators(t *testing.T) {
 			if err := s.Validate(); err != nil {
 				t.Fatal(err)
 			}
-			if reg.Len() == 0 {
+			if reg.Count() == 0 {
 				t.Error("no types interned")
 			}
 		})

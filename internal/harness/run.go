@@ -6,6 +6,7 @@ package harness
 
 import (
 	"errors"
+	"runtime"
 	"time"
 
 	"github.com/sharon-project/sharon/internal/event"
@@ -14,13 +15,20 @@ import (
 )
 
 // Run replays stream through ex, measuring wall-clock time, emitted
-// results, and peak memory. A run aborted by the two-step sequence cap
-// returns stats with DNF set instead of an error.
+// results, peak memory, and heap-allocation deltas (runtime.MemStats
+// Mallocs/TotalAlloc across all goroutines — parallel executors' workers
+// included). A run aborted by the two-step sequence cap returns stats with
+// DNF set instead of an error.
 func Run(ex exec.Executor, stream event.Stream) (metrics.RunStats, error) {
 	stats := metrics.RunStats{Executor: ex.Name(), Events: int64(len(stream))}
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
 	start := time.Now()
 	err := replay(ex, stream)
 	stats.Elapsed = time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	stats.Allocs = int64(ms1.Mallocs - ms0.Mallocs)
+	stats.AllocBytes = int64(ms1.TotalAlloc - ms0.TotalAlloc)
 	stats.PeakLiveStates = ex.PeakLiveStates()
 	stats.Results = ex.ResultCount()
 	if err != nil {

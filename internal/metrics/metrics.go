@@ -27,6 +27,13 @@ type RunStats struct {
 	// PeakLiveStates is the executor's peak number of live aggregate /
 	// sequence states.
 	PeakLiveStates int64
+	// Allocs is the number of heap allocations performed during the run
+	// (runtime.MemStats.Mallocs delta, all goroutines), when the harness
+	// captured it; 0 when not measured.
+	Allocs int64
+	// AllocBytes is the heap bytes allocated during the run
+	// (runtime.MemStats.TotalAlloc delta), when captured.
+	AllocBytes int64
 	// DNF marks a run aborted by the sequence-construction cap — the
 	// paper's "does not terminate".
 	DNF bool
@@ -53,6 +60,31 @@ func (s RunStats) LatencyMs() float64 {
 
 // MemoryBytes returns the peak memory estimate in bytes.
 func (s RunStats) MemoryBytes() int64 { return s.PeakLiveStates * StateBytes }
+
+// NsPerEvent returns the average wall-clock nanoseconds spent per event.
+func (s RunStats) NsPerEvent() float64 {
+	if s.Events <= 0 {
+		return 0
+	}
+	return float64(s.Elapsed.Nanoseconds()) / float64(s.Events)
+}
+
+// AllocsPerEvent returns the average heap allocations per event (0 when
+// allocation capture was off).
+func (s RunStats) AllocsPerEvent() float64 {
+	if s.Events <= 0 {
+		return 0
+	}
+	return float64(s.Allocs) / float64(s.Events)
+}
+
+// AllocBytesPerEvent returns the average heap bytes allocated per event.
+func (s RunStats) AllocBytesPerEvent() float64 {
+	if s.Events <= 0 {
+		return 0
+	}
+	return float64(s.AllocBytes) / float64(s.Events)
+}
 
 // String renders the stats for logs and tables.
 func (s RunStats) String() string {

@@ -59,6 +59,27 @@ func (w Window) Indices(t int64) (first, last int64) {
 	return w.FirstContaining(t), w.LastContaining(t)
 }
 
+// MaxConcurrent bounds the width of the live window-index range: at any
+// watermark t, the open windows are the contiguous indices [nextClose,
+// LastContaining(t)] with nextClose = smallest k whose End exceeds t, so at
+// most ceil(Length/Slide)+1 indices are open at once. Ring-buffer window
+// state in the executors grows (geometrically, via NextPow2) up to this
+// bound and no further.
+func (w Window) MaxConcurrent() int64 {
+	return (w.Length+w.Slide-1)/w.Slide + 1
+}
+
+// NextPow2 returns the smallest power of two at or above v (at least 1).
+// The executors size their window rings with it so that wrapping a window
+// index into a slot is a single mask instead of a modulo.
+func NextPow2(v int64) int64 {
+	n := int64(1)
+	for n < v {
+		n <<= 1
+	}
+	return n
+}
+
 // PairIndices returns the inclusive range of window indices containing the
 // whole interval [start, end] (a sequence's START and END event times).
 // It returns ok=false if no window contains both.
