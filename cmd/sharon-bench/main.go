@@ -13,6 +13,7 @@
 //	sharon-bench -exp fig16             # plan quality
 //	sharon-bench -exp parallel          # sharded parallel executor scaling (not a paper figure)
 //	sharon-bench -exp hotpath           # steady-state per-event engine cost (ns/event, allocs/event)
+//	sharon-bench -exp server            # end-to-end sharond over loopback (ev/s, ingest-to-emit latency)
 //	sharon-bench -exp all [-scale 10]   # every paper experiment (scale 10 ≈ paper size)
 //
 // With -json DIR, every experiment additionally writes its results as
@@ -32,7 +33,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id: table1, fig13, fig14ae, fig14bf, fig14cg, fig15, fig16, parallel, hotpath, all")
+		exp     = flag.String("exp", "all", "experiment id: table1, fig13, fig14ae, fig14bf, fig14cg, fig15, fig16, parallel, hotpath, server, all")
 		scale   = flag.Float64("scale", 1, "stream size multiplier (1 ≈ paper shapes at 1/10 size, 10 ≈ paper size)")
 		seed    = flag.Int64("seed", 1, "generator seed")
 		jsonDir = flag.String("json", "", "directory to write machine-readable BENCH_<exp>.json results into (empty: don't)")
@@ -56,6 +57,15 @@ func main() {
 		out, err := harness.Table1(cfg)
 		fail(err)
 		fmt.Print(out)
+	case "server":
+		recs, err := harness.ServerBench(cfg)
+		fail(err)
+		fmt.Printf("server — end-to-end sharond over loopback (ingest POSTs + SSE subscription + closing watermark)\n")
+		fmt.Print(harness.FormatBenchRecords(recs))
+		for _, r := range recs {
+			fmt.Printf("  %s: ingest-to-emit latency p50 %.2fms p99 %.2fms\n", r.Name, r.LatencyP50Ms, r.LatencyP99Ms)
+		}
+		writeJSON(*jsonDir, harness.BenchFile{Experiment: "server", Records: recs})
 	case "hotpath":
 		recs, err := harness.Hotpath(cfg)
 		fail(err)

@@ -1,0 +1,102 @@
+// Command sharond serves a Sharon workload over the network: batched
+// NDJSON event ingestion with bounded-queue backpressure, push-based
+// SSE result subscriptions fed as windows close, watermark punctuation
+// for unbounded streams, live query registration (optimizer re-runs
+// with plan diffs), /metrics, /healthz, and graceful drain on SIGTERM.
+//
+// Usage:
+//
+//	sharond                                  # default demo workload on :8080
+//	sharond -addr :9000 -parallelism 4
+//	sharond -query 'RETURN COUNT(*) PATTERN SEQ(A, B) WHERE [k] WITHIN 4s SLIDE 1s' \
+//	        -query 'RETURN COUNT(*) PATTERN SEQ(B, C) WHERE [k] WITHIN 4s SLIDE 1s'
+//	sharond -queries-file workload.sase      # one query per line, # comments
+//
+// See the README's "Running the server" section for the wire formats.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"github.com/sharon-project/sharon/internal/server"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, "; ") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func main() {
+	var queries multiFlag
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		queriesFile = flag.String("queries-file", "", "file with one query per line (# comments); overrides -query")
+		parallelism = flag.Int("parallelism", 1, "engine shard workers (1 = sequential)")
+		dynamic     = flag.Bool("dynamic", false, "back the engine with a DynamicSystem (re-optimize on rate drift)")
+		emitEmpty   = flag.Bool("emit-empty", false, "also push zero results for windows without matches")
+		maxBatch    = flag.Int64("max-batch-bytes", 8<<20, "ingest request body limit")
+		queue       = flag.Int("queue", 256, "ingest queue bound in batches (full queue = 429)")
+		subBuf      = flag.Int("sub-buffer", 4096, "per-subscription delivery buffer in results")
+		verbose     = flag.Bool("v", false, "log operational events")
+	)
+	flag.Var(&queries, "query", "query text (repeatable)")
+	flag.Parse()
+
+	if *queriesFile != "" {
+		data, err := os.ReadFile(*queriesFile)
+		if err != nil {
+			log.Fatalf("sharond: %v", err)
+		}
+		queries = nil
+		for _, line := range strings.Split(string(data), "\n") {
+			line = strings.TrimSpace(line)
+			if line != "" && !strings.HasPrefix(line, "#") {
+				queries = append(queries, line)
+			}
+		}
+	}
+	if len(queries) == 0 {
+		queries = server.DefaultQueries
+	}
+
+	cfg := server.Config{
+		Queries:          queries,
+		Parallelism:      *parallelism,
+		Dynamic:          *dynamic,
+		EmitEmpty:        *emitEmpty,
+		MaxBatchBytes:    *maxBatch,
+		IngestQueue:      *queue,
+		SubscriberBuffer: *subBuf,
+	}
+	if *verbose {
+		cfg.Logf = log.Printf
+	}
+	s, err := server.New(cfg)
+	if err != nil {
+		log.Fatalf("sharond: %v", err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "sharond: serving %d queries on %s (parallelism %d)\n",
+		len(queries), *addr, *parallelism)
+	if err := s.ListenAndServe(ctx, addr2(*addr)); err != nil {
+		log.Fatalf("sharond: %v", err)
+	}
+	fmt.Fprintln(os.Stderr, "sharond: drained, bye")
+}
+
+// addr2 normalizes a bare port to a listen address.
+func addr2(a string) string {
+	if !strings.Contains(a, ":") {
+		return ":" + a
+	}
+	return a
+}

@@ -2,6 +2,7 @@ package sharon
 
 import (
 	"fmt"
+	"runtime"
 
 	"github.com/sharon-project/sharon/internal/core"
 	"github.com/sharon-project/sharon/internal/exec"
@@ -90,16 +91,21 @@ func NewDynamicSystem(w Workload, rates Rates, opts DynamicOptions) (*DynamicSys
 }
 
 // Process feeds the next event (strictly time-ordered).
-func (s *DynamicSystem) Process(e Event) error { return s.executor.Process(e) }
+func (s *DynamicSystem) Process(e Event) error {
+	defer runtime.KeepAlive(s) // see reclaimOnDrop
+	return s.executor.Process(e)
+}
 
 // FeedBatch feeds a batch of strictly time-ordered events.
 func (s *DynamicSystem) FeedBatch(events []Event) error {
+	defer runtime.KeepAlive(s) // see reclaimOnDrop
 	return feedBatch(s.executor, events)
 }
 
 // ProcessAll replays a stream and flushes. On a feed error the run is
 // stopped without emitting partial windows.
 func (s *DynamicSystem) ProcessAll(stream Stream) error {
+	defer runtime.KeepAlive(s) // see reclaimOnDrop
 	if err := s.FeedBatch(stream); err != nil {
 		stopParallel(s.executor)
 		return err
@@ -108,14 +114,39 @@ func (s *DynamicSystem) ProcessAll(stream Stream) error {
 }
 
 // Flush closes all remaining windows.
-func (s *DynamicSystem) Flush() error { return s.executor.Flush() }
+func (s *DynamicSystem) Flush() error {
+	defer runtime.KeepAlive(s) // see reclaimOnDrop
+	return s.executor.Flush()
+}
+
+// AdvanceWatermark closes every window ending at or before t on the
+// active engines and emits its results without consuming an event; see
+// System.AdvanceWatermark for the full contract. Rate accounting is
+// untouched: drift is measured over observed events only.
+func (s *DynamicSystem) AdvanceWatermark(t int64) {
+	defer runtime.KeepAlive(s) // see reclaimOnDrop
+	advanceWatermark(s.executor, t)
+}
 
 // Close releases the executor without emitting the windows still open;
 // see System.Close. Idempotent, and safe after Flush.
-func (s *DynamicSystem) Close() { stopParallel(s.executor) }
+func (s *DynamicSystem) Close() {
+	defer runtime.KeepAlive(s) // see reclaimOnDrop
+	stopParallel(s.executor)
+}
 
-// Results returns collected results (only when OnResult was nil).
+// Results returns collected results, sorted by query, window, group.
+// When an OnResult sink is attached the system does not retain results
+// and Results always returns nil (see System.Results).
 func (s *DynamicSystem) Results() []Result { return collectedResults(s.executor, s.collect) }
+
+// ResultCount reports the number of aggregates emitted so far.
+func (s *DynamicSystem) ResultCount() int64 { return s.executor.ResultCount() }
+
+// PeakMemoryStates reports the executor's peak number of live aggregate
+// states. On the parallel path the shards' peaks are summed at Flush
+// time (0 before).
+func (s *DynamicSystem) PeakMemoryStates() int64 { return s.executor.PeakLiveStates() }
 
 // shardsReadable reports whether the shard Dynamics may be inspected:
 // always sequentially, only after Flush/Stop on the parallel path

@@ -148,15 +148,14 @@ func (d *Dynamic) Process(e event.Event) error {
 	}
 	d.counts[e.Type]++
 
-	if err := d.current.Process(e); err != nil {
-		return err
-	}
+	// The draining engine runs first: it owns the windows below the
+	// migration boundary, so feeding it ahead of current keeps the sink's
+	// window order monotone across a plan hand-off. Its windows have all
+	// closed once the watermark passes the last one's end.
 	if d.draining != nil {
 		if err := d.draining.Process(e); err != nil {
 			return err
 		}
-		// The draining engine owns windows < boundary; they have all
-		// closed once the watermark passes the last one's end.
 		if e.Time >= d.win.End(d.boundary-1) {
 			if err := d.draining.Flush(); err != nil {
 				return err
@@ -164,7 +163,7 @@ func (d *Dynamic) Process(e event.Event) error {
 			d.draining = nil
 		}
 	}
-	return nil
+	return d.current.Process(e)
 }
 
 // maybeMigrate measures recent rates and installs a new plan when they
@@ -272,7 +271,7 @@ func (d *Dynamic) AdvanceWatermark(t int64) {
 		return
 	}
 	d.last = t
-	d.current.AdvanceWatermark(t)
+	// Draining engine first, as in Process: its windows precede current's.
 	if d.draining != nil {
 		d.draining.AdvanceWatermark(t)
 		if t >= d.win.End(d.boundary-1) {
@@ -281,6 +280,7 @@ func (d *Dynamic) AdvanceWatermark(t int64) {
 			d.draining = nil
 		}
 	}
+	d.current.AdvanceWatermark(t)
 }
 
 // Flush closes all remaining windows on both engines.

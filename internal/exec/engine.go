@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 
@@ -52,6 +53,10 @@ type Engine struct {
 	lastTime  int64
 	nextClose int64
 	maxWin    int64
+	// emitBuf stages one window's results so they can be sorted into the
+	// canonical (query, window, group) order before reaching the sink;
+	// reused across windows to keep the hot path allocation-free.
+	emitBuf []Result
 
 	peakLive int64
 	queries  map[int]*query.Query
@@ -493,15 +498,26 @@ func (en *Engine) closeUpTo(t int64) {
 	}
 }
 
+// emitWindow delivers window win's results in the canonical (query,
+// window, group) order. Group state lives in a map, so the raw iteration
+// order is not deterministic; staging the window in emitBuf and sorting
+// makes the OnResult sink order identical across runs — and identical to
+// the parallel executor's merge order — so sinks (the server's push
+// subscriptions, the harness) can rely on it without re-sorting.
 func (en *Engine) emitWindow(win int64) {
+	en.emitBuf = en.emitBuf[:0]
 	for _, g := range en.groups {
 		for _, ch := range g.chains {
 			state := ch.windowState(win)
 			if state.Count > 0 || en.opts.EmitEmpty {
-				en.emit(Result{Query: ch.proto.q.ID, Win: win, Group: g.key, State: state})
+				en.emitBuf = append(en.emitBuf, Result{Query: ch.proto.q.ID, Win: win, Group: g.key, State: state})
 			}
 			ch.release(win)
 		}
+	}
+	slices.SortFunc(en.emitBuf, cmpResult)
+	for _, r := range en.emitBuf {
+		en.emit(r)
 	}
 }
 

@@ -14,6 +14,7 @@
 package exec
 
 import (
+	"cmp"
 	"fmt"
 	"sort"
 
@@ -104,13 +105,20 @@ func (rs *resultSink) emit(r Result) {
 // single definition keeps the parallel-equals-sequential byte-for-byte
 // guarantee intact.
 func lessResult(a, b Result) bool {
-	if a.Query != b.Query {
-		return a.Query < b.Query
+	return cmpResult(a, b) < 0
+}
+
+// cmpResult is lessResult as a three-way comparison for slices.SortFunc
+// (the sequential executors' within-window emission sort).
+func cmpResult(a, b Result) int {
+	switch {
+	case a.Query != b.Query:
+		return cmp.Compare(a.Query, b.Query)
+	case a.Win != b.Win:
+		return cmp.Compare(a.Win, b.Win)
+	default:
+		return cmp.Compare(a.Group, b.Group)
 	}
-	if a.Win != b.Win {
-		return a.Win < b.Win
-	}
-	return a.Group < b.Group
 }
 
 // Results returns collected results (Options.Collect must be set), sorted

@@ -112,6 +112,10 @@ type Parallel struct {
 	last     int64
 	pendingN int
 	closed   bool
+	// stopOnce makes teardown race-safe: the GC-backstop cleanup of an
+	// abandoned run (sharon.reclaimOnDrop) may call Stop from the
+	// cleanup goroutine while a last in-flight Flush tears down too.
+	stopOnce sync.Once
 
 	out       chan shardOut
 	mergeDone chan struct{}
@@ -321,6 +325,22 @@ func (p *Parallel) FeedBatch(events []event.Event) error {
 	return nil
 }
 
+// AdvanceWatermark declares that no event at or before time t will
+// arrive anymore: the pending batches are dispatched immediately stamped
+// with the new watermark, every shard closes its windows up to t, and
+// the merge stage delivers them — without waiting for the batch limit or
+// a terminal Flush. Network sources use it to bound emission latency on
+// quiet or bursty streams. Events at or before t are subsequently
+// rejected as out-of-order. Calls before the first event or at or below
+// the current watermark are no-ops, as is a call after Flush.
+func (p *Parallel) AdvanceWatermark(t int64) {
+	if p.closed || !p.started || t <= p.last {
+		return
+	}
+	p.last = t
+	p.dispatch(false)
+}
+
 func (p *Parallel) checkFeedable() error {
 	if p.closed {
 		return fmt.Errorf("exec: Process after Flush on parallel executor")
@@ -397,9 +417,10 @@ func (p *Parallel) Stop() {
 }
 
 func (p *Parallel) shutdown() {
-	if p.closed {
-		return
-	}
+	p.stopOnce.Do(p.doShutdown)
+}
+
+func (p *Parallel) doShutdown() {
 	p.dispatch(true)
 	for _, w := range p.workers {
 		close(w.in)

@@ -1,7 +1,9 @@
 package exec
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 
@@ -26,8 +28,17 @@ import (
 type Partitioned struct {
 	resultSink
 	segments []*partSegment
-	started  bool
-	last     int64
+	// qwin maps query ID to its window for the merge ordering key.
+	qwin map[int]query.Window
+	// emitBuf stages the results every segment engine produced for one
+	// Process/AdvanceWatermark/Flush step so they can be sorted into the
+	// global (window end, query, window, group) order before reaching
+	// the sink — the same order the parallel segment-sharded executor's
+	// merge stage delivers, so sequential and parallel partitioned runs
+	// push byte-identical sequences.
+	emitBuf []Result
+	started bool
+	last    int64
 }
 
 type partSegment struct {
@@ -118,18 +129,45 @@ func NewPartitioned(w query.Workload, rates core.Rates, opts Options, optOpts co
 // NewPartitionedFromSpecs builds the sequential partitioned executor
 // from pre-planned segments.
 func NewPartitionedFromSpecs(specs []SegmentSpec, opts Options) (*Partitioned, error) {
-	p := &Partitioned{resultSink: resultSink{opts: opts}}
+	p := &Partitioned{resultSink: resultSink{opts: opts}, qwin: make(map[int]query.Window)}
 	for _, spec := range specs {
 		engine, err := NewEngine(spec.Workload, spec.Plan, Options{
 			EmitEmpty: opts.EmitEmpty,
-			OnResult:  p.emit,
+			OnResult:  p.stage,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("exec: partition engine: %w", err)
 		}
 		p.segments = append(p.segments, &partSegment{w: spec.Workload, plan: spec.Plan, engine: engine})
+		for _, q := range spec.Workload {
+			p.qwin[q.ID] = q.Window
+		}
 	}
 	return p, nil
+}
+
+// stage buffers one segment engine's emission for the current step.
+func (p *Partitioned) stage(r Result) { p.emitBuf = append(p.emitBuf, r) }
+
+// emitStaged sorts the step's staged results into the global (window
+// end, query, window, group) order and delivers them. Window closes are
+// monotone in time within each segment, and every segment observed the
+// same watermark in this step, so sorting within the step yields the
+// same global order the parallel merge produces across steps.
+func (p *Partitioned) emitStaged() {
+	if len(p.emitBuf) == 0 {
+		return
+	}
+	slices.SortFunc(p.emitBuf, func(a, b Result) int {
+		if c := cmp.Compare(p.qwin[a.Query].End(a.Win), p.qwin[b.Query].End(b.Win)); c != 0 {
+			return c
+		}
+		return cmpResult(a, b)
+	})
+	for _, r := range p.emitBuf {
+		p.emit(r)
+	}
+	p.emitBuf = p.emitBuf[:0]
 }
 
 // Name identifies the strategy.
@@ -156,7 +194,21 @@ func (p *Partitioned) Process(e event.Event) error {
 			return err
 		}
 	}
+	p.emitStaged()
 	return nil
+}
+
+// AdvanceWatermark closes every window ending at or before t in every
+// segment without consuming an event (see Engine.AdvanceWatermark).
+func (p *Partitioned) AdvanceWatermark(t int64) {
+	if !p.started || t <= p.last {
+		return
+	}
+	p.last = t
+	for _, s := range p.segments {
+		s.engine.AdvanceWatermark(t)
+	}
+	p.emitStaged()
 }
 
 // Flush closes all windows in every segment.
@@ -166,6 +218,7 @@ func (p *Partitioned) Flush() error {
 			return err
 		}
 	}
+	p.emitStaged()
 	return nil
 }
 

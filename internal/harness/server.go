@@ -1,0 +1,85 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"runtime"
+	"time"
+
+	"github.com/sharon-project/sharon/internal/loadgen"
+	"github.com/sharon-project/sharon/internal/server"
+)
+
+// ServerBench measures end-to-end sharond serving over loopback: an
+// in-process server behind a real HTTP listener, driven by the shared
+// loadgen driver (ingest POSTs honoring backpressure, a subscription
+// receiving every pushed window, a closing watermark). It reports
+// sustained ingest events/sec and p50/p99 ingest-to-emit latency for a
+// sequential and a parallel engine, so the server numbers land in the
+// BENCH_*.json trajectory next to the in-process hot path.
+func ServerBench(cfg Config) ([]BenchRecord, error) {
+	cfg.fill()
+	events := cfg.scaled(200000)
+	variants := []struct {
+		name string
+		par  int
+	}{
+		{"seq", 1},
+		{fmt.Sprintf("par-%dw", min(4, runtime.GOMAXPROCS(0))), min(4, runtime.GOMAXPROCS(0))},
+	}
+	var out []BenchRecord
+	for _, v := range variants {
+		rec, err := serverRun(cfg, v.name, v.par, events)
+		if err != nil {
+			return nil, fmt.Errorf("server %s: %w", v.name, err)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+func serverRun(cfg Config, name string, par, events int) (BenchRecord, error) {
+	srv, err := server.New(server.Config{
+		Queries:     server.DefaultQueries,
+		Parallelism: par,
+	})
+	if err != nil {
+		return BenchRecord{}, err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = srv.Drain(ctx)
+	}()
+
+	rep, err := loadgen.Run(loadgen.Config{
+		BaseURL: ts.URL,
+		Events:  events,
+	})
+	if err != nil {
+		return BenchRecord{}, err
+	}
+	cfg.Progress("server %s: %.0f ev/s, %d results, p50 %.2fms p99 %.2fms",
+		name, rep.EventsPerSec, rep.Results, rep.LatencyP50Ms, rep.LatencyP99Ms)
+	if rep.Results == 0 {
+		return BenchRecord{}, fmt.Errorf("no results received over loopback")
+	}
+	ns := 0.0
+	if rep.Events > 0 {
+		ns = float64(rep.ElapsedNs) / float64(rep.Events)
+	}
+	return BenchRecord{
+		Name:         "server-loopback/" + name,
+		Executor:     "sharond",
+		Events:       rep.Events,
+		Results:      rep.Results,
+		ElapsedNs:    rep.ElapsedNs,
+		EventsPerSec: rep.EventsPerSec,
+		NsPerEvent:   ns,
+		LatencyP50Ms: rep.LatencyP50Ms,
+		LatencyP99Ms: rep.LatencyP99Ms,
+	}, nil
+}

@@ -1,0 +1,267 @@
+// Package loadgen drives a sharond server over loopback (or any
+// network) and measures end-to-end serving performance: sustained
+// ingest throughput and the ingest-to-emit latency between posting the
+// batch that closes a window and receiving that window's first result
+// on a subscription. cmd/sharon-load and the sharon-bench "server"
+// experiment share this driver.
+package loadgen
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Config parameterizes one load run. The generated stream cycles
+// through Types with one tick between events and keys cycling over
+// Groups (coprime cycles exercise every (group, type) pair).
+type Config struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Events is the number of events to send.
+	Events int
+	// Batch is the events-per-POST batch size (default 512).
+	Batch int
+	// Groups is the number of distinct group keys (default 16).
+	Groups int
+	// Types is the event type cycle (default A, B, C, D — matching
+	// sharond's default workload).
+	Types []string
+	// Within and Slide are the served workload's window parameters in
+	// ticks (default 4000/1000); the driver needs them to know which
+	// batch closes which window for the latency measurement.
+	Within, Slide int64
+	// QuiesceTimeout bounds the wait for in-flight results after the
+	// final watermark (default 30s).
+	QuiesceTimeout time.Duration
+	// Progress receives per-phase log lines; nil discards them.
+	Progress func(format string, args ...any)
+}
+
+func (c *Config) fill() {
+	if c.Batch <= 0 {
+		c.Batch = 512
+	}
+	if c.Groups <= 0 {
+		c.Groups = 16
+	}
+	if len(c.Types) == 0 {
+		c.Types = []string{"A", "B", "C", "D"}
+	}
+	if c.Within <= 0 {
+		c.Within = 4000
+	}
+	if c.Slide <= 0 {
+		c.Slide = 1000
+	}
+	if c.QuiesceTimeout <= 0 {
+		c.QuiesceTimeout = 30 * time.Second
+	}
+	if c.Progress == nil {
+		c.Progress = func(string, ...any) {}
+	}
+}
+
+// Report is the outcome of one load run.
+type Report struct {
+	// Events/Batches are the accepted totals; Rejected429 counts
+	// backpressure refusals (each retried until accepted).
+	Events      int64 `json:"events"`
+	Batches     int64 `json:"batches"`
+	Rejected429 int64 `json:"rejected_429"`
+	// ElapsedNs spans first POST to last accepted POST; EventsPerSec is
+	// the sustained ingest throughput over it.
+	ElapsedNs    int64   `json:"elapsed_ns"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	// Results is the number of pushed results the subscription
+	// received; Windows the number of distinct window ends among them.
+	Results int64 `json:"results"`
+	Windows int64 `json:"windows"`
+	// LatencyP50Ms/P99Ms summarize ingest-to-emit latency: from posting
+	// the batch (or watermark) that closes a window to receiving that
+	// window's first result.
+	LatencyP50Ms float64 `json:"latency_p50_ms"`
+	LatencyP99Ms float64 `json:"latency_p99_ms"`
+}
+
+// wireEnd is the slice of the result wire format the driver reads.
+type wireEnd struct {
+	End int64 `json:"end"`
+}
+
+// Run executes one load run against a serving sharond.
+func Run(cfg Config) (Report, error) {
+	cfg.fill()
+	var rep Report
+
+	// Subscribe first: results for windows closed mid-run must be
+	// observed, not replayed.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", cfg.BaseURL+"/subscribe", nil)
+	if err != nil {
+		return rep, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return rep, fmt.Errorf("subscribe: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		return rep, fmt.Errorf("subscribe: status %d", resp.StatusCode)
+	}
+	var mu sync.Mutex
+	results := int64(0)
+	recvAt := make(map[int64]time.Time) // window end -> first result arrival
+	subReady := make(chan struct{})
+	subDone := make(chan struct{})
+	go func() {
+		defer close(subDone)
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			line := sc.Text()
+			if line == ": subscribed" {
+				close(subReady)
+				continue
+			}
+			if !strings.HasPrefix(line, "data: ") {
+				continue
+			}
+			var we wireEnd
+			if json.Unmarshal([]byte(line[len("data: "):]), &we) != nil {
+				continue
+			}
+			now := time.Now()
+			mu.Lock()
+			results++
+			if _, ok := recvAt[we.End]; !ok {
+				recvAt[we.End] = now
+			}
+			mu.Unlock()
+		}
+	}()
+	select {
+	case <-subReady:
+	case <-time.After(10 * time.Second):
+		return rep, fmt.Errorf("subscription never became ready")
+	}
+
+	// Send loop: stamp each window end when the batch closing it is
+	// posted, then POST the batch (retrying 429s).
+	sentAt := make(map[int64]time.Time)
+	nextEnd := cfg.Within // first window's end
+	var buf bytes.Buffer
+	started := time.Now()
+	var lastAccept time.Time
+	tick := int64(0)
+	post := func(maxTime int64) error {
+		for nextEnd <= maxTime {
+			sentAt[nextEnd] = time.Now()
+			nextEnd += cfg.Slide
+		}
+		for {
+			r, err := http.Post(cfg.BaseURL+"/ingest", "application/x-ndjson", bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				return err
+			}
+			r.Body.Close()
+			switch r.StatusCode {
+			case http.StatusAccepted, http.StatusOK:
+				rep.Batches++
+				lastAccept = time.Now()
+				buf.Reset()
+				return nil
+			case http.StatusTooManyRequests:
+				rep.Rejected429++
+				time.Sleep(20 * time.Millisecond)
+			default:
+				return fmt.Errorf("ingest: status %d", r.StatusCode)
+			}
+		}
+	}
+	for i := 0; i < cfg.Events; i++ {
+		tick++
+		// The key is hash-mixed so it never correlates with the type
+		// cycle (a plain i%Groups with Groups divisible by len(Types)
+		// would pin each group to one type and match nothing).
+		key := (uint64(i) * 0x9E3779B97F4A7C15 >> 33) % uint64(cfg.Groups)
+		fmt.Fprintf(&buf, `{"type":%q,"time":%d,"key":%d,"val":%d}`+"\n",
+			cfg.Types[i%len(cfg.Types)], tick, key, i%7+1)
+		if (i+1)%cfg.Batch == 0 || i == cfg.Events-1 {
+			if err := post(tick); err != nil {
+				return rep, err
+			}
+		}
+	}
+	rep.Events = int64(cfg.Events)
+	rep.ElapsedNs = lastAccept.Sub(started).Nanoseconds()
+	if rep.ElapsedNs > 0 {
+		rep.EventsPerSec = float64(rep.Events) / (float64(rep.ElapsedNs) / 1e9)
+	}
+	cfg.Progress("sent %d events in %d batches (%.0f ev/s, %d backpressure retries)",
+		rep.Events, rep.Batches, rep.EventsPerSec, rep.Rejected429)
+
+	// Close the tail with a watermark and stamp the remaining ends.
+	finalWM := (tick/cfg.Slide)*cfg.Slide + cfg.Within
+	for nextEnd <= finalWM {
+		sentAt[nextEnd] = time.Now()
+		nextEnd += cfg.Slide
+	}
+	wm, err := http.Post(cfg.BaseURL+"/watermark", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"watermark":%d}`, finalWM)))
+	if err != nil {
+		return rep, err
+	}
+	wm.Body.Close()
+	if wm.StatusCode != http.StatusAccepted {
+		return rep, fmt.Errorf("watermark: status %d", wm.StatusCode)
+	}
+
+	// Quiesce: wait until the subscription stops receiving.
+	deadline := time.Now().Add(cfg.QuiesceTimeout)
+	lastCount, lastChange := int64(-1), time.Now()
+	for {
+		mu.Lock()
+		n := results
+		mu.Unlock()
+		if n != lastCount {
+			lastCount, lastChange = n, time.Now()
+		} else if n > 0 && time.Since(lastChange) > 500*time.Millisecond {
+			break
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cancel()
+	<-subDone
+
+	mu.Lock()
+	defer mu.Unlock()
+	rep.Results = results
+	var lat []float64
+	for end, at := range recvAt {
+		if sent, ok := sentAt[end]; ok {
+			lat = append(lat, at.Sub(sent).Seconds()*1000)
+		}
+	}
+	rep.Windows = int64(len(lat))
+	if len(lat) > 0 {
+		sort.Float64s(lat)
+		rep.LatencyP50Ms = lat[len(lat)/2]
+		rep.LatencyP99Ms = lat[min(len(lat)-1, len(lat)*99/100)]
+	}
+	cfg.Progress("received %d results over %d windows (p50 %.2fms, p99 %.2fms ingest-to-emit)",
+		rep.Results, rep.Windows, rep.LatencyP50Ms, rep.LatencyP99Ms)
+	return rep, nil
+}

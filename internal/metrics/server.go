@@ -1,0 +1,89 @@
+package metrics
+
+// ServerStats is the point-in-time counter snapshot sharond serves on
+// /metrics: the network-facing complement of RunStats/ParallelStats for
+// an open-ended run — ingestion, backpressure, subscription, and
+// watermark progress counters instead of a finite stream's totals.
+type ServerStats struct {
+	// UptimeSec is the wall-clock seconds since the server started.
+	UptimeSec float64 `json:"uptime_sec"`
+	// Queries is the number of registered queries.
+	Queries int `json:"queries"`
+	// Parallelism is the configured shard worker count (1 = sequential).
+	Parallelism int `json:"parallelism"`
+
+	// EventsIngested counts events accepted into the engine.
+	EventsIngested int64 `json:"events_ingested"`
+	// EventsDroppedLate counts events discarded for arriving at or
+	// behind the stream watermark.
+	EventsDroppedLate int64 `json:"events_dropped_late"`
+	// EventsDroppedUnknownType counts events whose type matches no
+	// registered query's pattern alphabet.
+	EventsDroppedUnknownType int64 `json:"events_dropped_unknown_type"`
+	// Batches counts accepted ingest batches.
+	Batches int64 `json:"batches"`
+	// RejectedBackpressure counts ingest batches refused with 429
+	// because the bounded ingest queue was full.
+	RejectedBackpressure int64 `json:"rejected_backpressure"`
+	// RejectedOversize counts ingest requests refused with 413 for
+	// exceeding the request body limit.
+	RejectedOversize int64 `json:"rejected_oversize"`
+	// IngestQueueDepth/IngestQueueCap describe the bounded ingest queue.
+	IngestQueueDepth int `json:"ingest_queue_depth"`
+	IngestQueueCap   int `json:"ingest_queue_cap"`
+	// Watermark is the stream watermark in ticks (max event time or
+	// explicit watermark seen; -1 before the first).
+	Watermark int64 `json:"watermark"`
+
+	// ResultsEmitted counts results the engine pushed to the server's
+	// sink; ResultsDelivered counts result messages fanned out to
+	// subscribers (one per result per matching subscriber).
+	ResultsEmitted   int64 `json:"results_emitted"`
+	ResultsDelivered int64 `json:"results_delivered"`
+	// Subscribers is the number of live result subscriptions.
+	Subscribers int `json:"subscribers"`
+	// SlowConsumerDisconnects counts subscribers dropped because their
+	// bounded delivery buffer overflowed.
+	SlowConsumerDisconnects int64 `json:"slow_consumer_disconnects"`
+
+	// Migrations counts live workload changes (queries added/removed)
+	// that installed a new plan.
+	Migrations int64 `json:"migrations"`
+	// PeakLiveStates is the engine's peak live aggregate-state count
+	// (sequential engines report live; parallel engines report 0 until
+	// drained — worker goroutines own the shard state while running).
+	PeakLiveStates int64 `json:"peak_live_states"`
+	// Draining reports whether the server is shutting down.
+	Draining bool `json:"draining"`
+
+	// Parallel carries the shard-occupancy counters when the engine
+	// runs the parallel executor.
+	Parallel *ParallelStatsJSON `json:"parallel,omitempty"`
+}
+
+// ParallelStatsJSON is the wire form of ParallelStats (the in-memory
+// struct predates JSON exposure and carries no tags).
+type ParallelStatsJSON struct {
+	Workers       int     `json:"workers"`
+	BatchSize     int     `json:"batch_size"`
+	EventsFed     int64   `json:"events_fed"`
+	Rounds        int64   `json:"rounds"`
+	ResultsMerged int64   `json:"results_merged"`
+	Imbalance     float64 `json:"imbalance"`
+}
+
+// WireParallelStats converts a ParallelStats snapshot to its wire form,
+// or nil for the zero value (sequential run).
+func WireParallelStats(p ParallelStats) *ParallelStatsJSON {
+	if p.Workers == 0 {
+		return nil
+	}
+	return &ParallelStatsJSON{
+		Workers:       p.Workers,
+		BatchSize:     p.BatchSize,
+		EventsFed:     p.EventsFed,
+		Rounds:        p.Rounds,
+		ResultsMerged: p.ResultsMerged,
+		Imbalance:     p.Imbalance(),
+	}
+}

@@ -1,0 +1,101 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// subscriber is one live result subscription. Encoded results are
+// delivered through a bounded channel; the hub never blocks on a
+// subscriber — a full buffer means the consumer is slower than the
+// result stream, and the subscription is dropped (slow-consumer
+// disconnect policy) rather than letting one connection backpressure
+// the engine or the other subscribers.
+type subscriber struct {
+	ch    chan []byte
+	query int // filter: only results of this query ID; -1 = all
+	slow  bool
+}
+
+// hub fans encoded results out to the live subscribers. publish is
+// called from the engine's sink (pump goroutine, or the parallel
+// executor's merge goroutine); subscribe/unsubscribe from HTTP handler
+// goroutines.
+type hub struct {
+	mu     sync.Mutex
+	subs   map[*subscriber]struct{}
+	closed bool // after drain: results delivered, no new subscribers
+
+	delivered atomic.Int64
+	slowDrops atomic.Int64
+}
+
+func newHub() *hub {
+	return &hub{subs: make(map[*subscriber]struct{})}
+}
+
+// subscribe registers a subscription with a delivery buffer of buf
+// results; it returns nil when the hub has already shut down.
+func (h *hub) subscribe(query int, buf int) *subscriber {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil
+	}
+	s := &subscriber{ch: make(chan []byte, buf), query: query}
+	h.subs[s] = struct{}{}
+	return s
+}
+
+// unsubscribe removes s (the subscriber's handler left). Idempotent
+// with a slow-consumer drop racing it.
+func (h *hub) unsubscribe(s *subscriber) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.subs[s]; ok {
+		delete(h.subs, s)
+		close(s.ch)
+	}
+}
+
+// publish delivers one encoded result to every matching subscriber.
+// A subscriber whose buffer is full is marked slow and dropped: its
+// channel closes, and its handler terminates the connection.
+func (h *hub) publish(query int, payload []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for s := range h.subs {
+		if s.query >= 0 && s.query != query {
+			continue
+		}
+		select {
+		case s.ch <- payload:
+			h.delivered.Add(1)
+		default:
+			s.slow = true
+			delete(h.subs, s)
+			close(s.ch)
+			h.slowDrops.Add(1)
+		}
+	}
+}
+
+// count reports the number of live subscriptions.
+func (h *hub) count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}
+
+// shutdown closes every subscription after the final results were
+// published (drain): handlers see the channel close with slow == false
+// and send the end-of-stream frame.
+func (h *hub) shutdown() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.closed = true
+	for s := range h.subs {
+		delete(h.subs, s)
+		close(s.ch)
+	}
+}

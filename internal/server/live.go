@@ -1,0 +1,237 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	sharon "github.com/sharon-project/sharon"
+)
+
+// Live query registration (the paper's workload-evolution scenario,
+// over the wire): POST /queries and DELETE /queries/{id} re-run the
+// Sharon optimizer on the updated workload and migrate to the new plan
+// at a window boundary, exactly like exec.Dynamic's §7.4 protocol but
+// driven by workload changes instead of rate drift — the old system
+// keeps consuming the stream until every window it owns (those starting
+// before the boundary) has closed, the new system owns the windows from
+// the boundary on, and each sink is window-capped so every window is
+// emitted exactly once. The response reports the plan diff and the
+// migration count.
+
+// ctlReq is a control-plane request executed on the pump goroutine,
+// which owns the engine and the registry.
+type ctlReq struct {
+	add    []string
+	remove []int
+	reply  chan ctlReply
+}
+
+type ctlReply struct {
+	status int
+	body   any
+}
+
+// planDiff describes how the sharing plan changed at a migration.
+type planDiff struct {
+	Added   []string `json:"added"`
+	Removed []string `json:"removed"`
+}
+
+// diffPlans compares plans as candidate sets; removed candidates are
+// rendered against the old workload (they may reference removed
+// queries), added ones against the new.
+func (s *Server) diffPlans(oldPlan sharon.Plan, oldW sharon.Workload, newPlan sharon.Plan, newW sharon.Workload) planDiff {
+	d := planDiff{Added: []string{}, Removed: []string{}}
+	oldKeys := make(map[string]bool, len(oldPlan))
+	for _, c := range oldPlan {
+		oldKeys[c.Key()] = true
+	}
+	newKeys := make(map[string]bool, len(newPlan))
+	for _, c := range newPlan {
+		newKeys[c.Key()] = true
+		if !oldKeys[c.Key()] {
+			d.Added = append(d.Added, c.Format(s.reg, newW))
+		}
+	}
+	for _, c := range oldPlan {
+		if !newKeys[c.Key()] {
+			d.Removed = append(d.Removed, c.Format(s.reg, oldW))
+		}
+	}
+	return d
+}
+
+// applyCtl executes a live workload change on the pump goroutine.
+func (s *Server) applyCtl(req *ctlReq) {
+	reply := func(status int, body any) {
+		req.reply <- ctlReply{status: status, body: body}
+	}
+	if s.old != nil {
+		reply(http.StatusConflict, map[string]string{
+			"error": "previous workload change still draining; retry after its boundary closes"})
+		return
+	}
+	if !s.cur.uniform {
+		reply(http.StatusConflict, map[string]string{
+			"error": "live registration requires a uniform workload (same window, grouping, predicates)"})
+		return
+	}
+
+	entries := append([]queryEntry(nil), s.cur.entries...)
+	for _, id := range req.remove {
+		at := -1
+		for i, e := range entries {
+			if e.ID == id {
+				at = i
+				break
+			}
+		}
+		if at < 0 {
+			reply(http.StatusNotFound, map[string]string{"error": fmt.Sprintf("no query %d", id)})
+			return
+		}
+		entries = append(entries[:at], entries[at+1:]...)
+	}
+	for _, text := range req.add {
+		q, err := sharon.ParseQuery(text, s.reg)
+		if err != nil {
+			reply(http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("parse: %v", err)})
+			return
+		}
+		// The hand-off boundary is a window index of the current uniform
+		// window; a query with a different window (or grouping or
+		// predicates) would reinterpret that index and emit windows that
+		// miss their pre-registration events. Enforce uniformity against
+		// the running system, not just within the new workload.
+		if !uniform(sharon.Workload{s.cur.entries[0].Q, q}) {
+			reply(http.StatusBadRequest, map[string]string{"error": fmt.Sprintf(
+				"query %q does not match the running workload's window/grouping/predicates (live registration requires a uniform workload)", text)})
+			return
+		}
+		q.ID = s.nextID
+		s.nextID++
+		entries = append(entries, queryEntry{ID: q.ID, Text: text, Q: q})
+	}
+	if len(entries) == 0 {
+		reply(http.StatusBadRequest, map[string]string{"error": "workload cannot become empty"})
+		return
+	}
+
+	newW := workloadOf(entries)
+	rates := s.measuredRates()
+	if rates == nil {
+		rates = s.configuredRates(newW)
+	} else {
+		// Types the stream has not shown yet still need a rate entry.
+		for t := range newW.Types() {
+			if _, ok := rates[t]; !ok {
+				rates[t] = 1
+			}
+		}
+	}
+	plan, _, err := sharon.Optimize(newW, rates)
+	if err != nil {
+		reply(http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("optimize: %v", err)})
+		return
+	}
+
+	// The new system owns windows from the first one starting after the
+	// watermark; before any event everything starts fresh at window 0.
+	boundary := int64(0)
+	if s.wmState >= 0 {
+		boundary = s.cur.win.LastContaining(s.wmState) + 1
+	}
+	next, err := s.buildSystem(entries, rates, plan, boundary)
+	if err != nil {
+		reply(http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+
+	oldPlan, oldW := s.cur.plan, workloadOf(s.cur.entries)
+	if boundary == 0 {
+		// Nothing was ever fed: replace outright, nothing to drain.
+		s.cur.eng.Close()
+	} else {
+		s.cur.sink.hi.Store(boundary)
+		s.old = s.cur
+		s.oldBoundary = boundary
+	}
+	s.cur = next
+	s.migrations.Add(1)
+	s.publishView()
+	s.cfg.Logf("workload change: %d queries, boundary window %d, plan %s",
+		len(entries), boundary, s.loadView().plan)
+
+	reply(http.StatusOK, map[string]any{
+		"queries":              s.queryList(),
+		"plan":                 s.loadView().plan,
+		"plan_diff":            s.diffPlans(oldPlan, oldW, next.plan, newW),
+		"migrations":           s.migrations.Load(),
+		"boundary_window":      boundary,
+		"boundary_start_tick":  s.cur.win.Start(boundary),
+		"draining_old_windows": s.old != nil,
+	})
+}
+
+// sendCtl submits a control request through the same bounded queue as
+// the data plane (the pump serializes both) and awaits the reply.
+func (s *Server) sendCtl(w http.ResponseWriter, req *ctlReq) {
+	req.reply = make(chan ctlReply, 1)
+	if !s.enqueue(w, pumpMsg{ctl: req}) {
+		return
+	}
+	select {
+	case rep := <-req.reply:
+		writeJSON(w, rep.status, rep.body)
+	case <-time.After(30 * time.Second):
+		writeErr(w, http.StatusGatewayTimeout, "control request timed out")
+	}
+}
+
+// queryList renders the registered queries for responses; pump or
+// handler goroutine (reads the immutable view snapshot).
+func (s *Server) queryList() []map[string]any {
+	v := s.loadView()
+	out := make([]map[string]any, len(v.entries))
+	for i, e := range v.entries {
+		out[i] = map[string]any{"id": e.ID, "label": e.Q.Label(), "query": e.Text}
+	}
+	return out
+}
+
+func (s *Server) handleQueriesGet(w http.ResponseWriter, r *http.Request) {
+	v := s.loadView()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"queries":    s.queryList(),
+		"plan":       v.plan,
+		"plan_score": v.score,
+		"uniform":    v.uniform,
+		"migrations": s.migrations.Load(),
+	})
+}
+
+func (s *Server) handleQueriesPost(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Query string `json:"query"`
+	}
+	lim := http.MaxBytesReader(w, r.Body, 1<<20)
+	if err := json.NewDecoder(lim).Decode(&body); err != nil || strings.TrimSpace(body.Query) == "" {
+		writeErr(w, http.StatusBadRequest, `want {"query":"RETURN ... PATTERN SEQ(...) ..."}`)
+		return
+	}
+	s.sendCtl(w, &ctlReq{add: []string{body.Query}})
+}
+
+func (s *Server) handleQueriesDelete(w http.ResponseWriter, r *http.Request) {
+	raw := strings.TrimPrefix(r.PathValue("id"), "q")
+	id, err := strconv.Atoi(raw)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad query id %q", r.PathValue("id"))
+		return
+	}
+	s.sendCtl(w, &ctlReq{remove: []int{id}})
+}

@@ -1,0 +1,168 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// liveBatch renders a strictly ordered A,B,C cycle starting at t0;
+// keys cycle over 5 groups (coprime to the type cycle, so every group
+// sees every type and the sequences actually match).
+func liveBatch(t0, n int64) string {
+	var b strings.Builder
+	names := []string{"A", "B", "C"}
+	for i := int64(0); i < n; i++ {
+		tm := t0 + i
+		fmt.Fprintf(&b, `{"type":%q,"time":%d,"key":%d,"val":1}`+"\n", names[i%3], tm, i%5)
+	}
+	return b.String()
+}
+
+// TestLiveQueryRegistration drives the workload-evolution scenario
+// over the wire: register a query mid-stream, observe the optimizer
+// re-run (plan diff + migration count in the response), watch the new
+// query's results start exactly at the boundary window, then
+// deregister the old query and watch its results stop.
+func TestLiveQueryRegistration(t *testing.T) {
+	// 2s windows sliding 1s; A,B interned from the initial workload.
+	_, ts := newTestServer(t, Config{Queries: []string{
+		"RETURN COUNT(*) PATTERN SEQ(A, B) WHERE [k] WITHIN 2s SLIDE 1s",
+	}})
+	sub := subscribeSSE(t, ts.URL, "")
+
+	// Feed through the first windows; C events are unknown (dropped)
+	// until a query that mentions C registers.
+	status, body := postJSON(t, ts.URL+"/ingest", liveBatch(1, 3000))
+	if status != http.StatusAccepted {
+		t.Fatalf("ingest: %d %s", status, body)
+	}
+	waitFor(t, "initial results", func() bool { return sub.count() > 0 })
+
+	// A query that breaks uniformity is refused outright (asserted here,
+	// with no workload change draining, so the rejection can only come
+	// from the uniformity guard itself).
+	status, body = doReq(t, "POST", ts.URL+"/queries",
+		`{"query":"RETURN COUNT(*) PATTERN SEQ(A, C) WHERE [k] WITHIN 9s SLIDE 3s"}`)
+	if status != http.StatusBadRequest {
+		t.Fatalf("non-uniform window: status %d, want 400: %s", status, body)
+	}
+
+	// Register SEQ(B, C): shares nothing with SEQ(A, B) but re-runs the
+	// optimizer on the two-query workload.
+	status, body = doReq(t, "POST", ts.URL+"/queries",
+		`{"query":"RETURN COUNT(*) PATTERN SEQ(B, C) WHERE [k] WITHIN 2s SLIDE 1s"}`)
+	if status != http.StatusOK {
+		t.Fatalf("register: %d %s", status, body)
+	}
+	var reg struct {
+		Migrations     int64           `json:"migrations"`
+		BoundaryWindow int64           `json:"boundary_window"`
+		PlanDiff       json.RawMessage `json:"plan_diff"`
+		Queries        []struct {
+			ID int `json:"id"`
+		} `json:"queries"`
+	}
+	if err := json.Unmarshal([]byte(body), &reg); err != nil {
+		t.Fatalf("register response: %v in %s", err, body)
+	}
+	if reg.Migrations != 1 || len(reg.Queries) != 2 || reg.BoundaryWindow <= 0 {
+		t.Fatalf("register response = %s", body)
+	}
+	if len(reg.PlanDiff) == 0 {
+		t.Fatalf("no plan diff in %s", body)
+	}
+
+	// Feed past the boundary so both the drained old windows and the
+	// new query's first windows close.
+	status, body = postJSON(t, ts.URL+"/ingest", liveBatch(3001, 4000))
+	if status != http.StatusAccepted {
+		t.Fatalf("ingest: %d %s", status, body)
+	}
+	waitFor(t, "post-boundary results for the new query", func() bool {
+		for _, d := range sub.snapshot() {
+			var r WireResult
+			if json.Unmarshal([]byte(d), &r) == nil && r.Query == 1 {
+				return true
+			}
+		}
+		return false
+	})
+
+	// A watermark straddling the migration boundary must still deliver
+	// the old system's pre-boundary windows before the new system's.
+	status, body = postJSON(t, ts.URL+"/watermark", `{"watermark":12000}`)
+	if status != http.StatusAccepted {
+		t.Fatalf("watermark: %d %s", status, body)
+	}
+	// Window 6 ([6000,8000), the last with enough events to match) only
+	// closes via this watermark — the last event is t=7000.
+	waitFor(t, "watermark-closed windows", func() bool {
+		for _, d := range sub.snapshot() {
+			var r WireResult
+			if json.Unmarshal([]byte(d), &r) == nil && r.End >= 8000 {
+				return true
+			}
+		}
+		return false
+	})
+
+	// Every query-1 window is at or past the boundary; the push order
+	// stays monotone in window end across the hand-off (uniform window,
+	// so End is monotone in Win); query-0 emits each (window, group)
+	// exactly once.
+	seen := map[[2]int64]int{}
+	lastEnd := int64(-1)
+	for _, d := range sub.snapshot() {
+		var r WireResult
+		if err := json.Unmarshal([]byte(d), &r); err != nil {
+			t.Fatal(err)
+		}
+		if r.End < lastEnd {
+			t.Fatalf("push order regressed: window end %d after %d", r.End, lastEnd)
+		}
+		lastEnd = r.End
+		if r.Query == 1 && r.Win < reg.BoundaryWindow {
+			t.Fatalf("new query emitted pre-boundary window %d (boundary %d)", r.Win, reg.BoundaryWindow)
+		}
+		if r.Query == 0 {
+			seen[[2]int64{r.Win, r.Group}]++
+		}
+	}
+	for wg, n := range seen {
+		if n > 1 {
+			t.Fatalf("query 0 window %d group %d emitted %d times across the hand-off", wg[0], wg[1], n)
+		}
+	}
+
+	// Deregister query 0; wait out its drain, then check its results
+	// stop while query 1 continues.
+	waitFor(t, "old system drained", func() bool {
+		status, body := doReq(t, "DELETE", ts.URL+"/queries/0", "")
+		if status == http.StatusConflict {
+			// Previous change still draining — feed a little further.
+			postJSON(t, ts.URL+"/ingest", liveBatch(nextLiveT(), 500))
+			return false
+		}
+		if status != http.StatusOK {
+			t.Fatalf("deregister: %d %s", status, body)
+		}
+		return true
+	})
+	status, body = doReq(t, "DELETE", ts.URL+"/queries/99", "")
+	if status != http.StatusConflict && status != http.StatusNotFound {
+		t.Fatalf("deleting unknown query: %d %s", status, body)
+	}
+}
+
+// nextLiveT hands out monotonically increasing start ticks for filler
+// batches in TestLiveQueryRegistration.
+var liveT = int64(7001)
+
+func nextLiveT() int64 {
+	t := liveT
+	liveT += 500
+	return t
+}

@@ -1,0 +1,707 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	sharon "github.com/sharon-project/sharon"
+	"github.com/sharon-project/sharon/internal/metrics"
+)
+
+// DefaultQueries is the demo workload (one shared (C,D) segment over
+// the A..D alphabet, 4s windows sliding 1s): what sharond serves when
+// no queries are configured, what sharon-load's default event cycle
+// matches, and what the sharon-bench "server" experiment measures —
+// one definition so the committed BENCH_server.json trajectory keeps
+// measuring the served shape.
+var DefaultQueries = []string{
+	"RETURN COUNT(*) PATTERN SEQ(A, B, C, D) WHERE [k] WITHIN 4s SLIDE 1s",
+	"RETURN COUNT(*) PATTERN SEQ(C, D) WHERE [k] WITHIN 4s SLIDE 1s",
+	"RETURN COUNT(*) PATTERN SEQ(A, B) WHERE [k] WITHIN 4s SLIDE 1s",
+}
+
+// Config configures a sharond server.
+type Config struct {
+	// Queries are the initial workload's query texts (SASE-style surface
+	// language). At least one is required.
+	Queries []string
+	// Rates supplies per-type rates (by type name) for the optimizer's
+	// benefit model; nil assumes uniform rates.
+	Rates map[string]float64
+	// EmitEmpty also pushes zero results for windows without matches.
+	EmitEmpty bool
+	// Parallelism selects the engine's shard worker count (see
+	// sharon.Options.Parallelism; 1 = sequential, the default here —
+	// deterministic push order across live workload changes).
+	Parallelism int
+	// Dynamic backs uniform workloads with a DynamicSystem, which also
+	// re-optimizes the plan when measured event rates drift mid-stream.
+	Dynamic bool
+
+	// MaxBatchBytes bounds an ingest request body (default 8 MiB);
+	// larger requests are rejected with 413 before buffering.
+	MaxBatchBytes int64
+	// IngestQueue bounds the number of parsed batches queued ahead of
+	// the engine (default 256). A full queue rejects ingestion with 429
+	// — the explicit backpressure signal.
+	IngestQueue int
+	// SubscriberBuffer bounds each subscription's delivery buffer in
+	// results (default 4096); a subscriber that falls further behind is
+	// disconnected (slow-consumer policy).
+	SubscriberBuffer int
+	// HeartbeatEvery is the SSE keep-alive comment interval (default 15s).
+	HeartbeatEvery time.Duration
+	// WriteTimeout is the per-write deadline on subscription streams and
+	// the write timeout of ListenAndServe's response writes (default 10s).
+	WriteTimeout time.Duration
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+
+	// pumpGate, when non-nil, stalls the pump before each consumed
+	// message until the channel yields (tests force queue buildup).
+	pumpGate chan struct{}
+}
+
+func (c *Config) fill() {
+	if c.MaxBatchBytes <= 0 {
+		c.MaxBatchBytes = 8 << 20
+	}
+	if c.IngestQueue <= 0 {
+		c.IngestQueue = 256
+	}
+	if c.SubscriberBuffer <= 0 {
+		c.SubscriberBuffer = 4096
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = 15 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.Parallelism == 0 {
+		c.Parallelism = 1
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// pumpMsg is one unit of pump work: a parsed ingest batch or a
+// control-plane request (live workload change).
+type pumpMsg struct {
+	batch Batch
+	ctl   *ctlReq
+}
+
+// workloadView is the immutable snapshot handlers read lock-free.
+type workloadView struct {
+	entries []queryEntry
+	queries map[int]*sharon.Query
+	plan    string
+	score   float64
+	uniform bool
+}
+
+// Server is a running sharond instance: one pump goroutine owning the
+// engine, a bounded ingest queue in front of it, and a hub fanning the
+// engine's OnResult sink out to the subscriptions.
+type Server struct {
+	cfg   Config
+	reg   *sharon.Registry
+	hub   *hub
+	mux   *http.ServeMux
+	start time.Time
+
+	// Lock-free snapshots for the HTTP handlers.
+	types atomic.Value // map[string]sharon.Type
+	view  atomic.Value // *workloadView
+
+	ingest   chan pumpMsg
+	gate     sync.RWMutex // guards draining against in-flight enqueues
+	draining bool
+	drainReq chan struct{}
+	pumpDone chan struct{}
+
+	// Engine state, owned by the pump goroutine after New returns.
+	cur         *builtSystem
+	old         *builtSystem // draining side of a live workload change
+	oldBoundary int64
+	nextID      int
+	wmState     int64 // stream watermark (max event time / punctuation)
+	typeCounts  map[sharon.Type]float64
+	countFrom   int64
+	lastStatsAt time.Time
+
+	// Counters, written by the pump/sink, read by the handlers.
+	seq            atomic.Int64
+	emitted        atomic.Int64
+	ingested       atomic.Int64
+	droppedLate    atomic.Int64
+	droppedUnknown atomic.Int64
+	batches        atomic.Int64
+	rej429         atomic.Int64
+	rej413         atomic.Int64
+	migrations     atomic.Int64
+	wm             atomic.Int64
+	maxAdvance     atomic.Int64
+	peakStates     atomic.Int64
+	parStats       atomic.Pointer[metrics.ParallelStatsJSON]
+	runErr         atomic.Value // string
+}
+
+// New builds the workload, starts the engine and the pump, and returns
+// a server ready to have Handler served. Stop it with Drain.
+func New(cfg Config) (*Server, error) {
+	cfg.fill()
+	if len(cfg.Queries) == 0 {
+		return nil, fmt.Errorf("server: no queries configured")
+	}
+	s := &Server{
+		cfg:        cfg,
+		reg:        sharon.NewRegistry(),
+		hub:        newHub(),
+		start:      time.Now(),
+		ingest:     make(chan pumpMsg, cfg.IngestQueue),
+		drainReq:   make(chan struct{}),
+		pumpDone:   make(chan struct{}),
+		wmState:    -1,
+		typeCounts: make(map[sharon.Type]float64),
+		countFrom:  -1,
+	}
+	s.wm.Store(-1)
+
+	entries := make([]queryEntry, len(cfg.Queries))
+	for i, text := range cfg.Queries {
+		q, err := sharon.ParseQuery(text, s.reg)
+		if err != nil {
+			return nil, fmt.Errorf("server: query %d: %w", i, err)
+		}
+		q.ID = i
+		entries[i] = queryEntry{ID: i, Text: text, Q: q}
+	}
+	s.nextID = len(entries)
+
+	cur, err := s.buildSystem(entries, s.configuredRates(workloadOf(entries)), nil, 0)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	s.cur = cur
+	s.publishView()
+	s.routes()
+	go s.pump()
+	return s, nil
+}
+
+// publishMaxAdvance bounds how far one watermark message may advance
+// the stream watermark past the newest event: 16 of the workload's
+// largest (window length + slide). Closing windows costs one iteration
+// per slide, so an unbounded client-supplied watermark (a stray epoch
+// timestamp, a hostile huge value) would livelock the pump closing
+// quintillions of empty windows and poison the stream by making every
+// future event late; the cap keeps each message's work bounded while
+// still letting a tail-closing watermark (last event + window length)
+// or a quiet-stream client advancing in steps pass freely. Called from
+// New and applyCtl (pump); read by handlers.
+func (s *Server) publishMaxAdvance() {
+	var m int64
+	for _, e := range s.cur.entries {
+		if v := e.Q.Window.Length + e.Q.Window.Slide; v > m {
+			m = v
+		}
+	}
+	s.maxAdvance.Store(16 * m)
+}
+
+// configuredRates maps Config.Rates onto the workload's types; nil
+// Config.Rates yields uniform rates.
+func (s *Server) configuredRates(w sharon.Workload) sharon.Rates {
+	rates := sharon.Rates{}
+	for t := range w.Types() {
+		rates[t] = 1
+	}
+	for name, v := range s.cfg.Rates {
+		if t := s.reg.Lookup(name); t != sharon.NoType {
+			rates[t] = v
+		}
+	}
+	return rates
+}
+
+// publishView refreshes the handler-visible workload/type snapshots.
+// Called from New and from the pump (applyCtl); handlers only read.
+func (s *Server) publishView() {
+	s.publishMaxAdvance()
+	v := &workloadView{
+		entries: append([]queryEntry(nil), s.cur.entries...),
+		queries: make(map[int]*sharon.Query, len(s.cur.entries)),
+		uniform: s.cur.uniform,
+		score:   s.cur.score,
+	}
+	for _, e := range s.cur.entries {
+		v.queries[e.ID] = e.Q
+	}
+	if s.cur.plan != nil {
+		v.plan = s.cur.plan.Format(s.reg, workloadOf(s.cur.entries))
+	}
+	s.view.Store(v)
+
+	lookup := make(map[string]sharon.Type)
+	for _, name := range s.reg.Names() {
+		lookup[name] = s.reg.Lookup(name)
+	}
+	s.types.Store(lookup)
+}
+
+func (s *Server) loadView() *workloadView { return s.view.Load().(*workloadView) }
+
+// --- pump ---
+
+// pump is the single goroutine that owns the engine: it consumes
+// parsed batches and control requests from the bounded queue, feeds the
+// system(s), advances the watermark, and — on drain — flushes every
+// open window into the hub before shutting the subscriptions down.
+func (s *Server) pump() {
+	defer close(s.pumpDone)
+	for {
+		select {
+		case msg := <-s.ingest:
+			if s.cfg.pumpGate != nil {
+				<-s.cfg.pumpGate
+			}
+			s.step(msg)
+		case <-s.drainReq:
+			for {
+				select {
+				case msg := <-s.ingest:
+					s.step(msg)
+				default:
+					s.finish()
+					return
+				}
+			}
+		}
+	}
+}
+
+func (s *Server) step(msg pumpMsg) {
+	if msg.ctl != nil {
+		s.applyCtl(msg.ctl)
+		return
+	}
+	b := msg.batch
+	// Drop late events: the watermark is a promise already made to the
+	// engine; a slow client replaying the past cannot corrupt the run.
+	events := b.Events
+	for len(events) > 0 && events[0].Time <= s.wmState {
+		events = events[1:]
+		s.droppedLate.Add(1)
+	}
+	if len(events) > 0 {
+		if s.countFrom < 0 {
+			s.countFrom = events[0].Time
+		}
+		for _, e := range events {
+			s.typeCounts[e.Type]++
+		}
+		if err := s.feed(events); err != nil {
+			s.fail(err)
+			return
+		}
+		s.ingested.Add(int64(len(events)))
+		s.batches.Add(1)
+		s.wmState = events[len(events)-1].Time
+	}
+	if wm := s.clampWatermark(b.Watermark); wm > s.wmState {
+		s.wmState = wm
+		// Draining system first, as in feed/finish: its windows precede
+		// the boundary, so a watermark straddling a migration must emit
+		// them before the current system's.
+		if s.old != nil {
+			s.old.eng.AdvanceWatermark(wm)
+		}
+		s.cur.eng.AdvanceWatermark(wm)
+	}
+	s.completeHandoff()
+	s.publishEngineStats(false)
+}
+
+// feed routes one late-filtered, time-ordered batch into the current
+// system and — during a live workload change — the draining one.
+func (s *Server) feed(events []sharon.Event) error {
+	if s.old != nil {
+		if err := s.old.eng.FeedBatch(events); err != nil {
+			return err
+		}
+	}
+	return s.cur.eng.FeedBatch(events)
+}
+
+// clampWatermark bounds a requested watermark to the pump's current
+// stream position plus the per-message advancement cap (see
+// publishMaxAdvance). The clamp is sound — a watermark is a lower-bound
+// promise, so honoring less of it never corrupts results — and a
+// legitimate client advancing a quiet stream simply sends the next
+// watermark message.
+func (s *Server) clampWatermark(wm int64) int64 {
+	if wm < 0 {
+		return wm
+	}
+	base := s.wmState
+	if base < 0 {
+		base = 0
+	}
+	if limit := base + s.maxAdvance.Load(); wm > limit {
+		s.cfg.Logf("watermark %d clamped to %d (max advance %d past stream position)", wm, limit, s.maxAdvance.Load())
+		return limit
+	}
+	return wm
+}
+
+// completeHandoff retires the draining system once the watermark passed
+// its last owned window ([.., boundary-1]); Flush emits those windows
+// through its capped sink, never the boundary or later.
+func (s *Server) completeHandoff() {
+	if s.old == nil || s.wmState < s.old.win.End(s.oldBoundary-1) {
+		return
+	}
+	if err := s.old.eng.Flush(); err != nil {
+		s.fail(err)
+	}
+	s.old.eng.Close()
+	s.old = nil
+}
+
+// publishEngineStats refreshes the /metrics gauges that require
+// touching pump-owned engine state. PeakMemoryStates scans every live
+// aggregate state on the sequential path, so the refresh is rate-
+// limited to twice a second rather than paid per batch; the watermark
+// gauge is a cheap atomic and always current.
+func (s *Server) publishEngineStats(force bool) {
+	s.wm.Store(s.wmState)
+	if !force && time.Since(s.lastStatsAt) < 500*time.Millisecond {
+		return
+	}
+	s.lastStatsAt = time.Now()
+	s.peakStates.Store(s.cur.eng.PeakMemoryStates())
+	s.parStats.Store(metrics.WireParallelStats(s.cur.eng.ParallelStats()))
+}
+
+// fail records an engine error. The late filter makes ordering errors
+// unreachable, so any error here is a server bug surfaced on /healthz.
+func (s *Server) fail(err error) {
+	s.cfg.Logf("engine error: %v", err)
+	s.runErr.CompareAndSwap(nil, err.Error())
+}
+
+// finish is the drain tail: flush everything, deliver the last
+// results, end the subscriptions.
+func (s *Server) finish() {
+	if s.old != nil {
+		if err := s.old.eng.Flush(); err != nil {
+			s.fail(err)
+		}
+		s.old.eng.Close()
+		s.old = nil
+	}
+	if err := s.cur.eng.Flush(); err != nil {
+		s.fail(err)
+	}
+	s.cur.eng.Close()
+	s.publishEngineStats(true)
+	s.hub.shutdown()
+	s.cfg.Logf("drained: %d events, %d results", s.ingested.Load(), s.emitted.Load())
+}
+
+// measuredRates converts the pump's observed per-type counts into
+// rates for re-optimization; nil when the stream is too young.
+func (s *Server) measuredRates() sharon.Rates {
+	if s.countFrom < 0 || s.wmState <= s.countFrom {
+		return nil
+	}
+	span := float64(s.wmState-s.countFrom) / sharon.TicksPerSecond
+	rates := make(sharon.Rates, len(s.typeCounts))
+	for t, c := range s.typeCounts {
+		rates[t] = c / span
+	}
+	return rates
+}
+
+// Drain stops ingestion, flushes every open window into the
+// subscriptions, and ends them with an eof frame. It returns when the
+// pump finished or ctx expired. Idempotent.
+func (s *Server) Drain(ctx context.Context) error {
+	s.gate.Lock()
+	already := s.draining
+	s.draining = true
+	s.gate.Unlock()
+	if !already {
+		close(s.drainReq)
+	}
+	select {
+	case <-s.pumpDone:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// --- HTTP ---
+
+// Handler returns the server's HTTP handler (for tests and embedding;
+// ListenAndServe wraps it with an http.Server).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ListenAndServe serves the handler on addr with bounded request
+// reading, shutting the listener down after ctx is cancelled and the
+// engine drained. Subscription streams are long-lived, so the server's
+// global WriteTimeout stays 0 and every write sets its own deadline
+// (Config.WriteTimeout) through http.ResponseController instead.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	s.cfg.Logf("draining")
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(drainCtx); err != nil {
+		s.cfg.Logf("drain: %v", err)
+	}
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel2()
+	return hs.Shutdown(shutCtx)
+}
+
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /{$}", s.handleIndex)
+	s.mux.HandleFunc("POST /ingest", s.handleIngest)
+	s.mux.HandleFunc("POST /watermark", s.handleWatermark)
+	s.mux.HandleFunc("GET /subscribe", s.handleSubscribe)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /queries", s.handleQueriesGet)
+	s.mux.HandleFunc("POST /queries", s.handleQueriesPost)
+	s.mux.HandleFunc("DELETE /queries/{id}", s.handleQueriesDelete)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, `sharond — shared online event sequence aggregation server
+
+POST   /ingest        NDJSON events {"type":"A","time":1200,"key":7,"val":1.5}
+                      and watermarks {"watermark":5000}; 429 = backpressure
+POST   /watermark     {"watermark":5000} — close windows ending at or before it
+GET    /subscribe     SSE result stream (?query=ID filters); data: frames carry
+                      {"seq","query","win","start","end","group","count","value"}
+GET    /queries       registered queries + sharing plan
+POST   /queries       {"query":"RETURN ..."} — live registration (plan diff in response)
+DELETE /queries/{id}  live deregistration
+GET    /metrics       ingestion/backpressure/subscription counters (JSON)
+GET    /healthz       ok | draining
+`)
+}
+
+// enqueue pushes a pump message under the drain gate; it reports
+// whether the message was accepted and writes the refusal otherwise.
+func (s *Server) enqueue(w http.ResponseWriter, msg pumpMsg) bool {
+	s.gate.RLock()
+	defer s.gate.RUnlock()
+	if s.draining {
+		writeErr(w, http.StatusServiceUnavailable, "draining")
+		return false
+	}
+	select {
+	case s.ingest <- msg:
+		return true
+	default:
+		s.rej429.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests, "ingest queue full (%d batches); retry", cap(s.ingest))
+		return false
+	}
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBatchBytes)
+	lookup := s.types.Load().(map[string]sharon.Type)
+	batch, err := ParseBatch(body, lookup)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.rej413.Add(1)
+			writeErr(w, http.StatusRequestEntityTooLarge, "batch exceeds %d bytes", s.cfg.MaxBatchBytes)
+			return
+		}
+		writeErr(w, http.StatusBadRequest, "parse: %v", err)
+		return
+	}
+	s.droppedUnknown.Add(batch.Unknown)
+	if len(batch.Events) == 0 && batch.Watermark < 0 {
+		writeJSON(w, http.StatusOK, map[string]any{"accepted": 0, "dropped_unknown_type": batch.Unknown})
+		return
+	}
+	if !s.enqueue(w, pumpMsg{batch: batch}) {
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"accepted":             len(batch.Events),
+		"dropped_unknown_type": batch.Unknown,
+		"queue_depth":          len(s.ingest),
+	})
+}
+
+func (s *Server) handleWatermark(w http.ResponseWriter, r *http.Request) {
+	var line IngestLine
+	body := http.MaxBytesReader(w, r.Body, 4096)
+	if err := json.NewDecoder(body).Decode(&line); err != nil || line.Watermark == nil {
+		writeErr(w, http.StatusBadRequest, `want {"watermark":<ticks>}`)
+		return
+	}
+	if !s.enqueue(w, pumpMsg{batch: Batch{Watermark: *line.Watermark}}) {
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"watermark": *line.Watermark})
+}
+
+func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	if _, ok := w.(http.Flusher); !ok {
+		writeErr(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	queryID := -1
+	if qs := r.URL.Query().Get("query"); qs != "" {
+		id, err := strconv.Atoi(strings.TrimPrefix(qs, "q"))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad query id %q", qs)
+			return
+		}
+		if _, ok := s.loadView().queries[id]; !ok {
+			writeErr(w, http.StatusNotFound, "no query %d", id)
+			return
+		}
+		queryID = id
+	}
+	sub := s.hub.subscribe(queryID, s.cfg.SubscriberBuffer)
+	if sub == nil {
+		writeErr(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	defer s.hub.unsubscribe(sub)
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	write := func(frame string) bool {
+		_ = rc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		if _, err := fmt.Fprint(w, frame); err != nil {
+			return false
+		}
+		return rc.Flush() == nil
+	}
+	if !write(": subscribed\n\n") {
+		return
+	}
+	heartbeat := time.NewTicker(s.cfg.HeartbeatEvery)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case payload, open := <-sub.ch:
+			if !open {
+				if sub.slow {
+					write("event: error\ndata: {\"error\":\"slow consumer\"}\n\n")
+				} else {
+					write("event: eof\ndata: {}\n\n")
+				}
+				return
+			}
+			if !write("data: " + string(payload) + "\n\n") {
+				return
+			}
+		case <-heartbeat.C:
+			if !write(": hb\n\n") {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.gate.RLock()
+	draining := s.draining
+	s.gate.RUnlock()
+	v := s.loadView()
+	st := metrics.ServerStats{
+		UptimeSec:                time.Since(s.start).Seconds(),
+		Queries:                  len(v.entries),
+		Parallelism:              s.cfg.Parallelism,
+		EventsIngested:           s.ingested.Load(),
+		EventsDroppedLate:        s.droppedLate.Load(),
+		EventsDroppedUnknownType: s.droppedUnknown.Load(),
+		Batches:                  s.batches.Load(),
+		RejectedBackpressure:     s.rej429.Load(),
+		RejectedOversize:         s.rej413.Load(),
+		IngestQueueDepth:         len(s.ingest),
+		IngestQueueCap:           cap(s.ingest),
+		Watermark:                s.wm.Load(),
+		ResultsEmitted:           s.emitted.Load(),
+		ResultsDelivered:         s.hub.delivered.Load(),
+		Subscribers:              s.hub.count(),
+		SlowConsumerDisconnects:  s.hub.slowDrops.Load(),
+		Migrations:               s.migrations.Load(),
+		PeakLiveStates:           s.peakStates.Load(),
+		Draining:                 draining,
+		Parallel:                 s.parStats.Load(),
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if errv := s.runErr.Load(); errv != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"status": "error", "error": errv.(string)})
+		return
+	}
+	s.gate.RLock()
+	draining := s.draining
+	s.gate.RUnlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

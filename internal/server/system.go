@@ -1,0 +1,157 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	sharon "github.com/sharon-project/sharon"
+)
+
+// engine is the slice of the public system API the server drives. All
+// three system kinds (System, PartitionedSystem, DynamicSystem)
+// implement it; the server, the harness, and in-process callers are
+// thereby consumers of the same OnResult sink contract.
+type engine interface {
+	FeedBatch([]sharon.Event) error
+	AdvanceWatermark(t int64)
+	Flush() error
+	Close()
+	ResultCount() int64
+	PeakMemoryStates() int64
+	ParallelStats() sharon.ParallelStats
+}
+
+// queryEntry is one registered query: its global ID (stable across live
+// workload changes), its source text, and its compiled form.
+type queryEntry struct {
+	ID   int
+	Text string
+	Q    *sharon.Query
+}
+
+// workloadOf assembles the entries' compiled queries.
+func workloadOf(entries []queryEntry) sharon.Workload {
+	w := make(sharon.Workload, len(entries))
+	for i, e := range entries {
+		w[i] = e.Q
+	}
+	return w
+}
+
+// uniform reports whether the workload satisfies the single-segment
+// assumptions (same window, grouping, and predicates), i.e. whether it
+// runs on System rather than PartitionedSystem.
+func uniform(w sharon.Workload) bool {
+	first := w[0]
+	for _, q := range w[1:] {
+		if q.Window != first.Window || q.GroupBy != first.GroupBy {
+			return false
+		}
+		if len(q.Where) != len(first.Where) {
+			return false
+		}
+		for i := range q.Where {
+			if q.Where[i] != first.Where[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// sink forwards one system's emitted results to the hub, bounded to the
+// window range [lo, hi) the system owns in the live-migration protocol
+// (a fresh system owns [0, inf); a draining one is capped at the
+// boundary). hi is atomic because the parallel merge goroutine reads it
+// while the pump installs a new bound at a workload change.
+type sink struct {
+	srv *Server
+	qs  map[int]*sharon.Query
+	lo  int64
+	hi  atomic.Int64
+}
+
+func newSink(srv *Server, entries []queryEntry, lo int64) *sink {
+	qs := make(map[int]*sharon.Query, len(entries))
+	for _, e := range entries {
+		qs[e.ID] = e.Q
+	}
+	sk := &sink{srv: srv, qs: qs, lo: lo}
+	sk.hi.Store(math.MaxInt64)
+	return sk
+}
+
+// onResult is the OnResult callback: encode once, publish to every
+// matching subscriber.
+func (sk *sink) onResult(r sharon.Result) {
+	if r.Win < sk.lo || r.Win >= sk.hi.Load() {
+		return
+	}
+	seq := sk.srv.seq.Add(1) - 1
+	sk.srv.emitted.Add(1)
+	sk.srv.hub.publish(r.Query, EncodeResult(sk.qs, seq, r))
+}
+
+// builtSystem pairs a running system with its sink and metadata.
+type builtSystem struct {
+	eng     engine
+	sink    *sink
+	entries []queryEntry
+	win     sharon.Window // uniform window (zero when partitioned)
+	uniform bool
+	dyn     *sharon.DynamicSystem // non-nil in dynamic mode
+	plan    sharon.Plan           // initial plan (uniform systems)
+	score   float64
+}
+
+// buildSystem compiles the entries into a running system with a fresh
+// sink emitting windows >= lo. plan, when non-nil, bypasses the
+// optimizer (the live-registration path optimizes first to compute the
+// plan diff, then hands the chosen plan over).
+func (s *Server) buildSystem(entries []queryEntry, rates sharon.Rates, plan sharon.Plan, lo int64) (*builtSystem, error) {
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("server: empty workload")
+	}
+	w := workloadOf(entries)
+	sk := newSink(s, entries, lo)
+	bs := &builtSystem{sink: sk, entries: entries, uniform: uniform(w)}
+	opts := sharon.Options{
+		Rates:       rates,
+		Plan:        plan,
+		OnResult:    sk.onResult,
+		EmitEmpty:   s.cfg.EmitEmpty,
+		Parallelism: s.cfg.Parallelism,
+	}
+	switch {
+	case !bs.uniform:
+		sys, err := sharon.NewPartitionedSystem(w, opts)
+		if err != nil {
+			return nil, err
+		}
+		bs.eng = sys
+	case s.cfg.Dynamic:
+		dyn, err := sharon.NewDynamicSystem(w, rates, sharon.DynamicOptions{
+			OnResult:    sk.onResult,
+			EmitEmpty:   s.cfg.EmitEmpty,
+			Parallelism: s.cfg.Parallelism,
+			OnMigrate:   func(int64, sharon.Plan, sharon.Plan) { s.migrations.Add(1) },
+		})
+		if err != nil {
+			return nil, err
+		}
+		bs.eng, bs.dyn = dyn, dyn
+		bs.win = w[0].Window
+		bs.plan = dyn.Plan()
+	default:
+		sys, err := sharon.NewSystem(w, opts)
+		if err != nil {
+			return nil, err
+		}
+		bs.eng = sys
+		bs.win = w[0].Window
+		bs.plan = sys.Plan()
+		bs.score = sys.PlanScore()
+	}
+	return bs, nil
+}

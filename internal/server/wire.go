@@ -1,0 +1,140 @@
+// Package server implements sharond: the network-facing streaming
+// aggregation server. It exposes a Sharon system over HTTP — batched
+// NDJSON event ingestion with bounded-queue backpressure, push-based
+// per-query result subscriptions (SSE) fed by the engines' OnResult
+// sink as windows close, watermark punctuation for unbounded streams,
+// live query registration backed by optimizer re-runs, /metrics and
+// /healthz, and a graceful drain that flushes every open window into
+// the subscriptions before the listener stops.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	sharon "github.com/sharon-project/sharon"
+)
+
+// IngestLine is one NDJSON line of the ingest framing: either an event
+//
+//	{"type":"A","time":1200,"key":7,"val":1.5}
+//
+// with time in ticks (sharon.TicksPerSecond per second, strictly
+// increasing across the connection's batches), or a watermark
+// punctuation line
+//
+//	{"watermark":5000}
+//
+// promising that no event at or before that tick will follow, which
+// closes (and pushes) every window ending at or before it.
+type IngestLine struct {
+	Type      string  `json:"type,omitempty"`
+	Time      int64   `json:"time,omitempty"`
+	Key       int64   `json:"key,omitempty"`
+	Val       float64 `json:"val,omitempty"`
+	Watermark *int64  `json:"watermark,omitempty"`
+}
+
+// WireResult is the canonical wire form of one pushed aggregate. Seq
+// numbers the server's global emission sequence; start/end are the
+// window's tick bounds; value is the query's final answer (null when
+// the aggregate of an empty window has no finite value, e.g. MIN).
+type WireResult struct {
+	Seq   int64    `json:"seq"`
+	Query int      `json:"query"`
+	Win   int64    `json:"win"`
+	Start int64    `json:"start"`
+	End   int64    `json:"end"`
+	Group int64    `json:"group"`
+	Count float64  `json:"count"`
+	Value *float64 `json:"value"`
+}
+
+// EncodeResult renders one result in the canonical wire form. It is a
+// pure function of (queries, seq, result), so an in-process run
+// encoding its own OnResult stream produces byte-identical lines to a
+// sharond subscription over the same input — the equivalence the
+// integration tests assert.
+func EncodeResult(queries map[int]*sharon.Query, seq int64, r sharon.Result) []byte {
+	q := queries[r.Query]
+	wr := WireResult{
+		Seq:   seq,
+		Query: r.Query,
+		Win:   r.Win,
+		Start: q.Window.Start(r.Win),
+		End:   q.Window.End(r.Win),
+		Group: int64(r.Group),
+		Count: r.State.Count,
+	}
+	if v := sharon.Value(r, q); !math.IsInf(v, 0) && !math.IsNaN(v) {
+		wr.Value = &v
+	}
+	b, err := json.Marshal(wr)
+	if err != nil {
+		// WireResult contains only finite scalars; Marshal cannot fail.
+		panic(fmt.Sprintf("server: encode result: %v", err))
+	}
+	return b
+}
+
+// Batch is one parsed ingest request: the events to feed (known types
+// only, in order) plus the highest explicit watermark line seen (-1 if
+// none) and the count of dropped unknown-type events.
+type Batch struct {
+	Events    []sharon.Event
+	Watermark int64
+	Unknown   int64
+}
+
+// ParseBatch reads NDJSON ingest lines. lookup maps type names to the
+// workload's interned types; events of unknown types are dropped and
+// counted (they cannot contribute to any registered query). Lines must
+// be time-ordered within the batch — ordering across batches is the
+// pump's concern, which drops late events instead of failing the
+// stream. A malformed or out-of-order line fails the whole batch; the
+// engine never sees a partial parse.
+func ParseBatch(r io.Reader, lookup map[string]sharon.Type) (Batch, error) {
+	b := Batch{Watermark: -1}
+	dec := json.NewDecoder(r)
+	floor := int64(-1)
+	for n := 1; ; n++ {
+		var line IngestLine
+		if err := dec.Decode(&line); err == io.EOF {
+			return b, nil
+		} else if err != nil {
+			return Batch{}, fmt.Errorf("line %d: %w", n, err)
+		}
+		if line.Watermark != nil {
+			if *line.Watermark > b.Watermark {
+				b.Watermark = *line.Watermark
+			}
+			if *line.Watermark > floor {
+				floor = *line.Watermark
+			}
+			continue
+		}
+		if line.Type == "" {
+			return Batch{}, fmt.Errorf("line %d: missing event type", n)
+		}
+		if line.Time < 0 {
+			return Batch{}, fmt.Errorf("line %d: negative timestamp %d", n, line.Time)
+		}
+		if line.Time <= floor {
+			return Batch{}, fmt.Errorf("line %d: timestamp %d not after %d (events must be strictly time-ordered within a batch)", n, line.Time, floor)
+		}
+		floor = line.Time
+		t, ok := lookup[line.Type]
+		if !ok {
+			b.Unknown++
+			continue
+		}
+		b.Events = append(b.Events, sharon.Event{
+			Time: line.Time,
+			Type: t,
+			Key:  sharon.GroupKey(line.Key),
+			Val:  line.Val,
+		})
+	}
+}

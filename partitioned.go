@@ -2,6 +2,7 @@ package sharon
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"github.com/sharon-project/sharon/internal/core"
@@ -101,16 +102,21 @@ func (s *PartitionedSystem) SegmentPlan(i int) (Workload, Plan) {
 }
 
 // Process feeds the next event (strictly time-ordered).
-func (s *PartitionedSystem) Process(e Event) error { return s.executor.Process(e) }
+func (s *PartitionedSystem) Process(e Event) error {
+	defer runtime.KeepAlive(s) // see reclaimOnDrop
+	return s.executor.Process(e)
+}
 
 // FeedBatch feeds a batch of strictly time-ordered events.
 func (s *PartitionedSystem) FeedBatch(events []Event) error {
+	defer runtime.KeepAlive(s) // see reclaimOnDrop
 	return feedBatch(s.executor, events)
 }
 
 // ProcessAll replays a stream and flushes. On a feed error the run is
 // stopped without emitting partial windows.
 func (s *PartitionedSystem) ProcessAll(stream Stream) error {
+	defer runtime.KeepAlive(s) // see reclaimOnDrop
 	if err := s.FeedBatch(stream); err != nil {
 		stopParallel(s.executor)
 		return err
@@ -119,15 +125,30 @@ func (s *PartitionedSystem) ProcessAll(stream Stream) error {
 }
 
 // Flush closes every window containing events seen so far.
-func (s *PartitionedSystem) Flush() error { return s.executor.Flush() }
+func (s *PartitionedSystem) Flush() error {
+	defer runtime.KeepAlive(s) // see reclaimOnDrop
+	return s.executor.Flush()
+}
+
+// AdvanceWatermark closes every window (in every segment) ending at or
+// before t and emits its results without consuming an event; see
+// System.AdvanceWatermark for the full contract.
+func (s *PartitionedSystem) AdvanceWatermark(t int64) {
+	defer runtime.KeepAlive(s) // see reclaimOnDrop
+	advanceWatermark(s.executor, t)
+}
 
 // Close releases the executor without emitting the windows still open;
 // see System.Close. Idempotent, and safe after Flush.
-func (s *PartitionedSystem) Close() { stopParallel(s.executor) }
+func (s *PartitionedSystem) Close() {
+	defer runtime.KeepAlive(s) // see reclaimOnDrop
+	stopParallel(s.executor)
+}
 
-// Results returns collected results (only when OnResult was nil). On
-// the parallel path results are available only after Flush (nil
-// before).
+// Results returns collected results, sorted by query, window, group.
+// When an OnResult sink is attached the system does not retain results
+// and Results always returns nil (see System.Results). On the parallel
+// path results are available only after Flush (nil before).
 func (s *PartitionedSystem) Results() []Result { return collectedResults(s.executor, s.collect) }
 
 // ResultCount reports the number of aggregates emitted so far.

@@ -74,6 +74,9 @@ type (
 // TicksPerSecond is the timestamp resolution of the event model.
 const TicksPerSecond = event.TicksPerSecond
 
+// NoType is the invalid zero Type (e.g. a failed Registry.Lookup).
+const NoType = event.NoType
+
 // NewRegistry returns an empty event type registry.
 func NewRegistry() *Registry { return event.NewRegistry() }
 
@@ -123,8 +126,13 @@ type Options struct {
 	Rates Rates
 	// Plan, when non-nil, bypasses the optimizer and executes this plan.
 	Plan Plan
-	// OnResult receives every aggregate as it is emitted. If nil,
-	// results are collected and available from Results.
+	// OnResult receives every aggregate as it is emitted, in the
+	// deterministic (window end, query ID, group) order, as each window
+	// closes — the push-based alternative to polling Results after
+	// Flush. A system with an OnResult sink does not retain results:
+	// Results returns nil (see System.Results for the exact contract).
+	// Sequentially the callback runs inside Process/AdvanceWatermark/
+	// Flush; with Parallelism > 1 it runs on the merge goroutine.
 	OnResult func(Result)
 	// EmitEmpty also emits zero results for windows without matches.
 	EmitEmpty bool
@@ -180,7 +188,10 @@ func stopParallel(ex exec.Executor) {
 // when its owning system is garbage collected, so dropping a system
 // without Flush/Close (always safe sequentially) cannot leak worker
 // goroutines. It is a backstop: Flush or Close remains the correct way
-// to end a run.
+// to end a run. The GC may see the owner as unreachable while its last
+// method call is still executing, so every public method that touches
+// the executor pins the owner with runtime.KeepAlive — without it the
+// cleanup's Stop races the in-flight Flush's own teardown.
 func reclaimOnDrop[T any](owner *T, ex exec.Executor) {
 	if p, ok := ex.(*exec.Parallel); ok {
 		runtime.AddCleanup(owner, func(p *exec.Parallel) { p.Stop() }, p)
@@ -329,13 +340,17 @@ func (s *System) FormatPlan(reg *Registry) string {
 
 // Process feeds the next event. Events must arrive in strictly increasing
 // timestamp order.
-func (s *System) Process(e Event) error { return s.executor.Process(e) }
+func (s *System) Process(e Event) error {
+	defer runtime.KeepAlive(s) // see reclaimOnDrop
+	return s.executor.Process(e)
+}
 
 // FeedBatch feeds a batch of strictly time-ordered events. On the
 // parallel path this hoists the per-call liveness checks out of the
 // event loop; the event batching itself happens inside the executor on
 // both entry points, so Process-in-a-loop delivers the same batches.
 func (s *System) FeedBatch(events []Event) error {
+	defer runtime.KeepAlive(s) // see reclaimOnDrop
 	return feedBatch(s.executor, events)
 }
 
@@ -357,6 +372,7 @@ func feedBatch(ex exec.Executor, events []Event) error {
 // ProcessAll replays a whole stream and flushes. On a feed error the
 // run is stopped without emitting partial windows.
 func (s *System) ProcessAll(stream Stream) error {
+	defer runtime.KeepAlive(s) // see reclaimOnDrop
 	if err := s.FeedBatch(stream); err != nil {
 		stopParallel(s.executor)
 		return err
@@ -366,19 +382,52 @@ func (s *System) ProcessAll(stream Stream) error {
 
 // Flush closes every window containing events seen so far. Call at end of
 // stream.
-func (s *System) Flush() error { return s.executor.Flush() }
+func (s *System) Flush() error {
+	defer runtime.KeepAlive(s) // see reclaimOnDrop
+	return s.executor.Flush()
+}
+
+// AdvanceWatermark declares that no event at or before time t will
+// arrive anymore: every window ending at or before t closes and its
+// results are emitted (to the OnResult sink, or into the collected set)
+// without consuming an event and without ending the run. It is the
+// emission driver for unbounded streams — sources that pause or that
+// carry explicit watermark punctuation use it to bound result latency;
+// Flush remains the terminal close of a finite stream. Subsequent events
+// at or before t are rejected as out-of-order. Calls before the first
+// event or behind the current watermark are no-ops. Supported by the
+// online executors (sequential and parallel); the comparison baselines
+// (TwoStep, SPASS, SASE) ignore it.
+func (s *System) AdvanceWatermark(t int64) {
+	defer runtime.KeepAlive(s) // see reclaimOnDrop
+	advanceWatermark(s.executor, t)
+}
+
+// advanceWatermark forwards a watermark to executors that support one.
+func advanceWatermark(ex exec.Executor, t int64) {
+	type watermarked interface{ AdvanceWatermark(t int64) }
+	if w, ok := ex.(watermarked); ok {
+		w.AdvanceWatermark(t)
+	}
+}
 
 // Close releases the executor without emitting the windows still open.
 // A parallel run (Parallelism != 1) must end with Flush — which
 // delivers all windows — or Close: dropping an unflushed parallel
 // System leaks its worker goroutines. On the sequential path Close is a
 // no-op. Idempotent, and safe after Flush.
-func (s *System) Close() { stopParallel(s.executor) }
+func (s *System) Close() {
+	defer runtime.KeepAlive(s) // see reclaimOnDrop
+	stopParallel(s.executor)
+}
 
-// Results returns the collected results (only when Options.OnResult was
-// nil), sorted by query, window, group. On the parallel path results
-// are available only after Flush (nil before); the sequential path also
-// exposes the results collected so far mid-run.
+// Results returns the collected results, sorted by query, window, group.
+// Collection and the OnResult sink are mutually exclusive: when
+// Options.OnResult is set the system does not retain results and Results
+// always returns nil — the sink is the single consumer, and there is no
+// partially delivered snapshot to race with the callback. On the
+// parallel path results are available only after Flush (nil before); the
+// sequential path also exposes the results collected so far mid-run.
 func (s *System) Results() []Result { return collectedResults(s.executor, s.collect) }
 
 // ResultCount reports the number of aggregates emitted so far.
