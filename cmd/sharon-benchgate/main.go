@@ -1,0 +1,99 @@
+// Command sharon-benchgate is the bench-regression gate: it compares a
+// fresh BENCH_<exp>.json (sharon-bench -json) against the committed
+// reference copy and fails when per-event cost regressed beyond the
+// tolerance — so CI catches performance regressions instead of only
+// smoke-compiling the benchmarks.
+//
+// Two metrics gate, with different comparisons:
+//
+//   - ns/event: relative — fresh > ref * (1 + tolerance) fails. CI
+//     runners are noisy, hence the generous default ±25%.
+//   - allocs/event: absolute — fresh > ref + alloc-budget fails. The
+//     hot path's reference is 0.00 allocs/event, where a relative
+//     tolerance would be vacuous; any reintroduced per-event
+//     allocation shows up as a whole unit.
+//
+// Usage:
+//
+//	go run ./cmd/sharon-bench -exp hotpath -json /tmp/bench
+//	go run ./cmd/sharon-benchgate -fresh /tmp/bench/BENCH_hotpath.json -ref BENCH_hotpath.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/sharon-project/sharon/internal/harness"
+)
+
+func load(path string) (harness.BenchFile, error) {
+	var f harness.BenchFile
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return f, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+func main() {
+	var (
+		freshPath   = flag.String("fresh", "", "freshly measured BENCH_<exp>.json")
+		refPath     = flag.String("ref", "", "committed reference BENCH_<exp>.json")
+		tolerance   = flag.Float64("tolerance", 0.25, "relative ns/event regression tolerance")
+		allocBudget = flag.Float64("alloc-budget", 0.05, "absolute allocs/event regression budget")
+	)
+	flag.Parse()
+	if *freshPath == "" || *refPath == "" {
+		log.Fatal("sharon-benchgate: -fresh and -ref are required")
+	}
+	fresh, err := load(*freshPath)
+	if err != nil {
+		log.Fatalf("sharon-benchgate: %v", err)
+	}
+	ref, err := load(*refPath)
+	if err != nil {
+		log.Fatalf("sharon-benchgate: %v", err)
+	}
+	refByName := make(map[string]harness.BenchRecord, len(ref.Records))
+	for _, r := range ref.Records {
+		refByName[r.Name] = r
+	}
+
+	failed := false
+	compared := 0
+	for _, f := range fresh.Records {
+		r, ok := refByName[f.Name]
+		if !ok {
+			fmt.Printf("SKIP %-40s no reference record\n", f.Name)
+			continue
+		}
+		compared++
+		nsLimit := r.NsPerEvent * (1 + *tolerance)
+		allocLimit := r.AllocsPerEvent + *allocBudget
+		nsVerdict, allocVerdict := "ok", "ok"
+		if f.NsPerEvent > nsLimit {
+			nsVerdict, failed = "REGRESSED", true
+		}
+		if f.AllocsPerEvent > allocLimit {
+			allocVerdict, failed = "REGRESSED", true
+		}
+		fmt.Printf("%-40s ns/event %8.1f vs ref %8.1f (limit %8.1f) %-9s  allocs/event %7.4f vs ref %7.4f (limit %7.4f) %s\n",
+			f.Name, f.NsPerEvent, r.NsPerEvent, nsLimit, nsVerdict,
+			f.AllocsPerEvent, r.AllocsPerEvent, allocLimit, allocVerdict)
+	}
+	if compared == 0 {
+		log.Fatal("sharon-benchgate: no record names matched between fresh and reference files")
+	}
+	if failed {
+		log.Fatalf("sharon-benchgate: performance regressed beyond tolerance (ns/event ±%.0f%%, allocs/event +%.2f)",
+			*tolerance*100, *allocBudget)
+	}
+	fmt.Printf("sharon-benchgate: %d records within tolerance (ns/event +%.0f%%, allocs/event +%.2f)\n",
+		compared, *tolerance*100, *allocBudget)
+}

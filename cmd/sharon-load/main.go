@@ -2,12 +2,27 @@
 // address): it subscribes to the result stream, posts a bounded
 // generated event stream in batches (honoring 429 backpressure), closes
 // the tail with a watermark, and reports sustained ingest throughput
-// plus p50/p99 ingest-to-emit latency.
+// plus p50/p99 ingest-to-emit latency. The received sequence numbers
+// are always checked for gaps and duplicates.
+//
+// It is also the crash-recovery verifier: -tolerate-abort survives a
+// server death mid-run and reports how far the stream got (next_index,
+// last_seq in the -json report); a second invocation with -start-index
+// and -resume-after continues the exact same generated stream and
+// subscription after a restart, and -frames-out captures the received
+// payloads so the concatenated runs can be diffed byte-for-byte against
+// an uninterrupted run.
 //
 // Usage:
 //
 //	sharond &                       # default workload over types A..D
 //	sharon-load -events 200000      # drive it and print the report
+//
+//	# crash drill (see the crash-recovery CI job):
+//	sharon-load -events 200000 -tolerate-abort -no-watermark \
+//	            -frames-out a.frames -json a.json            # killed mid-run
+//	sharon-load -events $((200000-NEXT)) -start-index $NEXT \
+//	            -resume-after $LAST -frames-out b.frames     # after restart
 //
 // The generated stream cycles through -types with one tick between
 // events; -within/-slide must match the served workload's window so the
@@ -27,27 +42,46 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", "http://127.0.0.1:8080", "sharond base URL")
-		events  = flag.Int("events", 200000, "events to send")
-		batch   = flag.Int("batch", 512, "events per ingest batch")
-		groups  = flag.Int("groups", 16, "distinct group keys")
-		types   = flag.String("types", "A,B,C,D", "event type cycle (CSV)")
-		within  = flag.Int64("within", 4000, "served workload's window length in ticks")
-		slide   = flag.Int64("slide", 1000, "served workload's window slide in ticks")
-		jsonOut = flag.String("json", "", "also write the report as JSON to this file")
-		require = flag.Bool("require-results", true, "exit nonzero when no results were received")
-		verbose = flag.Bool("v", false, "log phases")
+		addr       = flag.String("addr", "http://127.0.0.1:8080", "sharond base URL")
+		events     = flag.Int("events", 200000, "events to send")
+		startIndex = flag.Int("start-index", 0, "resume the generated stream at this event index")
+		batch      = flag.Int("batch", 512, "events per ingest batch")
+		rate       = flag.Float64("rate", 0, "throttle to about this many events/sec (0 = unthrottled)")
+		groups     = flag.Int("groups", 16, "distinct group keys")
+		types      = flag.String("types", "A,B,C,D", "event type cycle (CSV)")
+		within     = flag.Int64("within", 4000, "served workload's window length in ticks")
+		slide      = flag.Int64("slide", 1000, "served workload's window slide in ticks")
+		resumeAt   = flag.String("resume-after", "", "subscribe with ?after=N (resume a dropped subscription; -1 replays everything retained)")
+		framesOut  = flag.String("frames-out", "", "append received result payloads (one JSON line each) to this file")
+		tolerate   = flag.Bool("tolerate-abort", false, "treat a mid-run server death as a reported outcome, not an error")
+		noWM       = flag.Bool("no-watermark", false, "do not close the stream with a final watermark")
+		jsonOut    = flag.String("json", "", "also write the report as JSON to this file")
+		require    = flag.Bool("require-results", true, "exit nonzero when no results were received")
+		contiguous = flag.Bool("require-contiguous", true, "exit nonzero on sequence gaps or duplicates in the received stream")
+		verbose    = flag.Bool("v", false, "log phases")
 	)
 	flag.Parse()
 
 	cfg := loadgen.Config{
-		BaseURL: strings.TrimSuffix(*addr, "/"),
-		Events:  *events,
-		Batch:   *batch,
-		Groups:  *groups,
-		Types:   strings.Split(*types, ","),
-		Within:  *within,
-		Slide:   *slide,
+		BaseURL:       strings.TrimSuffix(*addr, "/"),
+		Events:        *events,
+		StartIndex:    *startIndex,
+		Batch:         *batch,
+		RatePerSec:    *rate,
+		Groups:        *groups,
+		Types:         strings.Split(*types, ","),
+		Within:        *within,
+		Slide:         *slide,
+		SkipWatermark: *noWM,
+		TolerateAbort: *tolerate,
+		FramesPath:    *framesOut,
+	}
+	if *resumeAt != "" {
+		var after int64
+		if _, err := fmt.Sscanf(*resumeAt, "%d", &after); err != nil {
+			log.Fatalf("sharon-load: bad -resume-after %q", *resumeAt)
+		}
+		cfg.Resume, cfg.After = true, after
 	}
 	if *verbose {
 		cfg.Progress = log.Printf
@@ -56,16 +90,20 @@ func main() {
 	if err != nil {
 		log.Fatalf("sharon-load: %v", err)
 	}
-	fmt.Printf("sharon-load: %d events in %d batches  %.0f ev/s  %d results / %d windows  latency p50 %.2fms p99 %.2fms  (429s retried: %d)\n",
+	fmt.Printf("sharon-load: %d events in %d batches  %.0f ev/s  %d results / %d windows  seq [%d,%d] gaps=%d dups=%d  latency p50 %.2fms p99 %.2fms  (429s retried: %d, aborted: %v, next index: %d)\n",
 		rep.Events, rep.Batches, rep.EventsPerSec, rep.Results, rep.Windows,
-		rep.LatencyP50Ms, rep.LatencyP99Ms, rep.Rejected429)
+		rep.FirstSeq, rep.LastSeq, rep.SeqGaps, rep.SeqDups,
+		rep.LatencyP50Ms, rep.LatencyP99Ms, rep.Rejected429, rep.Aborted, rep.NextIndex)
 	if *jsonOut != "" {
 		data, _ := json.MarshalIndent(rep, "", "  ")
 		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
 			log.Fatalf("sharon-load: %v", err)
 		}
 	}
-	if *require && rep.Results == 0 {
+	if *contiguous && (rep.SeqGaps > 0 || rep.SeqDups > 0) {
+		log.Fatalf("sharon-load: received stream has %d seq gaps and %d duplicates", rep.SeqGaps, rep.SeqDups)
+	}
+	if *require && !rep.Aborted && rep.Results == 0 {
 		log.Fatal("sharon-load: no results received")
 	}
 }

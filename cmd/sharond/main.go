@@ -4,15 +4,25 @@
 // for unbounded streams, live query registration (optimizer re-runs
 // with plan diffs), /metrics, /healthz, and graceful drain on SIGTERM.
 //
+// With -data-dir the server is durable: applied ingest steps go to a
+// CRC-framed write-ahead log before they reach the engine, the engine
+// state is checkpointed on -checkpoint-interval, and a restart (crash
+// or SIGTERM) recovers the exact serving state — subscriptions resume
+// with /subscribe?after=<seq>, clients resume sending past the
+// published watermark. /healthz reports "recovering" (503) while the
+// WAL tail replays.
+//
 // Usage:
 //
 //	sharond                                  # default demo workload on :8080
 //	sharond -addr :9000 -parallelism 4
+//	sharond -data-dir /var/lib/sharond -fsync always
 //	sharond -query 'RETURN COUNT(*) PATTERN SEQ(A, B) WHERE [k] WITHIN 4s SLIDE 1s' \
 //	        -query 'RETURN COUNT(*) PATTERN SEQ(B, C) WHERE [k] WITHIN 4s SLIDE 1s'
 //	sharond -queries-file workload.sase      # one query per line, # comments
 //
-// See the README's "Running the server" section for the wire formats.
+// See the README's "Running the server" and "Durability & recovery"
+// sections for the wire and file formats.
 package main
 
 import (
@@ -24,7 +34,9 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
+	"github.com/sharon-project/sharon/internal/persist"
 	"github.com/sharon-project/sharon/internal/server"
 )
 
@@ -44,6 +56,12 @@ func main() {
 		maxBatch    = flag.Int64("max-batch-bytes", 8<<20, "ingest request body limit")
 		queue       = flag.Int("queue", 256, "ingest queue bound in batches (full queue = 429)")
 		subBuf      = flag.Int("sub-buffer", 4096, "per-subscription delivery buffer in results")
+		replayBuf   = flag.Int("replay-buffer", 16384, "retained results for /subscribe?after= resume")
+		dataDir     = flag.String("data-dir", "", "enable durability: WAL + checkpoints under this directory")
+		ckptEvery   = flag.Duration("checkpoint-interval", 10*time.Second, "periodic checkpoint interval (with -data-dir)")
+		fsyncMode   = flag.String("fsync", "interval", "WAL fsync policy: always | interval | never")
+		fsyncEvery  = flag.Duration("fsync-every", time.Second, "sync period for -fsync interval")
+		walSegBytes = flag.Int64("wal-segment-bytes", 16<<20, "WAL segment rotation size")
 		verbose     = flag.Bool("v", false, "log operational events")
 	)
 	flag.Var(&queries, "query", "query text (repeatable)")
@@ -66,6 +84,10 @@ func main() {
 		queries = server.DefaultQueries
 	}
 
+	fsync, err := persist.ParseFsyncPolicy(*fsyncMode)
+	if err != nil {
+		log.Fatalf("sharond: %v", err)
+	}
 	cfg := server.Config{
 		Queries:          queries,
 		Parallelism:      *parallelism,
@@ -74,6 +96,12 @@ func main() {
 		MaxBatchBytes:    *maxBatch,
 		IngestQueue:      *queue,
 		SubscriberBuffer: *subBuf,
+		ReplayBuffer:     *replayBuf,
+		DataDir:          *dataDir,
+		CheckpointEvery:  *ckptEvery,
+		Fsync:            fsync,
+		FsyncEvery:       *fsyncEvery,
+		WALSegmentBytes:  *walSegBytes,
 	}
 	if *verbose {
 		cfg.Logf = log.Printf

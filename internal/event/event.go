@@ -90,6 +90,14 @@ func (r *Registry) Name(t Type) string {
 // per-type dispatch tables indexed by Type.
 func (r *Registry) Count() int { return len(r.names) }
 
+// Ordered returns the interned names in interning order — Ordered()[i]
+// is the name of Type(i+1). The durability layer records this order in
+// checkpoints so WAL events, which carry interned Type values, decode
+// against identical ids after a restart.
+func (r *Registry) Ordered() []string {
+	return append([]string(nil), r.names...)
+}
+
 // Names returns all interned names sorted alphabetically.
 func (r *Registry) Names() []string {
 	out := make([]string, len(r.names))

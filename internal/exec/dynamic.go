@@ -51,6 +51,10 @@ type Dynamic struct {
 	currentFrom int64
 	plan        core.Plan
 	rates       core.Rates // rates the current plan was chosen for
+	// drainPlan/drainFrom describe the draining engine for checkpoints:
+	// the plan it was built for and the lower bound of its window range.
+	drainPlan core.Plan
+	drainFrom int64
 
 	counts    map[event.Type]float64
 	countFrom int64
@@ -202,6 +206,8 @@ func (d *Dynamic) maybeMigrate(now int64) error {
 	// filter is enough.
 	old.opts.OnResult = boundedForward(d, d.currentFrom, boundary-1)
 	d.draining = old
+	d.drainPlan = d.plan
+	d.drainFrom = d.currentFrom
 	d.current = next
 	d.boundary = boundary
 	d.currentFrom = boundary

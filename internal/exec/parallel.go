@@ -119,6 +119,9 @@ type Parallel struct {
 
 	out       chan shardOut
 	mergeDone chan struct{}
+	// snapBarrier is signalled by the merge stage once it has delivered
+	// every window a snapshot round made ready (see Snapshot).
+	snapBarrier chan struct{}
 
 	// Merge-side state. results is written by the merge goroutine and
 	// read only after mergeDone closes; count and errv are atomic for
@@ -145,6 +148,16 @@ type shardMsg struct {
 	// pooled marks a batch owned by exactly one worker (hash routing);
 	// the worker returns it to the batch pool after draining it.
 	pooled bool
+	// snap, when non-nil, requests a shard snapshot after the message is
+	// fully processed (the quiesced checkpoint barrier; see Snapshot).
+	snap chan<- shardSnap
+}
+
+// shardSnap is one worker's reply to a snapshot request.
+type shardSnap struct {
+	shard int
+	s     *SystemSnapshot
+	err   error
 }
 
 // shardOut is one worker→merger message: the results the shard produced
@@ -156,6 +169,7 @@ type shardOut struct {
 	wm      int64
 	hasWM   bool
 	flush   bool
+	snap    bool
 	err     error
 }
 
@@ -200,7 +214,19 @@ func (w *shardWorker) run(out chan<- shardOut) {
 		// An errored shard must not acknowledge the watermark: its
 		// contributions to the frontier's windows are missing, and
 		// acking would let the merge emit them truncated.
-		out <- shardOut{shard: w.id, results: res, wm: msg.wm, hasWM: msg.hasWM && w.err == nil, flush: msg.flush, err: w.err}
+		out <- shardOut{shard: w.id, results: res, wm: msg.wm, hasWM: msg.hasWM && w.err == nil, flush: msg.flush, snap: msg.snap != nil, err: w.err}
+		if msg.snap != nil {
+			sn := shardSnap{shard: w.id}
+			switch sp, ok := w.target.(shardPersist); {
+			case w.err != nil:
+				sn.err = w.err
+			case ok:
+				sn.s = sp.Snapshot()
+			default:
+				sn.err = fmt.Errorf("exec: shard %d target %T does not support snapshots", w.id, w.target)
+			}
+			msg.snap <- sn
+		}
 	}
 }
 
@@ -220,15 +246,16 @@ func NewParallel(cfg ParallelConfig) (*Parallel, error) {
 		cfg.Name = "parallel"
 	}
 	p := &Parallel{
-		name:      cfg.Name,
-		opts:      cfg.Opts,
-		winEnd:    cfg.WinEnd,
-		broadcast: cfg.Broadcast,
-		batchSize: cfg.BatchSize,
-		pending:   make([][]event.Event, cfg.Workers),
-		out:       make(chan shardOut, cfg.Workers*4),
-		mergeDone: make(chan struct{}),
-		startedAt: time.Now(), // re-stamped on the first event
+		name:        cfg.Name,
+		opts:        cfg.Opts,
+		winEnd:      cfg.WinEnd,
+		broadcast:   cfg.Broadcast,
+		batchSize:   cfg.BatchSize,
+		pending:     make([][]event.Event, cfg.Workers),
+		out:         make(chan shardOut, cfg.Workers*4),
+		mergeDone:   make(chan struct{}),
+		snapBarrier: make(chan struct{}, 1),
+		startedAt:   time.Now(), // re-stamped on the first event
 	}
 	p.batchLimit = cfg.BatchSize
 	if !cfg.Broadcast {
@@ -460,6 +487,7 @@ func (p *Parallel) mergeLoop() {
 	}
 	buckets := make(map[int64][]Result)
 	flushed := 0
+	snapAcks := 0
 	for o := range p.out {
 		if o.err != nil {
 			if p.errv.Load() == nil {
@@ -494,6 +522,16 @@ func (p *Parallel) mergeLoop() {
 		}
 		if frontier > noWM {
 			p.emitReady(buckets, frontier)
+		}
+		// Release the snapshot barrier only after this round's ready
+		// windows were delivered: when Snapshot returns, everything at or
+		// below the snapshot watermark has reached OnResult.
+		if o.snap {
+			snapAcks++
+			if snapAcks == len(p.workers) {
+				snapAcks = 0
+				p.snapBarrier <- struct{}{}
+			}
 		}
 	}
 }

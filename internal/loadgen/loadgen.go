@@ -4,6 +4,14 @@
 // batch that closes a window and receiving that window's first result
 // on a subscription. cmd/sharon-load and the sharon-bench "server"
 // experiment share this driver.
+//
+// The driver is also the crash-recovery verifier: it can resume a
+// previous run's event stream from an index (-start-index), resume the
+// subscription from a sequence cursor (/subscribe?after=N), tolerate a
+// server death mid-run (reporting exactly how far the stream got), and
+// it always checks the received sequence numbers for gaps and
+// duplicates — across a kill -9 + restart, the concatenation of the two
+// runs' frames must be one contiguous, duplicate-free result stream.
 package loadgen
 
 import (
@@ -13,22 +21,33 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"os"
 	"sort"
 	"strings"
 	"sync"
 	"time"
 )
 
-// Config parameterizes one load run. The generated stream cycles
-// through Types with one tick between events and keys cycling over
-// Groups (coprime cycles exercise every (group, type) pair).
+// Config parameterizes one load run. The generated stream is a pure
+// function of the event index: event i carries tick i+1, type
+// Types[i%len(Types)], a hash-mixed group key, and val i%7+1 — so a
+// resumed run (StartIndex > 0) regenerates exactly the events the
+// interrupted run would have sent next.
 type Config struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
 	// Events is the number of events to send.
 	Events int
+	// StartIndex offsets the generated stream: the run sends events
+	// [StartIndex, StartIndex+Events). Use a crashed run's NextIndex to
+	// resume its stream.
+	StartIndex int
 	// Batch is the events-per-POST batch size (default 512).
 	Batch int
+	// RatePerSec throttles sending to about this many events per second
+	// (0 = as fast as the server accepts). The crash drills use it to
+	// keep the stream in flight long enough to kill the server mid-run.
+	RatePerSec float64
 	// Groups is the number of distinct group keys (default 16).
 	Groups int
 	// Types is the event type cycle (default A, B, C, D — matching
@@ -38,6 +57,21 @@ type Config struct {
 	// ticks (default 4000/1000); the driver needs them to know which
 	// batch closes which window for the latency measurement.
 	Within, Slide int64
+	// Resume subscribes with ?after=After, replaying retained results
+	// after that sequence number before the live stream continues
+	// (After = -1 replays everything retained).
+	Resume bool
+	After  int64
+	// SkipWatermark leaves the stream open: no final watermark is
+	// posted and the quiesce wait is skipped (crash-drill phase runs).
+	SkipWatermark bool
+	// TolerateAbort makes a mid-run server death a reported outcome
+	// (Report.Aborted, NextIndex) instead of an error.
+	TolerateAbort bool
+	// FramesPath, when set, appends every received result payload as
+	// one line to this file — the byte evidence the crash-recovery
+	// verification diffs against an uninterrupted run.
+	FramesPath string
 	// QuiesceTimeout bounds the wait for in-flight results after the
 	// final watermark (default 30s).
 	QuiesceTimeout time.Duration
@@ -89,10 +123,25 @@ type Report struct {
 	// window's first result.
 	LatencyP50Ms float64 `json:"latency_p50_ms"`
 	LatencyP99Ms float64 `json:"latency_p99_ms"`
+	// FirstSeq/LastSeq bound the received emission sequence numbers
+	// (-1 when nothing arrived); SeqGaps/SeqDups count violations of
+	// strict seq contiguity on the subscription — both must be zero on
+	// a healthy (or correctly resumed) stream.
+	FirstSeq int64 `json:"first_seq"`
+	LastSeq  int64 `json:"last_seq"`
+	SeqGaps  int64 `json:"seq_gaps"`
+	SeqDups  int64 `json:"seq_dups"`
+	// Aborted reports a tolerated mid-run server death; NextIndex is
+	// the index of the first event NOT known to be accepted — resume
+	// the stream there (the server's late-event filter deduplicates the
+	// overlap if the in-flight batch did land).
+	Aborted   bool `json:"aborted"`
+	NextIndex int  `json:"next_index"`
 }
 
-// wireEnd is the slice of the result wire format the driver reads.
-type wireEnd struct {
+// wireResult is the slice of the result wire format the driver reads.
+type wireResult struct {
+	Seq int64 `json:"seq"`
 	End int64 `json:"end"`
 }
 
@@ -100,12 +149,29 @@ type wireEnd struct {
 func Run(cfg Config) (Report, error) {
 	cfg.fill()
 	var rep Report
+	rep.FirstSeq, rep.LastSeq = -1, -1
+	rep.NextIndex = cfg.StartIndex
+
+	var framesFile *os.File
+	var framesW *bufio.Writer
+	if cfg.FramesPath != "" {
+		f, err := os.OpenFile(cfg.FramesPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return rep, err
+		}
+		framesFile, framesW = f, bufio.NewWriter(f)
+		defer framesFile.Close()
+	}
 
 	// Subscribe first: results for windows closed mid-run must be
 	// observed, not replayed.
+	subURL := cfg.BaseURL + "/subscribe"
+	if cfg.Resume {
+		subURL = fmt.Sprintf("%s?after=%d", subURL, cfg.After)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, "GET", cfg.BaseURL+"/subscribe", nil)
+	req, err := http.NewRequestWithContext(ctx, "GET", subURL, nil)
 	if err != nil {
 		return rep, err
 	}
@@ -119,6 +185,12 @@ func Run(cfg Config) (Report, error) {
 	}
 	var mu sync.Mutex
 	results := int64(0)
+	prevSeq := int64(-1)
+	if cfg.Resume {
+		prevSeq = cfg.After
+	}
+	firstSeq, lastSeq := int64(-1), int64(-1)
+	var gaps, dups int64
 	recvAt := make(map[int64]time.Time) // window end -> first result arrival
 	subReady := make(chan struct{})
 	subDone := make(chan struct{})
@@ -136,15 +208,39 @@ func Run(cfg Config) (Report, error) {
 			if !strings.HasPrefix(line, "data: ") {
 				continue
 			}
-			var we wireEnd
-			if json.Unmarshal([]byte(line[len("data: "):]), &we) != nil {
+			payload := line[len("data: "):]
+			var wr wireResult
+			if json.Unmarshal([]byte(payload), &wr) != nil {
 				continue
 			}
 			now := time.Now()
 			mu.Lock()
 			results++
-			if _, ok := recvAt[we.End]; !ok {
-				recvAt[we.End] = now
+			// Seq contiguity check: the server's emission sequence is
+			// dense, so any deviation is a lost or duplicated result.
+			switch {
+			case wr.Seq == prevSeq+1:
+				prevSeq = wr.Seq
+			case wr.Seq > prevSeq+1:
+				if prevSeq >= 0 || cfg.Resume {
+					gaps++
+				}
+				prevSeq = wr.Seq
+			default:
+				dups++
+			}
+			if firstSeq < 0 {
+				firstSeq = wr.Seq
+			}
+			if wr.Seq > lastSeq {
+				lastSeq = wr.Seq
+			}
+			if framesW != nil {
+				framesW.WriteString(payload)
+				framesW.WriteByte('\n')
+			}
+			if _, ok := recvAt[wr.End]; !ok {
+				recvAt[wr.End] = now
 			}
 			mu.Unlock()
 		}
@@ -156,13 +252,17 @@ func Run(cfg Config) (Report, error) {
 	}
 
 	// Send loop: stamp each window end when the batch closing it is
-	// posted, then POST the batch (retrying 429s).
+	// posted, then POST the batch (retrying 429s). abort marks a
+	// tolerated server death.
 	sentAt := make(map[int64]time.Time)
-	nextEnd := cfg.Within // first window's end
+	startTick := int64(cfg.StartIndex)
+	nextEnd := (startTick/cfg.Slide)*cfg.Slide + cfg.Within
 	var buf bytes.Buffer
 	started := time.Now()
 	var lastAccept time.Time
-	tick := int64(0)
+	tick := startTick
+	aborted := false
+	batchStart := cfg.StartIndex
 	post := func(maxTime int64) error {
 		for nextEnd <= maxTime {
 			sentAt[nextEnd] = time.Now()
@@ -171,6 +271,10 @@ func Run(cfg Config) (Report, error) {
 		for {
 			r, err := http.Post(cfg.BaseURL+"/ingest", "application/x-ndjson", bytes.NewReader(buf.Bytes()))
 			if err != nil {
+				if cfg.TolerateAbort {
+					aborted = true
+					return nil
+				}
 				return err
 			}
 			r.Body.Close()
@@ -183,12 +287,21 @@ func Run(cfg Config) (Report, error) {
 			case http.StatusTooManyRequests:
 				rep.Rejected429++
 				time.Sleep(20 * time.Millisecond)
+			case http.StatusServiceUnavailable:
+				// Draining or recovering: with abort tolerance this is
+				// the end of the run, not an error.
+				if cfg.TolerateAbort {
+					aborted = true
+					return nil
+				}
+				return fmt.Errorf("ingest: status %d", r.StatusCode)
 			default:
 				return fmt.Errorf("ingest: status %d", r.StatusCode)
 			}
 		}
 	}
-	for i := 0; i < cfg.Events; i++ {
+	last := cfg.StartIndex + cfg.Events
+	for i := cfg.StartIndex; i < last; i++ {
 		tick++
 		// The key is hash-mixed so it never correlates with the type
 		// cycle (a plain i%Groups with Groups divisible by len(Types)
@@ -196,38 +309,61 @@ func Run(cfg Config) (Report, error) {
 		key := (uint64(i) * 0x9E3779B97F4A7C15 >> 33) % uint64(cfg.Groups)
 		fmt.Fprintf(&buf, `{"type":%q,"time":%d,"key":%d,"val":%d}`+"\n",
 			cfg.Types[i%len(cfg.Types)], tick, key, i%7+1)
-		if (i+1)%cfg.Batch == 0 || i == cfg.Events-1 {
+		if (i+1-cfg.StartIndex)%cfg.Batch == 0 || i == last-1 {
 			if err := post(tick); err != nil {
 				return rep, err
 			}
+			if aborted {
+				break
+			}
+			batchStart = i + 1
+			if cfg.RatePerSec > 0 {
+				ahead := time.Duration(float64(i+1-cfg.StartIndex)/cfg.RatePerSec*float64(time.Second)) - time.Since(started)
+				if ahead > 0 {
+					time.Sleep(ahead)
+				}
+			}
 		}
 	}
-	rep.Events = int64(cfg.Events)
+	rep.Aborted = aborted
+	rep.NextIndex = batchStart
+	rep.Events = int64(batchStart - cfg.StartIndex)
 	rep.ElapsedNs = lastAccept.Sub(started).Nanoseconds()
 	if rep.ElapsedNs > 0 {
 		rep.EventsPerSec = float64(rep.Events) / (float64(rep.ElapsedNs) / 1e9)
 	}
-	cfg.Progress("sent %d events in %d batches (%.0f ev/s, %d backpressure retries)",
-		rep.Events, rep.Batches, rep.EventsPerSec, rep.Rejected429)
-
-	// Close the tail with a watermark and stamp the remaining ends.
-	finalWM := (tick/cfg.Slide)*cfg.Slide + cfg.Within
-	for nextEnd <= finalWM {
-		sentAt[nextEnd] = time.Now()
-		nextEnd += cfg.Slide
-	}
-	wm, err := http.Post(cfg.BaseURL+"/watermark", "application/json",
-		strings.NewReader(fmt.Sprintf(`{"watermark":%d}`, finalWM)))
-	if err != nil {
-		return rep, err
-	}
-	wm.Body.Close()
-	if wm.StatusCode != http.StatusAccepted {
-		return rep, fmt.Errorf("watermark: status %d", wm.StatusCode)
+	if aborted {
+		cfg.Progress("server went away mid-run: %d events accepted in %d batches; resume at index %d",
+			rep.Events, rep.Batches, rep.NextIndex)
+	} else {
+		cfg.Progress("sent %d events in %d batches (%.0f ev/s, %d backpressure retries)",
+			rep.Events, rep.Batches, rep.EventsPerSec, rep.Rejected429)
 	}
 
-	// Quiesce: wait until the subscription stops receiving.
+	if !cfg.SkipWatermark && !aborted {
+		// Close the tail with a watermark and stamp the remaining ends.
+		finalWM := (tick/cfg.Slide)*cfg.Slide + cfg.Within
+		for nextEnd <= finalWM {
+			sentAt[nextEnd] = time.Now()
+			nextEnd += cfg.Slide
+		}
+		wm, err := http.Post(cfg.BaseURL+"/watermark", "application/json",
+			strings.NewReader(fmt.Sprintf(`{"watermark":%d}`, finalWM)))
+		if err != nil {
+			return rep, err
+		}
+		wm.Body.Close()
+		if wm.StatusCode != http.StatusAccepted {
+			return rep, fmt.Errorf("watermark: status %d", wm.StatusCode)
+		}
+	}
+
+	// Quiesce: wait until the subscription stops receiving. An aborted
+	// run waits briefly for frames already in flight, then gives up.
 	deadline := time.Now().Add(cfg.QuiesceTimeout)
+	if aborted {
+		deadline = time.Now().Add(2 * time.Second)
+	}
 	lastCount, lastChange := int64(-1), time.Now()
 	for {
 		mu.Lock()
@@ -249,6 +385,13 @@ func Run(cfg Config) (Report, error) {
 	mu.Lock()
 	defer mu.Unlock()
 	rep.Results = results
+	rep.FirstSeq, rep.LastSeq = firstSeq, lastSeq
+	rep.SeqGaps, rep.SeqDups = gaps, dups
+	if framesW != nil {
+		if err := framesW.Flush(); err != nil {
+			return rep, err
+		}
+	}
 	var lat []float64
 	for end, at := range recvAt {
 		if sent, ok := sentAt[end]; ok {
@@ -261,7 +404,7 @@ func Run(cfg Config) (Report, error) {
 		rep.LatencyP50Ms = lat[len(lat)/2]
 		rep.LatencyP99Ms = lat[min(len(lat)-1, len(lat)*99/100)]
 	}
-	cfg.Progress("received %d results over %d windows (p50 %.2fms, p99 %.2fms ingest-to-emit)",
-		rep.Results, rep.Windows, rep.LatencyP50Ms, rep.LatencyP99Ms)
+	cfg.Progress("received %d results over %d windows, seq [%d, %d], %d gaps, %d dups (p50 %.2fms, p99 %.2fms ingest-to-emit)",
+		rep.Results, rep.Windows, rep.FirstSeq, rep.LastSeq, rep.SeqGaps, rep.SeqDups, rep.LatencyP50Ms, rep.LatencyP99Ms)
 	return rep, nil
 }

@@ -59,6 +59,36 @@ type ServerStats struct {
 	// Parallel carries the shard-occupancy counters when the engine
 	// runs the parallel executor.
 	Parallel *ParallelStatsJSON `json:"parallel,omitempty"`
+
+	// Durability carries the WAL/checkpoint counters when the server
+	// runs with a data directory.
+	Durability *DurabilityStatsJSON `json:"durability,omitempty"`
+}
+
+// DurabilityStatsJSON is the /metrics view of the persistence layer:
+// WAL size/position, checkpoint recency, and recovery progress.
+type DurabilityStatsJSON struct {
+	// FsyncPolicy is the configured WAL sync policy.
+	FsyncPolicy string `json:"fsync_policy"`
+	// WalBytes/WalSegments describe the live log; WalNextSeq is the next
+	// record sequence number; WalAppended/WalSyncs count operations since
+	// boot.
+	WalBytes    int64 `json:"wal_bytes"`
+	WalSegments int   `json:"wal_segments"`
+	WalNextSeq  int64 `json:"wal_next_seq"`
+	WalAppended int64 `json:"wal_appended"`
+	WalSyncs    int64 `json:"wal_syncs"`
+	// Checkpoints counts checkpoints written since boot;
+	// LastCheckpointAgeSec is the age of the newest one (-1 before the
+	// first), LastCheckpointBytes its encoded size.
+	Checkpoints          int64   `json:"checkpoints"`
+	LastCheckpointAgeSec float64 `json:"last_checkpoint_age_sec"`
+	LastCheckpointBytes  int64   `json:"last_checkpoint_bytes"`
+	// ReplayedBatches/ReplayedEvents count the WAL tail re-applied at
+	// boot; Recovering reports whether replay is still running.
+	ReplayedBatches int64 `json:"replayed_batches"`
+	ReplayedEvents  int64 `json:"replayed_events"`
+	Recovering      bool  `json:"recovering"`
 }
 
 // ParallelStatsJSON is the wire form of ParallelStats (the in-memory

@@ -1,0 +1,394 @@
+package persist
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/sharon-project/sharon/internal/agg"
+	"github.com/sharon-project/sharon/internal/core"
+	"github.com/sharon-project/sharon/internal/event"
+	"github.com/sharon-project/sharon/internal/exec"
+	"github.com/sharon-project/sharon/internal/query"
+)
+
+// SnapshotVersion is the executor-state format version; bumped on every
+// incompatible change to the encoding below. Decoders reject unknown
+// versions instead of guessing.
+const SnapshotVersion = 1
+
+// snapshot kind tags (one byte each; exec kinds are strings for
+// in-memory clarity, bytes on disk).
+var kindTags = map[string]byte{
+	exec.KindEngine:      1,
+	exec.KindParallel:    2,
+	exec.KindPartitioned: 3,
+	exec.KindDynamic:     4,
+	exec.KindSegments:    5,
+}
+
+func kindOfTag(tag byte) (string, bool) {
+	for k, t := range kindTags {
+		if t == tag {
+			return k, true
+		}
+	}
+	return "", false
+}
+
+// EncodeSystemSnapshot appends the versioned binary form of s.
+func EncodeSystemSnapshot(e *Encoder, s *exec.SystemSnapshot) error {
+	e.Uvarint(SnapshotVersion)
+	return encodeSystem(e, s)
+}
+
+// DecodeSystemSnapshot reads a snapshot written by EncodeSystemSnapshot.
+func DecodeSystemSnapshot(d *Decoder) (*exec.SystemSnapshot, error) {
+	if v := d.Uvarint(); v != SnapshotVersion {
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		return nil, fmt.Errorf("persist: snapshot version %d, this build reads %d", v, SnapshotVersion)
+	}
+	s := decodeSystem(d)
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	return s, nil
+}
+
+func encodeSystem(e *Encoder, s *exec.SystemSnapshot) error {
+	tag, ok := kindTags[s.Kind]
+	if !ok {
+		return fmt.Errorf("persist: unknown snapshot kind %q", s.Kind)
+	}
+	e.buf = append(e.buf, tag)
+	switch s.Kind {
+	case exec.KindEngine:
+		encodeEngine(e, s.Engine)
+	case exec.KindParallel:
+		e.Uvarint(uint64(len(s.Parallel.Shards)))
+		e.Bool(s.Parallel.Started)
+		e.Varint(s.Parallel.Last)
+		e.Varint(s.Parallel.ResultCount)
+		for _, sh := range s.Parallel.Shards {
+			if err := encodeSystem(e, sh); err != nil {
+				return err
+			}
+		}
+	case exec.KindPartitioned, exec.KindSegments:
+		p := s.Partitioned
+		e.Uvarint(uint64(len(p.Segments)))
+		e.Bool(p.Started)
+		e.Varint(p.Last)
+		e.Varint(p.ResultCount)
+		for _, en := range p.Segments {
+			encodeEngine(e, en)
+		}
+	case exec.KindDynamic:
+		dn := s.Dynamic
+		e.Bool(dn.Started)
+		e.Varint(dn.Last)
+		e.Varint(dn.ResultCount)
+		e.Varint(int64(dn.Migrations))
+		EncodePlan(e, dn.Plan)
+		encodeRates(e, dn.Rates)
+		encodeCounts(e, dn.Counts)
+		e.Varint(dn.CountFrom)
+		e.Varint(dn.NextCheck)
+		e.Varint(dn.Boundary)
+		e.Varint(dn.CurrentFrom)
+		encodeEngine(e, dn.Current)
+		e.Bool(dn.Draining != nil)
+		if dn.Draining != nil {
+			EncodePlan(e, dn.DrainPlan)
+			e.Varint(dn.DrainFrom)
+			encodeEngine(e, dn.Draining)
+		}
+	}
+	return nil
+}
+
+func decodeSystem(d *Decoder) *exec.SystemSnapshot {
+	if d.Err() != nil {
+		return nil
+	}
+	if d.Remaining() < 1 {
+		d.fail("truncated snapshot kind")
+		return nil
+	}
+	tag := d.buf[d.off]
+	d.off++
+	kind, ok := kindOfTag(tag)
+	if !ok {
+		d.fail("unknown snapshot kind tag %d", tag)
+		return nil
+	}
+	s := &exec.SystemSnapshot{Kind: kind}
+	switch kind {
+	case exec.KindEngine:
+		s.Engine = decodeEngine(d)
+	case exec.KindParallel:
+		n := d.Len()
+		p := &exec.ParallelSnapshot{
+			Started:     d.Bool(),
+			Last:        d.Varint(),
+			ResultCount: d.Varint(),
+		}
+		for i := 0; i < n && d.Err() == nil; i++ {
+			p.Shards = append(p.Shards, decodeSystem(d))
+		}
+		s.Parallel = p
+	case exec.KindPartitioned, exec.KindSegments:
+		n := d.Len()
+		p := &exec.PartitionedSnapshot{
+			Started:     d.Bool(),
+			Last:        d.Varint(),
+			ResultCount: d.Varint(),
+		}
+		for i := 0; i < n && d.Err() == nil; i++ {
+			p.Segments = append(p.Segments, decodeEngine(d))
+		}
+		s.Partitioned = p
+	case exec.KindDynamic:
+		dn := &exec.DynamicSnapshot{
+			Started:     d.Bool(),
+			Last:        d.Varint(),
+			ResultCount: d.Varint(),
+			Migrations:  int(d.Varint()),
+			Plan:        DecodePlan(d),
+			Rates:       decodeRates(d),
+			Counts:      decodeCounts(d),
+			CountFrom:   d.Varint(),
+			NextCheck:   d.Varint(),
+			Boundary:    d.Varint(),
+			CurrentFrom: d.Varint(),
+			Current:     decodeEngine(d),
+		}
+		if d.Bool() {
+			dn.DrainPlan = DecodePlan(d)
+			dn.DrainFrom = d.Varint()
+			dn.Draining = decodeEngine(d)
+		}
+		s.Dynamic = dn
+	}
+	return s
+}
+
+func encodeEngine(e *Encoder, en *exec.EngineSnapshot) {
+	e.Bool(en.Started)
+	e.Varint(en.LastTime)
+	e.Varint(en.NextClose)
+	e.Varint(en.MaxWin)
+	e.Varint(en.PeakLive)
+	e.Varint(en.ResultCount)
+	e.Uvarint(uint64(len(en.Groups)))
+	for i := range en.Groups {
+		g := &en.Groups[i]
+		e.Varint(int64(g.Key))
+		e.Uvarint(uint64(len(g.Nodes)))
+		for _, n := range g.Nodes {
+			encodeAgg(e, n)
+		}
+		e.Uvarint(uint64(len(g.Stages)))
+		for _, st := range g.Stages {
+			e.Uvarint(uint64(st.Chain))
+			e.Uvarint(uint64(st.Stage))
+			e.Uvarint(uint64(len(st.Windows)))
+			for _, w := range st.Windows {
+				e.Varint(w.Win)
+				e.Uvarint(uint64(len(w.Entries)))
+				for _, en := range w.Entries {
+					e.Varint(en.RecID)
+					encodeState(e, en.Up)
+				}
+			}
+		}
+	}
+}
+
+func decodeEngine(d *Decoder) *exec.EngineSnapshot {
+	en := &exec.EngineSnapshot{
+		Started:     d.Bool(),
+		LastTime:    d.Varint(),
+		NextClose:   d.Varint(),
+		MaxWin:      d.Varint(),
+		PeakLive:    d.Varint(),
+		ResultCount: d.Varint(),
+	}
+	ng := d.Len()
+	for i := 0; i < ng && d.Err() == nil; i++ {
+		g := exec.GroupSnapshot{Key: event.GroupKey(d.Varint())}
+		nn := d.Len()
+		for j := 0; j < nn && d.Err() == nil; j++ {
+			g.Nodes = append(g.Nodes, decodeAgg(d))
+		}
+		ns := d.Len()
+		for j := 0; j < ns && d.Err() == nil; j++ {
+			st := exec.StageSnapshot{Chain: int(d.Uvarint()), Stage: int(d.Uvarint())}
+			nw := d.Len()
+			for k := 0; k < nw && d.Err() == nil; k++ {
+				w := exec.StageWindowSnapshot{Win: d.Varint()}
+				ne := d.Len()
+				for l := 0; l < ne && d.Err() == nil; l++ {
+					w.Entries = append(w.Entries, exec.SnapEntrySnapshot{RecID: d.Varint(), Up: decodeState(d)})
+				}
+				st.Windows = append(st.Windows, w)
+			}
+			g.Stages = append(g.Stages, st)
+		}
+		en.Groups = append(en.Groups, g)
+	}
+	return en
+}
+
+func encodeAgg(e *Encoder, a agg.Snapshot) {
+	e.Bool(a.Started)
+	e.Varint(a.LastTime)
+	e.Varint(a.NextClose)
+	e.Varint(a.MaxWin)
+	e.Varint(a.NextID)
+	e.Uvarint(uint64(len(a.Windows)))
+	for _, s := range a.Windows {
+		encodeState(e, s)
+	}
+	e.Uvarint(uint64(len(a.Starts)))
+	for _, s := range a.Starts {
+		e.Varint(s.Time)
+		e.Varint(s.ID)
+		e.Uvarint(uint64(len(s.Prefix)))
+		for _, p := range s.Prefix {
+			encodeState(e, p)
+		}
+	}
+}
+
+func decodeAgg(d *Decoder) agg.Snapshot {
+	a := agg.Snapshot{
+		Started:   d.Bool(),
+		LastTime:  d.Varint(),
+		NextClose: d.Varint(),
+		MaxWin:    d.Varint(),
+		NextID:    d.Varint(),
+	}
+	nw := d.Len()
+	for i := 0; i < nw && d.Err() == nil; i++ {
+		a.Windows = append(a.Windows, decodeState(d))
+	}
+	ns := d.Len()
+	for i := 0; i < ns && d.Err() == nil; i++ {
+		s := agg.StartSnapshot{Time: d.Varint(), ID: d.Varint()}
+		np := d.Len()
+		for j := 0; j < np && d.Err() == nil; j++ {
+			s.Prefix = append(s.Prefix, decodeState(d))
+		}
+		a.Starts = append(a.Starts, s)
+	}
+	return a
+}
+
+func encodeState(e *Encoder, s agg.State) {
+	e.Float(s.Count)
+	e.Float(s.CountE)
+	e.Float(s.Sum)
+	e.Float(s.Min)
+	e.Float(s.Max)
+}
+
+func decodeState(d *Decoder) agg.State {
+	return agg.State{Count: d.Float(), CountE: d.Float(), Sum: d.Float(), Min: d.Float(), Max: d.Float()}
+}
+
+// EncodePlan appends a sharing plan (candidate patterns + sharing query
+// IDs).
+func EncodePlan(e *Encoder, p core.Plan) {
+	e.Uvarint(uint64(len(p)))
+	for _, c := range p {
+		e.Uvarint(uint64(len(c.Pattern)))
+		for _, t := range c.Pattern {
+			e.Uvarint(uint64(t))
+		}
+		e.Uvarint(uint64(len(c.Queries)))
+		for _, q := range c.Queries {
+			e.Varint(int64(q))
+		}
+	}
+}
+
+// DecodePlan reads a plan written by EncodePlan (nil for an empty plan).
+func DecodePlan(d *Decoder) core.Plan {
+	n := d.Len()
+	if n == 0 || d.Err() != nil {
+		return nil
+	}
+	p := make(core.Plan, 0, n)
+	for i := 0; i < n && d.Err() == nil; i++ {
+		np := d.Len()
+		pat := make(query.Pattern, 0, np)
+		for j := 0; j < np && d.Err() == nil; j++ {
+			pat = append(pat, event.Type(d.Uvarint()))
+		}
+		nq := d.Len()
+		qs := make([]int, 0, nq)
+		for j := 0; j < nq && d.Err() == nil; j++ {
+			qs = append(qs, int(d.Varint()))
+		}
+		p = append(p, core.NewCandidate(pat, qs))
+	}
+	return p
+}
+
+// encodeRates/encodeCounts write type-keyed float maps with sorted keys
+// so equal states encode to equal bytes (the fuzz round-trip contract).
+func encodeRates(e *Encoder, r core.Rates) {
+	encodeTypeFloats(e, map[event.Type]float64(r), r == nil)
+}
+
+func decodeRates(d *Decoder) core.Rates {
+	m, isNil := decodeTypeFloats(d)
+	if isNil {
+		return nil
+	}
+	return core.Rates(m)
+}
+
+func encodeCounts(e *Encoder, c map[event.Type]float64) {
+	encodeTypeFloats(e, c, c == nil)
+}
+
+func decodeCounts(d *Decoder) map[event.Type]float64 {
+	m, isNil := decodeTypeFloats(d)
+	if isNil {
+		return nil
+	}
+	return m
+}
+
+func encodeTypeFloats(e *Encoder, m map[event.Type]float64, isNil bool) {
+	e.Bool(isNil)
+	if isNil {
+		return
+	}
+	keys := make([]event.Type, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	e.Uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		e.Uvarint(uint64(k))
+		e.Float(m[k])
+	}
+}
+
+func decodeTypeFloats(d *Decoder) (map[event.Type]float64, bool) {
+	if d.Bool() {
+		return nil, true
+	}
+	n := d.Len()
+	m := make(map[event.Type]float64, n)
+	for i := 0; i < n && d.Err() == nil; i++ {
+		k := event.Type(d.Uvarint())
+		m[k] = d.Float()
+	}
+	return m, false
+}

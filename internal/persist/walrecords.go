@@ -1,0 +1,118 @@
+package persist
+
+import (
+	"fmt"
+
+	"github.com/sharon-project/sharon/internal/core"
+	"github.com/sharon-project/sharon/internal/event"
+)
+
+// BatchRecord is the payload of a RecBatch WAL record: one applied pump
+// step — the late-filtered, strictly time-ordered events that were fed
+// to the engine, plus the effective (post-clamp) watermark (-1 when the
+// step carried none). Replaying batch records through the same step
+// logic reproduces the engine's state and emission exactly.
+type BatchRecord struct {
+	Events    []event.Event
+	Watermark int64
+}
+
+// EncodeBatchRecord renders a batch record payload. Event times are
+// delta-encoded against their predecessor (strictly ascending, so deltas
+// are small positive varints).
+func EncodeBatchRecord(b BatchRecord) []byte {
+	e := &Encoder{}
+	e.Varint(b.Watermark)
+	e.Uvarint(uint64(len(b.Events)))
+	prev := int64(0)
+	for _, ev := range b.Events {
+		e.Uvarint(uint64(ev.Time - prev))
+		prev = ev.Time
+		e.Uvarint(uint64(ev.Type))
+		e.Varint(int64(ev.Key))
+		e.Float(ev.Val)
+	}
+	return e.Bytes()
+}
+
+// DecodeBatchRecord parses a batch record payload.
+func DecodeBatchRecord(payload []byte) (BatchRecord, error) {
+	d := NewDecoder(payload)
+	b := BatchRecord{Watermark: d.Varint()}
+	n := d.Len()
+	prev := int64(0)
+	for i := 0; i < n && d.Err() == nil; i++ {
+		ev := event.Event{
+			Time: prev + int64(d.Uvarint()),
+			Type: event.Type(d.Uvarint()),
+			Key:  event.GroupKey(d.Varint()),
+			Val:  d.Float(),
+		}
+		prev = ev.Time
+		b.Events = append(b.Events, ev)
+	}
+	if d.Err() != nil {
+		return BatchRecord{}, d.Err()
+	}
+	if d.Remaining() != 0 {
+		return BatchRecord{}, fmt.Errorf("persist: %d trailing bytes in batch record", d.Remaining())
+	}
+	return b, nil
+}
+
+// CtlRecord is the payload of a RecCtl WAL record: one applied live
+// workload change, with everything the original application derived
+// non-reproducibly — the IDs assigned to added queries and the plan the
+// optimizer chose — recorded so replay re-applies the change without
+// re-running the optimizer.
+type CtlRecord struct {
+	Add         []string
+	Remove      []int
+	AssignedIDs []int
+	Plan        core.Plan
+}
+
+// EncodeCtlRecord renders a control record payload.
+func EncodeCtlRecord(c CtlRecord) []byte {
+	e := &Encoder{}
+	e.Uvarint(uint64(len(c.Add)))
+	for _, s := range c.Add {
+		e.String(s)
+	}
+	e.Uvarint(uint64(len(c.Remove)))
+	for _, id := range c.Remove {
+		e.Varint(int64(id))
+	}
+	e.Uvarint(uint64(len(c.AssignedIDs)))
+	for _, id := range c.AssignedIDs {
+		e.Varint(int64(id))
+	}
+	EncodePlan(e, c.Plan)
+	return e.Bytes()
+}
+
+// DecodeCtlRecord parses a control record payload.
+func DecodeCtlRecord(payload []byte) (CtlRecord, error) {
+	d := NewDecoder(payload)
+	var c CtlRecord
+	na := d.Len()
+	for i := 0; i < na && d.Err() == nil; i++ {
+		c.Add = append(c.Add, d.String())
+	}
+	nr := d.Len()
+	for i := 0; i < nr && d.Err() == nil; i++ {
+		c.Remove = append(c.Remove, int(d.Varint()))
+	}
+	ni := d.Len()
+	for i := 0; i < ni && d.Err() == nil; i++ {
+		c.AssignedIDs = append(c.AssignedIDs, int(d.Varint()))
+	}
+	c.Plan = DecodePlan(d)
+	if d.Err() != nil {
+		return CtlRecord{}, d.Err()
+	}
+	if d.Remaining() != 0 {
+		return CtlRecord{}, fmt.Errorf("persist: %d trailing bytes in ctl record", d.Remaining())
+	}
+	return c, nil
+}

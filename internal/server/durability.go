@@ -1,0 +1,375 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	sharon "github.com/sharon-project/sharon"
+	"github.com/sharon-project/sharon/internal/metrics"
+	"github.com/sharon-project/sharon/internal/persist"
+)
+
+// Durability: with Config.DataDir set, the server runs a write-ahead
+// log plus periodic engine checkpoints, and a restart resumes exactly
+// where the crashed process stopped.
+//
+// The invariants, in pump order:
+//
+//  1. Every applied pump step is logged before it touches the engine: a
+//     RecBatch record holds the late-filtered events and the effective
+//     watermark, a RecCtl record holds a live workload change with the
+//     IDs and plan the original application chose. The write syscall
+//     completes before the engine sees the step, so kill -9 can lose
+//     queued-but-unapplied work (the client re-sends past the server's
+//     published watermark) but never applied work.
+//  2. A checkpoint is a consistent cut at the current watermark: the
+//     engine snapshot (taken quiesced — the parallel executor barriers
+//     its workers and merge stage), the emission sequence cursor, and
+//     the replay ring. Everything at or below the watermark has been
+//     emitted; everything above it is in the snapshot.
+//  3. Restart = load newest valid checkpoint, replay the WAL tail
+//     (records with seq > the checkpoint's cursor) through the same
+//     apply path, then serve. Replay regenerates the exact emission
+//     stream — same results, same sequence numbers — so the replay ring
+//     is contiguous across the crash and a subscriber resuming with
+//     ?after=<last seq> sees no gap and no duplicate.
+//  4. Checkpoints never run while a live workload change is draining
+//     its old system (two engines own disjoint window ranges then); the
+//     WAL covers the migration, and the next interval checkpoints the
+//     settled state.
+
+// replayRing retains the last N emissions (seq-contiguous by
+// construction) so a resuming subscription can be backfilled. The sink
+// appends from the pump or merge goroutine; subscription handlers and
+// the checkpointer read snapshots. Trimming advances a head index and
+// compacts the backing array only when half of it is dead, so append
+// stays amortized O(1) on the emission path (which PR 2 engineered to
+// zero per-event work) instead of copying the whole ring once full.
+type replayRing struct {
+	mu   sync.Mutex
+	buf  []persist.RingEntry
+	head int // index of the oldest retained entry in buf
+	max  int
+	next int64 // seq after the last appended entry
+}
+
+func newReplayRing(max int) *replayRing {
+	return &replayRing{max: max}
+}
+
+// append retains one emission; seq must be r.next (the sink's global
+// sequence is contiguous).
+func (r *replayRing) append(seq int64, payload []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf = append(r.buf, persist.RingEntry{Seq: seq, Payload: payload})
+	r.next = seq + 1
+	for len(r.buf)-r.head > r.max {
+		r.buf[r.head] = persist.RingEntry{} // release the payload
+		r.head++
+	}
+	if r.head > 64 && r.head*2 >= len(r.buf) {
+		n := copy(r.buf, r.buf[r.head:])
+		clear(r.buf[n:])
+		r.buf = r.buf[:n]
+		r.head = 0
+	}
+}
+
+// load seeds the ring from a checkpoint, trimmed to this instance's
+// bound (a restart may lower -replay-buffer below what the checkpoint
+// retained).
+func (r *replayRing) load(entries []persist.RingEntry, nextSeq int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if over := len(entries) - r.max; over > 0 {
+		entries = entries[over:]
+	}
+	r.buf = append([]persist.RingEntry(nil), entries...)
+	r.head = 0
+	r.next = nextSeq
+}
+
+// snapshot copies the retained entries (checkpointing).
+func (r *replayRing) snapshot() []persist.RingEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]persist.RingEntry(nil), r.buf[r.head:]...)
+}
+
+// since returns the retained entries with Seq > after, plus the first
+// sequence number actually available. gap is true when a concrete
+// cursor cannot be served exactly: emissions in (after, first) have
+// aged out of the ring, or after refers to emissions that never
+// happened (a client resuming against a server whose sequence
+// restarted — serving it would silently skip everything up to the
+// phantom cursor). after = -1 is the documented "everything retained"
+// request and never gaps; the client's own contiguity check flags a
+// trimmed head.
+func (r *replayRing) since(after int64) (entries []persist.RingEntry, gap bool, first int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	live := r.buf[r.head:]
+	first = r.next - int64(len(live))
+	if after >= 0 && ((after+1 < first && r.next > after+1) || after >= r.next) {
+		gap = true
+	}
+	for _, e := range live {
+		if e.Seq > after {
+			entries = append(entries, e)
+		}
+	}
+	return entries, gap, first
+}
+
+// initDurability opens the WAL and, when a checkpoint exists, rebuilds
+// the registry, workload, and engine state from it. Called from New
+// before the pump starts; the pump replays the WAL tail as its first
+// act, with /healthz reporting "recovering" until it finishes.
+func (s *Server) initDurability() error {
+	walOpts := persist.WALOptions{
+		SegmentBytes: s.cfg.WALSegmentBytes,
+		Fsync:        s.cfg.Fsync,
+		FsyncEvery:   s.cfg.FsyncEvery,
+		Logf:         s.cfg.Logf,
+	}
+	ck, err := persist.LoadLatestCheckpoint(s.cfg.DataDir, s.cfg.Logf)
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	wal, err := persist.OpenWAL(s.cfg.DataDir, walOpts)
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	// A failing boot discards the *Server; close the segment handle
+	// instead of leaking it to GC finalization.
+	fail := func(err error) error {
+		wal.Close()
+		return err
+	}
+	s.wal = wal
+	s.appliedSeq = -1
+	s.recovering.Store(true)
+	if ck == nil {
+		return nil // fresh directory, or WAL-only tail: pump replays from scratch
+	}
+	// A power failure can persist a checkpoint whose newest covered WAL
+	// records never hit the disk (the torn tail truncated below the
+	// cursor). Everything the surviving log holds is then covered by
+	// the checkpoint, but appends must not reuse sequence numbers at or
+	// below the cursor — the next recovery would skip them. Restart the
+	// log just past the cursor.
+	if ck.WALSeq >= wal.NextSeq() {
+		s.cfg.Logf("wal ends at seq %d below checkpoint cursor %d; resetting log past the cursor", wal.NextSeq()-1, ck.WALSeq)
+		if err := wal.Reset(ck.WALSeq + 1); err != nil {
+			return fail(fmt.Errorf("server: wal reset: %w", err))
+		}
+	}
+
+	if ck.Parallelism != s.cfg.Parallelism {
+		return fail(fmt.Errorf("server: checkpoint was taken with -parallelism %d, running with %d (shard state is partitioned by worker count; restart with the recorded value)", ck.Parallelism, s.cfg.Parallelism))
+	}
+	if ck.Dynamic != s.cfg.Dynamic {
+		return fail(fmt.Errorf("server: checkpoint was taken with -dynamic=%v, running with %v", ck.Dynamic, s.cfg.Dynamic))
+	}
+	// The checkpoint's workload wins over -query flags: it includes live
+	// registrations the flags cannot know about.
+	for _, name := range ck.RegistryNames {
+		s.reg.Intern(name)
+	}
+	entries := make([]queryEntry, len(ck.Queries))
+	for i, q := range ck.Queries {
+		pq, err := sharon.ParseQuery(q.Text, s.reg)
+		if err != nil {
+			return fail(fmt.Errorf("server: checkpoint query %d: %w", q.ID, err))
+		}
+		pq.ID = q.ID
+		entries[i] = queryEntry{ID: q.ID, Text: q.Text, Q: pq}
+	}
+	s.nextID = ck.NextQueryID
+
+	cur, err := s.buildSystem(entries, s.configuredRates(workloadOf(entries)), ck.Plan, 0)
+	if err != nil {
+		return fail(fmt.Errorf("server: rebuild from checkpoint: %w", err))
+	}
+	if ck.State != nil {
+		if err := cur.eng.Restore(ck.State); err != nil {
+			cur.eng.Close()
+			return fail(fmt.Errorf("server: restore engine state: %w", err))
+		}
+	}
+	s.cur = cur
+	s.wmState = ck.Watermark
+	s.wm.Store(ck.Watermark)
+	s.seq.Store(ck.NextEmitSeq)
+	s.emitted.Store(ck.Emitted)
+	s.ingested.Store(ck.EventsIngested)
+	s.batches.Store(ck.Batches)
+	s.typeCounts = ck.TypeCounts
+	if s.typeCounts == nil {
+		s.typeCounts = make(map[sharon.Type]float64)
+	}
+	s.countFrom = ck.CountFrom
+	s.ring.load(ck.Ring, ck.NextEmitSeq)
+	s.appliedSeq = ck.WALSeq
+	s.lastCkptAt.Store(ck.CreatedUnixNano)
+	s.cfg.Logf("recovered checkpoint at wal seq %d, watermark %d, %d queries, emit seq %d",
+		ck.WALSeq, ck.Watermark, len(entries), ck.NextEmitSeq)
+	return nil
+}
+
+// recoverWAL replays the log tail on the pump goroutine. Replayed
+// batches run through the same apply path as live ones, so the engine,
+// the counters, and the emission stream (sequence numbers included) end
+// up exactly where the crashed process had them.
+func (s *Server) recoverWAL() error {
+	start := time.Now()
+	err := s.wal.Replay(s.appliedSeq, func(rec persist.Record) error {
+		switch rec.Type {
+		case persist.RecBatch:
+			b, err := persist.DecodeBatchRecord(rec.Payload)
+			if err != nil {
+				return err
+			}
+			s.applyBatch(b.Events, b.Watermark)
+			s.replayedBatches.Add(1)
+			s.replayedEvents.Add(int64(len(b.Events)))
+		case persist.RecCtl:
+			c, err := persist.DecodeCtlRecord(rec.Payload)
+			if err != nil {
+				return err
+			}
+			if err := s.replayCtl(c); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unknown wal record type %d at seq %d", rec.Type, rec.Seq)
+		}
+		s.appliedSeq = rec.Seq
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("server: wal replay: %w", err)
+	}
+	if n := s.replayedBatches.Load(); n > 0 {
+		s.cfg.Logf("replayed %d wal batches (%d events) in %s; watermark %d",
+			n, s.replayedEvents.Load(), time.Since(start).Round(time.Millisecond), s.wmState)
+	}
+	return nil
+}
+
+// maybeCheckpoint writes a periodic checkpoint from the pump loop. The
+// timer starts at boot (recovery resets it), so a freshly started
+// server runs a full interval before its first cut.
+func (s *Server) maybeCheckpoint() {
+	if s.wal == nil || time.Since(s.lastCkptTimer) < s.cfg.CheckpointEvery {
+		return
+	}
+	s.checkpoint(false)
+}
+
+// checkpoint writes one checkpoint and truncates the WAL behind it.
+// Pump goroutine only. Skipped while a live workload change is still
+// draining its old system (the WAL covers that span; see the package
+// invariants above).
+func (s *Server) checkpoint(final bool) {
+	if s.wal == nil || s.old != nil {
+		return
+	}
+	// The checkpoint's WAL cursor is only meaningful if every record at
+	// or below it is on stable storage: sync before cutting, or a power
+	// failure could persist a checkpoint pointing past the log's end.
+	if err := s.wal.Sync(); err != nil {
+		s.cfg.Logf("checkpoint: wal sync: %v", err)
+		return
+	}
+	snap, err := s.cur.eng.Snapshot()
+	if err != nil {
+		s.cfg.Logf("checkpoint: snapshot: %v", err)
+		return
+	}
+	entries := make([]persist.QueryEntry, len(s.cur.entries))
+	for i, e := range s.cur.entries {
+		entries[i] = persist.QueryEntry{ID: e.ID, Text: e.Text}
+	}
+	counts := make(map[sharon.Type]float64, len(s.typeCounts))
+	for k, v := range s.typeCounts {
+		counts[k] = v
+	}
+	ck := &persist.Checkpoint{
+		CreatedUnixNano: time.Now().UnixNano(),
+		WALSeq:          s.appliedSeq,
+		Watermark:       s.wmState,
+		NextEmitSeq:     s.seq.Load(),
+		Emitted:         s.emitted.Load(),
+		EventsIngested:  s.ingested.Load(),
+		Batches:         s.batches.Load(),
+		NextQueryID:     s.nextID,
+		Parallelism:     s.cfg.Parallelism,
+		Dynamic:         s.cfg.Dynamic,
+		RegistryNames:   s.reg.Ordered(),
+		Queries:         entries,
+		Plan:            s.cur.plan,
+		TypeCounts:      counts,
+		CountFrom:       s.countFrom,
+		Ring:            s.ring.snapshot(),
+		State:           snap,
+	}
+	path, size, err := persist.WriteCheckpoint(s.cfg.DataDir, ck)
+	if err != nil {
+		s.cfg.Logf("checkpoint: %v", err)
+		return
+	}
+	s.lastCkptTimer = time.Now()
+	s.lastCkptAt.Store(ck.CreatedUnixNano)
+	s.lastCkptBytes.Store(size)
+	s.checkpoints.Add(1)
+	if err := s.wal.TruncateThrough(ck.WALSeq); err != nil {
+		s.cfg.Logf("checkpoint: wal truncate: %v", err)
+	}
+	s.publishDurabilityStats()
+	kind := "periodic"
+	if final {
+		kind = "final"
+	}
+	s.cfg.Logf("%s checkpoint at wal seq %d (watermark %d) -> %s", kind, ck.WALSeq, ck.Watermark, path)
+}
+
+// publishDurabilityStats refreshes the handler-visible WAL counters.
+// Pump goroutine (the WAL is pump-owned).
+func (s *Server) publishDurabilityStats() {
+	if s.wal == nil {
+		return
+	}
+	st := s.wal.Stats()
+	s.walStats.Store(&st)
+}
+
+// durabilityStats assembles the /metrics durability section; handler
+// goroutines (reads only atomics).
+func (s *Server) durabilityStats() *metrics.DurabilityStatsJSON {
+	if s.cfg.DataDir == "" {
+		return nil
+	}
+	d := &metrics.DurabilityStatsJSON{
+		FsyncPolicy:          s.cfg.Fsync.String(),
+		Checkpoints:          s.checkpoints.Load(),
+		LastCheckpointAgeSec: -1,
+		LastCheckpointBytes:  s.lastCkptBytes.Load(),
+		ReplayedBatches:      s.replayedBatches.Load(),
+		ReplayedEvents:       s.replayedEvents.Load(),
+		Recovering:           s.recovering.Load(),
+	}
+	if at := s.lastCkptAt.Load(); at > 0 {
+		d.LastCheckpointAgeSec = time.Since(time.Unix(0, at)).Seconds()
+	}
+	if st := s.walStats.Load(); st != nil {
+		d.WalBytes = st.Bytes
+		d.WalSegments = st.Segments
+		d.WalNextSeq = st.NextSeq
+		d.WalAppended = st.Appended
+		d.WalSyncs = st.Syncs
+	}
+	return d
+}

@@ -5,6 +5,16 @@ import (
 	"sync/atomic"
 )
 
+// resultFrame is one encoded result on its way to subscribers: the
+// global emission sequence number plus the wire payload. Carrying the
+// seq beside the payload lets a resuming subscription (?after=N)
+// deduplicate the overlap between its replay-ring read and its live
+// channel without re-parsing JSON.
+type resultFrame struct {
+	seq     int64
+	payload []byte
+}
+
 // subscriber is one live result subscription. Encoded results are
 // delivered through a bounded channel; the hub never blocks on a
 // subscriber — a full buffer means the consumer is slower than the
@@ -12,7 +22,7 @@ import (
 // disconnect policy) rather than letting one connection backpressure
 // the engine or the other subscribers.
 type subscriber struct {
-	ch    chan []byte
+	ch    chan resultFrame
 	query int // filter: only results of this query ID; -1 = all
 	slow  bool
 }
@@ -42,7 +52,7 @@ func (h *hub) subscribe(query int, buf int) *subscriber {
 	if h.closed {
 		return nil
 	}
-	s := &subscriber{ch: make(chan []byte, buf), query: query}
+	s := &subscriber{ch: make(chan resultFrame, buf), query: query}
 	h.subs[s] = struct{}{}
 	return s
 }
@@ -61,7 +71,7 @@ func (h *hub) unsubscribe(s *subscriber) {
 // publish delivers one encoded result to every matching subscriber.
 // A subscriber whose buffer is full is marked slow and dropped: its
 // channel closes, and its handler terminates the connection.
-func (h *hub) publish(query int, payload []byte) {
+func (h *hub) publish(query int, seq int64, payload []byte) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	for s := range h.subs {
@@ -69,7 +79,7 @@ func (h *hub) publish(query int, payload []byte) {
 			continue
 		}
 		select {
-		case s.ch <- payload:
+		case s.ch <- resultFrame{seq: seq, payload: payload}:
 			h.delivered.Add(1)
 		default:
 			s.slow = true

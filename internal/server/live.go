@@ -9,6 +9,7 @@ import (
 	"time"
 
 	sharon "github.com/sharon-project/sharon"
+	"github.com/sharon-project/sharon/internal/persist"
 )
 
 // Live query registration (the paper's workload-evolution scenario,
@@ -65,24 +66,26 @@ func (s *Server) diffPlans(oldPlan sharon.Plan, oldW sharon.Workload, newPlan sh
 	return d
 }
 
-// applyCtl executes a live workload change on the pump goroutine.
-func (s *Server) applyCtl(req *ctlReq) {
-	reply := func(status int, body any) {
-		req.reply <- ctlReply{status: status, body: body}
-	}
-	if s.old != nil {
-		reply(http.StatusConflict, map[string]string{
-			"error": "previous workload change still draining; retry after its boundary closes"})
-		return
-	}
-	if !s.cur.uniform {
-		reply(http.StatusConflict, map[string]string{
-			"error": "live registration requires a uniform workload (same window, grouping, predicates)"})
-		return
-	}
+// ctlError carries a user-addressable control-plane failure.
+type ctlError struct {
+	status int
+	msg    string
+}
 
+func (e *ctlError) Error() string { return e.msg }
+
+func ctlErrf(status int, format string, args ...any) *ctlError {
+	return &ctlError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+// editEntries assembles the post-change query list: removals by ID,
+// additions parsed and uniformity-checked against the running workload.
+// assigned supplies the IDs for added queries (WAL replay re-applies a
+// recorded change); nil allocates fresh IDs from s.nextID. Pump
+// goroutine (owns the registry and nextID).
+func (s *Server) editEntries(add []string, remove []int, assigned []int) ([]queryEntry, []int, *ctlError) {
 	entries := append([]queryEntry(nil), s.cur.entries...)
-	for _, id := range req.remove {
+	for _, id := range remove {
 		at := -1
 		for i, e := range entries {
 			if e.ID == id {
@@ -91,16 +94,18 @@ func (s *Server) applyCtl(req *ctlReq) {
 			}
 		}
 		if at < 0 {
-			reply(http.StatusNotFound, map[string]string{"error": fmt.Sprintf("no query %d", id)})
-			return
+			return nil, nil, ctlErrf(http.StatusNotFound, "no query %d", id)
 		}
 		entries = append(entries[:at], entries[at+1:]...)
 	}
-	for _, text := range req.add {
+	if assigned != nil && len(assigned) != len(add) {
+		return nil, nil, ctlErrf(http.StatusBadRequest, "recorded change has %d ids for %d queries", len(assigned), len(add))
+	}
+	ids := make([]int, 0, len(add))
+	for i, text := range add {
 		q, err := sharon.ParseQuery(text, s.reg)
 		if err != nil {
-			reply(http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("parse: %v", err)})
-			return
+			return nil, nil, ctlErrf(http.StatusBadRequest, "parse: %v", err)
 		}
 		// The hand-off boundary is a window index of the current uniform
 		// window; a query with a different window (or grouping or
@@ -108,37 +113,46 @@ func (s *Server) applyCtl(req *ctlReq) {
 		// miss their pre-registration events. Enforce uniformity against
 		// the running system, not just within the new workload.
 		if !uniform(sharon.Workload{s.cur.entries[0].Q, q}) {
-			reply(http.StatusBadRequest, map[string]string{"error": fmt.Sprintf(
-				"query %q does not match the running workload's window/grouping/predicates (live registration requires a uniform workload)", text)})
-			return
+			return nil, nil, ctlErrf(http.StatusBadRequest,
+				"query %q does not match the running workload's window/grouping/predicates (live registration requires a uniform workload)", text)
 		}
-		q.ID = s.nextID
-		s.nextID++
+		if assigned != nil {
+			q.ID = assigned[i]
+			if q.ID >= s.nextID {
+				s.nextID = q.ID + 1
+			}
+		} else {
+			q.ID = s.nextID
+			s.nextID++
+		}
+		ids = append(ids, q.ID)
 		entries = append(entries, queryEntry{ID: q.ID, Text: text, Q: q})
 	}
 	if len(entries) == 0 {
-		reply(http.StatusBadRequest, map[string]string{"error": "workload cannot become empty"})
-		return
+		return nil, nil, ctlErrf(http.StatusBadRequest, "workload cannot become empty")
 	}
+	return entries, ids, nil
+}
 
-	newW := workloadOf(entries)
+// ctlRates resolves the rates a workload change optimizes under.
+func (s *Server) ctlRates(newW sharon.Workload) sharon.Rates {
 	rates := s.measuredRates()
 	if rates == nil {
-		rates = s.configuredRates(newW)
-	} else {
-		// Types the stream has not shown yet still need a rate entry.
-		for t := range newW.Types() {
-			if _, ok := rates[t]; !ok {
-				rates[t] = 1
-			}
+		return s.configuredRates(newW)
+	}
+	// Types the stream has not shown yet still need a rate entry.
+	for t := range newW.Types() {
+		if _, ok := rates[t]; !ok {
+			rates[t] = 1
 		}
 	}
-	plan, _, err := sharon.Optimize(newW, rates)
-	if err != nil {
-		reply(http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("optimize: %v", err)})
-		return
-	}
+	return rates
+}
 
+// buildNextWorkload runs the fallible half of a workload change: the
+// hand-off boundary and the new system, built but not yet installed.
+// Pump goroutine.
+func (s *Server) buildNextWorkload(entries []queryEntry, rates sharon.Rates, plan sharon.Plan) (int64, *builtSystem, *ctlError) {
 	// The new system owns windows from the first one starting after the
 	// watermark; before any event everything starts fresh at window 0.
 	boundary := int64(0)
@@ -147,11 +161,17 @@ func (s *Server) applyCtl(req *ctlReq) {
 	}
 	next, err := s.buildSystem(entries, rates, plan, boundary)
 	if err != nil {
-		reply(http.StatusBadRequest, map[string]string{"error": err.Error()})
-		return
+		return 0, nil, ctlErrf(http.StatusBadRequest, "%v", err)
 	}
+	return boundary, next, nil
+}
 
-	oldPlan, oldW := s.cur.plan, workloadOf(s.cur.entries)
+// installWorkload swaps the built system in, retiring (or draining) the
+// old one. Infallible by construction: everything that can fail runs in
+// buildNextWorkload, BEFORE the change is logged to the WAL — a logged
+// change must always be installable, or replaying it would wedge
+// recovery on a failure the live path shrugged off. Pump goroutine.
+func (s *Server) installWorkload(entries []queryEntry, boundary int64, next *builtSystem) {
 	if boundary == 0 {
 		// Nothing was ever fed: replace outright, nothing to drain.
 		s.cur.eng.Close()
@@ -165,7 +185,62 @@ func (s *Server) applyCtl(req *ctlReq) {
 	s.publishView()
 	s.cfg.Logf("workload change: %d queries, boundary window %d, plan %s",
 		len(entries), boundary, s.loadView().plan)
+}
 
+// ctlApplicable reports whether a workload change can run right now.
+func (s *Server) ctlApplicable() *ctlError {
+	if s.old != nil {
+		return ctlErrf(http.StatusConflict, "previous workload change still draining; retry after its boundary closes")
+	}
+	if !s.cur.uniform {
+		return ctlErrf(http.StatusConflict, "live registration requires a uniform workload (same window, grouping, predicates)")
+	}
+	return nil
+}
+
+// applyCtl executes a live workload change on the pump goroutine.
+func (s *Server) applyCtl(req *ctlReq) {
+	reply := func(status int, body any) {
+		req.reply <- ctlReply{status: status, body: body}
+	}
+	fail := func(ce *ctlError) { reply(ce.status, map[string]string{"error": ce.msg}) }
+	if ce := s.ctlApplicable(); ce != nil {
+		fail(ce)
+		return
+	}
+	entries, assigned, ce := s.editEntries(req.add, req.remove, nil)
+	if ce != nil {
+		fail(ce)
+		return
+	}
+	newW := workloadOf(entries)
+	rates := s.ctlRates(newW)
+	plan, _, err := sharon.Optimize(newW, rates)
+	if err != nil {
+		fail(ctlErrf(http.StatusBadRequest, "optimize: %v", err))
+		return
+	}
+	oldPlan, oldW := s.cur.plan, workloadOf(s.cur.entries)
+	boundary, next, ce := s.buildNextWorkload(entries, rates, plan)
+	if ce != nil {
+		fail(ce)
+		return
+	}
+	// Log the change — with the assigned IDs and the chosen plan, the
+	// two things replay cannot rederive — after the fallible build and
+	// before the infallible install, so a logged record always replays.
+	if s.wal != nil {
+		rec := persist.CtlRecord{Add: req.add, Remove: req.remove, AssignedIDs: assigned, Plan: plan}
+		seq, werr := s.wal.Append(persist.RecCtl, persist.EncodeCtlRecord(rec))
+		if werr != nil {
+			next.eng.Close()
+			s.fail(werr)
+			fail(ctlErrf(http.StatusInternalServerError, "wal: %v", werr))
+			return
+		}
+		s.appliedSeq = seq
+	}
+	s.installWorkload(entries, boundary, next)
 	reply(http.StatusOK, map[string]any{
 		"queries":              s.queryList(),
 		"plan":                 s.loadView().plan,
@@ -175,6 +250,26 @@ func (s *Server) applyCtl(req *ctlReq) {
 		"boundary_start_tick":  s.cur.win.Start(boundary),
 		"draining_old_windows": s.old != nil,
 	})
+}
+
+// replayCtl re-applies a recorded workload change during WAL recovery:
+// the same install path as applyCtl, but with the recorded IDs and plan
+// instead of fresh allocation and a fresh optimizer run.
+func (s *Server) replayCtl(rec persist.CtlRecord) error {
+	if ce := s.ctlApplicable(); ce != nil {
+		return fmt.Errorf("replay ctl: %s", ce.msg)
+	}
+	entries, _, ce := s.editEntries(rec.Add, rec.Remove, rec.AssignedIDs)
+	if ce != nil {
+		return fmt.Errorf("replay ctl: %s", ce.msg)
+	}
+	rates := s.ctlRates(workloadOf(entries))
+	boundary, next, ce := s.buildNextWorkload(entries, rates, rec.Plan)
+	if ce != nil {
+		return fmt.Errorf("replay ctl: %s", ce.msg)
+	}
+	s.installWorkload(entries, boundary, next)
+	return nil
 }
 
 // sendCtl submits a control request through the same bounded queue as

@@ -14,6 +14,7 @@ import (
 
 	sharon "github.com/sharon-project/sharon"
 	"github.com/sharon-project/sharon/internal/metrics"
+	"github.com/sharon-project/sharon/internal/persist"
 )
 
 // DefaultQueries is the demo workload (one shared (C,D) segment over
@@ -57,6 +58,23 @@ type Config struct {
 	// results (default 4096); a subscriber that falls further behind is
 	// disconnected (slow-consumer policy).
 	SubscriberBuffer int
+	// ReplayBuffer bounds the retained recent-emission ring that
+	// /subscribe?after=N resumes from (default 16384 results).
+	ReplayBuffer int
+
+	// DataDir enables durability: an append-only WAL of applied ingest
+	// steps plus periodic engine checkpoints live under this directory,
+	// and a restart recovers the serving state from them. Empty =
+	// in-memory only (the pre-durability behavior).
+	DataDir string
+	// CheckpointEvery is the periodic checkpoint interval (default 10s).
+	CheckpointEvery time.Duration
+	// Fsync is the WAL sync policy (default persist.FsyncInterval);
+	// FsyncEvery is the FsyncInterval period (default 1s).
+	Fsync      persist.FsyncPolicy
+	FsyncEvery time.Duration
+	// WALSegmentBytes sets the WAL segment rotation size (default 16 MiB).
+	WALSegmentBytes int64
 	// HeartbeatEvery is the SSE keep-alive comment interval (default 15s).
 	HeartbeatEvery time.Duration
 	// WriteTimeout is the per-write deadline on subscription streams and
@@ -68,6 +86,9 @@ type Config struct {
 	// pumpGate, when non-nil, stalls the pump before each consumed
 	// message until the channel yields (tests force queue buildup).
 	pumpGate chan struct{}
+	// recoveryGate, when non-nil, stalls the pump before WAL replay
+	// until the channel yields (tests observe the recovering state).
+	recoveryGate chan struct{}
 }
 
 func (c *Config) fill() {
@@ -79,6 +100,15 @@ func (c *Config) fill() {
 	}
 	if c.SubscriberBuffer <= 0 {
 		c.SubscriberBuffer = 4096
+	}
+	if c.ReplayBuffer <= 0 {
+		c.ReplayBuffer = 16384
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 10 * time.Second
+	}
+	if c.FsyncEvery <= 0 {
+		c.FsyncEvery = time.Second
 	}
 	if c.HeartbeatEvery <= 0 {
 		c.HeartbeatEvery = 15 * time.Second
@@ -140,61 +170,100 @@ type Server struct {
 	countFrom   int64
 	lastStatsAt time.Time
 
+	// Durability (nil wal = disabled). The WAL, appliedSeq, and the
+	// checkpoint timer are owned by the pump after recovery; the ring is
+	// internally synchronized.
+	wal           *persist.WAL
+	ring          *replayRing
+	appliedSeq    int64
+	lastCkptTimer time.Time
+
 	// Counters, written by the pump/sink, read by the handlers.
-	seq            atomic.Int64
-	emitted        atomic.Int64
-	ingested       atomic.Int64
-	droppedLate    atomic.Int64
-	droppedUnknown atomic.Int64
-	batches        atomic.Int64
-	rej429         atomic.Int64
-	rej413         atomic.Int64
-	migrations     atomic.Int64
-	wm             atomic.Int64
-	maxAdvance     atomic.Int64
-	peakStates     atomic.Int64
-	parStats       atomic.Pointer[metrics.ParallelStatsJSON]
-	runErr         atomic.Value // string
+	seq             atomic.Int64
+	emitted         atomic.Int64
+	ingested        atomic.Int64
+	droppedLate     atomic.Int64
+	droppedUnknown  atomic.Int64
+	batches         atomic.Int64
+	rej429          atomic.Int64
+	rej413          atomic.Int64
+	migrations      atomic.Int64
+	wm              atomic.Int64
+	maxAdvance      atomic.Int64
+	peakStates      atomic.Int64
+	parStats        atomic.Pointer[metrics.ParallelStatsJSON]
+	runErr          atomic.Value // string
+	recovering      atomic.Bool
+	replayedBatches atomic.Int64
+	replayedEvents  atomic.Int64
+	checkpoints     atomic.Int64
+	lastCkptAt      atomic.Int64
+	lastCkptBytes   atomic.Int64
+	walStats        atomic.Pointer[persist.WALStats]
 }
 
 // New builds the workload, starts the engine and the pump, and returns
 // a server ready to have Handler served. Stop it with Drain.
+//
+// With Config.DataDir set, New loads the newest checkpoint (its
+// workload — including live-registered queries — overrides
+// Config.Queries) and the pump replays the WAL tail before consuming
+// new work; /healthz reports "recovering" (503) until replay completes.
 func New(cfg Config) (*Server, error) {
 	cfg.fill()
-	if len(cfg.Queries) == 0 {
-		return nil, fmt.Errorf("server: no queries configured")
-	}
 	s := &Server{
-		cfg:        cfg,
-		reg:        sharon.NewRegistry(),
-		hub:        newHub(),
-		start:      time.Now(),
-		ingest:     make(chan pumpMsg, cfg.IngestQueue),
-		drainReq:   make(chan struct{}),
-		pumpDone:   make(chan struct{}),
-		wmState:    -1,
-		typeCounts: make(map[sharon.Type]float64),
-		countFrom:  -1,
+		cfg:           cfg,
+		reg:           sharon.NewRegistry(),
+		hub:           newHub(),
+		ring:          newReplayRing(cfg.ReplayBuffer),
+		start:         time.Now(),
+		ingest:        make(chan pumpMsg, cfg.IngestQueue),
+		drainReq:      make(chan struct{}),
+		pumpDone:      make(chan struct{}),
+		wmState:       -1,
+		typeCounts:    make(map[sharon.Type]float64),
+		countFrom:     -1,
+		appliedSeq:    -1,
+		lastCkptTimer: time.Now(),
 	}
 	s.wm.Store(-1)
 
-	entries := make([]queryEntry, len(cfg.Queries))
-	for i, text := range cfg.Queries {
-		q, err := sharon.ParseQuery(text, s.reg)
-		if err != nil {
-			return nil, fmt.Errorf("server: query %d: %w", i, err)
+	if cfg.DataDir != "" {
+		if err := s.initDurability(); err != nil {
+			return nil, err
 		}
-		q.ID = i
-		entries[i] = queryEntry{ID: i, Text: text, Q: q}
 	}
-	s.nextID = len(entries)
+	if s.cur == nil { // no checkpoint: compile the configured workload
+		// A boot failure past this point discards the server; the WAL
+		// handle initDurability may have opened must not leak with it.
+		fail := func(err error) (*Server, error) {
+			if s.wal != nil {
+				s.wal.Close()
+			}
+			return nil, err
+		}
+		if len(cfg.Queries) == 0 {
+			return fail(fmt.Errorf("server: no queries configured"))
+		}
+		entries := make([]queryEntry, len(cfg.Queries))
+		for i, text := range cfg.Queries {
+			q, err := sharon.ParseQuery(text, s.reg)
+			if err != nil {
+				return fail(fmt.Errorf("server: query %d: %w", i, err))
+			}
+			q.ID = i
+			entries[i] = queryEntry{ID: i, Text: text, Q: q}
+		}
+		s.nextID = len(entries)
 
-	cur, err := s.buildSystem(entries, s.configuredRates(workloadOf(entries)), nil, 0)
-	if err != nil {
-		return nil, fmt.Errorf("server: %w", err)
+		cur, err := s.buildSystem(entries, s.configuredRates(workloadOf(entries)), nil, 0)
+		if err != nil {
+			return fail(fmt.Errorf("server: %w", err))
+		}
+		s.cur = cur
 	}
-	s.cur = cur
 	s.publishView()
+	s.publishDurabilityStats()
 	s.routes()
 	go s.pump()
 	return s, nil
@@ -270,6 +339,25 @@ func (s *Server) loadView() *workloadView { return s.view.Load().(*workloadView)
 // open window into the hub before shutting the subscriptions down.
 func (s *Server) pump() {
 	defer close(s.pumpDone)
+	if s.wal != nil {
+		if s.cfg.recoveryGate != nil {
+			<-s.cfg.recoveryGate
+		}
+		if err := s.recoverWAL(); err != nil {
+			s.fail(err)
+		}
+		s.recovering.Store(false)
+		s.publishDurabilityStats()
+	}
+	// On the FsyncInterval policy, a quiet stream's WAL tail must still
+	// reach stable storage within FsyncEvery: Append-driven syncing
+	// stops the moment traffic does, so the pump ticks an idle sync.
+	var idleSync <-chan time.Time
+	if s.wal != nil && s.cfg.Fsync == persist.FsyncInterval {
+		t := time.NewTicker(s.cfg.FsyncEvery)
+		defer t.Stop()
+		idleSync = t.C
+	}
 	for {
 		select {
 		case msg := <-s.ingest:
@@ -277,6 +365,10 @@ func (s *Server) pump() {
 				<-s.cfg.pumpGate
 			}
 			s.step(msg)
+		case <-idleSync:
+			if err := s.wal.SyncIfDirty(); err != nil {
+				s.fail(err)
+			}
 		case <-s.drainReq:
 			for {
 				select {
@@ -299,10 +391,48 @@ func (s *Server) step(msg pumpMsg) {
 	b := msg.batch
 	// Drop late events: the watermark is a promise already made to the
 	// engine; a slow client replaying the past cannot corrupt the run.
+	// After a restart the watermark comes back from the checkpoint+WAL,
+	// so a client re-sending past the published watermark deduplicates
+	// here — the delivery-retry half of exactly-once ingestion.
 	events := b.Events
 	for len(events) > 0 && events[0].Time <= s.wmState {
 		events = events[1:]
 		s.droppedLate.Add(1)
+	}
+	// Resolve the effective watermark against the post-batch stream
+	// position so the logged record captures exactly what is applied.
+	base := s.wmState
+	if len(events) > 0 {
+		base = events[len(events)-1].Time
+	}
+	wm := int64(-1)
+	if v := s.clampWatermarkFrom(base, b.Watermark); v > base {
+		wm = v
+	}
+	if len(events) == 0 && wm < 0 {
+		return // fully late / no-op step: nothing to log or apply
+	}
+	// Log before apply: a crash after this point replays the step.
+	if s.wal != nil {
+		seq, err := s.wal.Append(persist.RecBatch, persist.EncodeBatchRecord(persist.BatchRecord{Events: events, Watermark: wm}))
+		if err != nil {
+			s.fail(err)
+			return
+		}
+		s.appliedSeq = seq
+	}
+	s.applyBatch(events, wm)
+	s.maybeCheckpoint()
+}
+
+// applyBatch feeds one late-filtered batch and effective watermark into
+// the engines: the single apply path shared by live ingestion and WAL
+// replay, so a replayed step is indistinguishable from the original.
+func (s *Server) applyBatch(events []sharon.Event, wm int64) {
+	// Replay defense: the records are logged post-filter, but a step is
+	// only correct against the watermark it was logged under.
+	for len(events) > 0 && events[0].Time <= s.wmState {
+		events = events[1:]
 	}
 	if len(events) > 0 {
 		if s.countFrom < 0 {
@@ -319,7 +449,7 @@ func (s *Server) step(msg pumpMsg) {
 		s.batches.Add(1)
 		s.wmState = events[len(events)-1].Time
 	}
-	if wm := s.clampWatermark(b.Watermark); wm > s.wmState {
+	if wm > s.wmState {
 		s.wmState = wm
 		// Draining system first, as in feed/finish: its windows precede
 		// the boundary, so a watermark straddling a migration must emit
@@ -344,17 +474,16 @@ func (s *Server) feed(events []sharon.Event) error {
 	return s.cur.eng.FeedBatch(events)
 }
 
-// clampWatermark bounds a requested watermark to the pump's current
-// stream position plus the per-message advancement cap (see
+// clampWatermarkFrom bounds a requested watermark to the given stream
+// position plus the per-message advancement cap (see
 // publishMaxAdvance). The clamp is sound — a watermark is a lower-bound
 // promise, so honoring less of it never corrupts results — and a
 // legitimate client advancing a quiet stream simply sends the next
 // watermark message.
-func (s *Server) clampWatermark(wm int64) int64 {
+func (s *Server) clampWatermarkFrom(base, wm int64) int64 {
 	if wm < 0 {
 		return wm
 	}
-	base := s.wmState
 	if base < 0 {
 		base = 0
 	}
@@ -401,9 +530,31 @@ func (s *Server) fail(err error) {
 	s.runErr.CompareAndSwap(nil, err.Error())
 }
 
-// finish is the drain tail: flush everything, deliver the last
-// results, end the subscriptions.
+// finish is the drain tail. Without durability it flushes every open
+// window into the subscriptions (the stream ends here, emit what we
+// have). With durability the open windows are the next incarnation's
+// state: finish writes a final checkpoint instead of flushing, so a
+// SIGTERM'd node hands its exact position to its successor and no
+// window is ever emitted twice — once partial at drain, once complete
+// after restart — across the pair.
 func (s *Server) finish() {
+	if s.wal != nil {
+		s.publishEngineStats(true)
+		s.checkpoint(true) // no-op while a workload change drains; the WAL covers it
+		if err := s.wal.Close(); err != nil {
+			s.cfg.Logf("wal close: %v", err)
+		}
+		s.publishDurabilityStats()
+		if s.old != nil {
+			s.old.eng.Close()
+			s.old = nil
+		}
+		s.cur.eng.Close()
+		s.hub.shutdown()
+		s.cfg.Logf("drained (durable): %d events, %d results, final checkpoint at wal seq %d",
+			s.ingested.Load(), s.emitted.Load(), s.appliedSeq)
+		return
+	}
 	if s.old != nil {
 		if err := s.old.eng.Flush(); err != nil {
 			s.fail(err)
@@ -612,12 +763,42 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 		}
 		queryID = id
 	}
+	// after=N resumes a dropped subscription: results with seq > N are
+	// replayed from the retained ring before the live stream continues,
+	// so a subscriber that survives a server restart (or its own
+	// reconnect) sees a gap-free, duplicate-free sequence. after=-1
+	// replays everything still retained; no after parameter = live only.
+	after, resume := int64(-1), false
+	if as := r.URL.Query().Get("after"); as != "" {
+		v, err := strconv.ParseInt(as, 10, 64)
+		if err != nil || v < -1 {
+			writeErr(w, http.StatusBadRequest, "bad after %q", as)
+			return
+		}
+		if queryID >= 0 {
+			writeErr(w, http.StatusBadRequest, "after= resume requires an unfiltered subscription (the replay ring is not per-query)")
+			return
+		}
+		after, resume = v, true
+	}
 	sub := s.hub.subscribe(queryID, s.cfg.SubscriberBuffer)
 	if sub == nil {
 		writeErr(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
 	defer s.hub.unsubscribe(sub)
+	// Snapshot the ring after subscribing: every emission is in the
+	// snapshot, in the live channel, or both — the seq skip below
+	// removes the overlap.
+	var backlog []persist.RingEntry
+	if resume {
+		entries, gap, first := s.ring.since(after)
+		if gap {
+			writeErr(w, http.StatusGone, "results after seq %d no longer retained (replay ring starts at %d); raise -replay-buffer or resubscribe from scratch", after, first)
+			return
+		}
+		backlog = entries
+	}
 
 	h := w.Header()
 	h.Set("Content-Type", "text/event-stream")
@@ -635,11 +816,18 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	if !write(": subscribed\n\n") {
 		return
 	}
+	lastSeq := after
+	for _, e := range backlog {
+		if !write("data: " + string(e.Payload) + "\n\n") {
+			return
+		}
+		lastSeq = e.Seq
+	}
 	heartbeat := time.NewTicker(s.cfg.HeartbeatEvery)
 	defer heartbeat.Stop()
 	for {
 		select {
-		case payload, open := <-sub.ch:
+		case frame, open := <-sub.ch:
 			if !open {
 				if sub.slow {
 					write("event: error\ndata: {\"error\":\"slow consumer\"}\n\n")
@@ -648,7 +836,10 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 				}
 				return
 			}
-			if !write("data: " + string(payload) + "\n\n") {
+			if frame.seq <= lastSeq {
+				continue // already replayed from the ring
+			}
+			if !write("data: " + string(frame.payload) + "\n\n") {
 				return
 			}
 		case <-heartbeat.C:
@@ -687,6 +878,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		PeakLiveStates:           s.peakStates.Load(),
 		Draining:                 draining,
 		Parallel:                 s.parStats.Load(),
+		Durability:               s.durabilityStats(),
 	}
 	writeJSON(w, http.StatusOK, st)
 }
@@ -694,6 +886,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if errv := s.runErr.Load(); errv != nil {
 		writeJSON(w, http.StatusInternalServerError, map[string]string{"status": "error", "error": errv.(string)})
+		return
+	}
+	// A replaying node is not ready for traffic: load balancers must not
+	// route to it until the WAL tail has been re-applied.
+	if s.recovering.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status":           "recovering",
+			"replayed_batches": s.replayedBatches.Load(),
+		})
 		return
 	}
 	s.gate.RLock()

@@ -132,6 +132,7 @@ type sseClient struct {
 func subscribeSSE(t *testing.T, baseURL, params string) *sseClient {
 	t.Helper()
 	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel) // a failing test must not leave the stream holding its server open
 	c := &sseClient{ready: make(chan struct{}), done: make(chan struct{}), cancel: cancel}
 	req, err := http.NewRequestWithContext(ctx, "GET", baseURL+"/subscribe"+params, nil)
 	if err != nil {
@@ -484,9 +485,9 @@ func TestHubSlowConsumer(t *testing.T) {
 	h := newHub()
 	slow := h.subscribe(-1, 1)
 	fast := h.subscribe(-1, 8)
-	h.publish(0, []byte("r1"))
-	h.publish(0, []byte("r2")) // slow's buffer (1) is full: dropped
-	h.publish(0, []byte("r3"))
+	h.publish(0, 0, []byte("r1"))
+	h.publish(0, 1, []byte("r2")) // slow's buffer (1) is full: dropped
+	h.publish(0, 2, []byte("r3"))
 	if h.slowDrops.Load() != 1 {
 		t.Fatalf("slowDrops = %d, want 1", h.slowDrops.Load())
 	}
@@ -495,7 +496,7 @@ func TestHubSlowConsumer(t *testing.T) {
 	}
 	var got []string
 	for m := range slow.ch {
-		got = append(got, string(m))
+		got = append(got, string(m.payload))
 	}
 	if len(got) != 1 || !slow.slow {
 		t.Fatalf("slow subscriber: got %v, slow=%v", got, slow.slow)
@@ -503,7 +504,7 @@ func TestHubSlowConsumer(t *testing.T) {
 	var fastGot []string
 	h.shutdown()
 	for m := range fast.ch {
-		fastGot = append(fastGot, string(m))
+		fastGot = append(fastGot, string(m.payload))
 	}
 	if len(fastGot) != 3 || fast.slow {
 		t.Fatalf("fast subscriber: got %v, slow=%v", fastGot, fast.slow)

@@ -20,6 +20,8 @@ type engine interface {
 	ResultCount() int64
 	PeakMemoryStates() int64
 	ParallelStats() sharon.ParallelStats
+	Snapshot() (*sharon.StateSnapshot, error)
+	Restore(*sharon.StateSnapshot) error
 }
 
 // queryEntry is one registered query: its global ID (stable across live
@@ -82,15 +84,20 @@ func newSink(srv *Server, entries []queryEntry, lo int64) *sink {
 	return sk
 }
 
-// onResult is the OnResult callback: encode once, publish to every
-// matching subscriber.
+// onResult is the OnResult callback: encode once, retain in the replay
+// ring (the resumable-subscription backfill, persisted with each
+// checkpoint), publish to every matching subscriber. Ring before hub: a
+// subscriber resuming concurrently sees the emission in its ring read,
+// its live channel, or both — never neither — and deduplicates by seq.
 func (sk *sink) onResult(r sharon.Result) {
 	if r.Win < sk.lo || r.Win >= sk.hi.Load() {
 		return
 	}
 	seq := sk.srv.seq.Add(1) - 1
 	sk.srv.emitted.Add(1)
-	sk.srv.hub.publish(r.Query, EncodeResult(sk.qs, seq, r))
+	payload := EncodeResult(sk.qs, seq, r)
+	sk.srv.ring.append(seq, payload)
+	sk.srv.hub.publish(r.Query, seq, payload)
 }
 
 // builtSystem pairs a running system with its sink and metadata.

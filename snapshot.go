@@ -1,0 +1,100 @@
+package sharon
+
+import (
+	"fmt"
+	"runtime"
+
+	"github.com/sharon-project/sharon/internal/exec"
+)
+
+// StateSnapshot is the serializable runtime state of a system: open
+// window aggregates, live START records, stage combination snapshots,
+// and — for dynamic systems — the installed plan and rate counters. It
+// is produced by the systems' Snapshot methods and loaded by Restore;
+// internal/persist encodes it into the checkpoint file format.
+//
+// Snapshot must be called from the goroutine that feeds the system (the
+// parallel executors quiesce their workers under an internal barrier).
+// When Snapshot returns, every result for windows ending at or before
+// the system's watermark has been delivered through OnResult, and the
+// snapshot covers exactly the windows after it — so a checkpoint plus a
+// replay of the events that followed it reproduces the uninterrupted
+// emission stream with no lost and no duplicated windows.
+//
+// Restore must be called on a freshly constructed system of the same
+// shape — same workload, same plan inputs, and (for parallel systems)
+// the same Parallelism — before the first event. Mismatches are
+// detected and returned as errors rather than corrupting state.
+type StateSnapshot = exec.SystemSnapshot
+
+// Snapshot captures the system's runtime state for checkpointing.
+func (s *System) Snapshot() (*StateSnapshot, error) {
+	defer runtime.KeepAlive(s) // see reclaimOnDrop
+	return snapshotExecutor(s.executor)
+}
+
+// Restore loads a snapshot produced by an equivalent system's Snapshot.
+func (s *System) Restore(snap *StateSnapshot) error {
+	defer runtime.KeepAlive(s) // see reclaimOnDrop
+	return restoreExecutor(s.executor, snap)
+}
+
+// Snapshot captures the partitioned system's runtime state.
+func (s *PartitionedSystem) Snapshot() (*StateSnapshot, error) {
+	defer runtime.KeepAlive(s) // see reclaimOnDrop
+	return snapshotExecutor(s.executor)
+}
+
+// Restore loads a snapshot produced by an equivalent partitioned system.
+func (s *PartitionedSystem) Restore(snap *StateSnapshot) error {
+	defer runtime.KeepAlive(s) // see reclaimOnDrop
+	return restoreExecutor(s.executor, snap)
+}
+
+// Snapshot captures the dynamic system's runtime state, including the
+// installed plan, the rate-drift counters, and a mid-migration draining
+// engine, so a restored run migrates exactly where the original would.
+func (s *DynamicSystem) Snapshot() (*StateSnapshot, error) {
+	defer runtime.KeepAlive(s) // see reclaimOnDrop
+	return snapshotExecutor(s.executor)
+}
+
+// Restore loads a snapshot produced by an equivalent dynamic system.
+func (s *DynamicSystem) Restore(snap *StateSnapshot) error {
+	defer runtime.KeepAlive(s) // see reclaimOnDrop
+	return restoreExecutor(s.executor, snap)
+}
+
+// snapshotExecutor dispatches Snapshot across the executor kinds that
+// support durability (the online engines; the comparison baselines are
+// measurement-only and do not checkpoint).
+func snapshotExecutor(ex exec.Executor) (*StateSnapshot, error) {
+	switch e := ex.(type) {
+	case *exec.Engine:
+		return e.Snapshot(), nil
+	case *exec.Partitioned:
+		return e.Snapshot(), nil
+	case *exec.Dynamic:
+		return e.Snapshot(), nil
+	case *exec.Parallel:
+		return e.Snapshot()
+	}
+	return nil, fmt.Errorf("sharon: executor %T does not support snapshots", ex)
+}
+
+func restoreExecutor(ex exec.Executor, snap *StateSnapshot) error {
+	if snap == nil {
+		return fmt.Errorf("sharon: nil snapshot")
+	}
+	switch e := ex.(type) {
+	case *exec.Engine:
+		return e.Restore(snap)
+	case *exec.Partitioned:
+		return e.Restore(snap)
+	case *exec.Dynamic:
+		return e.Restore(snap)
+	case *exec.Parallel:
+		return e.Restore(snap)
+	}
+	return fmt.Errorf("sharon: executor %T does not support restore", ex)
+}
