@@ -4,7 +4,7 @@
 // tolerance — so CI catches performance regressions instead of only
 // smoke-compiling the benchmarks.
 //
-// Two metrics gate, with different comparisons:
+// Four metrics gate, with different comparisons:
 //
 //   - ns/event: relative — fresh > ref * (1 + tolerance) fails. CI
 //     runners are noisy, hence the generous default ±25%.
@@ -12,11 +12,20 @@
 //     hot path's reference is 0.00 allocs/event, where a relative
 //     tolerance would be vacuous; any reintroduced per-event
 //     allocation shows up as a whole unit.
+//   - events/sec: relative lower bound — fresh < ref * (1 - throughput
+//     tolerance) fails. Enabled with -throughput-tolerance > 0; used
+//     for the server loopback gate (BENCH_server.json).
+//   - p99 latency: relative upper bound — fresh > ref * (1 + latency
+//     tolerance) fails, skipped when the reference has no latency
+//     figure. Enabled with -latency-tolerance > 0.
 //
 // Usage:
 //
 //	go run ./cmd/sharon-bench -exp hotpath -json /tmp/bench
 //	go run ./cmd/sharon-benchgate -fresh /tmp/bench/BENCH_hotpath.json -ref BENCH_hotpath.json
+//	go run ./cmd/sharon-bench -exp server -json /tmp/bench
+//	go run ./cmd/sharon-benchgate -fresh /tmp/bench/BENCH_server.json -ref BENCH_server.json \
+//	  -throughput-tolerance 0.25 -latency-tolerance 0.25
 package main
 
 import (
@@ -47,6 +56,8 @@ func main() {
 		refPath     = flag.String("ref", "", "committed reference BENCH_<exp>.json")
 		tolerance   = flag.Float64("tolerance", 0.25, "relative ns/event regression tolerance")
 		allocBudget = flag.Float64("alloc-budget", 0.05, "absolute allocs/event regression budget")
+		tputTol     = flag.Float64("throughput-tolerance", 0, "relative events/sec regression tolerance (0 = not gated)")
+		latTol      = flag.Float64("latency-tolerance", 0, "relative p99 latency regression tolerance (0 = not gated)")
 	)
 	flag.Parse()
 	if *freshPath == "" || *refPath == "" {
@@ -86,6 +97,24 @@ func main() {
 		fmt.Printf("%-40s ns/event %8.1f vs ref %8.1f (limit %8.1f) %-9s  allocs/event %7.4f vs ref %7.4f (limit %7.4f) %s\n",
 			f.Name, f.NsPerEvent, r.NsPerEvent, nsLimit, nsVerdict,
 			f.AllocsPerEvent, r.AllocsPerEvent, allocLimit, allocVerdict)
+		if *tputTol > 0 && r.EventsPerSec > 0 {
+			floor := r.EventsPerSec * (1 - *tputTol)
+			verdict := "ok"
+			if f.EventsPerSec < floor {
+				verdict, failed = "REGRESSED", true
+			}
+			fmt.Printf("%-40s events/sec %10.0f vs ref %10.0f (floor %10.0f) %s\n",
+				f.Name, f.EventsPerSec, r.EventsPerSec, floor, verdict)
+		}
+		if *latTol > 0 && r.LatencyP99Ms > 0 {
+			limit := r.LatencyP99Ms * (1 + *latTol)
+			verdict := "ok"
+			if f.LatencyP99Ms > limit {
+				verdict, failed = "REGRESSED", true
+			}
+			fmt.Printf("%-40s p99 ms %12.2f vs ref %12.2f (limit %12.2f) %s\n",
+				f.Name, f.LatencyP99Ms, r.LatencyP99Ms, limit, verdict)
+		}
 	}
 	if compared == 0 {
 		log.Fatal("sharon-benchgate: no record names matched between fresh and reference files")

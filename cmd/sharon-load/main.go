@@ -36,6 +36,7 @@ import (
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"github.com/sharon-project/sharon/internal/loadgen"
 )
@@ -43,6 +44,7 @@ import (
 func main() {
 	var (
 		addr       = flag.String("addr", "http://127.0.0.1:8080", "sharond base URL")
+		endpoints  = flag.String("endpoints", "", "comma-separated endpoint URLs: the first is driven (overrides -addr), the rest are additionally subscribed with per-endpoint seq-gap/dup checks (cluster drills: router first, then workers)")
 		events     = flag.Int("events", 200000, "events to send")
 		startIndex = flag.Int("start-index", 0, "resume the generated stream at this event index")
 		batch      = flag.Int("batch", 512, "events per ingest batch")
@@ -55,6 +57,7 @@ func main() {
 		framesOut  = flag.String("frames-out", "", "append received result payloads (one JSON line each) to this file")
 		tolerate   = flag.Bool("tolerate-abort", false, "treat a mid-run server death as a reported outcome, not an error")
 		noWM       = flag.Bool("no-watermark", false, "do not close the stream with a final watermark")
+		still      = flag.Duration("quiesce-still", 500*time.Millisecond, "how long the subscription must stay silent before the run is considered complete (raise past rebalance stalls in cluster drills)")
 		jsonOut    = flag.String("json", "", "also write the report as JSON to this file")
 		require    = flag.Bool("require-results", true, "exit nonzero when no results were received")
 		contiguous = flag.Bool("require-contiguous", true, "exit nonzero on sequence gaps or duplicates in the received stream")
@@ -62,19 +65,32 @@ func main() {
 	)
 	flag.Parse()
 
+	base := strings.TrimSuffix(*addr, "/")
+	var extra []string
+	if *endpoints != "" {
+		list := strings.Split(*endpoints, ",")
+		base = strings.TrimSuffix(strings.TrimSpace(list[0]), "/")
+		for _, e := range list[1:] {
+			if e = strings.TrimSpace(e); e != "" {
+				extra = append(extra, e)
+			}
+		}
+	}
 	cfg := loadgen.Config{
-		BaseURL:       strings.TrimSuffix(*addr, "/"),
-		Events:        *events,
-		StartIndex:    *startIndex,
-		Batch:         *batch,
-		RatePerSec:    *rate,
-		Groups:        *groups,
-		Types:         strings.Split(*types, ","),
-		Within:        *within,
-		Slide:         *slide,
-		SkipWatermark: *noWM,
-		TolerateAbort: *tolerate,
-		FramesPath:    *framesOut,
+		BaseURL:        base,
+		ExtraEndpoints: extra,
+		Events:         *events,
+		StartIndex:     *startIndex,
+		Batch:          *batch,
+		RatePerSec:     *rate,
+		Groups:         *groups,
+		Types:          strings.Split(*types, ","),
+		Within:         *within,
+		Slide:          *slide,
+		SkipWatermark:  *noWM,
+		TolerateAbort:  *tolerate,
+		FramesPath:     *framesOut,
+		QuiesceStill:   *still,
 	}
 	if *resumeAt != "" {
 		var after int64
@@ -94,16 +110,39 @@ func main() {
 		rep.Events, rep.Batches, rep.EventsPerSec, rep.Results, rep.Windows,
 		rep.FirstSeq, rep.LastSeq, rep.SeqGaps, rep.SeqDups,
 		rep.LatencyP50Ms, rep.LatencyP99Ms, rep.Rejected429, rep.Aborted, rep.NextIndex)
+	for _, ep := range rep.Endpoints {
+		fmt.Printf("sharon-load: endpoint %s  %d results  seq [%d,%d] gaps=%d dups=%d  closed=%v\n",
+			ep.URL, ep.Results, ep.FirstSeq, ep.LastSeq, ep.SeqGaps, ep.SeqDups, ep.Closed)
+	}
 	if *jsonOut != "" {
 		data, _ := json.MarshalIndent(rep, "", "  ")
 		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
 			log.Fatalf("sharon-load: %v", err)
 		}
 	}
-	if *contiguous && (rep.SeqGaps > 0 || rep.SeqDups > 0) {
-		log.Fatalf("sharon-load: received stream has %d seq gaps and %d duplicates", rep.SeqGaps, rep.SeqDups)
+	// Exit-code contract: a seq gap or duplicate is a correctness
+	// failure and exits non-zero regardless of -tolerate-abort (abort
+	// tolerance covers the server going away, never a corrupted result
+	// sequence). An extra endpoint whose stream simply closed (the
+	// drill's kill target) is exempt only from the no-results check.
+	failed := false
+	if *contiguous {
+		if rep.SeqGaps > 0 || rep.SeqDups > 0 {
+			log.Printf("sharon-load: FAIL: received stream has %d seq gaps and %d duplicates", rep.SeqGaps, rep.SeqDups)
+			failed = true
+		}
+		for _, ep := range rep.Endpoints {
+			if ep.SeqGaps > 0 || ep.SeqDups > 0 {
+				log.Printf("sharon-load: FAIL: endpoint %s has %d seq gaps and %d duplicates", ep.URL, ep.SeqGaps, ep.SeqDups)
+				failed = true
+			}
+		}
 	}
 	if *require && !rep.Aborted && rep.Results == 0 {
-		log.Fatal("sharon-load: no results received")
+		log.Print("sharon-load: FAIL: no results received")
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
 	}
 }

@@ -21,8 +21,23 @@
 //	        -query 'RETURN COUNT(*) PATTERN SEQ(B, C) WHERE [k] WITHIN 4s SLIDE 1s'
 //	sharond -queries-file workload.sase      # one query per line, # comments
 //
-// See the README's "Running the server" and "Durability & recovery"
-// sections for the wire and file formats.
+// Cluster mode (-role router) turns sharond into the front of a fleet:
+// events are consistent-hash partitioned by group key across N durable
+// workers, watermarks fan out to all of them, and the workers' result
+// streams merge back into the byte-identical single-node order. Workers
+// are plain durable sharonds (-role worker is an alias of the default
+// single-node role; the /cluster/* hand-off endpoints are always
+// served):
+//
+//	sharond -role worker -addr :9001 -data-dir /var/lib/sharond-1 &
+//	sharond -role worker -addr :9002 -data-dir /var/lib/sharond-2 &
+//	sharond -role router -addr :8080 \
+//	        -worker http://127.0.0.1:9001=/var/lib/sharond-1 \
+//	        -worker http://127.0.0.1:9002=/var/lib/sharond-2
+//
+// See the README's "Running the server", "Durability & recovery", and
+// "Clustering" sections for the wire formats and the rebalance
+// protocol.
 package main
 
 import (
@@ -36,6 +51,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/sharon-project/sharon/internal/cluster"
 	"github.com/sharon-project/sharon/internal/persist"
 	"github.com/sharon-project/sharon/internal/server"
 )
@@ -47,7 +63,9 @@ func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
 func main() {
 	var queries multiFlag
+	var workers multiFlag
 	var (
+		role        = flag.String("role", "single", "single | worker | router (worker is single with a cluster-facing name; router fronts a worker fleet)")
 		addr        = flag.String("addr", ":8080", "listen address")
 		queriesFile = flag.String("queries-file", "", "file with one query per line (# comments); overrides -query")
 		parallelism = flag.Int("parallelism", 1, "engine shard workers (1 = sequential)")
@@ -62,9 +80,13 @@ func main() {
 		fsyncMode   = flag.String("fsync", "interval", "WAL fsync policy: always | interval | never")
 		fsyncEvery  = flag.Duration("fsync-every", time.Second, "sync period for -fsync interval")
 		walSegBytes = flag.Int64("wal-segment-bytes", 16<<20, "WAL segment rotation size")
+		vnodes      = flag.Int("vnodes", 0, "router: consistent-hash virtual nodes per worker (0 = default)")
+		healthEvery = flag.Duration("health-interval", 2*time.Second, "router: worker health probe interval")
+		barrierTo   = flag.Duration("barrier-timeout", 30*time.Second, "router: rebalance barrier timeout")
 		verbose     = flag.Bool("v", false, "log operational events")
 	)
 	flag.Var(&queries, "query", "query text (repeatable)")
+	flag.Var(&workers, "worker", "router: worker base URL, optionally url=data-dir (repeatable; data-dir enables dead-worker recovery)")
 	flag.Parse()
 
 	if *queriesFile != "" {
@@ -82,6 +104,48 @@ func main() {
 	}
 	if len(queries) == 0 {
 		queries = server.DefaultQueries
+	}
+
+	switch *role {
+	case "single", "worker":
+	case "router":
+		if len(workers) == 0 {
+			log.Fatal("sharond: -role router requires at least one -worker url[=data-dir]")
+		}
+		specs := make([]cluster.WorkerSpec, len(workers))
+		for i, w := range workers {
+			url, dir, _ := strings.Cut(w, "=")
+			specs[i] = cluster.WorkerSpec{URL: strings.TrimSuffix(url, "/"), DataDir: dir}
+		}
+		cfg := cluster.Config{
+			Workers:          specs,
+			Queries:          queries,
+			VNodes:           *vnodes,
+			MaxBatchBytes:    *maxBatch,
+			IngestQueue:      *queue,
+			SubscriberBuffer: *subBuf,
+			ReplayBuffer:     *replayBuf,
+			HealthEvery:      *healthEvery,
+			BarrierTimeout:   *barrierTo,
+		}
+		if *verbose {
+			cfg.Logf = log.Printf
+		}
+		rt, err := cluster.New(cfg)
+		if err != nil {
+			log.Fatalf("sharond: %v", err)
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		fmt.Fprintf(os.Stderr, "sharond: routing %d queries across %d workers on %s\n",
+			len(queries), len(specs), *addr)
+		if err := rt.ListenAndServe(ctx, addr2(*addr)); err != nil {
+			log.Fatalf("sharond: %v", err)
+		}
+		fmt.Fprintln(os.Stderr, "sharond: router drained, bye")
+		return
+	default:
+		log.Fatalf("sharond: unknown -role %q (single | worker | router)", *role)
 	}
 
 	fsync, err := persist.ParseFsyncPolicy(*fsyncMode)

@@ -1,0 +1,159 @@
+// Package chash implements the consistent-hash ring the cluster router
+// partitions group keys across sharond workers with. It is a leaf
+// package — both the router (internal/cluster) and the worker-side
+// extract handler (internal/server) evaluate the same ring, so the
+// routing function lives below both.
+//
+// The ring places VNodes virtual points per worker on a 64-bit hash
+// circle; a group key is owned by the worker of the first point at or
+// clockwise-after the key's hash. Adding a worker captures only the
+// arcs immediately counter-clockwise of its points (expected K/N of K
+// keys for the Nth worker); removing a worker moves exactly the keys it
+// owned and nothing else. Both rings being pure functions of the
+// (worker IDs, VNodes) configuration, the router and a worker handed an
+// (old, new) membership pair always agree on which keys moved — that
+// agreement is what makes checkpoint-handoff rebalancing exact.
+package chash
+
+import (
+	"fmt"
+	"hash/fnv"
+	"slices"
+	"sort"
+
+	"github.com/sharon-project/sharon/internal/event"
+)
+
+// DefaultVNodes is the default virtual-node count per worker: enough to
+// keep per-worker load within a few percent of even and the movement
+// bound close to K/N, cheap enough that ring rebuilds are free.
+const DefaultVNodes = 64
+
+// KeyHash maps a group key onto the hash circle. The function is part
+// of the cluster wire protocol (extract requests name workers, not key
+// lists, and both sides re-derive the moved set): changing it strands
+// every group on the wrong worker across a rolling upgrade.
+func KeyHash(k event.GroupKey) uint64 {
+	h := uint64(k) * 0x9E3779B97F4A7C15
+	h ^= h >> 32
+	h *= 0xD6E8FEB86659FD93
+	h ^= h >> 32
+	return h
+}
+
+// point is one virtual node: a position on the circle and its worker.
+type point struct {
+	h  uint64
+	id string
+}
+
+// Ring is an immutable consistent-hash ring over a set of worker IDs.
+type Ring struct {
+	points []point // sorted by hash
+	vnodes int
+	ids    []string // sorted member IDs
+}
+
+// vnodeHash positions one virtual node of a worker on the circle.
+func vnodeHash(id string, i int) uint64 {
+	f := fnv.New64a()
+	fmt.Fprintf(f, "%s#%d", id, i)
+	h := f.Sum64()
+	// fnv output is well distributed but mix once more so sequential
+	// vnode indices of one worker scatter.
+	h *= 0x9E3779B97F4A7C15
+	h ^= h >> 29
+	return h
+}
+
+// New builds a ring over the given worker IDs with vnodes virtual nodes
+// per worker (<=0 selects DefaultVNodes). IDs must be unique.
+func New(ids []string, vnodes int) (*Ring, error) {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	sorted := slices.Clone(ids)
+	slices.Sort(sorted)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			return nil, fmt.Errorf("chash: duplicate worker id %q", sorted[i])
+		}
+	}
+	r := &Ring{vnodes: vnodes, ids: sorted}
+	seen := make(map[uint64]bool, len(sorted)*vnodes)
+	for _, id := range sorted {
+		for i := 0; i < vnodes; i++ {
+			h := vnodeHash(id, i)
+			// A cross-worker vnode hash collision would make ownership
+			// depend on insertion order; perturb deterministically.
+			for seen[h] {
+				h = h*0x9E3779B97F4A7C15 + 1
+			}
+			seen[h] = true
+			r.points = append(r.points, point{h: h, id: id})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].h < r.points[j].h })
+	return r, nil
+}
+
+// Members returns the sorted worker IDs on the ring.
+func (r *Ring) Members() []string { return slices.Clone(r.ids) }
+
+// Size reports the number of workers.
+func (r *Ring) Size() int { return len(r.ids) }
+
+// Has reports whether id is a member.
+func (r *Ring) Has(id string) bool {
+	_, ok := slices.BinarySearch(r.ids, id)
+	return ok
+}
+
+// OwnerHash returns the worker owning hash position h: the worker of
+// the first virtual node at or clockwise-after h (wrapping).
+func (r *Ring) OwnerHash(h uint64) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].h >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].id
+}
+
+// Owner returns the worker owning group key k.
+func (r *Ring) Owner(k event.GroupKey) string { return r.OwnerHash(KeyHash(k)) }
+
+// Add returns a new ring with id added.
+func (r *Ring) Add(id string) (*Ring, error) {
+	if r.Has(id) {
+		return nil, fmt.Errorf("chash: worker %q already on the ring", id)
+	}
+	return New(append(r.Members(), id), r.vnodes)
+}
+
+// Remove returns a new ring with id removed.
+func (r *Ring) Remove(id string) (*Ring, error) {
+	if !r.Has(id) {
+		return nil, fmt.Errorf("chash: worker %q not on the ring", id)
+	}
+	ids := r.Members()
+	ids = slices.Delete(ids, slices.Index(ids, id), slices.Index(ids, id)+1)
+	return New(ids, r.vnodes)
+}
+
+// VNodes reports the per-worker virtual node count.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// Moved returns the predicate selecting keys whose ownership moved from
+// `from` on the old ring to `to` on the new ring — the unit of a
+// rebalance hand-off. Both sides of the cluster protocol derive the
+// same predicate from the same (old members, new members, vnodes)
+// triple.
+func Moved(old, new *Ring, from, to string) func(event.GroupKey) bool {
+	return func(k event.GroupKey) bool {
+		h := KeyHash(k)
+		return old.OwnerHash(h) == from && new.OwnerHash(h) == to
+	}
+}

@@ -1,0 +1,162 @@
+package chash
+
+import (
+	"testing"
+
+	"github.com/sharon-project/sharon/internal/event"
+)
+
+const testKeys = 20000
+
+func owners(t *testing.T, r *Ring) map[event.GroupKey]string {
+	t.Helper()
+	m := make(map[event.GroupKey]string, testKeys)
+	for k := 0; k < testKeys; k++ {
+		m[event.GroupKey(k)] = r.Owner(event.GroupKey(k))
+	}
+	return m
+}
+
+func mustRing(t *testing.T, ids []string) *Ring {
+	t.Helper()
+	r, err := New(ids, 0)
+	if err != nil {
+		t.Fatalf("New(%v): %v", ids, err)
+	}
+	return r
+}
+
+func TestRingDeterministicAndOrderIndependent(t *testing.T) {
+	a := mustRing(t, []string{"w1", "w2", "w3"})
+	b := mustRing(t, []string{"w3", "w1", "w2"})
+	for k := 0; k < testKeys; k++ {
+		key := event.GroupKey(k)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("owner of key %d depends on member insertion order: %q vs %q", k, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r := mustRing(t, []string{"w1", "w2", "w3", "w4"})
+	counts := map[string]int{}
+	for _, id := range owners(t, r) {
+		counts[id]++
+	}
+	ideal := testKeys / 4
+	for id, n := range counts {
+		if n < ideal/2 || n > ideal*2 {
+			t.Errorf("worker %s owns %d of %d keys (ideal %d): distribution too skewed", id, n, testKeys, ideal)
+		}
+	}
+}
+
+// Table-driven stability: across every add/remove transition, keys that
+// stay on an unchanged worker must not move between unchanged workers —
+// the only allowed movements involve the changed worker.
+func TestRingStabilityUnderMembershipChange(t *testing.T) {
+	cases := []struct {
+		name    string
+		before  []string
+		after   []string
+		changed string // the worker added or removed
+	}{
+		{"add-2nd", []string{"w1"}, []string{"w1", "w2"}, "w2"},
+		{"add-4th", []string{"w1", "w2", "w3"}, []string{"w1", "w2", "w3", "w4"}, "w4"},
+		{"add-9th", []string{"w1", "w2", "w3", "w4", "w5", "w6", "w7", "w8"}, []string{"w1", "w2", "w3", "w4", "w5", "w6", "w7", "w8", "w9"}, "w9"},
+		{"remove-of-3", []string{"w1", "w2", "w3"}, []string{"w1", "w3"}, "w2"},
+		{"remove-of-5", []string{"w1", "w2", "w3", "w4", "w5"}, []string{"w1", "w2", "w4", "w5"}, "w3"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			before := owners(t, mustRing(t, tc.before))
+			after := owners(t, mustRing(t, tc.after))
+			for k, ob := range before {
+				oa := after[k]
+				if ob == oa {
+					continue
+				}
+				if ob != tc.changed && oa != tc.changed {
+					t.Fatalf("key %d moved %q -> %q, but only %q changed membership", k, ob, oa, tc.changed)
+				}
+			}
+		})
+	}
+}
+
+// Bounded movement: adding the Nth worker moves about K/N keys; with 64
+// vnodes the distribution is tight enough to assert a 2x slack bound.
+// Removing a worker moves exactly the keys it owned (asserted by the
+// stability test above) — here we bound how many that is.
+func TestRingBoundedMovement(t *testing.T) {
+	cases := []struct {
+		name   string
+		before []string
+		after  []string
+	}{
+		{"add-2nd", []string{"w1"}, []string{"w1", "w2"}},
+		{"add-3rd", []string{"w1", "w2"}, []string{"w1", "w2", "w3"}},
+		{"add-5th", []string{"w1", "w2", "w3", "w4"}, []string{"w1", "w2", "w3", "w4", "w5"}},
+		{"remove-of-3", []string{"w1", "w2", "w3"}, []string{"w1", "w2"}},
+		{"remove-of-5", []string{"w1", "w2", "w3", "w4", "w5"}, []string{"w1", "w2", "w3", "w4"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			before := owners(t, mustRing(t, tc.before))
+			after := owners(t, mustRing(t, tc.after))
+			moved := 0
+			for k, ob := range before {
+				if after[k] != ob {
+					moved++
+				}
+			}
+			// The changed worker's share is K/max(before,after); allow 2x
+			// for vnode placement variance.
+			n := len(tc.before)
+			if len(tc.after) > n {
+				n = len(tc.after)
+			}
+			bound := 2 * testKeys / n
+			if moved > bound {
+				t.Fatalf("%d of %d keys moved; bound %d (K/N with 2x slack, N=%d)", moved, testKeys, bound, n)
+			}
+			if moved == 0 {
+				t.Fatalf("no keys moved on a membership change")
+			}
+		})
+	}
+}
+
+func TestMovedPredicateMatchesRings(t *testing.T) {
+	old := mustRing(t, []string{"w1", "w2", "w3"})
+	new_, err := old.Remove("w2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, to := range []string{"w1", "w3"} {
+		pred := Moved(old, new_, "w2", to)
+		for k := 0; k < testKeys; k++ {
+			key := event.GroupKey(k)
+			want := old.Owner(key) == "w2" && new_.Owner(key) == to
+			if pred(key) != want {
+				t.Fatalf("Moved predicate disagrees with ring evaluation for key %d", k)
+			}
+		}
+	}
+}
+
+func TestRingErrors(t *testing.T) {
+	if _, err := New([]string{"a", "a"}, 8); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+	r := mustRing(t, []string{"a", "b"})
+	if _, err := r.Add("a"); err == nil {
+		t.Fatal("Add of existing member accepted")
+	}
+	if _, err := r.Remove("zzz"); err == nil {
+		t.Fatal("Remove of non-member accepted")
+	}
+	if !r.Has("a") || r.Has("zzz") {
+		t.Fatal("Has wrong")
+	}
+}

@@ -1,0 +1,964 @@
+// Package cluster implements the sharond cluster tier: a router that
+// consistent-hash-partitions a grouped event stream across N durable
+// sharond workers and merges their result streams back into the exact
+// deterministic (window end, query, group) order a single node emits —
+// byte-identical output, horizontally sharded state.
+//
+// Data plane: each accepted ingest batch is late-filtered and split by
+// group key over the consistent-hash ring (internal/chash); every
+// worker receives its slice plus the batch's closing watermark, so all
+// workers advance in lock-step and close the same windows a single node
+// would. The router subscribes to each worker's punctuated SSE stream
+// (?punctuate=1): workers mark "every result for windows ending <= W
+// has been sent" after each applied step, the router's merge frontier
+// is the minimum marker across workers, and buffered results at or
+// below the frontier are emitted downstream in the canonical order with
+// router-assigned sequence numbers.
+//
+// Failure plane: the router retains, per worker, the forwarded steps
+// newer than that worker's frontier (the hand-off delta, pruned as
+// punctuation advances). When a worker dies, the router drains the
+// survivors to the current watermark, rebuilds the dead worker's groups
+// from its checkpoint + WAL tail sliced per new owner, ships each slice
+// plus the delta to the successors (/cluster/adopt), and the successors
+// regenerate exactly the results the dead worker never delivered — no
+// window lost, none duplicated. Worker joins and graceful leaves move
+// ranges the same way via /cluster/extract. See the README "Clustering"
+// section for the full protocol.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	sharon "github.com/sharon-project/sharon"
+	"github.com/sharon-project/sharon/internal/chash"
+	"github.com/sharon-project/sharon/internal/metrics"
+	"github.com/sharon-project/sharon/internal/persist"
+	"github.com/sharon-project/sharon/internal/server"
+)
+
+// WorkerSpec names one worker: its base URL (also its ring member ID)
+// and, for dead-worker recovery, the data directory its durable state
+// lives in (reachable from the router's filesystem).
+type WorkerSpec struct {
+	URL     string `json:"url"`
+	DataDir string `json:"data_dir,omitempty"`
+}
+
+// Config configures a cluster router.
+type Config struct {
+	// Workers is the initial membership. At least one worker.
+	Workers []WorkerSpec
+	// Queries is the served workload; every worker must be configured
+	// with exactly the same queries (validated at startup). Empty
+	// selects server.DefaultQueries. The workload must be uniform,
+	// grouped, and non-dynamic.
+	Queries []string
+	// Rates mirrors the workers' optimizer rates configuration.
+	Rates map[string]float64
+	// VNodes is the consistent-hash virtual node count per worker
+	// (default chash.DefaultVNodes).
+	VNodes int
+
+	// MaxBatchBytes / IngestQueue / SubscriberBuffer / ReplayBuffer /
+	// HeartbeatEvery / WriteTimeout mirror server.Config.
+	MaxBatchBytes    int64
+	IngestQueue      int
+	SubscriberBuffer int
+	ReplayBuffer     int
+	HeartbeatEvery   time.Duration
+	WriteTimeout     time.Duration
+
+	// HealthEvery is the worker health-probe interval (default 2s).
+	HealthEvery time.Duration
+	// DeadAfter is how many consecutive failed probes (or forward
+	// failures) declare a worker dead (default 3).
+	DeadAfter int
+	// BarrierTimeout bounds the rebalance barrier wait for survivors to
+	// drain to the current watermark (default 30s).
+	BarrierTimeout time.Duration
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fill() {
+	if len(c.Queries) == 0 {
+		c.Queries = server.DefaultQueries
+	}
+	if c.VNodes <= 0 {
+		c.VNodes = chash.DefaultVNodes
+	}
+	if c.MaxBatchBytes <= 0 {
+		c.MaxBatchBytes = 8 << 20
+	}
+	if c.IngestQueue <= 0 {
+		c.IngestQueue = 256
+	}
+	if c.SubscriberBuffer <= 0 {
+		c.SubscriberBuffer = 4096
+	}
+	if c.ReplayBuffer <= 0 {
+		c.ReplayBuffer = 16384
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = 15 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.HealthEvery <= 0 {
+		c.HealthEvery = 2 * time.Second
+	}
+	if c.DeadAfter <= 0 {
+		c.DeadAfter = 3
+	}
+	if c.BarrierTimeout <= 0 {
+		c.BarrierTimeout = 30 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// routerMsg is one unit of router pump work.
+type routerMsg struct {
+	batch server.Batch
+	ctl   *routerCtl
+}
+
+// routerCtl is a membership change or a death check, serialized through
+// the pump like the data plane.
+type routerCtl struct {
+	join      *WorkerSpec
+	leave     string
+	deadcheck string
+	reply     chan ctlResult
+}
+
+type ctlResult struct {
+	status int
+	body   any
+}
+
+// Router is a running cluster router: one pump goroutine owning the
+// forwarding plane and the membership, per-worker SSE reader goroutines
+// feeding the merge, and a hub fanning the merged stream out.
+type Router struct {
+	cfg      Config
+	reg      *sharon.Registry
+	queries  map[int]*sharon.Query
+	workload sharon.Workload
+	plan     sharon.Plan
+	lookup   map[string]sharon.Type
+	typeName []string
+	grouped  bool
+	maxAdv   int64
+	hub      *server.Hub
+	ring     *server.ReplayRing
+	mux      *http.ServeMux
+	client   *http.Client
+	probeCli *http.Client
+	start    time.Time
+
+	ingest   chan routerMsg
+	gate     sync.RWMutex
+	draining bool
+	drainReq chan struct{}
+	pumpDone chan struct{}
+
+	// wmState is the router's stream position; pump-owned, mirrored in
+	// the wm atomic for handlers.
+	wmState int64
+	wm      atomic.Int64
+
+	// mu guards the merge state: membership ring, lanes, buffered
+	// results, the frontier, and the output sequence.
+	mu       sync.Mutex
+	chring   *chash.Ring
+	lanes    map[string]*lane
+	seq      int64
+	mergedWM int64
+	// orphan holds buffered results of removed lanes not yet past the
+	// frontier (normally empty: the rebalance barrier merges a dead
+	// lane's completed windows before the lane is dropped).
+	orphan map[int64][]server.WireResult
+
+	opSeq atomic.Int64
+
+	ingested       atomic.Int64
+	droppedLate    atomic.Int64
+	droppedUnknown atomic.Int64
+	batches        atomic.Int64
+	rej429         atomic.Int64
+	rej413         atomic.Int64
+	emitted        atomic.Int64
+	rebalances     atomic.Int64
+	rebalanceFail  atomic.Int64
+	lastRebalance  atomic.Int64 // nanoseconds
+	failure        atomic.Value // string: fatal cluster condition
+}
+
+// New validates the workload and the workers, subscribes to every
+// worker's punctuated stream, and starts the pump. The workers must be
+// running, recovered, and all serving exactly Config.Queries.
+func New(cfg Config) (*Router, error) {
+	cfg.fill()
+	if len(cfg.Workers) == 0 {
+		return nil, fmt.Errorf("cluster: at least one worker required")
+	}
+	r := &Router{
+		cfg:      cfg,
+		reg:      sharon.NewRegistry(),
+		hub:      server.NewHub(),
+		ring:     server.NewReplayRing(cfg.ReplayBuffer),
+		client:   &http.Client{},
+		probeCli: &http.Client{Timeout: 2 * time.Second},
+		start:    time.Now(),
+		ingest:   make(chan routerMsg, cfg.IngestQueue),
+		drainReq: make(chan struct{}),
+		pumpDone: make(chan struct{}),
+		wmState:  -1,
+		lanes:    make(map[string]*lane),
+		mergedWM: -1,
+		orphan:   make(map[int64][]server.WireResult),
+	}
+	r.wm.Store(-1)
+
+	// Compile the workload exactly like a worker does: same queries,
+	// same rates, same (deterministic) optimizer — the plan is part of
+	// the hand-off protocol (adopt refuses a mismatch).
+	r.queries = make(map[int]*sharon.Query, len(cfg.Queries))
+	for i, text := range cfg.Queries {
+		q, err := sharon.ParseQuery(text, r.reg)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: query %d: %w", i, err)
+		}
+		q.ID = i
+		r.queries[i] = q
+		r.workload = append(r.workload, q)
+	}
+	if err := r.workload.Validate(); err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	first := r.workload[0]
+	if !first.GroupBy {
+		return nil, fmt.Errorf("cluster: the workload is ungrouped; a single aggregate over all keys cannot be hash-partitioned across workers")
+	}
+	for _, q := range r.workload[1:] {
+		if q.Window != first.Window || q.GroupBy != first.GroupBy {
+			return nil, fmt.Errorf("cluster: non-uniform workload; the cluster tier requires one uniform segment (same window, grouping, predicates)")
+		}
+	}
+	rates := sharon.Rates{}
+	for t := range r.workload.Types() {
+		rates[t] = 1
+	}
+	for name, v := range cfg.Rates {
+		if t := r.reg.Lookup(name); t != sharon.NoType {
+			rates[t] = v
+		}
+	}
+	plan, _, err := sharon.Optimize(r.workload, rates)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: optimize: %w", err)
+	}
+	r.plan = plan
+	r.lookup = make(map[string]sharon.Type)
+	r.typeName = make([]string, r.reg.Count()+1)
+	for _, name := range r.reg.Names() {
+		t := r.reg.Lookup(name)
+		r.lookup[name] = t
+		r.typeName[t] = name
+	}
+	var m int64
+	for _, q := range r.workload {
+		if v := q.Window.Length + q.Window.Slide; v > m {
+			m = v
+		}
+	}
+	r.maxAdv = 16 * m
+
+	ids := make([]string, len(cfg.Workers))
+	for i, w := range cfg.Workers {
+		ids[i] = w.URL
+	}
+	ring, err := chash.New(ids, cfg.VNodes)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	r.chring = ring
+	// Any validation failure must tear down the lanes already
+	// subscribed, or their reader goroutines and SSE streams leak into
+	// the embedding process.
+	abort := func(err error) (*Router, error) {
+		for _, l := range r.lanes {
+			l.gone.Store(true)
+			l.cancel()
+		}
+		return nil, err
+	}
+	for _, spec := range cfg.Workers {
+		if err := r.checkWorkerWorkload(spec.URL); err != nil {
+			return abort(err)
+		}
+		ln, err := r.newLane(spec)
+		if err != nil {
+			return abort(err)
+		}
+		r.lanes[ln.id] = ln
+	}
+	r.routes()
+	go r.pump()
+	go r.healthLoop()
+	return r, nil
+}
+
+// checkWorkerWorkload verifies a worker serves exactly the router's
+// queries (a mismatched worker would compute different results and
+// poison the merged stream).
+func (r *Router) checkWorkerWorkload(url string) error {
+	resp, err := r.client.Get(url + "/queries")
+	if err != nil {
+		return fmt.Errorf("cluster: worker %s unreachable: %w", url, err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Queries []struct {
+			ID    int    `json:"id"`
+			Query string `json:"query"`
+		} `json:"queries"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return fmt.Errorf("cluster: worker %s /queries: %w", url, err)
+	}
+	if len(body.Queries) != len(r.cfg.Queries) {
+		return fmt.Errorf("cluster: worker %s serves %d queries, router configured with %d", url, len(body.Queries), len(r.cfg.Queries))
+	}
+	for i, q := range body.Queries {
+		if q.ID != i || q.Query != r.cfg.Queries[i] {
+			return fmt.Errorf("cluster: worker %s query %d is %q, router expects %q (all workers must run the router's exact workload)", url, q.ID, q.Query, r.cfg.Queries[i])
+		}
+	}
+	return nil
+}
+
+// fail records a fatal cluster condition; /healthz turns red and the
+// pump refuses further work (operators must intervene — the router
+// never guesses once the merged stream's completeness is in doubt).
+func (r *Router) fail(format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	r.cfg.Logf("cluster FAILED: %s", msg)
+	r.failure.CompareAndSwap(nil, msg)
+}
+
+func (r *Router) failed() string {
+	if v := r.failure.Load(); v != nil {
+		return v.(string)
+	}
+	return ""
+}
+
+// --- pump ---
+
+func (r *Router) pump() {
+	defer close(r.pumpDone)
+	for {
+		select {
+		case msg := <-r.ingest:
+			r.step(msg)
+		case <-r.drainReq:
+			for {
+				select {
+				case msg := <-r.ingest:
+					r.step(msg)
+				default:
+					r.finish()
+					return
+				}
+			}
+		}
+	}
+}
+
+// step handles one pump message: a control request or an ingest batch
+// (late-filter, clamp, split by ring, retain hand-off deltas, forward).
+func (r *Router) step(msg routerMsg) {
+	if msg.ctl != nil {
+		r.applyCtl(msg.ctl)
+		return
+	}
+	if r.failed() != "" {
+		return // accepted before failure; nowhere safe to route now
+	}
+	b := msg.batch
+	events := b.Events
+	for len(events) > 0 && events[0].Time <= r.wmState {
+		events = events[1:]
+		r.droppedLate.Add(1)
+	}
+	base := r.wmState
+	if len(events) > 0 {
+		base = events[len(events)-1].Time
+	}
+	wm := int64(-1)
+	if v := r.clampWatermarkFrom(base, b.Watermark); v > base {
+		wm = v
+	}
+	if len(events) == 0 && wm < 0 {
+		return
+	}
+	batchWM := base
+	if wm > batchWM {
+		batchWM = wm
+	}
+	r.wmState = batchWM
+	r.wm.Store(batchWM)
+	if len(events) > 0 {
+		r.ingested.Add(int64(len(events)))
+		r.batches.Add(1)
+	}
+
+	// Split by the current ring and retain every worker's step in its
+	// hand-off delta before anything is sent: a forward that fails
+	// mid-flight is already covered by the delta the successor replays.
+	r.mu.Lock()
+	members := r.chring.Members()
+	sub := make(map[string][]sharon.Event, len(members))
+	for _, e := range events {
+		id := r.chring.Owner(e.Key)
+		sub[id] = append(sub[id], e)
+	}
+	for _, id := range members {
+		if ln := r.lanes[id]; ln != nil {
+			ln.delta = append(ln.delta, persist.BatchRecord{Events: sub[id], Watermark: batchWM})
+		}
+	}
+	r.mu.Unlock()
+
+	r.forwardAll(members, sub, batchWM)
+}
+
+// forwardAll posts every worker its slice (watermark-only when empty)
+// in parallel, retrying backpressure, and rebalances on a dead worker —
+// re-forwarding nothing: the failed slice rides the hand-off delta.
+func (r *Router) forwardAll(members []string, sub map[string][]sharon.Event, batchWM int64) {
+	type outcome struct {
+		id  string
+		err error
+	}
+	results := make(chan outcome, len(members))
+	for _, id := range members {
+		go func(id string) {
+			results <- outcome{id: id, err: r.forward(id, sub[id], batchWM)}
+		}(id)
+	}
+	var dead []string
+	for range members {
+		o := <-results
+		if o.err != nil {
+			r.cfg.Logf("forward to %s failed: %v", o.id, o.err)
+			dead = append(dead, o.id)
+		}
+	}
+	sort.Strings(dead)
+	for _, id := range dead {
+		if r.failed() != "" {
+			return
+		}
+		r.rebalanceDead(id)
+	}
+}
+
+// forward posts one worker's slice of a step. 429 retries forever (the
+// worker is alive and draining its queue); connection errors consult
+// /healthz and strike the worker out after DeadAfter consecutive
+// failed probes — a kill -9's connection-refused is detected in a few
+// hundred milliseconds instead of stalling the stream for the whole
+// probe-interval budget.
+func (r *Router) forward(id string, events []sharon.Event, batchWM int64) error {
+	ln := r.lane(id)
+	if ln == nil {
+		return fmt.Errorf("no lane for %s", id)
+	}
+	var buf bytes.Buffer
+	for _, e := range events {
+		line, _ := json.Marshal(server.IngestLine{
+			Type: r.typeName[e.Type],
+			Time: e.Time,
+			Key:  int64(e.Key),
+			Val:  e.Val,
+		})
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	fmt.Fprintf(&buf, `{"watermark":%d}`+"\n", batchWM)
+	deadline := time.Now().Add(time.Duration(r.cfg.DeadAfter) * r.cfg.HealthEvery)
+	strikes := 0
+	for {
+		resp, err := r.client.Post(id+"/ingest", "application/x-ndjson", bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			if healthy, _ := r.probe(id); !healthy {
+				strikes++
+				if strikes >= r.cfg.DeadAfter {
+					return err
+				}
+			} else {
+				strikes = 0
+			}
+			if time.Now().After(deadline) {
+				return err
+			}
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusAccepted, http.StatusOK:
+			ln.forwardedEvents.Add(int64(len(events)))
+			ln.forwardedBatches.Add(1)
+			return nil
+		case http.StatusTooManyRequests:
+			ln.retries429.Add(1)
+			time.Sleep(20 * time.Millisecond)
+		case http.StatusServiceUnavailable:
+			// Recovering or draining; give it the probe budget.
+			if time.Now().After(deadline) {
+				return fmt.Errorf("worker %s: 503 past deadline", id)
+			}
+			time.Sleep(100 * time.Millisecond)
+		default:
+			return fmt.Errorf("worker %s: ingest status %d", id, resp.StatusCode)
+		}
+	}
+}
+
+// clampWatermarkFrom mirrors the single-node watermark clamp (see
+// server.publishMaxAdvance): the router applies it once so its stream
+// position tracks exactly what every worker will compute.
+func (r *Router) clampWatermarkFrom(base, wm int64) int64 {
+	if wm < 0 {
+		return wm
+	}
+	if base < 0 {
+		base = 0
+	}
+	if limit := base + r.maxAdv; wm > limit {
+		r.cfg.Logf("watermark %d clamped to %d", wm, limit)
+		return limit
+	}
+	return wm
+}
+
+func (r *Router) lane(id string) *lane {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lanes[id]
+}
+
+// finish ends the merged stream: subscribers get eof. Workers are left
+// running — the router owns the stream, not the fleet.
+func (r *Router) finish() {
+	r.mu.Lock()
+	for _, ln := range r.lanes {
+		ln.cancel()
+	}
+	r.mu.Unlock()
+	r.hub.Shutdown()
+	r.cfg.Logf("router drained: %d events forwarded, %d results merged", r.ingested.Load(), r.emitted.Load())
+}
+
+// Drain stops ingestion and ends the merged stream. Idempotent.
+func (r *Router) Drain(ctx context.Context) error {
+	r.gate.Lock()
+	already := r.draining
+	r.draining = true
+	r.gate.Unlock()
+	if !already {
+		close(r.drainReq)
+	}
+	select {
+	case <-r.pumpDone:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// healthLoop probes the workers and injects death checks for broken
+// ones; it also refreshes the per-worker occupancy gauges.
+func (r *Router) healthLoop() {
+	t := time.NewTicker(r.cfg.HealthEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.pumpDone:
+			return
+		case <-t.C:
+		}
+		r.mu.Lock()
+		lanes := make([]*lane, 0, len(r.lanes))
+		for _, ln := range r.lanes {
+			lanes = append(lanes, ln)
+		}
+		r.mu.Unlock()
+		for _, ln := range lanes {
+			healthy, groups := r.probe(ln.id)
+			ln.healthy.Store(healthy)
+			if groups >= 0 {
+				ln.groups.Store(groups)
+			}
+			if healthy {
+				ln.misses.Store(0)
+				continue
+			}
+			if n := ln.misses.Add(1); n >= int64(r.cfg.DeadAfter) {
+				r.suspectDead(ln.id)
+			}
+		}
+	}
+}
+
+// probe checks one worker's /healthz and reads its live-group gauge.
+// It uses a short-timeout client so a black-holed worker cannot hang
+// the caller (the pump's forward path strikes workers out with it).
+func (r *Router) probe(id string) (healthy bool, groups int64) {
+	groups = -1
+	resp, err := r.probeCli.Get(id + "/healthz")
+	if err != nil {
+		return false, groups
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false, groups
+	}
+	if m, err := r.probeCli.Get(id + "/metrics"); err == nil {
+		var st struct {
+			GroupsLive int64 `json:"groups_live"`
+		}
+		if json.NewDecoder(m.Body).Decode(&st) == nil {
+			groups = st.GroupsLive
+		}
+		io.Copy(io.Discard, m.Body)
+		m.Body.Close()
+	}
+	return true, groups
+}
+
+// suspectDead asks the pump to re-probe and, if confirmed, rebalance.
+// Non-blocking: if the queue is full the next health tick retries.
+func (r *Router) suspectDead(id string) {
+	select {
+	case r.ingest <- routerMsg{ctl: &routerCtl{deadcheck: id}}:
+	default:
+	}
+}
+
+// --- HTTP ---
+
+// Handler returns the router's HTTP handler.
+func (r *Router) Handler() http.Handler { return r.mux }
+
+// ListenAndServe serves the handler on addr, draining after ctx ends.
+func (r *Router) ListenAndServe(ctx context.Context, addr string) error {
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           r.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	r.cfg.Logf("draining")
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := r.Drain(drainCtx); err != nil {
+		r.cfg.Logf("drain: %v", err)
+	}
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel2()
+	return hs.Shutdown(shutCtx)
+}
+
+func (r *Router) routes() {
+	r.mux = http.NewServeMux()
+	r.mux.HandleFunc("GET /{$}", r.handleIndex)
+	r.mux.HandleFunc("POST /ingest", r.handleIngest)
+	r.mux.HandleFunc("POST /watermark", r.handleWatermark)
+	r.mux.HandleFunc("GET /subscribe", r.handleSubscribe)
+	r.mux.HandleFunc("GET /metrics", r.handleMetrics)
+	r.mux.HandleFunc("GET /healthz", r.handleHealthz)
+	r.mux.HandleFunc("GET /queries", r.handleQueries)
+	r.mux.HandleFunc("GET /cluster/workers", r.handleWorkersGet)
+	r.mux.HandleFunc("POST /cluster/workers", r.handleWorkersPost)
+	r.mux.HandleFunc("DELETE /cluster/workers", r.handleWorkersDelete)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (r *Router) handleIndex(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, `sharon-router — clustered shared event sequence aggregation
+
+POST   /ingest                  NDJSON events; consistent-hash routed across workers
+POST   /watermark               {"watermark":T} — fanned out to every worker
+GET    /subscribe               merged SSE result stream, single-node byte-identical
+                                (?query=ID filters, ?after=N resumes, ?punctuate=1 marks)
+GET    /queries                 the cluster workload
+GET    /metrics                 router + per-worker shard counters (JSON)
+GET    /healthz                 ok | rebalancing | error | draining
+GET    /cluster/workers         membership + rebalance state
+POST   /cluster/workers         {"url":..., "data_dir":...} — join a worker (live rebalance)
+DELETE /cluster/workers?url=U   graceful leave (ranges handed to survivors)
+`)
+}
+
+// enqueue mirrors sharond's bounded-queue backpressure.
+func (r *Router) enqueue(w http.ResponseWriter, msg routerMsg) bool {
+	r.gate.RLock()
+	defer r.gate.RUnlock()
+	if r.draining {
+		writeErr(w, http.StatusServiceUnavailable, "draining")
+		return false
+	}
+	if msg.ctl == nil {
+		if f := r.failed(); f != "" {
+			writeErr(w, http.StatusServiceUnavailable, "cluster failed: %s", f)
+			return false
+		}
+	}
+	select {
+	case r.ingest <- msg:
+		return true
+	default:
+		r.rej429.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests, "ingest queue full (%d batches); retry", cap(r.ingest))
+		return false
+	}
+}
+
+func (r *Router) handleIngest(w http.ResponseWriter, req *http.Request) {
+	body := http.MaxBytesReader(w, req.Body, r.cfg.MaxBatchBytes)
+	batch, err := server.ParseBatch(body, r.lookup)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			r.rej413.Add(1)
+			writeErr(w, http.StatusRequestEntityTooLarge, "batch exceeds %d bytes", r.cfg.MaxBatchBytes)
+			return
+		}
+		writeErr(w, http.StatusBadRequest, "parse: %v", err)
+		return
+	}
+	r.droppedUnknown.Add(batch.Unknown)
+	if len(batch.Events) == 0 && batch.Watermark < 0 {
+		writeJSON(w, http.StatusOK, map[string]any{"accepted": 0, "dropped_unknown_type": batch.Unknown})
+		return
+	}
+	if !r.enqueue(w, routerMsg{batch: batch}) {
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"accepted":             len(batch.Events),
+		"dropped_unknown_type": batch.Unknown,
+		"queue_depth":          len(r.ingest),
+	})
+}
+
+func (r *Router) handleWatermark(w http.ResponseWriter, req *http.Request) {
+	var line server.IngestLine
+	body := http.MaxBytesReader(w, req.Body, 4096)
+	if err := json.NewDecoder(body).Decode(&line); err != nil || line.Watermark == nil {
+		writeErr(w, http.StatusBadRequest, `want {"watermark":<ticks>}`)
+		return
+	}
+	if !r.enqueue(w, routerMsg{batch: server.Batch{Watermark: *line.Watermark}}) {
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"watermark": *line.Watermark})
+}
+
+func (r *Router) handleSubscribe(w http.ResponseWriter, req *http.Request) {
+	server.ServeStream(w, req, server.StreamOptions{
+		Hub:  r.hub,
+		Ring: r.ring,
+		QueryKnown: func(id int) bool {
+			_, ok := r.queries[id]
+			return ok
+		},
+		Watermark: func() int64 {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			return r.mergedWM
+		},
+		SubscriberBuffer: r.cfg.SubscriberBuffer,
+		HeartbeatEvery:   r.cfg.HeartbeatEvery,
+		WriteTimeout:     r.cfg.WriteTimeout,
+	})
+}
+
+func (r *Router) handleQueries(w http.ResponseWriter, req *http.Request) {
+	out := make([]map[string]any, len(r.cfg.Queries))
+	for i, text := range r.cfg.Queries {
+		out[i] = map[string]any{"id": i, "label": r.queries[i].Label(), "query": text}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"queries": out})
+}
+
+func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	if f := r.failed(); f != "" {
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"status": "error", "error": f})
+		return
+	}
+	r.gate.RLock()
+	draining := r.draining
+	r.gate.RUnlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	r.gate.RLock()
+	draining := r.draining
+	r.gate.RUnlock()
+	st := metrics.RouterStats{
+		UptimeSec:                time.Since(r.start).Seconds(),
+		Queries:                  len(r.cfg.Queries),
+		Watermark:                r.wm.Load(),
+		EventsIngested:           r.ingested.Load(),
+		EventsDroppedLate:        r.droppedLate.Load(),
+		EventsDroppedUnknownType: r.droppedUnknown.Load(),
+		Batches:                  r.batches.Load(),
+		RejectedBackpressure:     r.rej429.Load(),
+		RejectedOversize:         r.rej413.Load(),
+		IngestQueueDepth:         len(r.ingest),
+		IngestQueueCap:           cap(r.ingest),
+		ResultsEmitted:           r.emitted.Load(),
+		ResultsDelivered:         r.hub.Delivered(),
+		Subscribers:              r.hub.Count(),
+		SlowConsumerDisconnects:  r.hub.SlowDrops(),
+		Rebalances:               r.rebalances.Load(),
+		RebalancesFailed:         r.rebalanceFail.Load(),
+		LastRebalanceMs:          float64(r.lastRebalance.Load()) / 1e6,
+		Draining:                 draining,
+		Error:                    r.failed(),
+	}
+	r.mu.Lock()
+	st.MergedWatermark = r.mergedWM
+	ids := make([]string, 0, len(r.lanes))
+	for id := range r.lanes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		ln := r.lanes[id]
+		pending := 0
+		for _, rs := range ln.pending {
+			pending += len(rs)
+		}
+		st.Workers = append(st.Workers, metrics.RouterWorkerStats{
+			ID:               id,
+			Healthy:          ln.healthy.Load(),
+			Frontier:         ln.frontier,
+			EventsForwarded:  ln.forwardedEvents.Load(),
+			BatchesForwarded: ln.forwardedBatches.Load(),
+			Retries429:       ln.retries429.Load(),
+			PendingResults:   pending,
+			DeltaBatches:     len(ln.delta),
+			GroupsLive:       ln.groups.Load(),
+		})
+	}
+	r.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (r *Router) handleWorkersGet(w http.ResponseWriter, req *http.Request) {
+	r.mu.Lock()
+	members := r.chring.Members()
+	specs := make([]map[string]any, 0, len(members))
+	for _, id := range members {
+		ln := r.lanes[id]
+		m := map[string]any{"url": id}
+		if ln != nil {
+			m["data_dir"] = ln.spec.DataDir
+			m["healthy"] = ln.healthy.Load()
+			m["frontier"] = ln.frontier
+		}
+		specs = append(specs, m)
+	}
+	r.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"workers":    specs,
+		"vnodes":     r.cfg.VNodes,
+		"rebalances": r.rebalances.Load(),
+	})
+}
+
+// sendCtl submits a membership change through the pump and waits.
+func (r *Router) sendCtl(w http.ResponseWriter, ctl *routerCtl) {
+	ctl.reply = make(chan ctlResult, 1)
+	if !r.enqueue(w, routerMsg{ctl: ctl}) {
+		return
+	}
+	select {
+	case res := <-ctl.reply:
+		writeJSON(w, res.status, res.body)
+	case <-time.After(2 * time.Minute):
+		writeErr(w, http.StatusGatewayTimeout, "membership change timed out")
+	}
+}
+
+func (r *Router) handleWorkersPost(w http.ResponseWriter, req *http.Request) {
+	var spec WorkerSpec
+	lim := http.MaxBytesReader(w, req.Body, 1<<20)
+	if err := json.NewDecoder(lim).Decode(&spec); err != nil || spec.URL == "" {
+		writeErr(w, http.StatusBadRequest, `want {"url":"http://...", "data_dir":"..."}`)
+		return
+	}
+	spec.URL = strings.TrimSuffix(spec.URL, "/")
+	r.sendCtl(w, &routerCtl{join: &spec})
+}
+
+// handleWorkersDelete removes a worker gracefully. The worker URL is a
+// query parameter (URLs do not survive path cleaning as path segments):
+// DELETE /cluster/workers?url=http://127.0.0.1:9001
+func (r *Router) handleWorkersDelete(w http.ResponseWriter, req *http.Request) {
+	id := strings.TrimSuffix(req.URL.Query().Get("url"), "/")
+	if id == "" {
+		writeErr(w, http.StatusBadRequest, "worker url required: DELETE /cluster/workers?url=...")
+		return
+	}
+	r.sendCtl(w, &routerCtl{leave: id})
+}

@@ -114,6 +114,27 @@ func (p Plan) Clone() Plan {
 	return out
 }
 
+// Equal reports whether two plans contain the same candidates,
+// order-insensitively (candidates compare by Key). The cluster adopt
+// path uses it to refuse grafts built under a different plan than the
+// receiving worker runs.
+func (p Plan) Equal(q Plan) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	keys := make(map[string]int, len(p))
+	for _, c := range p {
+		keys[c.Key()]++
+	}
+	for _, c := range q {
+		keys[c.Key()]--
+		if keys[c.Key()] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // QueriesSharing returns, for query id q, the candidates in the plan that
 // q participates in.
 func (p Plan) QueriesSharing(q int) []Candidate {

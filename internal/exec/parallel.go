@@ -151,6 +151,15 @@ type shardMsg struct {
 	// snap, when non-nil, requests a shard snapshot after the message is
 	// fully processed (the quiesced checkpoint barrier; see Snapshot).
 	snap chan<- shardSnap
+	// ctl, when non-nil, runs on the worker goroutine after the message's
+	// events and watermark are processed (cluster group grafts/removals);
+	// its error is reported on ack and poisons the shard. ack, when
+	// non-nil, marks a barrier round (see ctlRound): the worker replies
+	// once the message — ctl included — is fully processed, and the merge
+	// stage releases the barrier only after delivering every window the
+	// round made ready.
+	ctl func(ShardTarget) error
+	ack chan<- error
 }
 
 // shardSnap is one worker's reply to a snapshot request.
@@ -203,6 +212,16 @@ func (w *shardWorker) run(out chan<- shardOut) {
 				w.err = w.target.Flush()
 			}
 		}
+		var ctlErr error
+		if msg.ctl != nil {
+			if w.err != nil {
+				ctlErr = w.err
+			} else if ctlErr = msg.ctl(w.target); ctlErr != nil {
+				// A half-applied graft leaves the shard inconsistent;
+				// poison the run rather than keep emitting from it.
+				w.err = ctlErr
+			}
+		}
 		if msg.pooled && msg.events != nil {
 			w.pool.putBatch(msg.events)
 		}
@@ -211,10 +230,13 @@ func (w *shardWorker) run(out chan<- shardOut) {
 		w.stats.Events.Add(int64(len(msg.events)))
 		w.stats.Batches.Add(1)
 		w.stats.Results.Add(int64(len(res)))
+		if gc, ok := w.target.(groupCounter); ok {
+			w.stats.Groups.Store(gc.GroupCount())
+		}
 		// An errored shard must not acknowledge the watermark: its
 		// contributions to the frontier's windows are missing, and
 		// acking would let the merge emit them truncated.
-		out <- shardOut{shard: w.id, results: res, wm: msg.wm, hasWM: msg.hasWM && w.err == nil, flush: msg.flush, snap: msg.snap != nil, err: w.err}
+		out <- shardOut{shard: w.id, results: res, wm: msg.wm, hasWM: msg.hasWM && w.err == nil, flush: msg.flush, snap: msg.snap != nil || msg.ack != nil, err: w.err}
 		if msg.snap != nil {
 			sn := shardSnap{shard: w.id}
 			switch sp, ok := w.target.(shardPersist); {
@@ -226,6 +248,12 @@ func (w *shardWorker) run(out chan<- shardOut) {
 				sn.err = fmt.Errorf("exec: shard %d target %T does not support snapshots", w.id, w.target)
 			}
 			msg.snap <- sn
+		}
+		if msg.ack != nil {
+			if ctlErr == nil {
+				ctlErr = w.err
+			}
+			msg.ack <- ctlErr
 		}
 	}
 }
@@ -566,6 +594,144 @@ func (p *Parallel) emitReady(buckets map[int64][]Result, limit int64) {
 			}
 		}
 	}
+}
+
+// ctlRound runs one quiesced barrier round: every shard receives its
+// pending batch stamped with the current watermark plus an optional
+// per-shard control op, and the round returns only after every shard
+// acknowledged and the merge stage delivered every window the round
+// made ready. mk may be nil (pure barrier) or return nil for shards
+// with no op. It reports the first shard error.
+func (p *Parallel) ctlRound(mk func(shard int) func(ShardTarget) error) error {
+	ack := make(chan error, len(p.workers))
+	for i, w := range p.workers {
+		batch := p.pending[i]
+		if p.broadcast {
+			batch = p.pending[0]
+		}
+		msg := shardMsg{events: batch, pooled: !p.broadcast, ack: ack}
+		if mk != nil {
+			msg.ctl = mk(i)
+		}
+		if p.started {
+			msg.wm, msg.hasWM = p.last, true
+		}
+		w.in <- msg
+	}
+	for i := range p.pending {
+		p.pending[i] = nil
+	}
+	p.pendingN = 0
+	p.rounds.Add(1)
+	var firstErr error
+	for range p.workers {
+		if err := <-ack; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	<-p.snapBarrier // merge delivered everything the round made ready
+	return firstErr
+}
+
+// Quiesce dispatches the pending batches and blocks until every result
+// for windows ending at or before the current watermark has been
+// delivered through OnResult. The server's cluster punctuation uses it
+// to order "all results <= W emitted" markers after the results they
+// cover; on the sequential path emission is synchronous and the
+// equivalent method is a no-op.
+func (p *Parallel) Quiesce() error {
+	if p.closed {
+		return fmt.Errorf("exec: Quiesce after Flush on parallel executor")
+	}
+	if err := p.loadErr(); err != nil {
+		return err
+	}
+	if err := p.ctlRound(nil); err != nil {
+		return err
+	}
+	return p.loadErr()
+}
+
+// AbsorbSlice grafts a group slice into the executor: the groups are
+// re-sharded by this executor's worker count and each shard absorbs its
+// subset under a quiesced barrier. See Engine.AbsorbSlice for the
+// alignment contract.
+func (p *Parallel) AbsorbSlice(sl *EngineSnapshot) error {
+	if p.closed {
+		return fmt.Errorf("exec: AbsorbSlice after Flush on parallel executor")
+	}
+	if err := p.loadErr(); err != nil {
+		return err
+	}
+	if !sl.Started && len(sl.Groups) == 0 {
+		return nil
+	}
+	parts := make([]*EngineSnapshot, len(p.workers))
+	for i := range parts {
+		parts[i] = &EngineSnapshot{Started: sl.Started, LastTime: sl.LastTime, NextClose: sl.NextClose, MaxWin: sl.MaxWin}
+	}
+	for i := range sl.Groups {
+		s := shardOf(sl.Groups[i].Key, len(p.workers))
+		parts[s].Groups = append(parts[s].Groups, sl.Groups[i])
+	}
+	err := p.ctlRound(func(shard int) func(ShardTarget) error {
+		part := parts[shard]
+		if len(part.Groups) == 0 {
+			return nil
+		}
+		return func(t ShardTarget) error {
+			ab, ok := t.(groupAbsorber)
+			if !ok {
+				return fmt.Errorf("exec: shard %d target %T cannot absorb group slices", shard, t)
+			}
+			return ab.AbsorbSlice(part)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	// The feeder-side stream position must cover the slice so a later
+	// dispatch round does not hand the shards an older watermark.
+	if !p.started {
+		p.started = true
+		p.last = sl.LastTime
+	} else if sl.LastTime > p.last {
+		p.last = sl.LastTime
+	}
+	return nil
+}
+
+// RemoveGroups deletes every group satisfying drop from the shards
+// under a quiesced barrier and reports how many were removed.
+func (p *Parallel) RemoveGroups(drop func(event.GroupKey) bool) (int, error) {
+	if p.closed {
+		return 0, fmt.Errorf("exec: RemoveGroups after Flush on parallel executor")
+	}
+	if err := p.loadErr(); err != nil {
+		return 0, err
+	}
+	var removed atomic.Int64
+	err := p.ctlRound(func(shard int) func(ShardTarget) error {
+		return func(t ShardTarget) error {
+			rm, ok := t.(groupRemover)
+			if !ok {
+				return fmt.Errorf("exec: shard %d target %T cannot remove groups", shard, t)
+			}
+			removed.Add(int64(rm.RemoveGroups(drop)))
+			return nil
+		}
+	})
+	return int(removed.Load()), err
+}
+
+// GroupCount sums the shards' live-group gauges (refreshed by each
+// worker after every message; exact after a quiesced round).
+func (p *Parallel) GroupCount() int64 {
+	var n int64
+	for _, w := range p.workers {
+		n += w.stats.Groups.Load()
+	}
+	return n
 }
 
 // Results returns the merged results (Options.Collect must be set),

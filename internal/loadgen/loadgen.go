@@ -72,9 +72,22 @@ type Config struct {
 	// one line to this file — the byte evidence the crash-recovery
 	// verification diffs against an uninterrupted run.
 	FramesPath string
+	// ExtraEndpoints lists additional servers whose result streams are
+	// subscribed alongside BaseURL's, each with its own seq-gap/dup
+	// check. The cluster drills use it to watch a router's workers (each
+	// worker emits its own contiguous local sequence) while driving the
+	// router. An extra endpoint's stream ending early is reported
+	// (EndpointReport.Closed), not an error — the cluster kill drill
+	// shoots one worker on purpose.
+	ExtraEndpoints []string
 	// QuiesceTimeout bounds the wait for in-flight results after the
 	// final watermark (default 30s).
 	QuiesceTimeout time.Duration
+	// QuiesceStill is how long the subscription must stay silent before
+	// the run is considered complete (default 500ms). Cluster drills
+	// raise it past the router's dead-worker detection + rebalance span
+	// so a mid-drill stall is not mistaken for the end of the stream.
+	QuiesceStill time.Duration
 	// Progress receives per-phase log lines; nil discards them.
 	Progress func(format string, args ...any)
 }
@@ -97,6 +110,9 @@ func (c *Config) fill() {
 	}
 	if c.QuiesceTimeout <= 0 {
 		c.QuiesceTimeout = 30 * time.Second
+	}
+	if c.QuiesceStill <= 0 {
+		c.QuiesceStill = 500 * time.Millisecond
 	}
 	if c.Progress == nil {
 		c.Progress = func(string, ...any) {}
@@ -137,12 +153,133 @@ type Report struct {
 	// overlap if the in-flight batch did land).
 	Aborted   bool `json:"aborted"`
 	NextIndex int  `json:"next_index"`
+	// Endpoints reports the extra per-endpoint subscriptions
+	// (Config.ExtraEndpoints), each seq-checked independently.
+	Endpoints []EndpointReport `json:"endpoints,omitempty"`
+}
+
+// EndpointReport is one extra endpoint's subscription outcome.
+type EndpointReport struct {
+	URL      string `json:"url"`
+	Results  int64  `json:"results"`
+	FirstSeq int64  `json:"first_seq"`
+	LastSeq  int64  `json:"last_seq"`
+	SeqGaps  int64  `json:"seq_gaps"`
+	SeqDups  int64  `json:"seq_dups"`
+	// Closed reports the stream ended (or never opened) before the run
+	// finished — expected for a worker killed mid-drill.
+	Closed bool `json:"closed"`
 }
 
 // wireResult is the slice of the result wire format the driver reads.
 type wireResult struct {
 	Seq int64 `json:"seq"`
 	End int64 `json:"end"`
+}
+
+// extraSub is one extra endpoint's subscription state.
+type extraSub struct {
+	url  string
+	done chan struct{}
+
+	mu       sync.Mutex
+	results  int64
+	firstSeq int64
+	lastSeq  int64
+	prevSeq  int64
+	gaps     int64
+	dups     int64
+	closed   bool
+}
+
+// watchEndpoint subscribes to one extra endpoint and seq-checks its
+// stream until ctx ends or the stream closes.
+func watchEndpoint(ctx context.Context, url string) *extraSub {
+	ex := &extraSub{url: url, done: make(chan struct{}), firstSeq: -1, lastSeq: -1, prevSeq: -1}
+	go func() {
+		defer close(ex.done)
+		req, err := http.NewRequestWithContext(ctx, "GET", url+"/subscribe", nil)
+		if err != nil {
+			ex.mu.Lock()
+			ex.closed = true
+			ex.mu.Unlock()
+			return
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			if resp != nil {
+				resp.Body.Close()
+			}
+			ex.mu.Lock()
+			ex.closed = true
+			ex.mu.Unlock()
+			return
+		}
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		// Track the SSE event type: terminal frames (event: eof/error)
+		// carry data lines too and must not be counted as results.
+		evtype := ""
+		for sc.Scan() {
+			line := sc.Text()
+			if line == "" {
+				evtype = ""
+				continue
+			}
+			if strings.HasPrefix(line, "event: ") {
+				evtype = line[len("event: "):]
+				continue
+			}
+			if evtype != "" || !strings.HasPrefix(line, "data: ") {
+				continue
+			}
+			var wr wireResult
+			if json.Unmarshal([]byte(line[len("data: "):]), &wr) != nil {
+				continue
+			}
+			ex.mu.Lock()
+			ex.results++
+			switch {
+			case wr.Seq == ex.prevSeq+1:
+				ex.prevSeq = wr.Seq
+			case wr.Seq > ex.prevSeq+1:
+				if ex.prevSeq >= 0 {
+					ex.gaps++
+				}
+				ex.prevSeq = wr.Seq
+			default:
+				ex.dups++
+			}
+			if ex.firstSeq < 0 {
+				ex.firstSeq = wr.Seq
+			}
+			if wr.Seq > ex.lastSeq {
+				ex.lastSeq = wr.Seq
+			}
+			ex.mu.Unlock()
+		}
+		if ctx.Err() == nil {
+			ex.mu.Lock()
+			ex.closed = true // stream ended before the run did
+			ex.mu.Unlock()
+		}
+	}()
+	return ex
+}
+
+func (ex *extraSub) report() EndpointReport {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	return EndpointReport{
+		URL:      ex.url,
+		Results:  ex.results,
+		FirstSeq: ex.firstSeq,
+		LastSeq:  ex.lastSeq,
+		SeqGaps:  ex.gaps,
+		SeqDups:  ex.dups,
+		Closed:   ex.closed,
+	}
 }
 
 // Run executes one load run against a serving sharond.
@@ -199,13 +336,24 @@ func Run(cfg Config) (Report, error) {
 		defer resp.Body.Close()
 		sc := bufio.NewScanner(resp.Body)
 		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		evtype := ""
 		for sc.Scan() {
 			line := sc.Text()
 			if line == ": subscribed" {
 				close(subReady)
 				continue
 			}
-			if !strings.HasPrefix(line, "data: ") {
+			if line == "" {
+				evtype = ""
+				continue
+			}
+			if strings.HasPrefix(line, "event: ") {
+				evtype = line[len("event: "):]
+				continue
+			}
+			// Only default-type frames are results; terminal frames
+			// (event: eof/error) carry data lines that are not.
+			if evtype != "" || !strings.HasPrefix(line, "data: ") {
 				continue
 			}
 			payload := line[len("data: "):]
@@ -249,6 +397,14 @@ func Run(cfg Config) (Report, error) {
 	case <-subReady:
 	case <-time.After(10 * time.Second):
 		return rep, fmt.Errorf("subscription never became ready")
+	}
+
+	// Extra endpoints: independent subscriptions, each seq-checked on
+	// its own local sequence. Opened after the primary so the primary's
+	// failure modes stay unchanged.
+	extras := make([]*extraSub, 0, len(cfg.ExtraEndpoints))
+	for _, url := range cfg.ExtraEndpoints {
+		extras = append(extras, watchEndpoint(ctx, strings.TrimSuffix(url, "/")))
 	}
 
 	// Send loop: stamp each window end when the batch closing it is
@@ -371,7 +527,7 @@ func Run(cfg Config) (Report, error) {
 		mu.Unlock()
 		if n != lastCount {
 			lastCount, lastChange = n, time.Now()
-		} else if n > 0 && time.Since(lastChange) > 500*time.Millisecond {
+		} else if n > 0 && time.Since(lastChange) > cfg.QuiesceStill {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -381,6 +537,10 @@ func Run(cfg Config) (Report, error) {
 	}
 	cancel()
 	<-subDone
+	for _, ex := range extras {
+		<-ex.done
+		rep.Endpoints = append(rep.Endpoints, ex.report())
+	}
 
 	mu.Lock()
 	defer mu.Unlock()

@@ -1,0 +1,83 @@
+package metrics
+
+// RouterStats is the /metrics snapshot of a cluster router: ingestion
+// and merge progress plus the per-worker shard-occupancy and rebalance
+// counters.
+type RouterStats struct {
+	// UptimeSec is the wall-clock seconds since the router started.
+	UptimeSec float64 `json:"uptime_sec"`
+	// Queries is the number of queries the cluster serves.
+	Queries int `json:"queries"`
+	// Watermark is the router's ingest stream position (max event time
+	// or explicit watermark; -1 before the first).
+	Watermark int64 `json:"watermark"`
+	// MergedWatermark is the merge frontier: every result for windows
+	// ending at or before it has been emitted downstream.
+	MergedWatermark int64 `json:"merged_watermark"`
+
+	// EventsIngested counts events accepted and forwarded.
+	EventsIngested int64 `json:"events_ingested"`
+	// EventsDroppedLate / EventsDroppedUnknownType mirror sharond's
+	// ingest filters, applied once at the router.
+	EventsDroppedLate        int64 `json:"events_dropped_late"`
+	EventsDroppedUnknownType int64 `json:"events_dropped_unknown_type"`
+	// Batches counts accepted ingest batches.
+	Batches int64 `json:"batches"`
+	// RejectedBackpressure / RejectedOversize count 429/413 refusals.
+	RejectedBackpressure int64 `json:"rejected_backpressure"`
+	RejectedOversize     int64 `json:"rejected_oversize"`
+	// IngestQueueDepth/Cap describe the router's bounded ingest queue.
+	IngestQueueDepth int `json:"ingest_queue_depth"`
+	IngestQueueCap   int `json:"ingest_queue_cap"`
+
+	// ResultsEmitted counts merged results pushed downstream (the
+	// cluster's global emission sequence height).
+	ResultsEmitted int64 `json:"results_emitted"`
+	// ResultsDelivered counts frames fanned out to subscribers.
+	ResultsDelivered int64 `json:"results_delivered"`
+	// Subscribers is the number of live downstream subscriptions.
+	Subscribers int `json:"subscribers"`
+	// SlowConsumerDisconnects counts subscribers dropped for lagging.
+	SlowConsumerDisconnects int64 `json:"slow_consumer_disconnects"`
+
+	// Rebalances counts completed hash-range hand-offs (worker death,
+	// join, leave); RebalancesFailed counts aborted ones (the cluster
+	// enters the error state).
+	Rebalances       int64 `json:"rebalances"`
+	RebalancesFailed int64 `json:"rebalances_failed"`
+	// LastRebalanceMs is the duration of the most recent rebalance.
+	LastRebalanceMs float64 `json:"last_rebalance_ms"`
+
+	// Draining reports shutdown; Error a fatal cluster condition.
+	Draining bool   `json:"draining"`
+	Error    string `json:"error,omitempty"`
+
+	// Workers is the per-worker view: membership, merge frontier, and
+	// shard occupancy.
+	Workers []RouterWorkerStats `json:"workers"`
+}
+
+// RouterWorkerStats is one worker's slice of the router's view.
+type RouterWorkerStats struct {
+	// ID is the ring member id (the worker URL).
+	ID string `json:"id"`
+	// Healthy is the last health-probe outcome.
+	Healthy bool `json:"healthy"`
+	// Frontier is the worker's last punctuated watermark: every result
+	// it owes for windows ending at or before it has been received.
+	Frontier int64 `json:"frontier"`
+	// EventsForwarded / BatchesForwarded count the ingest slices routed
+	// to this worker; Retries429 its backpressure retries.
+	EventsForwarded  int64 `json:"events_forwarded"`
+	BatchesForwarded int64 `json:"batches_forwarded"`
+	Retries429       int64 `json:"retries_429"`
+	// PendingResults is the number of results buffered in the merge
+	// awaiting the global frontier.
+	PendingResults int `json:"pending_results"`
+	// DeltaBatches is the retained hand-off delta (steps newer than the
+	// worker's frontier, replayed onto a successor if this worker dies).
+	DeltaBatches int `json:"delta_batches"`
+	// GroupsLive is the worker's live group count (from its /metrics) —
+	// the cluster's shard-occupancy signal.
+	GroupsLive int64 `json:"groups_live"`
+}

@@ -18,6 +18,10 @@ type ShardCounters struct {
 	Batches atomic.Int64
 	// Results is the number of results the shard's executor emitted.
 	Results atomic.Int64
+	// Groups is a gauge of the live per-group runtimes the shard owns
+	// (refreshed by the worker after each message) — the cluster tier's
+	// per-worker shard-occupancy signal.
+	Groups atomic.Int64
 }
 
 // Snapshot copies the counters into a plain ShardStats value.
@@ -27,6 +31,7 @@ func (c *ShardCounters) Snapshot(shard int) ShardStats {
 		Events:  c.Events.Load(),
 		Batches: c.Batches.Load(),
 		Results: c.Results.Load(),
+		Groups:  c.Groups.Load(),
 	}
 }
 
@@ -36,6 +41,7 @@ type ShardStats struct {
 	Events  int64
 	Batches int64
 	Results int64
+	Groups  int64
 }
 
 // ParallelStats summarizes a parallel sharded run: feeder-level

@@ -53,6 +53,9 @@ type ServerStats struct {
 	// (sequential engines report live; parallel engines report 0 until
 	// drained — worker goroutines own the shard state while running).
 	PeakLiveStates int64 `json:"peak_live_states"`
+	// GroupsLive is a gauge of the live per-group runtimes the engine
+	// owns — in a cluster, each worker's share of the key space.
+	GroupsLive int64 `json:"groups_live"`
 	// Draining reports whether the server is shutting down.
 	Draining bool `json:"draining"`
 

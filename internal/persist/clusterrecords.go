@@ -1,0 +1,184 @@
+package persist
+
+import (
+	"fmt"
+
+	"github.com/sharon-project/sharon/internal/core"
+	"github.com/sharon-project/sharon/internal/event"
+	"github.com/sharon-project/sharon/internal/exec"
+)
+
+// Cluster hand-off records: the per-group-range slice of a checkpoint
+// plus the replay delta that moves a consistent-hash range between
+// sharond workers. AdoptRecord doubles as the /cluster/adopt HTTP body
+// and the RecAdopt WAL payload — the worker logs exactly what it was
+// sent, so crash recovery re-applies the graft bit-for-bit.
+
+// SliceSnapshotGroups cuts the groups selected by keep out of a full
+// system snapshot (typically a checkpoint's State) into an engine-kind
+// slice snapshot — the per-group-range checkpoint slicing the cluster
+// rebalancer ships between workers.
+func SliceSnapshotGroups(s *exec.SystemSnapshot, keep func(event.GroupKey) bool) (*exec.SystemSnapshot, error) {
+	es, err := exec.SliceGroups(s, keep)
+	if err != nil {
+		return nil, err
+	}
+	return &exec.SystemSnapshot{Kind: exec.KindEngine, Engine: es}, nil
+}
+
+// AdoptRecord is one cluster hand-off into a worker: graft Slice
+// (consistent at its recorded stream position), replay Delta on top of
+// it, align at TargetWM, and emit only the regenerated results for
+// windows ending after EmitFrom (everything at or before it was already
+// delivered downstream by the previous owner).
+type AdoptRecord struct {
+	// Op is a router-assigned nonce echoed in the worker's "adopted"
+	// SSE marker, so the router can match completion to request.
+	Op int64
+	// TargetWM is the stream watermark the graft must be aligned at
+	// when it completes (the router's position at the rebalance barrier).
+	TargetWM int64
+	// EmitFrom suppresses regenerated results for windows ending at or
+	// before it: the previous owner already delivered those.
+	EmitFrom int64
+	// Plan is the sharing plan the slice's group structure was built
+	// under; the adopting worker refuses a mismatch with its own plan
+	// (the graft would not line up with its aggregator layout).
+	Plan core.Plan
+	// Slice is the engine-kind group slice (may hold zero groups when
+	// the range's state lives entirely in Delta).
+	Slice *exec.SystemSnapshot
+	// Delta are the replay steps (already filtered to the moved range)
+	// that carry the slice from its position to TargetWM.
+	Delta []BatchRecord
+}
+
+// EncodeAdoptRecord renders an adopt record payload.
+func EncodeAdoptRecord(a AdoptRecord) ([]byte, error) {
+	e := &Encoder{}
+	e.Varint(a.Op)
+	e.Varint(a.TargetWM)
+	e.Varint(a.EmitFrom)
+	EncodePlan(e, a.Plan)
+	e.Bool(a.Slice != nil)
+	if a.Slice != nil {
+		if err := EncodeSystemSnapshot(e, a.Slice); err != nil {
+			return nil, err
+		}
+	}
+	e.Uvarint(uint64(len(a.Delta)))
+	for _, b := range a.Delta {
+		e.Blob(EncodeBatchRecord(b))
+	}
+	return e.Bytes(), nil
+}
+
+// DecodeAdoptRecord parses an adopt record payload.
+func DecodeAdoptRecord(payload []byte) (AdoptRecord, error) {
+	d := NewDecoder(payload)
+	a := AdoptRecord{
+		Op:       d.Varint(),
+		TargetWM: d.Varint(),
+		EmitFrom: d.Varint(),
+	}
+	a.Plan = DecodePlan(d)
+	if d.Bool() && d.Err() == nil {
+		s, err := DecodeSystemSnapshot(d)
+		if err != nil {
+			return AdoptRecord{}, err
+		}
+		a.Slice = s
+	}
+	n := d.Len()
+	for i := 0; i < n && d.Err() == nil; i++ {
+		b, err := DecodeBatchRecord(d.Blob())
+		if err != nil {
+			return AdoptRecord{}, err
+		}
+		a.Delta = append(a.Delta, b)
+	}
+	if d.Err() != nil {
+		return AdoptRecord{}, d.Err()
+	}
+	if d.Remaining() != 0 {
+		return AdoptRecord{}, fmt.Errorf("persist: %d trailing bytes in adopt record", d.Remaining())
+	}
+	return a, nil
+}
+
+// ExtractRecord is one cluster hand-off out of a worker: the group keys
+// that were removed after their slice was shipped to the new owner.
+type ExtractRecord struct {
+	Op   int64
+	Keys []event.GroupKey
+}
+
+// EncodeExtractRecord renders an extract record payload.
+func EncodeExtractRecord(x ExtractRecord) []byte {
+	e := &Encoder{}
+	e.Varint(x.Op)
+	e.Uvarint(uint64(len(x.Keys)))
+	for _, k := range x.Keys {
+		e.Varint(int64(k))
+	}
+	return e.Bytes()
+}
+
+// DecodeExtractRecord parses an extract record payload.
+func DecodeExtractRecord(payload []byte) (ExtractRecord, error) {
+	d := NewDecoder(payload)
+	x := ExtractRecord{Op: d.Varint()}
+	n := d.Len()
+	for i := 0; i < n && d.Err() == nil; i++ {
+		x.Keys = append(x.Keys, event.GroupKey(d.Varint()))
+	}
+	if d.Err() != nil {
+		return ExtractRecord{}, d.Err()
+	}
+	if d.Remaining() != 0 {
+		return ExtractRecord{}, fmt.Errorf("persist: %d trailing bytes in extract record", d.Remaining())
+	}
+	return x, nil
+}
+
+// ExtractResponse is the /cluster/extract HTTP response body: the
+// sliced groups and the watermark they are consistent at.
+type ExtractResponse struct {
+	Watermark int64
+	Groups    int64
+	Slice     *exec.SystemSnapshot
+}
+
+// EncodeExtractResponse renders an extract response body.
+func EncodeExtractResponse(x ExtractResponse) ([]byte, error) {
+	e := &Encoder{}
+	e.Varint(x.Watermark)
+	e.Varint(x.Groups)
+	e.Bool(x.Slice != nil)
+	if x.Slice != nil {
+		if err := EncodeSystemSnapshot(e, x.Slice); err != nil {
+			return nil, err
+		}
+	}
+	return e.Bytes(), nil
+}
+
+// DecodeExtractResponse parses an extract response body.
+func DecodeExtractResponse(payload []byte) (ExtractResponse, error) {
+	d := NewDecoder(payload)
+	x := ExtractResponse{Watermark: d.Varint(), Groups: d.Varint()}
+	if d.Bool() && d.Err() == nil {
+		s, err := DecodeSystemSnapshot(d)
+		if err != nil {
+			return ExtractResponse{}, err
+		}
+		x.Slice = s
+	}
+	if d.Err() != nil {
+		return ExtractResponse{}, d.Err()
+	}
+	if d.Remaining() != 0 {
+		return ExtractResponse{}, fmt.Errorf("persist: %d trailing bytes in extract response", d.Remaining())
+	}
+	return x, nil
+}

@@ -1,0 +1,81 @@
+package persist
+
+import (
+	"testing"
+
+	"github.com/sharon-project/sharon/internal/core"
+	"github.com/sharon-project/sharon/internal/event"
+	"github.com/sharon-project/sharon/internal/exec"
+)
+
+func testSlice() *exec.SystemSnapshot {
+	return &exec.SystemSnapshot{Kind: exec.KindEngine, Engine: &exec.EngineSnapshot{
+		Started:   true,
+		LastTime:  1234,
+		NextClose: 3,
+		MaxWin:    7,
+	}}
+}
+
+func TestAdoptRecordRoundTrip(t *testing.T) {
+	rec := AdoptRecord{
+		Op:       42,
+		TargetWM: 9000,
+		EmitFrom: 8000,
+		Plan:     core.Plan{core.NewCandidate([]event.Type{1, 2}, []int{0, 1})},
+		Slice:    testSlice(),
+		Delta: []BatchRecord{
+			{Events: []event.Event{{Time: 8100, Type: 1, Key: 5, Val: 2.5}}, Watermark: 8200},
+			{Watermark: 9000},
+		},
+	}
+	payload, err := EncodeAdoptRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeAdoptRecord(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Op != rec.Op || got.TargetWM != rec.TargetWM || got.EmitFrom != rec.EmitFrom {
+		t.Fatalf("scalars differ: %+v", got)
+	}
+	if !got.Plan.Equal(rec.Plan) {
+		t.Fatalf("plan differs: %v vs %v", got.Plan, rec.Plan)
+	}
+	if got.Slice == nil || got.Slice.Engine.LastTime != 1234 {
+		t.Fatalf("slice differs: %+v", got.Slice)
+	}
+	if len(got.Delta) != 2 || got.Delta[0].Events[0].Time != 8100 || got.Delta[1].Watermark != 9000 {
+		t.Fatalf("delta differs: %+v", got.Delta)
+	}
+	if _, err := DecodeAdoptRecord(append(payload, 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestExtractRecordRoundTrip(t *testing.T) {
+	rec := ExtractRecord{Op: 7, Keys: []event.GroupKey{1, 5, 9}}
+	got, err := DecodeExtractRecord(EncodeExtractRecord(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Op != 7 || len(got.Keys) != 3 || got.Keys[2] != 9 {
+		t.Fatalf("round trip differs: %+v", got)
+	}
+}
+
+func TestExtractResponseRoundTrip(t *testing.T) {
+	x := ExtractResponse{Watermark: 777, Groups: 3, Slice: testSlice()}
+	body, err := EncodeExtractResponse(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeExtractResponse(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Watermark != 777 || got.Groups != 3 || got.Slice.Engine.MaxWin != 7 {
+		t.Fatalf("round trip differs: %+v", got)
+	}
+}

@@ -63,6 +63,14 @@ const (
 	// registration/removal) with the plan the optimizer chose, so replay
 	// reproduces the exact workload evolution without re-optimizing.
 	RecCtl byte = 2
+	// RecAdopt is an applied cluster hand-off into this worker: the
+	// group slice, the delta steps that catch it up, and the alignment
+	// watermarks — everything replay needs to re-graft the groups and
+	// regenerate the same emissions.
+	RecAdopt byte = 3
+	// RecExtract is an applied cluster hand-off out of this worker: the
+	// exact group keys removed, so replay removes the same groups.
+	RecExtract byte = 4
 )
 
 // Record is one decoded WAL entry.

@@ -2,7 +2,6 @@ package server
 
 import (
 	"fmt"
-	"sync"
 	"time"
 
 	sharon "github.com/sharon-project/sharon"
@@ -38,90 +37,6 @@ import (
 //     its old system (two engines own disjoint window ranges then); the
 //     WAL covers the migration, and the next interval checkpoints the
 //     settled state.
-
-// replayRing retains the last N emissions (seq-contiguous by
-// construction) so a resuming subscription can be backfilled. The sink
-// appends from the pump or merge goroutine; subscription handlers and
-// the checkpointer read snapshots. Trimming advances a head index and
-// compacts the backing array only when half of it is dead, so append
-// stays amortized O(1) on the emission path (which PR 2 engineered to
-// zero per-event work) instead of copying the whole ring once full.
-type replayRing struct {
-	mu   sync.Mutex
-	buf  []persist.RingEntry
-	head int // index of the oldest retained entry in buf
-	max  int
-	next int64 // seq after the last appended entry
-}
-
-func newReplayRing(max int) *replayRing {
-	return &replayRing{max: max}
-}
-
-// append retains one emission; seq must be r.next (the sink's global
-// sequence is contiguous).
-func (r *replayRing) append(seq int64, payload []byte) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.buf = append(r.buf, persist.RingEntry{Seq: seq, Payload: payload})
-	r.next = seq + 1
-	for len(r.buf)-r.head > r.max {
-		r.buf[r.head] = persist.RingEntry{} // release the payload
-		r.head++
-	}
-	if r.head > 64 && r.head*2 >= len(r.buf) {
-		n := copy(r.buf, r.buf[r.head:])
-		clear(r.buf[n:])
-		r.buf = r.buf[:n]
-		r.head = 0
-	}
-}
-
-// load seeds the ring from a checkpoint, trimmed to this instance's
-// bound (a restart may lower -replay-buffer below what the checkpoint
-// retained).
-func (r *replayRing) load(entries []persist.RingEntry, nextSeq int64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if over := len(entries) - r.max; over > 0 {
-		entries = entries[over:]
-	}
-	r.buf = append([]persist.RingEntry(nil), entries...)
-	r.head = 0
-	r.next = nextSeq
-}
-
-// snapshot copies the retained entries (checkpointing).
-func (r *replayRing) snapshot() []persist.RingEntry {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return append([]persist.RingEntry(nil), r.buf[r.head:]...)
-}
-
-// since returns the retained entries with Seq > after, plus the first
-// sequence number actually available. gap is true when a concrete
-// cursor cannot be served exactly: emissions in (after, first) have
-// aged out of the ring, or after refers to emissions that never
-// happened (a client resuming against a server whose sequence
-// restarted — serving it would silently skip everything up to the
-// phantom cursor). after = -1 is the documented "everything retained"
-// request and never gaps; the client's own contiguity check flags a
-// trimmed head.
-func (r *replayRing) since(after int64) (entries []persist.RingEntry, gap bool, first int64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	live := r.buf[r.head:]
-	first = r.next - int64(len(live))
-	if after >= 0 && ((after+1 < first && r.next > after+1) || after >= r.next) {
-		gap = true
-	}
-	for _, e := range live {
-		if e.Seq > after {
-			entries = append(entries, e)
-		}
-	}
-	return entries, gap, first
-}
 
 // initDurability opens the WAL and, when a checkpoint exists, rebuilds
 // the registry, workload, and engine state from it. Called from New
@@ -211,7 +126,7 @@ func (s *Server) initDurability() error {
 		s.typeCounts = make(map[sharon.Type]float64)
 	}
 	s.countFrom = ck.CountFrom
-	s.ring.load(ck.Ring, ck.NextEmitSeq)
+	s.ring.Load(ck.Ring, ck.NextEmitSeq)
 	s.appliedSeq = ck.WALSeq
 	s.lastCkptAt.Store(ck.CreatedUnixNano)
 	s.cfg.Logf("recovered checkpoint at wal seq %d, watermark %d, %d queries, emit seq %d",
@@ -241,6 +156,22 @@ func (s *Server) recoverWAL() error {
 				return err
 			}
 			if err := s.replayCtl(c); err != nil {
+				return err
+			}
+		case persist.RecAdopt:
+			a, err := persist.DecodeAdoptRecord(rec.Payload)
+			if err != nil {
+				return err
+			}
+			if err := s.replayAdopt(a); err != nil {
+				return err
+			}
+		case persist.RecExtract:
+			x, err := persist.DecodeExtractRecord(rec.Payload)
+			if err != nil {
+				return err
+			}
+			if err := s.replayExtract(x); err != nil {
 				return err
 			}
 		default:
@@ -313,7 +244,7 @@ func (s *Server) checkpoint(final bool) {
 		Plan:            s.cur.plan,
 		TypeCounts:      counts,
 		CountFrom:       s.countFrom,
-		Ring:            s.ring.snapshot(),
+		Ring:            s.ring.Snapshot(),
 		State:           snap,
 	}
 	path, size, err := persist.WriteCheckpoint(s.cfg.DataDir, ck)

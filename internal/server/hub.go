@@ -5,14 +5,17 @@ import (
 	"sync/atomic"
 )
 
-// resultFrame is one encoded result on its way to subscribers: the
-// global emission sequence number plus the wire payload. Carrying the
-// seq beside the payload lets a resuming subscription (?after=N)
-// deduplicate the overlap between its replay-ring read and its live
-// channel without re-parsing JSON.
+// resultFrame is one frame on its way to subscribers: either an encoded
+// result (ctl == "", with its global emission sequence number) or a
+// control frame (ctl names the SSE event type — "wm" watermark
+// punctuation, "adopted" rebalance markers — delivered only to
+// punctuating subscribers). Carrying the seq beside the payload lets a
+// resuming subscription (?after=N) deduplicate the overlap between its
+// replay-ring read and its live channel without re-parsing JSON.
 type resultFrame struct {
 	seq     int64
 	payload []byte
+	ctl     string
 }
 
 // subscriber is one live result subscription. Encoded results are
@@ -24,83 +27,134 @@ type resultFrame struct {
 type subscriber struct {
 	ch    chan resultFrame
 	query int // filter: only results of this query ID; -1 = all
+	punct bool
 	slow  bool
 }
 
-// hub fans encoded results out to the live subscribers. publish is
+// Hub fans encoded results out to the live subscribers. Publish is
 // called from the engine's sink (pump goroutine, or the parallel
-// executor's merge goroutine); subscribe/unsubscribe from HTTP handler
-// goroutines.
-type hub struct {
+// executor's merge goroutine); Subscribe/Unsubscribe from HTTP handler
+// goroutines. It is shared by sharond and the cluster router (whose
+// merged output stream obeys the same subscription contract).
+type Hub struct {
 	mu     sync.Mutex
 	subs   map[*subscriber]struct{}
+	puncts int  // subscribers with punct set
 	closed bool // after drain: results delivered, no new subscribers
 
 	delivered atomic.Int64
 	slowDrops atomic.Int64
 }
 
-func newHub() *hub {
-	return &hub{subs: make(map[*subscriber]struct{})}
+// NewHub returns an empty hub.
+func NewHub() *Hub {
+	return &Hub{subs: make(map[*subscriber]struct{})}
 }
 
 // subscribe registers a subscription with a delivery buffer of buf
-// results; it returns nil when the hub has already shut down.
-func (h *hub) subscribe(query int, buf int) *subscriber {
+// results; it returns nil when the hub has already shut down. punct
+// additionally delivers control frames (watermark punctuation).
+func (h *Hub) subscribe(query int, buf int, punct bool) *subscriber {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.closed {
 		return nil
 	}
-	s := &subscriber{ch: make(chan resultFrame, buf), query: query}
+	s := &subscriber{ch: make(chan resultFrame, buf), query: query, punct: punct}
 	h.subs[s] = struct{}{}
+	if punct {
+		h.puncts++
+	}
 	return s
 }
 
 // unsubscribe removes s (the subscriber's handler left). Idempotent
 // with a slow-consumer drop racing it.
-func (h *hub) unsubscribe(s *subscriber) {
+func (h *Hub) unsubscribe(s *subscriber) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	h.drop(s)
+}
+
+// drop removes s under h.mu.
+func (h *Hub) drop(s *subscriber) {
 	if _, ok := h.subs[s]; ok {
 		delete(h.subs, s)
+		if s.punct {
+			h.puncts--
+		}
 		close(s.ch)
 	}
 }
 
-// publish delivers one encoded result to every matching subscriber.
+// Publish delivers one encoded result to every matching subscriber.
 // A subscriber whose buffer is full is marked slow and dropped: its
 // channel closes, and its handler terminates the connection.
-func (h *hub) publish(query int, seq int64, payload []byte) {
+func (h *Hub) Publish(query int, seq int64, payload []byte) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	for s := range h.subs {
 		if s.query >= 0 && s.query != query {
 			continue
 		}
-		select {
-		case s.ch <- resultFrame{seq: seq, payload: payload}:
-			h.delivered.Add(1)
-		default:
-			s.slow = true
-			delete(h.subs, s)
-			close(s.ch)
-			h.slowDrops.Add(1)
-		}
+		h.deliver(s, resultFrame{seq: seq, payload: payload})
 	}
 }
 
-// count reports the number of live subscriptions.
-func (h *hub) count() int {
+// PublishCtl delivers one control frame (SSE event `name`) to every
+// punctuating subscriber. Control frames obey the same slow-consumer
+// policy as results: a punctuating consumer that cannot keep up loses
+// frames it cannot reason without, so it is disconnected instead.
+func (h *Hub) PublishCtl(name string, payload []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for s := range h.subs {
+		if !s.punct {
+			continue
+		}
+		h.deliver(s, resultFrame{seq: -1, payload: payload, ctl: name})
+	}
+}
+
+// deliver pushes one frame under h.mu, dropping s when its buffer is
+// full.
+func (h *Hub) deliver(s *subscriber, f resultFrame) {
+	select {
+	case s.ch <- f:
+		h.delivered.Add(1)
+	default:
+		s.slow = true
+		h.drop(s)
+		h.slowDrops.Add(1)
+	}
+}
+
+// Count reports the number of live subscriptions.
+func (h *Hub) Count() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return len(h.subs)
 }
 
-// shutdown closes every subscription after the final results were
+// PunctCount reports the number of punctuating subscriptions — the
+// pump's cheap gate for skipping punctuation work entirely when nobody
+// listens.
+func (h *Hub) PunctCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.puncts
+}
+
+// Delivered reports the total frames delivered into subscriber buffers.
+func (h *Hub) Delivered() int64 { return h.delivered.Load() }
+
+// SlowDrops reports the subscribers dropped by the slow-consumer policy.
+func (h *Hub) SlowDrops() int64 { return h.slowDrops.Load() }
+
+// Shutdown closes every subscription after the final results were
 // published (drain): handlers see the channel close with slow == false
 // and send the end-of-stream frame.
-func (h *hub) shutdown() {
+func (h *Hub) Shutdown() {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.closed = true
@@ -108,4 +162,5 @@ func (h *hub) shutdown() {
 		delete(h.subs, s)
 		close(s.ch)
 	}
+	h.puncts = 0
 }

@@ -24,16 +24,22 @@ import (
 // migration count.
 
 // ctlReq is a control-plane request executed on the pump goroutine,
-// which owns the engine and the registry.
+// which owns the engine and the registry: a live workload change
+// (add/remove) or a cluster hand-off (adopt/extract, see cluster.go).
 type ctlReq struct {
-	add    []string
-	remove []int
-	reply  chan ctlReply
+	add     []string
+	remove  []int
+	adopt   *persist.AdoptRecord
+	extract *ExtractRequest
+	reply   chan ctlReply
 }
 
+// ctlReply is the handler-visible outcome: a JSON body, or a raw
+// binary body (cluster extract slices) when raw is non-nil.
 type ctlReply struct {
 	status int
 	body   any
+	raw    []byte
 }
 
 // planDiff describes how the sharing plan changed at a migration.
@@ -281,6 +287,12 @@ func (s *Server) sendCtl(w http.ResponseWriter, req *ctlReq) {
 	}
 	select {
 	case rep := <-req.reply:
+		if rep.raw != nil {
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.WriteHeader(rep.status)
+			_, _ = w.Write(rep.raw)
+			return
+		}
 		writeJSON(w, rep.status, rep.body)
 	case <-time.After(30 * time.Second):
 		writeErr(w, http.StatusGatewayTimeout, "control request timed out")

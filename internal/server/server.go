@@ -6,8 +6,6 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -146,7 +144,7 @@ type workloadView struct {
 type Server struct {
 	cfg   Config
 	reg   *sharon.Registry
-	hub   *hub
+	hub   *Hub
 	mux   *http.ServeMux
 	start time.Time
 
@@ -174,7 +172,7 @@ type Server struct {
 	// checkpoint timer are owned by the pump after recovery; the ring is
 	// internally synchronized.
 	wal           *persist.WAL
-	ring          *replayRing
+	ring          *ReplayRing
 	appliedSeq    int64
 	lastCkptTimer time.Time
 
@@ -191,6 +189,7 @@ type Server struct {
 	wm              atomic.Int64
 	maxAdvance      atomic.Int64
 	peakStates      atomic.Int64
+	groupsLive      atomic.Int64
 	parStats        atomic.Pointer[metrics.ParallelStatsJSON]
 	runErr          atomic.Value // string
 	recovering      atomic.Bool
@@ -214,8 +213,8 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:           cfg,
 		reg:           sharon.NewRegistry(),
-		hub:           newHub(),
-		ring:          newReplayRing(cfg.ReplayBuffer),
+		hub:           NewHub(),
+		ring:          NewReplayRing(cfg.ReplayBuffer),
 		start:         time.Now(),
 		ingest:        make(chan pumpMsg, cfg.IngestQueue),
 		drainReq:      make(chan struct{}),
@@ -385,7 +384,14 @@ func (s *Server) pump() {
 
 func (s *Server) step(msg pumpMsg) {
 	if msg.ctl != nil {
-		s.applyCtl(msg.ctl)
+		switch {
+		case msg.ctl.adopt != nil:
+			s.applyAdopt(msg.ctl)
+		case msg.ctl.extract != nil:
+			s.applyExtract(msg.ctl)
+		default:
+			s.applyCtl(msg.ctl)
+		}
 		return
 	}
 	b := msg.batch
@@ -423,6 +429,30 @@ func (s *Server) step(msg pumpMsg) {
 	}
 	s.applyBatch(events, wm)
 	s.maybeCheckpoint()
+	s.punctuate()
+}
+
+// punctuate publishes a watermark punctuation control frame after an
+// applied step: "every result for windows ending at or before W has
+// been delivered". The cluster router's merge frontier is built on
+// these markers. Costs nothing without punctuating subscribers; with a
+// parallel engine the pump quiesces the merge stage first so the
+// marker cannot overtake the results it covers.
+func (s *Server) punctuate() {
+	if s.hub.PunctCount() == 0 {
+		return
+	}
+	if s.old != nil {
+		if err := s.old.eng.Quiesce(); err != nil {
+			s.fail(err)
+			return
+		}
+	}
+	if err := s.cur.eng.Quiesce(); err != nil {
+		s.fail(err)
+		return
+	}
+	s.hub.PublishCtl("wm", fmt.Appendf(nil, `{"watermark":%d}`, s.wmState))
 }
 
 // applyBatch feeds one late-filtered batch and effective watermark into
@@ -520,6 +550,7 @@ func (s *Server) publishEngineStats(force bool) {
 	}
 	s.lastStatsAt = time.Now()
 	s.peakStates.Store(s.cur.eng.PeakMemoryStates())
+	s.groupsLive.Store(s.cur.eng.GroupCount())
 	s.parStats.Store(metrics.WireParallelStats(s.cur.eng.ParallelStats()))
 }
 
@@ -550,7 +581,7 @@ func (s *Server) finish() {
 			s.old = nil
 		}
 		s.cur.eng.Close()
-		s.hub.shutdown()
+		s.hub.Shutdown()
 		s.cfg.Logf("drained (durable): %d events, %d results, final checkpoint at wal seq %d",
 			s.ingested.Load(), s.emitted.Load(), s.appliedSeq)
 		return
@@ -567,7 +598,7 @@ func (s *Server) finish() {
 	}
 	s.cur.eng.Close()
 	s.publishEngineStats(true)
-	s.hub.shutdown()
+	s.hub.Shutdown()
 	s.cfg.Logf("drained: %d events, %d results", s.ingested.Load(), s.emitted.Load())
 }
 
@@ -652,6 +683,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /queries", s.handleQueriesGet)
 	s.mux.HandleFunc("POST /queries", s.handleQueriesPost)
 	s.mux.HandleFunc("DELETE /queries/{id}", s.handleQueriesDelete)
+	s.mux.HandleFunc("POST /cluster/extract", s.handleClusterExtract)
+	s.mux.HandleFunc("POST /cluster/adopt", s.handleClusterAdopt)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -680,6 +713,8 @@ POST   /queries       {"query":"RETURN ..."} — live registration (plan diff in
 DELETE /queries/{id}  live deregistration
 GET    /metrics       ingestion/backpressure/subscription counters (JSON)
 GET    /healthz       ok | draining
+POST   /cluster/extract  cluster rebalance: cut a hash range out (router-driven)
+POST   /cluster/adopt    cluster rebalance: graft a hash range in (router-driven)
 `)
 }
 
@@ -746,110 +781,18 @@ func (s *Server) handleWatermark(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
-	if _, ok := w.(http.Flusher); !ok {
-		writeErr(w, http.StatusInternalServerError, "streaming unsupported")
-		return
-	}
-	queryID := -1
-	if qs := r.URL.Query().Get("query"); qs != "" {
-		id, err := strconv.Atoi(strings.TrimPrefix(qs, "q"))
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, "bad query id %q", qs)
-			return
-		}
-		if _, ok := s.loadView().queries[id]; !ok {
-			writeErr(w, http.StatusNotFound, "no query %d", id)
-			return
-		}
-		queryID = id
-	}
-	// after=N resumes a dropped subscription: results with seq > N are
-	// replayed from the retained ring before the live stream continues,
-	// so a subscriber that survives a server restart (or its own
-	// reconnect) sees a gap-free, duplicate-free sequence. after=-1
-	// replays everything still retained; no after parameter = live only.
-	after, resume := int64(-1), false
-	if as := r.URL.Query().Get("after"); as != "" {
-		v, err := strconv.ParseInt(as, 10, 64)
-		if err != nil || v < -1 {
-			writeErr(w, http.StatusBadRequest, "bad after %q", as)
-			return
-		}
-		if queryID >= 0 {
-			writeErr(w, http.StatusBadRequest, "after= resume requires an unfiltered subscription (the replay ring is not per-query)")
-			return
-		}
-		after, resume = v, true
-	}
-	sub := s.hub.subscribe(queryID, s.cfg.SubscriberBuffer)
-	if sub == nil {
-		writeErr(w, http.StatusServiceUnavailable, "draining")
-		return
-	}
-	defer s.hub.unsubscribe(sub)
-	// Snapshot the ring after subscribing: every emission is in the
-	// snapshot, in the live channel, or both — the seq skip below
-	// removes the overlap.
-	var backlog []persist.RingEntry
-	if resume {
-		entries, gap, first := s.ring.since(after)
-		if gap {
-			writeErr(w, http.StatusGone, "results after seq %d no longer retained (replay ring starts at %d); raise -replay-buffer or resubscribe from scratch", after, first)
-			return
-		}
-		backlog = entries
-	}
-
-	h := w.Header()
-	h.Set("Content-Type", "text/event-stream")
-	h.Set("Cache-Control", "no-cache")
-	h.Set("X-Accel-Buffering", "no")
-	w.WriteHeader(http.StatusOK)
-	rc := http.NewResponseController(w)
-	write := func(frame string) bool {
-		_ = rc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
-		if _, err := fmt.Fprint(w, frame); err != nil {
-			return false
-		}
-		return rc.Flush() == nil
-	}
-	if !write(": subscribed\n\n") {
-		return
-	}
-	lastSeq := after
-	for _, e := range backlog {
-		if !write("data: " + string(e.Payload) + "\n\n") {
-			return
-		}
-		lastSeq = e.Seq
-	}
-	heartbeat := time.NewTicker(s.cfg.HeartbeatEvery)
-	defer heartbeat.Stop()
-	for {
-		select {
-		case frame, open := <-sub.ch:
-			if !open {
-				if sub.slow {
-					write("event: error\ndata: {\"error\":\"slow consumer\"}\n\n")
-				} else {
-					write("event: eof\ndata: {}\n\n")
-				}
-				return
-			}
-			if frame.seq <= lastSeq {
-				continue // already replayed from the ring
-			}
-			if !write("data: " + string(frame.payload) + "\n\n") {
-				return
-			}
-		case <-heartbeat.C:
-			if !write(": hb\n\n") {
-				return
-			}
-		case <-r.Context().Done():
-			return
-		}
-	}
+	ServeStream(w, r, StreamOptions{
+		Hub:  s.hub,
+		Ring: s.ring,
+		QueryKnown: func(id int) bool {
+			_, ok := s.loadView().queries[id]
+			return ok
+		},
+		Watermark:        s.wm.Load,
+		SubscriberBuffer: s.cfg.SubscriberBuffer,
+		HeartbeatEvery:   s.cfg.HeartbeatEvery,
+		WriteTimeout:     s.cfg.WriteTimeout,
+	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -871,11 +814,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		IngestQueueCap:           cap(s.ingest),
 		Watermark:                s.wm.Load(),
 		ResultsEmitted:           s.emitted.Load(),
-		ResultsDelivered:         s.hub.delivered.Load(),
-		Subscribers:              s.hub.count(),
-		SlowConsumerDisconnects:  s.hub.slowDrops.Load(),
+		ResultsDelivered:         s.hub.Delivered(),
+		Subscribers:              s.hub.Count(),
+		SlowConsumerDisconnects:  s.hub.SlowDrops(),
 		Migrations:               s.migrations.Load(),
 		PeakLiveStates:           s.peakStates.Load(),
+		GroupsLive:               s.groupsLive.Load(),
 		Draining:                 draining,
 		Parallel:                 s.parStats.Load(),
 		Durability:               s.durabilityStats(),

@@ -482,17 +482,17 @@ func TestParseBatchContract(t *testing.T) {
 // TestHubSlowConsumer unit-tests the slow-consumer policy: a full
 // delivery buffer drops exactly that subscriber and counts it.
 func TestHubSlowConsumer(t *testing.T) {
-	h := newHub()
-	slow := h.subscribe(-1, 1)
-	fast := h.subscribe(-1, 8)
-	h.publish(0, 0, []byte("r1"))
-	h.publish(0, 1, []byte("r2")) // slow's buffer (1) is full: dropped
-	h.publish(0, 2, []byte("r3"))
-	if h.slowDrops.Load() != 1 {
-		t.Fatalf("slowDrops = %d, want 1", h.slowDrops.Load())
+	h := NewHub()
+	slow := h.subscribe(-1, 1, false)
+	fast := h.subscribe(-1, 8, false)
+	h.Publish(0, 0, []byte("r1"))
+	h.Publish(0, 1, []byte("r2")) // slow's buffer (1) is full: dropped
+	h.Publish(0, 2, []byte("r3"))
+	if h.SlowDrops() != 1 {
+		t.Fatalf("slowDrops = %d, want 1", h.SlowDrops())
 	}
-	if h.count() != 1 {
-		t.Fatalf("live subscribers = %d, want 1", h.count())
+	if h.Count() != 1 {
+		t.Fatalf("live subscribers = %d, want 1", h.Count())
 	}
 	var got []string
 	for m := range slow.ch {
@@ -502,7 +502,7 @@ func TestHubSlowConsumer(t *testing.T) {
 		t.Fatalf("slow subscriber: got %v, slow=%v", got, slow.slow)
 	}
 	var fastGot []string
-	h.shutdown()
+	h.Shutdown()
 	for m := range fast.ch {
 		fastGot = append(fastGot, string(m.payload))
 	}

@@ -1,0 +1,269 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/sharon-project/sharon/internal/persist"
+)
+
+// ReplayRing retains the last N emissions (seq-contiguous by
+// construction) so a resuming subscription can be backfilled. The sink
+// appends from the pump or merge goroutine; subscription handlers and
+// the checkpointer read snapshots. Trimming advances a head index and
+// compacts the backing array only when half of it is dead, so append
+// stays amortized O(1) on the emission path (which PR 2 engineered to
+// zero per-event work) instead of copying the whole ring once full.
+// Both sharond and the cluster router retain their output streams in
+// one.
+type ReplayRing struct {
+	mu   sync.Mutex
+	buf  []persist.RingEntry
+	head int // index of the oldest retained entry in buf
+	max  int
+	next int64 // seq after the last appended entry
+}
+
+// NewReplayRing returns a ring retaining at most max entries.
+func NewReplayRing(max int) *ReplayRing {
+	return &ReplayRing{max: max}
+}
+
+// Append retains one emission; seq must be the ring's next (the sink's
+// global sequence is contiguous).
+func (r *ReplayRing) Append(seq int64, payload []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf = append(r.buf, persist.RingEntry{Seq: seq, Payload: payload})
+	r.next = seq + 1
+	for len(r.buf)-r.head > r.max {
+		r.buf[r.head] = persist.RingEntry{} // release the payload
+		r.head++
+	}
+	if r.head > 64 && r.head*2 >= len(r.buf) {
+		n := copy(r.buf, r.buf[r.head:])
+		clear(r.buf[n:])
+		r.buf = r.buf[:n]
+		r.head = 0
+	}
+}
+
+// Load seeds the ring from a checkpoint, trimmed to this instance's
+// bound (a restart may lower -replay-buffer below what the checkpoint
+// retained).
+func (r *ReplayRing) Load(entries []persist.RingEntry, nextSeq int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if over := len(entries) - r.max; over > 0 {
+		entries = entries[over:]
+	}
+	r.buf = append([]persist.RingEntry(nil), entries...)
+	r.head = 0
+	r.next = nextSeq
+}
+
+// Snapshot copies the retained entries (checkpointing).
+func (r *ReplayRing) Snapshot() []persist.RingEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]persist.RingEntry(nil), r.buf[r.head:]...)
+}
+
+// Since returns the retained entries with Seq > after, plus the first
+// sequence number actually available. gap is true when a concrete
+// cursor cannot be served exactly: emissions in (after, first) have
+// aged out of the ring, or after refers to emissions that never
+// happened (a client resuming against a server whose sequence
+// restarted — serving it would silently skip everything up to the
+// phantom cursor). after = -1 is the documented "everything retained"
+// request and never gaps; the client's own contiguity check flags a
+// trimmed head.
+func (r *ReplayRing) Since(after int64) (entries []persist.RingEntry, gap bool, first int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	live := r.buf[r.head:]
+	first = r.next - int64(len(live))
+	if after >= 0 && ((after+1 < first && r.next > after+1) || after >= r.next) {
+		gap = true
+	}
+	for _, e := range live {
+		if e.Seq > after {
+			entries = append(entries, e)
+		}
+	}
+	return entries, gap, first
+}
+
+// StreamOptions parameterize one SSE result stream: the hub that feeds
+// it, the optional replay ring behind ?after resume, and the limits of
+// the serving instance. sharond's /subscribe and the cluster router's
+// merged /subscribe are the same handler over different hubs.
+type StreamOptions struct {
+	Hub *Hub
+	// Ring, when non-nil, serves ?after=N resume from the retained
+	// emission tail.
+	Ring *ReplayRing
+	// QueryKnown validates a ?query=ID filter; nil rejects filtering.
+	QueryKnown func(id int) bool
+	// Watermark supplies the current stream watermark for the initial
+	// punctuation frame of a ?punctuate=1 subscription.
+	Watermark func() int64
+	// SubscriberBuffer bounds the delivery buffer (results).
+	SubscriberBuffer int
+	// HeartbeatEvery is the keep-alive comment interval.
+	HeartbeatEvery time.Duration
+	// WriteTimeout is the per-write deadline.
+	WriteTimeout time.Duration
+}
+
+// ServeStream handles one SSE subscription request end to end:
+// parameter parsing (?query, ?after, ?punctuate), ring backfill, live
+// delivery with heartbeats, and the eof / slow-consumer terminal
+// frames. With ?punctuate=1 the stream additionally carries control
+// frames — `event: wm` watermark punctuation after every applied step
+// ("every result for windows ending at or before W has been sent") and
+// `event: adopted` rebalance markers — which the cluster router's merge
+// frontier is built on.
+func ServeStream(w http.ResponseWriter, r *http.Request, o StreamOptions) {
+	if _, ok := w.(http.Flusher); !ok {
+		writeErr(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	queryID := -1
+	if qs := r.URL.Query().Get("query"); qs != "" {
+		id, err := strconv.Atoi(strings.TrimPrefix(qs, "q"))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad query id %q", qs)
+			return
+		}
+		if o.QueryKnown == nil || !o.QueryKnown(id) {
+			writeErr(w, http.StatusNotFound, "no query %d", id)
+			return
+		}
+		queryID = id
+	}
+	punct := false
+	if ps := r.URL.Query().Get("punctuate"); ps != "" && ps != "0" && ps != "false" {
+		punct = true
+	}
+	// after=N resumes a dropped subscription: results with seq > N are
+	// replayed from the retained ring before the live stream continues,
+	// so a subscriber that survives a server restart (or its own
+	// reconnect) sees a gap-free, duplicate-free sequence. after=-1
+	// replays everything still retained; no after parameter = live only.
+	after, resume := int64(-1), false
+	if as := r.URL.Query().Get("after"); as != "" {
+		v, err := strconv.ParseInt(as, 10, 64)
+		if err != nil || v < -1 {
+			writeErr(w, http.StatusBadRequest, "bad after %q", as)
+			return
+		}
+		if queryID >= 0 {
+			writeErr(w, http.StatusBadRequest, "after= resume requires an unfiltered subscription (the replay ring is not per-query)")
+			return
+		}
+		if o.Ring == nil {
+			writeErr(w, http.StatusBadRequest, "this stream retains no replay ring; subscribe without after=")
+			return
+		}
+		after, resume = v, true
+	}
+	// For a punctuating subscriber, capture the stream position BEFORE
+	// subscribing: every result it covers was published before the
+	// subscription existed (and is in the replay ring for resumes). A
+	// live read after subscribing could time-travel past results still
+	// queued in the subscriber channel and let a router lane advance its
+	// frontier over undelivered rows.
+	initWM, haveInitWM := int64(0), false
+	if punct && o.Watermark != nil {
+		initWM, haveInitWM = o.Watermark(), true
+	}
+	sub := o.Hub.subscribe(queryID, o.SubscriberBuffer, punct)
+	if sub == nil {
+		writeErr(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	defer o.Hub.unsubscribe(sub)
+	// Snapshot the ring after subscribing: every emission is in the
+	// snapshot, in the live channel, or both — the seq skip below
+	// removes the overlap.
+	var backlog []persist.RingEntry
+	if resume {
+		entries, gap, first := o.Ring.Since(after)
+		if gap {
+			writeErr(w, http.StatusGone, "results after seq %d no longer retained (replay ring starts at %d); raise -replay-buffer or resubscribe from scratch", after, first)
+			return
+		}
+		backlog = entries
+	}
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	write := func(frame string) bool {
+		_ = rc.SetWriteDeadline(time.Now().Add(o.WriteTimeout))
+		if _, err := fmt.Fprint(w, frame); err != nil {
+			return false
+		}
+		return rc.Flush() == nil
+	}
+	if !write(": subscribed\n\n") {
+		return
+	}
+	lastSeq := after
+	for _, e := range backlog {
+		if !write("data: " + string(e.Payload) + "\n\n") {
+			return
+		}
+		lastSeq = e.Seq
+	}
+	// A punctuating subscriber needs the stream position up front, or an
+	// idle stream leaves its frontier unknown. After the backlog, not
+	// before: a resuming router lane must bucket the replayed results
+	// before it may advance its frontier past their window ends.
+	if haveInitWM {
+		if !write(fmt.Sprintf("event: wm\ndata: {\"watermark\":%d}\n\n", initWM)) {
+			return
+		}
+	}
+	heartbeat := time.NewTicker(o.HeartbeatEvery)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case frame, open := <-sub.ch:
+			if !open {
+				if sub.slow {
+					write("event: error\ndata: {\"error\":\"slow consumer\"}\n\n")
+				} else {
+					write("event: eof\ndata: {}\n\n")
+				}
+				return
+			}
+			if frame.ctl != "" {
+				if !write("event: " + frame.ctl + "\ndata: " + string(frame.payload) + "\n\n") {
+					return
+				}
+				continue
+			}
+			if frame.seq <= lastSeq {
+				continue // already replayed from the ring
+			}
+			if !write("data: " + string(frame.payload) + "\n\n") {
+				return
+			}
+		case <-heartbeat.C:
+			if !write(": hb\n\n") {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

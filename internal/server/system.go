@@ -19,9 +19,20 @@ type engine interface {
 	Close()
 	ResultCount() int64
 	PeakMemoryStates() int64
+	GroupCount() int64
 	ParallelStats() sharon.ParallelStats
 	Snapshot() (*sharon.StateSnapshot, error)
 	Restore(*sharon.StateSnapshot) error
+	Quiesce() error
+}
+
+// groupHost is the optional cluster-rebalance capability of an engine:
+// only uniform non-dynamic systems (sharon.System) implement it. The
+// /cluster/adopt and /cluster/extract handlers type-assert it and
+// refuse other workload shapes.
+type groupHost interface {
+	AbsorbGroups(*sharon.StateSnapshot) error
+	RemoveGroups(func(sharon.GroupKey) bool) (int, error)
 }
 
 // queryEntry is one registered query: its global ID (stable across live
@@ -96,8 +107,8 @@ func (sk *sink) onResult(r sharon.Result) {
 	seq := sk.srv.seq.Add(1) - 1
 	sk.srv.emitted.Add(1)
 	payload := EncodeResult(sk.qs, seq, r)
-	sk.srv.ring.append(seq, payload)
-	sk.srv.hub.publish(r.Query, seq, payload)
+	sk.srv.ring.Append(seq, payload)
+	sk.srv.hub.Publish(r.Query, seq, payload)
 }
 
 // builtSystem pairs a running system with its sink and metadata.
