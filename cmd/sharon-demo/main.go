@@ -61,6 +61,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	defer sys.Close()
 	fmt.Printf("workload: %d queries over %d event types, %d events\n", len(w), reg.Count(), len(stream))
 	fmt.Printf("sharing plan (score %.4g):\n  %s\n", sys.PlanScore(), sys.FormatPlan(reg))
 	fmt.Printf("\nper-query decomposition:\n%s\n", sys.Explain(reg))
@@ -91,6 +92,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		defer base.Close()
 		start = time.Now()
 		if err := base.ProcessAll(stream); err != nil {
 			fatal(err)

@@ -1,0 +1,76 @@
+// Command sharonvet machine-enforces the engine's invariants: the
+// zero-allocation hot path, the StartRec slab lifecycle, deterministic
+// emission order, WAL-before-apply in the durable pump, I/O-free
+// critical sections, and Close discipline on engine handles. See
+// internal/analysis for the analyzer suite and the annotation syntax.
+//
+// Two modes share the analyzers:
+//
+//	sharonvet [dir]                           standalone: analyze the module
+//	go vet -vettool=$(command -v sharonvet) ./...   vettool: cached per-package CI gate
+//
+// Exit status: 0 clean, 1 tool error, 2 findings.
+package main
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/sharon-project/sharon/internal/analysis"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-V=full":
+			printVersion()
+			return
+		case args[0] == "-flags":
+			// No analyzer flags; cmd/go validates its flag pass-through
+			// against this list.
+			fmt.Println("[]")
+			return
+		case strings.HasSuffix(args[0], ".cfg"):
+			os.Exit(analysis.RunVettool(args[0], analysis.Analyzers(), os.Stderr))
+		}
+	}
+	os.Exit(standalone(args))
+}
+
+// standalone analyzes the module rooted at args[0] (default ".").
+func standalone(args []string) int {
+	dir := "."
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") && args[0] != "./..." {
+		dir = args[0]
+	}
+	start := time.Now()
+	n, err := analysis.RunStandalone(dir, analysis.Analyzers(), os.Stdout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sharonvet: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "sharonvet: %d finding(s) in %s\n", n, time.Since(start).Round(time.Millisecond))
+	if n > 0 {
+		return 2
+	}
+	return 0
+}
+
+// printVersion implements the -V=full handshake cmd/go uses to derive
+// a content ID for its action cache: the line embeds a hash of the
+// executable, so rebuilding the tool invalidates cached vet results.
+func printVersion() {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("sharonvet version devel buildID=%x\n", h.Sum(nil))
+}

@@ -24,6 +24,7 @@ func ExampleNewSystem() {
 	if err != nil {
 		panic(err)
 	}
+	defer sys.Close()
 	fmt.Println("plan:", sys.FormatPlan(reg))
 
 	// a1 b2 c3 d4 a5 b6 c7 d8 within one window.

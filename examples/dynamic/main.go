@@ -50,6 +50,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer sys.Close()
 	fmt.Printf("initial plan: %s\n", sys.Plan().Format(reg, workload))
 
 	if err := sys.ProcessAll(stream); err != nil {

@@ -45,6 +45,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer sys.Close()
 	fmt.Println("sharing plan:", sys.FormatPlan(reg))
 
 	if err := sys.ProcessAll(stream); err != nil {

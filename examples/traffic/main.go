@@ -50,6 +50,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer sys.Close()
 	fmt.Printf("\nchosen plan (score %.4g):\n  %s\n\n", sys.PlanScore(), sys.FormatPlan(reg))
 
 	if err := sys.ProcessAll(stream); err != nil {

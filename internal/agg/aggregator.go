@@ -33,6 +33,9 @@ type StartRec struct {
 }
 
 // Prefix returns the aggregate of matched prefixes of length j (1-based).
+//
+//sharon:hotpath
+//sharon:deterministic
 func (s *StartRec) Prefix(j int) State { return s.prefix[j-1] }
 
 // Config configures an Aggregator.
@@ -183,6 +186,8 @@ const initialRingLen = 16
 // coverage [nextClose, nextClose+len-1] (writes are preceded by ensureRing
 // in Process), so copying exactly that range is a bijection — no two live
 // windows can alias one old slot.
+//
+//sharon:hotpath
 func (a *Aggregator) ensureRing() {
 	span := a.maxWin - a.nextClose + 1
 	oldLen := int64(len(a.winRing))
@@ -190,7 +195,7 @@ func (a *Aggregator) ensureRing() {
 		return
 	}
 	n := query.NextPow2(span)
-	ring := make([]State, n)
+	ring := make([]State, n) //sharon:allow hotpathalloc (geometric ring growth: O(log overlap) allocations over the aggregator lifetime, none at steady state)
 	for i := range ring {
 		ring[i] = Zero()
 	}
@@ -204,6 +209,8 @@ func (a *Aggregator) ensureRing() {
 func (a *Aggregator) Pattern() query.Pattern { return a.cfg.Pattern }
 
 // Matches reports whether t occurs in the pattern.
+//
+//sharon:hotpath
 func (a *Aggregator) Matches(t event.Type) bool {
 	return int(t) < len(a.positions) && len(a.positions[t]) > 0
 }
@@ -216,6 +223,9 @@ func (a *Aggregator) MinOpenWindow() int64 { return a.nextClose }
 // that lie entirely inside window win. It is the snapshot source for the
 // shared method's combination step. Windows outside the live range have
 // the Zero aggregate by definition.
+//
+//sharon:hotpath
+//sharon:deterministic
 func (a *Aggregator) CurrentTotal(win int64) State {
 	if !a.started || win < a.nextClose || win > a.maxWin {
 		return Zero()
@@ -226,6 +236,8 @@ func (a *Aggregator) CurrentTotal(win int64) State {
 // Advance moves the watermark to t, closing every window whose interval
 // ends at or before t and expiring START records no open window contains.
 // Expired records are recycled through the freelist (see StartRec).
+//
+//sharon:hotpath
 func (a *Aggregator) Advance(t int64) {
 	if !a.started {
 		return
@@ -243,7 +255,7 @@ func (a *Aggregator) Advance(t int64) {
 		// Every window closed here overlaps the stream span: nextClose
 		// starts at the first event's first window.
 		if a.cfg.OnClose != nil && (matched || a.cfg.EmitEmpty) {
-			a.cfg.OnClose(win, total)
+			a.cfg.OnClose(win, total) //sharon:allow hotpathalloc (subscriber callback; the executors install closed-over emit hooks that are themselves analyzed)
 		}
 		a.nextClose++
 	}
@@ -251,7 +263,8 @@ func (a *Aggregator) Advance(t int64) {
 	minStart := w.Start(a.nextClose)
 	for a.head < len(a.starts) && a.starts[a.head].Time < minStart {
 		a.liveStates -= int64(a.plen)
-		a.free = append(a.free, a.starts[a.head])
+		//sharon:allow slablifecycle (the free list IS the recycle point: expired records return here for getRec to reissue)
+		a.free = append(a.free, a.starts[a.head]) //sharon:allow hotpathalloc (amortized: freelist capacity plateaus at the live-record high-water mark)
 		a.starts[a.head] = nil
 		a.head++
 	}
@@ -260,6 +273,7 @@ func (a *Aggregator) Advance(t int64) {
 		for i := n; i < len(a.starts); i++ {
 			a.starts[i] = nil
 		}
+		//sharon:allow slablifecycle (compaction of the owning live-starts deque, not a new retention)
 		a.starts = a.starts[:n]
 		a.head = 0
 	}
@@ -267,9 +281,11 @@ func (a *Aggregator) Advance(t int64) {
 
 // Process feeds the next event. Events must arrive in strictly increasing
 // time order; violations return an error and leave state unchanged.
+//
+//sharon:hotpath
 func (a *Aggregator) Process(e event.Event) error {
 	if a.started && e.Time <= a.lastTime {
-		return fmt.Errorf("agg: out-of-order event at t=%d (last t=%d)", e.Time, a.lastTime)
+		return fmt.Errorf("agg: out-of-order event at t=%d (last t=%d)", e.Time, a.lastTime) //sharon:allow hotpathalloc (cold error path: the caller stops the stream on the first out-of-order event)
 	}
 	if !a.started {
 		a.started = true
@@ -302,11 +318,14 @@ func (a *Aggregator) Process(e event.Event) error {
 
 // getRec returns a START record with a zeroed prefix array of length plen:
 // from the freelist when expiration has fed it, from the slabs otherwise.
+//
+//sharon:hotpath
 func (a *Aggregator) getRec() *StartRec {
 	var rec *StartRec
 	if n := len(a.free); n > 0 {
 		rec = a.free[n-1]
 		a.free[n-1] = nil
+		//sharon:allow slablifecycle (popping the free list hands the record back out; the pool shrink is not a retention)
 		a.free = a.free[:n-1]
 	} else {
 		if len(a.recSlab) == 0 {
@@ -314,8 +333,8 @@ func (a *Aggregator) getRec() *StartRec {
 			if n < minRecSlab {
 				n = minRecSlab
 			}
-			a.recSlab = make([]StartRec, n)
-			a.prefixSlab = make([]State, n*a.plen)
+			a.recSlab = make([]StartRec, n)        //sharon:allow hotpathalloc (slab refill: geometric chunks, O(log n) allocations during warm-up, none at steady state)
+			a.prefixSlab = make([]State, n*a.plen) //sharon:allow hotpathalloc (slab refill: allocated in lockstep with recSlab, same amortization)
 			if n < maxRecSlab {
 				a.nextSlab = n * 2
 			}
@@ -333,15 +352,18 @@ func (a *Aggregator) getRec() *StartRec {
 
 // newStart creates a START record for e and, for single-type patterns,
 // immediately records the completion.
+//
+//sharon:hotpath
 func (a *Aggregator) newStart(e event.Event, isTarget bool) {
 	rec := a.getRec()
 	rec.Time, rec.ID = e.Time, a.nextID
 	a.nextID++
 	rec.prefix[0] = UnitEvent(e, isTarget)
-	a.starts = append(a.starts, rec)
+	//sharon:allow slablifecycle (the live-starts deque is the record's owner for its window lifetime; expiry recycles it above)
+	a.starts = append(a.starts, rec) //sharon:allow hotpathalloc (amortized: deque growth is geometric and compaction reuses the backing array)
 	a.liveStates += int64(a.plen)
 	if a.cfg.OnStart != nil {
-		a.cfg.OnStart(rec, e)
+		a.cfg.OnStart(rec, e) //sharon:allow hotpathalloc (subscriber callback; the executors install closed-over snapshot hooks that are themselves analyzed)
 	}
 	if a.plen == 1 {
 		a.complete(rec, e, rec.prefix[0])
@@ -350,6 +372,8 @@ func (a *Aggregator) newStart(e event.Event, isTarget bool) {
 
 // extend folds e into prefix position j (2-based and up) of every live
 // START record, completing matches when j is the pattern length.
+//
+//sharon:hotpath
 func (a *Aggregator) extend(e event.Event, j int, isTarget bool) {
 	last := j == a.plen
 	for i := a.head; i < len(a.starts); i++ {
@@ -368,6 +392,8 @@ func (a *Aggregator) extend(e event.Event, j int, isTarget bool) {
 
 // complete credits delta (sequences from rec completed by e) to every
 // window containing both endpoints, and notifies subscribers.
+//
+//sharon:hotpath
 func (a *Aggregator) complete(rec *StartRec, e event.Event, delta State) {
 	first, lastWin, ok := a.cfg.Window.PairIndices(rec.Time, e.Time)
 	if !ok {
@@ -384,12 +410,14 @@ func (a *Aggregator) complete(rec *StartRec, e event.Event, delta State) {
 		slot.AddInPlace(delta)
 	}
 	if a.cfg.OnComplete != nil {
-		a.cfg.OnComplete(rec, e, delta, first, lastWin)
+		a.cfg.OnComplete(rec, e, delta, first, lastWin) //sharon:allow hotpathalloc (subscriber callback; the executors install closed-over emit hooks that are themselves analyzed)
 	}
 }
 
 // Flush closes every window containing events seen so far. Call once at
 // end of stream.
+//
+//sharon:hotpath
 func (a *Aggregator) Flush() {
 	if !a.started {
 		return
@@ -399,6 +427,8 @@ func (a *Aggregator) Flush() {
 
 // LiveStates reports the number of aggregate State values currently held:
 // the paper's peak-memory unit for online approaches.
+//
+//sharon:hotpath
 func (a *Aggregator) LiveStates() int64 { return a.liveStates }
 
 // LiveStarts reports the number of live START records.

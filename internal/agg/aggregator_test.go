@@ -391,6 +391,7 @@ func TestStartRecPoolingReusesRecords(t *testing.T) {
 	a := NewAggregator(Config{
 		Pattern: f.pat("AB"), Window: win,
 		OnStart: func(rec *StartRec, e event.Event) {
+			//sharon:allow slablifecycle (the test retains pointers by design to assert pooling reuses them by identity; never dereferenced after recycle)
 			recs = append(recs, rec)
 			seenIDs = append(seenIDs, rec.ID)
 		},

@@ -104,11 +104,13 @@ func (a *Aggregator) Restore(s Snapshot) (map[int64]*StartRec, error) {
 		rec := a.getRec()
 		rec.Time, rec.ID = ss.Time, ss.ID
 		copy(rec.prefix, ss.Prefix)
+		//sharon:allow slablifecycle (restore re-interns snapshot records into the owning live-starts deque)
 		a.starts = append(a.starts, rec)
 		a.liveStates += int64(a.plen)
 		if _, dup := byID[rec.ID]; dup {
 			return nil, fmt.Errorf("agg: duplicate START record id %d in snapshot", rec.ID)
 		}
+		//sharon:allow slablifecycle (transient restore index, dropped when Restore returns to the caller)
 		byID[rec.ID] = rec
 	}
 	return byID, nil

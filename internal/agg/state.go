@@ -33,6 +33,9 @@ type State struct {
 
 // Zero returns the aggregate of the empty set of sequences: the identity
 // of Add and the annihilator of Concat.
+//
+//sharon:hotpath
+//sharon:deterministic
 func Zero() State {
 	return State{Min: math.Inf(1), Max: math.Inf(-1)}
 }
@@ -40,12 +43,17 @@ func Zero() State {
 // UnitEmpty returns the aggregate of the set containing one empty
 // sequence: the identity of Concat. It models an absent prefix or suffix
 // in the shared method (paper §3.3).
+//
+//sharon:hotpath
+//sharon:deterministic
 func UnitEmpty() State {
 	return State{Count: 1, Min: math.Inf(1), Max: math.Inf(-1)}
 }
 
 // UnitEvent returns the aggregate of the set containing the one-event
 // sequence (e). isTarget tells whether e is of the aggregation target type.
+//
+//sharon:hotpath
 func UnitEvent(e event.Event, isTarget bool) State {
 	s := State{Count: 1, Min: math.Inf(1), Max: math.Inf(-1)}
 	if isTarget {
@@ -61,6 +69,9 @@ func UnitEvent(e event.Event, isTarget bool) State {
 func (s State) IsZero() bool { return s.Count == 0 }
 
 // Add returns the aggregate of the disjoint union of the two sequence sets.
+//
+//sharon:hotpath
+//sharon:deterministic
 func Add(a, b State) State {
 	return State{
 		Count:  a.Count + b.Count,
@@ -72,6 +83,9 @@ func Add(a, b State) State {
 }
 
 // AddInPlace folds b into *a, avoiding a copy on the hot path.
+//
+//sharon:hotpath
+//sharon:deterministic
 func (s *State) AddInPlace(b State) {
 	s.Count += b.Count
 	s.CountE += b.CountE
@@ -88,6 +102,9 @@ func (s *State) AddInPlace(b State) {
 // with s1 from a and s2 from b. This is the count-combination operator of
 // the shared method (paper §3.3, Fig. 7): counts multiply, event-level
 // aggregates distribute with the opposite set's cardinality.
+//
+//sharon:hotpath
+//sharon:deterministic
 func Concat(a, b State) State {
 	if a.Count == 0 || b.Count == 0 {
 		return Zero()
@@ -104,6 +121,8 @@ func Concat(a, b State) State {
 // Extend returns the aggregate of every sequence of a extended by the
 // single event e; it equals Concat(a, UnitEvent(e, isTarget)) but avoids
 // the intermediate State.
+//
+//sharon:hotpath
 func Extend(a State, e event.Event, isTarget bool) State {
 	if a.Count == 0 {
 		return Zero()
@@ -127,6 +146,9 @@ func Extend(a State, e event.Event, isTarget bool) State {
 // it when a shared aggregator tracks another query's target type: the
 // sequence count of a shared segment is target-independent, but its
 // CountE/Sum/Min/Max are not.
+//
+//sharon:hotpath
+//sharon:deterministic
 func ProjectCount(s State) State {
 	return State{Count: s.Count, Min: math.Inf(1), Max: math.Inf(-1)}
 }

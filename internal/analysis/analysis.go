@@ -1,0 +1,449 @@
+// Package analysis is sharonvet's analyzer kit: a dependency-free
+// reimplementation of the golang.org/x/tools/go/analysis essentials
+// (Analyzer, Pass, diagnostics, golden-file tests, the `go vet
+// -vettool` unit-checker protocol) plus the project-specific analyzers
+// that machine-enforce the engine's invariants — the zero-allocation
+// hot path, the StartRec slab lifecycle, deterministic emission order,
+// WAL-before-apply in the durable pump, no I/O under merge locks, and
+// Close discipline on engine/WAL handles.
+//
+// The toolchain ships no third-party modules in this environment, so
+// the kit is built only on go/ast, go/types, and export data produced
+// by `go list -export` — the same data the real vettool protocol hands
+// us. The analyzer surface mirrors x/tools closely enough that porting
+// to the upstream framework is a mechanical change.
+//
+// # Annotations
+//
+// Invariants are declared in doc comments and enforced by the
+// analyzers:
+//
+//	//sharon:hotpath        function is on the zero-allocation hot
+//	                        path; hotpathalloc forbids allocation in
+//	                        it and requires every module callee to be
+//	                        annotated too.
+//	//sharon:deterministic  function is on a result-emission/merge
+//	                        path; deterministicemit forbids map
+//	                        iteration, time.Now, and math/rand
+//	                        anywhere reachable from it in-package.
+//	//sharon:pump           function is a durable pump step;
+//	                        walbeforeapply requires engine mutations
+//	                        in it to be dominated by a WAL append.
+//	//sharon:logs           function performs the durable logging of a
+//	                        pump step (counts as the WAL append).
+//	//sharon:applies        function applies a pump step to engine
+//	                        state (must be dominated by logging).
+//	//sharon:locksafe       function is safe to call while holding a
+//	                        merge/hub mutex (no I/O, no blocking).
+//
+// # Suppressions
+//
+// A finding at a legitimate site is silenced with a justification:
+//
+//	//sharon:allow <analyzer> (why this site is sound)
+//
+// placed on the flagged line or alone on the line above it. The
+// justification is mandatory; a bare //sharon:allow is itself a
+// finding, so no suppression can land without a reason in the diff.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one sharonvet analysis.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and suppressions.
+	Name string
+	// Doc is a one-paragraph description of what it enforces.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// A Pass holds one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// ModuleRoot is the import-path prefix of the code under analysis;
+	// packages outside it (the standard library) are never expected to
+	// carry annotations.
+	ModuleRoot string
+	// Notes is the cross-package annotation table ("facts"): which
+	// functions — in this package and its dependencies — carry which
+	// //sharon: markers.
+	Notes *Annotations
+
+	report func(Diagnostic)
+}
+
+// Reportf records one finding.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}
+
+// InModule reports whether path belongs to the analyzed module.
+func (p *Pass) InModule(path string) bool {
+	return path == p.ModuleRoot || strings.HasPrefix(path, p.ModuleRoot+"/")
+}
+
+// Analyzers returns the full sharonvet suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		HotPathAlloc,
+		SlabLifecycle,
+		DeterministicEmit,
+		WALBeforeApply,
+		LockIO,
+		MustClose,
+	}
+}
+
+// --- annotations (cross-package facts) ---
+
+// Annotations maps function keys (see FuncKey) to the set of //sharon:
+// markers on their doc comments. It is the facts store: the standalone
+// driver fills it from every module package's source up front, and the
+// vettool protocol serializes per-package slices through .vetx files.
+type Annotations struct {
+	m map[string]map[string]bool
+}
+
+// NewAnnotations returns an empty table.
+func NewAnnotations() *Annotations {
+	return &Annotations{m: make(map[string]map[string]bool)}
+}
+
+// Add records marker on key.
+func (a *Annotations) Add(key, marker string) {
+	set, ok := a.m[key]
+	if !ok {
+		set = make(map[string]bool)
+		a.m[key] = set
+	}
+	set[marker] = true
+}
+
+// Has reports whether key carries marker.
+func (a *Annotations) Has(key, marker string) bool { return a.m[key][marker] }
+
+// Keys returns every annotated key, sorted (for serialization).
+func (a *Annotations) Keys() []string {
+	out := make([]string, 0, len(a.m))
+	for k := range a.m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Markers returns key's markers, sorted.
+func (a *Annotations) Markers(key string) []string {
+	out := make([]string, 0, len(a.m[key]))
+	for m := range a.m[key] {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// annotationPrefix starts every marker and suppression comment.
+const annotationPrefix = "//sharon:"
+
+// AllowMarker names the suppression marker.
+const AllowMarker = "allow"
+
+// ScanAnnotations reads the //sharon: markers off every function's doc
+// comment in files (package path pkgPath) into table. Only marker
+// lines are recorded; //sharon:allow is a suppression, not a marker,
+// and is handled by the suppression collector.
+func ScanAnnotations(pkgPath string, files []*ast.File, table *Annotations) {
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			key := FuncDeclKey(pkgPath, fd)
+			for _, c := range fd.Doc.List {
+				marker, _, ok := parseMarker(c.Text)
+				if ok && marker != AllowMarker {
+					table.Add(key, marker)
+				}
+			}
+		}
+	}
+}
+
+// parseMarker splits a "//sharon:<marker> rest" comment line.
+func parseMarker(text string) (marker, rest string, ok bool) {
+	if !strings.HasPrefix(text, annotationPrefix) {
+		return "", "", false
+	}
+	s := strings.TrimPrefix(text, annotationPrefix)
+	marker, rest, _ = strings.Cut(s, " ")
+	if marker == "" {
+		return "", "", false
+	}
+	return marker, strings.TrimSpace(rest), true
+}
+
+// --- function keys ---
+
+// FuncKey builds the annotation key for a function: "path.Name" for
+// package functions, "path.(Recv).Name" for methods (pointer receivers
+// are keyed like value receivers).
+func FuncKey(pkgPath, recv, name string) string {
+	if recv != "" {
+		return pkgPath + ".(" + recv + ")." + name
+	}
+	return pkgPath + "." + name
+}
+
+// FuncDeclKey keys a declaration without needing type information.
+func FuncDeclKey(pkgPath string, fd *ast.FuncDecl) string {
+	return FuncKey(pkgPath, recvTypeName(fd), fd.Name.Name)
+}
+
+// recvTypeName extracts the receiver's base type name from a FuncDecl.
+func recvTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// FuncObjKey keys a resolved function object the same way FuncDeclKey
+// keys its declaration.
+func FuncObjKey(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return fn.Name() // builtins like error.Error
+	}
+	recv := ""
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		recv = namedTypeName(sig.Recv().Type())
+	}
+	return FuncKey(fn.Pkg().Path(), recv, fn.Name())
+}
+
+// namedTypeName returns the base named-type name of t ("" if unnamed).
+func namedTypeName(t types.Type) string {
+	for {
+		switch x := t.(type) {
+		case *types.Pointer:
+			t = x.Elem()
+		case *types.Named:
+			return x.Obj().Name()
+		case *types.Alias:
+			t = types.Unalias(t)
+		default:
+			return ""
+		}
+	}
+}
+
+// --- call resolution ---
+
+// StaticCallee resolves call to the function or method object it
+// statically invokes; nil for builtins, conversions, and dynamic calls
+// (function values, interface methods).
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			obj = sel.Obj()
+		} else {
+			obj = info.Uses[fun.Sel] // package-qualified
+		}
+	}
+	fn, _ := obj.(*types.Func)
+	if fn == nil {
+		return nil
+	}
+	// An interface method is a dynamic call even though it resolves.
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if types.IsInterface(sig.Recv().Type()) {
+			return nil
+		}
+	}
+	return fn
+}
+
+// BuiltinName returns the builtin a call invokes ("" if none).
+func BuiltinName(info *types.Info, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}
+
+// IsConversion reports whether call is a type conversion.
+func IsConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// NamedTypePath returns "pkgpath.Name" for t's base named type,
+// stripping pointers ("" for unnamed or universe types).
+func NamedTypePath(t types.Type) string {
+	for {
+		switch x := t.(type) {
+		case *types.Pointer:
+			t = x.Elem()
+		case *types.Alias:
+			t = types.Unalias(t)
+		case *types.Named:
+			obj := x.Obj()
+			if obj.Pkg() == nil {
+				return obj.Name()
+			}
+			return obj.Pkg().Path() + "." + obj.Name()
+		default:
+			return ""
+		}
+	}
+}
+
+// PackageFuncs indexes the package's function declarations by their
+// annotation key — the analyzers' basis for in-package call-graph
+// traversal.
+func PackageFuncs(pass *Pass) map[string]*ast.FuncDecl {
+	out := make(map[string]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				out[FuncDeclKey(pass.Pkg.Path(), fd)] = fd
+			}
+		}
+	}
+	return out
+}
+
+// --- suppressions ---
+
+// Suppressions maps (file, line) to the analyzers allowed there.
+type Suppressions struct {
+	byLine map[string]map[int]map[string]bool
+	// Malformed holds //sharon:allow comments without a justification —
+	// reported as findings so suppressions cannot land silently.
+	Malformed []Diagnostic
+}
+
+// CollectSuppressions gathers every //sharon:allow comment in files. A
+// suppression covers the line it sits on and, for a comment alone on
+// its line, the following line.
+func CollectSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
+	s := &Suppressions{byLine: make(map[string]map[int]map[string]bool)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				marker, rest, ok := parseMarker(c.Text)
+				if !ok || marker != AllowMarker {
+					continue
+				}
+				name, reason, _ := strings.Cut(rest, " ")
+				reason = strings.TrimSpace(reason)
+				pos := fset.Position(c.Pos())
+				if name == "" || !strings.HasPrefix(reason, "(") || !strings.HasSuffix(reason, ")") || len(reason) < 4 {
+					s.Malformed = append(s.Malformed, Diagnostic{
+						Pos:      c.Pos(),
+						Message:  "malformed suppression: want //sharon:allow <analyzer> (justification)",
+						Analyzer: "suppression",
+					})
+					continue
+				}
+				s.add(pos.Filename, pos.Line, name)
+				s.add(pos.Filename, pos.Line+1, name)
+			}
+		}
+	}
+	return s
+}
+
+func (s *Suppressions) add(file string, line int, analyzer string) {
+	lines, ok := s.byLine[file]
+	if !ok {
+		lines = make(map[int]map[string]bool)
+		s.byLine[file] = lines
+	}
+	set, ok := lines[line]
+	if !ok {
+		set = make(map[string]bool)
+		lines[line] = set
+	}
+	set[analyzer] = true
+}
+
+// Allows reports whether d is suppressed.
+func (s *Suppressions) Allows(fset *token.FileSet, d Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	return s.byLine[pos.Filename][pos.Line][d.Analyzer]
+}
+
+// RunAnalyzers applies analyzers to one loaded package and returns the
+// unsuppressed findings (including malformed suppressions), sorted by
+// position.
+func RunAnalyzers(pass *Pass, analyzers []*Analyzer) ([]Diagnostic, error) {
+	sup := CollectSuppressions(pass.Fset, pass.Files)
+	var out []Diagnostic
+	out = append(out, sup.Malformed...)
+	for _, a := range analyzers {
+		p := *pass
+		p.Analyzer = a
+		p.report = func(d Diagnostic) {
+			if !sup.Allows(pass.Fset, d) {
+				out = append(out, d)
+			}
+		}
+		if err := a.Run(&p); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pass.Pkg.Path(), err)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := pass.Fset.Position(out[i].Pos), pass.Fset.Position(out[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}

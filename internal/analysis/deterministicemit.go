@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// DeterministicEmit enforces the engine's ordering contract: merged
+// and emitted results are ordered by (window end, query, group), and
+// the parallel/cluster merge layers depend on byte-identical streams
+// across runs. Anything order-sensitive reachable from a
+// //sharon:deterministic function must therefore avoid Go's
+// deliberately randomized map iteration and wall-clock or random
+// inputs.
+//
+// From each annotated root the analyzer walks the in-package static
+// call graph and flags: `range` over a map, iterator helpers over maps
+// (maps.Keys/Values/All), time.Now/time.Since, and any use of
+// math/rand. Calls that leave the package but stay in the module must
+// target functions that are themselves annotated, so the guarantee
+// propagates across package boundaries.
+var DeterministicEmit = &Analyzer{
+	Name: "deterministicemit",
+	Doc:  "flag nondeterminism (map ranges, time.Now, math/rand) reachable from //sharon:deterministic emit/merge paths",
+	Run:  runDeterministicEmit,
+}
+
+// MarkerDeterministic is the annotation DeterministicEmit enforces.
+const MarkerDeterministic = "deterministic"
+
+func runDeterministicEmit(pass *Pass) error {
+	funcs := PackageFuncs(pass)
+	reported := make(map[token.Pos]bool)
+	visited := make(map[string]bool)
+	for _, key := range sortedFuncKeys(funcs) {
+		if pass.Notes.Has(key, MarkerDeterministic) {
+			emitWalk(pass, funcs, key, key, visited, reported)
+		}
+	}
+	return nil
+}
+
+// sortedFuncKeys fixes the root iteration order so diagnostics are
+// stable run to run — the analyzers hold themselves to the invariant
+// they enforce.
+func sortedFuncKeys(funcs map[string]*ast.FuncDecl) []string {
+	keys := make([]string, 0, len(funcs))
+	for k := range funcs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// reportOnce deduplicates findings reached from multiple roots.
+func reportOnce(pass *Pass, reported map[token.Pos]bool, pos token.Pos, format string, args ...any) {
+	if reported[pos] {
+		return
+	}
+	reported[pos] = true
+	pass.Reportf(pos, format, args...)
+}
+
+// emitWalk checks one function and recurses into same-package callees.
+func emitWalk(pass *Pass, funcs map[string]*ast.FuncDecl, key, root string, visited map[string]bool, reported map[token.Pos]bool) {
+	if visited[key] {
+		return
+	}
+	visited[key] = true
+	fd := funcs[key]
+	if fd == nil {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.RangeStmt:
+			if t := pass.Info.Types[x.X].Type; t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					reportOnce(pass, reported, x.Pos(),
+						"range over map has randomized order (reachable from //sharon:deterministic %s)", root)
+				}
+			}
+		case *ast.CallExpr:
+			checkEmitCall(pass, funcs, x, root, visited, reported)
+		}
+		return true
+	})
+}
+
+// checkEmitCall classifies one call on a deterministic path.
+func checkEmitCall(pass *Pass, funcs map[string]*ast.FuncDecl, call *ast.CallExpr, root string, visited map[string]bool, reported map[token.Pos]bool) {
+	fn := StaticCallee(pass.Info, call)
+	if fn == nil {
+		return // dynamic/interface/builtin/conversion: sinks are bound per run, and implementations carry their own annotations
+	}
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	switch {
+	case pkg == "time" && (fn.Name() == "Now" || fn.Name() == "Since" || fn.Name() == "Until"):
+		reportOnce(pass, reported, call.Pos(),
+			"time.%s on a deterministic emit path (reachable from //sharon:deterministic %s)", fn.Name(), root)
+	case pkg == "math/rand" || pkg == "math/rand/v2":
+		reportOnce(pass, reported, call.Pos(),
+			"math/rand on a deterministic emit path (reachable from //sharon:deterministic %s)", root)
+	case pkg == "maps" && (fn.Name() == "Keys" || fn.Name() == "Values" || fn.Name() == "All"):
+		reportOnce(pass, reported, call.Pos(),
+			"maps.%s iterates a map in randomized order (reachable from //sharon:deterministic %s)", fn.Name(), root)
+	case pkg == pass.Pkg.Path():
+		emitWalk(pass, funcs, FuncObjKey(fn), root, visited, reported)
+	case pass.InModule(pkg):
+		if !pass.Notes.Has(FuncObjKey(fn), MarkerDeterministic) {
+			reportOnce(pass, reported, call.Pos(),
+				"call to %s leaves the //sharon:deterministic path (reachable from %s): annotate it //sharon:deterministic or suppress with a justification",
+				FuncObjKey(fn), root)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package analysis_test
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/sharon-project/sharon/internal/analysis"
+)
+
+// moduleLoader loads the whole module once and shares it across the
+// tests in this package: `go list -export -deps -test` dominates the
+// wall clock, and every test needs the same export index.
+var moduleLoader = sync.OnceValues(func() (*analysis.Loader, error) {
+	// The extra std patterns are packages the golden fixtures import
+	// that the module itself may not, so their export data lands in
+	// the index.
+	return analysis.LoadModule("../..", "math/rand", "sort", "time", "os", "sync")
+})
+
+// loadModule returns the shared loader, failing the test on error.
+func loadModule(t *testing.T) *analysis.Loader {
+	t.Helper()
+	ld, err := moduleLoader()
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	return ld
+}
+
+// analyzerByName finds one analyzer of the suite.
+func analyzerByName(t *testing.T, name string) *analysis.Analyzer {
+	t.Helper()
+	for _, a := range analysis.Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	t.Fatalf("no analyzer named %q", name)
+	return nil
+}
+
+// A wantSet holds the `// want` expectations of one fixture package,
+// keyed by file:line.
+type wantSet struct {
+	wants map[string][]*want
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+var backquoted = regexp.MustCompile("`([^`]*)`")
+
+// collectWants parses the analysistest-style `// want \x60regex\x60`
+// comments out of the fixture files. A want expects a diagnostic on
+// its own line whose message matches the backquoted pattern.
+func collectWants(t *testing.T, ld *analysis.Loader, files []*ast.File) *wantSet {
+	t.Helper()
+	ws := &wantSet{wants: make(map[string][]*want)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				body, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := ld.Fset.Position(c.Pos())
+				pats := backquoted.FindAllStringSubmatch(body, -1)
+				if len(pats) == 0 {
+					t.Fatalf("%s:%d: want comment without a backquoted pattern", pos.Filename, pos.Line)
+				}
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, m := range pats {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, m[1], err)
+					}
+					ws.wants[key] = append(ws.wants[key], &want{re: re})
+				}
+			}
+		}
+	}
+	return ws
+}
+
+// match consumes the first unmatched want at key matching msg.
+func (ws *wantSet) match(key, msg string) bool {
+	for _, w := range ws.wants[key] {
+		if !w.matched && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// unmatched returns every want no diagnostic satisfied.
+func (ws *wantSet) unmatched() []string {
+	var out []string
+	for key, list := range ws.wants {
+		for _, w := range list {
+			if !w.matched {
+				out = append(out, fmt.Sprintf("%s: no diagnostic matched `%s`", key, w.re))
+			}
+		}
+	}
+	return out
+}
+
+// TestGolden runs each analyzer over its golden fixture package under
+// testdata/src and checks the diagnostics against the fixture's
+// `// want` comments: every diagnostic must be expected on its exact
+// line, and every expectation must fire.
+func TestGolden(t *testing.T) {
+	ld := loadModule(t)
+	for _, name := range []string{
+		"hotpathalloc",
+		"slablifecycle",
+		"deterministicemit",
+		"walbeforeapply",
+		"lockio",
+		"mustclose",
+	} {
+		t.Run(name, func(t *testing.T) {
+			a := analyzerByName(t, name)
+			dir := filepath.Join("testdata", "src", name)
+			importPath := ld.Module + "/internal/analysis/testdata/src/" + name
+			pkg, err := ld.LoadFixture(dir, importPath)
+			if err != nil {
+				t.Fatalf("load fixture: %v", err)
+			}
+			// The fixture's own annotations join the module-wide table so
+			// cross-function marker checks see them.
+			notes := ld.CollectAnnotations()
+			analysis.ScanAnnotations(pkg.ImportPath, pkg.Files, notes)
+			pass := ld.NewPass(a, pkg, notes, ld.Module)
+			diags, err := analysis.RunAnalyzers(pass, []*analysis.Analyzer{a})
+			if err != nil {
+				t.Fatalf("run %s: %v", name, err)
+			}
+			ws := collectWants(t, ld, pkg.Files)
+			for _, d := range diags {
+				pos := ld.Fset.Position(d.Pos)
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				if !ws.match(key, d.Message) {
+					t.Errorf("unexpected diagnostic at %s: %s (%s)", key, d.Message, d.Analyzer)
+				}
+			}
+			for _, miss := range ws.unmatched() {
+				t.Error(miss)
+			}
+		})
+	}
+}

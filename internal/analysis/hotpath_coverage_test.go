@@ -1,0 +1,117 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/sharon-project/sharon/internal/analysis"
+)
+
+// TestHotPathAnnotationsCovered walks the static call graph that
+// BenchmarkHotPathProcess measures — everything reachable from
+// internal/exec.(Engine).Process inside the module — and asserts each
+// function on it carries //sharon:hotpath, so new hot-path code cannot
+// dodge the hotpathalloc analyzer. Call sites suppressed with
+// //sharon:allow hotpathalloc are documented cold paths and are not
+// traversed; dynamic calls are hotpathalloc findings in their own
+// right, so the analyzer (not this test) polices them.
+func TestHotPathAnnotationsCovered(t *testing.T) {
+	ld := loadModule(t)
+	notes := ld.CollectAnnotations()
+
+	type declSite struct {
+		pkg *analysis.Package
+		fd  *ast.FuncDecl
+	}
+	decls := make(map[string]declSite)
+	sups := make(map[string]*analysis.Suppressions)
+	for _, pkg := range ld.Packages() {
+		if pkg.ForTest != "" {
+			continue // test variants re-declare the plain package
+		}
+		sups[pkg.ImportPath] = analysis.CollectSuppressions(ld.Fset, pkg.Files)
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+					decls[analysis.FuncDeclKey(pkg.Types.Path(), fd)] = declSite{pkg, fd}
+				}
+			}
+		}
+	}
+
+	root := ld.Module + "/internal/exec.(Engine).Process"
+	if _, ok := decls[root]; !ok {
+		t.Fatalf("hot-path root %s not found", root)
+	}
+
+	inModule := func(path string) bool {
+		return path == ld.Module || strings.HasPrefix(path, ld.Module+"/")
+	}
+
+	visited := make(map[string]bool)
+	queue := []string{root}
+	for len(queue) > 0 {
+		key := queue[0]
+		queue = queue[1:]
+		if visited[key] {
+			continue
+		}
+		visited[key] = true
+		site, ok := decls[key]
+		if !ok {
+			// Resolved to a module function whose body the loader did not
+			// see (should not happen: every module package is loaded).
+			t.Errorf("hot-path callee %s has no loaded declaration", key)
+			continue
+		}
+		if !notes.Has(key, "hotpath") {
+			pos := ld.Fset.Position(site.fd.Pos())
+			t.Errorf("%s: %s is on BenchmarkHotPathProcess's call graph but not //sharon:hotpath", pos, key)
+		}
+		sup := sups[site.pkg.ImportPath]
+		ast.Inspect(site.fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sup.Allows(ld.Fset, analysis.Diagnostic{Pos: call.Pos(), Analyzer: "hotpathalloc"}) {
+				return true // documented cold path: not part of the hot graph
+			}
+			fn := analysis.StaticCallee(site.pkg.Info, call)
+			if fn == nil || fn.Pkg() == nil || !inModule(fn.Pkg().Path()) {
+				return true
+			}
+			queue = append(queue, analysis.FuncObjKey(fn))
+			return true
+		})
+	}
+
+	// The graph must at minimum span the engine dispatch, the window
+	// arithmetic, and the aggregator core — if these drop out, the walk
+	// itself has regressed and the test is vacuous.
+	for _, want := range []string{
+		ld.Module + "/internal/exec.(Engine).closeUpTo",
+		ld.Module + "/internal/exec.accepts",
+		ld.Module + "/internal/query.(Window).FirstContaining",
+		ld.Module + "/internal/query.(Window).LastContaining",
+		ld.Module + "/internal/agg.(Aggregator).Process",
+	} {
+		if !visited[want] {
+			t.Errorf("expected %s on the hot-path call graph; the walk no longer reaches it", want)
+		}
+	}
+
+	if testing.Verbose() {
+		keys := make([]string, 0, len(visited))
+		for k := range visited {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		t.Logf("hot-path call graph (%d functions):", len(keys))
+		for _, k := range keys {
+			t.Logf("  %s", k)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotPathAlloc enforces the zero-allocation budget of the per-event
+// path (BENCH_hotpath.json pins it at 0.00 allocs/event with a 0.05
+// budget). Every function on that path carries //sharon:hotpath, and
+// inside an annotated function the analyzer flags each construct that
+// can allocate:
+//
+//   - make/new, slice and map composite literals, &T{...}
+//   - append (may grow its backing array)
+//   - map writes (may grow the table)
+//   - closures (func literals capture by reference and escape)
+//   - string concatenation
+//   - go and defer statements
+//   - explicit or implicit conversions to interface types (boxing)
+//   - dynamic calls through function values or interfaces
+//   - calls into standard-library packages that are not on the small
+//     allocation-free allow list
+//
+// The annotation propagates: a call from a hot-path function to
+// another module function is only clean if the callee is annotated
+// too, so the whole call graph under the benchmark stays inside the
+// analyzer's view. Amortized allocation sites (slab refills, ring
+// growth) are real and intentional; they stay visible in the source
+// as //sharon:allow hotpathalloc (reason) suppressions.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "forbid allocation, boxing, and unannotated calls inside //sharon:hotpath functions",
+	Run:  runHotPathAlloc,
+}
+
+// MarkerHotPath is the annotation HotPathAlloc enforces.
+const MarkerHotPath = "hotpath"
+
+// hotStdlibOK lists std packages whose exported call surface used by
+// the engine performs no heap allocation (in-place sorts, scalar math,
+// atomics, mutexes).
+var hotStdlibOK = map[string]bool{
+	"slices":      true,
+	"sort":        true,
+	"cmp":         true,
+	"math":        true,
+	"math/bits":   true,
+	"sync":        true,
+	"sync/atomic": true,
+}
+
+func runHotPathAlloc(pass *Pass) error {
+	funcs := PackageFuncs(pass)
+	for _, key := range sortedFuncKeys(funcs) {
+		if pass.Notes.Has(key, MarkerHotPath) {
+			hotWalk(pass, funcs[key])
+		}
+	}
+	return nil
+}
+
+// hotWalk flags allocation sources in one annotated function body.
+func hotWalk(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(x.Pos(), "closure allocates on the hot path")
+			return false // the literal runs elsewhere; the capture is the cost here
+		case *ast.GoStmt:
+			pass.Reportf(x.Pos(), "go statement allocates a goroutine on the hot path")
+		case *ast.DeferStmt:
+			pass.Reportf(x.Pos(), "defer on the hot path (may allocate; adds per-event overhead)")
+		case *ast.CompositeLit:
+			switch pass.Info.Types[x].Type.Underlying().(type) {
+			case *types.Slice, *types.Map:
+				pass.Reportf(x.Pos(), "composite literal allocates on the hot path")
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+					pass.Reportf(x.Pos(), "&composite literal allocates on the hot path")
+				}
+			}
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && isStringExpr(pass, x) && !isConstExpr(pass, x) {
+				pass.Reportf(x.Pos(), "string concatenation allocates on the hot path")
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					if t := pass.Info.Types[idx.X].Type; t != nil {
+						if _, isMap := t.Underlying().(*types.Map); isMap {
+							pass.Reportf(idx.Pos(), "map write may grow the table on the hot path")
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			hotCall(pass, x)
+		}
+		return true
+	})
+}
+
+// hotCall classifies one call inside a hot-path function.
+func hotCall(pass *Pass, call *ast.CallExpr) {
+	switch BuiltinName(pass.Info, call) {
+	case "make":
+		pass.Reportf(call.Pos(), "make allocates on the hot path")
+		return
+	case "new":
+		pass.Reportf(call.Pos(), "new allocates on the hot path")
+		return
+	case "append":
+		pass.Reportf(call.Pos(), "append may grow its backing array on the hot path")
+		return
+	case "":
+		// not a builtin; fall through
+	default:
+		return // len/cap/copy/delete/min/max and friends are allocation-free
+	}
+	if IsConversion(pass.Info, call) {
+		to := pass.Info.Types[call.Fun].Type
+		from := pass.Info.Types[call.Args[0]].Type
+		if types.IsInterface(to.Underlying()) && from != nil && !types.IsInterface(from.Underlying()) {
+			pass.Reportf(call.Pos(), "conversion to interface boxes its operand on the hot path")
+		}
+		return
+	}
+	hotBoxedArgs(pass, call)
+	fn := StaticCallee(pass.Info, call)
+	if fn == nil {
+		pass.Reportf(call.Pos(), "dynamic call on the hot path (target unverifiable; may allocate)")
+		return
+	}
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	switch {
+	case pass.InModule(pkg):
+		if !pass.Notes.Has(FuncObjKey(fn), MarkerHotPath) {
+			pass.Reportf(call.Pos(), "call to %s, which is not //sharon:hotpath (annotate it or suppress a cold path)", FuncObjKey(fn))
+		}
+	case pkg == "":
+		// method on an instantiated type parameter etc.; treat as dynamic
+		pass.Reportf(call.Pos(), "dynamic call on the hot path (target unverifiable; may allocate)")
+	case !hotStdlibOK[pkg]:
+		pass.Reportf(call.Pos(), "call into %s on the hot path (not on the allocation-free allow list)", pkg)
+	}
+}
+
+// hotBoxedArgs flags arguments implicitly converted to interface
+// parameters — the boxing hidden inside calls like fmt.Errorf.
+func hotBoxedArgs(pass *Pass, call *ast.CallExpr) {
+	sig, ok := pass.Info.Types[call.Fun].Type.(*types.Signature)
+	if !ok || sig.Params() == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding a slice: no per-element boxing
+			}
+			param = sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice).Elem()
+		case i < sig.Params().Len():
+			param = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		at := pass.Info.Types[arg]
+		if at.Type == nil || at.IsNil() || at.Value != nil {
+			continue // nils carry no box; constants may be materialized in static data
+		}
+		if types.IsInterface(param.Underlying()) && !types.IsInterface(at.Type.Underlying()) {
+			pass.Reportf(arg.Pos(), "argument boxed into interface parameter on the hot path")
+		}
+	}
+}
+
+// isStringExpr reports whether e has string type.
+func isStringExpr(pass *Pass, e ast.Expr) bool {
+	t := pass.Info.Types[e].Type
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isConstExpr reports whether e is a compile-time constant.
+func isConstExpr(pass *Pass, e ast.Expr) bool {
+	return pass.Info.Types[e].Value != nil
+}

@@ -1,0 +1,270 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The loader type-checks the module without golang.org/x/tools: it
+// shells out to `go list -export -deps -test -json`, which compiles as
+// needed and reports a build-cache export-data file per package, then
+// feeds those files to the compiler's importer. This is the same
+// information the `go vet -vettool` protocol supplies through .cfg
+// files, so the analyzers see identical type information in both the
+// standalone and vettool drivers.
+
+// A Package is one type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	// ForTest marks a test variant ("pkg [pkg.test]"): the package
+	// rebuilt with its _test.go files. Drivers analyze variants but
+	// keep only diagnostics in test files, since the rest duplicates
+	// the plain package.
+	ForTest string
+}
+
+// A Loader owns the shared FileSet and the export-data index for one
+// module tree.
+type Loader struct {
+	Fset   *token.FileSet
+	Module string
+	Dir    string
+
+	exports map[string]string // import path (incl. test-variant suffix) -> export file
+	pkgs    []*Package        // module packages in go list (dependency) order
+}
+
+// listPackage is the subset of `go list -json` output the loader uses.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	Standard   bool
+	ForTest    string
+	GoFiles    []string
+	CgoFiles   []string
+	ImportMap  map[string]string
+	Module     *struct{ Path, Dir string }
+	Error      *struct{ Err string }
+}
+
+// LoadModule lists, compiles, and type-checks every package of the
+// module rooted at dir (plus extra patterns, e.g. std packages that
+// test fixtures import but the module does not).
+func LoadModule(dir string, extra ...string) (*Loader, error) {
+	ld := &Loader{Fset: token.NewFileSet(), Dir: dir, exports: make(map[string]string)}
+	args := append([]string{"list", "-export", "-deps", "-test", "-json"}, "./...")
+	args = append(args, extra...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	var listed []*listPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		listed = append(listed, lp)
+	}
+	for _, lp := range listed {
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			ld.exports[lp.ImportPath] = lp.Export
+		}
+		if ld.Module == "" && lp.Module != nil {
+			ld.Module = lp.Module.Path
+		}
+	}
+	for _, lp := range listed {
+		if lp.Standard || lp.Module == nil || lp.Module.Path != ld.Module {
+			continue
+		}
+		if strings.HasSuffix(lp.ImportPath, ".test") {
+			continue // synthesized test main
+		}
+		pkg, err := ld.check(lp)
+		if err != nil {
+			return nil, err
+		}
+		ld.pkgs = append(ld.pkgs, pkg)
+	}
+	return ld, nil
+}
+
+// Packages returns the module's packages, test variants included.
+func (ld *Loader) Packages() []*Package { return ld.pkgs }
+
+// check parses and type-checks one listed package against export data.
+func (ld *Loader) check(lp *listPackage) (*Package, error) {
+	if len(lp.CgoFiles) > 0 {
+		return nil, fmt.Errorf("%s: cgo packages are not supported", lp.ImportPath)
+	}
+	files, err := ld.parseFiles(lp.Dir, lp.GoFiles)
+	if err != nil {
+		return nil, err
+	}
+	tpkg, info, err := ld.typeCheck(lp.ImportPath, strings.TrimSuffix(lp.ImportPath, " ["+lp.ForTest+".test]"), files, lp.ImportMap)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{
+		ImportPath: lp.ImportPath,
+		Name:       lp.Name,
+		Dir:        lp.Dir,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+		ForTest:    lp.ForTest,
+	}, nil
+}
+
+// parseFiles parses names (relative to dir) with comments retained.
+func (ld *Loader) parseFiles(dir string, names []string) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(ld.Fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// typeCheck runs go/types over files using export data for every
+// import. importMap carries go list's per-package import rewrites
+// (test variants); path is the display path, typePath the path
+// recorded in the resulting types.Package.
+func (ld *Loader) typeCheck(path, typePath string, files []*ast.File, importMap map[string]string) (*types.Package, *types.Info, error) {
+	lookup := func(p string) (io.ReadCloser, error) {
+		if m, ok := importMap[p]; ok {
+			p = m
+		}
+		exp, ok := ld.exports[p]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q (imported by %s)", p, path)
+		}
+		return os.Open(exp)
+	}
+	conf := typesConfig(importer.ForCompiler(ld.Fset, "gc", lookup))
+	info := newTypesInfo()
+	tpkg, err := conf.Check(typePath, ld.Fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("typecheck %s: %v", path, err)
+	}
+	return tpkg, info, err
+}
+
+// typesConfig builds the shared type-checker configuration over an
+// export-data importer.
+func typesConfig(imp types.Importer) types.Config {
+	return types.Config{Importer: imp, Sizes: types.SizesFor("gc", build.Default.GOARCH)}
+}
+
+// newTypesInfo allocates the full Info map set the analyzers consult.
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// LoadFixture parses and type-checks a directory of test fixture
+// sources (an analysistest golden package) under the fake import path.
+// Fixtures may import the module's real packages and the standard
+// library; both resolve through the export index built by LoadModule.
+func (ld *Loader) LoadFixture(dir, importPath string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	files, err := ld.parseFiles(dir, names)
+	if err != nil {
+		return nil, err
+	}
+	tpkg, info, err := ld.typeCheck(importPath, importPath, files, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{
+		ImportPath: importPath,
+		Name:       files[0].Name.Name,
+		Dir:        dir,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+// NewPass assembles a Pass for one analyzer over one package. notes is
+// the cross-package annotation table (see CollectAnnotations).
+func (ld *Loader) NewPass(a *Analyzer, pkg *Package, notes *Annotations, moduleRoot string) *Pass {
+	return &Pass{
+		Analyzer:   a,
+		Fset:       ld.Fset,
+		Files:      pkg.Files,
+		Pkg:        pkg.Types,
+		Info:       pkg.Info,
+		ModuleRoot: moduleRoot,
+		Notes:      notes,
+	}
+}
+
+// CollectAnnotations scans every loaded module package's //sharon:
+// markers into one table. Test variants re-scan the plain files; the
+// duplicate adds are idempotent.
+func (ld *Loader) CollectAnnotations() *Annotations {
+	notes := NewAnnotations()
+	for _, pkg := range ld.pkgs {
+		ScanAnnotations(pkg.Types.Path(), pkg.Files, notes)
+	}
+	return notes
+}

@@ -1,0 +1,366 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockIO keeps critical sections fast: while a sync.Mutex or RWMutex
+// is held, nothing on the path may touch the network or disk, sleep,
+// or block on a channel. The router's merge lock and the hub's
+// subscriber lock sit on the result path of every event, so one
+// blocking syscall under them stalls ingestion fleet-wide.
+//
+// The analyzer tracks Lock/RLock...Unlock regions linearly through
+// each function (defer Unlock extends the region to the function
+// end), follows same-package calls made under the lock, and flags:
+//
+//   - calls into net, net/http, os, io, bufio, syscall, os/exec
+//   - time.Sleep
+//   - channel sends/receives and selects without a default case
+//   - dynamic calls through function values (unverifiable)
+//   - cross-package module calls not annotated //sharon:locksafe
+//
+// Branch bodies are walked with a copy of the held set, so an
+// early-unlock-and-return branch does not end the region for the
+// fall-through path.
+var LockIO = &Analyzer{
+	Name: "lockio",
+	Doc:  "no network/disk I/O, sleeps, or blocking channel ops while holding a mutex",
+	Run:  runLockIO,
+}
+
+// MarkerLockSafe marks a function audited as safe to call under a
+// mutex (no I/O, no blocking).
+const MarkerLockSafe = "locksafe"
+
+// lockedDenyPkgs are std packages whose calls can block on the
+// network, the disk, or the scheduler.
+var lockedDenyPkgs = []string{"net", "os", "io", "bufio", "syscall"}
+
+func runLockIO(pass *Pass) error {
+	funcs := PackageFuncs(pass)
+	w := &lockWalker{
+		pass:     pass,
+		funcs:    funcs,
+		reported: make(map[token.Pos]bool),
+	}
+	for _, key := range sortedFuncKeys(funcs) {
+		w.stmts(funcs[key].Body.List, map[string]bool{})
+	}
+	return nil
+}
+
+type lockWalker struct {
+	pass     *Pass
+	funcs    map[string]*ast.FuncDecl
+	reported map[token.Pos]bool
+}
+
+// heldDesc renders the held set for diagnostics.
+func heldDesc(held map[string]bool) string {
+	names := make([]string, 0, len(held))
+	for n := range held {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// stmts walks a statement list, threading the held-mutex set through
+// linear flow; branch bodies see a copy.
+func (w *lockWalker) stmts(list []ast.Stmt, held map[string]bool) {
+	for _, s := range list {
+		w.stmt(s, held)
+	}
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, held map[string]bool) {
+	switch x := s.(type) {
+	case nil:
+		return
+	case *ast.BlockStmt:
+		w.stmts(x.List, held)
+	case *ast.IfStmt:
+		w.stmt(x.Init, held)
+		w.exprs(x.Cond, held)
+		w.stmts(x.Body.List, copyHeld(held))
+		if x.Else != nil {
+			w.stmt(x.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		w.stmt(x.Init, held)
+		w.exprs(x.Cond, held)
+		inner := copyHeld(held)
+		w.stmt(x.Post, inner)
+		w.stmts(x.Body.List, inner)
+	case *ast.RangeStmt:
+		w.exprs(x.X, held)
+		w.stmts(x.Body.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		w.stmt(x.Init, held)
+		w.exprs(x.Tag, held)
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		w.selectStmt(x, held)
+	case *ast.LabeledStmt:
+		w.stmt(x.Stmt, held)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the region open to the function end;
+		// any other deferred call runs after the step, outside it.
+		return
+	case *ast.GoStmt:
+		return // new goroutine does not hold our locks
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			w.reportf(x.Pos(), "channel send may block while holding %s", heldDesc(held))
+		}
+		w.exprs(x.Value, held)
+	case *ast.ExprStmt:
+		if w.lockEvent(x.X, held) {
+			return
+		}
+		w.exprs(x.X, held)
+	default:
+		for _, e := range stmtExprs(s) {
+			w.exprs(e, held)
+		}
+	}
+}
+
+// selectStmt flags a lock-held select without default (blocking); a
+// select with default polls, so only its clause bodies are walked.
+func (w *lockWalker) selectStmt(x *ast.SelectStmt, held map[string]bool) {
+	hasDefault := false
+	for _, c := range x.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault && len(held) > 0 {
+		w.reportf(x.Pos(), "select without default blocks while holding %s", heldDesc(held))
+	}
+	for _, c := range x.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok {
+			w.stmts(cc.Body, copyHeld(held))
+		}
+	}
+}
+
+// stmtExprs pulls the expressions out of simple statements.
+func stmtExprs(s ast.Stmt) []ast.Expr {
+	switch x := s.(type) {
+	case *ast.AssignStmt:
+		return append(append([]ast.Expr{}, x.Rhs...), x.Lhs...)
+	case *ast.ReturnStmt:
+		return x.Results
+	case *ast.IncDecStmt:
+		return []ast.Expr{x.X}
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			var out []ast.Expr
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					out = append(out, vs.Values...)
+				}
+			}
+			return out
+		}
+	}
+	return nil
+}
+
+// lockEvent updates held for a mutex Lock/Unlock expression statement;
+// it reports true when the statement was consumed as a lock event.
+func (w *lockWalker) lockEvent(e ast.Expr, held map[string]bool) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn := StaticCallee(w.pass.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	switch NamedTypePath(recv.Type()) {
+	case "sync.Mutex", "sync.RWMutex":
+	default:
+		return false
+	}
+	name := types.ExprString(sel.X)
+	switch fn.Name() {
+	case "Lock", "RLock":
+		held[name] = true
+		return true
+	case "Unlock", "RUnlock":
+		delete(held, name)
+		return true
+	}
+	return false
+}
+
+// exprs scans an expression tree; when locks are held, each call is
+// vetted.
+func (w *lockWalker) exprs(e ast.Expr, held map[string]bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false // runs later, not necessarily under the lock
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && len(held) > 0 {
+				w.reportf(x.Pos(), "channel receive may block while holding %s", heldDesc(held))
+			}
+		case *ast.CallExpr:
+			if len(held) > 0 {
+				w.lockedCall(x, heldDesc(held), make(map[string]bool))
+			}
+		}
+		return true
+	})
+}
+
+// lockedCall vets one call made while holding locks, following
+// same-package callees.
+func (w *lockWalker) lockedCall(call *ast.CallExpr, locks string, visited map[string]bool) {
+	if BuiltinName(w.pass.Info, call) != "" || IsConversion(w.pass.Info, call) {
+		return
+	}
+	fn := StaticCallee(w.pass.Info, call)
+	if fn == nil {
+		w.reportf(call.Pos(), "dynamic call while holding %s (target unverifiable for I/O)", locks)
+		return
+	}
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	switch {
+	case pkg == "time" && fn.Name() == "Sleep":
+		w.reportf(call.Pos(), "time.Sleep while holding %s", locks)
+	case isLockedDenyPkg(pkg):
+		w.reportf(call.Pos(), "call into %s performs I/O while holding %s", pkg, locks)
+	case pkg == w.pass.Pkg.Path():
+		key := FuncObjKey(fn)
+		if visited[key] {
+			return
+		}
+		visited[key] = true
+		if fd := w.funcs[key]; fd != nil {
+			w.lockedBody(fd, locks, visited)
+		}
+	case w.pass.InModule(pkg):
+		if !w.pass.Notes.Has(FuncObjKey(fn), MarkerLockSafe) {
+			w.reportf(call.Pos(), "call to %s while holding %s (not //sharon:locksafe)", FuncObjKey(fn), locks)
+		}
+	}
+}
+
+// lockedBody vets an entire same-package callee that runs under the
+// caller's lock.
+func (w *lockWalker) lockedBody(fd *ast.FuncDecl, locks string, visited map[string]bool) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit, *ast.DeferStmt, *ast.GoStmt:
+			return false
+		case *ast.SendStmt:
+			if !inSelectWithDefault(fd.Body, x.Pos()) {
+				w.reportf(x.Pos(), "channel send may block while holding %s (callee runs under the caller's lock)", locks)
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && !inSelectWithDefault(fd.Body, x.Pos()) {
+				w.reportf(x.Pos(), "channel receive may block while holding %s (callee runs under the caller's lock)", locks)
+			}
+		case *ast.SelectStmt:
+			for _, c := range x.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					return true // polling select
+				}
+			}
+			w.reportf(x.Pos(), "select without default blocks while holding %s (callee runs under the caller's lock)", locks)
+		case *ast.CallExpr:
+			w.lockedCall(x, locks, visited)
+			return true
+		}
+		return true
+	})
+}
+
+// inSelectWithDefault reports whether pos is a comm clause of a
+// select that has a default clause — a non-blocking poll, not a
+// blocking channel op.
+func inSelectWithDefault(body *ast.BlockStmt, pos token.Pos) bool {
+	result := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		hasDefault := false
+		for _, c := range sel.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			return true
+		}
+		for _, c := range sel.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil && pos >= cc.Comm.Pos() && pos < cc.Comm.End() {
+				result = true
+			}
+		}
+		return true
+	})
+	return result
+}
+
+// isLockedDenyPkg reports whether pkg (or its parent tree) is on the
+// blocking-I/O deny list.
+func isLockedDenyPkg(pkg string) bool {
+	for _, d := range lockedDenyPkgs {
+		if pkg == d || strings.HasPrefix(pkg, d+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// copyHeld clones the held set for a branch body.
+func copyHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k := range held {
+		out[k] = true
+	}
+	return out
+}
+
+func (w *lockWalker) reportf(pos token.Pos, format string, args ...any) {
+	if w.reported[pos] {
+		return
+	}
+	w.reported[pos] = true
+	w.pass.Reportf(pos, format, args...)
+}

@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SlabLifecycle enforces the StartRec slab contract from internal/agg:
+// a *StartRec (and the prefix state it carries) is pool memory, valid
+// only while an open window contains the record; Advance recycles it
+// in place. Any store of such a pointer that could outlive the window
+// — into a struct field, a package-level variable, a container
+// element, an append, or a channel — is flagged, module-wide, test
+// files included. The aggregator's own slab bookkeeping is the
+// whitelisted set of recycle points; each carries a //sharon:allow
+// slablifecycle (reason) stating why its retention is bounded by the
+// window lifecycle.
+//
+// Owner structs (Aggregator, Engine) transitively contain slab
+// pointers by design, so the analyzer tracks only direct carriers: a
+// *StartRec or *State itself, and slices, arrays, maps, and channels
+// of them. Hiding a pointer one struct deep defeats it; the code
+// review bar for new carrier structs is the suppression comment this
+// analyzer forces at the store.
+var SlabLifecycle = &Analyzer{
+	Name: "slablifecycle",
+	Doc:  "forbid retaining *agg.StartRec slab pointers in fields, globals, containers, or channels",
+	Run:  runSlabLifecycle,
+}
+
+func runSlabLifecycle(pass *Pass) error {
+	slabPaths := map[string]bool{
+		pass.ModuleRoot + "/internal/agg.StartRec": true,
+		pass.ModuleRoot + "/internal/agg.State":    true,
+	}
+	holds := func(t types.Type) bool { return holdsSlabPtr(t, slabPaths) }
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				checkSlabAssign(pass, x, holds)
+			case *ast.SendStmt:
+				if t := pass.Info.Types[x.Value].Type; t != nil && holds(t) {
+					pass.Reportf(x.Pos(), "slab pointer sent on a channel escapes its window lifecycle")
+				}
+			case *ast.CallExpr:
+				if BuiltinName(pass.Info, x) == "append" && !x.Ellipsis.IsValid() {
+					for _, arg := range x.Args[1:] {
+						if t := pass.Info.Types[arg].Type; t != nil && holds(t) {
+							pass.Reportf(arg.Pos(), "slab pointer retained by append outlives its window lifecycle")
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSlabAssign flags stores of slab pointers into locations that
+// outlive the current window.
+func checkSlabAssign(pass *Pass, as *ast.AssignStmt, holds func(types.Type) bool) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return // multi-value call results land in fresh locals
+	}
+	for i, rhs := range as.Rhs {
+		t := pass.Info.Types[rhs].Type
+		if t == nil || !holds(t) {
+			continue
+		}
+		switch lhs := ast.Unparen(as.Lhs[i]).(type) {
+		case *ast.SelectorExpr:
+			if sel, ok := pass.Info.Selections[lhs]; ok && sel.Kind() == types.FieldVal {
+				pass.Reportf(as.Pos(), "slab pointer stored into field %s outlives its window lifecycle", lhs.Sel.Name)
+			} else if v, ok := pass.Info.Uses[lhs.Sel].(*types.Var); ok && isPackageLevel(v) {
+				pass.Reportf(as.Pos(), "slab pointer stored into package-level variable %s", lhs.Sel.Name)
+			}
+		case *ast.IndexExpr:
+			pass.Reportf(as.Pos(), "slab pointer stored into a container element outlives its window lifecycle")
+		case *ast.StarExpr:
+			pass.Reportf(as.Pos(), "slab pointer stored through a pointer may outlive its window lifecycle")
+		case *ast.Ident:
+			if v, ok := objectOf(pass, lhs).(*types.Var); ok && isPackageLevel(v) {
+				pass.Reportf(as.Pos(), "slab pointer stored into package-level variable %s", lhs.Name)
+			}
+		}
+	}
+}
+
+// objectOf resolves an identifier in either Defs or Uses.
+func objectOf(pass *Pass, id *ast.Ident) types.Object {
+	if o := pass.Info.Defs[id]; o != nil {
+		return o
+	}
+	return pass.Info.Uses[id]
+}
+
+// isPackageLevel reports whether v is declared at package scope.
+func isPackageLevel(v *types.Var) bool {
+	return v.Parent() != nil && v.Parent().Parent() == types.Universe
+}
+
+// holdsSlabPtr reports whether t is a slab pointer or a container
+// (slice, array, map, channel) of slab pointers.
+func holdsSlabPtr(t types.Type, slabPaths map[string]bool) bool {
+	switch x := t.(type) {
+	case *types.Alias:
+		return holdsSlabPtr(types.Unalias(x), slabPaths)
+	case *types.Named:
+		return holdsSlabPtr(x.Underlying(), slabPaths)
+	case *types.Pointer:
+		return slabPaths[NamedTypePath(x.Elem())]
+	case *types.Slice:
+		return holdsSlabPtr(x.Elem(), slabPaths)
+	case *types.Array:
+		return holdsSlabPtr(x.Elem(), slabPaths)
+	case *types.Chan:
+		return holdsSlabPtr(x.Elem(), slabPaths)
+	case *types.Map:
+		return holdsSlabPtr(x.Key(), slabPaths) || holdsSlabPtr(x.Elem(), slabPaths)
+	}
+	return false
+}

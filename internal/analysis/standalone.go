@@ -1,0 +1,46 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// RunStandalone loads the module rooted at dir, runs the full analyzer
+// suite over every package (test variants included), and prints the
+// findings to out. It returns the number of findings. This is the
+// `sharonvet ./...` developer loop; CI goes through the vettool
+// protocol instead, but both paths share RunAnalyzers, so they agree.
+func RunStandalone(dir string, analyzers []*Analyzer, out io.Writer) (int, error) {
+	ld, err := LoadModule(dir)
+	if err != nil {
+		return 0, err
+	}
+	notes := ld.CollectAnnotations()
+	total := 0
+	for _, pkg := range ld.Packages() {
+		pass := ld.NewPass(nil, pkg, notes, ld.Module)
+		diags, err := RunAnalyzers(pass, analyzers)
+		if err != nil {
+			return total, err
+		}
+		if pkg.ForTest != "" {
+			diags = filterTestVariant(ld.Fset, pkg.ImportPath, diags)
+		}
+		for _, d := range diags {
+			fmt.Fprintf(out, "%s: %s (%s)\n", relPosition(ld, d), d.Message, d.Analyzer)
+		}
+		total += len(diags)
+	}
+	return total, nil
+}
+
+// relPosition renders a diagnostic position relative to the module
+// root for stable, readable output.
+func relPosition(ld *Loader, d Diagnostic) string {
+	pos := ld.Fset.Position(d.Pos)
+	if rel, ok := strings.CutPrefix(pos.Filename, ld.Dir+"/"); ok {
+		pos.Filename = rel
+	}
+	return pos.String()
+}

@@ -1,0 +1,47 @@
+// Package deterministicemit is the golden fixture for the
+// deterministicemit analyzer: nondeterminism sources flagged from an
+// annotated root — directly, through an unannotated same-package
+// helper, and across a module package boundary — plus the
+// stage-then-sort shape that must stay silent.
+package deterministicemit
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/sharon-project/sharon/internal/event"
+)
+
+// emit is a deterministic root with direct violations.
+//
+//sharon:deterministic
+func emit(m map[int]int) {
+	for k := range m { // want `range over map has randomized order`
+		_ = k
+	}
+	_ = time.Now() // want `time.Now on a deterministic emit path`
+	_ = rand.Int() // want `math/rand on a deterministic emit path`
+	helper()
+	_ = event.NewRegistry() // want `call to .* leaves the //sharon:deterministic path`
+}
+
+// helper is unannotated but reached from the root in-package, so its
+// body is checked too; the diagnostic names the root.
+func helper() {
+	_ = time.Since(time.Time{}) // want `time.Since on a deterministic emit path`
+}
+
+// sortedEmit stages map contents and sorts — the blessed shape, with
+// the staging range justified in place.
+//
+//sharon:deterministic
+func sortedEmit(m map[int]int) []int {
+	var keys []int
+	//sharon:allow deterministicemit (golden fixture: collected then sorted below)
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}

@@ -1,0 +1,60 @@
+// Package hotpathalloc is the golden fixture for the hotpathalloc
+// analyzer: one positive case per allocation source it flags, plus
+// negative cases — clean hot functions and justified suppressions —
+// that must stay silent.
+package hotpathalloc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// cold is an unannotated module function a hot path must not call.
+func cold() {}
+
+// hot exercises the allocation sources the analyzer flags.
+//
+//sharon:hotpath
+func hot(xs []int, m map[int]int, f func()) []int {
+	buf := make([]int, 8)     // want `make allocates on the hot path`
+	xs = append(xs, len(buf)) // want `append may grow its backing array on the hot path`
+	m[1] = 2                  // want `map write may grow the table on the hot path`
+	f()                       // want `dynamic call on the hot path`
+	cold()                    // want `call to .*cold, which is not //sharon:hotpath`
+	fmt.Println()             // want `call into fmt on the hot path`
+	return xs
+}
+
+// hotLiterals exercises literal and conversion allocation sources.
+//
+//sharon:hotpath
+func hotLiterals(s string, v int) string {
+	_ = []int{v}   // want `composite literal allocates on the hot path`
+	_ = func() {}  // want `closure allocates on the hot path`
+	return s + "!" // want `string concatenation allocates on the hot path`
+}
+
+// fine is the clean shape: scalar work, in-place std sorts, and
+// annotated module callees only.
+//
+//sharon:hotpath
+func fine(xs []int) int {
+	sort.Ints(xs)
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return scale(total)
+}
+
+// scale is an annotated callee, so fine's call to it is clean.
+//
+//sharon:hotpath
+func scale(v int) int { return v * 2 }
+
+// suppressed shows an amortized growth site justified in place.
+//
+//sharon:hotpath
+func suppressed(xs []int) []int {
+	return append(xs, 1) //sharon:allow hotpathalloc (golden fixture: amortized growth site)
+}

@@ -1,0 +1,74 @@
+// Package lockio is the golden fixture for the lockio analyzer:
+// blocking operations under a held mutex — I/O syscalls, sleeps,
+// channel ops, dynamic and unvetted cross-package calls, including
+// through a same-package callee — plus the unlock-first and
+// //sharon:locksafe shapes that must stay silent.
+package lockio
+
+import (
+	"os"
+	"sync"
+	"time"
+
+	"github.com/sharon-project/sharon/internal/chash"
+)
+
+type reg struct {
+	mu   sync.Mutex
+	ch   chan int
+	ring *chash.Ring
+}
+
+// badIO performs blocking operations with r.mu held to the end.
+func (r *reg) badIO(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_ = os.Remove(name)          // want `call into os performs I/O while holding r.mu`
+	time.Sleep(time.Millisecond) // want `time.Sleep while holding r.mu`
+	r.ch <- 1                    // want `channel send may block while holding r.mu`
+	<-r.ch                       // want `channel receive may block while holding r.mu`
+}
+
+// badDynamic calls through a function value under the lock.
+func (r *reg) badDynamic(f func()) {
+	r.mu.Lock()
+	f() // want `dynamic call while holding r.mu`
+	r.mu.Unlock()
+}
+
+// badCross calls an unvetted module function under the lock.
+func (r *reg) badCross() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, _ = chash.New(nil, 1) // want `call to .*chash.New while holding r.mu \(not //sharon:locksafe\)`
+}
+
+// badCallee blocks inside a same-package callee that runs under the
+// caller's lock.
+func (r *reg) badCallee() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.flush()
+}
+
+func (r *reg) flush() {
+	r.ch <- 1 // want `channel send may block while holding r.mu \(callee runs under the caller's lock\)`
+}
+
+// fine snapshots under the lock through a //sharon:locksafe method,
+// unlocks, and only then does I/O.
+func (r *reg) fine(name string) {
+	r.mu.Lock()
+	members := r.ring.Members()
+	r.mu.Unlock()
+	_ = os.Remove(name)
+	_ = members
+}
+
+// allowPoll documents a send known not to block.
+func (r *reg) allowPoll() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	//sharon:allow lockio (golden fixture: buffered channel sized for the worst case)
+	r.ch <- 1
+}

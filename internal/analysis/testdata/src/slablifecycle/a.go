@@ -1,0 +1,38 @@
+// Package slablifecycle is the golden fixture for the slablifecycle
+// analyzer: every retention shape it flags on *agg.StartRec pool
+// pointers, plus the local uses and whitelisted recycle points that
+// must stay silent.
+package slablifecycle
+
+import "github.com/sharon-project/sharon/internal/agg"
+
+// holder is a struct a slab pointer must not be parked in.
+type holder struct {
+	rec *agg.StartRec
+}
+
+// global is a package-level variable a slab pointer must not reach.
+var global *agg.StartRec
+
+// retain exercises every flagged retention shape.
+func retain(h *holder, rec *agg.StartRec, sink chan *agg.StartRec, recs []*agg.StartRec) {
+	h.rec = rec              // want `slab pointer stored into field rec`
+	global = rec             // want `slab pointer stored into package-level variable global`
+	sink <- rec              // want `slab pointer sent on a channel`
+	recs = append(recs, rec) // want `slab pointer retained by append`
+	recs[0] = rec            // want `slab pointer stored into a container element`
+}
+
+// inspect reads a record within the event callback: local aliases and
+// field reads never escape the window lifecycle, so nothing is flagged.
+func inspect(rec *agg.StartRec) int64 {
+	local := rec
+	_ = local
+	return rec.ID
+}
+
+// allowRetain is a whitelisted recycle point with its justification.
+func allowRetain(pool []*agg.StartRec, rec *agg.StartRec) []*agg.StartRec {
+	//sharon:allow slablifecycle (golden fixture: bounded recycle pool, drained by window expiry)
+	return append(pool, rec)
+}

@@ -1,0 +1,82 @@
+// Package walbeforeapply is the golden fixture for the walbeforeapply
+// analyzer: pump steps that log before applying (silent), apply before
+// logging (flagged), and log on only one path (flagged), using both
+// the recognized mutating-method names and the //sharon:logs /
+// //sharon:applies helper markers.
+package walbeforeapply
+
+import "github.com/sharon-project/sharon/internal/persist"
+
+// engine stands in for the executor: FeedBatch is one of the mutating
+// methods walbeforeapply recognizes on module types.
+type engine struct{ n int }
+
+func (e *engine) FeedBatch(xs []int) { e.n += len(xs) }
+
+type srv struct {
+	wal *persist.WAL
+	eng *engine
+}
+
+// goodStep logs before applying, in the canonical nil-guard shape.
+//
+//sharon:pump
+func (s *srv) goodStep(xs []int) {
+	if s.wal != nil {
+		if _, err := s.wal.Append(1, nil); err != nil {
+			return
+		}
+	}
+	s.eng.FeedBatch(xs)
+}
+
+// badStep applies before logging.
+//
+//sharon:pump
+func (s *srv) badStep(xs []int) {
+	s.eng.FeedBatch(xs) // want `engine mutation .*FeedBatch is not dominated by a WAL append`
+	if s.wal != nil {
+		_, _ = s.wal.Append(1, nil)
+	}
+}
+
+// halfStep logs on one branch only; the fall-through path reaches the
+// apply unlogged.
+//
+//sharon:pump
+func (s *srv) halfStep(xs []int, urgent bool) {
+	if urgent {
+		if s.wal != nil {
+			_, _ = s.wal.Append(1, nil)
+		}
+	}
+	s.eng.FeedBatch(xs) // want `engine mutation .*FeedBatch is not dominated by a WAL append`
+}
+
+// logDelta is an annotated logging helper: calling it counts as the
+// WAL append.
+//
+//sharon:logs
+func (s *srv) logDelta() {}
+
+// install is an annotated apply helper: calling it counts as the
+// engine mutation.
+//
+//sharon:applies
+func (s *srv) install(xs []int) { s.eng.FeedBatch(xs) }
+
+// helperStep is clean through the annotated helpers.
+//
+//sharon:pump
+func (s *srv) helperStep(xs []int) {
+	s.logDelta()
+	s.install(xs)
+}
+
+// helperBad applies through the annotated helper before any logging.
+//
+//sharon:pump
+func (s *srv) helperBad(xs []int) {
+	s.install(xs) // want `engine mutation .*install is not dominated by a WAL append`
+	s.logDelta()
+}

@@ -1,0 +1,227 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// This file implements the `go vet -vettool` unit-checker protocol:
+// cmd/go invokes the tool once per package with a JSON .cfg file
+// naming the sources, the export data of every import, and the facts
+// (.vetx) files of every dependency; the tool must write its own facts
+// file and report diagnostics on stderr with exit status 2. Mirroring
+// x/tools' unitchecker here keeps the CI gate the standard
+//
+//	go vet -vettool=$(command -v sharonvet) ./...
+//
+// invocation, with cmd/go caching per-package runs by content hash.
+
+// vetConfig is the .cfg payload cmd/go hands the tool (field set as of
+// go1.24; unknown fields are ignored).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetxFacts is the annotation table serialized between packages.
+type vetxFacts struct {
+	Sharonvet   int                 `json:"sharonvet"`
+	Annotations map[string][]string `json:"annotations,omitempty"`
+}
+
+// RunVettool executes one unit-checker invocation; the returned code
+// is the process exit status (0 clean, 1 tool error, 2 findings).
+func RunVettool(cfgPath string, analyzers []*Analyzer, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "sharonvet: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "sharonvet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// Fast path: standard-library dependencies carry no //sharon:
+	// annotations, so their facts are empty without parsing a file.
+	// The path shape alone can't distinguish std from a dotless module
+	// path, so require the missing ModulePath a std .cfg has.
+	if cfg.ModulePath == "" && isStdImportPath(cfg.ImportPath) {
+		if err := writeVetx(cfg.VetxOutput, NewAnnotations()); err != nil {
+			fmt.Fprintf(stderr, "sharonvet: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(cfg.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				writeVetx(cfg.VetxOutput, NewAnnotations())
+				return 0
+			}
+			fmt.Fprintf(stderr, "sharonvet: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	typePath := cfg.ImportPath
+	if i := strings.Index(typePath, " ["); i >= 0 {
+		typePath = typePath[:i] // test variant checks under the plain path
+	}
+	own := NewAnnotations()
+	ScanAnnotations(typePath, files, own)
+	if err := writeVetx(cfg.VetxOutput, own); err != nil {
+		fmt.Fprintf(stderr, "sharonvet: %v\n", err)
+		return 1
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	notes := NewAnnotations()
+	for dep, vetx := range cfg.PackageVetx {
+		if err := readVetx(vetx, notes); err != nil {
+			fmt.Fprintf(stderr, "sharonvet: facts for %s: %v\n", dep, err)
+			return 1
+		}
+	}
+	for _, key := range own.Keys() {
+		for _, m := range own.Markers(key) {
+			notes.Add(key, m)
+		}
+	}
+
+	lookup := func(p string) (io.ReadCloser, error) {
+		if m, ok := cfg.ImportMap[p]; ok {
+			p = m
+		}
+		exp, ok := cfg.PackageFile[p]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", p)
+		}
+		return os.Open(exp)
+	}
+	conf := typesConfig(importer.ForCompiler(fset, "gc", lookup))
+	info := newTypesInfo()
+	tpkg, err := conf.Check(typePath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(stderr, "sharonvet: typecheck %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	pass := &Pass{
+		Fset:       fset,
+		Files:      files,
+		Pkg:        tpkg,
+		Info:       info,
+		ModuleRoot: cfg.ModulePath,
+		Notes:      notes,
+	}
+	diags, err := RunAnalyzers(pass, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "sharonvet: %v\n", err)
+		return 1
+	}
+	diags = filterTestVariant(fset, cfg.ImportPath, diags)
+	for _, d := range diags {
+		fmt.Fprintf(stderr, "%s: %s (%s)\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// filterTestVariant keeps only _test.go diagnostics for "pkg
+// [pkg.test]" variants: their non-test files are re-analyzed copies of
+// the plain package and would double-report.
+func filterTestVariant(fset *token.FileSet, importPath string, diags []Diagnostic) []Diagnostic {
+	if !strings.Contains(importPath, " [") {
+		return diags
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		if strings.HasSuffix(fset.Position(d.Pos).Filename, "_test.go") {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// isStdImportPath distinguishes standard-library packages: their first
+// path element has no dot, while module paths start with a domain.
+func isStdImportPath(path string) bool {
+	first, _, _ := strings.Cut(path, "/")
+	return !strings.Contains(first, ".") && path != "command-line-arguments"
+}
+
+// writeVetx serializes the package's annotation facts.
+func writeVetx(path string, notes *Annotations) error {
+	if path == "" {
+		return nil
+	}
+	facts := vetxFacts{Sharonvet: 1, Annotations: make(map[string][]string)}
+	for _, key := range notes.Keys() {
+		facts.Annotations[key] = notes.Markers(key)
+	}
+	data, err := json.Marshal(&facts)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o666)
+}
+
+// readVetx merges one dependency's facts into notes.
+func readVetx(path string, notes *Annotations) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(data) == 0 {
+		return nil // dependency produced no facts
+	}
+	var facts vetxFacts
+	if err := json.Unmarshal(data, &facts); err != nil {
+		return err
+	}
+	for key, markers := range facts.Annotations {
+		for _, m := range markers {
+			notes.Add(key, m)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package analysis_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildVettool compiles cmd/sharonvet into dir and returns the binary
+// path.
+func buildVettool(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "sharonvet")
+	cmd := exec.Command("go", "build", "-o", bin, "../../cmd/sharonvet")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build sharonvet: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// writeTempModule lays out a self-contained std-only module so `go
+// vet` exercises the full unit-checker protocol (cfg files, export
+// data, .vetx facts) without touching the real repo.
+func writeTempModule(t *testing.T, dir, mainSrc string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module tempvet\n\ngo 1.24\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "main.go"), []byte(mainSrc), 0o666); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// runVet invokes `go vet -vettool=bin ./...` inside dir.
+func runVet(t *testing.T, bin, dir string) (string, error) {
+	t.Helper()
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+// TestVettoolProtocol drives the real `go vet -vettool=` pipeline end
+// to end: a module seeded with a hot-path allocation must fail vet
+// with the hotpathalloc diagnostic, and the repaired module must pass.
+// This is the same invocation CI uses as its gate, so a protocol
+// regression (version handshake, .cfg parsing, vetx facts, exit
+// status) fails here before it fails there.
+func TestVettoolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the vettool and shells out to go vet")
+	}
+	bin := buildVettool(t, t.TempDir())
+
+	t.Run("seeded violation fails", func(t *testing.T) {
+		dir := t.TempDir()
+		writeTempModule(t, dir, `package main
+
+// hot is a seeded violation: an allocation inside a //sharon:hotpath
+// function.
+//
+//sharon:hotpath
+func hot(n int) []int {
+	return make([]int, n)
+}
+
+func main() { _ = hot(3) }
+`)
+		out, err := runVet(t, bin, dir)
+		if err == nil {
+			t.Fatalf("go vet passed on a seeded hot-path allocation\n%s", out)
+		}
+		if !strings.Contains(out, "make allocates on the hot path") {
+			t.Fatalf("missing hotpathalloc diagnostic in vet output:\n%s", out)
+		}
+	})
+
+	t.Run("clean module passes", func(t *testing.T) {
+		dir := t.TempDir()
+		writeTempModule(t, dir, `package main
+
+// hot stays allocation-free.
+//
+//sharon:hotpath
+func hot(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+func main() { _ = hot([]int{1, 2, 3}) }
+`)
+		out, err := runVet(t, bin, dir)
+		if err != nil {
+			t.Fatalf("go vet failed on a clean module: %v\n%s", err, out)
+		}
+	})
+}

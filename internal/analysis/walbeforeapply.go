@@ -1,0 +1,289 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// WALBeforeApply enforces durability invariant #1 from
+// internal/server: every pump step is logged before it touches engine
+// state, so kill -9 can lose queued work but never applied work.
+//
+// Functions annotated //sharon:pump are checked with a structured
+// dominance walk: a call that applies a step (a //sharon:applies
+// helper, or a mutating engine method like FeedBatch or
+// AdvanceWatermark) must be preceded on every path by the
+// corresponding WAL append (a persist.WAL Append call, or a
+// //sharon:logs helper). Branches guarded by a `wal != nil` check get
+// vacuous credit on the disabled side — with durability off there is
+// nothing to log — which keeps the canonical shape
+//
+//	if s.wal != nil {
+//	    seq, err := s.wal.Append(...)
+//	    if err != nil { s.fail(err); return }
+//	    s.appliedSeq = seq
+//	}
+//	s.applyBatch(events, wm)
+//
+// clean while still flagging an apply hoisted above the append.
+var WALBeforeApply = &Analyzer{
+	Name: "walbeforeapply",
+	Doc:  "engine mutations in //sharon:pump functions must be dominated by the WAL append on every path",
+	Run:  runWALBeforeApply,
+}
+
+// Markers recognized by WALBeforeApply.
+const (
+	MarkerPump    = "pump"
+	MarkerLogs    = "logs"
+	MarkerApplies = "applies"
+)
+
+// walTypeSuffix identifies the write-ahead log handle type.
+const walTypeSuffix = "/internal/persist.WAL"
+
+// mutatingMethods are engine methods that change replayable state; a
+// pump calling one directly (bypassing an annotated apply helper) is
+// still caught.
+var mutatingMethods = map[string]bool{
+	"FeedBatch":        true,
+	"AdvanceWatermark": true,
+	"Restore":          true,
+	"AbsorbGroups":     true,
+	"RemoveGroups":     true,
+}
+
+func runWALBeforeApply(pass *Pass) error {
+	funcs := PackageFuncs(pass)
+	for _, key := range sortedFuncKeys(funcs) {
+		if pass.Notes.Has(key, MarkerPump) {
+			w := &walWalker{pass: pass, pump: key}
+			w.stmts(funcs[key].Body.List, false)
+		}
+	}
+	return nil
+}
+
+// walWalker tracks the "step has been logged" state through one pump
+// function's control flow.
+type walWalker struct {
+	pass *Pass
+	pump string
+}
+
+// stmts walks a statement list. logged is the incoming domination
+// state; it returns the state at the fall-through exit and whether the
+// list always terminates (returns/branches) instead of falling
+// through.
+func (w *walWalker) stmts(list []ast.Stmt, logged bool) (out, terminates bool) {
+	for _, s := range list {
+		logged, terminates = w.stmt(s, logged)
+		if terminates {
+			return logged, true
+		}
+	}
+	return logged, false
+}
+
+func (w *walWalker) stmt(s ast.Stmt, logged bool) (out, terminates bool) {
+	switch x := s.(type) {
+	case *ast.ReturnStmt:
+		w.scanCalls(x, &logged)
+		return logged, true
+	case *ast.BranchStmt:
+		return logged, true // break/continue/goto end this path conservatively
+	case *ast.BlockStmt:
+		return w.stmts(x.List, logged)
+	case *ast.IfStmt:
+		if x.Init != nil {
+			logged, _ = w.stmt(x.Init, logged)
+		}
+		w.scanCalls(x.Cond, &logged)
+		guard := w.walGuard(x.Cond)
+		thenIn, elseIn := logged, logged
+		if guard == -1 {
+			thenIn = true // wal == nil: durability off, nothing to log
+		}
+		thenOut, thenTerm := w.stmts(x.Body.List, thenIn)
+		elseOut, elseTerm := elseIn, false
+		if guard == +1 {
+			elseOut = true // wal == nil side
+		}
+		if x.Else != nil {
+			elseOut, elseTerm = w.stmt(x.Else, elseOut)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return true, true
+		case thenTerm:
+			return elseOut, false
+		case elseTerm:
+			return thenOut, false
+		default:
+			return thenOut && elseOut, false
+		}
+	case *ast.ForStmt:
+		if x.Init != nil {
+			logged, _ = w.stmt(x.Init, logged)
+		}
+		w.stmts(x.Body.List, logged)
+		return logged, false // body may run zero times
+	case *ast.RangeStmt:
+		w.scanCalls(x.X, &logged)
+		w.stmts(x.Body.List, logged)
+		return logged, false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.branches(x, logged)
+	case *ast.LabeledStmt:
+		return w.stmt(x.Stmt, logged)
+	case *ast.DeferStmt, *ast.GoStmt:
+		return logged, false // runs outside the step's apply order
+	case nil:
+		return logged, false
+	default:
+		w.scanCalls(s, &logged)
+		return logged, false
+	}
+}
+
+// branches merges a switch/select: the state after is the conjunction
+// over non-terminating cases, including the implicit empty default.
+func (w *walWalker) branches(s ast.Stmt, logged bool) (out, terminates bool) {
+	var body *ast.BlockStmt
+	hasDefault := false
+	switch x := s.(type) {
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			logged, _ = w.stmt(x.Init, logged)
+		}
+		w.scanCalls(x.Tag, &logged)
+		body = x.Body
+	case *ast.TypeSwitchStmt:
+		body = x.Body
+	case *ast.SelectStmt:
+		body = x.Body
+	}
+	out = true
+	allTerm := true
+	for _, c := range body.List {
+		var list []ast.Stmt
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			if cc.List == nil {
+				hasDefault = true
+			}
+			list = cc.Body
+		case *ast.CommClause:
+			if cc.Comm == nil {
+				hasDefault = true
+			}
+			list = cc.Body
+		}
+		o, t := w.stmts(list, logged)
+		if !t {
+			out = out && o
+			allTerm = false
+		}
+	}
+	if !hasDefault {
+		out = out && logged // the no-case-taken path
+		allTerm = false
+	}
+	if allTerm {
+		return true, true
+	}
+	return out, false
+}
+
+// scanCalls processes the calls under n in source order, updating and
+// checking the logged state.
+func (w *walWalker) scanCalls(n ast.Node, logged *bool) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false // not executed inline
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := StaticCallee(w.pass.Info, call)
+		if fn == nil {
+			return true
+		}
+		key := FuncObjKey(fn)
+		switch {
+		case w.isLog(fn, key):
+			*logged = true
+		case w.isApply(fn, key):
+			if !*logged {
+				w.pass.Reportf(call.Pos(),
+					"engine mutation %s is not dominated by a WAL append in //sharon:pump %s", key, w.pump)
+			}
+		}
+		return true
+	})
+}
+
+// isLog recognizes the durable-logging half of a step.
+func (w *walWalker) isLog(fn *types.Func, key string) bool {
+	if w.pass.Notes.Has(key, MarkerLogs) {
+		return true
+	}
+	if fn.Name() != "Append" {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	return sig.Recv() != nil && NamedTypePath(sig.Recv().Type()) == w.pass.ModuleRoot+walTypeSuffix
+}
+
+// isApply recognizes the state-mutating half of a step.
+func (w *walWalker) isApply(fn *types.Func, key string) bool {
+	if w.pass.Notes.Has(key, MarkerApplies) {
+		return true
+	}
+	if !mutatingMethods[fn.Name()] {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		return false
+	}
+	path := NamedTypePath(sig.Recv().Type())
+	return w.pass.InModule(pkgOfTypePath(path))
+}
+
+// pkgOfTypePath strips the ".Name" suffix off a NamedTypePath.
+func pkgOfTypePath(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '.' {
+			return path[:i]
+		}
+	}
+	return path
+}
+
+// walGuard classifies cond: +1 for `wal != nil` (then-side enabled),
+// -1 for `wal == nil` (then-side disabled), 0 otherwise.
+func (w *walWalker) walGuard(cond ast.Expr) int {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return 0
+	}
+	walSide := be.X
+	if w.pass.Info.Types[be.X].IsNil() {
+		walSide = be.Y
+	} else if !w.pass.Info.Types[be.Y].IsNil() {
+		return 0
+	}
+	if NamedTypePath(w.pass.Info.Types[walSide].Type) != w.pass.ModuleRoot+walTypeSuffix {
+		return 0
+	}
+	if be.Op == token.NEQ {
+		return +1
+	}
+	return -1
+}

@@ -98,12 +98,16 @@ func New(ids []string, vnodes int) (*Ring, error) {
 }
 
 // Members returns the sorted worker IDs on the ring.
+//
+//sharon:locksafe
 func (r *Ring) Members() []string { return slices.Clone(r.ids) }
 
 // Size reports the number of workers.
 func (r *Ring) Size() int { return len(r.ids) }
 
 // Has reports whether id is a member.
+//
+//sharon:locksafe
 func (r *Ring) Has(id string) bool {
 	_, ok := slices.BinarySearch(r.ids, id)
 	return ok
@@ -111,6 +115,8 @@ func (r *Ring) Has(id string) bool {
 
 // OwnerHash returns the worker owning hash position h: the worker of
 // the first virtual node at or clockwise-after h (wrapping).
+//
+//sharon:locksafe
 func (r *Ring) OwnerHash(h uint64) string {
 	if len(r.points) == 0 {
 		return ""
@@ -123,9 +129,13 @@ func (r *Ring) OwnerHash(h uint64) string {
 }
 
 // Owner returns the worker owning group key k.
+//
+//sharon:locksafe
 func (r *Ring) Owner(k event.GroupKey) string { return r.OwnerHash(KeyHash(k)) }
 
 // Add returns a new ring with id added.
+//
+//sharon:locksafe
 func (r *Ring) Add(id string) (*Ring, error) {
 	if r.Has(id) {
 		return nil, fmt.Errorf("chash: worker %q already on the ring", id)
@@ -134,6 +144,8 @@ func (r *Ring) Add(id string) (*Ring, error) {
 }
 
 // Remove returns a new ring with id removed.
+//
+//sharon:locksafe
 func (r *Ring) Remove(id string) (*Ring, error) {
 	if !r.Has(id) {
 		return nil, fmt.Errorf("chash: worker %q not on the ring", id)

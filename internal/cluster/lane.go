@@ -219,6 +219,8 @@ func (r *Router) readLane(ln *lane, resp *http.Response) {
 // advances the merge. Caller holds Router.mu. A lane mid-rebalance (its
 // worker died) never reaches here again, so the dead lane's frontier
 // stays frozen and the merge cannot outrun the recovery.
+//
+//sharon:deterministic
 func (r *Router) advanceLane(ln *lane, wm int64) {
 	if wm <= ln.frontier {
 		return
@@ -243,11 +245,14 @@ func (r *Router) advanceLane(ln *lane, wm int64) {
 // query, window, group) order, assigning the router's global sequence
 // numbers — the same order and the same wire bytes a single sharond
 // emits over the same input. Caller holds Router.mu.
+//
+//sharon:deterministic
 func (r *Router) advanceMergeLocked() {
 	if len(r.lanes) == 0 {
 		return
 	}
 	frontier := int64(1<<63 - 1)
+	//sharon:allow deterministicemit (min-reduction over lane frontiers is iteration-order independent)
 	for _, ln := range r.lanes {
 		if ln.frontier < frontier {
 			frontier = ln.frontier
@@ -257,13 +262,16 @@ func (r *Router) advanceMergeLocked() {
 		return
 	}
 	var ends []int64
+	//sharon:allow deterministicemit (the ranges only collect window ends; Sort+Compact below fixes the order)
 	for _, ln := range r.lanes {
+		//sharon:allow deterministicemit (same: collected ends are sorted and deduplicated below)
 		for end := range ln.pending {
 			if end <= frontier {
 				ends = append(ends, end)
 			}
 		}
 	}
+	//sharon:allow deterministicemit (orphan ends join the same sorted, deduplicated list)
 	for end := range r.orphan {
 		if end <= frontier {
 			ends = append(ends, end)
@@ -273,6 +281,7 @@ func (r *Router) advanceMergeLocked() {
 	ends = slices.Compact(ends)
 	for _, end := range ends {
 		var bucket []server.WireResult
+		//sharon:allow deterministicemit (lanes hold disjoint group sets, and the bucket is totally ordered by the (query, window, group) sort below)
 		for _, ln := range r.lanes {
 			if rs, ok := ln.pending[end]; ok {
 				bucket = append(bucket, rs...)

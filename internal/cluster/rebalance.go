@@ -56,6 +56,7 @@ func (r *Router) rebalanceDead(deadID string) {
 		return
 	}
 	ln.gone.Store(true)
+	//sharon:allow lockio (context.CancelFunc never blocks: it closes the done channel)
 	ln.cancel()
 	wp := ln.frontier
 	// Results beyond the last punctuation may be a partial step; the
@@ -523,6 +524,7 @@ func (r *Router) leave(id string) (int, any) {
 	}
 	r.mu.Lock()
 	ln.gone.Store(true)
+	//sharon:allow lockio (context.CancelFunc never blocks: it closes the done channel)
 	ln.cancel()
 	r.chring = newRing
 	for end, rs := range ln.pending {

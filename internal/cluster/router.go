@@ -358,6 +358,7 @@ func (r *Router) checkWorkerWorkload(url string) error {
 // never guesses once the merged stream's completeness is in doubt).
 func (r *Router) fail(format string, args ...any) {
 	msg := fmt.Sprintf(format, args...)
+	//sharon:allow lockio (some callers hold r.mu; Logf defaults to log.Printf, and a fatal-path log line is worth the stall risk)
 	r.cfg.Logf("cluster FAILED: %s", msg)
 	r.failure.CompareAndSwap(nil, msg)
 }
@@ -393,6 +394,8 @@ func (r *Router) pump() {
 
 // step handles one pump message: a control request or an ingest batch
 // (late-filter, clamp, split by ring, retain hand-off deltas, forward).
+//
+//sharon:pump
 func (r *Router) step(msg routerMsg) {
 	if msg.ctl != nil {
 		r.applyCtl(msg.ctl)
@@ -429,12 +432,22 @@ func (r *Router) step(msg routerMsg) {
 		r.batches.Add(1)
 	}
 
-	// Split by the current ring and retain every worker's step in its
-	// hand-off delta before anything is sent: a forward that fails
-	// mid-flight is already covered by the delta the successor replays.
+	members, sub := r.retainDelta(events, batchWM)
+	r.forwardAll(members, sub, batchWM)
+}
+
+// retainDelta splits a step by the current ring and retains every
+// worker's slice in its hand-off delta before anything is sent: a
+// forward that fails mid-flight is already covered by the delta the
+// successor replays. This is the router's durable-logging half — the
+// cluster analogue of the server's WAL append — so walbeforeapply
+// requires it to dominate forwardAll in the pump.
+//
+//sharon:logs
+func (r *Router) retainDelta(events []sharon.Event, batchWM int64) (members []string, sub map[string][]sharon.Event) {
 	r.mu.Lock()
-	members := r.chring.Members()
-	sub := make(map[string][]sharon.Event, len(members))
+	members = r.chring.Members()
+	sub = make(map[string][]sharon.Event, len(members))
 	for _, e := range events {
 		id := r.chring.Owner(e.Key)
 		sub[id] = append(sub[id], e)
@@ -445,13 +458,14 @@ func (r *Router) step(msg routerMsg) {
 		}
 	}
 	r.mu.Unlock()
-
-	r.forwardAll(members, sub, batchWM)
+	return members, sub
 }
 
 // forwardAll posts every worker its slice (watermark-only when empty)
 // in parallel, retrying backpressure, and rebalances on a dead worker —
 // re-forwarding nothing: the failed slice rides the hand-off delta.
+//
+//sharon:applies
 func (r *Router) forwardAll(members []string, sub map[string][]sharon.Event, batchWM int64) {
 	type outcome struct {
 		id  string
@@ -572,6 +586,7 @@ func (r *Router) lane(id string) *lane {
 func (r *Router) finish() {
 	r.mu.Lock()
 	for _, ln := range r.lanes {
+		//sharon:allow lockio (context.CancelFunc never blocks: it closes the done channel)
 		ln.cancel()
 	}
 	r.mu.Unlock()
@@ -741,29 +756,37 @@ DELETE /cluster/workers?url=U   graceful leave (ranges handed to survivors)
 `)
 }
 
-// enqueue mirrors sharond's bounded-queue backpressure.
+// enqueue mirrors sharond's bounded-queue backpressure. As in sharond,
+// the gate covers only the admission decision and the non-blocking
+// send; the refusal response (network I/O) goes out after the release
+// so a slow client cannot stall Drain's write-side acquire.
 func (r *Router) enqueue(w http.ResponseWriter, msg routerMsg) bool {
 	r.gate.RLock()
-	defer r.gate.RUnlock()
-	if r.draining {
-		writeErr(w, http.StatusServiceUnavailable, "draining")
-		return false
+	draining, accepted, failure := r.draining, false, ""
+	if !draining && msg.ctl == nil {
+		failure = r.failed()
 	}
-	if msg.ctl == nil {
-		if f := r.failed(); f != "" {
-			writeErr(w, http.StatusServiceUnavailable, "cluster failed: %s", f)
-			return false
+	if !draining && failure == "" {
+		select {
+		case r.ingest <- msg:
+			accepted = true
+		default:
 		}
 	}
-	select {
-	case r.ingest <- msg:
+	r.gate.RUnlock()
+	switch {
+	case accepted:
 		return true
+	case draining:
+		writeErr(w, http.StatusServiceUnavailable, "draining")
+	case failure != "":
+		writeErr(w, http.StatusServiceUnavailable, "cluster failed: %s", failure)
 	default:
 		r.rej429.Add(1)
 		w.Header().Set("Retry-After", "1")
 		writeErr(w, http.StatusTooManyRequests, "ingest queue full (%d batches); retry", cap(r.ingest))
-		return false
 	}
+	return false
 }
 
 func (r *Router) handleIngest(w http.ResponseWriter, req *http.Request) {

@@ -342,6 +342,8 @@ func initialSnapRing(w query.Window) int64 {
 // a bijection onto old slots, so no two live windows can inherit the same
 // recycled slice (appends are always preceded by ensureRing in onStart,
 // hence windows beyond the old coverage hold no entries).
+//
+//sharon:hotpath
 func (st *stageRT) ensureRing() {
 	span := st.eng.maxWin - st.eng.nextClose + 1
 	oldLen := int64(len(st.snapRing))
@@ -349,7 +351,7 @@ func (st *stageRT) ensureRing() {
 		return
 	}
 	n := query.NextPow2(span)
-	ring := make([][]snapEntry, n)
+	ring := make([][]snapEntry, n) //sharon:allow hotpathalloc (geometric snapshot-ring growth: O(log overlap) allocations, none at steady state)
 	for k := st.eng.nextClose; k < st.eng.nextClose+oldLen; k++ {
 		ring[k&(n-1)] = st.snapRing[k&st.snapMask]
 	}
@@ -375,6 +377,8 @@ func newAggNode(p query.Pattern, w query.Window, target event.Type) *aggNode {
 // of this stage's segment arrives (Fig. 7: "when c3 arrives,
 // count(A,B) = 1"). Sequence semantics make this sound: every upstream
 // match counted so far ended strictly before this START event.
+//
+//sharon:hotpath
 func (st *stageRT) onStart(rec *agg.StartRec, e event.Event) {
 	if st.idx == 0 {
 		return
@@ -388,7 +392,7 @@ func (st *stageRT) onStart(rec *agg.StartRec, e event.Event) {
 			continue
 		}
 		slot := k & st.snapMask
-		st.snapRing[slot] = append(st.snapRing[slot], snapEntry{rec: rec, up: up})
+		st.snapRing[slot] = append(st.snapRing[slot], snapEntry{rec: rec, up: up}) //sharon:allow hotpathalloc (amortized: closed windows reset slots to length 0 keeping capacity, so the backing array is recycled)
 	}
 }
 
@@ -396,6 +400,9 @@ func (st *stageRT) onStart(rec *agg.StartRec, e event.Event) {
 // stage 0 the aggregator's own per-window total; for later stages the sum
 // over START snapshots of snapshot ⊗ complete-aggregate — the paper's
 // count-combination step, evaluated lazily.
+//
+//sharon:hotpath
+//sharon:deterministic
 func (st *stageRT) currentValue(k int64) agg.State {
 	if st.idx == 0 {
 		s := st.node.agg.CurrentTotal(k)
@@ -419,6 +426,9 @@ func (st *stageRT) currentValue(k int64) agg.State {
 }
 
 // windowState returns the chain's final aggregate for window k (C_m(k)).
+//
+//sharon:hotpath
+//sharon:deterministic
 func (ch *chainRT) windowState(k int64) agg.State {
 	return ch.stages[len(ch.stages)-1].currentValue(k)
 }
@@ -429,6 +439,9 @@ func (ch *chainRT) windowState(k int64) agg.State {
 // here — before the aggregators observe a later watermark — also orders
 // the drop of every *StartRec reference ahead of the record's return to
 // its aggregator's pool (see agg.StartRec).
+//
+//sharon:hotpath
+//sharon:deterministic
 func (ch *chainRT) release(k int64) {
 	for _, st := range ch.stages {
 		if st.idx == 0 {
@@ -452,9 +465,11 @@ func (en *Engine) Name() string { return en.name }
 func (en *Engine) Plan() core.Plan { return en.plan }
 
 // Process feeds the next event (strictly time-ordered).
+//
+//sharon:hotpath
 func (en *Engine) Process(e event.Event) error {
 	if en.started && e.Time <= en.lastTime {
-		return fmt.Errorf("exec: out-of-order event at t=%d (last t=%d)", e.Time, en.lastTime)
+		return fmt.Errorf("exec: out-of-order event at t=%d (last t=%d)", e.Time, en.lastTime) //sharon:allow hotpathalloc (cold error path: the caller stops the stream on the first out-of-order event)
 	}
 	if !en.started {
 		en.started = true
@@ -474,8 +489,8 @@ func (en *Engine) Process(e event.Event) error {
 	}
 	g, ok := en.groups[key]
 	if !ok {
-		g = en.buildGroup(key)
-		en.groups[key] = g
+		g = en.buildGroup(key) //sharon:allow hotpathalloc (cold path: runs once per new group key, not per event)
+		en.groups[key] = g     //sharon:allow hotpathalloc (cold path: one map insert per new group key)
 	}
 	if int(e.Type) < len(g.byType) {
 		for _, node := range g.byType[e.Type] {
@@ -488,6 +503,8 @@ func (en *Engine) Process(e event.Event) error {
 }
 
 // closeUpTo emits results for every window ending at or before t.
+//
+//sharon:hotpath
 func (en *Engine) closeUpTo(t int64) {
 	for en.win.End(en.nextClose) <= t {
 		// Every closed window overlaps the stream span: nextClose starts
@@ -504,13 +521,17 @@ func (en *Engine) closeUpTo(t int64) {
 // makes the OnResult sink order identical across runs — and identical to
 // the parallel executor's merge order — so sinks (the server's push
 // subscriptions, the harness) can rely on it without re-sorting.
+//
+//sharon:hotpath
+//sharon:deterministic
 func (en *Engine) emitWindow(win int64) {
 	en.emitBuf = en.emitBuf[:0]
+	//sharon:allow deterministicemit (the map range only stages into emitBuf; the sort below fixes the (query, window, group) emit order)
 	for _, g := range en.groups {
 		for _, ch := range g.chains {
 			state := ch.windowState(win)
 			if state.Count > 0 || en.opts.EmitEmpty {
-				en.emitBuf = append(en.emitBuf, Result{Query: ch.proto.q.ID, Win: win, Group: g.key, State: state})
+				en.emitBuf = append(en.emitBuf, Result{Query: ch.proto.q.ID, Win: win, Group: g.key, State: state}) //sharon:allow hotpathalloc (amortized: emitBuf is reset to length 0 and reused every window)
 			}
 			ch.release(win)
 		}
@@ -528,6 +549,8 @@ func (en *Engine) emitWindow(win int64) {
 // stream watermark. Calls at or before the engine's current watermark
 // are no-ops; an engine that has seen no events has no groups and
 // nothing to emit, so it ignores the watermark entirely.
+//
+//sharon:hotpath
 func (en *Engine) AdvanceWatermark(t int64) {
 	if !en.started || t <= en.lastTime {
 		return
@@ -540,6 +563,8 @@ func (en *Engine) AdvanceWatermark(t int64) {
 }
 
 // Flush closes all windows containing events seen so far.
+//
+//sharon:hotpath
 func (en *Engine) Flush() error {
 	if !en.started {
 		return nil
@@ -549,6 +574,8 @@ func (en *Engine) Flush() error {
 }
 
 // sampleMemory records the current live-state count into the peak.
+//
+//sharon:hotpath
 func (en *Engine) sampleMemory() {
 	n := en.LiveStates()
 	if n > en.peakLive {
@@ -558,6 +585,8 @@ func (en *Engine) sampleMemory() {
 
 // LiveStates counts all aggregate states currently held: aggregator
 // prefix/total states plus the chains' combination and snapshot entries.
+//
+//sharon:hotpath
 func (en *Engine) LiveStates() int64 {
 	var n int64
 	for _, g := range en.groups {

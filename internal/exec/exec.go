@@ -90,13 +90,17 @@ type resultSink struct {
 	count   int64
 }
 
+// emit delivers one result to the configured sink.
+//
+//sharon:hotpath
+//sharon:deterministic
 func (rs *resultSink) emit(r Result) {
 	rs.count++
 	if rs.opts.OnResult != nil {
-		rs.opts.OnResult(r)
+		rs.opts.OnResult(r) //sharon:allow hotpathalloc (subscriber callback: the benchmark sink is a no-op; server sinks own their costs)
 	}
 	if rs.opts.Collect {
-		rs.results = append(rs.results, r)
+		rs.results = append(rs.results, r) //sharon:allow hotpathalloc (Collect mode is off on the benchmarked path; tests that set it accept the appends)
 	}
 }
 
@@ -104,12 +108,18 @@ func (rs *resultSink) emit(r Result) {
 // by every executor's Results() and by the parallel merge stage — a
 // single definition keeps the parallel-equals-sequential byte-for-byte
 // guarantee intact.
+//
+//sharon:hotpath
+//sharon:deterministic
 func lessResult(a, b Result) bool {
 	return cmpResult(a, b) < 0
 }
 
 // cmpResult is lessResult as a three-way comparison for slices.SortFunc
 // (the sequential executors' within-window emission sort).
+//
+//sharon:hotpath
+//sharon:deterministic
 func cmpResult(a, b Result) int {
 	switch {
 	case a.Query != b.Query:
@@ -172,6 +182,8 @@ func samePredicates(a, b []query.Predicate) bool {
 }
 
 // accepts applies the workload's (uniform) predicates.
+//
+//sharon:hotpath
 func accepts(preds []query.Predicate, e event.Event) bool {
 	for _, p := range preds {
 		if !p.Eval(e) {

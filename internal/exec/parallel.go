@@ -507,6 +507,8 @@ func (p *Parallel) loadErr() error {
 // watermark passed its end. Windows therefore stream out in
 // deterministic (window end, query ID, window, group) order regardless
 // of worker scheduling.
+//
+//sharon:deterministic
 func (p *Parallel) mergeLoop() {
 	const noWM = math.MinInt64
 	wms := make([]int64, len(p.workers))
@@ -568,12 +570,15 @@ func (p *Parallel) mergeLoop() {
 // limit, in ascending end order, each window's results sorted by
 // (query, window, group). After Stop, buffered windows are discarded
 // instead of delivered.
+//
+//sharon:deterministic
 func (p *Parallel) emitReady(buckets map[int64][]Result, limit int64) {
 	if p.dropped.Load() {
 		clear(buckets)
 		return
 	}
 	var ready []int64
+	//sharon:allow deterministicemit (the map range only collects window ends; the sort below fixes the ascending-end delivery order)
 	for end := range buckets {
 		if end <= limit {
 			ready = append(ready, end)

@@ -234,6 +234,7 @@ func (en *Engine) restoreGroup(gs *GroupSnapshot) error {
 		if err != nil {
 			return fmt.Errorf("exec: group %d aggregator %d: %w", gs.Key, i, err)
 		}
+		//sharon:allow slablifecycle (transient restore index used to rewire chain stages below; dead after this function)
 		recsOf[node] = byID
 	}
 	for _, ss := range gs.Stages {

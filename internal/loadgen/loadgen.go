@@ -542,20 +542,23 @@ func Run(cfg Config) (Report, error) {
 		rep.Endpoints = append(rep.Endpoints, ex.report())
 	}
 
+	// Every subscriber goroutine has been joined above, but take the
+	// lock for the final reads anyway — and release it before the frame
+	// flush and progress callback, which do I/O.
 	mu.Lock()
-	defer mu.Unlock()
 	rep.Results = results
 	rep.FirstSeq, rep.LastSeq = firstSeq, lastSeq
 	rep.SeqGaps, rep.SeqDups = gaps, dups
-	if framesW != nil {
-		if err := framesW.Flush(); err != nil {
-			return rep, err
-		}
-	}
 	var lat []float64
 	for end, at := range recvAt {
 		if sent, ok := sentAt[end]; ok {
 			lat = append(lat, at.Sub(sent).Seconds()*1000)
+		}
+	}
+	mu.Unlock()
+	if framesW != nil {
+		if err := framesW.Flush(); err != nil {
+			return rep, err
 		}
 	}
 	rep.Windows = int64(len(lat))

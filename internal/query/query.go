@@ -216,6 +216,8 @@ type Predicate struct {
 
 // Eval reports whether ev satisfies the predicate. Events of other types
 // pass vacuously.
+//
+//sharon:hotpath
 func (p Predicate) Eval(ev event.Event) bool {
 	if p.Type != event.NoType && ev.Type != p.Type {
 		return true

@@ -25,13 +25,22 @@ func (w Window) Validate() error {
 }
 
 // Start returns the first tick of window k.
+//
+//sharon:hotpath
+//sharon:deterministic
 func (w Window) Start(k int64) int64 { return k * w.Slide }
 
 // End returns the first tick after window k.
+//
+//sharon:hotpath
+//sharon:deterministic
 func (w Window) End(k int64) int64 { return k*w.Slide + w.Length }
 
 // FirstContaining returns the smallest window index whose interval contains
 // tick t: the least k with k*Slide > t-Length, clamped at 0.
+//
+//sharon:hotpath
+//sharon:deterministic
 func (w Window) FirstContaining(t int64) int64 {
 	// k*Slide + Length > t  <=>  k > (t-Length)/Slide
 	k := (t-w.Length)/w.Slide + 1
@@ -47,14 +56,23 @@ func (w Window) FirstContaining(t int64) int64 {
 
 // LastContaining returns the largest window index whose interval contains
 // tick t, i.e. floor(t/Slide). t must be non-negative.
+//
+//sharon:hotpath
+//sharon:deterministic
 func (w Window) LastContaining(t int64) int64 { return t / w.Slide }
 
 // Contains reports whether window k contains tick t.
+//
+//sharon:hotpath
+//sharon:deterministic
 func (w Window) Contains(k, t int64) bool {
 	return w.Start(k) <= t && t < w.End(k)
 }
 
 // Indices returns the inclusive range of window indices containing t.
+//
+//sharon:hotpath
+//sharon:deterministic
 func (w Window) Indices(t int64) (first, last int64) {
 	return w.FirstContaining(t), w.LastContaining(t)
 }
@@ -65,6 +83,9 @@ func (w Window) Indices(t int64) (first, last int64) {
 // most ceil(Length/Slide)+1 indices are open at once. Ring-buffer window
 // state in the executors grows (geometrically, via NextPow2) up to this
 // bound and no further.
+//
+//sharon:hotpath
+//sharon:deterministic
 func (w Window) MaxConcurrent() int64 {
 	return (w.Length+w.Slide-1)/w.Slide + 1
 }
@@ -72,6 +93,9 @@ func (w Window) MaxConcurrent() int64 {
 // NextPow2 returns the smallest power of two at or above v (at least 1).
 // The executors size their window rings with it so that wrapping a window
 // index into a slot is a single mask instead of a modulo.
+//
+//sharon:hotpath
+//sharon:deterministic
 func NextPow2(v int64) int64 {
 	n := int64(1)
 	for n < v {
@@ -83,6 +107,9 @@ func NextPow2(v int64) int64 {
 // PairIndices returns the inclusive range of window indices containing the
 // whole interval [start, end] (a sequence's START and END event times).
 // It returns ok=false if no window contains both.
+//
+//sharon:hotpath
+//sharon:deterministic
 func (w Window) PairIndices(start, end int64) (first, last int64, ok bool) {
 	first = w.FirstContaining(end) // window must extend past end
 	last = w.LastContaining(start) // window must begin at or before start

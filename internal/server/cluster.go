@@ -64,6 +64,8 @@ func (s *Server) clusterApplicable() (groupHost, *ctlError) {
 }
 
 // applyExtract cuts the requested range on the pump goroutine.
+//
+//sharon:pump
 func (s *Server) applyExtract(req *ctlReq) {
 	x := req.extract
 	fail := func(ce *ctlError) { req.reply <- ctlReply{status: ce.status, body: map[string]string{"error": ce.msg}} }
@@ -143,6 +145,8 @@ func (s *Server) replayExtract(rec persist.ExtractRecord) error {
 }
 
 // applyAdopt grafts a shipped range on the pump goroutine.
+//
+//sharon:pump
 func (s *Server) applyAdopt(req *ctlReq) {
 	a := req.adopt
 	fail := func(ce *ctlError) { req.reply <- ctlReply{status: ce.status, body: map[string]string{"error": ce.msg}} }
@@ -196,6 +200,8 @@ func (s *Server) applyAdopt(req *ctlReq) {
 // (through the server's normal sink sequence) only the windows the
 // previous owner never delivered — then absorb the caught-up groups
 // into the serving engine and align the stream watermark.
+//
+//sharon:applies
 func (s *Server) adoptApply(a *persist.AdoptRecord) (groups int, regen int64, err error) {
 	// Quiesce first: with a parallel engine the merge goroutine may
 	// still be assigning sequence numbers to results of earlier steps

@@ -89,10 +89,16 @@ func (h *Hub) drop(s *subscriber) {
 
 // Publish delivers one encoded result to every matching subscriber.
 // A subscriber whose buffer is full is marked slow and dropped: its
-// channel closes, and its handler terminates the connection.
+// channel closes, and its handler terminates the connection. Delivery
+// is a non-blocking send, so Publish never parks while its caller
+// holds a lock.
+//
+//sharon:locksafe
+//sharon:deterministic
 func (h *Hub) Publish(query int, seq int64, payload []byte) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	//sharon:allow deterministicemit (per-subscriber frame streams are independent; each subscriber sees frames in publish-call order regardless of set iteration)
 	for s := range h.subs {
 		if s.query >= 0 && s.query != query {
 			continue
@@ -105,9 +111,14 @@ func (h *Hub) Publish(query int, seq int64, payload []byte) {
 // punctuating subscriber. Control frames obey the same slow-consumer
 // policy as results: a punctuating consumer that cannot keep up loses
 // frames it cannot reason without, so it is disconnected instead.
+// Like Publish, delivery never blocks.
+//
+//sharon:locksafe
+//sharon:deterministic
 func (h *Hub) PublishCtl(name string, payload []byte) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	//sharon:allow deterministicemit (per-subscriber frame streams are independent; each subscriber sees frames in publish-call order regardless of set iteration)
 	for s := range h.subs {
 		if !s.punct {
 			continue

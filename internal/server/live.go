@@ -177,6 +177,8 @@ func (s *Server) buildNextWorkload(entries []queryEntry, rates sharon.Rates, pla
 // buildNextWorkload, BEFORE the change is logged to the WAL — a logged
 // change must always be installable, or replaying it would wedge
 // recovery on a failure the live path shrugged off. Pump goroutine.
+//
+//sharon:applies
 func (s *Server) installWorkload(entries []queryEntry, boundary int64, next *builtSystem) {
 	if boundary == 0 {
 		// Nothing was ever fed: replace outright, nothing to drain.
@@ -205,6 +207,8 @@ func (s *Server) ctlApplicable() *ctlError {
 }
 
 // applyCtl executes a live workload change on the pump goroutine.
+//
+//sharon:pump
 func (s *Server) applyCtl(req *ctlReq) {
 	reply := func(status int, body any) {
 		req.reply <- ctlReply{status: status, body: body}

@@ -336,6 +336,8 @@ func (s *Server) loadView() *workloadView { return s.view.Load().(*workloadView)
 // parsed batches and control requests from the bounded queue, feeds the
 // system(s), advances the watermark, and — on drain — flushes every
 // open window into the hub before shutting the subscriptions down.
+//
+//sharon:pump
 func (s *Server) pump() {
 	defer close(s.pumpDone)
 	if s.wal != nil {
@@ -382,6 +384,10 @@ func (s *Server) pump() {
 	}
 }
 
+// step executes one pump message: log-then-apply for batches, with
+// control frames dispatched to their own logged apply paths.
+//
+//sharon:pump
 func (s *Server) step(msg pumpMsg) {
 	if msg.ctl != nil {
 		switch {
@@ -458,6 +464,8 @@ func (s *Server) punctuate() {
 // applyBatch feeds one late-filtered batch and effective watermark into
 // the engines: the single apply path shared by live ingestion and WAL
 // replay, so a replayed step is indistinguishable from the original.
+//
+//sharon:applies
 func (s *Server) applyBatch(events []sharon.Event, wm int64) {
 	// Replay defense: the records are logged post-filter, but a step is
 	// only correct against the watermark it was logged under.
@@ -720,22 +728,31 @@ POST   /cluster/adopt    cluster rebalance: graft a hash range in (router-driven
 
 // enqueue pushes a pump message under the drain gate; it reports
 // whether the message was accepted and writes the refusal otherwise.
+// The gate is held only for the drain check and the non-blocking send;
+// the HTTP refusal (network I/O) is written after the release so a
+// slow client can never stall Drain's write-side acquire.
 func (s *Server) enqueue(w http.ResponseWriter, msg pumpMsg) bool {
 	s.gate.RLock()
-	defer s.gate.RUnlock()
-	if s.draining {
-		writeErr(w, http.StatusServiceUnavailable, "draining")
-		return false
+	draining, accepted := s.draining, false
+	if !draining {
+		select {
+		case s.ingest <- msg:
+			accepted = true
+		default:
+		}
 	}
-	select {
-	case s.ingest <- msg:
+	s.gate.RUnlock()
+	switch {
+	case accepted:
 		return true
+	case draining:
+		writeErr(w, http.StatusServiceUnavailable, "draining")
 	default:
 		s.rej429.Add(1)
 		w.Header().Set("Retry-After", "1")
 		writeErr(w, http.StatusTooManyRequests, "ingest queue full (%d batches); retry", cap(s.ingest))
-		return false
 	}
+	return false
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {

@@ -105,6 +105,7 @@ func inProcessReference(t *testing.T, queries []string, raw []rawEvent, finalWM 
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer sys.Close()
 	if err := sys.FeedBatch(events); err != nil {
 		t.Fatal(err)
 	}

@@ -34,7 +34,11 @@ func NewReplayRing(max int) *ReplayRing {
 }
 
 // Append retains one emission; seq must be the ring's next (the sink's
-// global sequence is contiguous).
+// global sequence is contiguous). Pure in-memory bookkeeping under the
+// ring's own mutex; safe to call with caller locks held.
+//
+//sharon:locksafe
+//sharon:deterministic
 func (r *ReplayRing) Append(seq int64, payload []byte) {
 	r.mu.Lock()
 	defer r.mu.Unlock()

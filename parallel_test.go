@@ -52,6 +52,7 @@ func TestParallelismMatchesSequential(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		defer seq.Close()
 		if err := seq.ProcessAll(stream); err != nil {
 			t.Fatal(err)
 		}
@@ -64,6 +65,7 @@ func TestParallelismMatchesSequential(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			defer sys.Close()
 			if err := sys.ProcessAll(stream); err != nil {
 				t.Fatal(err)
 			}
@@ -86,6 +88,7 @@ func TestParallelismFeedBatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer seq.Close()
 	if err := seq.ProcessAll(stream); err != nil {
 		t.Fatal(err)
 	}
@@ -93,6 +96,7 @@ func TestParallelismFeedBatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer sys.Close()
 	// Feed in uneven chunks to cross batch boundaries.
 	for i := 0; i < len(stream); {
 		j := i + 700
@@ -123,6 +127,7 @@ func TestParallelismExplain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer sys.Close()
 	if s := sys.Explain(reg); s == "" {
 		t.Error("Explain returned nothing under Parallelism: 2")
 	}
@@ -149,6 +154,7 @@ func TestParallelPartitionedSystem(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer seq.Close()
 	if err := seq.ProcessAll(stream); err != nil {
 		t.Fatal(err)
 	}
@@ -161,6 +167,7 @@ func TestParallelPartitionedSystem(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer sys.Close()
 	if sys.Segments() != seq.Segments() {
 		t.Fatalf("segments = %d, want %d", sys.Segments(), seq.Segments())
 	}
@@ -183,6 +190,7 @@ func TestParallelDynamicSystem(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer seq.Close()
 	if err := seq.ProcessAll(stream); err != nil {
 		t.Fatal(err)
 	}
@@ -200,6 +208,7 @@ func TestParallelDynamicSystem(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer sys.Close()
 	if err := sys.ProcessAll(stream); err != nil {
 		t.Fatal(err)
 	}

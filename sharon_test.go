@@ -53,6 +53,7 @@ func TestSystemStrategiesAgree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer reference.Close()
 	if err := reference.ProcessAll(stream); err != nil {
 		t.Fatal(err)
 	}
@@ -66,6 +67,7 @@ func TestSystemStrategiesAgree(t *testing.T) {
 		if err != nil {
 			t.Fatalf("strategy %v: %v", strat, err)
 		}
+		defer sys.Close()
 		if err := sys.ProcessAll(stream); err != nil {
 			t.Fatalf("strategy %v: %v", strat, err)
 		}
@@ -91,6 +93,7 @@ func TestSystemSharesTraffic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer sys.Close()
 	if len(sys.Plan()) == 0 {
 		t.Error("no sharing plan chosen on the traffic workload")
 	}
@@ -126,6 +129,7 @@ func TestSystemExplicitPlan(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer sys.Close()
 	var stream sharon.Stream
 	for i, name := range []string{"A", "B", "C", "D", "A", "B", "C"} {
 		stream = append(stream, sharon.Event{Time: int64(i+1) * 1000, Type: reg.Lookup(name)})
@@ -149,6 +153,7 @@ func TestSystemCallbacks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer sys.Close()
 	stream := sharon.Stream{
 		{Time: 1000, Type: reg.Lookup("A")},
 		{Time: 2000, Type: reg.Lookup("B")},
@@ -222,6 +227,7 @@ func TestDynamicSystemPublic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer sys.Close()
 	if err := sys.ProcessAll(stream); err != nil {
 		t.Fatal(err)
 	}
@@ -236,6 +242,7 @@ func TestDynamicSystemPublic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer ref.Close()
 	if err := ref.ProcessAll(stream); err != nil {
 		t.Fatal(err)
 	}
@@ -259,6 +266,7 @@ func TestValueHelper(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer sys.Close()
 	stream := sharon.Stream{
 		{Time: 1000, Type: reg.Lookup("A"), Val: 1},
 		{Time: 2000, Type: reg.Lookup("B"), Val: 7},
@@ -290,6 +298,7 @@ func TestPartitionedSystemPublic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer sys.Close()
 	if sys.Segments() != 3 {
 		t.Fatalf("segments = %d, want 3", sys.Segments())
 	}

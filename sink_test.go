@@ -44,6 +44,7 @@ func TestSinkDeterministicOrder(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer collect.Close()
 	if err := collect.ProcessAll(stream); err != nil {
 		t.Fatal(err)
 	}
@@ -61,6 +62,7 @@ func TestSinkDeterministicOrder(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer sink.Close()
 	if err := sink.ProcessAll(stream); err != nil {
 		t.Fatal(err)
 	}
@@ -81,6 +83,7 @@ func TestSinkDeterministicOrder(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer psys.Close()
 	if err := psys.ProcessAll(stream); err != nil {
 		t.Fatal(err)
 	}
@@ -200,6 +203,7 @@ func TestAdvanceWatermarkEmitsWithoutFlush(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer ref.Close()
 	if err := ref.ProcessAll(stream); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	sharon "github.com/sharon-project/sharon"
+)
+
+func run(parallelism int) ([]sharon.Result, error) {
+	reg := sharon.NewRegistry()
+	workload := sharon.Workload{
+		sharon.MustParseQuery("RETURN COUNT(*) PATTERN SEQ(A, B) WHERE [key] WITHIN 100s SLIDE 50s", reg),
+		sharon.MustParseQuery("RETURN COUNT(*) PATTERN SEQ(A, B, C) WHERE [key] WITHIN 100s SLIDE 50s", reg),
+	}
+	workload.Renumber()
+	sys, err := sharon.NewSystem(workload, sharon.Options{Parallelism: parallelism})
+	if err != nil {
+		return nil, err
+	}
+	defer sys.Close()
+	names := []string{"A", "B", "C"}
+	for t := int64(1); t <= 5000; t++ {
+		e := sharon.Event{Time: t * 100, Type: reg.Intern(names[t%3]), Key: sharon.GroupKey(t % 7), Val: 1}
+		if err := sys.Process(e); err != nil {
+			return nil, err
+		}
+	}
+	if err := sys.Flush(); err != nil {
+		return nil, err
+	}
+	return sys.Results(), nil
+}
+
+func main() {
+	seq, err := run(1)
+	if err != nil {
+		fmt.Println("seq:", err)
+		os.Exit(1)
+	}
+	par, err := run(4)
+	if err != nil {
+		fmt.Println("par:", err)
+		os.Exit(1)
+	}
+	if len(seq) == 0 || len(seq) != len(par) {
+		fmt.Println("result count mismatch:", len(seq), len(par))
+		os.Exit(1)
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			fmt.Println("mismatch at", i, seq[i], par[i])
+			os.Exit(1)
+		}
+	}
+
+	// Error path: non-increasing Time must be rejected.
+	reg := sharon.NewRegistry()
+	wl := sharon.Workload{sharon.MustParseQuery("RETURN COUNT(*) PATTERN SEQ(A, B) WITHIN 10s SLIDE 5s", reg)}
+	wl.Renumber()
+	sys, err := sharon.NewSystem(wl, sharon.Options{})
+	if err != nil {
+		fmt.Println("new:", err)
+		os.Exit(1)
+	}
+	defer sys.Close()
+	if err := sys.Process(sharon.Event{Time: 10, Type: reg.Intern("A")}); err != nil {
+		fmt.Println("first:", err)
+		os.Exit(1)
+	}
+	if err := sys.Process(sharon.Event{Time: 10, Type: reg.Intern("B")}); err == nil {
+		fmt.Println("out-of-order event not rejected")
+		os.Exit(1)
+	}
+	fmt.Printf("OK: %d results, sequential == parallel(4) byte-identical; out-of-order rejected\n", len(seq))
+}
