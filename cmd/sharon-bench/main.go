@@ -33,7 +33,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id: table1, fig13, fig14ae, fig14bf, fig14cg, fig15, fig16, parallel, hotpath, server, all")
+		exp     = flag.String("exp", "all", "experiment id: table1, fig13, fig14ae, fig14bf, fig14cg, fig15, fig16, parallel, hotpath, server, wire, all")
 		scale   = flag.Float64("scale", 1, "stream size multiplier (1 ≈ paper shapes at 1/10 size, 10 ≈ paper size)")
 		seed    = flag.Int64("seed", 1, "generator seed")
 		jsonDir = flag.String("json", "", "directory to write machine-readable BENCH_<exp>.json results into (empty: don't)")
@@ -66,6 +66,17 @@ func main() {
 			fmt.Printf("  %s: ingest-to-emit latency p50 %.2fms p99 %.2fms\n", r.Name, r.LatencyP50Ms, r.LatencyP99Ms)
 		}
 		writeJSON(*jsonDir, harness.BenchFile{Experiment: "server", Records: recs})
+	case "wire":
+		recs, err := harness.WireBench(cfg)
+		fail(err)
+		fmt.Printf("wire — ingest codec comparison over loopback (NDJSON vs binary vs streaming binary) + binary edge decode\n")
+		fmt.Print(harness.FormatBenchRecords(recs))
+		for _, r := range recs {
+			if r.LatencyP50Ms > 0 || r.LatencyP99Ms > 0 {
+				fmt.Printf("  %s: ingest-to-emit latency p50 %.2fms p99 %.2fms\n", r.Name, r.LatencyP50Ms, r.LatencyP99Ms)
+			}
+		}
+		writeJSON(*jsonDir, harness.BenchFile{Experiment: "wire", Records: recs})
 	case "hotpath":
 		recs, err := harness.Hotpath(cfg)
 		fail(err)

@@ -51,6 +51,7 @@ func main() {
 		rate       = flag.Float64("rate", 0, "throttle to about this many events/sec (0 = unthrottled)")
 		groups     = flag.Int("groups", 16, "distinct group keys")
 		types      = flag.String("types", "A,B,C,D", "event type cycle (CSV)")
+		wire       = flag.String("wire", "ndjson", "ingest codec: ndjson, binary (one-shot binary posts), or stream (one long-lived binary connection with per-batch acks)")
 		within     = flag.Int64("within", 4000, "served workload's window length in ticks")
 		slide      = flag.Int64("slide", 1000, "served workload's window slide in ticks")
 		resumeAt   = flag.String("resume-after", "", "subscribe with ?after=N (resume a dropped subscription; -1 replays everything retained)")
@@ -87,6 +88,7 @@ func main() {
 		Types:          strings.Split(*types, ","),
 		Within:         *within,
 		Slide:          *slide,
+		Wire:           *wire,
 		SkipWatermark:  *noWM,
 		TolerateAbort:  *tolerate,
 		FramesPath:     *framesOut,

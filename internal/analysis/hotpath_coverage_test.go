@@ -9,11 +9,12 @@ import (
 	"github.com/sharon-project/sharon/internal/analysis"
 )
 
-// TestHotPathAnnotationsCovered walks the static call graph that
-// BenchmarkHotPathProcess measures — everything reachable from
-// internal/exec.(Engine).Process inside the module — and asserts each
-// function on it carries //sharon:hotpath, so new hot-path code cannot
-// dodge the hotpathalloc analyzer. Call sites suppressed with
+// TestHotPathAnnotationsCovered walks the static call graphs the
+// per-event benchmarks measure — everything reachable inside the
+// module from internal/exec.(Engine).Process and from the binary wire
+// codec's per-event loops — and asserts each function on them carries
+// //sharon:hotpath, so new hot-path code cannot dodge the hotpathalloc
+// analyzer. Call sites suppressed with
 // //sharon:allow hotpathalloc are documented cold paths and are not
 // traversed; dynamic calls are hotpathalloc findings in their own
 // right, so the analyzer (not this test) polices them.
@@ -41,9 +42,19 @@ func TestHotPathAnnotationsCovered(t *testing.T) {
 		}
 	}
 
-	root := ld.Module + "/internal/exec.(Engine).Process"
-	if _, ok := decls[root]; !ok {
-		t.Fatalf("hot-path root %s not found", root)
+	// Roots: the engine's per-event entry point plus the binary wire
+	// codec's per-event loops — the ingest edge (decode) and the cluster
+	// forward / load generator edge (encode), which BenchWire measures
+	// with the same ~0 allocs/event expectation.
+	roots := []string{
+		ld.Module + "/internal/exec.(Engine).Process",
+		ld.Module + "/internal/server.decodeWireEvents",
+		ld.Module + "/internal/server.appendWireEvents",
+	}
+	for _, root := range roots {
+		if _, ok := decls[root]; !ok {
+			t.Fatalf("hot-path root %s not found", root)
+		}
 	}
 
 	inModule := func(path string) bool {
@@ -51,7 +62,7 @@ func TestHotPathAnnotationsCovered(t *testing.T) {
 	}
 
 	visited := make(map[string]bool)
-	queue := []string{root}
+	queue := append([]string(nil), roots...)
 	for len(queue) > 0 {
 		key := queue[0]
 		queue = queue[1:]
@@ -97,6 +108,9 @@ func TestHotPathAnnotationsCovered(t *testing.T) {
 		ld.Module + "/internal/query.(Window).FirstContaining",
 		ld.Module + "/internal/query.(Window).LastContaining",
 		ld.Module + "/internal/agg.(Aggregator).Process",
+		ld.Module + "/internal/persist.(Decoder).Uvarint",
+		ld.Module + "/internal/persist.(Decoder).Float",
+		ld.Module + "/internal/persist.(Decoder).Varint",
 	} {
 		if !visited[want] {
 			t.Errorf("expected %s on the hot-path call graph; the walk no longer reaches it", want)

@@ -40,15 +40,19 @@ const MarkerHotPath = "hotpath"
 
 // hotStdlibOK lists std packages whose exported call surface used by
 // the engine performs no heap allocation (in-place sorts, scalar math,
-// atomics, mutexes).
+// atomics, mutexes). encoding/binary qualifies for the surface the
+// wire codecs use: the fixed-width and varint getters are pure reads,
+// and the Append variants grow only the caller's amortized pooled
+// buffer — the same cost profile as a suppressed append.
 var hotStdlibOK = map[string]bool{
-	"slices":      true,
-	"sort":        true,
-	"cmp":         true,
-	"math":        true,
-	"math/bits":   true,
-	"sync":        true,
-	"sync/atomic": true,
+	"slices":          true,
+	"sort":            true,
+	"cmp":             true,
+	"math":            true,
+	"math/bits":       true,
+	"sync":            true,
+	"sync/atomic":     true,
+	"encoding/binary": true,
 }
 
 func runHotPathAlloc(pass *Pass) error {

@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	sharon "github.com/sharon-project/sharon"
 	"github.com/sharon-project/sharon/internal/server"
 )
 
@@ -465,4 +466,81 @@ func TestClusterJoinLeaveEquivalence(t *testing.T) {
 	want := refSub.all()
 	quiesce(t, cluSub, len(want))
 	compareStreams(t, want, cluSub.all(), "join+leave")
+}
+
+// genBinBatches renders the same generated stream as genBatches, but as
+// one-shot binary ingest bodies (header + type table + one batch frame).
+func genBinBatches(events, batch, groups int) [][]byte {
+	names := []string{"A", "B", "C", "D"}
+	var out [][]byte
+	var evs []sharon.Event
+	for i := 0; i < events; i++ {
+		key := (uint64(i) * 0x9E3779B97F4A7C15 >> 33) % uint64(groups)
+		evs = append(evs, sharon.Event{
+			Time: int64(i) + 1,
+			Type: sharon.Type(i%4 + 1),
+			Key:  sharon.GroupKey(key),
+			Val:  float64(i%7 + 1),
+		})
+		if (i+1)%batch == 0 || i == events-1 {
+			body := server.AppendWireTypeTable(server.AppendWireHeader(nil), names)
+			out = append(out, server.AppendWireBatch(body, evs, -1))
+			evs = nil
+		}
+	}
+	return out
+}
+
+func postBinary(t *testing.T, url string, body []byte) {
+	t.Helper()
+	for {
+		resp, err := http.Post(url+"/ingest", server.BatchContentType, bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("ingest %s: %v", url, err)
+		}
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusAccepted, http.StatusOK:
+			return
+		case http.StatusTooManyRequests:
+			time.Sleep(10 * time.Millisecond)
+		default:
+			t.Fatalf("ingest %s: status %d", url, resp.StatusCode)
+		}
+	}
+}
+
+// TestClusterBinaryIngestEquivalence drives the same generated stream
+// into a single node as NDJSON and into a router as one-shot binary
+// bodies (which the router also forwards to its workers in the binary
+// codec), and requires byte-identical result streams — the cluster half
+// of the codec-equivalence property.
+func TestClusterBinaryIngestEquivalence(t *testing.T) {
+	const events, batch, groups = 20000, 512, 16
+
+	ref := startNode(t, 1, t.TempDir())
+	refSub := subscribe(t, ref.hs.URL)
+
+	nodes := []*testNode{
+		startNode(t, 1, t.TempDir()),
+		startNode(t, 1, t.TempDir()),
+		startNode(t, 1, t.TempDir()),
+	}
+	_, rthttp := startRouter(t, nodes)
+	cluSub := subscribe(t, rthttp.URL)
+
+	for _, b := range genBatches(events, batch, groups) {
+		post(t, ref.hs.URL, b)
+	}
+	for _, b := range genBinBatches(events, batch, groups) {
+		postBinary(t, rthttp.URL, b)
+	}
+	finalWM := int64(events) + 4000
+	postWatermark(t, ref.hs.URL, finalWM)
+	postWatermark(t, rthttp.URL, finalWM)
+
+	quiesce(t, refSub, 1)
+	want := refSub.all()
+	quiesce(t, cluSub, len(want))
+	compareStreams(t, want, cluSub.all(), "binary ingest")
 }

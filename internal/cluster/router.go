@@ -131,10 +131,14 @@ func (c *Config) fill() {
 	}
 }
 
-// routerMsg is one unit of router pump work.
+// routerMsg is one unit of router pump work. recycle, when non-nil, is
+// the pooled batch backing batch.Events; the pump returns it after the
+// step (safe: retainDelta copies every worker's slice into fresh
+// backing arrays before forwardAll sends anything).
 type routerMsg struct {
-	batch server.Batch
-	ctl   *routerCtl
+	batch   server.Batch
+	ctl     *routerCtl
+	recycle *server.Batch
 }
 
 // routerCtl is a membership change or a death check, serialized through
@@ -162,6 +166,14 @@ type Router struct {
 	plan     sharon.Plan
 	lookup   map[string]sharon.Type
 	typeName []string
+	// binPrefix is the binary wire header + type-table frame every
+	// forward body starts with. The table lists the registry's names in
+	// order, so an event's local id is numerically its sharon.Type and
+	// forwards need no per-event name lookup.
+	binPrefix []byte
+	// fwdBufs recycles forward bodies across steps (one buffer per
+	// in-flight worker forward).
+	fwdBufs  sync.Pool
 	grouped  bool
 	maxAdv   int64
 	hub      *server.Hub
@@ -281,6 +293,8 @@ func New(cfg Config) (*Router, error) {
 		r.lookup[name] = t
 		r.typeName[t] = name
 	}
+	r.binPrefix = server.AppendWireTypeTable(server.AppendWireHeader(nil), r.reg.Names())
+	r.fwdBufs.New = func() any { return new([]byte) }
 	var m int64
 	for _, q := range r.workload {
 		if v := q.Window.Length + q.Window.Slide; v > m {
@@ -378,11 +392,13 @@ func (r *Router) pump() {
 		select {
 		case msg := <-r.ingest:
 			r.step(msg)
+			server.PutBatch(msg.recycle)
 		case <-r.drainReq:
 			for {
 				select {
 				case msg := <-r.ingest:
 					r.step(msg)
+					server.PutBatch(msg.recycle)
 				default:
 					r.finish()
 					return
@@ -505,22 +521,19 @@ func (r *Router) forward(id string, events []sharon.Event, batchWM int64) error 
 	if ln == nil {
 		return fmt.Errorf("no lane for %s", id)
 	}
-	var buf bytes.Buffer
-	for _, e := range events {
-		line, _ := json.Marshal(server.IngestLine{
-			Type: r.typeName[e.Type],
-			Time: e.Time,
-			Key:  int64(e.Key),
-			Val:  e.Val,
-		})
-		buf.Write(line)
-		buf.WriteByte('\n')
-	}
-	fmt.Fprintf(&buf, `{"watermark":%d}`+"\n", batchWM)
+	// Forward bodies are binary batch frames — no per-event JSON
+	// marshalling on the hop, and the pooled buffer amortizes to zero
+	// allocations per step. Workers negotiate the codec off the
+	// Content-Type exactly like external clients.
+	bufp := r.fwdBufs.Get().(*[]byte)
+	defer r.fwdBufs.Put(bufp)
+	*bufp = append((*bufp)[:0], r.binPrefix...)
+	*bufp = server.AppendWireBatch(*bufp, events, batchWM)
+	body := *bufp
 	deadline := time.Now().Add(time.Duration(r.cfg.DeadAfter) * r.cfg.HealthEvery)
 	strikes := 0
 	for {
-		resp, err := r.client.Post(id+"/ingest", "application/x-ndjson", bytes.NewReader(buf.Bytes()))
+		resp, err := r.client.Post(id+"/ingest", server.BatchContentType, bytes.NewReader(body))
 		if err != nil {
 			if healthy, _ := r.probe(id); !healthy {
 				strikes++
@@ -791,8 +804,18 @@ func (r *Router) enqueue(w http.ResponseWriter, msg routerMsg) bool {
 
 func (r *Router) handleIngest(w http.ResponseWriter, req *http.Request) {
 	body := http.MaxBytesReader(w, req.Body, r.cfg.MaxBatchBytes)
-	batch, err := server.ParseBatch(body, r.lookup)
+	batch := server.GetBatch()
+	var err error
+	if server.IsBatchContentType(req.Header.Get("Content-Type")) {
+		var data []byte
+		if data, err = io.ReadAll(body); err == nil {
+			err = server.DecodeWireBatch(data, r.lookup, batch)
+		}
+	} else {
+		err = batch.ReadNDJSON(body, r.lookup)
+	}
 	if err != nil {
+		server.PutBatch(batch)
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			r.rej413.Add(1)
@@ -802,17 +825,22 @@ func (r *Router) handleIngest(w http.ResponseWriter, req *http.Request) {
 		writeErr(w, http.StatusBadRequest, "parse: %v", err)
 		return
 	}
-	r.droppedUnknown.Add(batch.Unknown)
-	if len(batch.Events) == 0 && batch.Watermark < 0 {
-		writeJSON(w, http.StatusOK, map[string]any{"accepted": 0, "dropped_unknown_type": batch.Unknown})
+	// Read before enqueue: the pump may recycle the batch concurrently
+	// once it holds the message.
+	accepted, unknown := len(batch.Events), batch.Unknown
+	r.droppedUnknown.Add(unknown)
+	if accepted == 0 && batch.Watermark < 0 {
+		server.PutBatch(batch)
+		writeJSON(w, http.StatusOK, map[string]any{"accepted": 0, "dropped_unknown_type": unknown})
 		return
 	}
-	if !r.enqueue(w, routerMsg{batch: batch}) {
+	if !r.enqueue(w, routerMsg{batch: *batch, recycle: batch}) {
+		server.PutBatch(batch)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, map[string]any{
-		"accepted":             len(batch.Events),
-		"dropped_unknown_type": batch.Unknown,
+		"accepted":             accepted,
+		"dropped_unknown_type": unknown,
 		"queue_depth":          len(r.ingest),
 	})
 }

@@ -1,0 +1,176 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"runtime"
+	"time"
+
+	sharon "github.com/sharon-project/sharon"
+	"github.com/sharon-project/sharon/internal/loadgen"
+	"github.com/sharon-project/sharon/internal/server"
+)
+
+// wireQueries is the wire experiment's served workload: the demo
+// shapes (one shared (C,D) segment over A..D) at the hot-path bench's
+// window geometry (1024-tick windows sliding 256). ServerBench keeps
+// the demo's 4s/1s windows to track the served default; the wire
+// experiment shrinks them so the engine runs at its BENCH_hotpath
+// cost and the ingest codec — the thing under test — dominates the
+// remainder.
+var wireQueries = []string{
+	"RETURN COUNT(*) PATTERN SEQ(A, B, C, D) WHERE [k] WITHIN 1024ms SLIDE 256ms",
+	"RETURN COUNT(*) PATTERN SEQ(C, D) WHERE [k] WITHIN 1024ms SLIDE 256ms",
+	"RETURN COUNT(*) PATTERN SEQ(A, B) WHERE [k] WITHIN 1024ms SLIDE 256ms",
+}
+
+// WireBench compares the ingest codecs end to end: the same loopback
+// rig as ServerBench (in-process sharond behind a real listener,
+// loadgen driving it) run once per wire mode — NDJSON posts, binary
+// one-shot posts, and one streaming binary connection with per-batch
+// acks — plus a decode-only microbenchmark of the binary edge with
+// its allocation count. The committed BENCH_wire.json pins the
+// streaming path inside the ROADMAP's ≤3× engine-cost target and the
+// edge at ~0 allocs/event.
+func WireBench(cfg Config) ([]BenchRecord, error) {
+	cfg.fill()
+	events := cfg.scaled(200000)
+	var out []BenchRecord
+	for _, mode := range []string{"ndjson", "binary", "stream"} {
+		rec, err := wireRun(cfg, mode, events)
+		if err != nil {
+			return nil, fmt.Errorf("wire %s: %w", mode, err)
+		}
+		out = append(out, rec)
+	}
+	rec, err := wireDecodeRun(cfg, events)
+	if err != nil {
+		return nil, fmt.Errorf("wire decode: %w", err)
+	}
+	return append(out, rec), nil
+}
+
+// wireRun is one loopback load run over the given wire mode, with the
+// engine held sequential so the codec is the only variable.
+func wireRun(cfg Config, mode string, events int) (BenchRecord, error) {
+	srv, err := server.New(server.Config{
+		Queries:     wireQueries,
+		Parallelism: 1,
+	})
+	if err != nil {
+		return BenchRecord{}, err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = srv.Drain(ctx)
+	}()
+
+	rep, err := loadgen.Run(loadgen.Config{
+		BaseURL: ts.URL,
+		Events:  events,
+		Wire:    mode,
+		Groups:  13,
+		Within:  1024,
+		Slide:   256,
+	})
+	if err != nil {
+		return BenchRecord{}, err
+	}
+	cfg.Progress("wire %s: %.0f ev/s, %d results, p50 %.2fms p99 %.2fms",
+		mode, rep.EventsPerSec, rep.Results, rep.LatencyP50Ms, rep.LatencyP99Ms)
+	if rep.Results == 0 {
+		return BenchRecord{}, fmt.Errorf("no results received over loopback")
+	}
+	ns := 0.0
+	if rep.Events > 0 {
+		ns = float64(rep.ElapsedNs) / float64(rep.Events)
+	}
+	return BenchRecord{
+		Name:         "wire-loopback/" + mode,
+		Executor:     "sharond",
+		Events:       rep.Events,
+		Results:      rep.Results,
+		ElapsedNs:    rep.ElapsedNs,
+		EventsPerSec: rep.EventsPerSec,
+		NsPerEvent:   ns,
+		LatencyP50Ms: rep.LatencyP50Ms,
+		LatencyP99Ms: rep.LatencyP99Ms,
+	}, nil
+}
+
+// wireDecodeRun measures the binary ingest edge in isolation: decode
+// pre-encoded one-shot bodies (512-event batches, the loadgen default)
+// into pooled batches, counting heap allocations — the ~0 allocs/event
+// figure the hotpath annotations machine-enforce.
+func wireDecodeRun(cfg Config, events int) (BenchRecord, error) {
+	names := []string{"A", "B", "C", "D"}
+	lookup := make(map[string]sharon.Type, len(names))
+	for i, n := range names {
+		lookup[n] = sharon.Type(i + 1)
+	}
+	const batch = 512
+	bodies := make([][]byte, 0, (events+batch-1)/batch)
+	evs := make([]sharon.Event, 0, batch)
+	total := 0
+	for tick := int64(1); total < events; {
+		evs = evs[:0]
+		for len(evs) < batch && total < events {
+			i := int64(total)
+			evs = append(evs, sharon.Event{
+				Time: tick,
+				Type: sharon.Type(i%int64(len(names)) + 1),
+				Key:  sharon.GroupKey(i % 13),
+				Val:  float64(i%7 + 1),
+			})
+			tick++
+			total++
+		}
+		body := server.AppendWireTypeTable(server.AppendWireHeader(nil), names)
+		bodies = append(bodies, server.AppendWireBatch(body, evs, -1))
+	}
+
+	// Warm the batch pool so the measured section sees steady state.
+	for i := 0; i < 2; i++ {
+		b := server.GetBatch()
+		if err := server.DecodeWireBatch(bodies[0], lookup, b); err != nil {
+			return BenchRecord{}, err
+		}
+		server.PutBatch(b)
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	decoded := int64(0)
+	for _, body := range bodies {
+		b := server.GetBatch()
+		if err := server.DecodeWireBatch(body, lookup, b); err != nil {
+			return BenchRecord{}, err
+		}
+		decoded += int64(len(b.Events))
+		server.PutBatch(b)
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	if decoded != int64(total) {
+		return BenchRecord{}, fmt.Errorf("decoded %d of %d events", decoded, total)
+	}
+	allocs := float64(m1.Mallocs-m0.Mallocs) / float64(decoded)
+	bytesPer := float64(m1.TotalAlloc-m0.TotalAlloc) / float64(decoded)
+	ns := float64(elapsed.Nanoseconds()) / float64(decoded)
+	cfg.Progress("wire decode: %.1f ns/event, %.4f allocs/event", ns, allocs)
+	return BenchRecord{
+		Name:               "wire-decode/binary",
+		Executor:           "sharond edge",
+		Events:             decoded,
+		ElapsedNs:          elapsed.Nanoseconds(),
+		EventsPerSec:       float64(decoded) / elapsed.Seconds(),
+		NsPerEvent:         ns,
+		AllocsPerEvent:     allocs,
+		AllocBytesPerEvent: bytesPer,
+	}, nil
+}

@@ -20,12 +20,17 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"sort"
 	"strings"
 	"sync"
 	"time"
+
+	sharon "github.com/sharon-project/sharon"
+	"github.com/sharon-project/sharon/internal/persist"
+	"github.com/sharon-project/sharon/internal/server"
 )
 
 // Config parameterizes one load run. The generated stream is a pure
@@ -88,6 +93,12 @@ type Config struct {
 	// raise it past the router's dead-worker detection + rebalance span
 	// so a mid-drill stall is not mistaken for the end of the stream.
 	QuiesceStill time.Duration
+	// Wire selects the ingest codec: "ndjson" (default) posts NDJSON
+	// batches, "binary" posts the same batches in the binary batch
+	// format (Content-Type application/x-sharon-batch), and "stream"
+	// sends every batch as a CRC frame down one long-lived
+	// /ingest/stream connection with per-batch acks.
+	Wire string
 	// Progress receives per-phase log lines; nil discards them.
 	Progress func(format string, args ...any)
 }
@@ -113,6 +124,9 @@ func (c *Config) fill() {
 	}
 	if c.QuiesceStill <= 0 {
 		c.QuiesceStill = 500 * time.Millisecond
+	}
+	if c.Wire == "" {
+		c.Wire = "ndjson"
 	}
 	if c.Progress == nil {
 		c.Progress = func(string, ...any) {}
@@ -282,12 +296,87 @@ func (ex *extraSub) report() EndpointReport {
 	}
 }
 
+// wireStream is one streaming-ingest connection: batch frames out,
+// acks in, over a single long-lived full-duplex POST.
+type wireStream struct {
+	pw     *io.PipeWriter
+	body   io.ReadCloser
+	buf    []byte
+	ackBuf []byte
+}
+
+// dialWireStream opens /ingest/stream and performs the handshake:
+// wire header + type-table frame out, 200 headers back.
+func dialWireStream(baseURL string, prefix []byte) (*wireStream, error) {
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest("POST", baseURL+"/ingest/stream", pr)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", server.BatchContentType)
+	respc := make(chan *http.Response, 1)
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			errc <- err
+			return
+		}
+		respc <- resp
+	}()
+	// The handshake write races Do on purpose: the server reads the
+	// wire header from the request body before responding 200.
+	if _, err := pw.Write(prefix); err != nil {
+		return nil, fmt.Errorf("stream handshake: %w", err)
+	}
+	select {
+	case resp := <-respc:
+		if resp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			pw.Close()
+			return nil, fmt.Errorf("stream: status %d: %s", resp.StatusCode, b)
+		}
+		return &wireStream{pw: pw, body: resp.Body}, nil
+	case err := <-errc:
+		return nil, fmt.Errorf("stream: %w", err)
+	case <-time.After(10 * time.Second):
+		pw.Close()
+		return nil, fmt.Errorf("stream: no response headers")
+	}
+}
+
+// send writes one batch frame and waits for its ack (the ping-pong
+// that makes streaming backpressure explicit).
+func (s *wireStream) send(events []sharon.Event, wm int64) (server.WireAck, error) {
+	s.buf = server.AppendWireBatch(s.buf[:0], events, wm)
+	if _, err := s.pw.Write(s.buf); err != nil {
+		return server.WireAck{}, err
+	}
+	body, buf, err := persist.ReadFrame(s.body, 1<<20, s.ackBuf)
+	s.ackBuf = buf
+	if err != nil {
+		return server.WireAck{}, err
+	}
+	return server.DecodeWireAck(body)
+}
+
+func (s *wireStream) Close() {
+	s.pw.Close()
+	s.body.Close()
+}
+
 // Run executes one load run against a serving sharond.
 func Run(cfg Config) (Report, error) {
 	cfg.fill()
 	var rep Report
 	rep.FirstSeq, rep.LastSeq = -1, -1
 	rep.NextIndex = cfg.StartIndex
+	switch cfg.Wire {
+	case "ndjson", "binary", "stream":
+	default:
+		return rep, fmt.Errorf("unknown wire mode %q (want ndjson, binary, or stream)", cfg.Wire)
+	}
 
 	var framesFile *os.File
 	var framesW *bufio.Writer
@@ -414,18 +503,81 @@ func Run(cfg Config) (Report, error) {
 	startTick := int64(cfg.StartIndex)
 	nextEnd := (startTick/cfg.Slide)*cfg.Slide + cfg.Within
 	var buf bytes.Buffer
+	// Binary modes accumulate events instead of NDJSON text; the type
+	// table lists cfg.Types in order, so event i's local id is simply
+	// its cycle position + 1. Both buffers recycle across batches.
+	binary := cfg.Wire != "ndjson"
+	var (
+		events    []sharon.Event
+		binPrefix []byte
+		binBuf    []byte
+		stream    *wireStream
+	)
+	if binary {
+		binPrefix = server.AppendWireTypeTable(server.AppendWireHeader(nil), cfg.Types)
+	}
+	if cfg.Wire == "stream" {
+		s, err := dialWireStream(cfg.BaseURL, binPrefix)
+		if err != nil {
+			return rep, err
+		}
+		defer s.Close()
+		stream = s
+	}
 	started := time.Now()
 	var lastAccept time.Time
 	tick := startTick
 	aborted := false
 	batchStart := cfg.StartIndex
+	// postStream sends the pending batch as one stream frame and waits
+	// for the ack: busy acks re-send the frame (the streaming face of a
+	// 429), draining and dead connections end a tolerant run.
+	postStream := func() error {
+		for {
+			ack, err := stream.send(events, -1)
+			if err != nil {
+				if cfg.TolerateAbort {
+					aborted = true
+					return nil
+				}
+				return fmt.Errorf("stream: %w", err)
+			}
+			switch ack.Status {
+			case server.WireAckOK:
+				rep.Batches++
+				lastAccept = time.Now()
+				events = events[:0]
+				return nil
+			case server.WireAckBusy:
+				rep.Rejected429++
+				time.Sleep(20 * time.Millisecond)
+			case server.WireAckDraining:
+				if cfg.TolerateAbort {
+					aborted = true
+					return nil
+				}
+				return fmt.Errorf("stream: server draining")
+			default:
+				return fmt.Errorf("stream: ack status %d", ack.Status)
+			}
+		}
+	}
 	post := func(maxTime int64) error {
 		for nextEnd <= maxTime {
 			sentAt[nextEnd] = time.Now()
 			nextEnd += cfg.Slide
 		}
+		if stream != nil {
+			return postStream()
+		}
+		body, contentType := buf.Bytes(), "application/x-ndjson"
+		if binary {
+			binBuf = append(binBuf[:0], binPrefix...)
+			binBuf = server.AppendWireBatch(binBuf, events, -1)
+			body, contentType = binBuf, server.BatchContentType
+		}
 		for {
-			r, err := http.Post(cfg.BaseURL+"/ingest", "application/x-ndjson", bytes.NewReader(buf.Bytes()))
+			r, err := http.Post(cfg.BaseURL+"/ingest", contentType, bytes.NewReader(body))
 			if err != nil {
 				if cfg.TolerateAbort {
 					aborted = true
@@ -439,6 +591,7 @@ func Run(cfg Config) (Report, error) {
 				rep.Batches++
 				lastAccept = time.Now()
 				buf.Reset()
+				events = events[:0]
 				return nil
 			case http.StatusTooManyRequests:
 				rep.Rejected429++
@@ -463,8 +616,17 @@ func Run(cfg Config) (Report, error) {
 		// cycle (a plain i%Groups with Groups divisible by len(Types)
 		// would pin each group to one type and match nothing).
 		key := (uint64(i) * 0x9E3779B97F4A7C15 >> 33) % uint64(cfg.Groups)
-		fmt.Fprintf(&buf, `{"type":%q,"time":%d,"key":%d,"val":%d}`+"\n",
-			cfg.Types[i%len(cfg.Types)], tick, key, i%7+1)
+		if binary {
+			events = append(events, sharon.Event{
+				Time: tick,
+				Type: sharon.Type(i%len(cfg.Types) + 1),
+				Key:  sharon.GroupKey(key),
+				Val:  float64(i%7 + 1),
+			})
+		} else {
+			fmt.Fprintf(&buf, `{"type":%q,"time":%d,"key":%d,"val":%d}`+"\n",
+				cfg.Types[i%len(cfg.Types)], tick, key, i%7+1)
+		}
 		if (i+1-cfg.StartIndex)%cfg.Batch == 0 || i == last-1 {
 			if err := post(tick); err != nil {
 				return rep, err

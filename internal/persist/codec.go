@@ -33,10 +33,19 @@ func (e *Encoder) Bytes() []byte { return e.buf }
 // Len returns the number of encoded bytes so far.
 func (e *Encoder) Len() int { return len(e.buf) }
 
+// Reset empties the encoder, retaining the buffer's capacity — the
+// recycle hook for pooled encoders on high-rate paths (the cluster
+// forward encoder, the streaming-ingest acks).
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
 // Uvarint appends an unsigned varint.
+//
+//sharon:hotpath
 func (e *Encoder) Uvarint(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
 
 // Varint appends a signed (zigzag) varint.
+//
+//sharon:hotpath
 func (e *Encoder) Varint(v int64) { e.buf = binary.AppendVarint(e.buf, v) }
 
 // Bool appends a single 0/1 byte.
@@ -51,6 +60,8 @@ func (e *Encoder) Bool(b bool) {
 // Float appends a fixed 8-byte little-endian IEEE 754 double. Floats are
 // fixed-width (not varint-packed) so NaN/Inf window aggregates (MIN/MAX
 // identities) round-trip bit-exactly.
+//
+//sharon:hotpath
 func (e *Encoder) Float(f float64) {
 	e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(f))
 }
@@ -81,9 +92,13 @@ type Decoder struct {
 func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
 
 // Err returns the first decoding error, nil if all reads were in bounds.
+//
+//sharon:hotpath
 func (d *Decoder) Err() error { return d.err }
 
 // Remaining reports the number of unread bytes.
+//
+//sharon:hotpath
 func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
 
 func (d *Decoder) fail(format string, args ...any) {
@@ -93,12 +108,15 @@ func (d *Decoder) fail(format string, args ...any) {
 }
 
 // Uvarint reads an unsigned varint.
+//
+//sharon:hotpath
 func (d *Decoder) Uvarint() uint64 {
 	if d.err != nil {
 		return 0
 	}
 	v, n := binary.Uvarint(d.buf[d.off:])
 	if n <= 0 {
+		//sharon:allow hotpathalloc (error path: a truncated buffer ends the decode; never taken on valid input)
 		d.fail("truncated uvarint")
 		return 0
 	}
@@ -107,12 +125,15 @@ func (d *Decoder) Uvarint() uint64 {
 }
 
 // Varint reads a signed (zigzag) varint.
+//
+//sharon:hotpath
 func (d *Decoder) Varint() int64 {
 	if d.err != nil {
 		return 0
 	}
 	v, n := binary.Varint(d.buf[d.off:])
 	if n <= 0 {
+		//sharon:allow hotpathalloc (error path: a truncated buffer ends the decode; never taken on valid input)
 		d.fail("truncated varint")
 		return 0
 	}
@@ -139,11 +160,14 @@ func (d *Decoder) Bool() bool {
 }
 
 // Float reads a fixed 8-byte little-endian double.
+//
+//sharon:hotpath
 func (d *Decoder) Float() float64 {
 	if d.err != nil {
 		return 0
 	}
 	if d.off+8 > len(d.buf) {
+		//sharon:allow hotpathalloc (error path: a truncated buffer ends the decode; never taken on valid input)
 		d.fail("truncated float")
 		return 0
 	}

@@ -237,27 +237,14 @@ func (w *WAL) validateSegment(seg *segment, final bool) (nextSeq int64, validSiz
 	}
 }
 
-// parseFrame decodes one record frame from b. n == 0 with nil error
+// parseFrame decodes one record frame from b (the shared CRC frame
+// layer plus the WAL's type|seq|payload body). n == 0 with nil error
 // means a clean end of input; a non-nil error means the bytes at the
 // cursor do not form a complete valid frame.
 func parseFrame(b []byte) (Record, int64, error) {
-	if len(b) == 0 {
-		return Record{}, 0, nil
-	}
-	if len(b) < 8 {
-		return Record{}, 0, fmt.Errorf("short header (%d bytes)", len(b))
-	}
-	bodyLen := binary.LittleEndian.Uint32(b)
-	crc := binary.LittleEndian.Uint32(b[4:])
-	if bodyLen > walMaxRecord {
-		return Record{}, 0, fmt.Errorf("frame length %d exceeds limit", bodyLen)
-	}
-	if uint64(len(b)) < 8+uint64(bodyLen) {
-		return Record{}, 0, fmt.Errorf("short body (%d of %d bytes)", len(b)-8, bodyLen)
-	}
-	body := b[8 : 8+bodyLen]
-	if crc32.Checksum(body, walCRC) != crc {
-		return Record{}, 0, fmt.Errorf("crc mismatch")
+	body, size, err := NextFrame(b, walMaxRecord)
+	if err != nil || size == 0 {
+		return Record{}, 0, err
 	}
 	if len(body) < 1 {
 		return Record{}, 0, fmt.Errorf("empty body")
@@ -269,7 +256,7 @@ func parseFrame(b []byte) (Record, int64, error) {
 	}
 	payload := make([]byte, len(body)-1-n)
 	copy(payload, body[1+n:])
-	return Record{Seq: int64(seq), Type: typ, Payload: payload}, int64(8 + bodyLen), nil
+	return Record{Seq: int64(seq), Type: typ, Payload: payload}, size, nil
 }
 
 // NextSeq returns the sequence number the next appended record gets.
@@ -289,10 +276,7 @@ func (w *WAL) Append(typ byte, payload []byte) (int64, error) {
 	body = append(body, typ)
 	body = binary.AppendUvarint(body, uint64(seq))
 	body = append(body, payload...)
-	frame := make([]byte, 8, 8+len(body))
-	binary.LittleEndian.PutUint32(frame, uint32(len(body)))
-	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(body, walCRC))
-	frame = append(frame, body...)
+	frame := AppendFrame(make([]byte, 0, FrameHeaderLen+len(body)), body)
 	if _, err := w.f.Write(frame); err != nil {
 		return 0, fmt.Errorf("persist: wal append: %w", err)
 	}

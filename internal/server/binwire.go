@@ -1,0 +1,353 @@
+package server
+
+// This file implements the binary ingest wire format — the
+// allocation-free alternative to the NDJSON framing in wire.go,
+// negotiated by Content-Type on POST /ingest and carried natively by
+// the streaming ingest connection (POST /ingest/stream) and the
+// cluster forward path. The format reuses the persist package's codec
+// discipline: varint integers, fixed 8-byte floats, and the WAL's
+// CRC32-Castagnoli frame layer, so a torn or corrupted frame is
+// detected before any event reaches the pump.
+//
+// A binary ingest body is a 5-byte header (magic "SHRB" + version)
+// followed by CRC frames. Each frame body starts with a type byte:
+//
+//	types (1): uvarint count, then count length-prefixed type names.
+//	           Name i gets local id i+1 (0 is invalid); names the
+//	           server has not interned map to the unknown type and
+//	           their events are dropped and counted. The table must
+//	           precede the first batch frame and may be re-sent.
+//	batch (2): varint watermark (-1 none), uvarint event count, then
+//	           per event: uvarint time delta from the previous event
+//	           in the frame (the first is the absolute time), uvarint
+//	           local type id, varint group key, fixed 8-byte value.
+//	           Events must be strictly time-ordered across the whole
+//	           connection; a frame's watermark takes effect after its
+//	           events.
+//	ack   (3): status byte, uvarint accepted count, uvarint dropped
+//	           unknown-type count. Sent by the server, one per batch
+//	           frame, on the streaming connection only.
+//
+// Version changes that re-arrange existing fields bump WireVersion
+// (the server rejects versions it does not speak); additive evolution
+// uses new frame type bytes, which old servers reject per-frame.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	sharon "github.com/sharon-project/sharon"
+	"github.com/sharon-project/sharon/internal/persist"
+)
+
+// BatchContentType is the Content-Type that selects the binary batch
+// codec on POST /ingest (and is required on POST /ingest/stream).
+const BatchContentType = "application/x-sharon-batch"
+
+// WireVersion is the binary wire format version this build speaks.
+const WireVersion = 1
+
+// wireMagic prefixes every binary ingest body or stream.
+const wireMagic = "SHRB"
+
+// WireHeaderLen is the size of the stream header (magic + version).
+const WireHeaderLen = len(wireMagic) + 1
+
+// Frame type bytes (first byte of every frame body).
+const (
+	wireFrameTypes = 1
+	wireFrameBatch = 2
+	wireFrameAck   = 3
+)
+
+// Streaming ack status codes.
+const (
+	// WireAckOK: the batch was accepted into the pump queue.
+	WireAckOK byte = 0
+	// WireAckBusy: the ingest queue stayed full past the ack deadline
+	// (the stream's 429-equivalent). Not terminal — re-send the frame.
+	WireAckBusy byte = 1
+	// WireAckDraining: the server is shutting down. Terminal.
+	WireAckDraining byte = 2
+	// WireAckBad: the frame was malformed. Terminal.
+	WireAckBad byte = 3
+	// WireAckOversize: the frame exceeded MaxBatchBytes (the stream's
+	// 413-equivalent). Terminal.
+	WireAckOversize byte = 4
+)
+
+// WireAck is one per-batch acknowledgement on a streaming ingest
+// connection.
+type WireAck struct {
+	Status   byte
+	Accepted int64
+	Unknown  int64
+}
+
+// AppendWireHeader appends the stream header (magic + version).
+func AppendWireHeader(dst []byte) []byte {
+	dst = append(dst, wireMagic...)
+	return append(dst, WireVersion)
+}
+
+// CheckWireHeader validates a stream header written by
+// AppendWireHeader.
+func CheckWireHeader(hdr []byte) error {
+	if len(hdr) < WireHeaderLen || string(hdr[:len(wireMagic)]) != wireMagic {
+		return fmt.Errorf("not a sharon binary batch (bad magic)")
+	}
+	if hdr[len(wireMagic)] != WireVersion {
+		return fmt.Errorf("binary batch version %d not supported (this build speaks %d)", hdr[len(wireMagic)], WireVersion)
+	}
+	return nil
+}
+
+// AppendWireTypeTable appends a type-table frame interning names in
+// order: names[i] gets local id i+1. A client whose types come from
+// one sharon.Registry can pass the registry's names in order, making
+// each event's local id numerically equal to its sharon.Type.
+func AppendWireTypeTable(dst []byte, names []string) []byte {
+	dst, start := persist.BeginFrame(dst)
+	dst = append(dst, wireFrameTypes)
+	dst = binary.AppendUvarint(dst, uint64(len(names)))
+	for _, n := range names {
+		dst = binary.AppendUvarint(dst, uint64(len(n)))
+		dst = append(dst, n...)
+	}
+	return persist.EndFrame(dst, start)
+}
+
+// AppendWireBatch appends one batch frame. Events must be strictly
+// time-ordered and their local type ids (here: the sharon.Type values,
+// matching an AppendWireTypeTable built from the same registry) must
+// be live in the receiver's current table. watermark -1 means none.
+func AppendWireBatch(dst []byte, events []sharon.Event, watermark int64) []byte {
+	dst, start := persist.BeginFrame(dst)
+	dst = append(dst, wireFrameBatch)
+	dst = binary.AppendVarint(dst, watermark)
+	dst = binary.AppendUvarint(dst, uint64(len(events)))
+	dst = appendWireEvents(dst, events)
+	return persist.EndFrame(dst, start)
+}
+
+// appendWireEvents encodes the per-event payload: the batch-frame hot
+// loop of the cluster forward path and the binary load generator.
+//
+//sharon:hotpath
+func appendWireEvents(dst []byte, events []sharon.Event) []byte {
+	prev := int64(0)
+	for i := range events {
+		e := &events[i]
+		dst = binary.AppendUvarint(dst, uint64(e.Time-prev))
+		prev = e.Time
+		dst = binary.AppendUvarint(dst, uint64(e.Type))
+		dst = binary.AppendVarint(dst, int64(e.Key))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(e.Val))
+	}
+	return dst
+}
+
+// AppendWireAck appends one ack frame.
+func AppendWireAck(dst []byte, a WireAck) []byte {
+	dst, start := persist.BeginFrame(dst)
+	dst = append(dst, wireFrameAck, a.Status)
+	dst = binary.AppendUvarint(dst, uint64(a.Accepted))
+	dst = binary.AppendUvarint(dst, uint64(a.Unknown))
+	return persist.EndFrame(dst, start)
+}
+
+// DecodeWireAck parses an ack frame body (as returned by the frame
+// layer, CRC already verified).
+func DecodeWireAck(body []byte) (WireAck, error) {
+	if len(body) < 2 || body[0] != wireFrameAck {
+		return WireAck{}, fmt.Errorf("not an ack frame")
+	}
+	d := persist.NewDecoder(body[2:])
+	acc := d.Uvarint()
+	unk := d.Uvarint()
+	if err := d.Err(); err != nil {
+		return WireAck{}, fmt.Errorf("ack frame: %w", err)
+	}
+	if d.Remaining() != 0 {
+		return WireAck{}, fmt.Errorf("ack frame: %d trailing bytes", d.Remaining())
+	}
+	return WireAck{Status: body[1], Accepted: int64(acc), Unknown: int64(unk)}, nil
+}
+
+// DecodeWireBatch parses a complete one-shot binary ingest body
+// (header, type table, one or more batch frames) into b, appending
+// events and merging watermarks. Time ordering threads across frames
+// exactly as across the lines of one NDJSON batch. On error b's
+// contents are undefined; the caller discards or recycles it — no
+// partial decode ever reaches the engine.
+func DecodeWireBatch(data []byte, lookup map[string]sharon.Type, b *Batch) error {
+	if err := CheckWireHeader(data); err != nil {
+		return err
+	}
+	rest := data[WireHeaderLen:]
+	var table []sharon.Type
+	floor := int64(-1)
+	for frame := 1; ; frame++ {
+		body, n, err := persist.NextFrame(rest, int64(len(rest)))
+		if err != nil {
+			return fmt.Errorf("frame %d: %w", frame, err)
+		}
+		if n == 0 {
+			return nil
+		}
+		rest = rest[n:]
+		if len(body) == 0 {
+			return fmt.Errorf("frame %d: empty frame body", frame)
+		}
+		switch body[0] {
+		case wireFrameTypes:
+			if table, err = decodeWireTypeTable(body[1:], lookup, table); err != nil {
+				return fmt.Errorf("frame %d: %w", frame, err)
+			}
+		case wireFrameBatch:
+			if table == nil {
+				return fmt.Errorf("frame %d: batch frame before type table", frame)
+			}
+			if floor, err = decodeWireBatchBody(body[1:], table, b, floor); err != nil {
+				return fmt.Errorf("frame %d: %w", frame, err)
+			}
+		default:
+			return fmt.Errorf("frame %d: unknown frame type %d", frame, body[0])
+		}
+	}
+}
+
+// decodeWireTypeTable parses a type-table frame body (after the type
+// byte) into a dense local-id -> sharon.Type table, reusing table's
+// capacity. Index 0 is the invalid id; unknown names intern as
+// sharon.NoType so their events are dropped and counted.
+func decodeWireTypeTable(body []byte, lookup map[string]sharon.Type, table []sharon.Type) ([]sharon.Type, error) {
+	d := persist.NewDecoder(body)
+	n := d.Len() // count <= remaining bytes: a corrupt count cannot drive a huge table
+	table = append(table[:0], sharon.NoType)
+	for i := 0; i < n; i++ {
+		name := d.String()
+		if d.Err() != nil {
+			break
+		}
+		table = append(table, lookup[name])
+	}
+	if err := d.Err(); err != nil {
+		return table, fmt.Errorf("type table: %w", err)
+	}
+	if d.Remaining() != 0 {
+		return table, fmt.Errorf("type table: %d trailing bytes", d.Remaining())
+	}
+	return table, nil
+}
+
+// decodeWireBatchBody parses a batch frame body (after the type byte)
+// into b, enforcing strict time order above floor, and returns the new
+// floor for the next frame.
+func decodeWireBatchBody(body []byte, table []sharon.Type, b *Batch, floor int64) (int64, error) {
+	d := persist.NewDecoder(body)
+	wm := d.Varint()
+	if d.Err() == nil && wm < -1 {
+		return floor, fmt.Errorf("batch frame: watermark %d", wm)
+	}
+	n := d.Len() // count <= remaining bytes: bounds the decode loop
+	floor, err := decodeWireEvents(d, n, table, b, floor)
+	if err != nil {
+		return floor, fmt.Errorf("batch frame: %w", err)
+	}
+	if d.Remaining() != 0 {
+		return floor, fmt.Errorf("batch frame: %d trailing bytes", d.Remaining())
+	}
+	if wm > b.Watermark {
+		b.Watermark = wm
+	}
+	if wm > floor {
+		floor = wm
+	}
+	return floor, nil
+}
+
+// Sentinel decode errors, predeclared so the hot decode loop reports
+// failures without allocating.
+var (
+	errWireTimeOverflow = fmt.Errorf("event time overflows int64")
+	errWireOutOfOrder   = fmt.Errorf("events not strictly time-ordered")
+	errWireBadTypeID    = fmt.Errorf("local type id outside the type table")
+)
+
+// decodeWireEvents decodes n events from d into b: the per-event hot
+// loop of the binary ingest edge. Events of unknown types (table entry
+// sharon.NoType) are dropped and counted, matching the NDJSON path.
+//
+//sharon:hotpath
+func decodeWireEvents(d *persist.Decoder, n int, table []sharon.Type, b *Batch, floor int64) (int64, error) {
+	prev := int64(0)
+	for i := 0; i < n; i++ {
+		delta := d.Uvarint()
+		id := d.Uvarint()
+		key := d.Varint()
+		val := d.Float()
+		if d.Err() != nil {
+			return floor, d.Err()
+		}
+		if delta > uint64(math.MaxInt64-prev) {
+			return floor, errWireTimeOverflow
+		}
+		t := prev + int64(delta)
+		prev = t
+		if t <= floor {
+			return floor, errWireOutOfOrder
+		}
+		floor = t
+		if id == 0 || id >= uint64(len(table)) {
+			return floor, errWireBadTypeID
+		}
+		if table[id] == sharon.NoType {
+			b.Unknown++
+			continue
+		}
+		//sharon:allow hotpathalloc (amortized: pooled Batch buffers retain event capacity across requests)
+		b.Events = append(b.Events, sharon.Event{Time: t, Type: table[id], Key: sharon.GroupKey(key), Val: val})
+	}
+	return floor, nil
+}
+
+// batchPool recycles parsed batches between the ingest handlers and
+// the pump: the handler gets a batch, the pump returns it after
+// applying (FeedBatch and the WAL both copy events, so nothing retains
+// the slice). Both codecs — NDJSON and binary — draw from this pool.
+var batchPool = sync.Pool{New: func() any { return &Batch{Watermark: -1} }}
+
+// maxPooledBatchEvents caps the event capacity a recycled batch may
+// carry back into the pool, so one pathological batch does not pin a
+// huge backing array forever.
+const maxPooledBatchEvents = 1 << 16
+
+// GetBatch returns an empty batch (Watermark -1) from the pool.
+func GetBatch() *Batch {
+	b := batchPool.Get().(*Batch)
+	b.Events = b.Events[:0]
+	b.Watermark = -1
+	b.Unknown = 0
+	return b
+}
+
+// PutBatch recycles b. The caller must not touch b afterwards.
+func PutBatch(b *Batch) {
+	if b == nil || cap(b.Events) > maxPooledBatchEvents {
+		return
+	}
+	batchPool.Put(b)
+}
+
+// readWireHeader reads and validates the stream header from r.
+func readWireHeader(r io.Reader) error {
+	var hdr [WireHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return fmt.Errorf("stream header: %w", err)
+	}
+	return CheckWireHeader(hdr[:])
+}

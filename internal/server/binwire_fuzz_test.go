@@ -1,0 +1,85 @@
+package server
+
+import (
+	"bytes"
+	"testing"
+
+	sharon "github.com/sharon-project/sharon"
+)
+
+// FuzzBinaryBatch fuzzes the binary ingest codec end to end:
+//
+//   - round trip: a body encoded from a parameterized pseudo-random
+//     stream decodes to the same events and re-encodes bit-exact;
+//   - corruption: flipping any byte, truncating anywhere, or growing
+//     the body past the size limit never panics, and whatever still
+//     decodes is a strictly time-ordered stream of known types — a
+//     partial or torn frame surfaces as an error (so the ingest
+//     handlers discard the batch; no partial frame reaches the engine),
+//     never as silently wrong events.
+func FuzzBinaryBatch(f *testing.F) {
+	f.Add(uint64(1), uint16(40), uint32(0), uint16(0))
+	f.Add(uint64(7), uint16(300), uint32(11), uint16(3))
+	f.Add(uint64(42), uint16(0), uint32(999), uint16(1))
+	f.Add(uint64(9), uint16(512), uint32(1<<20), uint16(7))
+	names := []string{"A", "B", "C", "D"}
+	lookup := make(map[string]sharon.Type, len(names))
+	for i, n := range names {
+		lookup[n] = sharon.Type(i + 1)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64, count uint16, flip uint32, cut uint16) {
+		events := xorshiftEvents(seed, int(count)%1024, len(names))
+		wm := int64(-1)
+		if len(events) > 0 && seed%3 == 0 {
+			wm = events[len(events)-1].Time + int64(seed%100)
+		}
+		body := binBody(names, events, wm)
+
+		// Round trip: decode, compare, re-encode bit-exact.
+		b := GetBatch()
+		if err := DecodeWireBatch(body, lookup, b); err != nil {
+			t.Fatalf("valid body failed to decode: %v", err)
+		}
+		if len(b.Events) != len(events) || b.Unknown != 0 || b.Watermark != wm {
+			t.Fatalf("decoded %d events, unknown %d, wm %d; want %d, 0, %d",
+				len(b.Events), b.Unknown, b.Watermark, len(events), wm)
+		}
+		for i := range events {
+			if b.Events[i] != events[i] {
+				t.Fatalf("event %d: %+v != %+v", i, b.Events[i], events[i])
+			}
+		}
+		if re := binBody(names, b.Events, b.Watermark); !bytes.Equal(re, body) {
+			t.Fatalf("re-encode differs: %d vs %d bytes", len(re), len(body))
+		}
+		PutBatch(b)
+
+		// sane decodes into a fresh batch and accepts whatever DecodeWireBatch
+		// does to a mangled body as long as the failure mode is an error,
+		// not a panic or an out-of-order/unknown-typed event stream.
+		sane := func(data []byte) {
+			b := GetBatch()
+			defer PutBatch(b)
+			if err := DecodeWireBatch(data, lookup, b); err != nil {
+				return
+			}
+			floor := int64(-1)
+			for _, e := range b.Events {
+				if e.Time <= floor {
+					t.Fatalf("mangled body decoded out of order: %d after %d", e.Time, floor)
+				}
+				floor = e.Time
+				if e.Type < 1 || int(e.Type) > len(names) {
+					t.Fatalf("mangled body decoded unknown type %d", e.Type)
+				}
+			}
+		}
+		sane(body[:int(flip)%(len(body)+1)]) // truncation
+		flipped := append([]byte{}, body...)
+		flipped[int(flip)%len(flipped)] ^= 1 << (flip % 8) // bit flip
+		sane(flipped)
+		if cut > 0 { // garbage tail
+			sane(append(append([]byte{}, body...), flipped[:int(cut)%len(flipped)]...))
+		}
+	})
+}

@@ -1,0 +1,463 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	sharon "github.com/sharon-project/sharon"
+	"github.com/sharon-project/sharon/internal/persist"
+)
+
+// wireEvents renders raw test events as sharon.Events with local type
+// ids matching a type table built from names (id = index+1).
+func wireEvents(t *testing.T, names []string, raw []rawEvent) []sharon.Event {
+	t.Helper()
+	id := make(map[string]sharon.Type, len(names))
+	for i, n := range names {
+		id[n] = sharon.Type(i + 1)
+	}
+	out := make([]sharon.Event, len(raw))
+	for i, e := range raw {
+		tp, ok := id[e.Name]
+		if !ok {
+			t.Fatalf("type %q not in table", e.Name)
+		}
+		out[i] = sharon.Event{Time: e.Time, Type: tp, Key: sharon.GroupKey(e.Key), Val: e.Val}
+	}
+	return out
+}
+
+// binBody builds a complete one-shot binary ingest body.
+func binBody(names []string, events []sharon.Event, wm int64) []byte {
+	b := AppendWireTypeTable(AppendWireHeader(nil), names)
+	return AppendWireBatch(b, events, wm)
+}
+
+// postBin posts a binary body to /ingest.
+func postBin(t *testing.T, url string, body []byte) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url+"/ingest", BatchContentType, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(b)
+}
+
+// streamClient is a minimal streaming-ingest client: one long-lived
+// full-duplex POST, frames out, acks in.
+type streamClient struct {
+	t      *testing.T
+	pw     *io.PipeWriter
+	body   io.ReadCloser
+	buf    []byte
+	ackBuf []byte
+}
+
+func dialStream(t *testing.T, baseURL string, names []string) *streamClient {
+	t.Helper()
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest("POST", baseURL+"/ingest/stream", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", BatchContentType)
+	respc := make(chan *http.Response, 1)
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			errc <- err
+			return
+		}
+		respc <- resp
+	}()
+	// The header write races Do on purpose: the server reads the wire
+	// header from the body before it responds 200.
+	if _, err := pw.Write(AppendWireTypeTable(AppendWireHeader(nil), names)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case resp := <-respc:
+		if resp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			t.Fatalf("stream: status %d: %s", resp.StatusCode, b)
+		}
+		c := &streamClient{t: t, pw: pw, body: resp.Body}
+		t.Cleanup(c.close)
+		return c
+	case err := <-errc:
+		t.Fatalf("stream: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("stream: no response headers")
+	}
+	panic("unreachable")
+}
+
+// send writes one batch frame and returns its ack.
+func (c *streamClient) send(events []sharon.Event, wm int64) WireAck {
+	c.t.Helper()
+	c.buf = AppendWireBatch(c.buf[:0], events, wm)
+	if _, err := c.pw.Write(c.buf); err != nil {
+		c.t.Fatalf("stream write: %v", err)
+	}
+	return c.readAck()
+}
+
+// sendRaw writes arbitrary bytes down the stream.
+func (c *streamClient) sendRaw(b []byte) {
+	c.t.Helper()
+	if _, err := c.pw.Write(b); err != nil {
+		c.t.Fatalf("stream write: %v", err)
+	}
+}
+
+func (c *streamClient) readAck() WireAck {
+	c.t.Helper()
+	body, buf, err := persist.ReadFrame(c.body, 1<<20, c.ackBuf)
+	c.ackBuf = buf
+	if err != nil {
+		c.t.Fatalf("stream ack: %v", err)
+	}
+	ack, err := DecodeWireAck(body)
+	if err != nil {
+		c.t.Fatalf("stream ack: %v", err)
+	}
+	return ack
+}
+
+// tryReadAck reads one ack, reporting stream end instead of failing.
+func (c *streamClient) tryReadAck() (WireAck, error) {
+	body, buf, err := persist.ReadFrame(c.body, 1<<20, c.ackBuf)
+	c.ackBuf = buf
+	if err != nil {
+		return WireAck{}, err
+	}
+	return DecodeWireAck(body)
+}
+
+func (c *streamClient) close() {
+	c.pw.Close()
+	c.body.Close()
+}
+
+// TestBinaryIngestEquivalence is the binary-codec half of the loopback
+// acceptance test: the same randomized stream ingested as binary
+// one-shot posts and as one streaming connection yields byte-identical
+// SSE output to the in-process reference (and hence to the NDJSON
+// path, which TestLoopbackEquivalence pins to the same reference) —
+// sequential and parallel.
+func TestBinaryIngestEquivalence(t *testing.T) {
+	raw := randomRaw(6000, 42)
+	names := []string{"A", "B", "C", "D"}
+	events := wireEvents(t, names, raw)
+	finalWM := (raw[len(raw)-1].Time/1000)*1000 + 4000
+	for _, par := range []int{1, 4} {
+		for _, mode := range []string{"oneshot", "stream"} {
+			t.Run(fmt.Sprintf("%s/parallelism=%d", mode, par), func(t *testing.T) {
+				want := inProcessReference(t, testQueries, raw, finalWM, par)
+				if len(want) == 0 {
+					t.Fatal("reference produced no results")
+				}
+				_, ts := newTestServer(t, Config{Queries: testQueries, Parallelism: par})
+				sub := subscribeSSE(t, ts.URL, "")
+
+				accepted := 0
+				if mode == "oneshot" {
+					for i := 0; i < len(events); {
+						j := min(i+137, len(events))
+						status, body := postBin(t, ts.URL, binBody(names, events[i:j], -1))
+						if status != http.StatusAccepted {
+							t.Fatalf("ingest: status %d: %s", status, body)
+						}
+						if !strings.Contains(body, fmt.Sprintf(`"accepted": %d`, j-i)) {
+							t.Fatalf("ingest response missing accepted count %d: %s", j-i, body)
+						}
+						i = j
+						accepted = j
+					}
+				} else {
+					c := dialStream(t, ts.URL, names)
+					for i := 0; i < len(events); {
+						j := min(i+137, len(events))
+						ack := c.send(events[i:j], -1)
+						if ack.Status != WireAckOK || ack.Accepted != int64(j-i) {
+							t.Fatalf("ack %+v, want ok/%d", ack, j-i)
+						}
+						i = j
+						accepted = j
+					}
+				}
+				if accepted != len(events) {
+					t.Fatalf("accepted %d of %d events", accepted, len(events))
+				}
+				status, body := postJSON(t, ts.URL+"/watermark", fmt.Sprintf(`{"watermark":%d}`, finalWM))
+				if status != http.StatusAccepted {
+					t.Fatalf("watermark: status %d: %s", status, body)
+				}
+				waitFor(t, "all results", func() bool { return sub.count() >= len(want) })
+				got := sub.snapshot()
+				if len(got) != len(want) {
+					t.Fatalf("server pushed %d results, reference %d", len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("result %d:\n server   %s\n inproc   %s", i, got[i], want[i])
+					}
+				}
+				sub.cancel()
+			})
+		}
+	}
+}
+
+// xorshiftEvents builds a strictly time-ordered pseudo-random event
+// slice whose local type ids cover [1, nTypes].
+func xorshiftEvents(seed uint64, n, nTypes int) []sharon.Event {
+	x := seed*2654435761 + 1
+	next := func() uint64 { x ^= x << 13; x ^= x >> 7; x ^= x << 17; return x }
+	out := make([]sharon.Event, n)
+	tm := int64(0)
+	for i := range out {
+		tm += 1 + int64(next()%97)
+		out[i] = sharon.Event{
+			Time: tm,
+			Type: sharon.Type(next()%uint64(nTypes) + 1),
+			Key:  sharon.GroupKey(next() % 13),
+			Val:  float64(next()%1000) / 8,
+		}
+	}
+	return out
+}
+
+// TestBinaryWireRoundTrip pins the codec itself: decode(encode(x))
+// returns x, re-encoding the decoded batch is bit-exact, unknown table
+// names drop their events with the count reported, and the frame
+// watermark threads into both Batch.Watermark and the ordering floor.
+func TestBinaryWireRoundTrip(t *testing.T) {
+	names := []string{"A", "B", "C", "D"}
+	lookup := make(map[string]sharon.Type, len(names))
+	for i, n := range names {
+		lookup[n] = sharon.Type(i + 1)
+	}
+
+	t.Run("bit-exact", func(t *testing.T) {
+		events := xorshiftEvents(7, 300, len(names))
+		wm := events[len(events)-1].Time + 5
+		body := binBody(names, events, wm)
+		b := GetBatch()
+		defer PutBatch(b)
+		if err := DecodeWireBatch(body, lookup, b); err != nil {
+			t.Fatal(err)
+		}
+		if len(b.Events) != len(events) || b.Unknown != 0 || b.Watermark != wm {
+			t.Fatalf("decoded %d events, unknown %d, wm %d; want %d, 0, %d",
+				len(b.Events), b.Unknown, b.Watermark, len(events), wm)
+		}
+		for i := range events {
+			if b.Events[i] != events[i] {
+				t.Fatalf("event %d: %+v != %+v", i, b.Events[i], events[i])
+			}
+		}
+		// The type table was built in registry order, so the decoded
+		// sharon.Type values are the local ids: re-encoding the decoded
+		// batch must reproduce the input bit for bit.
+		re := binBody(names, b.Events, b.Watermark)
+		if !bytes.Equal(re, body) {
+			t.Fatalf("re-encode differs: %d vs %d bytes", len(re), len(body))
+		}
+	})
+
+	t.Run("unknown-types-dropped", func(t *testing.T) {
+		withGhost := append(append([]string{}, names...), "ghost")
+		events := xorshiftEvents(11, 200, len(withGhost))
+		ghosts := 0
+		for _, e := range events {
+			if int(e.Type) == len(withGhost) {
+				ghosts++
+			}
+		}
+		if ghosts == 0 {
+			t.Fatal("test stream has no ghost-typed events")
+		}
+		b := GetBatch()
+		defer PutBatch(b)
+		if err := DecodeWireBatch(binBody(withGhost, events, -1), lookup, b); err != nil {
+			t.Fatal(err)
+		}
+		if len(b.Events) != len(events)-ghosts || b.Unknown != int64(ghosts) {
+			t.Fatalf("decoded %d events, unknown %d; want %d, %d",
+				len(b.Events), b.Unknown, len(events)-ghosts, ghosts)
+		}
+	})
+
+	t.Run("multi-frame-ordering", func(t *testing.T) {
+		events := xorshiftEvents(3, 100, len(names))
+		body := AppendWireTypeTable(AppendWireHeader(nil), names)
+		body = AppendWireBatch(body, events[:50], -1)
+		body = AppendWireBatch(body, events[50:], -1)
+		b := GetBatch()
+		defer PutBatch(b)
+		if err := DecodeWireBatch(body, lookup, b); err != nil {
+			t.Fatal(err)
+		}
+		if len(b.Events) != len(events) {
+			t.Fatalf("decoded %d of %d events", len(b.Events), len(events))
+		}
+		// A second frame that dips at or below the first frame's last
+		// event violates the cross-frame order, like a time-regressing
+		// NDJSON line.
+		bad := AppendWireTypeTable(AppendWireHeader(nil), names)
+		bad = AppendWireBatch(bad, events[:50], -1)
+		bad = AppendWireBatch(bad, events[49:], -1)
+		if err := DecodeWireBatch(bad, lookup, GetBatch()); err == nil {
+			t.Fatal("cross-frame order violation decoded cleanly")
+		}
+	})
+}
+
+// TestBinaryIngestRejections pins the failure surface of the one-shot
+// binary path: every malformed body is refused with 400 before the
+// engine sees anything, and an oversize body gets the same 413 (and
+// metric) as an oversize NDJSON batch.
+func TestBinaryIngestRejections(t *testing.T) {
+	names := []string{"A", "B", "C", "D"}
+	events := xorshiftEvents(5, 20, len(names))
+	good := binBody(names, events, -1)
+
+	corrupt := append([]byte{}, good...)
+	corrupt[len(corrupt)-3] ^= 0x40
+
+	outOfOrder := []sharon.Event{events[0], events[1]}
+	outOfOrder[1].Time = events[0].Time
+	badID := []sharon.Event{{Time: 1, Type: 99, Key: 1, Val: 1}}
+
+	cases := []struct {
+		name string
+		body []byte
+	}{
+		{"bad-magic", append([]byte("NOPE"), good[4:]...)},
+		{"bad-version", append(append([]byte(wireMagic), 99), good[WireHeaderLen:]...)},
+		{"truncated-frame", good[:len(good)-3]},
+		{"corrupt-crc", corrupt},
+		{"batch-before-table", AppendWireBatch(AppendWireHeader(nil), events, -1)},
+		{"out-of-order", binBody(names, outOfOrder, -1)},
+		{"type-id-outside-table", binBody(names, badID, -1)},
+		{"duplicate-time", binBody(names, []sharon.Event{
+			{Time: 5, Type: 1, Key: 1, Val: 1}, {Time: 5, Type: 2, Key: 1, Val: 1},
+		}, -1)},
+	}
+	_, ts := newTestServer(t, Config{Queries: testQueries})
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, body := postBin(t, ts.URL, tc.body)
+			if status != http.StatusBadRequest {
+				t.Fatalf("status = %d (%s), want 400", status, body)
+			}
+		})
+	}
+
+	t.Run("oversize-413", func(t *testing.T) {
+		_, ts := newTestServer(t, Config{Queries: testQueries, MaxBatchBytes: 1024})
+		big := binBody(names, xorshiftEvents(9, 2000, len(names)), -1)
+		status, body := postBin(t, ts.URL, big)
+		if status != http.StatusRequestEntityTooLarge {
+			t.Fatalf("status = %d (%s), want 413", status, body)
+		}
+		status, body = doReq(t, "GET", ts.URL+"/metrics", "")
+		if status != http.StatusOK || !strings.Contains(body, `"rejected_oversize": 1`) {
+			t.Fatalf("metrics after oversize: %d %s", status, body)
+		}
+	})
+}
+
+// TestStreamOversizeAck pins the streaming 413-equivalent: a frame over
+// MaxBatchBytes draws a terminal oversize ack (counted in the oversize
+// metric) and ends the stream without the engine seeing the frame.
+func TestStreamOversizeAck(t *testing.T) {
+	names := []string{"A", "B", "C", "D"}
+	_, ts := newTestServer(t, Config{Queries: testQueries, MaxBatchBytes: 1024})
+	c := dialStream(t, ts.URL, names)
+	c.sendRaw(AppendWireBatch(nil, xorshiftEvents(13, 2000, len(names)), -1))
+	ack, err := c.tryReadAck()
+	if err != nil {
+		t.Fatalf("oversize ack: %v", err)
+	}
+	if ack.Status != WireAckOversize {
+		t.Fatalf("ack status = %d, want oversize (%d)", ack.Status, WireAckOversize)
+	}
+	if _, err := c.tryReadAck(); err == nil {
+		t.Fatal("stream still open after terminal oversize ack")
+	}
+	status, body := doReq(t, "GET", ts.URL+"/metrics", "")
+	if status != http.StatusOK || !strings.Contains(body, `"rejected_oversize": 1`) {
+		t.Fatalf("metrics after oversize: %d %s", status, body)
+	}
+}
+
+// TestStreamBadFrameAck pins the malformed-frame policy on a stream: a
+// bad frame draws a terminal bad ack instead of a silent drop.
+func TestStreamBadFrameAck(t *testing.T) {
+	names := []string{"A", "B", "C", "D"}
+	_, ts := newTestServer(t, Config{Queries: testQueries})
+	c := dialStream(t, ts.URL, names)
+	c.sendRaw(AppendWireBatch(nil, []sharon.Event{{Time: 1, Type: 99, Key: 1, Val: 1}}, -1))
+	ack, err := c.tryReadAck()
+	if err != nil {
+		t.Fatalf("bad-frame ack: %v", err)
+	}
+	if ack.Status != WireAckBad {
+		t.Fatalf("ack status = %d, want bad (%d)", ack.Status, WireAckBad)
+	}
+}
+
+// TestStreamBusyAck pins streaming backpressure: with the pump stalled
+// and the queue full, a batch frame draws a busy ack after the ack
+// deadline — the stream's 429 — and the same frame succeeds once the
+// pump drains. Busy is the one non-terminal failure ack.
+func TestStreamBusyAck(t *testing.T) {
+	names := []string{"A", "B", "C", "D"}
+	gate := make(chan struct{})
+	released := false
+	defer func() {
+		if !released {
+			close(gate)
+		}
+	}()
+	_, ts := newTestServer(t, Config{
+		Queries: testQueries, IngestQueue: 1, pumpGate: gate,
+		streamAckAfter: 50 * time.Millisecond,
+	})
+	c := dialStream(t, ts.URL, names)
+	events := xorshiftEvents(17, 8, len(names))
+
+	// The pump holds the first consumed batch at the gate; the second
+	// fills the one-deep queue; the third must come back busy.
+	var ack WireAck
+	for i := 0; i < 3; i++ {
+		ack = c.send(events[i:i+1], -1)
+		if i < 2 && ack.Status != WireAckOK {
+			t.Fatalf("batch %d: ack status %d, want ok", i, ack.Status)
+		}
+	}
+	if ack.Status != WireAckBusy {
+		t.Fatalf("ack status = %d, want busy (%d)", ack.Status, WireAckBusy)
+	}
+	status, body := doReq(t, "GET", ts.URL+"/metrics", "")
+	if status != http.StatusOK || !strings.Contains(body, `"rejected_backpressure": 1`) {
+		t.Fatalf("metrics after busy: %d %s", status, body)
+	}
+
+	close(gate)
+	released = true
+	if ack = c.send(events[2:3], -1); ack.Status != WireAckOK {
+		t.Fatalf("re-sent batch after drain: ack status %d, want ok", ack.Status)
+	}
+}

@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -81,6 +83,12 @@ type Config struct {
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
 
+	// streamAckAfter bounds how long a streaming-ingest batch waits for
+	// queue space before the server acks busy (the stream's
+	// 429-equivalent; default 1s). Unexported: tests shrink it to force
+	// backpressure acks deterministically.
+	streamAckAfter time.Duration
+
 	// pumpGate, when non-nil, stalls the pump before each consumed
 	// message until the channel yields (tests force queue buildup).
 	pumpGate chan struct{}
@@ -117,16 +125,23 @@ func (c *Config) fill() {
 	if c.Parallelism == 0 {
 		c.Parallelism = 1
 	}
+	if c.streamAckAfter <= 0 {
+		c.streamAckAfter = time.Second
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
 }
 
 // pumpMsg is one unit of pump work: a parsed ingest batch or a
-// control-plane request (live workload change).
+// control-plane request (live workload change). recycle, when non-nil,
+// is the pooled batch backing batch.Events; the pump returns it to the
+// pool after the step (safe because FeedBatch and the WAL encoder both
+// copy events — nothing downstream retains the slice).
 type pumpMsg struct {
-	batch Batch
-	ctl   *ctlReq
+	batch   Batch
+	ctl     *ctlReq
+	recycle *Batch
 }
 
 // workloadView is the immutable snapshot handlers read lock-free.
@@ -366,6 +381,7 @@ func (s *Server) pump() {
 				<-s.cfg.pumpGate
 			}
 			s.step(msg)
+			PutBatch(msg.recycle)
 		case <-idleSync:
 			if err := s.wal.SyncIfDirty(); err != nil {
 				s.fail(err)
@@ -375,6 +391,7 @@ func (s *Server) pump() {
 				select {
 				case msg := <-s.ingest:
 					s.step(msg)
+					PutBatch(msg.recycle)
 				default:
 					s.finish()
 					return
@@ -684,6 +701,7 @@ func (s *Server) routes() {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /{$}", s.handleIndex)
 	s.mux.HandleFunc("POST /ingest", s.handleIngest)
+	s.mux.HandleFunc("POST /ingest/stream", s.handleIngestStream)
 	s.mux.HandleFunc("POST /watermark", s.handleWatermark)
 	s.mux.HandleFunc("GET /subscribe", s.handleSubscribe)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -712,7 +730,11 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprint(w, `sharond — shared online event sequence aggregation server
 
 POST   /ingest        NDJSON events {"type":"A","time":1200,"key":7,"val":1.5}
-                      and watermarks {"watermark":5000}; 429 = backpressure
+                      and watermarks {"watermark":5000}; 429 = backpressure;
+                      Content-Type application/x-sharon-batch selects the
+                      binary batch codec (see README "Wire formats")
+POST   /ingest/stream long-lived binary ingest: one request, many CRC-framed
+                      batches, per-batch acks (busy = backpressure)
 POST   /watermark     {"watermark":5000} — close windows ending at or before it
 GET    /subscribe     SSE result stream (?query=ID filters); data: frames carry
                       {"seq","query","win","start","end","group","count","value"}
@@ -732,16 +754,7 @@ POST   /cluster/adopt    cluster rebalance: graft a hash range in (router-driven
 // the HTTP refusal (network I/O) is written after the release so a
 // slow client can never stall Drain's write-side acquire.
 func (s *Server) enqueue(w http.ResponseWriter, msg pumpMsg) bool {
-	s.gate.RLock()
-	draining, accepted := s.draining, false
-	if !draining {
-		select {
-		case s.ingest <- msg:
-			accepted = true
-		default:
-		}
-	}
-	s.gate.RUnlock()
+	accepted, draining := s.tryEnqueue(msg)
 	switch {
 	case accepted:
 		return true
@@ -755,11 +768,50 @@ func (s *Server) enqueue(w http.ResponseWriter, msg pumpMsg) bool {
 	return false
 }
 
+// tryEnqueue is the transport-neutral core of enqueue: a non-blocking
+// send under the drain gate, shared by the HTTP refusal path above and
+// the streaming-ingest ack loop (which retries instead of refusing).
+func (s *Server) tryEnqueue(msg pumpMsg) (accepted, draining bool) {
+	s.gate.RLock()
+	draining = s.draining
+	if !draining {
+		select {
+		case s.ingest <- msg:
+			accepted = true
+		default:
+		}
+	}
+	s.gate.RUnlock()
+	return accepted, draining
+}
+
+// IsBatchContentType reports whether ct selects the binary batch
+// codec (media type match, parameters ignored).
+func IsBatchContentType(ct string) bool {
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	return strings.TrimSpace(ct) == BatchContentType
+}
+
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBatchBytes)
 	lookup := s.types.Load().(map[string]sharon.Type)
-	batch, err := ParseBatch(body, lookup)
+	batch := GetBatch()
+	var err error
+	if IsBatchContentType(r.Header.Get("Content-Type")) {
+		// Binary one-shot: the body is a header + CRC frames. Reading it
+		// whole before decoding keeps the 413 boundary identical to the
+		// NDJSON path (MaxBytesReader fires before any decode).
+		var data []byte
+		if data, err = io.ReadAll(body); err == nil {
+			err = DecodeWireBatch(data, lookup, batch)
+		}
+	} else {
+		err = batch.ReadNDJSON(body, lookup)
+	}
 	if err != nil {
+		PutBatch(batch)
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			s.rej413.Add(1)
@@ -769,17 +821,22 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "parse: %v", err)
 		return
 	}
-	s.droppedUnknown.Add(batch.Unknown)
-	if len(batch.Events) == 0 && batch.Watermark < 0 {
-		writeJSON(w, http.StatusOK, map[string]any{"accepted": 0, "dropped_unknown_type": batch.Unknown})
+	// Counters are read before enqueue: once the pump has the message it
+	// may recycle the batch concurrently with this handler's response.
+	accepted, unknown := len(batch.Events), batch.Unknown
+	s.droppedUnknown.Add(unknown)
+	if accepted == 0 && batch.Watermark < 0 {
+		PutBatch(batch)
+		writeJSON(w, http.StatusOK, map[string]any{"accepted": 0, "dropped_unknown_type": unknown})
 		return
 	}
-	if !s.enqueue(w, pumpMsg{batch: batch}) {
+	if !s.enqueue(w, pumpMsg{batch: *batch, recycle: batch}) {
+		PutBatch(batch)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, map[string]any{
-		"accepted":             len(batch.Events),
-		"dropped_unknown_type": batch.Unknown,
+		"accepted":             accepted,
+		"dropped_unknown_type": unknown,
 		"queue_depth":          len(s.ingest),
 	})
 }

@@ -211,22 +211,42 @@ func ServeStream(w http.ResponseWriter, r *http.Request, o StreamOptions) {
 	h.Set("X-Accel-Buffering", "no")
 	w.WriteHeader(http.StatusOK)
 	rc := http.NewResponseController(w)
-	write := func(frame string) bool {
-		_ = rc.SetWriteDeadline(time.Now().Add(o.WriteTimeout))
-		if _, err := fmt.Fprint(w, frame); err != nil {
-			return false
+	// Frames are staged into the ResponseWriter's buffer and flushed
+	// once per delivery burst, not per frame: a flush is a chunked-write
+	// syscall, and under load the hub hands the handler runs of queued
+	// results at a time. One deadline + one flush per burst keeps the
+	// subscription's syscall count proportional to bursts, not results.
+	dirty := false
+	push := func(frame string) bool {
+		if !dirty {
+			_ = rc.SetWriteDeadline(time.Now().Add(o.WriteTimeout))
+			dirty = true
 		}
+		_, err := fmt.Fprint(w, frame)
+		return err == nil
+	}
+	flush := func() bool {
+		if !dirty {
+			return true
+		}
+		dirty = false
 		return rc.Flush() == nil
+	}
+	write := func(frame string) bool {
+		return push(frame) && flush()
 	}
 	if !write(": subscribed\n\n") {
 		return
 	}
 	lastSeq := after
 	for _, e := range backlog {
-		if !write("data: " + string(e.Payload) + "\n\n") {
+		if !push("data: " + string(e.Payload) + "\n\n") {
 			return
 		}
 		lastSeq = e.Seq
+	}
+	if !flush() {
+		return
 	}
 	// A punctuating subscriber needs the stream position up front, or an
 	// idle stream leaves its frontier unknown. After the backlog, not
@@ -242,24 +262,39 @@ func ServeStream(w http.ResponseWriter, r *http.Request, o StreamOptions) {
 	for {
 		select {
 		case frame, open := <-sub.ch:
-			if !open {
-				if sub.slow {
-					write("event: error\ndata: {\"error\":\"slow consumer\"}\n\n")
-				} else {
-					write("event: eof\ndata: {}\n\n")
-				}
-				return
-			}
-			if frame.ctl != "" {
-				if !write("event: " + frame.ctl + "\ndata: " + string(frame.payload) + "\n\n") {
+			// Drain the whole queued burst before flushing once. The
+			// drain re-selects on the channel with a default, so an
+			// empty channel ends the burst and control returns to the
+			// outer select (heartbeats, cancellation).
+			for {
+				if !open {
+					if sub.slow {
+						write("event: error\ndata: {\"error\":\"slow consumer\"}\n\n")
+					} else {
+						write("event: eof\ndata: {}\n\n")
+					}
 					return
 				}
-				continue
+				switch {
+				case frame.ctl != "":
+					if !push("event: " + frame.ctl + "\ndata: " + string(frame.payload) + "\n\n") {
+						return
+					}
+				case frame.seq <= lastSeq:
+					// already replayed from the ring
+				default:
+					if !push("data: " + string(frame.payload) + "\n\n") {
+						return
+					}
+				}
+				select {
+				case frame, open = <-sub.ch:
+					continue
+				default:
+				}
+				break
 			}
-			if frame.seq <= lastSeq {
-				continue // already replayed from the ring
-			}
-			if !write("data: " + string(frame.payload) + "\n\n") {
+			if !flush() {
 				return
 			}
 		case <-heartbeat.C:

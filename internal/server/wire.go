@@ -88,23 +88,35 @@ type Batch struct {
 	Unknown   int64
 }
 
-// ParseBatch reads NDJSON ingest lines. lookup maps type names to the
-// workload's interned types; events of unknown types are dropped and
-// counted (they cannot contribute to any registered query). Lines must
-// be time-ordered within the batch — ordering across batches is the
-// pump's concern, which drops late events instead of failing the
-// stream. A malformed or out-of-order line fails the whole batch; the
-// engine never sees a partial parse.
+// ParseBatch reads NDJSON ingest lines into a fresh batch. The ingest
+// handlers use pooled batches via (*Batch).ReadNDJSON instead; this
+// wrapper remains for callers that want value semantics.
 func ParseBatch(r io.Reader, lookup map[string]sharon.Type) (Batch, error) {
 	b := Batch{Watermark: -1}
+	if err := b.ReadNDJSON(r, lookup); err != nil {
+		return Batch{}, err
+	}
+	return b, nil
+}
+
+// ReadNDJSON appends NDJSON ingest lines to b (normally a recycled
+// GetBatch, so the Events backing array amortizes across requests).
+// lookup maps type names to the workload's interned types; events of
+// unknown types are dropped and counted (they cannot contribute to any
+// registered query). Lines must be time-ordered within the batch —
+// ordering across batches is the pump's concern, which drops late
+// events instead of failing the stream. A malformed or out-of-order
+// line fails the whole batch (b's contents are then undefined; discard
+// or recycle it); the engine never sees a partial parse.
+func (b *Batch) ReadNDJSON(r io.Reader, lookup map[string]sharon.Type) error {
 	dec := json.NewDecoder(r)
 	floor := int64(-1)
 	for n := 1; ; n++ {
 		var line IngestLine
 		if err := dec.Decode(&line); err == io.EOF {
-			return b, nil
+			return nil
 		} else if err != nil {
-			return Batch{}, fmt.Errorf("line %d: %w", n, err)
+			return fmt.Errorf("line %d: %w", n, err)
 		}
 		if line.Watermark != nil {
 			if *line.Watermark > b.Watermark {
@@ -116,13 +128,13 @@ func ParseBatch(r io.Reader, lookup map[string]sharon.Type) (Batch, error) {
 			continue
 		}
 		if line.Type == "" {
-			return Batch{}, fmt.Errorf("line %d: missing event type", n)
+			return fmt.Errorf("line %d: missing event type", n)
 		}
 		if line.Time < 0 {
-			return Batch{}, fmt.Errorf("line %d: negative timestamp %d", n, line.Time)
+			return fmt.Errorf("line %d: negative timestamp %d", n, line.Time)
 		}
 		if line.Time <= floor {
-			return Batch{}, fmt.Errorf("line %d: timestamp %d not after %d (events must be strictly time-ordered within a batch)", n, line.Time, floor)
+			return fmt.Errorf("line %d: timestamp %d not after %d (events must be strictly time-ordered within a batch)", n, line.Time, floor)
 		}
 		floor = line.Time
 		t, ok := lookup[line.Type]
