@@ -30,6 +30,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -62,6 +63,8 @@ func main() {
 		jsonOut    = flag.String("json", "", "also write the report as JSON to this file")
 		require    = flag.Bool("require-results", true, "exit nonzero when no results were received")
 		contiguous = flag.Bool("require-contiguous", true, "exit nonzero on sequence gaps or duplicates in the received stream")
+		watch      = flag.Duration("watch", 0, "scrape /metrics at this interval during the run, printing a live one-line ticker to stderr (0 disables)")
+		watchFmt   = flag.String("watch-format", "json", "-watch scrape format: json | prometheus")
 		verbose    = flag.Bool("v", false, "log phases")
 	)
 	flag.Parse()
@@ -104,14 +107,26 @@ func main() {
 	if *verbose {
 		cfg.Progress = log.Printf
 	}
+	if *watch > 0 {
+		ctx, stopWatch := context.WithCancel(context.Background())
+		defer stopWatch()
+		go func() {
+			_ = loadgen.Watch(ctx, loadgen.WatchConfig{
+				BaseURL: base,
+				Format:  *watchFmt,
+				Every:   *watch,
+			})
+		}()
+	}
 	rep, err := loadgen.Run(cfg)
 	if err != nil {
 		log.Fatalf("sharon-load: %v", err)
 	}
-	fmt.Printf("sharon-load: %d events in %d batches  %.0f ev/s  %d results / %d windows  seq [%d,%d] gaps=%d dups=%d  latency p50 %.2fms p99 %.2fms  (429s retried: %d, aborted: %v, next index: %d)\n",
+	fmt.Printf("sharon-load: %d events in %d batches  %.0f ev/s  %d results / %d windows  seq [%d,%d] gaps=%d dups=%d  latency p50 %.2fms p90 %.2fms p99 %.2fms p999 %.2fms max %.2fms  (429s retried: %d, aborted: %v, next index: %d)\n",
 		rep.Events, rep.Batches, rep.EventsPerSec, rep.Results, rep.Windows,
 		rep.FirstSeq, rep.LastSeq, rep.SeqGaps, rep.SeqDups,
-		rep.LatencyP50Ms, rep.LatencyP99Ms, rep.Rejected429, rep.Aborted, rep.NextIndex)
+		rep.LatencyP50Ms, rep.LatencyP90Ms, rep.LatencyP99Ms, rep.LatencyP999Ms, rep.LatencyMaxMs,
+		rep.Rejected429, rep.Aborted, rep.NextIndex)
 	for _, ep := range rep.Endpoints {
 		fmt.Printf("sharon-load: endpoint %s  %d results  seq [%d,%d] gaps=%d dups=%d  closed=%v\n",
 			ep.URL, ep.Results, ep.FirstSeq, ep.LastSeq, ep.SeqGaps, ep.SeqDups, ep.Closed)

@@ -45,6 +45,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -84,6 +87,8 @@ func main() {
 		healthEvery = flag.Duration("health-interval", 2*time.Second, "router: worker health probe interval")
 		barrierTo   = flag.Duration("barrier-timeout", 30*time.Second, "router: rebalance barrier timeout")
 		verbose     = flag.Bool("v", false, "log operational events")
+		logFormat   = flag.String("log-format", "text", "operational log format with -v: text | json")
+		debugAddr   = flag.String("debug-addr", "", "serve pprof and /debug/traces on this separate address (e.g. localhost:6060); empty disables")
 	)
 	flag.Var(&queries, "query", "query text (repeatable)")
 	flag.Var(&workers, "worker", "router: worker base URL, optionally url=data-dir (repeatable; data-dir enables dead-worker recovery)")
@@ -130,11 +135,13 @@ func main() {
 		}
 		if *verbose {
 			cfg.Logf = log.Printf
+			cfg.Logger = buildLogger(*logFormat)
 		}
 		rt, err := cluster.New(cfg)
 		if err != nil {
 			log.Fatalf("sharond: %v", err)
 		}
+		startDebug(*debugAddr, rt.Handler())
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
 		fmt.Fprintf(os.Stderr, "sharond: routing %d queries across %d workers on %s\n",
@@ -169,11 +176,13 @@ func main() {
 	}
 	if *verbose {
 		cfg.Logf = log.Printf
+		cfg.Logger = buildLogger(*logFormat)
 	}
 	s, err := server.New(cfg)
 	if err != nil {
 		log.Fatalf("sharond: %v", err)
 	}
+	startDebug(*debugAddr, s.Handler())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -191,4 +200,43 @@ func addr2(a string) string {
 		return ":" + a
 	}
 	return a
+}
+
+// buildLogger constructs the -v structured logger in the chosen
+// format, at debug level so per-connection stream logs are visible.
+func buildLogger(format string) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: slog.LevelDebug}
+	switch format {
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts))
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts))
+	default:
+		log.Fatalf("sharond: unknown -log-format %q (text | json)", format)
+		return nil
+	}
+}
+
+// startDebug serves the profiling surface on its own listener, kept
+// off the data-plane address so an operator can firewall it
+// separately: the stdlib pprof handlers plus the app's /debug/traces
+// and /metrics forwarded for one-stop debugging.
+func startDebug(addr string, app http.Handler) {
+	if addr == "" {
+		return
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/traces", app)
+	mux.Handle("/metrics", app)
+	go func() {
+		fmt.Fprintf(os.Stderr, "sharond: debug listener (pprof, traces) on %s\n", addr)
+		if err := http.ListenAndServe(addr2(addr), mux); err != nil {
+			log.Printf("sharond: debug listener: %v", err)
+		}
+	}()
 }

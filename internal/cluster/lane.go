@@ -9,10 +9,23 @@ import (
 	"slices"
 	"strings"
 	"sync/atomic"
+	"time"
 
+	"github.com/sharon-project/sharon/internal/obs"
 	"github.com/sharon-project/sharon/internal/persist"
 	"github.com/sharon-project/sharon/internal/server"
 )
+
+// punctStamp records when a forwarded step's watermark left the router,
+// so the lane can measure punctuation lag — forward to frontier-pass.
+type punctStamp struct {
+	wm int64
+	at int64 // Unix nanoseconds at forward time
+}
+
+// maxPunctStamps bounds the telemetry queue on a stalled worker (the
+// delta is the correctness-bearing buffer; stamps are droppable).
+const maxPunctStamps = 8192
 
 // lane is the router's view of one worker: the punctuated SSE
 // subscription feeding the merge, the buffered results awaiting the
@@ -54,6 +67,21 @@ type lane struct {
 	forwardedEvents  atomic.Int64
 	forwardedBatches atomic.Int64
 	retries429       atomic.Int64
+
+	// Per-lane stage histograms (atomic; snapshotted lock-free).
+	// forwardNs is the POST /ingest round trip including 429 retries;
+	// holdNs is merge-hold (first result arrival for a window end →
+	// merged emit); punctNs is punctuation lag (step forwarded → lane
+	// frontier passes its watermark).
+	forwardNs obs.Histogram
+	holdNs    obs.Histogram
+	punctNs   obs.Histogram
+	// arrival stamps the first received result per window end
+	// (merge-hold start). Router.mu.
+	arrival map[int64]int64
+	// punctQ holds forwarded-step watermark stamps awaiting
+	// punctuation, oldest first. Router.mu.
+	punctQ []punctStamp
 }
 
 // newLane subscribes to a worker's punctuated result stream and starts
@@ -68,6 +96,7 @@ func (r *Router) newLane(spec WorkerSpec) (*lane, error) {
 		done:     make(chan struct{}),
 		frontier: -1,
 		pending:  make(map[int64][]server.WireResult),
+		arrival:  make(map[int64]int64),
 		lastSeq:  -1,
 		adopted:  make(chan int64, 4),
 	}
@@ -126,11 +155,11 @@ func (r *Router) runLane(ctx context.Context, ln *lane, resp *http.Response) {
 		var err error
 		resp, err = r.subscribeLane(ctx, ln, true)
 		if err != nil {
-			r.cfg.Logf("lane %s resume failed: %v", ln.id, err)
+			r.log.Warn("lane resume failed", "lane", ln.id, "err", err)
 			r.suspectDead(ln.id)
 			return
 		}
-		r.cfg.Logf("lane %s resumed from seq %d", ln.id, ln.lastSeq)
+		r.log.Info("lane resumed", "lane", ln.id, "seq", ln.lastSeq)
 	}
 }
 
@@ -174,6 +203,9 @@ func (r *Router) readLane(ln *lane, resp *http.Response) {
 					return
 				}
 				ln.pending[wr.End] = append(ln.pending[wr.End], wr)
+				if _, ok := ln.arrival[wr.End]; !ok {
+					ln.arrival[wr.End] = time.Now().UnixNano()
+				}
 				r.mu.Unlock()
 			case "wm":
 				var p struct {
@@ -182,12 +214,13 @@ func (r *Router) readLane(ln *lane, resp *http.Response) {
 				if json.Unmarshal([]byte(payload), &p) != nil {
 					continue
 				}
+				now := time.Now().UnixNano()
 				r.mu.Lock()
 				if ln.gone.Load() {
 					r.mu.Unlock()
 					return
 				}
-				r.advanceLane(ln, p.Watermark)
+				r.advanceLane(ln, p.Watermark, now)
 				r.mu.Unlock()
 			case "adopted":
 				var p struct {
@@ -197,12 +230,13 @@ func (r *Router) readLane(ln *lane, resp *http.Response) {
 				if json.Unmarshal([]byte(payload), &p) != nil {
 					continue
 				}
+				now := time.Now().UnixNano()
 				r.mu.Lock()
 				if ln.gone.Load() {
 					r.mu.Unlock()
 					return
 				}
-				r.advanceLane(ln, p.Watermark)
+				r.advanceLane(ln, p.Watermark, now)
 				r.mu.Unlock()
 				select {
 				case ln.adopted <- p.Op:
@@ -218,14 +252,25 @@ func (r *Router) readLane(ln *lane, resp *http.Response) {
 // advanceLane moves one lane's frontier, prunes its hand-off delta, and
 // advances the merge. Caller holds Router.mu. A lane mid-rebalance (its
 // worker died) never reaches here again, so the dead lane's frontier
-// stays frozen and the merge cannot outrun the recovery.
+// stays frozen and the merge cannot outrun the recovery. nowNano is the
+// caller's wall-clock stamp (0 skips telemetry): a parameter, not a
+// clock read, so this path stays deterministic.
 //
 //sharon:deterministic
-func (r *Router) advanceLane(ln *lane, wm int64) {
+func (r *Router) advanceLane(ln *lane, wm int64, nowNano int64) {
 	if wm <= ln.frontier {
 		return
 	}
 	ln.frontier = wm
+	// Punctuation lag: every forwarded step the frontier just passed
+	// was acknowledged end to end (forward → apply → punctuate → merge
+	// frontier) in now − stamp.
+	for len(ln.punctQ) > 0 && ln.punctQ[0].wm <= wm {
+		if nowNano > 0 {
+			ln.punctNs.Record(nowNano - ln.punctQ[0].at)
+		}
+		ln.punctQ = ln.punctQ[1:]
+	}
 	// A step whose watermark the worker has punctuated is fully applied
 	// and durably logged there (WAL-before-apply); it will never need
 	// replaying onto a successor.
@@ -237,17 +282,19 @@ func (r *Router) advanceLane(ln *lane, wm int64) {
 	}
 	clear(ln.delta[len(keep):])
 	ln.delta = keep
-	r.advanceMergeLocked()
+	r.advanceMergeLocked(nowNano)
 }
 
 // advanceMergeLocked emits every buffered window at or below the global
 // frontier (the minimum lane punctuation) in the canonical (window end,
 // query, window, group) order, assigning the router's global sequence
 // numbers — the same order and the same wire bytes a single sharond
-// emits over the same input. Caller holds Router.mu.
+// emits over the same input. Caller holds Router.mu. nowNano is the
+// caller's wall-clock stamp for merge-hold telemetry and the published
+// frames' fan-out stamps (0 skips both).
 //
 //sharon:deterministic
-func (r *Router) advanceMergeLocked() {
+func (r *Router) advanceMergeLocked(nowNano int64) {
 	if len(r.lanes) == 0 {
 		return
 	}
@@ -287,6 +334,12 @@ func (r *Router) advanceMergeLocked() {
 				bucket = append(bucket, rs...)
 				delete(ln.pending, end)
 			}
+			if at, ok := ln.arrival[end]; ok {
+				delete(ln.arrival, end)
+				if nowNano > 0 {
+					ln.holdNs.Record(nowNano - at)
+				}
+			}
 		}
 		if rs, ok := r.orphan[end]; ok {
 			bucket = append(bucket, rs...)
@@ -310,7 +363,7 @@ func (r *Router) advanceMergeLocked() {
 				return
 			}
 			r.ring.Append(r.seq, payload)
-			r.hub.Publish(bucket[i].Query, r.seq, payload)
+			r.hub.Publish(bucket[i].Query, r.seq, payload, nowNano)
 			r.seq++
 			r.emitted.Add(1)
 		}

@@ -1,0 +1,260 @@
+package cluster
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"github.com/sharon-project/sharon/internal/metrics"
+	"github.com/sharon-project/sharon/internal/obs"
+)
+
+// routerStages aggregates the router's own per-stage pipeline latency,
+// the cluster analogue of the server's serverStages. Stage boundaries
+// (all recorded in nanoseconds):
+//
+//	decode_*  request read + parse, per wire path (ndjson | binary)
+//	queue     ingest-queue admit → pump dequeue
+//	forward   ring split forwarded → every worker acked (the step's
+//	          slowest worker round trip, including retries)
+//	fanout    merged result published → subscriber socket write
+//
+// Per-worker latencies (forward round trip, merge-hold, punctuation
+// lag) live on each lane, labelled by worker in the exposition.
+type routerStages struct {
+	decodeNDJSON obs.Histogram
+	decodeBinary obs.Histogram
+	queue        obs.Histogram
+	forward      obs.Histogram
+	fanout       obs.Histogram
+}
+
+// summaries digests the stage histograms for the JSON /metrics form
+// (milliseconds).
+func (st *routerStages) summaries() map[string]obs.Summary {
+	return map[string]obs.Summary{
+		"decode_ndjson": st.decodeNDJSON.Snapshot().Summary(1e-6),
+		"decode_binary": st.decodeBinary.Snapshot().Summary(1e-6),
+		"queue":         st.queue.Snapshot().Summary(1e-6),
+		"forward":       st.forward.Snapshot().Summary(1e-6),
+		"fanout":        st.fanout.Snapshot().Summary(1e-6),
+	}
+}
+
+// promStages lists the latency stages in stable exposition order.
+func (st *routerStages) promStages() []struct {
+	name string
+	h    *obs.Histogram
+} {
+	return []struct {
+		name string
+		h    *obs.Histogram
+	}{
+		{"decode_ndjson", &st.decodeNDJSON},
+		{"decode_binary", &st.decodeBinary},
+		{"queue", &st.queue},
+		{"forward", &st.forward},
+		{"fanout", &st.fanout},
+	}
+}
+
+// laneSummary digests one lane histogram into milliseconds, nil until
+// the first sample so idle lanes stay out of the JSON.
+func laneSummary(h *obs.Histogram) *obs.Summary {
+	snap := h.Snapshot()
+	if snap.Count == 0 {
+		return nil
+	}
+	s := snap.Summary(1e-6)
+	return &s
+}
+
+// workerStageOrder fixes the exposition order of the scraped worker
+// stage digests (the keys of metrics.ServerStats.Stages).
+var workerStageOrder = []string{
+	"decode_ndjson", "decode_binary", "decode_stream",
+	"queue", "apply", "emit", "fanout",
+}
+
+// scrapeWorkers fetches every worker's JSON /metrics concurrently
+// (short probe timeout — a black-holed worker costs one up=0 sample,
+// not a hung scrape) for the merged cluster-wide exposition.
+func (r *Router) scrapeWorkers(ids []string) map[string]*metrics.ServerStats {
+	out := make(map[string]*metrics.ServerStats, len(ids))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			resp, err := r.probeCli.Get(id + "/metrics")
+			if err != nil {
+				return
+			}
+			defer func() {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}()
+			var st metrics.ServerStats
+			if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&st) != nil {
+				return
+			}
+			mu.Lock()
+			out[id] = &st
+			mu.Unlock()
+		}(id)
+	}
+	wg.Wait()
+	return out
+}
+
+// writeProm renders the RouterStats snapshot in the Prometheus text
+// exposition format v0.0.4: the router's own counters and stage
+// histograms, the per-worker lane digests, and a cluster-wide view
+// scraped live from each worker's /metrics.
+func (r *Router) writeProm(w http.ResponseWriter, st metrics.RouterStats) {
+	pw := &obs.PromWriter{}
+	pw.Gauge("sharon_router_uptime_seconds", "Seconds since the router started.", nil, st.UptimeSec)
+	pw.Gauge("sharon_router_queries", "Queries the cluster serves.", nil, float64(st.Queries))
+	pw.Gauge("sharon_router_watermark", "Router ingest stream position in ticks (-1 before the first).", nil, float64(st.Watermark))
+	pw.Gauge("sharon_router_merged_watermark", "Merge frontier: results at or below it have been emitted.", nil, float64(st.MergedWatermark))
+	pw.Counter("sharon_router_events_ingested_total", "Events accepted and forwarded.", nil, float64(st.EventsIngested))
+	pw.Counter("sharon_router_events_dropped_total", "Events discarded at the router, by reason.", []string{"reason", "late"}, float64(st.EventsDroppedLate))
+	pw.Counter("sharon_router_events_dropped_total", "Events discarded at the router, by reason.", []string{"reason", "unknown_type"}, float64(st.EventsDroppedUnknownType))
+	pw.Counter("sharon_router_batches_total", "Accepted ingest batches.", nil, float64(st.Batches))
+	pw.Counter("sharon_router_rejected_total", "Refused ingest requests, by reason.", []string{"reason", "backpressure"}, float64(st.RejectedBackpressure))
+	pw.Counter("sharon_router_rejected_total", "Refused ingest requests, by reason.", []string{"reason", "oversize"}, float64(st.RejectedOversize))
+	pw.Gauge("sharon_router_ingest_queue_depth", "Parsed batches queued ahead of the pump.", nil, float64(st.IngestQueueDepth))
+	pw.Gauge("sharon_router_ingest_queue_cap", "Ingest queue capacity.", nil, float64(st.IngestQueueCap))
+	pw.Counter("sharon_router_results_emitted_total", "Merged results pushed downstream.", nil, float64(st.ResultsEmitted))
+	pw.Counter("sharon_router_results_delivered_total", "Result frames fanned out to subscribers.", nil, float64(st.ResultsDelivered))
+	pw.Gauge("sharon_router_subscribers", "Live downstream subscriptions.", nil, float64(st.Subscribers))
+	pw.Counter("sharon_router_slow_consumer_disconnects_total", "Subscribers dropped on delivery-buffer overflow.", nil, float64(st.SlowConsumerDisconnects))
+	pw.Counter("sharon_router_rebalances_total", "Completed hash-range hand-offs.", nil, float64(st.Rebalances))
+	pw.Counter("sharon_router_rebalances_failed_total", "Aborted rebalances (cluster error state).", nil, float64(st.RebalancesFailed))
+	pw.Gauge("sharon_router_last_rebalance_seconds", "Duration of the most recent rebalance.", nil, st.LastRebalanceMs/1e3)
+	pw.Gauge("sharon_router_draining", "1 while the router is shutting down.", nil, boolGauge(st.Draining))
+
+	const stageHelp = "Router per-stage pipeline latency (see README Observability for stage boundaries)."
+	for _, sg := range r.stages.promStages() {
+		pw.Histogram("sharon_router_stage_latency_seconds", stageHelp, []string{"stage", sg.name}, sg.h.Snapshot(), 1e-9)
+	}
+
+	// Per-worker lane view: occupancy counters plus the lane latency
+	// digests. st.Workers is sorted by id, so each family's samples come
+	// out in a stable order.
+	for _, ws := range st.Workers {
+		pw.Gauge("sharon_router_worker_healthy", "Last health-probe outcome per worker.", []string{"worker", ws.ID}, boolGauge(ws.Healthy))
+	}
+	for _, ws := range st.Workers {
+		pw.Gauge("sharon_router_worker_frontier", "Per-worker punctuated merge frontier in ticks.", []string{"worker", ws.ID}, float64(ws.Frontier))
+	}
+	for _, ws := range st.Workers {
+		pw.Counter("sharon_router_worker_events_forwarded_total", "Ingest slices routed to the worker, in events.", []string{"worker", ws.ID}, float64(ws.EventsForwarded))
+	}
+	for _, ws := range st.Workers {
+		pw.Counter("sharon_router_worker_batches_forwarded_total", "Ingest slices routed to the worker, in batches.", []string{"worker", ws.ID}, float64(ws.BatchesForwarded))
+	}
+	for _, ws := range st.Workers {
+		pw.Counter("sharon_router_worker_retries_429_total", "Backpressure retries against the worker.", []string{"worker", ws.ID}, float64(ws.Retries429))
+	}
+	for _, ws := range st.Workers {
+		pw.Gauge("sharon_router_worker_pending_results", "Results buffered in the merge awaiting the frontier.", []string{"worker", ws.ID}, float64(ws.PendingResults))
+	}
+	for _, ws := range st.Workers {
+		pw.Gauge("sharon_router_worker_delta_batches", "Retained hand-off delta depth in batches.", []string{"worker", ws.ID}, float64(ws.DeltaBatches))
+	}
+	for _, ws := range st.Workers {
+		pw.Gauge("sharon_router_worker_groups_live", "Live group count reported by the worker.", []string{"worker", ws.ID}, float64(ws.GroupsLive))
+	}
+	laneDigests := []struct {
+		name, help string
+		pick       func(metrics.RouterWorkerStats) *obs.Summary
+	}{
+		{"sharon_router_worker_forward_seconds", "Forward round-trip latency per worker (including retries).",
+			func(ws metrics.RouterWorkerStats) *obs.Summary { return ws.Forward }},
+		{"sharon_router_worker_merge_hold_seconds", "Result hold time in the merge buffer per worker.",
+			func(ws metrics.RouterWorkerStats) *obs.Summary { return ws.MergeHold }},
+		{"sharon_router_worker_punct_lag_seconds", "Watermark-forwarded to punctuation-received lag per worker.",
+			func(ws metrics.RouterWorkerStats) *obs.Summary { return ws.PunctLag }},
+	}
+	for _, d := range laneDigests {
+		for _, ws := range st.Workers {
+			if s := d.pick(ws); s != nil {
+				pw.SummaryQuantiles(d.name, d.help, []string{"worker", ws.ID}, *s, 1e-3)
+			}
+		}
+	}
+
+	// Cluster-wide view: scrape every worker's JSON /metrics and merge.
+	// A failed scrape shows as up=0 with its series absent; the router's
+	// own counters above stay authoritative for the stream totals.
+	ids := make([]string, 0, len(st.Workers))
+	for _, ws := range st.Workers {
+		ids = append(ids, ws.ID)
+	}
+	scraped := r.scrapeWorkers(ids)
+	var clusterIngested, clusterGroups int64
+	healthy := 0
+	for _, ws := range st.Workers {
+		if ws.Healthy {
+			healthy++
+		}
+	}
+	pw.Gauge("sharon_cluster_workers", "Cluster membership size.", nil, float64(len(st.Workers)))
+	pw.Gauge("sharon_cluster_workers_healthy", "Workers passing health probes.", nil, float64(healthy))
+	for _, id := range ids {
+		pw.Gauge("sharon_cluster_worker_up", "1 when the worker's /metrics answered this scrape.", []string{"worker", id}, boolGauge(scraped[id] != nil))
+	}
+	for _, id := range ids {
+		if s := scraped[id]; s != nil {
+			pw.Counter("sharon_cluster_worker_events_ingested_total", "Events the worker applied.", []string{"worker", id}, float64(s.EventsIngested))
+			clusterIngested += s.EventsIngested
+		}
+	}
+	for _, id := range ids {
+		if s := scraped[id]; s != nil {
+			pw.Counter("sharon_cluster_worker_results_emitted_total", "Results the worker emitted.", []string{"worker", id}, float64(s.ResultsEmitted))
+		}
+	}
+	for _, id := range ids {
+		if s := scraped[id]; s != nil {
+			pw.Gauge("sharon_cluster_worker_groups_live", "Live groups owned by the worker.", []string{"worker", id}, float64(s.GroupsLive))
+			clusterGroups += s.GroupsLive
+		}
+	}
+	for _, stage := range workerStageOrder {
+		for _, id := range ids {
+			s := scraped[id]
+			if s == nil {
+				continue
+			}
+			if sum, ok := s.Stages[stage]; ok && sum.Count > 0 {
+				pw.SummaryQuantiles("sharon_cluster_worker_stage_latency_seconds",
+					"Worker-local per-stage latency digest, scraped from each worker.",
+					[]string{"worker", id, "stage", stage}, sum, 1e-3)
+			}
+		}
+	}
+	pw.Counter("sharon_cluster_events_ingested_total", "Events applied across all reachable workers.", nil, float64(clusterIngested))
+	pw.Gauge("sharon_cluster_groups_live", "Live groups across all reachable workers.", nil, float64(clusterGroups))
+
+	w.Header().Set("Content-Type", obs.PromContentType)
+	_, _ = w.Write(pw.Bytes())
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// handleTraces dumps the most recent pipeline spans (?n= bounds the
+// count, default all retained) as JSON.
+func (r *Router) handleTraces(w http.ResponseWriter, req *http.Request) {
+	n, _ := strconv.Atoi(req.URL.Query().Get("n"))
+	writeJSON(w, http.StatusOK, map[string]any{"spans": r.tracer.Spans(n)})
+}

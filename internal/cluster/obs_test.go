@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+
+	"github.com/sharon-project/sharon/internal/metrics"
+	"github.com/sharon-project/sharon/internal/obs"
+)
+
+// TestRouterObservability drives a small cluster and checks the
+// router's observability surface end to end: the JSON /metrics stage
+// digests, the Prometheus exposition (router series, per-worker lane
+// series, and the scraped cluster-wide worker view), and the span ring
+// at /debug/traces — all telling the same story as the counters.
+func TestRouterObservability(t *testing.T) {
+	nodes := []*testNode{
+		startNode(t, 1, t.TempDir()),
+		startNode(t, 1, t.TempDir()),
+	}
+	rt, rthttp := startRouter(t, nodes)
+	sub := subscribe(t, rthttp.URL)
+
+	const events, batch, groups = 20000, 512, 16
+	batches := genBatches(events, batch, groups)
+	for _, b := range batches {
+		post(t, rthttp.URL, b)
+	}
+	postWatermark(t, rthttp.URL, int64(events)+4000)
+	quiesce(t, sub, 1)
+
+	// JSON view: stage digests present and consistent with the counters.
+	resp, err := http.Get(rthttp.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st metrics.RouterStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.EventsIngested != events {
+		t.Fatalf("events_ingested = %d, want %d", st.EventsIngested, events)
+	}
+	if st.Stages == nil {
+		t.Fatal("JSON metrics carry no stages")
+	}
+	for _, stage := range []string{"decode_ndjson", "queue", "forward", "fanout"} {
+		if st.Stages[stage].Count == 0 {
+			t.Fatalf("stage %q has no samples: %+v", stage, st.Stages[stage])
+		}
+	}
+	// One forward-stage sample per event-carrying batch; the watermark
+	// step records none.
+	if got := st.Stages["forward"].Count; got != st.Batches {
+		t.Fatalf("forward stage count = %d, want batches = %d", got, st.Batches)
+	}
+	if len(st.Workers) != 2 {
+		t.Fatalf("workers = %d, want 2", len(st.Workers))
+	}
+	for _, ws := range st.Workers {
+		if ws.Forward == nil || ws.Forward.Count == 0 {
+			t.Fatalf("worker %s has no forward latency digest", ws.ID)
+		}
+		if ws.PunctLag == nil || ws.PunctLag.Count == 0 {
+			t.Fatalf("worker %s has no punctuation-lag digest", ws.ID)
+		}
+		if ws.MergeHold == nil || ws.MergeHold.Count == 0 {
+			t.Fatalf("worker %s has no merge-hold digest", ws.ID)
+		}
+	}
+
+	// Prometheus view: parses, and the core series match the JSON view.
+	resp, err = http.Get(rthttp.URL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.PromContentType {
+		t.Fatalf("prometheus Content-Type = %q", ct)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := obs.ParseProm(data)
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, data)
+	}
+	if v, ok := obs.FindSample(samples, "sharon_router_events_ingested_total", nil); !ok || int64(v) != st.EventsIngested {
+		t.Fatalf("sharon_router_events_ingested_total = %v (ok=%v), want %d", v, ok, st.EventsIngested)
+	}
+	if v, ok := obs.FindSample(samples, "sharon_router_stage_latency_seconds_count", map[string]string{"stage": "forward"}); !ok || int64(v) != st.Batches {
+		t.Fatalf("forward stage exposition count = %v (ok=%v), want %d", v, ok, st.Batches)
+	}
+	var workerIngested int64
+	for _, ws := range st.Workers {
+		if v, ok := obs.FindSample(samples, "sharon_cluster_worker_up", map[string]string{"worker": ws.ID}); !ok || v != 1 {
+			t.Fatalf("sharon_cluster_worker_up{worker=%q} = %v (ok=%v), want 1", ws.ID, v, ok)
+		}
+		v, ok := obs.FindSample(samples, "sharon_cluster_worker_events_ingested_total", map[string]string{"worker": ws.ID})
+		if !ok {
+			t.Fatalf("no scraped ingest counter for worker %s", ws.ID)
+		}
+		workerIngested += int64(v)
+		if _, ok := obs.FindSample(samples, "sharon_cluster_worker_stage_latency_seconds", map[string]string{"worker": ws.ID, "stage": "apply", "quantile": "0.99"}); !ok {
+			t.Fatalf("no scraped apply-stage digest for worker %s", ws.ID)
+		}
+	}
+	// Every accepted event was forwarded to exactly one worker.
+	if workerIngested != events {
+		t.Fatalf("workers ingested %d events between them, want %d", workerIngested, events)
+	}
+
+	// Span ring: batch spans recorded, newest-first bounded dump.
+	resp, err = http.Get(rthttp.URL + "/debug/traces?n=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traces struct {
+		Spans []obs.Span `json:"spans"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&traces); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(traces.Spans) == 0 || len(traces.Spans) > 10 {
+		t.Fatalf("got %d spans, want 1..10", len(traces.Spans))
+	}
+	sawBatch := false
+	for _, s := range traces.Spans {
+		if s.Kind == "batch" && s.Events > 0 && s.DurNs >= 0 {
+			sawBatch = true
+		}
+	}
+	if !sawBatch {
+		t.Fatalf("no batch span in %+v", traces.Spans)
+	}
+	_ = rt
+}

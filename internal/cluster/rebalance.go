@@ -47,7 +47,7 @@ import (
 // rebalanceDead recovers a dead worker's range onto the survivors.
 func (r *Router) rebalanceDead(deadID string) {
 	started := time.Now()
-	r.cfg.Logf("worker %s presumed dead; rebalancing", deadID)
+	r.log.Warn("worker presumed dead; rebalancing", "worker", deadID)
 
 	r.mu.Lock()
 	ln := r.lanes[deadID]
@@ -119,7 +119,7 @@ func (r *Router) rebalanceDead(deadID string) {
 				r.orphan[wr.End] = append(r.orphan[wr.End], wr)
 			}
 			r.mu.Unlock()
-			r.cfg.Logf("rebalance %s: %d results in (%d, %d] recovered from the checkpoint emission ring", deadID, len(inject), wp, ck.Watermark)
+			r.log.Info("recovered results from checkpoint emission ring", "worker", deadID, "results", len(inject), "from", wp, "to", ck.Watermark)
 		}
 	}
 
@@ -156,18 +156,18 @@ func (r *Router) rebalanceDead(deadID string) {
 	// dead lane's buckets at or below W_p normally drained while the
 	// survivors crossed the barrier; whatever remains rides the orphan
 	// buffer so no completed window can be dropped with the lane.
+	now := time.Now().UnixNano()
 	r.mu.Lock()
 	r.chring = newRing
 	for end, rs := range ln.pending {
 		r.orphan[end] = append(r.orphan[end], rs...)
 	}
 	delete(r.lanes, deadID)
-	r.advanceMergeLocked()
+	r.advanceMergeLocked(now)
 	r.mu.Unlock()
 	r.rebalances.Add(1)
 	r.lastRebalance.Store(time.Since(started).Nanoseconds())
-	r.cfg.Logf("rebalanced %s across %d survivors in %s (watermark %d)",
-		deadID, newRing.Size(), time.Since(started).Round(time.Millisecond), target)
+	r.log.Info("rebalanced dead worker", "worker", deadID, "survivors", newRing.Size(), "took", time.Since(started).Round(time.Millisecond), "watermark", target)
 }
 
 // barrier waits until every listed lane has punctuated wm — its queue
@@ -460,15 +460,15 @@ func (r *Router) join(spec WorkerSpec) (int, any) {
 		r.fail("join %s: %v", id, err)
 		return http.StatusBadGateway, map[string]string{"error": err.Error()}
 	}
+	now := time.Now().UnixNano()
 	r.mu.Lock()
 	r.chring = newRing
 	r.lanes[id] = ln
-	r.advanceMergeLocked()
+	r.advanceMergeLocked(now)
 	r.mu.Unlock()
 	r.rebalances.Add(1)
 	r.lastRebalance.Store(time.Since(started).Nanoseconds())
-	r.cfg.Logf("worker %s joined: %d groups grafted at watermark %d in %s",
-		id, len(merged.Groups), target, time.Since(started).Round(time.Millisecond))
+	r.log.Info("worker joined", "worker", id, "groups", len(merged.Groups), "watermark", target, "took", time.Since(started).Round(time.Millisecond))
 	return http.StatusOK, map[string]any{
 		"joined":    id,
 		"groups":    len(merged.Groups),
@@ -522,6 +522,7 @@ func (r *Router) leave(id string) (int, any) {
 			return http.StatusBadGateway, map[string]string{"error": err.Error()}
 		}
 	}
+	now := time.Now().UnixNano()
 	r.mu.Lock()
 	ln.gone.Store(true)
 	//sharon:allow lockio (context.CancelFunc never blocks: it closes the done channel)
@@ -531,12 +532,11 @@ func (r *Router) leave(id string) (int, any) {
 		r.orphan[end] = append(r.orphan[end], rs...)
 	}
 	delete(r.lanes, id)
-	r.advanceMergeLocked()
+	r.advanceMergeLocked(now)
 	r.mu.Unlock()
 	r.rebalances.Add(1)
 	r.lastRebalance.Store(time.Since(started).Nanoseconds())
-	r.cfg.Logf("worker %s left: %d groups handed to %d survivors in %s",
-		id, moved, newRing.Size(), time.Since(started).Round(time.Millisecond))
+	r.log.Info("worker left", "worker", id, "groups", moved, "survivors", newRing.Size(), "took", time.Since(started).Round(time.Millisecond))
 	return http.StatusOK, map[string]any{
 		"left":    id,
 		"groups":  moved,

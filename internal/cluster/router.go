@@ -34,6 +34,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strings"
@@ -44,6 +45,7 @@ import (
 	sharon "github.com/sharon-project/sharon"
 	"github.com/sharon-project/sharon/internal/chash"
 	"github.com/sharon-project/sharon/internal/metrics"
+	"github.com/sharon-project/sharon/internal/obs"
 	"github.com/sharon-project/sharon/internal/persist"
 	"github.com/sharon-project/sharon/internal/server"
 )
@@ -90,6 +92,13 @@ type Config struct {
 	BarrierTimeout time.Duration
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
+	// Logger, when non-nil, receives structured operational logs and
+	// takes precedence over Logf (which remains as a plain-text seam for
+	// tests and embedders). Nil bridges Logf into a structured handler.
+	Logger *slog.Logger
+	// TraceSpans bounds the in-memory span ring served at /debug/traces
+	// (default 1024).
+	TraceSpans int
 }
 
 func (c *Config) fill() {
@@ -129,16 +138,25 @@ func (c *Config) fill() {
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
+	if c.Logger == nil {
+		c.Logger = obs.NewLogfLogger(c.Logf)
+	}
+	if c.TraceSpans <= 0 {
+		c.TraceSpans = 1024
+	}
 }
 
 // routerMsg is one unit of router pump work. recycle, when non-nil, is
 // the pooled batch backing batch.Events; the pump returns it after the
 // step (safe: retainDelta copies every worker's slice into fresh
-// backing arrays before forwardAll sends anything).
+// backing arrays before forwardAll sends anything). admitNano stamps
+// the moment the message entered the queue, feeding the queue-stage
+// histogram and the batch trace span.
 type routerMsg struct {
-	batch   server.Batch
-	ctl     *routerCtl
-	recycle *server.Batch
+	batch     server.Batch
+	ctl       *routerCtl
+	recycle   *server.Batch
+	admitNano int64
 }
 
 // routerCtl is a membership change or a death check, serialized through
@@ -182,6 +200,9 @@ type Router struct {
 	client   *http.Client
 	probeCli *http.Client
 	start    time.Time
+	log      *slog.Logger
+	tracer   *obs.Tracer
+	stages   routerStages
 
 	ingest   chan routerMsg
 	gate     sync.RWMutex
@@ -245,6 +266,8 @@ func New(cfg Config) (*Router, error) {
 		mergedWM: -1,
 		orphan:   make(map[int64][]server.WireResult),
 	}
+	r.log = cfg.Logger
+	r.tracer = obs.NewTracer(cfg.TraceSpans)
 	r.wm.Store(-1)
 
 	// Compile the workload exactly like a worker does: same queries,
@@ -372,8 +395,8 @@ func (r *Router) checkWorkerWorkload(url string) error {
 // never guesses once the merged stream's completeness is in doubt).
 func (r *Router) fail(format string, args ...any) {
 	msg := fmt.Sprintf(format, args...)
-	//sharon:allow lockio (some callers hold r.mu; Logf defaults to log.Printf, and a fatal-path log line is worth the stall risk)
-	r.cfg.Logf("cluster FAILED: %s", msg)
+	//sharon:allow lockio (some callers hold r.mu; the handler ultimately writes to a log sink, and a fatal-path log line is worth the stall risk)
+	r.log.Error("cluster FAILED", "err", msg)
 	r.failure.CompareAndSwap(nil, msg)
 }
 
@@ -413,6 +436,10 @@ func (r *Router) pump() {
 //
 //sharon:pump
 func (r *Router) step(msg routerMsg) {
+	stepStart := time.Now()
+	if msg.admitNano > 0 {
+		r.stages.queue.Record(stepStart.UnixNano() - msg.admitNano)
+	}
 	if msg.ctl != nil {
 		r.applyCtl(msg.ctl)
 		return
@@ -449,7 +476,26 @@ func (r *Router) step(msg routerMsg) {
 	}
 
 	members, sub := r.retainDelta(events, batchWM)
+	fwdStart := time.Now()
 	r.forwardAll(members, sub, batchWM)
+	if len(events) > 0 {
+		// One forward-stage sample and one batch span per event-carrying
+		// step, so the stage count equals the batches counter (a CI
+		// consistency check); watermark-only steps skip both.
+		r.stages.forward.Record(time.Since(fwdStart).Nanoseconds())
+		start := msg.admitNano
+		if start <= 0 {
+			start = stepStart.UnixNano()
+		}
+		r.tracer.Record(obs.Span{
+			Kind:      "batch",
+			Start:     start,
+			DurNs:     time.Now().UnixNano() - start,
+			Batch:     r.batches.Load(),
+			Events:    int64(len(events)),
+			Watermark: batchWM,
+		})
+	}
 }
 
 // retainDelta splits a step by the current ring and retains every
@@ -461,6 +507,7 @@ func (r *Router) step(msg routerMsg) {
 //
 //sharon:logs
 func (r *Router) retainDelta(events []sharon.Event, batchWM int64) (members []string, sub map[string][]sharon.Event) {
+	now := time.Now().UnixNano()
 	r.mu.Lock()
 	members = r.chring.Members()
 	sub = make(map[string][]sharon.Event, len(members))
@@ -471,6 +518,12 @@ func (r *Router) retainDelta(events []sharon.Event, batchWM int64) (members []st
 	for _, id := range members {
 		if ln := r.lanes[id]; ln != nil {
 			ln.delta = append(ln.delta, persist.BatchRecord{Events: sub[id], Watermark: batchWM})
+			// Stamp the watermark we are about to forward so the lane can
+			// measure punctuation lag when its frontier passes it. Bounded:
+			// telemetry is droppable, the delta is the correctness buffer.
+			if len(ln.punctQ) < maxPunctStamps {
+				ln.punctQ = append(ln.punctQ, punctStamp{wm: batchWM, at: now})
+			}
 		}
 	}
 	r.mu.Unlock()
@@ -497,7 +550,7 @@ func (r *Router) forwardAll(members []string, sub map[string][]sharon.Event, bat
 	for range members {
 		o := <-results
 		if o.err != nil {
-			r.cfg.Logf("forward to %s failed: %v", o.id, o.err)
+			r.log.Error("forward failed", "worker", o.id, "err", o.err)
 			dead = append(dead, o.id)
 		}
 	}
@@ -530,7 +583,8 @@ func (r *Router) forward(id string, events []sharon.Event, batchWM int64) error 
 	*bufp = append((*bufp)[:0], r.binPrefix...)
 	*bufp = server.AppendWireBatch(*bufp, events, batchWM)
 	body := *bufp
-	deadline := time.Now().Add(time.Duration(r.cfg.DeadAfter) * r.cfg.HealthEvery)
+	t0 := time.Now()
+	deadline := t0.Add(time.Duration(r.cfg.DeadAfter) * r.cfg.HealthEvery)
 	strikes := 0
 	for {
 		resp, err := r.client.Post(id+"/ingest", server.BatchContentType, bytes.NewReader(body))
@@ -555,6 +609,9 @@ func (r *Router) forward(id string, events []sharon.Event, batchWM int64) error 
 		case http.StatusAccepted, http.StatusOK:
 			ln.forwardedEvents.Add(int64(len(events)))
 			ln.forwardedBatches.Add(1)
+			// Whole round trip including 429/503 retries: what the slowest
+			// worker costs the step, not just the final successful POST.
+			ln.forwardNs.Record(time.Since(t0).Nanoseconds())
 			return nil
 		case http.StatusTooManyRequests:
 			ln.retries429.Add(1)
@@ -582,7 +639,7 @@ func (r *Router) clampWatermarkFrom(base, wm int64) int64 {
 		base = 0
 	}
 	if limit := base + r.maxAdv; wm > limit {
-		r.cfg.Logf("watermark %d clamped to %d", wm, limit)
+		r.log.Warn("watermark clamped", "watermark", wm, "limit", limit)
 		return limit
 	}
 	return wm
@@ -604,7 +661,7 @@ func (r *Router) finish() {
 	}
 	r.mu.Unlock()
 	r.hub.Shutdown()
-	r.cfg.Logf("router drained: %d events forwarded, %d results merged", r.ingested.Load(), r.emitted.Load())
+	r.log.Info("router drained", "events_forwarded", r.ingested.Load(), "results_merged", r.emitted.Load())
 }
 
 // Drain stops ingestion and ends the merged stream. Idempotent.
@@ -715,11 +772,11 @@ func (r *Router) ListenAndServe(ctx context.Context, addr string) error {
 		return err
 	case <-ctx.Done():
 	}
-	r.cfg.Logf("draining")
+	r.log.Info("draining")
 	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := r.Drain(drainCtx); err != nil {
-		r.cfg.Logf("drain: %v", err)
+		r.log.Warn("drain", "err", err)
 	}
 	shutCtx, cancel2 := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel2()
@@ -733,6 +790,7 @@ func (r *Router) routes() {
 	r.mux.HandleFunc("POST /watermark", r.handleWatermark)
 	r.mux.HandleFunc("GET /subscribe", r.handleSubscribe)
 	r.mux.HandleFunc("GET /metrics", r.handleMetrics)
+	r.mux.HandleFunc("GET /debug/traces", r.handleTraces)
 	r.mux.HandleFunc("GET /healthz", r.handleHealthz)
 	r.mux.HandleFunc("GET /queries", r.handleQueries)
 	r.mux.HandleFunc("GET /cluster/workers", r.handleWorkersGet)
@@ -761,7 +819,10 @@ POST   /watermark               {"watermark":T} — fanned out to every worker
 GET    /subscribe               merged SSE result stream, single-node byte-identical
                                 (?query=ID filters, ?after=N resumes, ?punctuate=1 marks)
 GET    /queries                 the cluster workload
-GET    /metrics                 router + per-worker shard counters (JSON)
+GET    /metrics                 router + per-worker shard counters
+                                (JSON; ?format=prometheus for text exposition
+                                including a scraped cluster-wide worker view)
+GET    /debug/traces            recent pipeline spans (?n=100)
 GET    /healthz                 ok | rebalancing | error | draining
 GET    /cluster/workers         membership + rebalance state
 POST   /cluster/workers         {"url":..., "data_dir":...} — join a worker (live rebalance)
@@ -806,13 +867,23 @@ func (r *Router) handleIngest(w http.ResponseWriter, req *http.Request) {
 	body := http.MaxBytesReader(w, req.Body, r.cfg.MaxBatchBytes)
 	batch := server.GetBatch()
 	var err error
-	if server.IsBatchContentType(req.Header.Get("Content-Type")) {
+	decodeStart := time.Now()
+	binary := server.IsBatchContentType(req.Header.Get("Content-Type"))
+	if binary {
 		var data []byte
 		if data, err = io.ReadAll(body); err == nil {
 			err = server.DecodeWireBatch(data, r.lookup, batch)
 		}
 	} else {
 		err = batch.ReadNDJSON(body, r.lookup)
+	}
+	if err == nil {
+		d := time.Since(decodeStart).Nanoseconds()
+		if binary {
+			r.stages.decodeBinary.Record(d)
+		} else {
+			r.stages.decodeNDJSON.Record(d)
+		}
 	}
 	if err != nil {
 		server.PutBatch(batch)
@@ -834,7 +905,7 @@ func (r *Router) handleIngest(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"accepted": 0, "dropped_unknown_type": unknown})
 		return
 	}
-	if !r.enqueue(w, routerMsg{batch: *batch, recycle: batch}) {
+	if !r.enqueue(w, routerMsg{batch: *batch, recycle: batch, admitNano: time.Now().UnixNano()}) {
 		server.PutBatch(batch)
 		return
 	}
@@ -852,7 +923,7 @@ func (r *Router) handleWatermark(w http.ResponseWriter, req *http.Request) {
 		writeErr(w, http.StatusBadRequest, `want {"watermark":<ticks>}`)
 		return
 	}
-	if !r.enqueue(w, routerMsg{batch: server.Batch{Watermark: *line.Watermark}}) {
+	if !r.enqueue(w, routerMsg{batch: server.Batch{Watermark: *line.Watermark}, admitNano: time.Now().UnixNano()}) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, map[string]any{"watermark": *line.Watermark})
@@ -874,6 +945,7 @@ func (r *Router) handleSubscribe(w http.ResponseWriter, req *http.Request) {
 		SubscriberBuffer: r.cfg.SubscriberBuffer,
 		HeartbeatEvery:   r.cfg.HeartbeatEvery,
 		WriteTimeout:     r.cfg.WriteTimeout,
+		FanoutNs:         &r.stages.fanout,
 	})
 }
 
@@ -925,6 +997,7 @@ func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
 		LastRebalanceMs:          float64(r.lastRebalance.Load()) / 1e6,
 		Draining:                 draining,
 		Error:                    r.failed(),
+		Stages:                   r.stages.summaries(),
 	}
 	r.mu.Lock()
 	st.MergedWatermark = r.mergedWM
@@ -949,9 +1022,16 @@ func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
 			PendingResults:   pending,
 			DeltaBatches:     len(ln.delta),
 			GroupsLive:       ln.groups.Load(),
+			Forward:          laneSummary(&ln.forwardNs),
+			MergeHold:        laneSummary(&ln.holdNs),
+			PunctLag:         laneSummary(&ln.punctNs),
 		})
 	}
 	r.mu.Unlock()
+	if obs.MetricsFormat(req) == "prometheus" {
+		r.writeProm(w, st)
+		return
+	}
 	writeJSON(w, http.StatusOK, st)
 }
 

@@ -41,11 +41,16 @@ type BenchRecord struct {
 	// PeakLiveStates is the executor's peak live aggregate-state count
 	// (the paper's §8.1 memory unit).
 	PeakLiveStates int64 `json:"peak_live_states"`
-	// LatencyP50Ms/LatencyP99Ms carry end-to-end ingest-to-emit window
-	// latency for server (loopback) runs; zero for in-process runs,
-	// whose per-window latency is RunStats.LatencyMs.
-	LatencyP50Ms float64 `json:"latency_p50_ms,omitempty"`
-	LatencyP99Ms float64 `json:"latency_p99_ms,omitempty"`
+	// LatencyP50Ms through LatencyMaxMs carry the end-to-end
+	// ingest-to-emit window latency distribution for server (loopback)
+	// runs, exact percentiles over one sample per window; zero for
+	// in-process runs, whose per-window figure is the cost proxy
+	// RunStats.LatencyMs (see its doc for the distinction).
+	LatencyP50Ms  float64 `json:"latency_p50_ms,omitempty"`
+	LatencyP90Ms  float64 `json:"latency_p90_ms,omitempty"`
+	LatencyP99Ms  float64 `json:"latency_p99_ms,omitempty"`
+	LatencyP999Ms float64 `json:"latency_p999_ms,omitempty"`
+	LatencyMaxMs  float64 `json:"latency_max_ms,omitempty"`
 	// DNF marks a run aborted by a work cap.
 	DNF bool `json:"dnf,omitempty"`
 	// Note carries free-form provenance (e.g. for pinned baselines).

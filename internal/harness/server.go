@@ -72,14 +72,17 @@ func serverRun(cfg Config, name string, par, events int) (BenchRecord, error) {
 		ns = float64(rep.ElapsedNs) / float64(rep.Events)
 	}
 	return BenchRecord{
-		Name:         "server-loopback/" + name,
-		Executor:     "sharond",
-		Events:       rep.Events,
-		Results:      rep.Results,
-		ElapsedNs:    rep.ElapsedNs,
-		EventsPerSec: rep.EventsPerSec,
-		NsPerEvent:   ns,
-		LatencyP50Ms: rep.LatencyP50Ms,
-		LatencyP99Ms: rep.LatencyP99Ms,
+		Name:          "server-loopback/" + name,
+		Executor:      "sharond",
+		Events:        rep.Events,
+		Results:       rep.Results,
+		ElapsedNs:     rep.ElapsedNs,
+		EventsPerSec:  rep.EventsPerSec,
+		NsPerEvent:    ns,
+		LatencyP50Ms:  rep.LatencyP50Ms,
+		LatencyP90Ms:  rep.LatencyP90Ms,
+		LatencyP99Ms:  rep.LatencyP99Ms,
+		LatencyP999Ms: rep.LatencyP999Ms,
+		LatencyMaxMs:  rep.LatencyMaxMs,
 	}, nil
 }

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	sharon "github.com/sharon-project/sharon"
+	"github.com/sharon-project/sharon/internal/obs"
 	"github.com/sharon-project/sharon/internal/persist"
 	"github.com/sharon-project/sharon/internal/server"
 )
@@ -148,11 +149,18 @@ type Report struct {
 	// received; Windows the number of distinct window ends among them.
 	Results int64 `json:"results"`
 	Windows int64 `json:"windows"`
-	// LatencyP50Ms/P99Ms summarize ingest-to-emit latency: from posting
-	// the batch (or watermark) that closes a window to receiving that
-	// window's first result.
-	LatencyP50Ms float64 `json:"latency_p50_ms"`
-	LatencyP99Ms float64 `json:"latency_p99_ms"`
+	// LatencyP50Ms through LatencyMaxMs summarize ingest-to-emit
+	// latency: from posting the batch (or watermark) that closes a
+	// window to receiving that window's first result. Percentiles are
+	// exact (computed from the full sorted sample set, one sample per
+	// window); LatencyBuckets is the log-bucketed histogram of the same
+	// samples for cross-checking against the server's stage histograms.
+	LatencyP50Ms   float64         `json:"latency_p50_ms"`
+	LatencyP90Ms   float64         `json:"latency_p90_ms"`
+	LatencyP99Ms   float64         `json:"latency_p99_ms"`
+	LatencyP999Ms  float64         `json:"latency_p999_ms"`
+	LatencyMaxMs   float64         `json:"latency_max_ms"`
+	LatencyBuckets []LatencyBucket `json:"latency_buckets,omitempty"`
 	// FirstSeq/LastSeq bound the received emission sequence numbers
 	// (-1 when nothing arrived); SeqGaps/SeqDups count violations of
 	// strict seq contiguity on the subscription — both must be zero on
@@ -170,6 +178,13 @@ type Report struct {
 	// Endpoints reports the extra per-endpoint subscriptions
 	// (Config.ExtraEndpoints), each seq-checked independently.
 	Endpoints []EndpointReport `json:"endpoints,omitempty"`
+}
+
+// LatencyBucket is one non-empty bucket of the client-side
+// ingest-to-emit histogram: Count samples at or below UpperMs.
+type LatencyBucket struct {
+	UpperMs float64 `json:"upper_ms"`
+	Count   int64   `json:"count"`
 }
 
 // EndpointReport is one extra endpoint's subscription outcome.
@@ -726,8 +741,22 @@ func Run(cfg Config) (Report, error) {
 	rep.Windows = int64(len(lat))
 	if len(lat) > 0 {
 		sort.Float64s(lat)
-		rep.LatencyP50Ms = lat[len(lat)/2]
-		rep.LatencyP99Ms = lat[min(len(lat)-1, len(lat)*99/100)]
+		pick := func(pm int) float64 { return lat[min(len(lat)-1, len(lat)*pm/1000)] }
+		rep.LatencyP50Ms = pick(500)
+		rep.LatencyP90Ms = pick(900)
+		rep.LatencyP99Ms = pick(990)
+		rep.LatencyP999Ms = pick(999)
+		rep.LatencyMaxMs = lat[len(lat)-1]
+		var h obs.Histogram
+		for _, ms := range lat {
+			h.Record(int64(ms * 1e6)) // ms -> ns, same unit the server stages use
+		}
+		for _, b := range h.Snapshot().Buckets {
+			rep.LatencyBuckets = append(rep.LatencyBuckets, LatencyBucket{
+				UpperMs: float64(b.Upper) / 1e6,
+				Count:   b.Count,
+			})
+		}
 	}
 	cfg.Progress("received %d results over %d windows, seq [%d, %d], %d gaps, %d dups (p50 %.2fms, p99 %.2fms ingest-to-emit)",
 		rep.Results, rep.Windows, rep.FirstSeq, rep.LastSeq, rep.SeqGaps, rep.SeqDups, rep.LatencyP50Ms, rep.LatencyP99Ms)

@@ -1,0 +1,170 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"github.com/sharon-project/sharon/internal/metrics"
+	"github.com/sharon-project/sharon/internal/obs"
+)
+
+// WatchConfig parameterizes a live metrics ticker (Watch).
+type WatchConfig struct {
+	// BaseURL is the server or router to watch.
+	BaseURL string
+	// Format selects the scrape wire format: "json" (default) or
+	// "prometheus" — both views must tell the same story, and watching
+	// in each is how the loadgen cross-checks that.
+	Format string
+	// Every is the scrape interval (default 1s).
+	Every time.Duration
+	// Out receives the ticker lines (default os.Stderr).
+	Out io.Writer
+	// Client overrides the HTTP client (default: 2s timeout).
+	Client *http.Client
+}
+
+// Watch scrapes BaseURL/metrics every interval until ctx ends,
+// printing a one-line live ticker: ingest rate since the previous
+// tick, queue occupancy, and the p99 ingest-to-emit latency (the
+// emit stage server-side; the forward stage on a router, which has no
+// emit stage of its own). Scrape errors print and keep ticking — a
+// watch must survive the server restarting under it.
+func Watch(ctx context.Context, cfg WatchConfig) error {
+	if cfg.Every <= 0 {
+		cfg.Every = time.Second
+	}
+	if cfg.Out == nil {
+		cfg.Out = os.Stderr
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 2 * time.Second}
+	}
+	if cfg.Format == "" {
+		cfg.Format = "json"
+	}
+	t := time.NewTicker(cfg.Every)
+	defer t.Stop()
+	var (
+		prevIngested int64
+		prevAt       time.Time
+		first        = true
+	)
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+		}
+		s, err := scrapeOnce(cfg)
+		now := time.Now()
+		if err != nil {
+			fmt.Fprintf(cfg.Out, "watch: %v\n", err)
+			first = true
+			continue
+		}
+		if first {
+			prevIngested, prevAt, first = s.ingested, now, false
+			continue
+		}
+		rate := float64(s.ingested-prevIngested) / now.Sub(prevAt).Seconds()
+		prevIngested, prevAt = s.ingested, now
+		fmt.Fprintf(cfg.Out, "%s %9.0f ev/s  queue %d/%d  p99 %s %.2fms\n",
+			now.Format("15:04:05"), rate, s.queueDepth, s.queueCap, s.p99Stage, s.p99Ms)
+	}
+}
+
+// watchSample is one scrape, normalized across format and tier.
+type watchSample struct {
+	ingested   int64
+	queueDepth int64
+	queueCap   int64
+	p99Stage   string
+	p99Ms      float64
+}
+
+func scrapeOnce(cfg WatchConfig) (watchSample, error) {
+	switch cfg.Format {
+	case "json":
+		return scrapeJSON(cfg)
+	case "prometheus", "prom":
+		return scrapeProm(cfg)
+	default:
+		return watchSample{}, fmt.Errorf("unknown watch format %q (json | prometheus)", cfg.Format)
+	}
+}
+
+func scrapeJSON(cfg WatchConfig) (watchSample, error) {
+	resp, err := cfg.Client.Get(cfg.BaseURL + "/metrics")
+	if err != nil {
+		return watchSample{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return watchSample{}, fmt.Errorf("metrics status %d", resp.StatusCode)
+	}
+	// ServerStats and RouterStats share the field names the ticker
+	// needs, so one decode covers both tiers.
+	var st metrics.ServerStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return watchSample{}, err
+	}
+	s := watchSample{
+		ingested:   st.EventsIngested,
+		queueDepth: int64(st.IngestQueueDepth),
+		queueCap:   int64(st.IngestQueueCap),
+	}
+	for _, stage := range []string{"emit", "forward"} {
+		if sum, ok := st.Stages[stage]; ok && sum.Count > 0 {
+			s.p99Stage, s.p99Ms = stage, sum.P99
+			break
+		}
+	}
+	if s.p99Stage == "" {
+		s.p99Stage = "emit"
+	}
+	return s, nil
+}
+
+func scrapeProm(cfg WatchConfig) (watchSample, error) {
+	resp, err := cfg.Client.Get(cfg.BaseURL + "/metrics?format=prometheus")
+	if err != nil {
+		return watchSample{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return watchSample{}, fmt.Errorf("metrics status %d", resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return watchSample{}, err
+	}
+	samples, err := obs.ParseProm(data)
+	if err != nil {
+		return watchSample{}, err
+	}
+	var s watchSample
+	pick := func(names ...string) float64 {
+		for _, n := range names {
+			if v, ok := obs.FindSample(samples, n, nil); ok {
+				return v
+			}
+		}
+		return 0
+	}
+	s.ingested = int64(pick("sharon_events_ingested_total", "sharon_router_events_ingested_total"))
+	s.queueDepth = int64(pick("sharon_ingest_queue_depth", "sharon_router_ingest_queue_depth"))
+	s.queueCap = int64(pick("sharon_ingest_queue_cap", "sharon_router_ingest_queue_cap"))
+	s.p99Stage = "emit"
+	if v, ok := obs.HistogramQuantile(samples, "sharon_stage_latency_seconds", 0.99, map[string]string{"stage": "emit"}); ok {
+		s.p99Ms = v * 1e3
+	} else if v, ok := obs.HistogramQuantile(samples, "sharon_router_stage_latency_seconds", 0.99, map[string]string{"stage": "forward"}); ok {
+		s.p99Stage, s.p99Ms = "forward", v*1e3
+	}
+	return s, nil
+}

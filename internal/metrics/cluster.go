@@ -1,5 +1,7 @@
 package metrics
 
+import "github.com/sharon-project/sharon/internal/obs"
+
 // RouterStats is the /metrics snapshot of a cluster router: ingestion
 // and merge progress plus the per-worker shard-occupancy and rebalance
 // counters.
@@ -52,6 +54,11 @@ type RouterStats struct {
 	Draining bool   `json:"draining"`
 	Error    string `json:"error,omitempty"`
 
+	// Stages holds the router's per-stage latency digests, keyed
+	// decode_ndjson, decode_binary, queue, forward, fanout. Values are
+	// milliseconds. Empty stages are omitted.
+	Stages map[string]obs.Summary `json:"stages,omitempty"`
+
 	// Workers is the per-worker view: membership, merge frontier, and
 	// shard occupancy.
 	Workers []RouterWorkerStats `json:"workers"`
@@ -80,4 +87,14 @@ type RouterWorkerStats struct {
 	// GroupsLive is the worker's live group count (from its /metrics) —
 	// the cluster's shard-occupancy signal.
 	GroupsLive int64 `json:"groups_live"`
+
+	// Forward digests the round-trip latency of ingest POSTs to this
+	// worker (including backpressure retries); MergeHold the time a
+	// result waited in the merge buffer between first arrival and the
+	// frontier passing its window; PunctLag the lag between forwarding a
+	// watermark and this worker's punctuation covering it. Milliseconds;
+	// nil until the lane records a sample.
+	Forward   *obs.Summary `json:"forward_ms,omitempty"`
+	MergeHold *obs.Summary `json:"merge_hold_ms,omitempty"`
+	PunctLag  *obs.Summary `json:"punct_lag_ms,omitempty"`
 }

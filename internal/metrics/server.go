@@ -1,5 +1,7 @@
 package metrics
 
+import "github.com/sharon-project/sharon/internal/obs"
+
 // ServerStats is the point-in-time counter snapshot sharond serves on
 // /metrics: the network-facing complement of RunStats/ParallelStats for
 // an open-ended run — ingestion, backpressure, subscription, and
@@ -58,6 +60,14 @@ type ServerStats struct {
 	GroupsLive int64 `json:"groups_live"`
 	// Draining reports whether the server is shutting down.
 	Draining bool `json:"draining"`
+
+	// Stages digests the per-stage pipeline latency histograms (values
+	// in milliseconds; "wire_batch_events" is a size distribution in
+	// events). Keys: decode_ndjson, decode_binary, decode_stream,
+	// queue, apply, emit, fanout — see README "Observability" for the
+	// stage boundaries. A superset field: absent before the first
+	// sample only if the map is empty.
+	Stages map[string]obs.Summary `json:"stages,omitempty"`
 
 	// Parallel carries the shard-occupancy counters when the engine
 	// runs the parallel executor.

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestBucketBoundaries(t *testing.T) {
+	// Small values are exact.
+	for v := int64(0); v < 2*histSub; v++ {
+		if got := bucketIndex(v); got != int(v) {
+			t.Errorf("bucketIndex(%d) = %d, want exact", v, got)
+		}
+		if got := BucketUpper(int(v)); got != v {
+			t.Errorf("BucketUpper(%d) = %d, want %d", v, got, v)
+		}
+	}
+	// Every bucket's upper bound maps back to the bucket, uppers are
+	// strictly increasing, and the value just above one bucket's upper
+	// lands in the next.
+	prev := int64(-1)
+	for i := 0; i < NumBuckets; i++ {
+		up := BucketUpper(i)
+		if up <= prev {
+			t.Fatalf("BucketUpper(%d) = %d not > BucketUpper(%d) = %d", i, up, i-1, prev)
+		}
+		if got := bucketIndex(up); got != i {
+			t.Fatalf("bucketIndex(BucketUpper(%d)=%d) = %d", i, up, got)
+		}
+		if up < math.MaxInt64 {
+			if got := bucketIndex(up + 1); got != i+1 {
+				t.Fatalf("bucketIndex(%d) = %d, want %d", up+1, got, i+1)
+			}
+		}
+		prev = up
+	}
+	if bucketIndex(math.MaxInt64) != NumBuckets-1 {
+		t.Fatalf("MaxInt64 lands in bucket %d, want %d", bucketIndex(math.MaxInt64), NumBuckets-1)
+	}
+	// Negative values clamp to bucket 0 via Record.
+	var h Histogram
+	h.Record(-5)
+	if s := h.Snapshot(); s.Count != 1 || len(s.Buckets) != 1 || s.Buckets[0].Upper != 0 {
+		t.Fatalf("negative record snapshot = %+v", h.Snapshot())
+	}
+}
+
+func TestQuantileErrorBound(t *testing.T) {
+	var h Histogram
+	const n = 100000
+	for v := int64(1); v <= n; v++ {
+		h.Record(v)
+	}
+	s := h.Snapshot()
+	if s.Count != n || s.Max != n {
+		t.Fatalf("count=%d max=%d", s.Count, s.Max)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := q * n
+		got := float64(s.Quantile(q))
+		// Bucketed estimate must sit within one bucket width above the
+		// true quantile: relative error <= 1/histSub = 12.5%.
+		if got < exact || got > exact*(1+1.0/histSub)+1 {
+			t.Errorf("Quantile(%g) = %g, exact %g: outside error bound", q, got, exact)
+		}
+	}
+	if got := s.Quantile(1); got != n {
+		t.Errorf("Quantile(1) = %d, want max %d", got, n)
+	}
+}
+
+func TestConcurrentRecordAndMerge(t *testing.T) {
+	// Hammer two histograms from concurrent goroutines (race-clean by
+	// construction; the CI race job runs this under -race), then merge
+	// and check nothing was lost.
+	var a, b Histogram
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				v := rng.Int63n(1 << 40)
+				if seed%2 == 0 {
+					a.Record(v)
+				} else {
+					b.Record(v)
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+
+	sa, sb := a.Snapshot(), b.Snapshot()
+	if sa.Count+sb.Count != workers*per {
+		t.Fatalf("lost records: %d + %d != %d", sa.Count, sb.Count, workers*per)
+	}
+	a.Merge(&b)
+	m := a.Snapshot()
+	if m.Count != workers*per {
+		t.Fatalf("merged count = %d, want %d", m.Count, workers*per)
+	}
+	if m.Sum != sa.Sum+sb.Sum {
+		t.Fatalf("merged sum = %d, want %d", m.Sum, sa.Sum+sb.Sum)
+	}
+	if want := max(sa.Max, sb.Max); m.Max != want {
+		t.Fatalf("merged max = %d, want %d", m.Max, want)
+	}
+	var total int64
+	for _, bk := range m.Buckets {
+		total += bk.Count
+	}
+	if total != m.Count {
+		t.Fatalf("bucket total %d != count %d", total, m.Count)
+	}
+}
+
+func TestSummaryScaling(t *testing.T) {
+	var h Histogram
+	h.Record(2_000_000) // 2ms in ns
+	s := h.Snapshot().Summary(1e-6)
+	if s.Count != 1 || s.Max != 2 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.P50 < 2 || s.P50 > 2*(1+1.0/histSub) {
+		t.Fatalf("p50 = %g out of bound", s.P50)
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i))
+	}
+}

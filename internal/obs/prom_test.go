@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"flag"
+	"math"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+func buildExposition() *PromWriter {
+	var h Histogram
+	for _, v := range []int64{900, 1500, 1500, 40_000, 2_000_000} {
+		h.Record(v)
+	}
+	w := &PromWriter{}
+	w.Gauge("sharon_uptime_seconds", "Seconds since the server started.", nil, 12.5)
+	w.Counter("sharon_events_ingested_total", "Events admitted to the pipeline.", nil, 123456)
+	w.Counter("sharon_events_dropped_total", "Events dropped before apply.", []string{"reason", "late"}, 3)
+	w.Counter("sharon_events_dropped_total", "Events dropped before apply.", []string{"reason", "unknown_type"}, 1)
+	w.Histogram("sharon_stage_latency_seconds", "Per-stage pipeline latency.", []string{"stage", "apply"}, h.Snapshot(), 1e-9)
+	w.SummaryQuantiles("sharon_cluster_worker_stage_latency_seconds", "Worker-scraped stage digest.", []string{"worker", "w1", "stage", "emit"}, Summary{Count: 7, Sum: 14, P50: 1, P90: 2, P99: 3, P999: 4, Max: 5}, 1e-3)
+	w.Gauge("sharon_escapes", `tricky "help" with \ and`+"\nnewline", []string{"path", `C:\x "q"` + "\n"}, 1)
+	return w
+}
+
+func TestPromGolden(t *testing.T) {
+	got := buildExposition().Bytes()
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("exposition differs from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestPromValid checks the v0.0.4 invariants on the writer's output:
+// every sample parses, every family has exactly one HELP/TYPE header
+// before its first sample, histogram buckets are cumulative and
+// monotone with a closing +Inf equal to _count, and _sum is present.
+func TestPromValid(t *testing.T) {
+	out := string(buildExposition().Bytes())
+	samples, err := ParseProm([]byte(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) == 0 {
+		t.Fatal("no samples parsed")
+	}
+
+	headers := map[string]int{}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			headers[strings.Fields(line)[2]]++
+		}
+	}
+	for fam, n := range headers {
+		if n != 1 {
+			t.Errorf("family %s has %d TYPE headers", fam, n)
+		}
+	}
+	for _, s := range samples {
+		fam := s.Name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if base := strings.TrimSuffix(fam, suf); base != fam && headers[base] > 0 {
+				fam = base
+				break
+			}
+		}
+		if headers[fam] == 0 {
+			t.Errorf("sample %s has no TYPE header", s.Name)
+		}
+	}
+
+	// Histogram invariants for the one emitted histogram family.
+	var prev float64 = -1
+	var cum []float64
+	var les []float64
+	for _, s := range samples {
+		if s.Name != "sharon_stage_latency_seconds_bucket" {
+			continue
+		}
+		le, err := parsePromValue(s.Labels["le"])
+		if err != nil {
+			t.Fatalf("bad le: %v", err)
+		}
+		if le <= prev {
+			t.Errorf("le %g not increasing after %g", le, prev)
+		}
+		prev = le
+		les = append(les, le)
+		cum = append(cum, s.Value)
+	}
+	if len(cum) == 0 {
+		t.Fatal("no histogram buckets")
+	}
+	if !math.IsInf(les[len(les)-1], 1) {
+		t.Error("histogram does not close with le=+Inf")
+	}
+	for i := 1; i < len(cum); i++ {
+		if cum[i] < cum[i-1] {
+			t.Errorf("bucket counts not cumulative: %v", cum)
+		}
+	}
+	count, ok := FindSample(samples, "sharon_stage_latency_seconds_count", map[string]string{"stage": "apply"})
+	if !ok || count != cum[len(cum)-1] {
+		t.Errorf("_count %g != +Inf bucket %g", count, cum[len(cum)-1])
+	}
+	if _, ok := FindSample(samples, "sharon_stage_latency_seconds_sum", map[string]string{"stage": "apply"}); !ok {
+		t.Error("_sum missing")
+	}
+
+	// Label escaping survives a round-trip.
+	if v, ok := FindSample(samples, "sharon_escapes", map[string]string{"path": `C:\x "q"` + "\n"}); !ok || v != 1 {
+		t.Errorf("escaped label did not round-trip (ok=%v v=%g)", ok, v)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	for v := int64(1); v <= 1000; v++ {
+		h.Record(v * 1000) // 1..1000 microseconds in ns
+	}
+	w := &PromWriter{}
+	w.Histogram("lat", "h", nil, h.Snapshot(), 1e-9)
+	samples, err := ParseProm(w.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p99, ok := HistogramQuantile(samples, "lat", 0.99, nil)
+	if !ok {
+		t.Fatal("no buckets found")
+	}
+	if exact := 990e-6; p99 < exact || p99 > exact*1.2 {
+		t.Errorf("p99 = %g, want ~%g", p99, exact)
+	}
+	if _, ok := HistogramQuantile(samples, "nope", 0.5, nil); ok {
+		t.Error("quantile of missing family should report !ok")
+	}
+}
+
+func TestMetricsFormat(t *testing.T) {
+	cases := []struct {
+		url, accept, want string
+	}{
+		{"/metrics", "", "json"},
+		{"/metrics", "*/*", "json"},
+		{"/metrics", "application/json", "json"},
+		{"/metrics", "text/plain;version=0.0.4", "prometheus"},
+		{"/metrics", "application/openmetrics-text", "prometheus"},
+		{"/metrics?format=prometheus", "application/json", "prometheus"},
+		{"/metrics?format=json", "text/plain", "json"},
+	}
+	for _, c := range cases {
+		r := httptest.NewRequest("GET", c.url, nil)
+		if c.accept != "" {
+			r.Header.Set("Accept", c.accept)
+		}
+		if got := MetricsFormat(r); got != c.want {
+			t.Errorf("MetricsFormat(%q, Accept=%q) = %q, want %q", c.url, c.accept, got, c.want)
+		}
+	}
+}

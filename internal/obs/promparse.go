@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromSample is one parsed exposition sample.
+type PromSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// ParseProm parses the Prometheus text exposition format (the subset
+// PromWriter emits plus optional timestamps). It is what sharon-load's
+// -watch ticker and the CI smoke assertions read scrapes with.
+func ParseProm(data []byte) ([]PromSample, error) {
+	var out []PromSample
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parsePromLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("prometheus parse: line %d: %w", ln+1, err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func parsePromLine(line string) (PromSample, error) {
+	s := PromSample{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return s, fmt.Errorf("no value in %q", line)
+	} else {
+		s.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if strings.HasPrefix(rest, "{") {
+		rest = rest[1:]
+		for !strings.HasPrefix(rest, "}") {
+			eq := strings.Index(rest, "=")
+			if eq < 0 || len(rest) < eq+2 || rest[eq+1] != '"' {
+				return s, fmt.Errorf("malformed label in %q", line)
+			}
+			key := rest[:eq]
+			rest = rest[eq+2:]
+			var val strings.Builder
+			for {
+				if rest == "" {
+					return s, fmt.Errorf("unterminated label value in %q", line)
+				}
+				c := rest[0]
+				if c == '"' {
+					rest = rest[1:]
+					break
+				}
+				if c == '\\' && len(rest) >= 2 {
+					switch rest[1] {
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						val.WriteByte(rest[1])
+					}
+					rest = rest[2:]
+					continue
+				}
+				val.WriteByte(c)
+				rest = rest[1:]
+			}
+			s.Labels[key] = val.String()
+			rest = strings.TrimPrefix(rest, ",")
+		}
+		rest = rest[1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 {
+		return s, fmt.Errorf("no value in %q", line)
+	}
+	v, err := parsePromValue(fields[0])
+	if err != nil {
+		return s, err
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parsePromValue(f string) (float64, error) {
+	switch f {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(f, 64)
+}
+
+// matches reports whether the sample carries every label in want.
+func (s PromSample) matches(want map[string]string) bool {
+	for k, v := range want {
+		if s.Labels[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// FindSample returns the value of the first sample with the given name
+// carrying every label in want (want may be nil).
+func FindSample(samples []PromSample, name string, want map[string]string) (float64, bool) {
+	for _, s := range samples {
+		if s.Name == name && s.matches(want) {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// HistogramQuantile estimates quantile q of an exposed histogram from
+// its cumulative <name>_bucket samples matching want (le excluded).
+// The result is in the exposed unit (seconds for latency families).
+func HistogramQuantile(samples []PromSample, name string, q float64, want map[string]string) (float64, bool) {
+	type edge struct {
+		le  float64
+		cum float64
+	}
+	var edges []edge
+	for _, s := range samples {
+		if s.Name != name+"_bucket" || !s.matches(want) {
+			continue
+		}
+		le, err := parsePromValue(s.Labels["le"])
+		if err != nil {
+			continue
+		}
+		edges = append(edges, edge{le, s.Value})
+	}
+	if len(edges) == 0 {
+		return 0, false
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].le < edges[j].le })
+	total := edges[len(edges)-1].cum
+	if total == 0 {
+		return 0, true
+	}
+	rank := math.Ceil(q * total)
+	if rank < 1 {
+		rank = 1
+	}
+	for _, e := range edges {
+		if e.cum >= rank {
+			return e.le, true
+		}
+	}
+	return edges[len(edges)-1].le, true
+}

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"strings"
+)
+
+// NewLogfLogger bridges structured slog records onto a printf-style
+// sink: each record renders as "msg key=value ...". It keeps the
+// servers' configurable Logf seam (tests capture lines, -v wires
+// log.Printf) while the code logs structured fields; nil logf yields a
+// discard logger.
+func NewLogfLogger(logf func(format string, args ...any)) *slog.Logger {
+	if logf == nil {
+		return slog.New(logfHandler{logf: func(string, ...any) {}})
+	}
+	return slog.New(logfHandler{logf: logf})
+}
+
+type logfHandler struct {
+	logf   func(format string, args ...any)
+	prefix string // rendered WithAttrs/WithGroup context
+	group  string
+}
+
+func (h logfHandler) Enabled(context.Context, slog.Level) bool { return true }
+
+func (h logfHandler) Handle(_ context.Context, r slog.Record) error {
+	var b strings.Builder
+	if r.Level != slog.LevelInfo {
+		b.WriteString(r.Level.String())
+		b.WriteByte(' ')
+	}
+	b.WriteString(r.Message)
+	b.WriteString(h.prefix)
+	r.Attrs(func(a slog.Attr) bool {
+		appendAttr(&b, h.group, a)
+		return true
+	})
+	h.logf("%s", b.String())
+	return nil
+}
+
+func (h logfHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	var b strings.Builder
+	b.WriteString(h.prefix)
+	for _, a := range attrs {
+		appendAttr(&b, h.group, a)
+	}
+	h.prefix = b.String()
+	return h
+}
+
+func (h logfHandler) WithGroup(name string) slog.Handler {
+	if name != "" {
+		h.group = h.group + name + "."
+	}
+	return h
+}
+
+func appendAttr(b *strings.Builder, group string, a slog.Attr) {
+	if a.Value.Kind() == slog.KindGroup {
+		if a.Key != "" {
+			group = group + a.Key + "."
+		}
+		for _, ga := range a.Value.Group() {
+			appendAttr(b, group, ga)
+		}
+		return
+	}
+	if a.Key == "" {
+		return
+	}
+	fmt.Fprintf(b, " %s%s=%v", group, a.Key, a.Value)
+}

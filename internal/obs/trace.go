@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"sync"
+)
+
+// Span is one recorded pipeline event: a batch's trip through the pump,
+// a window close reaching emit, a rebalance. Spans are intentionally
+// flat — a fixed struct, no payload allocation — so recording them
+// always costs the same.
+type Span struct {
+	// ID is a monotonically increasing sequence number.
+	ID int64 `json:"id"`
+	// Kind tags the span ("batch", "window", "rebalance", ...).
+	Kind string `json:"kind"`
+	// Start is the span's start time in Unix nanoseconds.
+	Start int64 `json:"start_unix_nano"`
+	// DurNs is the span's duration in nanoseconds.
+	DurNs int64 `json:"dur_ns"`
+	// Conn identifies the ingest connection, when one applies.
+	Conn int64 `json:"conn,omitempty"`
+	// Batch is the server's batch ordinal, when one applies.
+	Batch int64 `json:"batch,omitempty"`
+	// Events is the number of events the span covered.
+	Events int64 `json:"events,omitempty"`
+	// Watermark is the watermark the span ran under or closed at.
+	Watermark int64 `json:"watermark,omitempty"`
+	// Seq is the emitted result sequence number, for emit spans.
+	Seq int64 `json:"seq,omitempty"`
+	// Note carries free-form context (worker id, error text, ...).
+	Note string `json:"note,omitempty"`
+}
+
+// Tracer is a fixed-capacity ring of recent spans, always on: recording
+// overwrites the oldest entry and never allocates after construction.
+// Dumped via GET /debug/traces.
+type Tracer struct {
+	mu   sync.Mutex
+	ring []Span
+	next int
+	full bool
+	id   int64
+}
+
+// NewTracer returns a tracer retaining the last capacity spans.
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{ring: make([]Span, capacity)}
+}
+
+// Record stores the span (assigning its ID) and returns the ID.
+//
+//sharon:locksafe
+func (t *Tracer) Record(s Span) int64 {
+	t.mu.Lock()
+	t.id++
+	s.ID = t.id
+	t.ring[t.next] = s
+	t.next = (t.next + 1) % len(t.ring)
+	if t.next == 0 {
+		t.full = true
+	}
+	t.mu.Unlock()
+	return s.ID
+}
+
+// Spans returns up to n of the most recent spans in recording order.
+func (t *Tracer) Spans(n int) []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	size := t.next
+	if t.full {
+		size = len(t.ring)
+	}
+	if n <= 0 || n > size {
+		n = size
+	}
+	out := make([]Span, 0, n)
+	start := t.next - n
+	if start < 0 {
+		start += len(t.ring)
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, t.ring[(start+i)%len(t.ring)])
+	}
+	return out
+}

@@ -1,0 +1,28 @@
+package obs
+
+import "testing"
+
+func TestTracerRingWrap(t *testing.T) {
+	tr := NewTracer(4)
+	if got := tr.Spans(0); len(got) != 0 {
+		t.Fatalf("empty tracer returned %d spans", len(got))
+	}
+	for i := int64(1); i <= 10; i++ {
+		id := tr.Record(Span{Kind: "batch", Start: i})
+		if id != i {
+			t.Fatalf("Record assigned id %d, want %d", id, i)
+		}
+	}
+	got := tr.Spans(0)
+	if len(got) != 4 {
+		t.Fatalf("got %d spans, want ring capacity 4", len(got))
+	}
+	for i, s := range got {
+		if want := int64(7 + i); s.ID != want || s.Start != want {
+			t.Fatalf("span[%d] = %+v, want id/start %d", i, s, want)
+		}
+	}
+	if got := tr.Spans(2); len(got) != 2 || got[0].ID != 9 || got[1].ID != 10 {
+		t.Fatalf("Spans(2) = %+v", got)
+	}
+}

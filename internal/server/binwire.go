@@ -312,6 +312,10 @@ func decodeWireEvents(d *persist.Decoder, n int, table []sharon.Type, b *Batch, 
 		//sharon:allow hotpathalloc (amortized: pooled Batch buffers retain event capacity across requests)
 		b.Events = append(b.Events, sharon.Event{Time: t, Type: table[id], Key: sharon.GroupKey(key), Val: val})
 	}
+	// Frame-size telemetry at the decode edge: one atomic histogram
+	// record per frame, amortized to nothing per event — and the proof
+	// that obs recording is legal on the hot-path call graph.
+	wireBatchEvents.Record(int64(n))
 	return floor, nil
 }
 

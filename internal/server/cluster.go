@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
 	sharon "github.com/sharon-project/sharon"
 	"github.com/sharon-project/sharon/internal/chash"
@@ -223,7 +224,7 @@ func (s *Server) adoptApply(a *persist.AdoptRecord) (groups int, regen int64, er
 		s.emitted.Add(1)
 		payload := EncodeResult(qs, seq, r)
 		s.ring.Append(seq, payload)
-		s.hub.Publish(r.Query, seq, payload)
+		s.hub.Publish(r.Query, seq, payload, time.Now().UnixNano())
 		regen++
 	}
 	tmp, err := sharon.NewSystem(w, sharon.Options{

@@ -16,6 +16,10 @@ type resultFrame struct {
 	seq     int64
 	payload []byte
 	ctl     string
+	// at is the publisher's emit stamp in Unix nanoseconds (0 for
+	// control and replayed frames); the stream writer records the
+	// fan-out-write stage latency against it.
+	at int64
 }
 
 // subscriber is one live result subscription. Encoded results are
@@ -91,11 +95,14 @@ func (h *Hub) drop(s *subscriber) {
 // A subscriber whose buffer is full is marked slow and dropped: its
 // channel closes, and its handler terminates the connection. Delivery
 // is a non-blocking send, so Publish never parks while its caller
-// holds a lock.
+// holds a lock. at is the publisher's emit stamp (Unix nanoseconds,
+// 0 = unstamped) carried to the stream writers for fan-out timing —
+// a passed-in value, so this function stays clock-free and
+// deterministic.
 //
 //sharon:locksafe
 //sharon:deterministic
-func (h *Hub) Publish(query int, seq int64, payload []byte) {
+func (h *Hub) Publish(query int, seq int64, payload []byte, at int64) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	//sharon:allow deterministicemit (per-subscriber frame streams are independent; each subscriber sees frames in publish-call order regardless of set iteration)
@@ -103,7 +110,7 @@ func (h *Hub) Publish(query int, seq int64, payload []byte) {
 		if s.query >= 0 && s.query != query {
 			continue
 		}
-		h.deliver(s, resultFrame{seq: seq, payload: payload})
+		h.deliver(s, resultFrame{seq: seq, payload: payload, at: at})
 	}
 }
 

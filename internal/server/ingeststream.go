@@ -46,6 +46,10 @@ func (s *Server) handleIngestStream(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusInternalServerError, "full-duplex streaming unsupported: %v", err)
 		return
 	}
+	conn := s.connID.Add(1)
+	log := s.log.With("conn", conn, "remote", r.RemoteAddr)
+	log.Debug("stream ingest open")
+	defer log.Debug("stream ingest closed")
 	w.Header().Set("Content-Type", BatchContentType)
 	w.WriteHeader(http.StatusOK)
 	if err := rc.Flush(); err != nil {
@@ -118,12 +122,14 @@ func (s *Server) handleIngestStream(w http.ResponseWriter, r *http.Request) {
 // streamBatch decodes and enqueues one streaming batch frame body and
 // writes its ack; it reports whether the stream should continue.
 func (s *Server) streamBatch(body []byte, table []sharon.Type, writeAck func(WireAck) bool) bool {
+	decodeStart := time.Now()
 	b := GetBatch()
 	if _, err := decodeWireBatchBody(body, table, b, -1); err != nil {
 		PutBatch(b)
 		writeAck(WireAck{Status: WireAckBad})
 		return false
 	}
+	s.stages.decodeStream.Record(time.Since(decodeStart).Nanoseconds())
 	accepted, unknown := int64(len(b.Events)), b.Unknown
 	s.droppedUnknown.Add(unknown)
 	if accepted == 0 && b.Watermark < 0 {
@@ -133,6 +139,9 @@ func (s *Server) streamBatch(body []byte, table []sharon.Type, writeAck func(Wir
 	msg := pumpMsg{batch: *b, recycle: b}
 	deadline := time.Now().Add(s.cfg.streamAckAfter)
 	for {
+		// Re-stamp per attempt so queue-stage time starts at the admit
+		// that actually succeeded, not at the first full-queue refusal.
+		msg.admitNano = time.Now().UnixNano()
 		ok, draining := s.tryEnqueue(msg)
 		switch {
 		case ok:

@@ -1,0 +1,138 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+
+	"github.com/sharon-project/sharon/internal/metrics"
+	"github.com/sharon-project/sharon/internal/obs"
+)
+
+// serverStages aggregates per-stage pipeline latency so /metrics can
+// answer "where does ingest-to-emit latency go" server-side. Stage
+// boundaries (all recorded in nanoseconds):
+//
+//	decode_*  request read + parse, per wire path (ndjson | binary
+//	          one-shot | stream frame)
+//	queue     ingest-queue admit → pump dequeue
+//	apply     engine feed + watermark advance for one batch
+//	emit      ingest-queue admit → result published (ingest-to-emit)
+//	fanout    result published → subscriber socket write
+type serverStages struct {
+	decodeNDJSON obs.Histogram
+	decodeBinary obs.Histogram
+	decodeStream obs.Histogram
+	queue        obs.Histogram
+	apply        obs.Histogram
+	emit         obs.Histogram
+	fanout       obs.Histogram
+}
+
+// wireBatchEvents is the per-frame batch-size distribution at the
+// binary decode edge. It is recorded inside decodeWireEvents — on the
+// hot-path call graph, which is the point: obs recording provably
+// passes the hotpathalloc gate. Process-global because the decoder is
+// shared API surface (the router calls DecodeWireBatch too); one
+// sharond process hosts one server, and the router exposes its own.
+var wireBatchEvents obs.Histogram
+
+// summaries digests the stage histograms for the JSON /metrics form
+// (milliseconds; the batch-size series stays in events).
+func (st *serverStages) summaries() map[string]obs.Summary {
+	return map[string]obs.Summary{
+		"decode_ndjson":     st.decodeNDJSON.Snapshot().Summary(1e-6),
+		"decode_binary":     st.decodeBinary.Snapshot().Summary(1e-6),
+		"decode_stream":     st.decodeStream.Snapshot().Summary(1e-6),
+		"queue":             st.queue.Snapshot().Summary(1e-6),
+		"apply":             st.apply.Snapshot().Summary(1e-6),
+		"emit":              st.emit.Snapshot().Summary(1e-6),
+		"fanout":            st.fanout.Snapshot().Summary(1e-6),
+		"wire_batch_events": wireBatchEvents.Snapshot().Summary(1),
+	}
+}
+
+// promStages lists the latency stages in stable exposition order.
+func (st *serverStages) promStages() []struct {
+	name string
+	h    *obs.Histogram
+} {
+	return []struct {
+		name string
+		h    *obs.Histogram
+	}{
+		{"decode_ndjson", &st.decodeNDJSON},
+		{"decode_binary", &st.decodeBinary},
+		{"decode_stream", &st.decodeStream},
+		{"queue", &st.queue},
+		{"apply", &st.apply},
+		{"emit", &st.emit},
+		{"fanout", &st.fanout},
+	}
+}
+
+// writeProm renders the full ServerStats snapshot in the Prometheus
+// text exposition format v0.0.4 (the JSON form's counters plus the
+// stage histograms with their buckets).
+func (s *Server) writeProm(w http.ResponseWriter, st metrics.ServerStats) {
+	pw := &obs.PromWriter{}
+	pw.Gauge("sharon_uptime_seconds", "Seconds since the server started.", nil, st.UptimeSec)
+	pw.Gauge("sharon_queries", "Registered queries.", nil, float64(st.Queries))
+	pw.Gauge("sharon_parallelism", "Configured shard worker count.", nil, float64(st.Parallelism))
+	pw.Counter("sharon_events_ingested_total", "Events accepted into the engine.", nil, float64(st.EventsIngested))
+	pw.Counter("sharon_events_dropped_total", "Events discarded before apply, by reason.", []string{"reason", "late"}, float64(st.EventsDroppedLate))
+	pw.Counter("sharon_events_dropped_total", "Events discarded before apply, by reason.", []string{"reason", "unknown_type"}, float64(st.EventsDroppedUnknownType))
+	pw.Counter("sharon_batches_total", "Accepted ingest batches.", nil, float64(st.Batches))
+	pw.Counter("sharon_rejected_total", "Refused ingest requests, by reason.", []string{"reason", "backpressure"}, float64(st.RejectedBackpressure))
+	pw.Counter("sharon_rejected_total", "Refused ingest requests, by reason.", []string{"reason", "oversize"}, float64(st.RejectedOversize))
+	pw.Gauge("sharon_ingest_queue_depth", "Parsed batches queued ahead of the pump.", nil, float64(st.IngestQueueDepth))
+	pw.Gauge("sharon_ingest_queue_cap", "Ingest queue capacity.", nil, float64(st.IngestQueueCap))
+	pw.Gauge("sharon_watermark", "Stream watermark in ticks (-1 before the first).", nil, float64(st.Watermark))
+	pw.Counter("sharon_results_emitted_total", "Results pushed to the server sink.", nil, float64(st.ResultsEmitted))
+	pw.Counter("sharon_results_delivered_total", "Result frames fanned out to subscribers.", nil, float64(st.ResultsDelivered))
+	pw.Gauge("sharon_subscribers", "Live result subscriptions.", nil, float64(st.Subscribers))
+	pw.Counter("sharon_slow_consumer_disconnects_total", "Subscribers dropped on delivery-buffer overflow.", nil, float64(st.SlowConsumerDisconnects))
+	pw.Counter("sharon_migrations_total", "Live workload changes that installed a new plan.", nil, float64(st.Migrations))
+	pw.Gauge("sharon_peak_live_states", "Peak live aggregate-state count.", nil, float64(st.PeakLiveStates))
+	pw.Gauge("sharon_groups_live", "Live per-group runtimes owned by the engine.", nil, float64(st.GroupsLive))
+	pw.Gauge("sharon_draining", "1 while the server is shutting down.", nil, boolGauge(st.Draining))
+
+	const stageHelp = "Per-stage pipeline latency (see README Observability for stage boundaries)."
+	for _, sg := range s.stages.promStages() {
+		pw.Histogram("sharon_stage_latency_seconds", stageHelp, []string{"stage", sg.name}, sg.h.Snapshot(), 1e-9)
+	}
+	pw.Histogram("sharon_wire_batch_events", "Events per binary wire frame at the decode edge.", nil, wireBatchEvents.Snapshot(), 1)
+
+	if p := st.Parallel; p != nil {
+		pw.Gauge("sharon_parallel_workers", "Parallel executor worker count.", nil, float64(p.Workers))
+		pw.Counter("sharon_parallel_events_fed_total", "Events fed to shard workers.", nil, float64(p.EventsFed))
+		pw.Counter("sharon_parallel_rounds_total", "Parallel feed/merge rounds.", nil, float64(p.Rounds))
+		pw.Counter("sharon_parallel_results_merged_total", "Results merged from shard workers.", nil, float64(p.ResultsMerged))
+		pw.Gauge("sharon_parallel_imbalance", "Shard occupancy imbalance ratio.", nil, p.Imbalance)
+	}
+	if d := st.Durability; d != nil {
+		pw.Gauge("sharon_wal_bytes", "Live WAL size in bytes.", nil, float64(d.WalBytes))
+		pw.Gauge("sharon_wal_segments", "Live WAL segment count.", nil, float64(d.WalSegments))
+		pw.Counter("sharon_wal_appended_total", "WAL records appended since boot.", nil, float64(d.WalAppended))
+		pw.Counter("sharon_wal_syncs_total", "WAL fsyncs since boot.", nil, float64(d.WalSyncs))
+		pw.Counter("sharon_checkpoints_total", "Checkpoints written since boot.", nil, float64(d.Checkpoints))
+		pw.Gauge("sharon_last_checkpoint_age_seconds", "Age of the newest checkpoint (-1 before the first).", nil, d.LastCheckpointAgeSec)
+		pw.Gauge("sharon_recovering", "1 while WAL replay is running.", nil, boolGauge(d.Recovering))
+	}
+
+	w.Header().Set("Content-Type", obs.PromContentType)
+	_, _ = w.Write(pw.Bytes())
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// handleTraces dumps the most recent pipeline spans (?n= bounds the
+// count, default all retained) as JSON.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	n, _ := strconv.Atoi(r.URL.Query().Get("n"))
+	writeJSON(w, http.StatusOK, map[string]any{"spans": s.tracer.Spans(n)})
+}

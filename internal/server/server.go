@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
@@ -14,6 +15,7 @@ import (
 
 	sharon "github.com/sharon-project/sharon"
 	"github.com/sharon-project/sharon/internal/metrics"
+	"github.com/sharon-project/sharon/internal/obs"
 	"github.com/sharon-project/sharon/internal/persist"
 )
 
@@ -82,6 +84,14 @@ type Config struct {
 	WriteTimeout time.Duration
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
+	// Logger receives structured operational logs. Nil bridges onto
+	// Logf (so existing -v / test sinks keep every line); set it to a
+	// real slog handler for leveled text/JSON output (sharond
+	// -log-format).
+	Logger *slog.Logger
+	// TraceSpans bounds the always-on span ring served by
+	// GET /debug/traces (default 1024 spans).
+	TraceSpans int
 
 	// streamAckAfter bounds how long a streaming-ingest batch waits for
 	// queue space before the server acks busy (the stream's
@@ -131,6 +141,12 @@ func (c *Config) fill() {
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
+	if c.Logger == nil {
+		c.Logger = obs.NewLogfLogger(c.Logf)
+	}
+	if c.TraceSpans <= 0 {
+		c.TraceSpans = 1024
+	}
 }
 
 // pumpMsg is one unit of pump work: a parsed ingest batch or a
@@ -142,6 +158,9 @@ type pumpMsg struct {
 	batch   Batch
 	ctl     *ctlReq
 	recycle *Batch
+	// admitNano stamps when the message entered the ingest queue
+	// (obs stage timing); 0 skips the queue/emit stage records.
+	admitNano int64
 }
 
 // workloadView is the immutable snapshot handlers read lock-free.
@@ -157,11 +176,25 @@ type workloadView struct {
 // engine, a bounded ingest queue in front of it, and a hub fanning the
 // engine's OnResult sink out to the subscriptions.
 type Server struct {
-	cfg   Config
-	reg   *sharon.Registry
-	hub   *Hub
-	mux   *http.ServeMux
-	start time.Time
+	cfg    Config
+	reg    *sharon.Registry
+	hub    *Hub
+	mux    *http.ServeMux
+	start  time.Time
+	log    *slog.Logger
+	tracer *obs.Tracer
+
+	// stages aggregates per-stage pipeline latency (see obs.go).
+	stages serverStages
+	// batchStamp is the admit time of the step the pump is currently
+	// applying; the sink reads it to attribute emitted results to their
+	// triggering batch (the ingest-to-emit "emit" stage).
+	batchStamp atomic.Int64
+	// connID numbers streaming-ingest connections for log correlation.
+	connID atomic.Int64
+	// lastWinTraced dedups window-close trace spans (one per window,
+	// not one per (query, group) result).
+	lastWinTraced atomic.Int64
 
 	// Lock-free snapshots for the HTTP handlers.
 	types atomic.Value // map[string]sharon.Type
@@ -240,7 +273,10 @@ func New(cfg Config) (*Server, error) {
 		appliedSeq:    -1,
 		lastCkptTimer: time.Now(),
 	}
+	s.log = cfg.Logger
+	s.tracer = obs.NewTracer(cfg.TraceSpans)
 	s.wm.Store(-1)
+	s.lastWinTraced.Store(-1)
 
 	if cfg.DataDir != "" {
 		if err := s.initDurability(); err != nil {
@@ -406,6 +442,13 @@ func (s *Server) pump() {
 //
 //sharon:pump
 func (s *Server) step(msg pumpMsg) {
+	stepStart := time.Now()
+	if msg.admitNano > 0 {
+		s.stages.queue.Record(stepStart.UnixNano() - msg.admitNano)
+		s.batchStamp.Store(msg.admitNano)
+	} else {
+		s.batchStamp.Store(stepStart.UnixNano())
+	}
 	if msg.ctl != nil {
 		switch {
 		case msg.ctl.adopt != nil:
@@ -450,7 +493,22 @@ func (s *Server) step(msg pumpMsg) {
 		}
 		s.appliedSeq = seq
 	}
+	applyStart := time.Now()
 	s.applyBatch(events, wm)
+	if len(events) > 0 {
+		// Recorded under the same condition applyBatch counts a batch, so
+		// the apply stage's count equals the batches counter for live
+		// traffic — the invariant the CI smoke jobs assert.
+		s.stages.apply.Record(time.Since(applyStart).Nanoseconds())
+		s.tracer.Record(obs.Span{
+			Kind:      "batch",
+			Start:     s.batchStamp.Load(),
+			DurNs:     time.Now().UnixNano() - s.batchStamp.Load(),
+			Batch:     s.batches.Load(),
+			Events:    int64(len(events)),
+			Watermark: s.wmState,
+		})
+	}
 	s.maybeCheckpoint()
 	s.punctuate()
 }
@@ -543,7 +601,7 @@ func (s *Server) clampWatermarkFrom(base, wm int64) int64 {
 		base = 0
 	}
 	if limit := base + s.maxAdvance.Load(); wm > limit {
-		s.cfg.Logf("watermark %d clamped to %d (max advance %d past stream position)", wm, limit, s.maxAdvance.Load())
+		s.log.Warn("watermark clamped", "requested", wm, "clamped_to", limit, "max_advance", s.maxAdvance.Load())
 		return limit
 	}
 	return wm
@@ -582,7 +640,7 @@ func (s *Server) publishEngineStats(force bool) {
 // fail records an engine error. The late filter makes ordering errors
 // unreachable, so any error here is a server bug surfaced on /healthz.
 func (s *Server) fail(err error) {
-	s.cfg.Logf("engine error: %v", err)
+	s.log.Error("engine error", "err", err)
 	s.runErr.CompareAndSwap(nil, err.Error())
 }
 
@@ -598,7 +656,7 @@ func (s *Server) finish() {
 		s.publishEngineStats(true)
 		s.checkpoint(true) // no-op while a workload change drains; the WAL covers it
 		if err := s.wal.Close(); err != nil {
-			s.cfg.Logf("wal close: %v", err)
+			s.log.Error("wal close", "err", err)
 		}
 		s.publishDurabilityStats()
 		if s.old != nil {
@@ -607,8 +665,7 @@ func (s *Server) finish() {
 		}
 		s.cur.eng.Close()
 		s.hub.Shutdown()
-		s.cfg.Logf("drained (durable): %d events, %d results, final checkpoint at wal seq %d",
-			s.ingested.Load(), s.emitted.Load(), s.appliedSeq)
+		s.log.Info("drained (durable)", "events", s.ingested.Load(), "results", s.emitted.Load(), "wal_seq", s.appliedSeq)
 		return
 	}
 	if s.old != nil {
@@ -624,7 +681,7 @@ func (s *Server) finish() {
 	s.cur.eng.Close()
 	s.publishEngineStats(true)
 	s.hub.Shutdown()
-	s.cfg.Logf("drained: %d events, %d results", s.ingested.Load(), s.emitted.Load())
+	s.log.Info("drained", "events", s.ingested.Load(), "results", s.emitted.Load())
 }
 
 // measuredRates converts the pump's observed per-type counts into
@@ -686,11 +743,11 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 		return err
 	case <-ctx.Done():
 	}
-	s.cfg.Logf("draining")
+	s.log.Info("draining")
 	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := s.Drain(drainCtx); err != nil {
-		s.cfg.Logf("drain: %v", err)
+		s.log.Error("drain", "err", err)
 	}
 	shutCtx, cancel2 := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel2()
@@ -705,6 +762,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /watermark", s.handleWatermark)
 	s.mux.HandleFunc("GET /subscribe", s.handleSubscribe)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /queries", s.handleQueriesGet)
 	s.mux.HandleFunc("POST /queries", s.handleQueriesPost)
@@ -741,7 +799,9 @@ GET    /subscribe     SSE result stream (?query=ID filters); data: frames carry
 GET    /queries       registered queries + sharing plan
 POST   /queries       {"query":"RETURN ..."} — live registration (plan diff in response)
 DELETE /queries/{id}  live deregistration
-GET    /metrics       ingestion/backpressure/subscription counters (JSON)
+GET    /metrics       counters + per-stage latency histograms; JSON by default,
+                      Prometheus text via ?format=prometheus or Accept: text/plain
+GET    /debug/traces  recent pipeline spans (batch apply, window emit) as JSON
 GET    /healthz       ok | draining
 POST   /cluster/extract  cluster rebalance: cut a hash range out (router-driven)
 POST   /cluster/adopt    cluster rebalance: graft a hash range in (router-driven)
@@ -798,16 +858,20 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBatchBytes)
 	lookup := s.types.Load().(map[string]sharon.Type)
 	batch := GetBatch()
+	decodeStart := time.Now()
 	var err error
+	var decodeStage *obs.Histogram
 	if IsBatchContentType(r.Header.Get("Content-Type")) {
 		// Binary one-shot: the body is a header + CRC frames. Reading it
 		// whole before decoding keeps the 413 boundary identical to the
 		// NDJSON path (MaxBytesReader fires before any decode).
+		decodeStage = &s.stages.decodeBinary
 		var data []byte
 		if data, err = io.ReadAll(body); err == nil {
 			err = DecodeWireBatch(data, lookup, batch)
 		}
 	} else {
+		decodeStage = &s.stages.decodeNDJSON
 		err = batch.ReadNDJSON(body, lookup)
 	}
 	if err != nil {
@@ -821,6 +885,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "parse: %v", err)
 		return
 	}
+	decodeStage.Record(time.Since(decodeStart).Nanoseconds())
 	// Counters are read before enqueue: once the pump has the message it
 	// may recycle the batch concurrently with this handler's response.
 	accepted, unknown := len(batch.Events), batch.Unknown
@@ -830,7 +895,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"accepted": 0, "dropped_unknown_type": unknown})
 		return
 	}
-	if !s.enqueue(w, pumpMsg{batch: *batch, recycle: batch}) {
+	if !s.enqueue(w, pumpMsg{batch: *batch, recycle: batch, admitNano: time.Now().UnixNano()}) {
 		PutBatch(batch)
 		return
 	}
@@ -848,7 +913,7 @@ func (s *Server) handleWatermark(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, `want {"watermark":<ticks>}`)
 		return
 	}
-	if !s.enqueue(w, pumpMsg{batch: Batch{Watermark: *line.Watermark}}) {
+	if !s.enqueue(w, pumpMsg{batch: Batch{Watermark: *line.Watermark}, admitNano: time.Now().UnixNano()}) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, map[string]any{"watermark": *line.Watermark})
@@ -866,6 +931,7 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 		SubscriberBuffer: s.cfg.SubscriberBuffer,
 		HeartbeatEvery:   s.cfg.HeartbeatEvery,
 		WriteTimeout:     s.cfg.WriteTimeout,
+		FanoutNs:         &s.stages.fanout,
 	})
 }
 
@@ -895,8 +961,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		PeakLiveStates:           s.peakStates.Load(),
 		GroupsLive:               s.groupsLive.Load(),
 		Draining:                 draining,
+		Stages:                   s.stages.summaries(),
 		Parallel:                 s.parStats.Load(),
 		Durability:               s.durabilityStats(),
+	}
+	if obs.MetricsFormat(r) == "prometheus" {
+		s.writeProm(w, st)
+		return
 	}
 	writeJSON(w, http.StatusOK, st)
 }

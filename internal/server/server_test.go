@@ -486,9 +486,9 @@ func TestHubSlowConsumer(t *testing.T) {
 	h := NewHub()
 	slow := h.subscribe(-1, 1, false)
 	fast := h.subscribe(-1, 8, false)
-	h.Publish(0, 0, []byte("r1"))
-	h.Publish(0, 1, []byte("r2")) // slow's buffer (1) is full: dropped
-	h.Publish(0, 2, []byte("r3"))
+	h.Publish(0, 0, []byte("r1"), 0)
+	h.Publish(0, 1, []byte("r2"), 0) // slow's buffer (1) is full: dropped
+	h.Publish(0, 2, []byte("r3"), 0)
 	if h.SlowDrops() != 1 {
 		t.Fatalf("slowDrops = %d, want 1", h.SlowDrops())
 	}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/sharon-project/sharon/internal/obs"
 	"github.com/sharon-project/sharon/internal/persist"
 )
 
@@ -122,6 +123,10 @@ type StreamOptions struct {
 	HeartbeatEvery time.Duration
 	// WriteTimeout is the per-write deadline.
 	WriteTimeout time.Duration
+	// FanoutNs, when non-nil, records publish-to-socket-write latency
+	// (nanoseconds) for each live result frame — the pipeline's
+	// fan-out stage.
+	FanoutNs *obs.Histogram
 }
 
 // ServeStream handles one SSE subscription request end to end:
@@ -285,6 +290,9 @@ func ServeStream(w http.ResponseWriter, r *http.Request, o StreamOptions) {
 				default:
 					if !push("data: " + string(frame.payload) + "\n\n") {
 						return
+					}
+					if o.FanoutNs != nil && frame.at > 0 {
+						o.FanoutNs.Record(time.Now().UnixNano() - frame.at)
 					}
 				}
 				select {

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math"
 	"sync/atomic"
+	"time"
 
 	sharon "github.com/sharon-project/sharon"
+	"github.com/sharon-project/sharon/internal/obs"
 )
 
 // engine is the slice of the public system API the server drives. All
@@ -107,8 +109,25 @@ func (sk *sink) onResult(r sharon.Result) {
 	seq := sk.srv.seq.Add(1) - 1
 	sk.srv.emitted.Add(1)
 	payload := EncodeResult(sk.qs, seq, r)
+	// Ingest-to-emit: attribute the result to the admit stamp of the
+	// step the pump is applying (the batch whose events or watermark
+	// closed this window). Reached only through the dynamic OnResult
+	// seam, so the wall clock here never taints a deterministic path.
+	now := time.Now().UnixNano()
+	if stamp := sk.srv.batchStamp.Load(); stamp > 0 {
+		sk.srv.stages.emit.Record(now - stamp)
+		if q, ok := sk.qs[r.Query]; ok && sk.srv.lastWinTraced.Swap(r.Win) != r.Win {
+			sk.srv.tracer.Record(obs.Span{
+				Kind:      "window",
+				Start:     stamp,
+				DurNs:     now - stamp,
+				Seq:       seq,
+				Watermark: q.Window.End(r.Win),
+			})
+		}
+	}
 	sk.srv.ring.Append(seq, payload)
-	sk.srv.hub.Publish(r.Query, seq, payload)
+	sk.srv.hub.Publish(r.Query, seq, payload, now)
 }
 
 // builtSystem pairs a running system with its sink and metadata.

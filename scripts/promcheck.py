@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text exposition (v0.0.4) and assert sample values.
+
+Usage:
+    promcheck.py FILE [ASSERTION...]
+
+Each ASSERTION is `series==value`, where series is a metric name with
+optional {label=value,...} selector (order-insensitive, subset match):
+
+    promcheck.py metrics.prom \
+        'sharon_events_ingested_total==100000' \
+        'sharon_stage_latency_seconds_count{stage=apply}==391'
+
+Beyond the assertions, the whole file is structurally validated: every
+sample line must parse, every histogram's le buckets must be cumulative
+and close with +Inf, and each histogram's _count must equal its +Inf
+bucket. Exits nonzero with a diagnostic on the first violation.
+"""
+
+import re
+import sys
+
+SAMPLE = re.compile(
+    r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(.*)\})?\s+(-?(?:\d+\.?\d*(?:[eE][+-]?\d+)?|Inf|NaN|\+Inf))$'
+)
+LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse(path):
+    samples = []  # (name, {labels}, value)
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.rstrip("\n")
+            if not line or line.startswith("#"):
+                continue
+            m = SAMPLE.match(line)
+            if not m:
+                sys.exit(f"{path}:{lineno}: unparseable sample line: {line!r}")
+            name, _, rawlabels, rawval = m.groups()
+            labels = {}
+            if rawlabels:
+                consumed = 0
+                for lm in LABEL.finditer(rawlabels):
+                    labels[lm.group(1)] = (
+                        lm.group(2)
+                        .replace(r"\"", '"')
+                        .replace(r"\n", "\n")
+                        .replace("\\\\", "\\")
+                    )
+                    consumed = lm.end()
+                rest = rawlabels[consumed:].strip(", ")
+                if rest:
+                    sys.exit(f"{path}:{lineno}: trailing label garbage: {rest!r}")
+            samples.append((name, labels, float(rawval)))
+    return samples
+
+
+def check_histograms(samples):
+    # Group _bucket series by (family, non-le labels).
+    groups = {}
+    for name, labels, val in samples:
+        if not name.endswith("_bucket") or "le" not in labels:
+            continue
+        key = (name[: -len("_bucket")], tuple(sorted((k, v) for k, v in labels.items() if k != "le")))
+        groups.setdefault(key, []).append((float(labels["le"]), val))
+    counts = {
+        (name[: -len("_count")], tuple(sorted(labels.items()))): val
+        for name, labels, val in samples
+        if name.endswith("_count")
+    }
+    for (fam, labels), buckets in groups.items():
+        buckets.sort(key=lambda b: b[0])
+        if buckets[-1][0] != float("inf"):
+            sys.exit(f"histogram {fam}{dict(labels)} does not close with +Inf")
+        prev = -1.0
+        for le, cum in buckets:
+            if cum < prev:
+                sys.exit(f"histogram {fam}{dict(labels)} not cumulative at le={le}")
+            prev = cum
+        want = counts.get((fam, labels))
+        if want is not None and want != buckets[-1][1]:
+            sys.exit(
+                f"histogram {fam}{dict(labels)}: _count {want} != +Inf bucket {buckets[-1][1]}"
+            )
+
+
+def lookup(samples, expr):
+    m = re.match(r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})?$', expr)
+    if not m:
+        sys.exit(f"bad series selector: {expr!r}")
+    name, rawsel = m.groups()
+    want = {}
+    if rawsel:
+        for part in rawsel.split(","):
+            k, _, v = part.partition("=")
+            want[k.strip()] = v.strip().strip('"')
+    hits = [
+        val
+        for n, labels, val in samples
+        if n == name and all(labels.get(k) == v for k, v in want.items())
+    ]
+    if not hits:
+        sys.exit(f"no sample matches {expr!r}")
+    if len(hits) > 1:
+        sys.exit(f"{len(hits)} samples match {expr!r}; tighten the selector")
+    return hits[0]
+
+
+def main():
+    if len(sys.argv) < 2:
+        sys.exit(__doc__)
+    samples = parse(sys.argv[1])
+    if not samples:
+        sys.exit(f"{sys.argv[1]}: no samples at all")
+    check_histograms(samples)
+    for assertion in sys.argv[2:]:
+        series, _, want = assertion.partition("==")
+        if not want:
+            sys.exit(f"bad assertion (need series==value): {assertion!r}")
+        got = lookup(samples, series.strip())
+        if got != float(want):
+            sys.exit(f"FAIL: {series.strip()} = {got}, want {want}")
+        print(f"ok: {series.strip()} == {want}")
+    print(f"{sys.argv[1]}: {len(samples)} samples, exposition valid")
+
+
+if __name__ == "__main__":
+    main()
