@@ -13,6 +13,7 @@
 //	sharon-bench -exp fig16             # plan quality
 //	sharon-bench -exp parallel          # sharded parallel executor scaling (not a paper figure)
 //	sharon-bench -exp hotpath           # steady-state per-event engine cost (ns/event, allocs/event)
+//	sharon-bench -exp bursty            # burst-adaptive share-vs-split vs static plans
 //	sharon-bench -exp server            # end-to-end sharond over loopback (ev/s, ingest-to-emit latency)
 //	sharon-bench -exp all [-scale 10]   # every paper experiment (scale 10 ≈ paper size)
 //
@@ -33,7 +34,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id: table1, fig13, fig14ae, fig14bf, fig14cg, fig15, fig16, parallel, hotpath, server, wire, all")
+		exp     = flag.String("exp", "all", "experiment id: table1, fig13, fig14ae, fig14bf, fig14cg, fig15, fig16, parallel, hotpath, bursty, server, wire, all")
 		scale   = flag.Float64("scale", 1, "stream size multiplier (1 ≈ paper shapes at 1/10 size, 10 ≈ paper size)")
 		seed    = flag.Int64("seed", 1, "generator seed")
 		jsonDir = flag.String("json", "", "directory to write machine-readable BENCH_<exp>.json results into (empty: don't)")
@@ -77,6 +78,17 @@ func main() {
 			}
 		}
 		writeJSON(*jsonDir, harness.BenchFile{Experiment: "wire", Records: recs})
+	case "bursty":
+		recs, err := harness.Bursty(cfg)
+		fail(err)
+		fmt.Printf("bursty — burst-adaptive share-vs-split vs static plans (square/poisson/ramp bursts + steady control)\n")
+		fmt.Print(harness.FormatBenchRecords(recs))
+		for _, r := range recs {
+			if r.Note != "" {
+				fmt.Printf("  %s: %s\n", r.Name, r.Note)
+			}
+		}
+		writeJSON(*jsonDir, harness.BenchFile{Experiment: "bursty", Records: recs})
 	case "hotpath":
 		recs, err := harness.Hotpath(cfg)
 		fail(err)

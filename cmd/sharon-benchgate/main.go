@@ -19,6 +19,15 @@
 //     tolerance) fails, skipped when the reference has no latency
 //     figure. Enabled with -latency-tolerance > 0.
 //
+// Besides fresh-vs-reference regression checks, -faster A:B:margin
+// (repeatable) asserts an ordering *within* the fresh file: record A's
+// ns/event must be at least margin below record B's (fresh[A] <=
+// fresh[B] * (1 - margin)). Both rows are measured in the same process
+// on the same machine, so the comparison is immune to runner-speed
+// variation — it gates a relationship (e.g. "the adaptive executor
+// beats the static shared plan on bursty streams"), not an absolute
+// cost.
+//
 // Usage:
 //
 //	go run ./cmd/sharon-bench -exp hotpath -json /tmp/bench
@@ -26,6 +35,9 @@
 //	go run ./cmd/sharon-bench -exp server -json /tmp/bench
 //	go run ./cmd/sharon-benchgate -fresh /tmp/bench/BENCH_server.json -ref BENCH_server.json \
 //	  -throughput-tolerance 0.25 -latency-tolerance 0.25
+//	go run ./cmd/sharon-bench -exp bursty -json /tmp/bench
+//	go run ./cmd/sharon-benchgate -fresh /tmp/bench/BENCH_bursty.json -ref BENCH_bursty.json \
+//	  -faster bursty-square/adaptive:bursty-square/static-shared:0.01
 package main
 
 import (
@@ -34,9 +46,43 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
+	"strings"
 
 	"github.com/sharon-project/sharon/internal/harness"
 )
+
+// fasterRule is one -faster A:B:margin assertion: within the fresh file,
+// record A's ns/event must be at least margin below record B's.
+type fasterRule struct {
+	a, b   string
+	margin float64
+}
+
+// fasterFlags collects repeated -faster flags.
+type fasterFlags []fasterRule
+
+func (f *fasterFlags) String() string {
+	parts := make([]string, len(*f))
+	for i, r := range *f {
+		parts[i] = fmt.Sprintf("%s:%s:%g", r.a, r.b, r.margin)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (f *fasterFlags) Set(s string) error {
+	// Record names contain '/' but never ':', so a plain split is safe.
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return fmt.Errorf("want A:B:margin, got %q", s)
+	}
+	margin, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil || margin < 0 || margin >= 1 {
+		return fmt.Errorf("margin must be a fraction in [0, 1), got %q", parts[2])
+	}
+	*f = append(*f, fasterRule{a: parts[0], b: parts[1], margin: margin})
+	return nil
+}
 
 func load(path string) (harness.BenchFile, error) {
 	var f harness.BenchFile
@@ -58,7 +104,9 @@ func main() {
 		allocBudget = flag.Float64("alloc-budget", 0.05, "absolute allocs/event regression budget")
 		tputTol     = flag.Float64("throughput-tolerance", 0, "relative events/sec regression tolerance (0 = not gated)")
 		latTol      = flag.Float64("latency-tolerance", 0, "relative p99 latency regression tolerance (0 = not gated)")
+		faster      fasterFlags
 	)
+	flag.Var(&faster, "faster", "intra-fresh-file ordering gate A:B:margin — fresh[A] ns/event must be <= fresh[B] * (1-margin); repeatable")
 	flag.Parse()
 	if *freshPath == "" || *refPath == "" {
 		log.Fatal("sharon-benchgate: -fresh and -ref are required")
@@ -118,6 +166,24 @@ func main() {
 	}
 	if compared == 0 {
 		log.Fatal("sharon-benchgate: no record names matched between fresh and reference files")
+	}
+	freshByName := make(map[string]harness.BenchRecord, len(fresh.Records))
+	for _, f := range fresh.Records {
+		freshByName[f.Name] = f
+	}
+	for _, rule := range faster {
+		a, okA := freshByName[rule.a]
+		b, okB := freshByName[rule.b]
+		if !okA || !okB {
+			log.Fatalf("sharon-benchgate: -faster %s:%s: record not in fresh file", rule.a, rule.b)
+		}
+		limit := b.NsPerEvent * (1 - rule.margin)
+		verdict := "ok"
+		if a.NsPerEvent > limit {
+			verdict, failed = "VIOLATED", true
+		}
+		fmt.Printf("FASTER %-30s %8.1f ns/event  <=  %-30s %8.1f * (1-%.2f) = %8.1f  %s\n",
+			rule.a, a.NsPerEvent, rule.b, b.NsPerEvent, rule.margin, limit, verdict)
 	}
 	if failed {
 		log.Fatalf("sharon-benchgate: performance regressed beyond tolerance (ns/event ±%.0f%%, allocs/event +%.2f)",

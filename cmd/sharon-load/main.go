@@ -26,7 +26,11 @@
 //
 // The generated stream cycles through -types with one tick between
 // events; -within/-slide must match the served workload's window so the
-// driver knows which batch closes which window.
+// driver knows which batch closes which window. -burst-ratio reshapes
+// the tick spacing into a square wave (valley events -burst-ratio ticks
+// apart, burst events one apart) so a sharond running -adaptive sees
+// genuine stream-time rate swings — the bursty CI smoke uses it to
+// assert the share/split transition counters move.
 package main
 
 import (
@@ -50,6 +54,8 @@ func main() {
 		startIndex = flag.Int("start-index", 0, "resume the generated stream at this event index")
 		batch      = flag.Int("batch", 512, "events per ingest batch")
 		rate       = flag.Float64("rate", 0, "throttle to about this many events/sec (0 = unthrottled)")
+		burstRatio = flag.Int("burst-ratio", 0, "square-wave the stream-time density: valley events sit this many ticks apart, burst events one apart (0 = steady; drives sharond -adaptive)")
+		burstPer   = flag.Int("burst-period", 0, "full square-wave period in events with -burst-ratio (0 = default 8192)")
 		groups     = flag.Int("groups", 16, "distinct group keys")
 		types      = flag.String("types", "A,B,C,D", "event type cycle (CSV)")
 		wire       = flag.String("wire", "ndjson", "ingest codec: ndjson, binary (one-shot binary posts), or stream (one long-lived binary connection with per-batch acks)")
@@ -87,6 +93,8 @@ func main() {
 		StartIndex:     *startIndex,
 		Batch:          *batch,
 		RatePerSec:     *rate,
+		BurstRatio:     *burstRatio,
+		BurstPeriod:    *burstPer,
 		Groups:         *groups,
 		Types:          strings.Split(*types, ","),
 		Within:         *within,

@@ -8,6 +8,20 @@ import (
 	"github.com/sharon-project/sharon/internal/exec"
 )
 
+// BurstState is the burst detector's debounced classification of the
+// stream (adaptive mode).
+type BurstState = exec.BurstState
+
+// BurstConfig tunes the adaptive mode's burst detector; zero values
+// select the defaults.
+type BurstConfig = exec.BurstConfig
+
+// Burst-detector states.
+const (
+	Valley = exec.Valley
+	Burst  = exec.Burst
+)
+
 // DynamicOptions configures NewDynamicSystem (paper §7.4).
 type DynamicOptions struct {
 	// OnResult receives every aggregate as it is emitted; nil collects.
@@ -31,6 +45,21 @@ type DynamicOptions struct {
 	// 0 = auto (GOMAXPROCS for grouped workloads, sequential otherwise),
 	// 1 = always sequential.
 	Parallelism int
+
+	// Adaptive switches the system from drift-triggered re-optimization
+	// to per-burst share-vs-split decisions: a burst detector classifies
+	// the arrival rate each check interval, confirmed bursts install the
+	// shared plan, and confirmed valleys split back to per-query
+	// execution. Hand-offs reuse the migration protocol, so output stays
+	// identical to a static execution either way. With Parallelism > 1
+	// each shard detects and decides independently.
+	Adaptive bool
+	// Burst tunes the adaptive detector (zero values select defaults).
+	Burst BurstConfig
+	// OnDecision observes each confirmed share/split transition after
+	// its plan installs (share: len(plan) > 0). Like OnMigrate,
+	// invocations are serialized across shards.
+	OnDecision func(at int64, state BurstState, plan Plan)
 }
 
 // DynamicSystem evaluates a workload while monitoring event rates at
@@ -64,10 +93,15 @@ func NewDynamicSystem(w Workload, rates Rates, opts DynamicOptions) (*DynamicSys
 		},
 		CheckEvery:     opts.CheckEvery,
 		DriftThreshold: opts.DriftThreshold,
+		Adaptive:       opts.Adaptive,
+		Burst:          opts.Burst,
 	}
 	cfg.EmitEmpty = opts.EmitEmpty
 	if opts.OnMigrate != nil {
 		cfg.OnMigrate = func(at int64, old, new core.Plan) { opts.OnMigrate(at, old, new) }
+	}
+	if opts.OnDecision != nil {
+		cfg.OnDecision = func(at int64, state exec.BurstState, plan core.Plan) { opts.OnDecision(at, state, plan) }
 	}
 	sys := &DynamicSystem{collect: collect}
 	if workers := resolveParallelism(opts.Parallelism, w[0].GroupBy, opts.OnResult != nil); workers > 1 {
@@ -192,3 +226,66 @@ func (s *DynamicSystem) Migrations() int {
 // ParallelStats reports the parallel executor's counters; the zero value
 // when the system runs sequentially.
 func (s *DynamicSystem) ParallelStats() ParallelStats { return parallelStats(s.executor) }
+
+// BurstState reports the adaptive detector's current debounced state
+// (Valley when not adaptive). On the parallel path shards detect
+// independently; BurstState reports Valley while the run is live and
+// shard 0's final state after Flush — observe OnDecision for live
+// transitions.
+func (s *DynamicSystem) BurstState() BurstState {
+	if s.seq != nil {
+		return s.seq.BurstState()
+	}
+	if !s.shardsReadable() {
+		return Valley
+	}
+	return s.shards[0].BurstState()
+}
+
+// ShareTransitions and SplitTransitions count the adaptive mode's
+// confirmed burst→shared and valley→split plan installs, summed across
+// shards on the parallel path (available only after Flush there, like
+// Migrations).
+func (s *DynamicSystem) ShareTransitions() int {
+	return s.sumShards(func(d *exec.Dynamic) int { return d.ShareTransitions })
+}
+
+// SplitTransitions counts confirmed valley→split plan installs; see
+// ShareTransitions.
+func (s *DynamicSystem) SplitTransitions() int {
+	return s.sumShards(func(d *exec.Dynamic) int { return d.SplitTransitions })
+}
+
+// PrunedStarts reports the state reduction's dead-record prune count —
+// START records recycled at birth because no open window could still
+// observe them — cumulative across plan migrations, summed across
+// shards on the parallel path (0 there until Flush).
+func (s *DynamicSystem) PrunedStarts() int64 {
+	if s.seq != nil {
+		return s.seq.PrunedStarts()
+	}
+	if !s.shardsReadable() {
+		return 0
+	}
+	var n int64
+	for _, d := range s.shards {
+		n += d.PrunedStarts()
+	}
+	return n
+}
+
+// sumShards folds a per-Dynamic counter across the live executors,
+// honoring the parallel path's readability rules.
+func (s *DynamicSystem) sumShards(f func(*exec.Dynamic) int) int {
+	if s.seq != nil {
+		return f(s.seq)
+	}
+	if !s.shardsReadable() {
+		return 0
+	}
+	n := 0
+	for _, d := range s.shards {
+		n += f(d)
+	}
+	return n
+}

@@ -63,6 +63,17 @@ type Config struct {
 	OnClose func(win int64, total State)
 	// EmitEmpty makes OnClose fire for windows with no matches too.
 	EmitEmpty bool
+
+	// RetainStart, if set, decides right after OnStart (and after the
+	// immediate completion of single-type patterns) whether the new
+	// record is worth keeping. Returning false recycles the record to
+	// the freelist immediately — it is never extended, never expires,
+	// and its identity may be reissued by the very next START — so the
+	// subscriber must only decline records it holds no reference to and
+	// whose future contributions it can prove unobservable (the shared
+	// executor's SHARP-style dead-suffix check: no listener snapshotted
+	// the record and nobody reads this aggregator's window totals).
+	RetainStart func(rec *StartRec, e event.Event) bool
 }
 
 // Slab chunk sizing: START records (and their prefix blocks) are carved
@@ -132,6 +143,8 @@ type Aggregator struct {
 	// memory metric, paper §8.1): prefix states of live START records
 	// plus non-zero window slots.
 	liveStates int64
+	// pruned counts records RetainStart declined (recycled at birth).
+	pruned int64
 }
 
 // NewAggregator builds an aggregator for cfg. It panics if the pattern is
@@ -351,7 +364,11 @@ func (a *Aggregator) getRec() *StartRec {
 }
 
 // newStart creates a START record for e and, for single-type patterns,
-// immediately records the completion.
+// immediately records the completion. If the subscriber's RetainStart
+// check declines the record (dead-suffix prune: it can no longer
+// contribute to any observable result), the record is recycled on the
+// spot instead of joining the live deque — it then costs nothing in the
+// extend loop and nothing in live state.
 //
 //sharon:hotpath
 func (a *Aggregator) newStart(e event.Event, isTarget bool) {
@@ -359,15 +376,21 @@ func (a *Aggregator) newStart(e event.Event, isTarget bool) {
 	rec.Time, rec.ID = e.Time, a.nextID
 	a.nextID++
 	rec.prefix[0] = UnitEvent(e, isTarget)
-	//sharon:allow slablifecycle (the live-starts deque is the record's owner for its window lifetime; expiry recycles it above)
-	a.starts = append(a.starts, rec) //sharon:allow hotpathalloc (amortized: deque growth is geometric and compaction reuses the backing array)
-	a.liveStates += int64(a.plen)
 	if a.cfg.OnStart != nil {
 		a.cfg.OnStart(rec, e) //sharon:allow hotpathalloc (subscriber callback; the executors install closed-over snapshot hooks that are themselves analyzed)
 	}
 	if a.plen == 1 {
 		a.complete(rec, e, rec.prefix[0])
 	}
+	if a.cfg.RetainStart != nil && !a.cfg.RetainStart(rec, e) { //sharon:allow hotpathalloc (subscriber callback; the executors install closed-over retain checks that are themselves analyzed)
+		a.pruned++
+		//sharon:allow slablifecycle (dead-suffix prune: the declined record returns straight to the freelist; the subscriber holds no reference per the RetainStart contract)
+		a.free = append(a.free, rec) //sharon:allow hotpathalloc (amortized: freelist capacity plateaus at the live-record high-water mark)
+		return
+	}
+	//sharon:allow slablifecycle (the live-starts deque is the record's owner for its window lifetime; expiry recycles it above)
+	a.starts = append(a.starts, rec) //sharon:allow hotpathalloc (amortized: deque growth is geometric and compaction reuses the backing array)
+	a.liveStates += int64(a.plen)
 }
 
 // extend folds e into prefix position j (2-based and up) of every live
@@ -433,3 +456,7 @@ func (a *Aggregator) LiveStates() int64 { return a.liveStates }
 
 // LiveStarts reports the number of live START records.
 func (a *Aggregator) LiveStarts() int { return len(a.starts) - a.head }
+
+// PrunedStarts reports how many START records the RetainStart check
+// declined (recycled at birth, SHARP-style state reduction).
+func (a *Aggregator) PrunedStarts() int64 { return a.pruned }

@@ -1,0 +1,163 @@
+package exec
+
+import (
+	"testing"
+
+	"github.com/sharon-project/sharon/internal/core"
+	"github.com/sharon-project/sharon/internal/event"
+	"github.com/sharon-project/sharon/internal/gen"
+	"github.com/sharon-project/sharon/internal/query"
+)
+
+// adaptiveFixture builds a sharable workload plus a bursty stream whose
+// envelope forces the adaptive executor through several share→split→share
+// rounds. Windows are kept short (2s length, 0.5s slide) so a plan
+// hand-off drains well inside one valley, and valleys are long (6s of an
+// 8s period) so split decisions deferred by an in-flight hand-off get
+// retried and land before the next burst.
+func adaptiveFixture(t testing.TB, events, keys int, grouped bool, shape gen.BurstShape) (query.Workload, event.Stream) {
+	t.Helper()
+	wcfg := gen.WorkloadConfig{
+		NumQueries: 4, PatternLen: 6,
+		SharedChunks: 3, ChunkLen: 2, ChunksPerQuery: 2, FillerPool: 8,
+		Window: 2000, Slide: 500,
+		GroupBy: grouped, Seed: 7,
+	}
+	w, types := gen.GenWorkload(event.NewRegistry(), wcfg)
+	stream := gen.BurstyStreamForWorkload(types, gen.NumHotTypes(wcfg), 3, gen.BurstyConfig{
+		NumKeys: keys, Events: events,
+		BaseRate: 100, BurstRate: 1000,
+		Period: 8, Duty: 0.25,
+		Shape: shape, Seed: 11,
+	})
+	return w, stream
+}
+
+// TestAdaptiveMatchesStaticAcrossTransitions is the equivalence oracle
+// for the burst-adaptive executor: across multiple confirmed
+// share→split→share plan hand-offs its output must be identical — same
+// results, same order — to a static non-shared engine run over the same
+// stream (which in turn matches a static shared engine; the migration
+// protocol makes output plan-invariant).
+func TestAdaptiveMatchesStaticAcrossTransitions(t *testing.T) {
+	for _, shape := range []gen.BurstShape{gen.ShapeSquare, gen.ShapePoisson} {
+		t.Run(shape.String(), func(t *testing.T) {
+			w, stream := adaptiveFixture(t, 12000, 8, true, shape)
+
+			ref, err := NewEngine(w, nil, Options{Collect: true})
+			must(t, err)
+			runAll(t, ref, stream)
+			want := ref.Results()
+			if len(want) == 0 {
+				t.Fatal("static engine produced no results")
+			}
+
+			var decisions []BurstState
+			d, err := NewDynamic(w, nil, DynamicConfig{
+				Options:    Options{Collect: true},
+				CheckEvery: 500,
+				Adaptive:   true,
+				OnDecision: func(at int64, state BurstState, plan core.Plan) {
+					decisions = append(decisions, state)
+					if state == Burst && len(plan) == 0 {
+						t.Errorf("share decision at t=%d installed an empty plan", at)
+					}
+					if state == Valley && len(plan) != 0 {
+						t.Errorf("split decision at t=%d installed a shared plan", at)
+					}
+				},
+			})
+			must(t, err)
+			runAll(t, d, stream)
+
+			if diff := diffResults(want, d.Results()); diff != "" {
+				t.Fatalf("adaptive output diverges from static: %s", diff)
+			}
+			if d.ShareTransitions < 2 || d.SplitTransitions < 2 {
+				t.Fatalf("share=%d split=%d transitions, want >= 2 each (decisions: %v)",
+					d.ShareTransitions, d.SplitTransitions, decisions)
+			}
+			if d.Migrations != d.ShareTransitions+d.SplitTransitions {
+				t.Fatalf("Migrations = %d, want share+split = %d",
+					d.Migrations, d.ShareTransitions+d.SplitTransitions)
+			}
+			// Decisions must alternate: the executor reconciles against a
+			// debounced state, so two same-direction installs in a row
+			// would mean a redundant hand-off.
+			for i := 1; i < len(decisions); i++ {
+				if decisions[i] == decisions[i-1] {
+					t.Fatalf("consecutive %v decisions at %d (decisions: %v)", decisions[i], i, decisions)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelAdaptiveMatchesSequential runs the adaptive executor inside
+// the key-hash parallel wrapper (per-shard detectors, per-shard
+// decisions) and requires the merged output to match the static
+// sequential engine exactly. Run under -race in CI, this also exercises
+// the OnDecision serialization in NewParallelDynamic.
+func TestParallelAdaptiveMatchesSequential(t *testing.T) {
+	w, stream := adaptiveFixture(t, 12000, 8, true, gen.ShapeSquare)
+
+	ref, err := NewEngine(w, nil, Options{Collect: true})
+	must(t, err)
+	runAll(t, ref, stream)
+	want := ref.Results()
+	if len(want) == 0 {
+		t.Fatal("static engine produced no results")
+	}
+
+	p, dyns, err := NewParallelDynamic(w, nil, 4, DynamicConfig{
+		Options:    Options{Collect: true},
+		CheckEvery: 500,
+		Adaptive:   true,
+	})
+	must(t, err)
+	must(t, p.FeedBatch(stream))
+	must(t, p.Flush())
+
+	if diff := diffResults(want, p.Results()); diff != "" {
+		t.Fatalf("parallel adaptive diverges from static: %s", diff)
+	}
+	var share, split int
+	for _, d := range dyns {
+		share += d.ShareTransitions
+		split += d.SplitTransitions
+	}
+	if share < 1 || split < 1 {
+		t.Fatalf("share=%d split=%d transitions across shards, want >= 1 each", share, split)
+	}
+}
+
+// TestAdaptiveSteadyStreamStaysSplit feeds a constant-rate stream: the
+// detector must never confirm a burst, so the executor runs the split
+// plan throughout with zero migrations — adaptive mode is free on steady
+// streams.
+func TestAdaptiveSteadyStreamStaysSplit(t *testing.T) {
+	wcfg := gen.WorkloadConfig{
+		NumQueries: 4, PatternLen: 6,
+		SharedChunks: 3, ChunkLen: 2, ChunksPerQuery: 2, FillerPool: 8,
+		Window: 2000, Slide: 500,
+		GroupBy: true, Seed: 7,
+	}
+	w, types := gen.GenWorkload(event.NewRegistry(), wcfg)
+	stream := gen.StreamForWorkload(types, gen.NumHotTypes(wcfg), 8000, 8, 400, 3, 11)
+
+	d, err := NewDynamic(w, nil, DynamicConfig{
+		Options: Options{Collect: true}, CheckEvery: 500, Adaptive: true,
+	})
+	must(t, err)
+	runAll(t, d, stream)
+	if d.Migrations != 0 || d.ShareTransitions != 0 || d.SplitTransitions != 0 {
+		t.Fatalf("steady stream migrated: migrations=%d share=%d split=%d",
+			d.Migrations, d.ShareTransitions, d.SplitTransitions)
+	}
+	if d.BurstState() != Valley {
+		t.Fatalf("steady stream ended in %v, want valley", d.BurstState())
+	}
+	if len(d.Plan()) != 0 {
+		t.Fatalf("steady adaptive run installed a shared plan: %v", d.Plan())
+	}
+}

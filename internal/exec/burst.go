@@ -1,0 +1,152 @@
+package exec
+
+// Burst detection for the adaptive share-vs-split runtime (ROADMAP item
+// 1, after "To Share, or not to Share Online Event Trend Aggregation
+// Over Bursty Event Streams"): the Dynamic executor already measures
+// per-type arrival counts per check interval; the detector turns that
+// signal into a debounced burst/valley state the share-vs-split decision
+// keys off.
+//
+// Design: the detector keeps an EWMA baseline of the valley arrival rate
+// and classifies each observed interval rate against two thresholds —
+// enter = EnterFactor×baseline, exit = ExitFactor×baseline, with
+// EnterFactor > ExitFactor so the band between them is hysteresis: rates
+// inside the band never change the state. A state change additionally
+// requires Confirm consecutive intervals on the far side of the
+// respective threshold, so a single outlier interval (or a rate
+// oscillating across one threshold) cannot flap the decision. The
+// baseline adapts only while the detector is in the valley state:
+// folding burst-phase rates into the baseline would raise the exit
+// threshold mid-burst and bounce the state back early.
+
+// BurstState is the detector's debounced classification of the stream.
+type BurstState int
+
+const (
+	// Valley is the steady/low-rate state: per-query (split) execution
+	// wins because live prefix state is small.
+	Valley BurstState = iota
+	// Burst is the high-rate state: shared execution wins because the
+	// shared segments' extend work is paid once instead of per query.
+	Burst
+)
+
+// String renders the state for logs and /metrics.
+func (s BurstState) String() string {
+	if s == Burst {
+		return "burst"
+	}
+	return "valley"
+}
+
+// BurstConfig tunes the detector. Zero values select the defaults.
+type BurstConfig struct {
+	// Alpha is the EWMA smoothing factor for the valley baseline rate
+	// (default 0.3; 1 tracks the last interval only).
+	Alpha float64
+	// EnterFactor: rate ≥ EnterFactor×baseline is a burst observation
+	// (default 2.0).
+	EnterFactor float64
+	// ExitFactor: rate ≤ ExitFactor×baseline is a valley observation
+	// (default 1.25). Must be below EnterFactor; the gap is the
+	// hysteresis band.
+	ExitFactor float64
+	// Confirm is the number of consecutive qualifying intervals required
+	// before the state switches (default 2).
+	Confirm int
+}
+
+func (c *BurstConfig) fill() {
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.3
+	}
+	if c.EnterFactor <= 1 {
+		c.EnterFactor = 2.0
+	}
+	if c.ExitFactor <= 0 {
+		c.ExitFactor = 1.25
+	}
+	if c.ExitFactor >= c.EnterFactor {
+		c.ExitFactor = c.EnterFactor * 0.625
+	}
+	if c.Confirm <= 0 {
+		c.Confirm = 2
+	}
+}
+
+// BurstDetector classifies interval arrival rates into a debounced
+// burst/valley state. It is a plain state machine — single-threaded,
+// allocation-free — driven by one Observe call per check interval.
+type BurstDetector struct {
+	cfg      BurstConfig
+	baseline float64
+	state    BurstState
+	streak   int // consecutive observations favoring the opposite state
+	primed   bool
+}
+
+// NewBurstDetector builds a detector in the Valley state with no
+// baseline; the first observation primes the baseline.
+func NewBurstDetector(cfg BurstConfig) *BurstDetector {
+	cfg.fill()
+	return &BurstDetector{cfg: cfg}
+}
+
+// State returns the current debounced state.
+func (b *BurstDetector) State() BurstState { return b.state }
+
+// Baseline returns the current valley-rate baseline (events/sec).
+func (b *BurstDetector) Baseline() float64 { return b.baseline }
+
+// Observe feeds one interval's arrival rate (events/sec) and reports the
+// resulting state plus whether this observation switched it.
+//
+//sharon:hotpath
+func (b *BurstDetector) Observe(rate float64) (BurstState, bool) {
+	if !b.primed {
+		b.primed = true
+		b.baseline = rate
+		return b.state, false
+	}
+	switch b.state {
+	case Valley:
+		if rate >= b.cfg.EnterFactor*b.baseline && b.baseline > 0 {
+			b.streak++
+			if b.streak >= b.cfg.Confirm {
+				b.state = Burst
+				b.streak = 0
+				return b.state, true
+			}
+			// Candidate burst intervals do not feed the baseline: they
+			// would raise the enter threshold and mask a slow-onset burst.
+			return b.state, false
+		}
+		b.streak = 0
+		b.baseline += b.cfg.Alpha * (rate - b.baseline)
+	case Burst:
+		if rate <= b.cfg.ExitFactor*b.baseline || b.baseline <= 0 {
+			b.streak++
+			if b.streak >= b.cfg.Confirm {
+				b.state = Valley
+				b.streak = 0
+				b.baseline += b.cfg.Alpha * (rate - b.baseline)
+				return b.state, true
+			}
+		} else {
+			b.streak = 0
+		}
+	}
+	return b.state, false
+}
+
+// restore rehydrates detector state from a checkpoint (see
+// DynamicSnapshot): the debounce streak restarts, which can delay the
+// next transition by at most Confirm-1 intervals but cannot change any
+// emitted result (plan hand-offs are output-invariant by the migration
+// protocol).
+func (b *BurstDetector) restore(baseline float64, state BurstState) {
+	b.baseline = baseline
+	b.state = state
+	b.streak = 0
+	b.primed = baseline > 0
+}

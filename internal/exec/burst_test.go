@@ -1,0 +1,115 @@
+package exec
+
+import "testing"
+
+// transitions feeds rates and returns the sequence of confirmed states.
+func transitions(t *testing.T, d *BurstDetector, rates []float64) []BurstState {
+	t.Helper()
+	var out []BurstState
+	for _, r := range rates {
+		if s, changed := d.Observe(r); changed {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func TestBurstDetectorEntersAndExits(t *testing.T) {
+	d := NewBurstDetector(BurstConfig{Alpha: 0.3, EnterFactor: 2, ExitFactor: 1.25, Confirm: 2})
+	rates := []float64{
+		100, 100, 100, // prime + settle baseline at 100
+		400, 400, // two confirmed burst intervals → Burst
+		400, 400, // stays Burst, no repeated transition
+		90, 90, // two confirmed valley intervals → Valley
+		100, 100,
+	}
+	got := transitions(t, d, rates)
+	want := []BurstState{Burst, Valley}
+	if len(got) != len(want) {
+		t.Fatalf("transitions = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("transition %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestBurstDetectorNoFlapOnStraddle is the satellite hysteresis test: a
+// rate oscillating across the enter threshold (but never sustaining
+// Confirm consecutive intervals beyond it) must not flap the state, and
+// a rate sitting inside the hysteresis band must not either.
+func TestBurstDetectorNoFlapOnStraddle(t *testing.T) {
+	d := NewBurstDetector(BurstConfig{Alpha: 0.1, EnterFactor: 2, ExitFactor: 1.25, Confirm: 2})
+	d.Observe(100) // prime
+	// Oscillate across the 2×baseline enter threshold: 210 qualifies,
+	// 150 does not (and, inside the band, barely moves the baseline).
+	for i := 0; i < 50; i++ {
+		r := 210.0
+		if i%2 == 1 {
+			r = 150.0
+		}
+		if s, changed := d.Observe(r); changed {
+			t.Fatalf("iteration %d: state flapped to %v on straddling rates", i, s)
+		}
+	}
+	if d.State() != Valley {
+		t.Fatalf("state = %v, want Valley", d.State())
+	}
+
+	// Enter a genuine burst, then straddle the exit threshold: the state
+	// must hold Burst.
+	if got := transitions(t, d, []float64{500, 500}); len(got) != 1 || got[0] != Burst {
+		t.Fatalf("expected confirmed Burst, got %v", got)
+	}
+	base := d.Baseline()
+	for i := 0; i < 50; i++ {
+		r := 1.20 * base // below exit factor → valley observation
+		if i%2 == 1 {
+			r = 1.60 * base // inside the band → resets the streak
+		}
+		if s, changed := d.Observe(r); changed {
+			t.Fatalf("iteration %d: state flapped to %v on exit straddle", i, s)
+		}
+	}
+	if d.State() != Burst {
+		t.Fatalf("state = %v, want Burst after straddling exit threshold", d.State())
+	}
+}
+
+// TestBurstDetectorBaselineFrozenDuringBurst: burst-phase rates must not
+// inflate the valley baseline (otherwise a long burst redefines "normal"
+// and the exit threshold drifts up, bouncing the state early).
+func TestBurstDetectorBaselineFrozenDuringBurst(t *testing.T) {
+	d := NewBurstDetector(BurstConfig{Confirm: 1})
+	d.Observe(100)
+	d.Observe(100)
+	base := d.Baseline()
+	if s, _ := d.Observe(1000); s != Burst {
+		t.Fatal("expected Burst with Confirm=1")
+	}
+	for i := 0; i < 20; i++ {
+		d.Observe(1000)
+	}
+	if d.Baseline() != base {
+		t.Fatalf("baseline moved during burst: %v → %v", base, d.Baseline())
+	}
+	if s, _ := d.Observe(100); s != Valley {
+		t.Fatal("expected Valley after burst ends")
+	}
+}
+
+func TestBurstConfigDefaults(t *testing.T) {
+	var c BurstConfig
+	c.fill()
+	if c.Alpha != 0.3 || c.EnterFactor != 2.0 || c.ExitFactor != 1.25 || c.Confirm != 2 {
+		t.Fatalf("unexpected defaults: %+v", c)
+	}
+	// A config with ExitFactor ≥ EnterFactor must be repaired to keep a
+	// hysteresis band.
+	c = BurstConfig{EnterFactor: 2, ExitFactor: 3}
+	c.fill()
+	if c.ExitFactor >= c.EnterFactor {
+		t.Fatalf("no hysteresis band: %+v", c)
+	}
+}

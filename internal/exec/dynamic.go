@@ -22,6 +22,20 @@ type DynamicConfig struct {
 	OptimizerBudget time.Duration
 	// OnMigrate, if set, is called when a new plan is installed.
 	OnMigrate func(at int64, old, new core.Plan)
+
+	// Adaptive switches the executor from drift-triggered re-optimization
+	// to per-burst share-vs-split decisions: a burst detector classifies
+	// the total arrival rate each check interval, confirmed bursts
+	// install the shared plan (optimized for the measured burst rates),
+	// and confirmed valleys split back to the non-shared per-query plan.
+	// Plan hand-offs reuse the window-boundary migration protocol, so
+	// output stays byte-identical to a static engine either way.
+	Adaptive bool
+	// Burst tunes the detector (zero values select defaults).
+	Burst BurstConfig
+	// OnDecision, if set, is called after each confirmed share/split
+	// transition installs its plan (share: len(plan) > 0).
+	OnDecision func(at int64, state BurstState, plan core.Plan)
 }
 
 // Dynamic is the dynamic-workload executor (paper §7.4): it evaluates a
@@ -63,6 +77,23 @@ type Dynamic struct {
 	last      int64
 	// Migrations counts installed plan changes.
 	Migrations int
+
+	// Adaptive (share-vs-split) state: the burst detector, the cached
+	// shared plan with the rates it was optimized for (recomputed only
+	// when rates drift past DriftThreshold, so repeated bursts reuse it),
+	// and the confirmed-transition counters.
+	detector    *BurstDetector
+	sharedPlan  core.Plan
+	sharedRates core.Rates
+	sharedValid bool
+	// ShareTransitions/SplitTransitions count confirmed burst→shared and
+	// valley→split plan installs.
+	ShareTransitions int
+	SplitTransitions int
+	// prunedRetired accumulates PrunedStarts of drained engines at the
+	// moment they are discarded, so the executor-wide count is cumulative
+	// across migrations.
+	prunedRetired int64
 }
 
 // NewDynamic builds a dynamic executor with an initial plan optimized for
@@ -86,12 +117,19 @@ func NewDynamic(w query.Workload, rates core.Rates, cfg DynamicConfig) (*Dynamic
 		counts:     make(map[event.Type]float64),
 		rates:      rates,
 	}
-	plan, err := d.optimize(rates)
-	if err != nil {
-		return nil, err
+	var err error
+	if cfg.Adaptive {
+		// Adaptive mode starts split (the detector starts in Valley and
+		// needs observed intervals before it can confirm a burst).
+		d.detector = NewBurstDetector(cfg.Burst)
+		d.plan = nil
+	} else {
+		d.plan, err = d.optimize(rates)
+		if err != nil {
+			return nil, err
+		}
 	}
-	d.plan = plan
-	d.current, err = d.newEngine(plan, 0, -1)
+	d.current, err = d.newEngine(d.plan, 0, -1)
 	if err != nil {
 		return nil, err
 	}
@@ -112,9 +150,11 @@ func (d *Dynamic) optimize(rates core.Rates) (core.Plan, error) {
 }
 
 // newEngine builds a sub-engine emitting only windows in [from, to]
-// (to < 0 means unbounded above).
+// (to < 0 means unbounded above). An upper-bounded engine is a draining
+// one, so the bound is also pushed into the engine itself
+// (BoundEmitWindows) to skip the state and emission work past it.
 func (d *Dynamic) newEngine(plan core.Plan, from, to int64) (*Engine, error) {
-	return NewEngine(d.w, plan, Options{
+	en, err := NewEngine(d.w, plan, Options{
 		EmitEmpty: d.cfg.EmitEmpty,
 		OnResult: func(r Result) {
 			if r.Win < from || (to >= 0 && r.Win > to) {
@@ -123,6 +163,13 @@ func (d *Dynamic) newEngine(plan core.Plan, from, to int64) (*Engine, error) {
 			d.emit(r)
 		},
 	})
+	if err != nil {
+		return nil, err
+	}
+	if to >= 0 {
+		en.BoundEmitWindows(to)
+	}
+	return en, nil
 }
 
 // Name identifies the strategy.
@@ -164,25 +211,31 @@ func (d *Dynamic) Process(e event.Event) error {
 			if err := d.draining.Flush(); err != nil {
 				return err
 			}
-			d.draining = nil
+			d.retireDraining()
 		}
 	}
 	return d.current.Process(e)
 }
 
-// maybeMigrate measures recent rates and installs a new plan when they
-// drifted beyond the threshold.
+// maybeMigrate measures recent rates and installs a new plan when the
+// situation calls for one: in adaptive mode on confirmed burst/valley
+// transitions, otherwise when rates drifted beyond the threshold.
 func (d *Dynamic) maybeMigrate(now int64) error {
 	span := float64(now-d.countFrom) / event.TicksPerSecond
 	if span <= 0 {
 		return nil
 	}
+	var total float64
 	measured := make(core.Rates, len(d.counts))
 	for t, c := range d.counts {
 		measured[t] = c / span
+		total += c
 	}
-	d.counts = make(map[event.Type]float64)
+	clear(d.counts)
 	d.countFrom = now
+	if d.cfg.Adaptive {
+		return d.adapt(now, measured, total/span)
+	}
 	if d.draining != nil || !drifted(d.rates, measured, d.cfg.DriftThreshold) {
 		return nil
 	}
@@ -194,7 +247,73 @@ func (d *Dynamic) maybeMigrate(now int64) error {
 	if samePlan(d.plan, newPlan) {
 		return nil
 	}
-	// Install: the new engine owns windows starting at or after now.
+	return d.installPlan(now, newPlan)
+}
+
+// adapt runs one share-vs-split decision round: feed the interval's
+// total arrival rate to the burst detector, then reconcile the installed
+// plan with the debounced state — the shared plan during bursts, the
+// split (per-query) plan in valleys. Reconciling against the state
+// rather than acting on transition edges means a decision deferred by an
+// in-flight hand-off is retried at the next check instead of lost.
+func (d *Dynamic) adapt(now int64, measured core.Rates, totalRate float64) error {
+	state, _ := d.detector.Observe(totalRate)
+	if d.draining != nil {
+		return nil // mid-hand-off; reconcile at the next check
+	}
+	var want core.Plan
+	if state == Burst {
+		// Once a shared plan is installed it is pinned for the burst's
+		// duration: intervals straddling the burst edge measure blended
+		// rates, and re-optimizing on that noise would churn hand-offs
+		// (or even drop sharing mid-burst) for marginal plan gains.
+		if len(d.plan) > 0 {
+			return nil
+		}
+		p, err := d.sharedPlanFor(measured)
+		if err != nil {
+			return err
+		}
+		want = p
+	}
+	if samePlan(d.plan, want) {
+		return nil
+	}
+	if err := d.installPlan(now, want); err != nil {
+		return err
+	}
+	if len(want) > 0 {
+		d.ShareTransitions++
+	} else {
+		d.SplitTransitions++
+	}
+	if d.cfg.OnDecision != nil {
+		d.cfg.OnDecision(now, state, want)
+	}
+	return nil
+}
+
+// sharedPlanFor returns the plan bursts share under, re-optimizing only
+// when the measured rates drifted past DriftThreshold from the rates the
+// cached plan was built for — repeated bursts then reuse the cache
+// instead of paying the optimizer per transition.
+func (d *Dynamic) sharedPlanFor(measured core.Rates) (core.Plan, error) {
+	if d.sharedValid && !drifted(d.sharedRates, measured, d.cfg.DriftThreshold) {
+		return d.sharedPlan, nil
+	}
+	p, err := d.optimize(measured)
+	if err != nil {
+		return nil, err
+	}
+	d.sharedPlan, d.sharedRates, d.sharedValid = p, measured, true
+	return p, nil
+}
+
+// installPlan hands the stream off to a fresh engine compiled for
+// newPlan: the new engine owns windows starting at or after now, the old
+// one drains its remaining windows below the boundary (see the migration
+// protocol in the type doc).
+func (d *Dynamic) installPlan(now int64, newPlan core.Plan) error {
 	boundary := d.win.LastContaining(now) + 1
 	next, err := d.newEngine(newPlan, boundary, -1)
 	if err != nil {
@@ -202,9 +321,14 @@ func (d *Dynamic) maybeMigrate(now int64) error {
 	}
 	old := d.current
 	// Narrow the old engine to its remaining windows [its own lower
-	// bound, boundary-1]; engines emit through OnResult, so swapping the
-	// filter is enough.
+	// bound, boundary-1]: swap the OnResult filter for correctness, and
+	// bound the engine itself so the drain skips state and emission work
+	// for windows it no longer owns. No record or snapshot already held
+	// can be beyond the bound — every event seen so far lies in windows
+	// at or before LastContaining(now) = boundary-1 — so the bound takes
+	// effect purely going forward.
 	old.opts.OnResult = boundedForward(d, d.currentFrom, boundary-1)
+	old.BoundEmitWindows(boundary - 1)
 	d.draining = old
 	d.drainPlan = d.plan
 	d.drainFrom = d.currentFrom
@@ -217,6 +341,25 @@ func (d *Dynamic) maybeMigrate(now int64) error {
 	}
 	d.plan = newPlan
 	return nil
+}
+
+// BurstState reports the detector's current debounced state (Valley when
+// the executor is not adaptive).
+func (d *Dynamic) BurstState() BurstState {
+	if d.detector == nil {
+		return Valley
+	}
+	return d.detector.State()
+}
+
+// PrunedStarts reports the dead-suffix prune count summed over the live
+// engines plus all retired ones (see Engine.PrunedStarts).
+func (d *Dynamic) PrunedStarts() int64 {
+	n := d.prunedRetired + d.current.PrunedStarts()
+	if d.draining != nil {
+		n += d.draining.PrunedStarts()
+	}
+	return n
 }
 
 func boundedForward(d *Dynamic, from, to int64) func(Result) {
@@ -283,10 +426,17 @@ func (d *Dynamic) AdvanceWatermark(t int64) {
 		if t >= d.win.End(d.boundary-1) {
 			// Engine.Flush never fails once events are in order.
 			_ = d.draining.Flush()
-			d.draining = nil
+			d.retireDraining()
 		}
 	}
 	d.current.AdvanceWatermark(t)
+}
+
+// retireDraining discards the drained engine, folding its cumulative
+// counters into the executor's.
+func (d *Dynamic) retireDraining() {
+	d.prunedRetired += d.draining.PrunedStarts()
+	d.draining = nil
 }
 
 // Flush closes all remaining windows on both engines.
@@ -295,7 +445,7 @@ func (d *Dynamic) Flush() error {
 		if err := d.draining.Flush(); err != nil {
 			return err
 		}
-		d.draining = nil
+		d.retireDraining()
 	}
 	return d.current.Flush()
 }

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"math"
 	"slices"
 	"sort"
 	"strings"
@@ -53,6 +54,13 @@ type Engine struct {
 	lastTime  int64
 	nextClose int64
 	maxWin    int64
+	// bound caps which windows this engine materializes (MaxInt64 when
+	// unbounded): snapshot captures are clamped to it, START records whose
+	// first containing window lies past it are declined, and windows past
+	// it close without computing or emitting results. The dynamic executor
+	// bounds a draining engine at the migration boundary, so a hand-off
+	// drain skips the work its OnResult filter would discard anyway.
+	bound int64
 	// emitBuf stages one window's results so they can be sorted into the
 	// canonical (query, window, group) order before reaching the sink;
 	// reused across windows to keep the hot path allocation-free.
@@ -60,6 +68,14 @@ type Engine struct {
 
 	peakLive int64
 	queries  map[int]*query.Query
+
+	// mergedNodes/mergedStages count the SHARP-style structural merges
+	// performed across all built groups: private aggregators deduplicated
+	// across queries with an identical (pattern, target) segment, and
+	// chain stages collapsed onto one snapshot ring because their node
+	// and full upstream chain coincide.
+	mergedNodes  int64
+	mergedStages int64
 }
 
 // engineProto is the group-independent compiled form of workload + plan.
@@ -108,6 +124,7 @@ func NewEngine(w query.Workload, plan core.Plan, opts Options) (*Engine, error) 
 		resultSink: resultSink{opts: opts},
 		nextClose:  -1,
 		maxWin:     -1,
+		bound:      math.MaxInt64,
 		queries:    make(map[int]*query.Query, len(w)),
 	}
 	for _, q := range w {
@@ -206,6 +223,11 @@ type engineGroup struct {
 	nodes  []*aggNode // all aggregators of the group (shared first)
 	shared []*aggNode // indexed like proto.sharedPattern
 	chains []*chainRT
+	// stages lists every distinct stage runtime exactly once. Chains may
+	// share stage objects (merged equivalent stages), so per-window
+	// release and live-state accounting iterate this set, not the
+	// chains' views.
+	stages []*stageRT
 	// byType indexes the nodes whose pattern contains each event type, so
 	// Process touches only relevant aggregators. It is a dense table
 	// indexed by the interned event.Type (sized to the workload's largest
@@ -214,10 +236,23 @@ type engineGroup struct {
 }
 
 // aggNode is one aggregator plus the chain stages listening to it. Shared
-// nodes have one listener per sharing query's chain.
+// nodes have one listener per sharing query's chain (fewer when
+// equivalent stages are merged).
 type aggNode struct {
 	agg       *agg.Aggregator
 	listeners []*stageRT
+	// headOnly is true when no listener reads this node's per-window
+	// totals (every listener is a later-stage combiner that consumes the
+	// node only through START-record snapshots). For such a node a START
+	// record that no listener snapshotted is dead on arrival — in the
+	// NFA view (see sase.go), no open window holds a reachable accepting
+	// path through it — and is pruned back to the freelist at birth.
+	headOnly bool
+	// startLive is per-START scratch: set by the OnStart fan-out when at
+	// least one listener captured a snapshot referencing the record,
+	// read immediately after by the RetainStart check. The engine is
+	// single-threaded, so one slot suffices.
+	startLive bool
 }
 
 type chainRT struct {
@@ -241,9 +276,17 @@ type snapEntry struct {
 // stage's value. The combination cost is therefore proportional to the
 // product of segment START rates — exactly Eq. 5 of the cost model.
 type stageRT struct {
-	chain *chainRT
-	idx   int
-	node  *aggNode
+	// prev is the upstream stage whose aggregate this stage snapshots on
+	// its segment's START events; nil for stage 0. Merged stages share
+	// one upstream by construction (the merge key encodes it).
+	prev *stageRT
+	idx  int
+	node *aggNode
+	// ownerChain is the index of the chain that created this stage; when
+	// equivalent stages are merged, later chains alias the object and
+	// the snapshot encoder serializes it only under its owner's
+	// coordinates.
+	ownerChain int
 	// eng is the owning engine; its [nextClose, maxWin] live range
 	// drives the snapshot ring's lazy growth.
 	eng  *Engine
@@ -264,15 +307,40 @@ type stageRT struct {
 	snapMask int64
 }
 
+// buildGroup constructs one group's runtime. Unless
+// Options.DisableStateReduction is set it applies the two SHARP-style
+// structural merges:
+//
+//   - M1 (node merge): private segments with the same (pattern, target)
+//     across different queries' chains compute byte-identical aggregator
+//     state, so they share one aggNode — one extend loop and one record
+//     pool instead of one per query.
+//   - M2 (stage merge): chain stages over the same node whose entire
+//     upstream stage chain coincides capture identical snapshot streams,
+//     so they share one stageRT (one snapshot ring, appended once per
+//     START instead of once per query).
+//
+// Both merges are value-preserving by induction over the stage depth: a
+// stage's value is a pure function of its node's stream state and its
+// upstream stage's value, and the merge key equates exactly those
+// inputs. The chains keep their own stage *views* (ch.stages) so
+// per-query emission is unchanged.
 func (en *Engine) buildGroup(key event.GroupKey) *engineGroup {
 	g := &engineGroup{key: key}
+	reduce := !en.opts.DisableStateReduction
 	g.shared = make([]*aggNode, len(en.proto.sharedPattern))
+	nodeIdx := make(map[*aggNode]int)
 	for i, p := range en.proto.sharedPattern {
-		g.shared[i] = newAggNode(p, en.win, en.proto.sharedTarget[i])
+		g.shared[i] = newAggNode(en, p, en.proto.sharedTarget[i], reduce)
+		nodeIdx[g.shared[i]] = len(g.nodes)
 		g.nodes = append(g.nodes, g.shared[i])
 	}
-	for _, cp := range en.proto.chains {
+	privNodes := make(map[string]*aggNode)
+	classes := make(map[string]*stageRT)
+	for ci, cp := range en.proto.chains {
 		ch := &chainRT{proto: cp}
+		var prev *stageRT
+		prevKey := ""
 		for i, seg := range cp.segs {
 			var node *aggNode
 			if seg.sharedIdx >= 0 {
@@ -282,17 +350,36 @@ func (en *Engine) buildGroup(key event.GroupKey) *engineGroup {
 				if cp.q.Agg.Kind != query.CountStar {
 					target = cp.q.Agg.Target
 				}
-				node = newAggNode(seg.pattern, en.win, target)
-				g.nodes = append(g.nodes, node)
+				nk := fmt.Sprintf("%s\x00%d", seg.pattern.Key(), target)
+				if existing, ok := privNodes[nk]; ok && reduce {
+					node = existing // M1: identical private aggregator state
+					en.mergedNodes++
+				} else {
+					node = newAggNode(en, seg.pattern, target, reduce)
+					privNodes[nk] = node
+					nodeIdx[node] = len(g.nodes)
+					g.nodes = append(g.nodes, node)
+				}
 			}
-			st := &stageRT{chain: ch, idx: i, node: node, eng: en, win: en.win, plen: seg.pattern.Length()}
+			mask := false
 			if seg.sharedIdx >= 0 {
 				eff := event.NoType
 				if cp.q.Agg.Kind != query.CountStar && seg.pattern.Contains(query.Pattern{cp.q.Agg.Target}) {
 					eff = cp.q.Agg.Target
 				}
-				st.mask = en.proto.sharedTarget[seg.sharedIdx] != eff
+				mask = en.proto.sharedTarget[seg.sharedIdx] != eff
 			}
+			// The class key equates (node identity, count projection,
+			// full upstream chain) — the complete set of inputs a stage's
+			// value depends on.
+			ck := fmt.Sprintf("%d\x00%t\x00%s", nodeIdx[node], mask, prevKey)
+			if st, ok := classes[ck]; ok && reduce {
+				en.mergedStages++ // M2: alias the equivalent stage
+				ch.stages = append(ch.stages, st)
+				prev, prevKey = st, ck
+				continue
+			}
+			st := &stageRT{prev: prev, idx: i, node: node, ownerChain: ci, eng: en, win: en.win, plen: seg.pattern.Length(), mask: mask}
 			if i >= 1 {
 				n := initialSnapRing(en.win)
 				st.snapRing = make([][]snapEntry, n)
@@ -300,8 +387,24 @@ func (en *Engine) buildGroup(key event.GroupKey) *engineGroup {
 			}
 			node.listeners = append(node.listeners, st)
 			ch.stages = append(ch.stages, st)
+			g.stages = append(g.stages, st)
+			classes[ck] = st
+			prev, prevKey = st, ck
 		}
 		g.chains = append(g.chains, ch)
+	}
+	// A node is headOnly when no listener reads its per-window totals
+	// (no stage-0 listener, and no downstream stage snapshots it as an
+	// upstream — which is the same condition, since stage i snapshots
+	// stage i-1 and only stage 0 reads totals).
+	for _, node := range g.nodes {
+		node.headOnly = true
+		for _, st := range node.listeners {
+			if st.idx == 0 {
+				node.headOnly = false
+				break
+			}
+		}
 	}
 	maxType := event.Type(0)
 	for _, node := range g.nodes {
@@ -358,42 +461,76 @@ func (st *stageRT) ensureRing() {
 	st.snapRing, st.snapMask = ring, n-1
 }
 
-func newAggNode(p query.Pattern, w query.Window, target event.Type) *aggNode {
+func newAggNode(en *Engine, p query.Pattern, target event.Type, reduce bool) *aggNode {
 	node := &aggNode{}
-	node.agg = agg.NewAggregator(agg.Config{
+	w := en.win
+	cfg := agg.Config{
 		Pattern: p,
 		Window:  w,
 		Target:  target,
 		OnStart: func(rec *agg.StartRec, e event.Event) {
+			live := false
 			for _, st := range node.listeners {
-				st.onStart(rec, e)
+				if st.onStart(rec, e) {
+					live = true
+				}
 			}
+			node.startLive = live
 		},
-	})
+		// Retention combines two independent prunes:
+		//
+		//   - Bound prune: on a bounded (draining) engine, a record whose
+		//     first containing window lies past the bound can only feed
+		//     windows the engine never emits, and — with snapshot captures
+		//     clamped to the bound — no listener holds a reference to it,
+		//     so it is safe to recycle regardless of the node's shape.
+		//   - Dead-suffix prune (state reduction only): on a headOnly node
+		//     a record nobody snapshotted can never reach an accepting
+		//     state of any chain — its prefix values are only ever read
+		//     through snapshot entries, and none exist. Records any
+		//     listener snapshotted are always retained: the snapshot
+		//     entries hold the pointer until their window closes (StartRec
+		//     lifecycle contract).
+		RetainStart: func(rec *agg.StartRec, e event.Event) bool {
+			if w.FirstContaining(e.Time) > en.bound {
+				return false
+			}
+			return !reduce || node.startLive || !node.headOnly
+		},
+	}
+	node.agg = agg.NewAggregator(cfg)
 	return node
 }
 
 // onStart snapshots the upstream per-window aggregate when a START event
 // of this stage's segment arrives (Fig. 7: "when c3 arrives,
 // count(A,B) = 1"). Sequence semantics make this sound: every upstream
-// match counted so far ended strictly before this START event.
+// match counted so far ended strictly before this START event. It
+// reports whether any snapshot entry was captured — i.e. whether this
+// stage now holds a reference to rec — which feeds the node's
+// dead-suffix retention check.
 //
 //sharon:hotpath
-func (st *stageRT) onStart(rec *agg.StartRec, e event.Event) {
+func (st *stageRT) onStart(rec *agg.StartRec, e event.Event) bool {
 	if st.idx == 0 {
-		return
+		return false
 	}
-	prev := st.chain.stages[st.idx-1]
 	st.ensureRing()
+	captured := false
 	first, last := st.win.Indices(e.Time)
+	if last > st.eng.bound {
+		last = st.eng.bound // bounded drain: windows past the bound are never read
+	}
 	for k := first; k <= last; k++ {
-		up := prev.currentValue(k)
+		up := st.prev.currentValue(k)
 		if up.Count == 0 {
 			continue
 		}
 		slot := k & st.snapMask
 		st.snapRing[slot] = append(st.snapRing[slot], snapEntry{rec: rec, up: up}) //sharon:allow hotpathalloc (amortized: closed windows reset slots to length 0 keeping capacity, so the backing array is recycled)
+		captured = true
 	}
+	return captured
 }
 
 // currentValue returns C_{idx+1}(k) as of the current watermark: for
@@ -433,17 +570,20 @@ func (ch *chainRT) windowState(k int64) agg.State {
 	return ch.stages[len(ch.stages)-1].currentValue(k)
 }
 
-// release drops all chain state for a closed window: each stage's ring
+// release drops all stage state for a closed window: each stage's ring
 // slot is reset to length zero with its capacity kept, so the next window
 // landing on the slot appends into the recycled backing array. Releasing
 // here — before the aggregators observe a later watermark — also orders
 // the drop of every *StartRec reference ahead of the record's return to
-// its aggregator's pool (see agg.StartRec).
+// its aggregator's pool (see agg.StartRec). It iterates the group's
+// distinct stage set: chains may alias merged stages, and every chain's
+// read of the window must complete before its (possibly shared) slot is
+// reset — emitWindow guarantees that ordering.
 //
 //sharon:hotpath
 //sharon:deterministic
-func (ch *chainRT) release(k int64) {
-	for _, st := range ch.stages {
+func (g *engineGroup) release(k int64) {
+	for _, st := range g.stages {
 		if st.idx == 0 {
 			continue
 		}
@@ -525,16 +665,28 @@ func (en *Engine) closeUpTo(t int64) {
 //sharon:hotpath
 //sharon:deterministic
 func (en *Engine) emitWindow(win int64) {
+	if win > en.bound {
+		// A bounded engine never emits past its bound; skip the
+		// combination reads but still release ring state so slots recycle.
+		//sharon:allow deterministicemit (release-only: nothing is emitted for a window past the bound, so iteration order is unobservable)
+		for _, g := range en.groups {
+			g.release(win)
+		}
+		return
+	}
 	en.emitBuf = en.emitBuf[:0]
 	//sharon:allow deterministicemit (the map range only stages into emitBuf; the sort below fixes the (query, window, group) emit order)
 	for _, g := range en.groups {
+		// Read every chain's window state before releasing any stage:
+		// merged stages are aliased by several chains, so an interleaved
+		// read/release would clear a ring slot a later chain still needs.
 		for _, ch := range g.chains {
 			state := ch.windowState(win)
 			if state.Count > 0 || en.opts.EmitEmpty {
 				en.emitBuf = append(en.emitBuf, Result{Query: ch.proto.q.ID, Win: win, Group: g.key, State: state}) //sharon:allow hotpathalloc (amortized: emitBuf is reset to length 0 and reused every window)
 			}
-			ch.release(win)
 		}
+		g.release(win)
 	}
 	slices.SortFunc(en.emitBuf, cmpResult)
 	for _, r := range en.emitBuf {
@@ -561,6 +713,16 @@ func (en *Engine) AdvanceWatermark(t int64) {
 		en.maxWin = last
 	}
 }
+
+// BoundEmitWindows caps the engine at window maxWin: snapshot captures
+// clamp to it, START records that can only feed later windows are
+// declined back to the freelist, and windows past it close without
+// computing or emitting results. The dynamic executor bounds a draining
+// engine at the last window it owns (the migration boundary minus one),
+// collapsing the drain's double-processing cost to the fraction of work
+// that feeds windows it will actually emit. Output for windows at or
+// below the bound is unaffected.
+func (en *Engine) BoundEmitWindows(maxWin int64) { en.bound = maxWin }
 
 // Flush closes all windows containing events seen so far.
 //
@@ -593,14 +755,12 @@ func (en *Engine) LiveStates() int64 {
 		for _, node := range g.nodes {
 			n += node.agg.LiveStates()
 		}
-		for _, ch := range g.chains {
-			for _, st := range ch.stages {
-				if st.idx == 0 {
-					continue
-				}
-				for _, entries := range st.snapRing {
-					n += int64(len(entries))
-				}
+		for _, st := range g.stages {
+			if st.idx == 0 {
+				continue
+			}
+			for _, entries := range st.snapRing {
+				n += int64(len(entries))
 			}
 		}
 	}
@@ -612,6 +772,25 @@ func (en *Engine) PeakLiveStates() int64 {
 	en.sampleMemory()
 	return en.peakLive
 }
+
+// PrunedStarts reports how many START records the dead-suffix check
+// recycled at birth across all groups (SHARP-style state reduction).
+func (en *Engine) PrunedStarts() int64 {
+	var n int64
+	for _, g := range en.groups {
+		for _, node := range g.nodes {
+			n += node.agg.PrunedStarts()
+		}
+	}
+	return n
+}
+
+// MergedNodes reports how many private aggregators were deduplicated
+// across queries (merge M1), and MergedStages how many chain stages were
+// collapsed onto an equivalent stage's snapshot ring (merge M2), summed
+// over all built groups.
+func (en *Engine) MergedNodes() int64  { return en.mergedNodes }
+func (en *Engine) MergedStages() int64 { return en.mergedStages }
 
 // Explain renders the engine's per-query decomposition: which segments of
 // each query's pattern are computed by shared aggregators and which

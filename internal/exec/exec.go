@@ -81,6 +81,12 @@ type Options struct {
 	// EmitEmpty also emits zero-valued results for windows in which a
 	// query matched nothing.
 	EmitEmpty bool
+	// DisableStateReduction turns off the SHARP-style shared-state
+	// reduction (dead-suffix pruning of START records and merging of
+	// equivalent aggregators/stages across queries). Reduction is
+	// output-invariant, so this knob exists for the reduction oracle
+	// tests and for A/B measurements, not for correctness.
+	DisableStateReduction bool
 }
 
 // resultSink implements shared result bookkeeping for executors.

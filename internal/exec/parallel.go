@@ -384,8 +384,12 @@ func (p *Parallel) FeedBatch(events []event.Event) error {
 // arrive anymore: the pending batches are dispatched immediately stamped
 // with the new watermark, every shard closes its windows up to t, and
 // the merge stage delivers them — without waiting for the batch limit or
-// a terminal Flush. Network sources use it to bound emission latency on
-// quiet or bursty streams. Events at or before t are subsequently
+// a terminal Flush. Network sources use it to bound emission latency
+// across rate swings: in a valley it drives out windows whose groups
+// went quiet, and when a burst subsides it is also what completes an
+// adaptive shard's in-flight share/split hand-off (the draining engine
+// is retired once the watermark passes its last window; see
+// Dynamic.AdvanceWatermark). Events at or before t are subsequently
 // rejected as out-of-order. Calls before the first event or at or below
 // the current watermark are no-ops, as is a call after Flush.
 func (p *Parallel) AdvanceWatermark(t int64) {
@@ -901,10 +905,14 @@ func NewParallelPartitioned(specs []SegmentSpec, workers int, opts Options) (*Pa
 // NewParallelDynamic builds a group-hash sharded dynamic executor: each
 // shard runs its own §7.4 Dynamic instance over its groups, measuring
 // its own rates and migrating independently (results are plan-invariant,
-// so per-shard migration points do not affect output). Initial rates are
-// scaled to the per-shard share so drift thresholds line up with what a
-// shard actually observes. It returns the shard Dynamics for
-// introspection (plan, migration counts); read them only after Flush.
+// so per-shard migration points do not affect output). With
+// DynamicConfig.Adaptive set, each shard carries its own burst detector
+// over its groups' arrival rates, so share-vs-split decisions are made
+// per group subset — a burst confined to one shard's groups switches
+// only that shard to the shared plan. Initial rates are scaled to the
+// per-shard share so drift thresholds line up with what a shard actually
+// observes. It returns the shard Dynamics for introspection (plan,
+// migration and transition counts); read them only after Flush.
 func NewParallelDynamic(w query.Workload, rates core.Rates, workers int, cfg DynamicConfig) (*Parallel, []*Dynamic, error) {
 	if err := validateUniform(w); err != nil {
 		return nil, nil, err
@@ -937,6 +945,15 @@ func NewParallelDynamic(w query.Workload, rates core.Rates, workers int, cfg Dyn
 					migrateMu.Lock()
 					defer migrateMu.Unlock()
 					cfg.OnMigrate(at, old, new)
+				}
+			}
+			if cfg.OnDecision != nil {
+				// Shards decide concurrently; serialize the callback the
+				// same way OnMigrate is.
+				c.OnDecision = func(at int64, state BurstState, plan core.Plan) {
+					migrateMu.Lock()
+					defer migrateMu.Unlock()
+					cfg.OnDecision(at, state, plan)
 				}
 			}
 			d, err := NewDynamic(w, shardRates, c)

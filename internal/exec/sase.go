@@ -17,6 +17,14 @@ import (
 // stream flows; like all sequence-constructing approaches, its run count
 // grows polynomially with the events per window, so it carries a live-run
 // cap and reports DNF beyond it.
+//
+// The automaton view is also the frame of reference for the shared
+// engine's SHARP-style dead-suffix prune (see aggNode.headOnly in
+// engine.go): a chain stage's segment aggregator is the collapsed form
+// of this NFA restricted to the segment, and a START record none of the
+// downstream combiners snapshotted corresponds to a run no open window
+// can carry to an accepting state — the engine recycles such records at
+// birth instead of extending them.
 type SASE struct {
 	w     query.Workload
 	win   query.Window

@@ -120,6 +120,17 @@ type DynamicSnapshot struct {
 	DrainPlan core.Plan
 	DrainFrom int64
 	Draining  *EngineSnapshot
+	// Adaptive runtime state: the share/split transition counters, the
+	// cumulative prune count of retired engines, and the burst
+	// detector's baseline and debounced state. The detector's debounce
+	// streak is deliberately not captured — restoring resets it, which
+	// can defer the next transition by up to Confirm-1 intervals but
+	// cannot change any emitted result (hand-offs are output-invariant).
+	ShareTransitions int
+	SplitTransitions int
+	PrunedRetired    int64
+	BurstBaseline    float64
+	BurstState       int
 }
 
 // ParallelSnapshot is the state of a parallel executor: one shard
@@ -165,6 +176,13 @@ func (en *Engine) snapshotGroup(g *engineGroup) GroupSnapshot {
 	for ci, ch := range g.chains {
 		for si, st := range ch.stages {
 			if si == 0 {
+				continue
+			}
+			// Merged stages are aliased by several chains; serialize each
+			// distinct stage exactly once, under the coordinates of the
+			// chain that created it (restore resolves the same alias, so
+			// the entries land in the shared ring exactly once).
+			if st.ownerChain != ci {
 				continue
 			}
 			ss := StageSnapshot{Chain: ci, Stage: si}
@@ -323,6 +341,13 @@ func (d *Dynamic) Snapshot() *SystemSnapshot {
 		ds.DrainFrom = d.drainFrom
 		ds.Draining = d.draining.Snapshot().Engine
 	}
+	ds.ShareTransitions = d.ShareTransitions
+	ds.SplitTransitions = d.SplitTransitions
+	ds.PrunedRetired = d.prunedRetired
+	if d.detector != nil {
+		ds.BurstBaseline = d.detector.Baseline()
+		ds.BurstState = int(d.detector.State())
+	}
 	return &SystemSnapshot{Kind: KindDynamic, Dynamic: ds}
 }
 
@@ -372,6 +397,12 @@ func (d *Dynamic) Restore(s *SystemSnapshot) error {
 	d.nextCheck = ds.NextCheck
 	d.boundary = ds.Boundary
 	d.currentFrom = ds.CurrentFrom
+	d.ShareTransitions = ds.ShareTransitions
+	d.SplitTransitions = ds.SplitTransitions
+	d.prunedRetired = ds.PrunedRetired
+	if d.detector != nil {
+		d.detector.restore(ds.BurstBaseline, BurstState(ds.BurstState))
+	}
 	return nil
 }
 

@@ -1,0 +1,201 @@
+package gen
+
+import (
+	"math/rand"
+
+	"github.com/sharon-project/sharon/internal/event"
+)
+
+// BurstShape selects the rate envelope of a bursty stream. All shapes
+// alternate between a valley rate and a burst rate; they differ in how
+// the transitions are scheduled.
+type BurstShape int
+
+const (
+	// ShapeSquare alternates hard between BaseRate and BurstRate: each
+	// period opens at BaseRate and spends its final Duty fraction at
+	// BurstRate. Opening in the valley lets rate detectors prime their
+	// baseline before the first burst hits. The canonical worst case
+	// for a fixed sharing plan.
+	ShapeSquare BurstShape = iota
+	// ShapePoisson draws burst onsets from a Poisson process (mean
+	// inter-burst gap = Period seconds) with exponentially distributed
+	// burst durations (mean = Duty*Period seconds). Bursts may merge
+	// when a new onset lands inside a live burst.
+	ShapePoisson
+	// ShapeRamp ramps linearly from BaseRate up to BurstRate over each
+	// period and snaps back — a sawtooth that exercises the detector's
+	// thresholds gradually instead of edge-on.
+	ShapeRamp
+)
+
+// String names the shape for experiment rows and logs.
+func (s BurstShape) String() string {
+	switch s {
+	case ShapeSquare:
+		return "square"
+	case ShapePoisson:
+		return "poisson"
+	case ShapeRamp:
+		return "ramp"
+	}
+	return "unknown"
+}
+
+// BurstyConfig drives GenerateBursty. The envelope is deterministic per
+// Seed, including the Poisson shape's onset schedule.
+type BurstyConfig struct {
+	// Types is the event-type alphabet; TypeWeights optionally skews it
+	// (nil means uniform), as in StreamConfig.
+	Types       []event.Type
+	TypeWeights []float64
+	// NumKeys is the number of distinct group keys.
+	NumKeys int
+	// Events is the total number of events to generate.
+	Events int
+	// BaseRate is the valley rate and BurstRate the peak rate, both in
+	// events per second. BurstRate should comfortably exceed the burst
+	// detector's enter threshold over BaseRate to be seen as a burst.
+	BaseRate, BurstRate float64
+	// Period is the seconds per cycle (square, ramp) or the mean
+	// inter-burst gap (poisson).
+	Period float64
+	// Duty is the fraction of a period spent bursting (square) or the
+	// mean burst duration as a fraction of Period (poisson). Ignored by
+	// ramp.
+	Duty float64
+	// Shape picks the envelope.
+	Shape BurstShape
+	// ValRange bounds the uniform numeric attribute [0, ValRange).
+	ValRange float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+func (cfg *BurstyConfig) fill() {
+	if cfg.NumKeys <= 0 {
+		cfg.NumKeys = 1
+	}
+	if cfg.BaseRate <= 0 {
+		cfg.BaseRate = 100
+	}
+	if cfg.BurstRate <= cfg.BaseRate {
+		cfg.BurstRate = cfg.BaseRate * 8
+	}
+	if cfg.Period <= 0 {
+		cfg.Period = 4
+	}
+	if cfg.Duty <= 0 || cfg.Duty >= 1 {
+		cfg.Duty = 0.25
+	}
+	if cfg.ValRange <= 0 {
+		cfg.ValRange = 100
+	}
+}
+
+// GenerateBursty produces a strictly time-ordered stream whose arrival
+// rate follows the configured burst envelope. Event contents (type, key,
+// value) are drawn exactly as in Generate; only the inter-arrival gaps
+// differ, so steady and bursty runs exercise the same query logic.
+func GenerateBursty(cfg BurstyConfig) event.Stream {
+	if cfg.Events <= 0 || len(cfg.Types) == 0 {
+		return nil
+	}
+	cfg.fill()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	cum := cumulative(cfg.TypeWeights, len(cfg.Types))
+	env := newEnvelope(cfg, rng)
+
+	out := make(event.Stream, 0, cfg.Events)
+	var t float64 // time in ticks
+	for i := 0; i < cfg.Events; i++ {
+		rate := env.rateAt(t / event.TicksPerSecond)
+		gap := float64(event.TicksPerSecond) / rate
+		if gap < 1 {
+			gap = 1
+		}
+		t += gap
+		out = append(out, event.Event{
+			Time: int64(t),
+			Type: cfg.Types[pick(rng, cum)],
+			Key:  event.GroupKey(rng.Intn(cfg.NumKeys)),
+			Val:  rng.Float64() * cfg.ValRange,
+		})
+	}
+	return out
+}
+
+// BurstyStreamForWorkload is the bursty analogue of StreamForWorkload:
+// hot types weighted hotFactor over fillers, arrival gaps following the
+// burst envelope.
+func BurstyStreamForWorkload(types []event.Type, numChunkTypes int, hotFactor float64, cfg BurstyConfig) event.Stream {
+	if hotFactor <= 0 {
+		hotFactor = 3
+	}
+	weights := make([]float64, len(types))
+	for i := range weights {
+		if i < numChunkTypes {
+			weights[i] = hotFactor
+		} else {
+			weights[i] = 1
+		}
+	}
+	cfg.Types = types
+	cfg.TypeWeights = weights
+	return GenerateBursty(cfg)
+}
+
+// envelope maps stream time (seconds) to an instantaneous target rate.
+type envelope struct {
+	cfg BurstyConfig
+	rng *rand.Rand
+	// Poisson schedule state: the currently materialized burst interval
+	// [burstStart, burstEnd) and the next onset after it.
+	burstStart, burstEnd float64
+}
+
+func newEnvelope(cfg BurstyConfig, rng *rand.Rand) *envelope {
+	e := &envelope{cfg: cfg, rng: rng}
+	if cfg.Shape == ShapePoisson {
+		// First onset after one mean gap keeps the stream opening in a
+		// valley so detectors prime on the base rate.
+		e.burstStart = cfg.Period * (0.5 + rng.Float64())
+		e.burstEnd = e.burstStart + e.duration()
+	}
+	return e
+}
+
+func (e *envelope) duration() float64 {
+	return e.cfg.Duty * e.cfg.Period * e.rng.ExpFloat64()
+}
+
+func (e *envelope) rateAt(sec float64) float64 {
+	cfg := e.cfg
+	switch cfg.Shape {
+	case ShapePoisson:
+		// Advance the schedule until the current interval covers sec.
+		// Time only moves forward, so this stays O(1) amortized.
+		for sec >= e.burstEnd {
+			gap := cfg.Period * e.rng.ExpFloat64()
+			start := e.burstEnd + gap
+			end := start + e.duration()
+			e.burstStart, e.burstEnd = start, end
+		}
+		if sec >= e.burstStart {
+			return cfg.BurstRate
+		}
+		return cfg.BaseRate
+	case ShapeRamp:
+		frac := mod1(sec / cfg.Period)
+		return cfg.BaseRate + (cfg.BurstRate-cfg.BaseRate)*frac
+	default: // ShapeSquare
+		frac := mod1(sec / cfg.Period)
+		if frac >= 1-cfg.Duty {
+			return cfg.BurstRate
+		}
+		return cfg.BaseRate
+	}
+}
+
+// mod1 returns the fractional part of x for x >= 0.
+func mod1(x float64) float64 { return x - float64(int64(x)) }

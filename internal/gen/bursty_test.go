@@ -1,0 +1,103 @@
+package gen
+
+import (
+	"testing"
+
+	"github.com/sharon-project/sharon/internal/event"
+)
+
+// windowedRates splits the stream into fixed wall-clock buckets and
+// returns the observed events/sec per bucket.
+func windowedRates(s event.Stream, bucketSec float64) []float64 {
+	if len(s) == 0 {
+		return nil
+	}
+	bucket := int64(bucketSec * event.TicksPerSecond)
+	last := s[len(s)-1].Time
+	n := int(last/bucket) + 1
+	counts := make([]float64, n)
+	for _, e := range s {
+		counts[e.Time/bucket]++
+	}
+	for i := range counts {
+		counts[i] /= bucketSec
+	}
+	return counts
+}
+
+func TestGenerateBurstyShapes(t *testing.T) {
+	reg := event.NewRegistry()
+	types := internN(reg, "T", 4)
+	for _, shape := range []BurstShape{ShapeSquare, ShapePoisson, ShapeRamp} {
+		t.Run(shape.String(), func(t *testing.T) {
+			// BurstRate stays below TicksPerSecond: gaps clamp to one
+			// tick, so rates beyond it are not representable.
+			s := GenerateBursty(BurstyConfig{
+				Types: types, NumKeys: 4, Events: 20000,
+				BaseRate: 100, BurstRate: 1000, Period: 4, Duty: 0.25,
+				Shape: shape, Seed: 7,
+			})
+			if len(s) != 20000 {
+				t.Fatalf("len = %d", len(s))
+			}
+			for i := 1; i < len(s); i++ {
+				if s[i].Time <= s[i-1].Time {
+					t.Fatalf("not strictly ordered at %d", i)
+				}
+			}
+			// The envelope must actually swing: some buckets near the
+			// base rate, some several times above it.
+			rates := windowedRates(s, 1)
+			var lo, hi int
+			for _, r := range rates {
+				if r < 300 {
+					lo++
+				}
+				if r > 700 {
+					hi++
+				}
+			}
+			if lo == 0 || hi == 0 {
+				t.Fatalf("%s: envelope did not swing (lo=%d hi=%d rates=%v)", shape, lo, hi, rates[:min(len(rates), 12)])
+			}
+		})
+	}
+}
+
+func TestGenerateBurstyDeterministic(t *testing.T) {
+	reg := event.NewRegistry()
+	types := internN(reg, "T", 3)
+	cfg := BurstyConfig{Types: types, NumKeys: 2, Events: 5000,
+		BaseRate: 100, BurstRate: 900, Period: 3, Duty: 0.3,
+		Shape: ShapePoisson, Seed: 42}
+	a := GenerateBursty(cfg)
+	b := GenerateBursty(cfg)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestBurstyStreamForWorkloadWeightsHotTypes(t *testing.T) {
+	reg := event.NewRegistry()
+	types := internN(reg, "T", 6)
+	s := BurstyStreamForWorkload(types, 2, 8, BurstyConfig{
+		NumKeys: 4, Events: 12000, BaseRate: 300, BurstRate: 1500,
+		Period: 2, Duty: 0.5, Shape: ShapeSquare, Seed: 3,
+	})
+	hot := 0
+	for _, e := range s {
+		if e.Type == types[0] || e.Type == types[1] {
+			hot++
+		}
+	}
+	// 2 hot types at weight 8 vs 4 fillers at weight 1: expect
+	// 16/20 = 80% hot; allow slack for sampling noise.
+	if frac := float64(hot) / float64(len(s)); frac < 0.7 {
+		t.Fatalf("hot fraction = %.2f, want >= 0.7", frac)
+	}
+}

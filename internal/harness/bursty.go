@@ -1,0 +1,183 @@
+package harness
+
+import (
+	"fmt"
+
+	"github.com/sharon-project/sharon/internal/core"
+	"github.com/sharon-project/sharon/internal/event"
+	"github.com/sharon-project/sharon/internal/exec"
+	"github.com/sharon-project/sharon/internal/gen"
+	"github.com/sharon-project/sharon/internal/metrics"
+	"github.com/sharon-project/sharon/internal/query"
+)
+
+// Bursty measures the burst-adaptive executor against the two static
+// policies it interpolates between — always-shared and always-split — on
+// streams whose arrival rate alternates between bursts and valleys, plus
+// a constant-rate control.
+//
+// The workload is built so the share-vs-split trade-off is real in both
+// directions: nq queries share a hot (C,D) suffix behind distinct
+// low-rate prefixes, under highly overlapping windows. During a burst
+// the split engines' per-event extend cost grows with the live-record
+// count (which grows with the rate), while the shared engine pays a
+// rate-independent snapshot-append overhead per suffix START — so
+// sharing wins bursts and loses valleys, and a static plan loses one
+// phase either way. The adaptive executor shares bursts and splits
+// valleys, paying for the hand-offs; the committed BENCH_bursty.json
+// records whether that trade nets out (CI gates it, see sharon-benchgate
+// -faster).
+func Bursty(cfg Config) ([]BenchRecord, error) {
+	cfg.fill()
+	reg := event.NewRegistry()
+	const nq = 8
+	hot := []event.Type{reg.Intern("C"), reg.Intern("D")}
+	// Distinct two-type prefixes drawn from a shared rare pool: each
+	// query's private prefix stays cheap while no two chains merge.
+	pool := make([]event.Type, nq)
+	for i := range pool {
+		pool[i] = reg.Intern(fmt.Sprintf("P%d", i))
+	}
+	w := make(query.Workload, nq)
+	queries := make([]int, nq)
+	win := query.Window{Length: 512, Slide: 32}
+	for i := range w {
+		w[i] = &query.Query{
+			ID:      i,
+			Pattern: query.Pattern{pool[i], pool[(i+1)%nq], hot[0], hot[1]},
+			Agg:     query.AggSpec{Kind: query.CountStar},
+			Window:  win,
+		}
+		queries[i] = i
+	}
+	types := append(append([]event.Type(nil), hot...), pool...)
+	weights := make([]float64, len(types))
+	weights[0], weights[1] = 6, 6 // C, D carry ~43% of the stream
+	for i := 2; i < len(weights); i++ {
+		weights[i] = 2
+	}
+
+	// The static shared plan is what a deployment optimized for its peak
+	// load would run: the Sharon optimizer's choice at burst-rate traffic
+	// (falling back to the full (C,D) candidate if the optimizer declines
+	// to share).
+	burstSample := gen.Generate(gen.StreamConfig{
+		Types: types, TypeWeights: weights,
+		Events: 20000, StartRate: 1000, EndRate: 1000, Seed: cfg.Seed,
+	})
+	sharedPlan, err := optimalPlan(w, ratesOf(burstSample, w))
+	if err != nil {
+		return nil, err
+	}
+	planNote := "optimizer plan at burst rates"
+	if len(sharedPlan) == 0 {
+		sharedPlan = core.Plan{core.NewCandidate(query.Pattern{hot[0], hot[1]}, queries)}
+		planNote = "forced (C,D) candidate: optimizer declined to share at burst rates"
+	}
+
+	adaptiveCfg := func() exec.DynamicConfig {
+		return exec.DynamicConfig{
+			Adaptive:   true,
+			CheckEvery: 128,
+			Burst:      exec.BurstConfig{Confirm: 2},
+		}
+	}
+
+	shapes := []struct {
+		name   string
+		stream event.Stream
+	}{}
+	// Bursts run at the tick-resolution ceiling (1000 ev/s); valleys at
+	// 200 ev/s carry most of the stream's *time* (and the majority of its
+	// events), so splitting wins most of the clock while sharing wins the
+	// load spikes. The event counts span several full cycles so hand-off
+	// costs are amortized the way a long-running deployment would see
+	// them. Poisson gets a longer mean burst (its exponential on-times
+	// make many bursts far shorter than the mean, and a sub-second burst
+	// ends before a hand-off can pay for itself).
+	for _, sh := range []struct {
+		shape  gen.BurstShape
+		events int
+		period float64
+		duty   float64
+	}{
+		{gen.ShapeSquare, 60000, 72, 8.0 / 72},
+		{gen.ShapePoisson, 80000, 96, 12.0 / 96},
+		{gen.ShapeRamp, 60000, 72, 8.0 / 72},
+	} {
+		shapes = append(shapes, struct {
+			name   string
+			stream event.Stream
+		}{"bursty-" + sh.shape.String(), gen.GenerateBursty(gen.BurstyConfig{
+			Types: types, TypeWeights: weights,
+			Events:   cfg.scaled(sh.events),
+			BaseRate: 200, BurstRate: 1000,
+			Period: sh.period, Duty: sh.duty,
+			Shape: sh.shape, Seed: cfg.Seed,
+		})})
+	}
+	shapes = append(shapes, struct {
+		name   string
+		stream event.Stream
+	}{"steady", gen.Generate(gen.StreamConfig{
+		Types: types, TypeWeights: weights,
+		Events:    cfg.scaled(20000),
+		StartRate: 300, EndRate: 300, Seed: cfg.Seed,
+	})})
+
+	var out []BenchRecord
+	for _, sh := range shapes {
+		runs := []struct {
+			name string
+			mk   func() (exec.Executor, error)
+		}{
+			{"static-shared", func() (exec.Executor, error) {
+				return exec.NewEngine(w, sharedPlan, exec.Options{})
+			}},
+			{"static-split", func() (exec.Executor, error) {
+				return exec.NewEngine(w, nil, exec.Options{})
+			}},
+			{"adaptive", func() (exec.Executor, error) {
+				return exec.NewDynamic(w, nil, adaptiveCfg())
+			}},
+		}
+		// The CI gate compares rows within this file, so each row is the
+		// best of several repetitions: scheduler noise only ever slows a
+		// run down, so min wall time is the stable estimator. Reps are
+		// interleaved across the executors (rep-outer loop) so a transient
+		// load spike degrades one rep of every row rather than every rep
+		// of one row — min then drops it from all of them.
+		const reps = 6
+		best := make([]metrics.RunStats, len(runs))
+		bestEx := make([]exec.Executor, len(runs))
+		for rep := 0; rep < reps; rep++ {
+			for i, r := range runs {
+				ex, err := r.mk()
+				if err != nil {
+					return nil, err
+				}
+				stats, err := Run(ex, sh.stream)
+				if err != nil {
+					return nil, fmt.Errorf("bursty %s/%s: %w", sh.name, r.name, err)
+				}
+				if rep == 0 || stats.Elapsed < best[i].Elapsed {
+					best[i], bestEx[i] = stats, ex
+				}
+			}
+		}
+		for i, r := range runs {
+			rec := NewBenchRecord(sh.name+"/"+r.name, best[i])
+			switch x := bestEx[i].(type) {
+			case *exec.Dynamic:
+				rec.Note = fmt.Sprintf("share=%d split=%d pruned=%d", x.ShareTransitions, x.SplitTransitions, x.PrunedStarts())
+			case *exec.Engine:
+				if r.name == "static-shared" {
+					rec.Note = planNote
+				}
+			}
+			cfg.Progress("bursty %s/%s: %s", sh.name, r.name, best[i])
+			out = append(out, rec)
+		}
+	}
+	return out, nil
+}

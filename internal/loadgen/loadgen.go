@@ -35,7 +35,8 @@ import (
 )
 
 // Config parameterizes one load run. The generated stream is a pure
-// function of the event index: event i carries tick i+1, type
+// function of the event index: event i carries tick streamTick(i)
+// (i+1 unless BurstRatio reshapes the tick spacing), type
 // Types[i%len(Types)], a hash-mixed group key, and val i%7+1 — so a
 // resumed run (StartIndex > 0) regenerates exactly the events the
 // interrupted run would have sent next.
@@ -54,6 +55,23 @@ type Config struct {
 	// (0 = as fast as the server accepts). The crash drills use it to
 	// keep the stream in flight long enough to kill the server mid-run.
 	RatePerSec float64
+	// BurstRatio, when > 1, modulates the generated stream's density in
+	// STREAM time (ticks) as a square wave, so a burst-adaptive server
+	// sees real arrival-rate swings: each BurstPeriod-event period opens
+	// with a valley half whose events sit BurstRatio ticks apart,
+	// followed by a burst half at one tick per event — the burst phase
+	// arrives BurstRatio× denser. Every event still gets a distinct,
+	// strictly increasing tick, and the mapping is a pure function of
+	// the event index, so resumed runs regenerate the stream exactly.
+	// Wall-clock throttling (RatePerSec) is independent. The bursty CI
+	// smoke drives sharond -adaptive with this and asserts the
+	// share/split transition counters move.
+	BurstRatio int
+	// BurstPeriod is the square wave's full period in events (default
+	// 8192 when BurstRatio is set). Each half phase must span enough
+	// ticks to cover the server's check interval (the window slide)
+	// several times over, or the detector never confirms a transition.
+	BurstPeriod int
 	// Groups is the number of distinct group keys (default 16).
 	Groups int
 	// Types is the event type cycle (default A, B, C, D — matching
@@ -129,9 +147,34 @@ func (c *Config) fill() {
 	if c.Wire == "" {
 		c.Wire = "ndjson"
 	}
+	if c.BurstRatio > 1 && c.BurstPeriod < 2 {
+		c.BurstPeriod = 8192
+	}
 	if c.Progress == nil {
 		c.Progress = func(string, ...any) {}
 	}
+}
+
+// streamTick maps event index i to its tick. The steady mapping is one
+// tick per event (tick i+1); with BurstRatio set it becomes a square
+// wave in stream time — each BurstPeriod-event period opens with a
+// valley half whose events are BurstRatio ticks apart, then a burst
+// half at one tick per event. Strictly increasing in i, and pure like
+// the steady mapping, so resumed runs regenerate the stream exactly.
+func (c *Config) streamTick(i int) int64 {
+	if c.BurstRatio <= 1 {
+		return int64(i) + 1
+	}
+	period := int64(c.BurstPeriod)
+	half := period / 2
+	ratio := int64(c.BurstRatio)
+	ticksPerPeriod := half*ratio + (period - half)
+	p, r := int64(i)/period, int64(i)%period
+	t := p * ticksPerPeriod
+	if r < half {
+		return t + (r+1)*ratio
+	}
+	return t + half*ratio + (r - half) + 1
 }
 
 // Report is the outcome of one load run.
@@ -515,7 +558,7 @@ func Run(cfg Config) (Report, error) {
 	// posted, then POST the batch (retrying 429s). abort marks a
 	// tolerated server death.
 	sentAt := make(map[int64]time.Time)
-	startTick := int64(cfg.StartIndex)
+	startTick := cfg.streamTick(cfg.StartIndex - 1) // tick before the first event (StartIndex with the steady mapping)
 	nextEnd := (startTick/cfg.Slide)*cfg.Slide + cfg.Within
 	var buf bytes.Buffer
 	// Binary modes accumulate events instead of NDJSON text; the type
@@ -626,7 +669,7 @@ func Run(cfg Config) (Report, error) {
 	}
 	last := cfg.StartIndex + cfg.Events
 	for i := cfg.StartIndex; i < last; i++ {
-		tick++
+		tick = cfg.streamTick(i)
 		// The key is hash-mixed so it never correlates with the type
 		// cycle (a plain i%Groups with Groups divisible by len(Types)
 		// would pin each group to one type and match nothing).

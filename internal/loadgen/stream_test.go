@@ -1,0 +1,42 @@
+package loadgen
+
+import "testing"
+
+// TestStreamTickSteady pins the steady mapping: event i carries tick
+// i+1, exactly what resumed crash-drill runs regenerate.
+func TestStreamTickSteady(t *testing.T) {
+	c := &Config{}
+	c.fill()
+	for _, i := range []int{-1, 0, 1, 7, 511, 100000} {
+		if got, want := c.streamTick(i), int64(i)+1; got != want {
+			t.Fatalf("streamTick(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+// TestStreamTickSquareWave checks the bursty mapping's invariants: ticks
+// strictly increase (the ingest path requires time order), valley-half
+// events sit BurstRatio ticks apart, burst-half events one apart, and
+// periods abut without gaps — so the stream-time arrival rate really is
+// a BurstRatio:1 square wave.
+func TestStreamTickSquareWave(t *testing.T) {
+	c := &Config{BurstRatio: 8, BurstPeriod: 100}
+	c.fill()
+	if got := c.streamTick(-1); got != 0 {
+		t.Fatalf("streamTick(-1) = %d, want 0 (tick before the first event)", got)
+	}
+	half := c.BurstPeriod / 2
+	prev := int64(0)
+	for i := 0; i < 5*c.BurstPeriod; i++ {
+		tick := c.streamTick(i)
+		gap := tick - prev
+		want := int64(1)
+		if i%c.BurstPeriod < half {
+			want = int64(c.BurstRatio)
+		}
+		if gap != want {
+			t.Fatalf("event %d: tick gap %d, want %d", i, gap, want)
+		}
+		prev = tick
+	}
+}

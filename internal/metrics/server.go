@@ -51,6 +51,16 @@ type ServerStats struct {
 	// Migrations counts live workload changes (queries added/removed)
 	// that installed a new plan.
 	Migrations int64 `json:"migrations"`
+	// BurstState is the adaptive runtime's debounced detector state
+	// ("valley" | "burst"); empty when the server is not adaptive.
+	BurstState string `json:"burst_state,omitempty"`
+	// ShareTransitions/SplitTransitions count the adaptive runtime's
+	// confirmed burst→shared and valley→split plan installs.
+	ShareTransitions int64 `json:"share_transitions"`
+	SplitTransitions int64 `json:"split_transitions"`
+	// PrunedStarts counts START records the state reduction recycled at
+	// birth (no open window could still observe them).
+	PrunedStarts int64 `json:"pruned_starts"`
 	// PeakLiveStates is the engine's peak live aggregate-state count
 	// (sequential engines report live; parallel engines report 0 until
 	// drained — worker goroutines own the shard state while running).

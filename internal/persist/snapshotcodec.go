@@ -14,7 +14,11 @@ import (
 // SnapshotVersion is the executor-state format version; bumped on every
 // incompatible change to the encoding below. Decoders reject unknown
 // versions instead of guessing.
-const SnapshotVersion = 1
+//
+// v2: dynamic snapshots carry the adaptive share/split runtime state
+// (transition counters, retired prune count, burst detector baseline
+// and state).
+const SnapshotVersion = 2
 
 // snapshot kind tags (one byte each; exec kinds are strings for
 // in-memory clarity, bytes on disk).
@@ -104,6 +108,11 @@ func encodeSystem(e *Encoder, s *exec.SystemSnapshot) error {
 			e.Varint(dn.DrainFrom)
 			encodeEngine(e, dn.Draining)
 		}
+		e.Varint(int64(dn.ShareTransitions))
+		e.Varint(int64(dn.SplitTransitions))
+		e.Varint(dn.PrunedRetired)
+		e.Float(dn.BurstBaseline)
+		e.Varint(int64(dn.BurstState))
 	}
 	return nil
 }
@@ -169,6 +178,11 @@ func decodeSystem(d *Decoder) *exec.SystemSnapshot {
 			dn.DrainFrom = d.Varint()
 			dn.Draining = decodeEngine(d)
 		}
+		dn.ShareTransitions = int(d.Varint())
+		dn.SplitTransitions = int(d.Varint())
+		dn.PrunedRetired = d.Varint()
+		dn.BurstBaseline = d.Float()
+		dn.BurstState = int(d.Varint())
 		s.Dynamic = dn
 	}
 	return s

@@ -92,6 +92,12 @@ func (s *Server) writeProm(w http.ResponseWriter, st metrics.ServerStats) {
 	pw.Gauge("sharon_subscribers", "Live result subscriptions.", nil, float64(st.Subscribers))
 	pw.Counter("sharon_slow_consumer_disconnects_total", "Subscribers dropped on delivery-buffer overflow.", nil, float64(st.SlowConsumerDisconnects))
 	pw.Counter("sharon_migrations_total", "Live workload changes that installed a new plan.", nil, float64(st.Migrations))
+	if st.BurstState != "" {
+		pw.Gauge("sharon_burst_state", "Adaptive detector state (0 = valley/split, 1 = burst/shared).", nil, boolGauge(st.BurstState == "burst"))
+	}
+	pw.Counter("sharon_share_transitions_total", "Confirmed burst transitions that installed the shared plan.", nil, float64(st.ShareTransitions))
+	pw.Counter("sharon_split_transitions_total", "Confirmed valley transitions that split back to per-query plans.", nil, float64(st.SplitTransitions))
+	pw.Counter("sharon_pruned_starts_total", "START records recycled at birth by the state reduction.", nil, float64(st.PrunedStarts))
 	pw.Gauge("sharon_peak_live_states", "Peak live aggregate-state count.", nil, float64(st.PeakLiveStates))
 	pw.Gauge("sharon_groups_live", "Live per-group runtimes owned by the engine.", nil, float64(st.GroupsLive))
 	pw.Gauge("sharon_draining", "1 while the server is shutting down.", nil, boolGauge(st.Draining))

@@ -48,6 +48,10 @@ type Config struct {
 	// Dynamic backs uniform workloads with a DynamicSystem, which also
 	// re-optimizes the plan when measured event rates drift mid-stream.
 	Dynamic bool
+	// Adaptive switches the dynamic system to per-burst share-vs-split
+	// decisions (sharon.DynamicOptions.Adaptive); implies Dynamic. The
+	// detector state and transition counters surface on /metrics.
+	Adaptive bool
 
 	// MaxBatchBytes bounds an ingest request body (default 8 MiB);
 	// larger requests are rejected with 413 before buffering.
@@ -108,6 +112,9 @@ type Config struct {
 }
 
 func (c *Config) fill() {
+	if c.Adaptive {
+		c.Dynamic = true // adaptive mode runs on the dynamic system
+	}
 	if c.MaxBatchBytes <= 0 {
 		c.MaxBatchBytes = 8 << 20
 	}
@@ -234,6 +241,10 @@ type Server struct {
 	rej429          atomic.Int64
 	rej413          atomic.Int64
 	migrations      atomic.Int64
+	burstState      atomic.Int32 // exec.BurstState of the last decision
+	shareTrans      atomic.Int64
+	splitTrans      atomic.Int64
+	prunedStarts    atomic.Int64
 	wm              atomic.Int64
 	maxAdvance      atomic.Int64
 	peakStates      atomic.Int64
@@ -635,6 +646,12 @@ func (s *Server) publishEngineStats(force bool) {
 	s.peakStates.Store(s.cur.eng.PeakMemoryStates())
 	s.groupsLive.Store(s.cur.eng.GroupCount())
 	s.parStats.Store(metrics.WireParallelStats(s.cur.eng.ParallelStats()))
+	if s.cur.dyn != nil {
+		// Safe here: publishEngineStats runs on the pump goroutine, which
+		// owns the sequential executor (the parallel path reports 0 until
+		// drained, like PeakMemoryStates).
+		s.prunedStarts.Store(s.cur.dyn.PrunedStarts())
+	}
 }
 
 // fail records an engine error. The late filter makes ordering errors
@@ -958,12 +975,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Subscribers:              s.hub.Count(),
 		SlowConsumerDisconnects:  s.hub.SlowDrops(),
 		Migrations:               s.migrations.Load(),
+		ShareTransitions:         s.shareTrans.Load(),
+		SplitTransitions:         s.splitTrans.Load(),
+		PrunedStarts:             s.prunedStarts.Load(),
 		PeakLiveStates:           s.peakStates.Load(),
 		GroupsLive:               s.groupsLive.Load(),
 		Draining:                 draining,
 		Stages:                   s.stages.summaries(),
 		Parallel:                 s.parStats.Load(),
 		Durability:               s.durabilityStats(),
+	}
+	if s.cfg.Adaptive {
+		st.BurstState = sharon.BurstState(s.burstState.Load()).String()
 	}
 	if obs.MetricsFormat(r) == "prometheus" {
 		s.writeProm(w, st)

@@ -168,12 +168,27 @@ func (s *Server) buildSystem(entries []queryEntry, rates sharon.Rates, plan shar
 		}
 		bs.eng = sys
 	case s.cfg.Dynamic:
-		dyn, err := sharon.NewDynamicSystem(w, rates, sharon.DynamicOptions{
+		dopts := sharon.DynamicOptions{
 			OnResult:    sk.onResult,
 			EmitEmpty:   s.cfg.EmitEmpty,
 			Parallelism: s.cfg.Parallelism,
 			OnMigrate:   func(int64, sharon.Plan, sharon.Plan) { s.migrations.Add(1) },
-		})
+		}
+		if s.cfg.Adaptive {
+			dopts.Adaptive = true
+			// Transition counters and the detector-state gauge are fed
+			// from the decision callback (serialized across shards), not
+			// polled: shard state is worker-owned while the run is live.
+			dopts.OnDecision = func(_ int64, state sharon.BurstState, _ sharon.Plan) {
+				s.burstState.Store(int32(state))
+				if state == sharon.Burst {
+					s.shareTrans.Add(1)
+				} else {
+					s.splitTrans.Add(1)
+				}
+			}
+		}
+		dyn, err := sharon.NewDynamicSystem(w, rates, dopts)
 		if err != nil {
 			return nil, err
 		}

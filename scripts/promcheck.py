@@ -4,12 +4,14 @@
 Usage:
     promcheck.py FILE [ASSERTION...]
 
-Each ASSERTION is `series==value`, where series is a metric name with
-optional {label=value,...} selector (order-insensitive, subset match):
+Each ASSERTION is `series==value` or `series>=value`, where series is a
+metric name with optional {label=value,...} selector (order-insensitive,
+subset match):
 
     promcheck.py metrics.prom \
         'sharon_events_ingested_total==100000' \
-        'sharon_stage_latency_seconds_count{stage=apply}==391'
+        'sharon_stage_latency_seconds_count{stage=apply}==391' \
+        'sharon_share_transitions_total>=1'
 
 Beyond the assertions, the whole file is structurally validated: every
 sample line must parse, every histogram's le buckets must be cumulative
@@ -114,13 +116,18 @@ def main():
         sys.exit(f"{sys.argv[1]}: no samples at all")
     check_histograms(samples)
     for assertion in sys.argv[2:]:
-        series, _, want = assertion.partition("==")
+        if ">=" in assertion:
+            op = ">="
+        else:
+            op = "=="
+        series, _, want = assertion.partition(op)
         if not want:
-            sys.exit(f"bad assertion (need series==value): {assertion!r}")
+            sys.exit(f"bad assertion (need series==value or series>=value): {assertion!r}")
         got = lookup(samples, series.strip())
-        if got != float(want):
-            sys.exit(f"FAIL: {series.strip()} = {got}, want {want}")
-        print(f"ok: {series.strip()} == {want}")
+        ok = got >= float(want) if op == ">=" else got == float(want)
+        if not ok:
+            sys.exit(f"FAIL: {series.strip()} = {got}, want {op} {want}")
+        print(f"ok: {series.strip()} {op} {want}")
     print(f"{sys.argv[1]}: {len(samples)} samples, exposition valid")
 
 
