@@ -15,6 +15,7 @@
 //	sharon-bench -exp hotpath           # steady-state per-event engine cost (ns/event, allocs/event)
 //	sharon-bench -exp bursty            # burst-adaptive share-vs-split vs static plans
 //	sharon-bench -exp server            # end-to-end sharond over loopback (ev/s, ingest-to-emit latency)
+//	sharon-bench -exp fanout            # broadcast egress tier: encode-once fan-out to 10k..1M subscribers
 //	sharon-bench -exp all [-scale 10]   # every paper experiment (scale 10 ≈ paper size)
 //
 // With -json DIR, every experiment additionally writes its results as
@@ -34,7 +35,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id: table1, fig13, fig14ae, fig14bf, fig14cg, fig15, fig16, parallel, hotpath, bursty, server, wire, all")
+		exp     = flag.String("exp", "all", "experiment id: table1, fig13, fig14ae, fig14bf, fig14cg, fig15, fig16, parallel, hotpath, bursty, server, wire, fanout, all")
 		scale   = flag.Float64("scale", 1, "stream size multiplier (1 ≈ paper shapes at 1/10 size, 10 ≈ paper size)")
 		seed    = flag.Int64("seed", 1, "generator seed")
 		jsonDir = flag.String("json", "", "directory to write machine-readable BENCH_<exp>.json results into (empty: don't)")
@@ -67,6 +68,17 @@ func main() {
 			fmt.Printf("  %s: ingest-to-emit latency p50 %.2fms p99 %.2fms\n", r.Name, r.LatencyP50Ms, r.LatencyP99Ms)
 		}
 		writeJSON(*jsonDir, harness.BenchFile{Experiment: "server", Records: recs})
+	case "fanout":
+		recs, err := harness.FanoutBench(cfg)
+		fail(err)
+		fmt.Printf("fanout — broadcast egress tier: shared frames over mock subscribers (encode-once at 10k..1M subscribers)\n")
+		fmt.Print(harness.FormatBenchRecords(recs))
+		for _, r := range recs {
+			if r.Note != "" {
+				fmt.Printf("  %s: %s (lag p99 %.2fms)\n", r.Name, r.Note, r.LatencyP99Ms)
+			}
+		}
+		writeJSON(*jsonDir, harness.BenchFile{Experiment: "fanout", Records: recs})
 	case "wire":
 		recs, err := harness.WireBench(cfg)
 		fail(err)

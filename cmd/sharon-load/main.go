@@ -62,6 +62,8 @@ func main() {
 		within     = flag.Int64("within", 4000, "served workload's window length in ticks")
 		slide      = flag.Int64("slide", 1000, "served workload's window slide in ticks")
 		resumeAt   = flag.String("resume-after", "", "subscribe with ?after=N (resume a dropped subscription; -1 replays everything retained)")
+		subs       = flag.Int("subscribers", 0, "hold this many extra broadcast-tier subscriptions open for the run, each seq-checked (0 = none)")
+		transport  = flag.String("transport", "sse", "swarm subscriber transport: sse | ws")
 		framesOut  = flag.String("frames-out", "", "append received result payloads (one JSON line each) to this file")
 		tolerate   = flag.Bool("tolerate-abort", false, "treat a mid-run server death as a reported outcome, not an error")
 		noWM       = flag.Bool("no-watermark", false, "do not close the stream with a final watermark")
@@ -104,6 +106,8 @@ func main() {
 		TolerateAbort:  *tolerate,
 		FramesPath:     *framesOut,
 		QuiesceStill:   *still,
+		Subscribers:    *subs,
+		SubTransport:   *transport,
 	}
 	if *resumeAt != "" {
 		var after int64
@@ -136,8 +140,13 @@ func main() {
 		rep.LatencyP50Ms, rep.LatencyP90Ms, rep.LatencyP99Ms, rep.LatencyP999Ms, rep.LatencyMaxMs,
 		rep.Rejected429, rep.Aborted, rep.NextIndex)
 	for _, ep := range rep.Endpoints {
-		fmt.Printf("sharon-load: endpoint %s  %d results  seq [%d,%d] gaps=%d dups=%d  closed=%v\n",
-			ep.URL, ep.Results, ep.FirstSeq, ep.LastSeq, ep.SeqGaps, ep.SeqDups, ep.Closed)
+		fmt.Printf("sharon-load: endpoint %s  %d results  seq [%d,%d] gaps=%d dups=%d  closed=%v terminal=%q\n",
+			ep.URL, ep.Results, ep.FirstSeq, ep.LastSeq, ep.SeqGaps, ep.SeqDups, ep.Closed, ep.Terminal)
+	}
+	if sw := rep.Swarm; sw != nil {
+		fmt.Printf("sharon-load: swarm %d/%d connected (%s)  %d frames  gaps=%d dups=%d  eof=%d dropped_slow=%d dropped_filtered=%d unexplained=%d\n",
+			sw.Connected, sw.Subscribers, *transport, sw.Results, sw.SeqGaps, sw.SeqDups,
+			sw.CleanEOF, sw.DroppedSlow, sw.DroppedFiltered, sw.Unexplained)
 	}
 	if *jsonOut != "" {
 		data, _ := json.MarshalIndent(rep, "", "  ")
@@ -161,6 +170,20 @@ func main() {
 				log.Printf("sharon-load: FAIL: endpoint %s has %d seq gaps and %d duplicates", ep.URL, ep.SeqGaps, ep.SeqDups)
 				failed = true
 			}
+		}
+		if sw := rep.Swarm; sw != nil && (sw.SeqGaps > 0 || sw.SeqDups > 0) {
+			log.Printf("sharon-load: FAIL: swarm has %d seq gaps and %d duplicates", sw.SeqGaps, sw.SeqDups)
+			failed = true
+		}
+	}
+	if sw := rep.Swarm; sw != nil {
+		if sw.Connected < int64(sw.Subscribers) {
+			log.Printf("sharon-load: FAIL: only %d/%d swarm subscribers connected", sw.Connected, sw.Subscribers)
+			failed = true
+		}
+		if sw.Unexplained > 0 {
+			log.Printf("sharon-load: FAIL: %d swarm streams ended without a terminal frame", sw.Unexplained)
+			failed = true
 		}
 	}
 	if *require && !rep.Aborted && rep.Results == 0 {

@@ -77,7 +77,8 @@ func main() {
 		emitEmpty   = flag.Bool("emit-empty", false, "also push zero results for windows without matches")
 		maxBatch    = flag.Int64("max-batch-bytes", 8<<20, "ingest request body limit")
 		queue       = flag.Int("queue", 256, "ingest queue bound in batches (full queue = 429)")
-		subBuf      = flag.Int("sub-buffer", 4096, "per-subscription delivery buffer in results")
+		subBuf      = flag.Int("sub-buffer", 4096, "deprecated (ignored): delivery is cursor-based over the shared broadcast log")
+		fanoutW     = flag.Int("fanout-writers", 0, "broadcast fan-out writer pool size (0 = default 4)")
 		replayBuf   = flag.Int("replay-buffer", 16384, "retained results for /subscribe?after= resume")
 		dataDir     = flag.String("data-dir", "", "enable durability: WAL + checkpoints under this directory")
 		ckptEvery   = flag.Duration("checkpoint-interval", 10*time.Second, "periodic checkpoint interval (with -data-dir)")
@@ -87,12 +88,18 @@ func main() {
 		vnodes      = flag.Int("vnodes", 0, "router: consistent-hash virtual nodes per worker (0 = default)")
 		healthEvery = flag.Duration("health-interval", 2*time.Second, "router: worker health probe interval")
 		barrierTo   = flag.Duration("barrier-timeout", 30*time.Second, "router: rebalance barrier timeout")
+		occHigh     = flag.Int64("occupancy-high", 0, "router: auto-join a standby worker when any member's live-group gauge exceeds this (0 disables autoscaling)")
+		occLow      = flag.Int64("occupancy-low", 0, "router: auto-drain the least-occupied worker when every member's gauge is below this (0 disables scale-in)")
+		scaleEvery  = flag.Duration("autoscale-interval", 0, "router: occupancy evaluation interval (0 = health probe interval)")
+		scaleCool   = flag.Duration("autoscale-cooldown", 15*time.Second, "router: minimum spacing between autoscale operations")
 		verbose     = flag.Bool("v", false, "log operational events")
 		logFormat   = flag.String("log-format", "text", "operational log format with -v: text | json")
 		debugAddr   = flag.String("debug-addr", "", "serve pprof and /debug/traces on this separate address (e.g. localhost:6060); empty disables")
 	)
+	var standby multiFlag
 	flag.Var(&queries, "query", "query text (repeatable)")
 	flag.Var(&workers, "worker", "router: worker base URL, optionally url=data-dir (repeatable; data-dir enables dead-worker recovery)")
+	flag.Var(&standby, "standby", "router: pre-provisioned fresh worker the autoscaler may join, url[=data-dir] (repeatable; requires -occupancy-high)")
 	flag.Parse()
 
 	if *queriesFile != "" {
@@ -123,16 +130,26 @@ func main() {
 			url, dir, _ := strings.Cut(w, "=")
 			specs[i] = cluster.WorkerSpec{URL: strings.TrimSuffix(url, "/"), DataDir: dir}
 		}
+		standbySpecs := make([]cluster.WorkerSpec, len(standby))
+		for i, w := range standby {
+			url, dir, _ := strings.Cut(w, "=")
+			standbySpecs[i] = cluster.WorkerSpec{URL: strings.TrimSuffix(url, "/"), DataDir: dir}
+		}
 		cfg := cluster.Config{
-			Workers:          specs,
-			Queries:          queries,
-			VNodes:           *vnodes,
-			MaxBatchBytes:    *maxBatch,
-			IngestQueue:      *queue,
-			SubscriberBuffer: *subBuf,
-			ReplayBuffer:     *replayBuf,
-			HealthEvery:      *healthEvery,
-			BarrierTimeout:   *barrierTo,
+			Workers:           specs,
+			Queries:           queries,
+			VNodes:            *vnodes,
+			MaxBatchBytes:     *maxBatch,
+			IngestQueue:       *queue,
+			ReplayBuffer:      *replayBuf,
+			FanoutWriters:     *fanoutW,
+			HealthEvery:       *healthEvery,
+			BarrierTimeout:    *barrierTo,
+			Standby:           standbySpecs,
+			OccupancyHigh:     *occHigh,
+			OccupancyLow:      *occLow,
+			AutoScaleEvery:    *scaleEvery,
+			AutoScaleCooldown: *scaleCool,
 		}
 		if *verbose {
 			cfg.Logf = log.Printf
@@ -169,6 +186,7 @@ func main() {
 		MaxBatchBytes:    *maxBatch,
 		IngestQueue:      *queue,
 		SubscriberBuffer: *subBuf,
+		FanoutWriters:    *fanoutW,
 		ReplayBuffer:     *replayBuf,
 		DataDir:          *dataDir,
 		CheckpointEvery:  *ckptEvery,

@@ -242,7 +242,7 @@ func (r *Router) readLane(ln *lane, resp *http.Response) {
 				case ln.adopted <- p.Op:
 				default:
 				}
-			case "eof", "error":
+			case "eof", "error", "dropped":
 				return
 			}
 		}
@@ -363,7 +363,7 @@ func (r *Router) advanceMergeLocked(nowNano int64) {
 				return
 			}
 			r.ring.Append(r.seq, payload)
-			r.hub.Publish(bucket[i].Query, r.seq, payload, nowNano)
+			r.hub.Publish(bucket[i].Query, bucket[i].Group, r.seq, payload, nowNano)
 			r.seq++
 			r.emitted.Add(1)
 		}

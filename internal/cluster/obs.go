@@ -132,6 +132,15 @@ func (r *Router) writeProm(w http.ResponseWriter, st metrics.RouterStats) {
 	pw.Counter("sharon_router_results_delivered_total", "Result frames fanned out to subscribers.", nil, float64(st.ResultsDelivered))
 	pw.Gauge("sharon_router_subscribers", "Live downstream subscriptions.", nil, float64(st.Subscribers))
 	pw.Counter("sharon_router_slow_consumer_disconnects_total", "Subscribers dropped on delivery-buffer overflow.", nil, float64(st.SlowConsumerDisconnects))
+	pw.Gauge("sharon_fanout_subscribers", "Live subscriptions on the broadcast fan-out tier.", nil, float64(st.Subscribers))
+	pw.Counter("sharon_fanout_frames_encoded_total", "Shared frames rendered (once per merged result or ctl event).", nil, float64(st.FanoutFramesEncoded))
+	pw.Counter("sharon_fanout_frames_delivered_total", "Frames written into subscriber streams.", nil, float64(st.FanoutFramesDelivered))
+	pw.Counter("sharon_fanout_dropped_total", "Subscribers ended with an explicit dropped frame, by reason.", []string{"reason", "slow-consumer"}, float64(st.FanoutDroppedSlow))
+	pw.Counter("sharon_fanout_dropped_total", "Subscribers ended with an explicit dropped frame, by reason.", []string{"reason", "filtered-resume"}, float64(st.FanoutDroppedFiltered))
+	pw.Counter("sharon_router_autoscale_total", "Occupancy-triggered membership changes, by direction.", []string{"direction", "out"}, float64(st.AutoScaleOut))
+	pw.Counter("sharon_router_autoscale_total", "Occupancy-triggered membership changes, by direction.", []string{"direction", "in"}, float64(st.AutoScaleIn))
+	pw.Counter("sharon_router_autoscale_failed_total", "Autoscale attempts that aborted.", nil, float64(st.AutoScaleFailed))
+	pw.Gauge("sharon_router_standby_workers", "Fresh workers remaining in the autoscale standby pool.", nil, float64(st.StandbyWorkers))
 	pw.Counter("sharon_router_rebalances_total", "Completed hash-range hand-offs.", nil, float64(st.Rebalances))
 	pw.Counter("sharon_router_rebalances_failed_total", "Aborted rebalances (cluster error state).", nil, float64(st.RebalancesFailed))
 	pw.Gauge("sharon_router_last_rebalance_seconds", "Duration of the most recent rebalance.", nil, st.LastRebalanceMs/1e3)

@@ -74,13 +74,36 @@ type Config struct {
 	VNodes int
 
 	// MaxBatchBytes / IngestQueue / SubscriberBuffer / ReplayBuffer /
-	// HeartbeatEvery / WriteTimeout mirror server.Config.
+	// HeartbeatEvery / WriteTimeout / FanoutWriters mirror server.Config
+	// (SubscriberBuffer is deprecated and ignored — delivery is
+	// cursor-based over the shared broadcast log).
 	MaxBatchBytes    int64
 	IngestQueue      int
 	SubscriberBuffer int
 	ReplayBuffer     int
 	HeartbeatEvery   time.Duration
 	WriteTimeout     time.Duration
+	FanoutWriters    int
+
+	// Standby names pre-provisioned fresh workers (running, empty
+	// data-dir) the autoscaler may join into the ring when load calls
+	// for it. Workers here are NOT initial members.
+	Standby []WorkerSpec
+	// OccupancyHigh arms elastic scale-out: when any member's live-group
+	// gauge exceeds it, the router auto-joins one standby worker through
+	// the existing checkpoint-handoff rebalance. 0 disables autoscaling.
+	OccupancyHigh int64
+	// OccupancyLow arms elastic scale-in: when every member's live-group
+	// gauge is below it (and the cluster has spare capacity), the router
+	// auto-leaves the least-occupied worker. 0 disables scale-in.
+	OccupancyLow int64
+	// AutoScaleEvery is the occupancy-evaluation interval (default
+	// HealthEvery — the gauge refresh cadence).
+	AutoScaleEvery time.Duration
+	// AutoScaleCooldown is the minimum spacing between autoscale
+	// operations (default 15s), damping flap while gauges catch up to a
+	// rebalance.
+	AutoScaleCooldown time.Duration
 
 	// HealthEvery is the worker health-probe interval (default 2s).
 	HealthEvery time.Duration
@@ -126,8 +149,17 @@ func (c *Config) fill() {
 	if c.WriteTimeout <= 0 {
 		c.WriteTimeout = 10 * time.Second
 	}
+	if c.FanoutWriters <= 0 {
+		c.FanoutWriters = 4
+	}
 	if c.HealthEvery <= 0 {
 		c.HealthEvery = 2 * time.Second
+	}
+	if c.AutoScaleEvery <= 0 {
+		c.AutoScaleEvery = c.HealthEvery
+	}
+	if c.AutoScaleCooldown <= 0 {
+		c.AutoScaleCooldown = 15 * time.Second
 	}
 	if c.DeadAfter <= 0 {
 		c.DeadAfter = 3
@@ -229,6 +261,14 @@ type Router struct {
 
 	opSeq atomic.Int64
 
+	// standby is the autoscaler's pool of joinable fresh workers; r.mu.
+	standby []WorkerSpec
+	// lastAuto stamps the newest autoscale operation (cooldown base).
+	lastAuto      atomic.Int64
+	autoOut       atomic.Int64
+	autoIn        atomic.Int64
+	autoScaleFail atomic.Int64
+
 	ingested       atomic.Int64
 	droppedLate    atomic.Int64
 	droppedUnknown atomic.Int64
@@ -253,7 +293,6 @@ func New(cfg Config) (*Router, error) {
 	r := &Router{
 		cfg:      cfg,
 		reg:      sharon.NewRegistry(),
-		hub:      server.NewHub(),
 		ring:     server.NewReplayRing(cfg.ReplayBuffer),
 		client:   &http.Client{},
 		probeCli: &http.Client{Timeout: 2 * time.Second},
@@ -268,6 +307,14 @@ func New(cfg Config) (*Router, error) {
 	}
 	r.log = cfg.Logger
 	r.tracer = obs.NewTracer(cfg.TraceSpans)
+	r.hub = server.NewHub(server.HubOptions{
+		Writers:        cfg.FanoutWriters,
+		Retain:         cfg.ReplayBuffer,
+		HeartbeatEvery: cfg.HeartbeatEvery,
+		WriteTimeout:   cfg.WriteTimeout,
+		FanoutNs:       &r.stages.fanout,
+	})
+	r.standby = append([]WorkerSpec(nil), cfg.Standby...)
 	r.wm.Store(-1)
 
 	// Compile the workload exactly like a worker does: same queries,
@@ -358,6 +405,7 @@ func New(cfg Config) (*Router, error) {
 	r.routes()
 	go r.pump()
 	go r.healthLoop()
+	go r.autoscaleLoop()
 	return r, nil
 }
 
@@ -789,6 +837,7 @@ func (r *Router) routes() {
 	r.mux.HandleFunc("POST /ingest", r.handleIngest)
 	r.mux.HandleFunc("POST /watermark", r.handleWatermark)
 	r.mux.HandleFunc("GET /subscribe", r.handleSubscribe)
+	r.mux.HandleFunc("GET /subscribe/ws", r.handleSubscribeWS)
 	r.mux.HandleFunc("GET /metrics", r.handleMetrics)
 	r.mux.HandleFunc("GET /debug/traces", r.handleTraces)
 	r.mux.HandleFunc("GET /healthz", r.handleHealthz)
@@ -929,10 +978,9 @@ func (r *Router) handleWatermark(w http.ResponseWriter, req *http.Request) {
 	writeJSON(w, http.StatusAccepted, map[string]any{"watermark": *line.Watermark})
 }
 
-func (r *Router) handleSubscribe(w http.ResponseWriter, req *http.Request) {
-	server.ServeStream(w, req, server.StreamOptions{
-		Hub:  r.hub,
-		Ring: r.ring,
+func (r *Router) streamOptions() server.StreamOptions {
+	return server.StreamOptions{
+		Hub: r.hub,
 		QueryKnown: func(id int) bool {
 			_, ok := r.queries[id]
 			return ok
@@ -942,11 +990,15 @@ func (r *Router) handleSubscribe(w http.ResponseWriter, req *http.Request) {
 			defer r.mu.Unlock()
 			return r.mergedWM
 		},
-		SubscriberBuffer: r.cfg.SubscriberBuffer,
-		HeartbeatEvery:   r.cfg.HeartbeatEvery,
-		WriteTimeout:     r.cfg.WriteTimeout,
-		FanoutNs:         &r.stages.fanout,
-	})
+	}
+}
+
+func (r *Router) handleSubscribe(w http.ResponseWriter, req *http.Request) {
+	server.ServeStream(w, req, r.streamOptions())
+}
+
+func (r *Router) handleSubscribeWS(w http.ResponseWriter, req *http.Request) {
+	server.ServeStreamWS(w, req, r.streamOptions())
 }
 
 func (r *Router) handleQueries(w http.ResponseWriter, req *http.Request) {
@@ -989,9 +1041,16 @@ func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
 		IngestQueueDepth:         len(r.ingest),
 		IngestQueueCap:           cap(r.ingest),
 		ResultsEmitted:           r.emitted.Load(),
-		ResultsDelivered:         r.hub.Delivered(),
+		ResultsDelivered:         r.hub.DeliveredResults(),
 		Subscribers:              r.hub.Count(),
 		SlowConsumerDisconnects:  r.hub.SlowDrops(),
+		FanoutFramesEncoded:      r.hub.Encoded(),
+		FanoutFramesDelivered:    r.hub.Delivered(),
+		FanoutDroppedSlow:        r.hub.SlowDrops(),
+		FanoutDroppedFiltered:    r.hub.FilteredDrops(),
+		AutoScaleOut:             r.autoOut.Load(),
+		AutoScaleIn:              r.autoIn.Load(),
+		AutoScaleFailed:          r.autoScaleFail.Load(),
 		Rebalances:               r.rebalances.Load(),
 		RebalancesFailed:         r.rebalanceFail.Load(),
 		LastRebalanceMs:          float64(r.lastRebalance.Load()) / 1e6,
@@ -1001,6 +1060,7 @@ func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
 	}
 	r.mu.Lock()
 	st.MergedWatermark = r.mergedWM
+	st.StandbyWorkers = len(r.standby)
 	ids := make([]string, 0, len(r.lanes))
 	for id := range r.lanes {
 		ids = append(ids, id)

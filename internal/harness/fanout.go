@@ -1,0 +1,151 @@
+package harness
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"github.com/sharon-project/sharon/internal/obs"
+	"github.com/sharon-project/sharon/internal/server"
+)
+
+// FanoutBench measures the broadcast egress tier in isolation: an
+// in-process Hub fanned out to mock subscriber connections (no sockets),
+// swept across subscriber counts. The quantity under test is the
+// encode-once invariant at scale — shared frames are rendered once per
+// published result no matter how many subscribers receive them, so
+// frames/s grows with N while encodes stay equal to results published.
+// Each sweep point reports delivered frames/s, ns per delivered frame,
+// publish-to-write lag p99, and the per-delivery amortization of the
+// encode cost (bytes encoded / frames delivered) in the note.
+func FanoutBench(cfg Config) ([]BenchRecord, error) {
+	cfg.fill()
+	var out []BenchRecord
+	for _, subs := range []int{10_000, 100_000, 1_000_000} {
+		rec, err := fanoutRun(cfg, subs)
+		if err != nil {
+			return nil, fmt.Errorf("fanout %d subscribers: %w", subs, err)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// fanoutConn is a mock subscriber endpoint: counts frames and bytes,
+// never blocks — the transport cost is excluded on purpose, leaving the
+// hub's own fan-out machinery (cursor walks, filter checks, shared-frame
+// handoff) as the measured cost.
+type fanoutConn struct {
+	frames atomic.Int64
+	bytes  atomic.Int64
+	eof    atomic.Bool
+}
+
+func (c *fanoutConn) WriteBurst(bufs [][]byte) error {
+	n := 0
+	for _, b := range bufs {
+		n += len(b)
+	}
+	c.frames.Add(int64(len(bufs)))
+	c.bytes.Add(int64(n))
+	return nil
+}
+
+func (c *fanoutConn) WriteHeartbeat() error { return nil }
+
+func (c *fanoutConn) WriteTerminal(reason string) {
+	if reason == "" {
+		c.eof.Store(true)
+	}
+}
+
+// fanoutRun is one sweep point: attach subs mock subscribers, publish a
+// result stream sized to a roughly constant total delivery volume, and
+// wait for every delivery.
+func fanoutRun(cfg Config, subs int) (BenchRecord, error) {
+	// ~20M deliveries per point keeps the sweep minutes-not-hours while
+	// every point still delivers enough frames to time meaningfully.
+	results := cfg.scaled(20_000_000 / subs)
+	if results < 16 {
+		results = 16
+	}
+	if results > 4096 {
+		results = 4096
+	}
+
+	var lagNs obs.Histogram
+	h := server.NewHub(server.HubOptions{Retain: 8192, FanoutNs: &lagNs})
+	conns := make([]*fanoutConn, subs)
+	for i := range conns {
+		conns[i] = &fanoutConn{}
+		sub, err := h.Subscribe(server.SubOptions{})
+		if err != nil {
+			return BenchRecord{}, err
+		}
+		if !sub.Start(conns[i]) {
+			return BenchRecord{}, fmt.Errorf("subscription refused at attach %d", i)
+		}
+	}
+
+	payload := []byte(`{"query":0,"win":1000,"group":7,"seq":0,"end":1000,"agg":"COUNT","value":42}`)
+	want := int64(results) * int64(subs)
+	start := time.Now()
+	for i := 0; i < results; i++ {
+		h.Publish(0, 7, int64(i), payload, time.Now().UnixNano())
+	}
+	for h.Delivered() < want {
+		if time.Since(start) > 10*time.Minute {
+			return BenchRecord{}, fmt.Errorf("fan-out stalled: %d of %d deliveries", h.Delivered(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	elapsed := time.Since(start)
+
+	// The encode-once invariant, enforced: shared frames rendered ==
+	// results published, NOT results × subscribers.
+	if got := h.Encoded(); got != int64(results) {
+		return BenchRecord{}, fmt.Errorf("encode-once violated: %d frames encoded for %d published results", got, results)
+	}
+	var frames, bytes int64
+	for _, c := range conns {
+		frames += c.frames.Load()
+		bytes += c.bytes.Load()
+	}
+	if frames != want {
+		return BenchRecord{}, fmt.Errorf("delivered %d frames, want %d", frames, want)
+	}
+
+	// Drain: every subscriber must end with a clean eof terminal.
+	h.Shutdown()
+	deadline := time.Now().Add(2 * time.Minute)
+	for h.Count() > 0 {
+		if time.Now().After(deadline) {
+			return BenchRecord{}, fmt.Errorf("drain stalled with %d subscribers live", h.Count())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i, c := range conns {
+		if !c.eof.Load() {
+			return BenchRecord{}, fmt.Errorf("subscriber %d ended without a clean eof", i)
+		}
+	}
+
+	lag := lagNs.Snapshot().Summary(1e-6) // ns -> ms
+	perSub := float64(bytes) / float64(frames)
+	encodedBytes := int64(results) * int64(len(payload))
+	rec := BenchRecord{
+		Name:         fmt.Sprintf("fanout/subs=%d", subs),
+		Executor:     "broadcast hub",
+		Events:       int64(results),
+		Results:      frames,
+		ElapsedNs:    elapsed.Nanoseconds(),
+		EventsPerSec: float64(frames) / elapsed.Seconds(),
+		NsPerEvent:   float64(elapsed.Nanoseconds()) / float64(frames),
+		LatencyP99Ms: lag.P99,
+		Note: fmt.Sprintf("subscribers=%d encodes=%d (== results published) %.1f B/frame wire, %.4f B/frame encode amortized",
+			subs, results, perSub, float64(encodedBytes)/float64(frames)),
+	}
+	cfg.Progress("fanout subs=%d: %.2fM frames/s, %.0f ns/frame, lag p99 %.2fms",
+		subs, rec.EventsPerSec/1e6, rec.NsPerEvent, lag.P99)
+	return rec, nil
+}

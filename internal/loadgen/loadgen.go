@@ -112,6 +112,12 @@ type Config struct {
 	// raise it past the router's dead-worker detection + rebalance span
 	// so a mid-drill stall is not mistaken for the end of the stream.
 	QuiesceStill time.Duration
+	// Subscribers sizes an extra swarm of unfiltered subscriptions held
+	// open for the run (0 = none), each seq-checked independently — the
+	// client side of the broadcast fan-out tier. SubTransport selects
+	// their transport: "sse" (default) or "ws".
+	Subscribers  int
+	SubTransport string
 	// Wire selects the ingest codec: "ndjson" (default) posts NDJSON
 	// batches, "binary" posts the same batches in the binary batch
 	// format (Content-Type application/x-sharon-batch), and "stream"
@@ -146,6 +152,9 @@ func (c *Config) fill() {
 	}
 	if c.Wire == "" {
 		c.Wire = "ndjson"
+	}
+	if c.SubTransport == "" {
+		c.SubTransport = "sse"
 	}
 	if c.BurstRatio > 1 && c.BurstPeriod < 2 {
 		c.BurstPeriod = 8192
@@ -218,9 +227,15 @@ type Report struct {
 	// overlap if the in-flight batch did land).
 	Aborted   bool `json:"aborted"`
 	NextIndex int  `json:"next_index"`
+	// Terminal is the primary subscription's explicit close frame
+	// ("eof", or "dropped: <reason>"); empty when the client closed
+	// first (the normal end of a completed run).
+	Terminal string `json:"terminal,omitempty"`
 	// Endpoints reports the extra per-endpoint subscriptions
 	// (Config.ExtraEndpoints), each seq-checked independently.
 	Endpoints []EndpointReport `json:"endpoints,omitempty"`
+	// Swarm reports the subscriber swarm (Config.Subscribers > 0).
+	Swarm *SwarmReport `json:"swarm,omitempty"`
 }
 
 // LatencyBucket is one non-empty bucket of the client-side
@@ -239,8 +254,12 @@ type EndpointReport struct {
 	SeqGaps  int64  `json:"seq_gaps"`
 	SeqDups  int64  `json:"seq_dups"`
 	// Closed reports the stream ended (or never opened) before the run
-	// finished — expected for a worker killed mid-drill.
-	Closed bool `json:"closed"`
+	// finished — expected for a worker killed mid-drill. Terminal holds
+	// the server's explicit close frame when one arrived ("eof" or
+	// "dropped: <reason>"); a Closed stream with no Terminal broke
+	// without the server ending it.
+	Closed   bool   `json:"closed"`
+	Terminal string `json:"terminal,omitempty"`
 }
 
 // wireResult is the slice of the result wire format the driver reads.
@@ -262,6 +281,7 @@ type extraSub struct {
 	gaps     int64
 	dups     int64
 	closed   bool
+	terminal string
 }
 
 // watchEndpoint subscribes to one extra endpoint and seq-checks its
@@ -303,7 +323,17 @@ func watchEndpoint(ctx context.Context, url string) *extraSub {
 				evtype = line[len("event: "):]
 				continue
 			}
-			if evtype != "" || !strings.HasPrefix(line, "data: ") {
+			if evtype != "" {
+				// Terminal frames carry the explicit close reason that
+				// used to be inferred from connection state.
+				if term := terminalFrame(evtype, line); term != "" {
+					ex.mu.Lock()
+					ex.terminal = term
+					ex.mu.Unlock()
+				}
+				continue
+			}
+			if !strings.HasPrefix(line, "data: ") {
 				continue
 			}
 			var wr wireResult
@@ -351,7 +381,28 @@ func (ex *extraSub) report() EndpointReport {
 		SeqGaps:  ex.gaps,
 		SeqDups:  ex.dups,
 		Closed:   ex.closed,
+		Terminal: ex.terminal,
 	}
+}
+
+// terminalFrame maps one SSE terminal frame (event type + data line) to
+// its report form: "eof", or "dropped: <reason>". Other event types
+// (wm, adopted punctuation) are not terminals and map to "".
+func terminalFrame(evtype, line string) string {
+	if !strings.HasPrefix(line, "data: ") {
+		return ""
+	}
+	switch evtype {
+	case "eof":
+		return "eof"
+	case "dropped":
+		var d struct {
+			Reason string `json:"reason"`
+		}
+		_ = json.Unmarshal([]byte(line[len("data: "):]), &d)
+		return "dropped: " + d.Reason
+	}
+	return ""
 }
 
 // wireStream is one streaming-ingest connection: batch frames out,
@@ -469,6 +520,7 @@ func Run(cfg Config) (Report, error) {
 	}
 	var mu sync.Mutex
 	results := int64(0)
+	terminal := ""
 	prevSeq := int64(-1)
 	if cfg.Resume {
 		prevSeq = cfg.After
@@ -499,8 +551,17 @@ func Run(cfg Config) (Report, error) {
 				continue
 			}
 			// Only default-type frames are results; terminal frames
-			// (event: eof/error) carry data lines that are not.
-			if evtype != "" || !strings.HasPrefix(line, "data: ") {
+			// (event: eof/dropped) carry data lines that are not — they
+			// name the close reason explicitly.
+			if evtype != "" {
+				if term := terminalFrame(evtype, line); term != "" {
+					mu.Lock()
+					terminal = term
+					mu.Unlock()
+				}
+				continue
+			}
+			if !strings.HasPrefix(line, "data: ") {
 				continue
 			}
 			payload := line[len("data: "):]
@@ -552,6 +613,17 @@ func Run(cfg Config) (Report, error) {
 	extras := make([]*extraSub, 0, len(cfg.ExtraEndpoints))
 	for _, url := range cfg.ExtraEndpoints {
 		extras = append(extras, watchEndpoint(ctx, strings.TrimSuffix(url, "/")))
+	}
+
+	// Subscriber swarm: N extra broadcast-tier subscriptions ramping up
+	// while the send loop runs.
+	var sw *swarm
+	if cfg.Subscribers > 0 {
+		if cfg.SubTransport != "sse" && cfg.SubTransport != "ws" {
+			return rep, fmt.Errorf("unknown subscriber transport %q (want sse or ws)", cfg.SubTransport)
+		}
+		cfg.Progress("starting %d %s swarm subscribers", cfg.Subscribers, cfg.SubTransport)
+		sw = startSwarm(ctx, cfg.BaseURL, cfg.Subscribers, cfg.SubTransport)
 	}
 
 	// Send loop: stamp each window end when the batch closing it is
@@ -761,12 +833,19 @@ func Run(cfg Config) (Report, error) {
 		<-ex.done
 		rep.Endpoints = append(rep.Endpoints, ex.report())
 	}
+	if sw != nil {
+		r := sw.wait()
+		rep.Swarm = &r
+		cfg.Progress("swarm: %d/%d connected, %d frames, %d gaps, %d dups (eof %d, dropped slow %d / filtered %d, unexplained %d)",
+			r.Connected, r.Subscribers, r.Results, r.SeqGaps, r.SeqDups, r.CleanEOF, r.DroppedSlow, r.DroppedFiltered, r.Unexplained)
+	}
 
 	// Every subscriber goroutine has been joined above, but take the
 	// lock for the final reads anyway — and release it before the frame
 	// flush and progress callback, which do I/O.
 	mu.Lock()
 	rep.Results = results
+	rep.Terminal = terminal
 	rep.FirstSeq, rep.LastSeq = firstSeq, lastSeq
 	rep.SeqGaps, rep.SeqDups = gaps, dups
 	var lat []float64

@@ -1,0 +1,261 @@
+package loadgen
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// The subscriber swarm: N extra unfiltered subscriptions (SSE or
+// WebSocket) held open for the duration of a load run, each checking
+// its own received sequence for gaps and duplicates and recording the
+// server's explicit terminal frame. This is the client side of the
+// broadcast fan-out tier — the swarm is how the CI smoke proves 10k
+// concurrent subscribers see a gap-free stream while frames are encoded
+// once, and how close reasons are observed instead of inferred from
+// connection state.
+
+// SwarmReport aggregates the swarm's outcome.
+type SwarmReport struct {
+	// Subscribers is the requested swarm size; Connected counts
+	// subscriptions that completed the subscribe handshake.
+	Subscribers int   `json:"subscribers"`
+	Connected   int64 `json:"connected"`
+	// Results counts result frames received across the swarm (expected
+	// to be ~ results × Connected — the delivered side of the
+	// encode-once invariant); SeqGaps/SeqDups count per-subscriber
+	// contiguity violations, both zero on a healthy broadcast tier.
+	Results int64 `json:"results"`
+	SeqGaps int64 `json:"seq_gaps"`
+	SeqDups int64 `json:"seq_dups"`
+	// CleanEOF counts subscriptions ended by an `eof` terminal frame;
+	// DroppedSlow/DroppedFiltered count explicit `dropped` terminals by
+	// reason; Unexplained counts streams that ended with no terminal
+	// while the run was still going (the failure the explicit terminal
+	// frames exist to eliminate).
+	CleanEOF        int64 `json:"clean_eof"`
+	DroppedSlow     int64 `json:"dropped_slow"`
+	DroppedFiltered int64 `json:"dropped_filtered"`
+	Unexplained     int64 `json:"unexplained"`
+}
+
+// swarm is a running subscriber swarm.
+type swarm struct {
+	report SwarmReport
+	ctx    context.Context
+	wg     sync.WaitGroup
+
+	connected atomic.Int64
+	results   atomic.Int64
+	gaps      atomic.Int64
+	dups      atomic.Int64
+	eofs      atomic.Int64
+	dropSlow  atomic.Int64
+	dropFilt  atomic.Int64
+	unexpl    atomic.Int64
+}
+
+// dialLimit bounds concurrent connection attempts so a large swarm
+// ramps without overrunning the listener's accept queue.
+const dialLimit = 256
+
+// startSwarm launches n subscribers against baseURL over the given
+// transport ("sse" or "ws"). Subscribers run until ctx is canceled or
+// the server terminates them.
+func startSwarm(ctx context.Context, baseURL string, n int, transport string) *swarm {
+	s := &swarm{ctx: ctx}
+	s.report.Subscribers = n
+	sem := make(chan struct{}, dialLimit)
+	for i := 0; i < n; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			sem <- struct{}{}
+			connected := false
+			if transport == "ws" {
+				connected = s.runWS(baseURL, sem)
+			} else {
+				connected = s.runSSE(baseURL, sem)
+			}
+			if connected {
+				s.connected.Add(1)
+			}
+		}()
+	}
+	return s
+}
+
+// wait joins the swarm (ctx should be canceled first) and returns the
+// aggregated report.
+func (s *swarm) wait() SwarmReport {
+	s.wg.Wait()
+	r := s.report
+	r.Connected = s.connected.Load()
+	r.Results = s.results.Load()
+	r.SeqGaps = s.gaps.Load()
+	r.SeqDups = s.dups.Load()
+	r.CleanEOF = s.eofs.Load()
+	r.DroppedSlow = s.dropSlow.Load()
+	r.DroppedFiltered = s.dropFilt.Load()
+	r.Unexplained = s.unexpl.Load()
+	return r
+}
+
+// seqCheck tracks one subscriber's contiguity.
+type seqCheck struct {
+	prev int64
+	s    *swarm
+}
+
+func (c *seqCheck) observe(seq int64) {
+	c.s.results.Add(1)
+	switch {
+	case c.prev < 0 || seq == c.prev+1:
+		c.prev = seq
+	case seq > c.prev+1:
+		c.s.gaps.Add(1)
+		c.prev = seq
+	default:
+		c.s.dups.Add(1)
+	}
+}
+
+// terminal records one subscriber's explicit close frame.
+func (s *swarm) terminal(event, reason string) {
+	switch {
+	case event == "eof":
+		s.eofs.Add(1)
+	case reason == "slow-consumer":
+		s.dropSlow.Add(1)
+	case reason == "filtered-resume":
+		s.dropFilt.Add(1)
+	}
+}
+
+// runSSE holds one SSE swarm subscription open; the sem slot is
+// released once the subscription is established (or failed).
+func (s *swarm) runSSE(baseURL string, sem chan struct{}) (connected bool) {
+	released := false
+	release := func() {
+		if !released {
+			released = true
+			<-sem
+		}
+	}
+	defer release()
+	// after=-1 replays everything retained: a subscriber that ramps in
+	// late still sees the full stream, so the swarm's delivered-frame
+	// count is exactly results × connected.
+	req, err := http.NewRequestWithContext(s.ctx, "GET", baseURL+"/subscribe?after=-1", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	check := seqCheck{prev: -1, s: s}
+	evtype := ""
+	sawTerminal := false
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == ": subscribed":
+			connected = true
+			release()
+		case line == "":
+			evtype = ""
+		case strings.HasPrefix(line, "event: "):
+			evtype = line[len("event: "):]
+		case strings.HasPrefix(line, "id: "):
+			if seq, err := strconv.ParseInt(line[len("id: "):], 10, 64); err == nil {
+				check.observe(seq)
+			}
+		case strings.HasPrefix(line, "data: "):
+			switch evtype {
+			case "eof":
+				s.terminal("eof", "")
+				sawTerminal = true
+			case "dropped":
+				var d struct {
+					Reason string `json:"reason"`
+				}
+				_ = json.Unmarshal([]byte(line[len("data: "):]), &d)
+				s.terminal("dropped", d.Reason)
+				sawTerminal = true
+			}
+		}
+	}
+	if connected && !sawTerminal && s.ctx.Err() == nil {
+		s.unexpl.Add(1)
+	}
+	return connected
+}
+
+// runWS holds one WebSocket swarm subscription open.
+func (s *swarm) runWS(baseURL string, sem chan struct{}) (connected bool) {
+	released := false
+	release := func() {
+		if !released {
+			released = true
+			<-sem
+		}
+	}
+	defer release()
+	conn, _, err := DialWS(baseURL+"/subscribe/ws?after=-1", nil)
+	if err != nil {
+		return false
+	}
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-s.ctx.Done():
+			conn.Close()
+		case <-stop:
+		}
+	}()
+	check := seqCheck{prev: -1, s: s}
+	sawTerminal := false
+	for {
+		payload, err := conn.ReadMessage()
+		if err != nil {
+			break
+		}
+		var msg struct {
+			Event  string `json:"event"`
+			Reason string `json:"reason"`
+			Seq    *int64 `json:"seq"`
+		}
+		if json.Unmarshal(payload, &msg) != nil {
+			continue
+		}
+		switch msg.Event {
+		case "subscribed":
+			connected = true
+			release()
+		case "eof", "dropped":
+			s.terminal(msg.Event, msg.Reason)
+			sawTerminal = true
+		case "":
+			if msg.Seq != nil {
+				check.observe(*msg.Seq)
+			}
+		}
+	}
+	if connected && !sawTerminal && s.ctx.Err() == nil {
+		s.unexpl.Add(1)
+	}
+	return connected
+}

@@ -1,0 +1,123 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/sharon-project/sharon/internal/metrics"
+	"github.com/sharon-project/sharon/internal/server"
+)
+
+func subscriberGauge(t *testing.T, baseURL string) int {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st metrics.ServerStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st.Subscribers
+}
+
+func swarmTestServer(t *testing.T) (*server.Server, *httptest.Server) {
+	t.Helper()
+	srv, err := server.New(server.Config{
+		Queries:        server.DefaultQueries,
+		HeartbeatEvery: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Drain(ctx)
+	})
+	return srv, ts
+}
+
+// TestSwarmRun drives a full loopback run with a subscriber swarm on
+// each transport: every subscriber connects, sees the complete
+// gap-free result stream (results × subscribers — the delivered side
+// of encode-once), and no stream ends unexplained.
+func TestSwarmRun(t *testing.T) {
+	for _, transport := range []string{"sse", "ws"} {
+		t.Run(transport, func(t *testing.T) {
+			_, ts := swarmTestServer(t)
+			rep, err := Run(Config{
+				BaseURL:      ts.URL,
+				Events:       10000,
+				Subscribers:  50,
+				SubTransport: transport,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Results == 0 {
+				t.Fatal("no results")
+			}
+			sw := rep.Swarm
+			if sw == nil {
+				t.Fatal("no swarm report")
+			}
+			if sw.Connected != 50 {
+				t.Fatalf("connected %d/50 swarm subscribers", sw.Connected)
+			}
+			if sw.SeqGaps != 0 || sw.SeqDups != 0 {
+				t.Fatalf("swarm contiguity violated: gaps=%d dups=%d", sw.SeqGaps, sw.SeqDups)
+			}
+			if want := rep.Results * 50; sw.Results != want {
+				t.Fatalf("swarm received %d frames, want %d (results × subscribers)", sw.Results, want)
+			}
+			if sw.Unexplained != 0 {
+				t.Fatalf("%d swarm streams ended without a terminal frame", sw.Unexplained)
+			}
+		})
+	}
+}
+
+// TestSwarmDrainTerminals pins the explicit close-reason contract from
+// the client side: when the server drains under a connected swarm,
+// every subscriber observes an `eof` terminal frame on its transport —
+// nothing is inferred from the connection closing.
+func TestSwarmDrainTerminals(t *testing.T) {
+	for _, transport := range []string{"sse", "ws"} {
+		t.Run(transport, func(t *testing.T) {
+			srv, ts := swarmTestServer(t)
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			sw := startSwarm(ctx, ts.URL, 10, transport)
+			// The swarm's own connected counter settles at wait();
+			// watch the server's live-subscription gauge instead.
+			deadline := time.Now().Add(15 * time.Second)
+			for subscriberGauge(t, ts.URL) < 10 {
+				if time.Now().After(deadline) {
+					t.Fatalf("swarm never connected: server gauge %d/10", subscriberGauge(t, ts.URL))
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+			drainCtx, dcancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer dcancel()
+			if err := srv.Drain(drainCtx); err != nil {
+				t.Fatal(err)
+			}
+			rep := sw.wait()
+			if rep.CleanEOF != 10 {
+				t.Fatalf("eof terminals = %d/10 (dropped_slow=%d dropped_filtered=%d unexplained=%d)",
+					rep.CleanEOF, rep.DroppedSlow, rep.DroppedFiltered, rep.Unexplained)
+			}
+			if rep.Unexplained != 0 {
+				t.Fatalf("%d streams ended without a terminal", rep.Unexplained)
+			}
+		})
+	}
+}

@@ -1,0 +1,203 @@
+package loadgen
+
+import (
+	"bufio"
+	"crypto/rand"
+	"crypto/sha1"
+	"encoding/base64"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Client side of the server's hand-rolled RFC 6455 endpoint
+// (internal/server/ws.go): enough of the protocol to subscribe, read
+// text messages, and answer pings. Client frames are masked as the RFC
+// requires; server frames arrive unmasked.
+
+const wsClientMagic = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+// WSConn is one client WebSocket connection.
+type WSConn struct {
+	conn net.Conn
+	br   *bufio.Reader
+
+	wmu sync.Mutex // serializes writes (pongs race user writes)
+}
+
+// DialWS upgrades a GET of rawurl (http:// or https:// form; the path
+// and query ride along) to a WebSocket. Non-101 responses are returned
+// as an error carrying the status code.
+func DialWS(rawurl string, hdr http.Header) (*WSConn, *http.Response, error) {
+	u, err := url.Parse(rawurl)
+	if err != nil {
+		return nil, nil, err
+	}
+	host := u.Host
+	if u.Port() == "" {
+		host = net.JoinHostPort(u.Hostname(), "80")
+	}
+	conn, err := net.DialTimeout("tcp", host, 10*time.Second)
+	if err != nil {
+		return nil, nil, err
+	}
+	keyRaw := make([]byte, 16)
+	if _, err := rand.Read(keyRaw); err != nil {
+		conn.Close()
+		return nil, nil, err
+	}
+	key := base64.StdEncoding.EncodeToString(keyRaw)
+
+	var req strings.Builder
+	target := u.RequestURI()
+	fmt.Fprintf(&req, "GET %s HTTP/1.1\r\n", target)
+	fmt.Fprintf(&req, "Host: %s\r\n", u.Host)
+	req.WriteString("Upgrade: websocket\r\nConnection: Upgrade\r\n")
+	fmt.Fprintf(&req, "Sec-WebSocket-Key: %s\r\nSec-WebSocket-Version: 13\r\n", key)
+	for k, vs := range hdr {
+		for _, v := range vs {
+			fmt.Fprintf(&req, "%s: %s\r\n", k, v)
+		}
+	}
+	req.WriteString("\r\n")
+	if _, err := conn.Write([]byte(req.String())); err != nil {
+		conn.Close()
+		return nil, nil, err
+	}
+
+	br := bufio.NewReader(conn)
+	resp, err := http.ReadResponse(br, &http.Request{Method: "GET"})
+	if err != nil {
+		conn.Close()
+		return nil, nil, err
+	}
+	if resp.StatusCode != http.StatusSwitchingProtocols {
+		// Refusals (400/404/410/503) are plain HTTP responses with a
+		// readable body; hand them back for status/header inspection.
+		defer conn.Close()
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+		return nil, resp, fmt.Errorf("ws dial: status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	sum := sha1.Sum([]byte(key + wsClientMagic))
+	if resp.Header.Get("Sec-Websocket-Accept") != base64.StdEncoding.EncodeToString(sum[:]) {
+		conn.Close()
+		return nil, resp, fmt.Errorf("ws dial: bad Sec-WebSocket-Accept")
+	}
+	return &WSConn{conn: conn, br: br}, resp, nil
+}
+
+// ReadMessage returns the next data message's payload, transparently
+// answering pings. A close frame is echoed and reported as io.EOF.
+func (c *WSConn) ReadMessage() ([]byte, error) {
+	for {
+		op, payload, err := c.readFrame()
+		if err != nil {
+			return nil, err
+		}
+		switch op {
+		case 0x1, 0x2: // text, binary
+			return payload, nil
+		case 0x9: // ping -> pong
+			if err := c.writeFrame(0xA, payload); err != nil {
+				return nil, err
+			}
+		case 0xA: // pong (unsolicited): ignore
+		case 0x8: // close: echo and end
+			_ = c.writeFrame(0x8, payload)
+			return nil, io.EOF
+		default:
+			return nil, fmt.Errorf("ws: unexpected opcode %#x", op)
+		}
+	}
+}
+
+// Close sends a close frame (status 1000) and closes the socket.
+func (c *WSConn) Close() error {
+	_ = c.writeFrame(0x8, []byte{0x03, 0xE8})
+	return c.conn.Close()
+}
+
+func (c *WSConn) readFrame() (op byte, payload []byte, err error) {
+	var h [2]byte
+	if _, err = io.ReadFull(c.br, h[:]); err != nil {
+		return 0, nil, err
+	}
+	op = h[0] & 0x0F
+	masked := h[1]&0x80 != 0
+	n := uint64(h[1] & 0x7F)
+	switch n {
+	case 126:
+		var ext [2]byte
+		if _, err = io.ReadFull(c.br, ext[:]); err != nil {
+			return 0, nil, err
+		}
+		n = uint64(binary.BigEndian.Uint16(ext[:]))
+	case 127:
+		var ext [8]byte
+		if _, err = io.ReadFull(c.br, ext[:]); err != nil {
+			return 0, nil, err
+		}
+		n = binary.BigEndian.Uint64(ext[:])
+	}
+	if n > 1<<20 {
+		return 0, nil, fmt.Errorf("ws: frame of %d bytes exceeds limit", n)
+	}
+	var mask [4]byte
+	if masked { // servers must not mask; tolerate it anyway
+		if _, err = io.ReadFull(c.br, mask[:]); err != nil {
+			return 0, nil, err
+		}
+	}
+	payload = make([]byte, n)
+	if _, err = io.ReadFull(c.br, payload); err != nil {
+		return 0, nil, err
+	}
+	if masked {
+		for i := range payload {
+			payload[i] ^= mask[i&3]
+		}
+	}
+	return op, payload, nil
+}
+
+// writeFrame sends one masked client frame.
+func (c *WSConn) writeFrame(op byte, payload []byte) error {
+	var mask [4]byte
+	if _, err := rand.Read(mask[:]); err != nil {
+		return err
+	}
+	n := len(payload)
+	buf := make([]byte, 0, n+14)
+	buf = append(buf, 0x80|op)
+	switch {
+	case n < 126:
+		buf = append(buf, 0x80|byte(n))
+	case n < 1<<16:
+		buf = append(buf, 0x80|126, byte(n>>8), byte(n))
+	default:
+		buf = append(buf, 0x80|127)
+		var ext [8]byte
+		binary.BigEndian.PutUint64(ext[:], uint64(n))
+		buf = append(buf, ext[:]...)
+	}
+	buf = append(buf, mask[:]...)
+	start := len(buf)
+	buf = append(buf, payload...)
+	for i := range payload {
+		buf[start+i] ^= mask[i&3]
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	//sharon:allow lockio (c.wmu exists to serialize socket writes; deadline set first bounds the hold)
+	_ = c.conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
+	//sharon:allow lockio (c.wmu exists to serialize socket writes; the write deadline above bounds the hold)
+	_, err := c.conn.Write(buf)
+	return err
+}

@@ -42,6 +42,25 @@ type RouterStats struct {
 	// SlowConsumerDisconnects counts subscribers dropped for lagging.
 	SlowConsumerDisconnects int64 `json:"slow_consumer_disconnects"`
 
+	// FanoutFramesEncoded counts shared frames rendered once per merged
+	// result or control event (never multiplied by subscriber count);
+	// FanoutFramesDelivered counts frames written into subscriber
+	// streams. FanoutDroppedSlow/Filtered count subscribers ended with
+	// an explicit `dropped` terminal frame.
+	FanoutFramesEncoded   int64 `json:"fanout_frames_encoded"`
+	FanoutFramesDelivered int64 `json:"fanout_frames_delivered"`
+	FanoutDroppedSlow     int64 `json:"fanout_dropped_slow"`
+	FanoutDroppedFiltered int64 `json:"fanout_dropped_filtered"`
+
+	// AutoScaleOut/AutoScaleIn count occupancy-triggered join/leave
+	// rebalances the router launched on its own; AutoScaleFailed counts
+	// attempts that aborted. StandbyWorkers is the remaining pool of
+	// joinable fresh workers.
+	AutoScaleOut    int64 `json:"autoscale_out"`
+	AutoScaleIn     int64 `json:"autoscale_in"`
+	AutoScaleFailed int64 `json:"autoscale_failed"`
+	StandbyWorkers  int   `json:"standby_workers"`
+
 	// Rebalances counts completed hash-range hand-offs (worker death,
 	// join, leave); RebalancesFailed counts aborted ones (the cluster
 	// enters the error state).

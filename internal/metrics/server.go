@@ -44,9 +44,23 @@ type ServerStats struct {
 	ResultsDelivered int64 `json:"results_delivered"`
 	// Subscribers is the number of live result subscriptions.
 	Subscribers int `json:"subscribers"`
-	// SlowConsumerDisconnects counts subscribers dropped because their
-	// bounded delivery buffer overflowed.
+	// SlowConsumerDisconnects counts subscribers dropped because the
+	// broadcast log's retention overran their cursor.
 	SlowConsumerDisconnects int64 `json:"slow_consumer_disconnects"`
+
+	// FanoutFramesEncoded counts shared frames rendered by the broadcast
+	// tier — one per published result or control event, never multiplied
+	// by subscriber count (the encode-once invariant).
+	// FanoutFramesDelivered counts frames written into subscriber
+	// streams (one per frame per matching subscriber).
+	FanoutFramesEncoded   int64 `json:"fanout_frames_encoded"`
+	FanoutFramesDelivered int64 `json:"fanout_frames_delivered"`
+	// FanoutDroppedSlow/FanoutDroppedFiltered count subscribers ended
+	// with an explicit `dropped` terminal frame on log overrun
+	// (slow-consumer = unfiltered, filtered-resume = filtered stream
+	// that cannot verify its own loss).
+	FanoutDroppedSlow     int64 `json:"fanout_dropped_slow"`
+	FanoutDroppedFiltered int64 `json:"fanout_dropped_filtered"`
 
 	// Migrations counts live workload changes (queries added/removed)
 	// that installed a new plan.

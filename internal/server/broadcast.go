@@ -1,0 +1,600 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/sharon-project/sharon/internal/persist"
+)
+
+// The broadcast core: results are encoded ONCE into shared immutable
+// frames appended to a bounded, log-index-addressed broadcast log, and
+// N subscribers are served by a small pool of writer goroutines walking
+// per-subscriber cursors over that log. The per-subscriber cost of a
+// frame is a header comparison plus (when it matches) one vectored
+// write of pre-rendered bytes — never a second encode. Frames carry
+// both an SSE rendering and a WebSocket rendering (server frames are
+// unmasked, so they too are shareable), and a cheap header
+// {seq, query, group, kind} that per-subscriber filters are evaluated
+// against: a filtered-out frame costs an index skip, not a decode.
+//
+// Cursor discipline reuses the replay ring's seq contract: the log is
+// seq-indexed through its result frames, `?after=N` resume maps N onto
+// a log index under one lock (no snapshot/dedup dance — attach order is
+// log order), and a cursor that has aged out of the log is refused with
+// a gap (410 + Sharon-Oldest-Seq) at subscribe time or terminated with
+// an explicit `dropped` frame when a live subscriber is overrun.
+
+// Frame kind bits. A subscription's SubFilter.Kinds mask selects which
+// it receives; the zero mask means results only.
+const (
+	// KindResult marks an encoded result row.
+	KindResult uint8 = 1 << iota
+	// KindWM marks watermark punctuation ctl frames (`event: wm`).
+	KindWM
+	// KindAdopted marks rebalance marker ctl frames (`event: adopted`).
+	KindAdopted
+	// kindCtlOther marks ctl frames with any other event name.
+	kindCtlOther
+
+	kindAllCtl = KindWM | KindAdopted | kindCtlOther
+)
+
+// Terminal-frame reasons: the explicit close semantics subscribers stop
+// inferring from connection state. The empty reason is a clean eof
+// (drain: every published frame was delivered).
+const (
+	// ReasonSlowConsumer: the subscriber fell behind the retained log
+	// and frames it had not yet received were trimmed. An unfiltered
+	// client may attempt ?after=<last seq> (and may get 410).
+	ReasonSlowConsumer = "slow-consumer"
+	// ReasonFilteredResume: a filtered subscriber was overrun. Because
+	// a filtered stream is not seq-contiguous, the client cannot detect
+	// missed matching frames by its own contiguity check — it must
+	// resubscribe from scratch, so the server names the drop distinctly.
+	ReasonFilteredResume = "filtered-resume"
+)
+
+func ctlKind(name string) uint8 {
+	switch name {
+	case "wm":
+		return KindWM
+	case "adopted":
+		return KindAdopted
+	}
+	return kindCtlOther
+}
+
+// SubFilter is a subscription's header-evaluated filter: nil slices
+// pass everything of that dimension, Kinds is a frame-kind mask
+// (0 = results only). Query and group filters apply to result frames;
+// ctl frames pass on their kind bit alone.
+type SubFilter struct {
+	Queries []int
+	Groups  []int64
+	Kinds   uint8
+}
+
+func (f *SubFilter) normalize() {
+	if f.Kinds == 0 {
+		f.Kinds = KindResult
+	}
+}
+
+// narrowed reports whether the filter can hide result frames — the
+// property that turns an overrun into ReasonFilteredResume.
+func (f *SubFilter) narrowed() bool {
+	return len(f.Queries) > 0 || len(f.Groups) > 0 || f.Kinds&KindResult == 0
+}
+
+func (f *SubFilter) wantsCtl() bool { return f.Kinds&kindAllCtl != 0 }
+
+func (f *SubFilter) matches(fr *bframe) bool {
+	if fr.kind&f.Kinds == 0 {
+		return false
+	}
+	if fr.kind != KindResult {
+		return true
+	}
+	if f.Queries != nil {
+		ok := false
+		for _, q := range f.Queries {
+			if q == int(fr.query) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if f.Groups != nil {
+		ok := false
+		for _, g := range f.Groups {
+			if g == fr.group {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// bframe is one shared immutable broadcast frame: the filterable header
+// plus the payload rendered once per transport. The byte slices are
+// never mutated after append, so every subscriber's writer may hand
+// them to the kernel concurrently.
+type bframe struct {
+	seq   int64 // result emission seq; -1 for ctl frames
+	query int32 // result query ID; -1 for ctl frames
+	group int64
+	kind  uint8
+	at    int64 // publisher emit stamp (Unix ns; 0 = unstamped)
+	sse   []byte
+	ws    []byte
+}
+
+// renderResult builds the shared frame for one encoded result. The SSE
+// rendering carries the emission seq as the SSE `id:` (feeding
+// Last-Event-ID resume); the WS rendering is one unmasked text frame
+// whose payload is the result JSON (seq is a field of it).
+func renderResult(query int, group int64, seq int64, payload []byte, at int64) bframe {
+	sse := make([]byte, 0, len(payload)+32)
+	sse = append(sse, "id: "...)
+	sse = strconv.AppendInt(sse, seq, 10)
+	sse = append(sse, "\ndata: "...)
+	sse = append(sse, payload...)
+	sse = append(sse, "\n\n"...)
+	return bframe{
+		seq:   seq,
+		query: int32(query),
+		group: group,
+		kind:  KindResult,
+		at:    at,
+		sse:   sse,
+		ws:    wsTextFrame(payload),
+	}
+}
+
+// renderCtl builds the shared frame for one control event. The WS
+// rendering wraps the payload object with an "event" discriminator
+// ({"watermark":5} becomes {"event":"wm","watermark":5}) since WS
+// messages have no out-of-band event name the way SSE frames do.
+func renderCtl(name string, payload []byte) bframe {
+	sse := make([]byte, 0, len(name)+len(payload)+20)
+	sse = append(sse, "event: "...)
+	sse = append(sse, name...)
+	sse = append(sse, "\ndata: "...)
+	sse = append(sse, payload...)
+	sse = append(sse, "\n\n"...)
+	return bframe{
+		seq:   -1,
+		query: -1,
+		kind:  ctlKind(name),
+		sse:   sse,
+		ws:    wsTextFrame(wsCtlPayload(name, payload)),
+	}
+}
+
+// wsCtlPayload splices the event name into a ctl payload object.
+func wsCtlPayload(name string, payload []byte) []byte {
+	out := make([]byte, 0, len(name)+len(payload)+12)
+	out = append(out, `{"event":"`...)
+	out = append(out, name...)
+	out = append(out, '"')
+	if len(payload) > 2 && payload[0] == '{' {
+		out = append(out, ',')
+		out = append(out, payload[1:]...)
+	} else {
+		out = append(out, '}')
+	}
+	return out
+}
+
+// SubConn is one subscriber's transport endpoint. The hub's writer pool
+// is the only caller once the subscription has started; implementations
+// serialize their own writes only against out-of-band control traffic
+// (WS pongs), never against the pool (the pool already serializes per
+// subscriber).
+type SubConn interface {
+	// WriteBurst writes a run of pre-rendered frames and flushes once.
+	WriteBurst(bufs [][]byte) error
+	// WriteHeartbeat writes one keep-alive (SSE comment / WS ping).
+	WriteHeartbeat() error
+	// WriteTerminal writes the end-of-stream frame: reason "" is a
+	// clean eof, anything else an explicit `dropped` with that reason.
+	// Errors are moot — the subscription is over either way.
+	WriteTerminal(reason string)
+}
+
+// SubOptions parameterize one subscription attach.
+type SubOptions struct {
+	Filter SubFilter
+	// Resume requests backfill of retained frames with seq > After
+	// (After = -1 replays everything retained). Without Resume the
+	// cursor starts at the live tail.
+	Resume bool
+	After  int64
+	// WS selects the WebSocket rendering of shared frames.
+	WS bool
+	// SendInitWM, for ctl-subscribed streams, injects an initial
+	// watermark frame (value InitWM) after the backfill, so an idle
+	// stream still tells the subscriber its frontier.
+	SendInitWM bool
+	InitWM     int64
+}
+
+// GapError reports a resume cursor that cannot be served exactly:
+// emissions after the cursor have aged out of the broadcast log (or the
+// cursor refers to emissions that never happened). Handlers map it to
+// 410 + Sharon-Oldest-Seq.
+type GapError struct {
+	After  int64
+	Oldest int64
+}
+
+func (e *GapError) Error() string {
+	return fmt.Sprintf("results after seq %d no longer retained (log starts at %d)", e.After, e.Oldest)
+}
+
+// ErrHubClosed reports an attach against a drained hub.
+var errHubClosed = fmt.Errorf("hub draining")
+
+// Sub is one live subscription handle. The owning handler waits on
+// Done() and calls Unsubscribe when its client goes away; everything
+// else is driven by the hub's writer pool.
+type Sub struct {
+	h      *Hub
+	filter SubFilter
+	conn   SubConn
+	ws     bool
+
+	// Guarded by h.mu.
+	started  bool
+	closed   bool
+	reason   string
+	cursor   int64 // next log index to consider
+	liveFrom int64 // log tail at attach: frames >= this are live
+	intro    *bframe
+	widx     int
+	writer   *bwriter
+
+	dead      atomic.Bool // set under h.mu at detach; checked under wmu before writes
+	lastWrite int64       // Unix ns of the last successful write; writer-owned
+	done      chan struct{}
+	// wmu serializes pool writes against handler teardown: the handler
+	// acquires it once after detach, guaranteeing no write is in flight
+	// when it returns its ResponseWriter (or closes its net.Conn).
+	wmu sync.Mutex
+}
+
+// Done is closed when the subscription ends (drain, drop, write error,
+// or Unsubscribe).
+func (s *Sub) Done() <-chan struct{} { return s.done }
+
+// Reason reports why the subscription ended ("" = clean eof or client
+// close). Valid after Done.
+func (s *Sub) Reason() string {
+	s.h.mu.Lock()
+	defer s.h.mu.Unlock()
+	return s.reason
+}
+
+// Start arms the subscription with its transport connection: the writer
+// pool begins delivering. It reports false when the hub shut down (or
+// the subscriber was dropped) before the transport was ready — the
+// handler then terminates the stream itself.
+func (s *Sub) Start(conn SubConn) bool {
+	h := s.h
+	h.mu.Lock()
+	if s.closed {
+		h.mu.Unlock()
+		return false
+	}
+	s.conn = conn
+	s.started = true
+	w := s.writer
+	h.mu.Unlock()
+	w.kick()
+	return true
+}
+
+// bwriter is one writer-pool goroutine: it owns a share of the
+// subscribers and walks their cursors over the log on every wake. All
+// socket I/O happens here, outside h.mu.
+type bwriter struct {
+	h    *Hub
+	wake chan struct{}
+	subs []*Sub // guarded by h.mu
+
+	// Reused scratch (writer-goroutine-owned).
+	scratch []*Sub
+	bufs    [][]byte
+	lags    []int64
+}
+
+func (w *bwriter) kick() {
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+}
+
+// run is the writer loop: wake on appends (coalesced), tick for
+// heartbeats. Exits once the hub closed and its last subscriber ended.
+func (w *bwriter) run(hbTick time.Duration) {
+	tick := time.NewTicker(hbTick)
+	defer tick.Stop()
+	for {
+		select {
+		case <-w.wake:
+		case <-tick.C:
+		}
+		if w.service() {
+			return
+		}
+	}
+}
+
+// service drains every owned subscriber to the current tail.
+func (w *bwriter) service() (done bool) {
+	h := w.h
+	h.mu.Lock()
+	w.scratch = append(w.scratch[:0], w.subs...)
+	closing := h.closed
+	h.mu.Unlock()
+	now := time.Now().UnixNano()
+	for _, s := range w.scratch {
+		w.drain(s, closing, now)
+	}
+	if closing {
+		h.mu.Lock()
+		n := len(w.subs)
+		h.mu.Unlock()
+		return n == 0
+	}
+	return false
+}
+
+// burstFrames bounds frames gathered per h.mu hold, keeping lock holds
+// short under deep backlogs.
+const burstFrames = 256
+
+// drain walks one subscriber's cursor to the tail, writing matching
+// pre-rendered frames in bursts. closing means the hub has shut down:
+// a fully drained subscriber is terminated with a clean eof.
+func (w *bwriter) drain(s *Sub, closing bool, now int64) {
+	h := w.h
+	for {
+		h.mu.Lock()
+		if s.closed || !s.started {
+			h.mu.Unlock()
+			return
+		}
+		// Overrun: the log trimmed past this cursor — frames it never
+		// received are gone. Explicit terminal, distinct reason for
+		// filtered subscribers (they cannot verify the loss themselves).
+		if s.cursor < h.firstIdx {
+			reason := ReasonSlowConsumer
+			if s.filter.narrowed() {
+				reason = ReasonFilteredResume
+			}
+			h.mu.Unlock()
+			w.terminate(s, reason)
+			return
+		}
+		tail := h.firstIdx + int64(len(h.frames)-h.head)
+		w.bufs, w.lags = w.bufs[:0], w.lags[:0]
+		nres := 0
+		if s.intro != nil && s.cursor >= s.liveFrom {
+			w.bufs = append(w.bufs, s.introView())
+			s.intro = nil
+		}
+		limit := tail
+		if s.intro != nil && s.liveFrom < limit {
+			limit = s.liveFrom // finish the backfill before the intro frame
+		}
+		for s.cursor < limit && len(w.bufs) < burstFrames {
+			fr := &h.frames[h.head+int(s.cursor-h.firstIdx)]
+			idx := s.cursor
+			s.cursor++
+			if !s.filter.matches(fr) {
+				continue
+			}
+			buf := fr.sse
+			if s.ws {
+				buf = fr.ws
+			}
+			w.bufs = append(w.bufs, buf)
+			if fr.kind == KindResult {
+				nres++
+			}
+			if fr.at > 0 && idx >= s.liveFrom {
+				w.lags = append(w.lags, fr.at)
+			}
+		}
+		if s.intro != nil && s.cursor >= s.liveFrom {
+			w.bufs = append(w.bufs, s.introView())
+			s.intro = nil
+		}
+		drained := s.cursor >= tail
+		h.mu.Unlock()
+
+		if len(w.bufs) > 0 {
+			s.wmu.Lock()
+			var err error
+			if s.dead.Load() {
+				s.wmu.Unlock()
+				return
+			}
+			//sharon:allow lockio (s.wmu exists to serialize transport writes against teardown; the conn sets its own write deadline)
+			err = s.conn.WriteBurst(w.bufs)
+			s.wmu.Unlock()
+			if err != nil {
+				h.mu.Lock()
+				h.detachLocked(s, "")
+				h.mu.Unlock()
+				return
+			}
+			s.lastWrite = now
+			h.delivered.Add(int64(len(w.bufs)))
+			h.deliveredResults.Add(int64(nres))
+			if h.fanoutNs != nil {
+				for _, at := range w.lags {
+					if d := now - at; d > 0 {
+						h.fanoutNs.Record(d)
+					}
+				}
+			}
+		}
+		if !drained {
+			continue
+		}
+		if closing {
+			w.terminate(s, "")
+			return
+		}
+		if h.hbEvery > 0 && now-s.lastWrite >= int64(h.hbEvery) {
+			s.wmu.Lock()
+			var err error
+			if !s.dead.Load() {
+				//sharon:allow lockio (s.wmu exists to serialize transport writes against teardown; the conn sets its own write deadline)
+				err = s.conn.WriteHeartbeat()
+			}
+			s.wmu.Unlock()
+			if err != nil {
+				h.mu.Lock()
+				h.detachLocked(s, "")
+				h.mu.Unlock()
+				return
+			}
+			s.lastWrite = now
+		}
+		return
+	}
+}
+
+// introView renders the pending intro frame for the sub's transport.
+func (s *Sub) introView() []byte {
+	if s.ws {
+		return s.intro.ws
+	}
+	return s.intro.sse
+}
+
+// terminate writes the terminal frame (before detaching, so the owning
+// handler's teardown barrier cannot outrun the write) and ends the
+// subscription.
+func (w *bwriter) terminate(s *Sub, reason string) {
+	s.wmu.Lock()
+	if !s.dead.Load() {
+		//sharon:allow lockio (s.wmu exists to serialize transport writes against teardown; the conn sets its own write deadline)
+		s.conn.WriteTerminal(reason)
+	}
+	s.wmu.Unlock()
+	h := w.h
+	h.mu.Lock()
+	if h.detachLocked(s, reason) {
+		switch reason {
+		case ReasonSlowConsumer:
+			h.slowDrops.Add(1)
+		case ReasonFilteredResume:
+			h.filteredDrops.Add(1)
+		}
+	}
+	h.mu.Unlock()
+}
+
+// detachLocked removes s from the hub (h.mu held). Idempotent; closes
+// Done exactly once.
+func (h *Hub) detachLocked(s *Sub, reason string) bool {
+	if s.closed {
+		return false
+	}
+	s.closed = true
+	s.dead.Store(true)
+	s.reason = reason
+	w := s.writer
+	last := len(w.subs) - 1
+	moved := w.subs[last]
+	w.subs[s.widx] = moved
+	moved.widx = s.widx
+	w.subs[last] = nil
+	w.subs = w.subs[:last]
+	h.subsN--
+	if s.filter.wantsCtl() {
+		h.punctN--
+	}
+	close(s.done)
+	return true
+}
+
+// appendLocked adds one frame and trims (h.mu held). Trimming mirrors
+// the replay ring: advance a head index, compact only when half the
+// backing array is dead, so append stays amortized O(1) on the emission
+// path.
+func (h *Hub) appendLocked(fr bframe) {
+	h.frames = append(h.frames, fr)
+	if fr.kind == KindResult {
+		h.results++
+		h.nextSeq = fr.seq + 1
+	}
+	live := len(h.frames) - h.head
+	for h.results > h.retain || live > 2*h.retain+64 {
+		if h.frames[h.head].kind == KindResult {
+			h.results--
+		}
+		h.frames[h.head] = bframe{} // release the renderings
+		h.head++
+		h.firstIdx++
+		live--
+	}
+	if h.head > 64 && h.head*2 >= len(h.frames) {
+		n := copy(h.frames, h.frames[h.head:])
+		clear(h.frames[n:])
+		h.frames = h.frames[:n]
+		h.head = 0
+	}
+}
+
+// oldestSeqLocked is the seq of the oldest retained result frame, or
+// nextSeq when none is retained (h.mu held). The leading scan is
+// bounded by the run of ctl frames at the head (at most one per pump
+// step between retained results).
+func (h *Hub) oldestSeqLocked() int64 {
+	for i := h.head; i < len(h.frames); i++ {
+		if h.frames[i].kind == KindResult {
+			return h.frames[i].seq
+		}
+	}
+	return h.nextSeq
+}
+
+// Seed preloads the broadcast log from recovered replay-ring entries
+// (recovery path, before any subscriber exists). The one-time JSON
+// header parse here is what lets filtered subscriptions resume exactly
+// across a restart.
+func (h *Hub) Seed(entries []persist.RingEntry, nextSeq int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, e := range entries {
+		var hdr struct {
+			Query int   `json:"query"`
+			Group int64 `json:"group"`
+		}
+		if err := json.Unmarshal(e.Payload, &hdr); err != nil {
+			continue // unparseable retained row: serve live only past it
+		}
+		h.appendLocked(renderResult(hdr.Query, hdr.Group, e.Seq, e.Payload, 0))
+	}
+	if nextSeq > h.nextSeq {
+		h.nextSeq = nextSeq
+	}
+}

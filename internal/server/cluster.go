@@ -224,7 +224,7 @@ func (s *Server) adoptApply(a *persist.AdoptRecord) (groups int, regen int64, er
 		s.emitted.Add(1)
 		payload := EncodeResult(qs, seq, r)
 		s.ring.Append(seq, payload)
-		s.hub.Publish(r.Query, seq, payload, time.Now().UnixNano())
+		s.hub.Publish(r.Query, int64(r.Group), seq, payload, time.Now().UnixNano())
 		regen++
 	}
 	tmp, err := sharon.NewSystem(w, sharon.Options{

@@ -127,6 +127,9 @@ func (s *Server) initDurability() error {
 	}
 	s.countFrom = ck.CountFrom
 	s.ring.Load(ck.Ring, ck.NextEmitSeq)
+	// Reseed the broadcast log too, so ?after=N resume (and filtered
+	// resume) is served across a restart from the same retained tail.
+	s.hub.Seed(ck.Ring, ck.NextEmitSeq)
 	s.appliedSeq = ck.WALSeq
 	s.lastCkptAt.Store(ck.CreatedUnixNano)
 	s.cfg.Logf("recovered checkpoint at wal seq %d, watermark %d, %d queries, emit seq %d",

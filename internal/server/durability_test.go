@@ -382,8 +382,10 @@ func TestSubscribeResumeGap(t *testing.T) {
 	if code, _ := doReq(t, "GET", ts.URL+"/subscribe?after=999999999", ""); code != 410 {
 		t.Fatalf("phantom cursor accepted: %d", code)
 	}
-	if code, _ := doReq(t, "GET", ts.URL+"/subscribe?after=0&query=1", ""); code != 400 {
-		t.Fatalf("filtered resume should be rejected, got %d", code)
+	// Filtered resume shares the same gap discipline: an aged-out cursor
+	// is refused with 410 whether or not the stream is narrowed.
+	if code, _ := doReq(t, "GET", ts.URL+"/subscribe?after=0&query=1", ""); code != 410 {
+		t.Fatalf("aged-out filtered resume: got %d, want 410", code)
 	}
 	if err := s.Drain(t.Context()); err != nil {
 		t.Fatal(err)

@@ -1,184 +1,255 @@
 package server
 
 import (
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"github.com/sharon-project/sharon/internal/obs"
 )
 
-// resultFrame is one frame on its way to subscribers: either an encoded
-// result (ctl == "", with its global emission sequence number) or a
-// control frame (ctl names the SSE event type — "wm" watermark
-// punctuation, "adopted" rebalance markers — delivered only to
-// punctuating subscribers). Carrying the seq beside the payload lets a
-// resuming subscription (?after=N) deduplicate the overlap between its
-// replay-ring read and its live channel without re-parsing JSON.
-type resultFrame struct {
-	seq     int64
-	payload []byte
-	ctl     string
-	// at is the publisher's emit stamp in Unix nanoseconds (0 for
-	// control and replayed frames); the stream writer records the
-	// fan-out-write stage latency against it.
-	at int64
-}
-
-// subscriber is one live result subscription. Encoded results are
-// delivered through a bounded channel; the hub never blocks on a
-// subscriber — a full buffer means the consumer is slower than the
-// result stream, and the subscription is dropped (slow-consumer
-// disconnect policy) rather than letting one connection backpressure
-// the engine or the other subscribers.
-type subscriber struct {
-	ch    chan resultFrame
-	query int // filter: only results of this query ID; -1 = all
-	punct bool
-	slow  bool
-}
-
-// Hub fans encoded results out to the live subscribers. Publish is
-// called from the engine's sink (pump goroutine, or the parallel
-// executor's merge goroutine); Subscribe/Unsubscribe from HTTP handler
-// goroutines. It is shared by sharond and the cluster router (whose
-// merged output stream obeys the same subscription contract).
+// Hub is the broadcast egress core shared by sharond and the cluster
+// router: Publish encodes each result ONCE into a shared immutable
+// frame (SSE and WebSocket renderings both) on a bounded broadcast log,
+// and a small pool of writer goroutines fans the log out to N
+// subscribers by walking per-subscriber cursors (see broadcast.go).
+// Publish/PublishCtl are called from the engine's sink (pump goroutine,
+// or the parallel executor's merge goroutine) and never block;
+// Subscribe/Unsubscribe come from HTTP handler goroutines.
 type Hub struct {
-	mu     sync.Mutex
-	subs   map[*subscriber]struct{}
-	puncts int  // subscribers with punct set
-	closed bool // after drain: results delivered, no new subscribers
+	mu       sync.Mutex
+	frames   []bframe
+	head     int   // index of the oldest retained frame in frames
+	firstIdx int64 // log index of frames[head]
+	results  int   // retained result frames (the retention unit)
+	nextSeq  int64 // seq after the newest appended result
+	retain   int
+	closed   bool
+	subsN    int
+	punctN   int
+	writers  []*bwriter
+	nextW    int
 
-	delivered atomic.Int64
-	slowDrops atomic.Int64
+	hbEvery      time.Duration
+	writeTimeout time.Duration
+	fanoutNs     *obs.Histogram
+
+	encoded          atomic.Int64
+	delivered        atomic.Int64
+	deliveredResults atomic.Int64
+	slowDrops        atomic.Int64
+	filteredDrops    atomic.Int64
 }
 
-// NewHub returns an empty hub.
-func NewHub() *Hub {
-	return &Hub{subs: make(map[*subscriber]struct{})}
+// HubOptions size the broadcast tier.
+type HubOptions struct {
+	// Writers is the fan-out writer pool size (0 = 4).
+	Writers int
+	// Retain bounds the log by retained result frames (0 = 16384);
+	// doubles as the resumable-cursor horizon.
+	Retain int
+	// HeartbeatEvery is the keep-alive interval on idle subscriptions
+	// (0 disables heartbeats).
+	HeartbeatEvery time.Duration
+	// WriteTimeout is the per-burst write deadline handed to transport
+	// connections.
+	WriteTimeout time.Duration
+	// FanoutNs, when non-nil, records publish-to-socket-write latency
+	// (nanoseconds) for each live frame — the pipeline's fan-out stage.
+	FanoutNs *obs.Histogram
 }
 
-// subscribe registers a subscription with a delivery buffer of buf
-// results; it returns nil when the hub has already shut down. punct
-// additionally delivers control frames (watermark punctuation).
-func (h *Hub) subscribe(query int, buf int, punct bool) *subscriber {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.closed {
-		return nil
+// NewHub starts a hub and its writer pool.
+func NewHub(o HubOptions) *Hub {
+	if o.Writers <= 0 {
+		o.Writers = 4
 	}
-	s := &subscriber{ch: make(chan resultFrame, buf), query: query, punct: punct}
-	h.subs[s] = struct{}{}
-	if punct {
-		h.puncts++
+	if o.Retain <= 0 {
+		o.Retain = 16384
 	}
-	return s
-}
-
-// unsubscribe removes s (the subscriber's handler left). Idempotent
-// with a slow-consumer drop racing it.
-func (h *Hub) unsubscribe(s *subscriber) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.drop(s)
-}
-
-// drop removes s under h.mu.
-func (h *Hub) drop(s *subscriber) {
-	if _, ok := h.subs[s]; ok {
-		delete(h.subs, s)
-		if s.punct {
-			h.puncts--
-		}
-		close(s.ch)
+	h := &Hub{
+		retain:       o.Retain,
+		hbEvery:      o.HeartbeatEvery,
+		writeTimeout: o.WriteTimeout,
+		fanoutNs:     o.FanoutNs,
 	}
+	hbTick := o.HeartbeatEvery / 2
+	if hbTick <= 0 {
+		hbTick = time.Second
+	}
+	for i := 0; i < o.Writers; i++ {
+		w := &bwriter{h: h, wake: make(chan struct{}, 1)}
+		h.writers = append(h.writers, w)
+		go w.run(hbTick)
+	}
+	return h
 }
 
-// Publish delivers one encoded result to every matching subscriber.
-// A subscriber whose buffer is full is marked slow and dropped: its
-// channel closes, and its handler terminates the connection. Delivery
-// is a non-blocking send, so Publish never parks while its caller
-// holds a lock. at is the publisher's emit stamp (Unix nanoseconds,
-// 0 = unstamped) carried to the stream writers for fan-out timing —
-// a passed-in value, so this function stays clock-free and
-// deterministic.
+// Publish appends one encoded result to the broadcast log as a shared
+// frame and wakes the writer pool. The append is bookkeeping plus
+// non-blocking wakes — Publish never parks while its caller holds a
+// lock, and all socket I/O happens on the pool. at is the publisher's
+// emit stamp (Unix nanoseconds, 0 = unstamped) carried on the frame for
+// fan-out timing — a passed-in value, so this function stays clock-free
+// and deterministic.
 //
 //sharon:locksafe
 //sharon:deterministic
-func (h *Hub) Publish(query int, seq int64, payload []byte, at int64) {
+func (h *Hub) Publish(query int, group int64, seq int64, payload []byte, at int64) {
+	fr := renderResult(query, group, seq, payload, at)
 	h.mu.Lock()
-	defer h.mu.Unlock()
-	//sharon:allow deterministicemit (per-subscriber frame streams are independent; each subscriber sees frames in publish-call order regardless of set iteration)
-	for s := range h.subs {
-		if s.query >= 0 && s.query != query {
-			continue
-		}
-		h.deliver(s, resultFrame{seq: seq, payload: payload, at: at})
+	if h.closed {
+		h.mu.Unlock()
+		return
 	}
+	h.appendLocked(fr)
+	h.mu.Unlock()
+	h.encoded.Add(1)
+	h.wakeAll()
 }
 
-// PublishCtl delivers one control frame (SSE event `name`) to every
-// punctuating subscriber. Control frames obey the same slow-consumer
-// policy as results: a punctuating consumer that cannot keep up loses
-// frames it cannot reason without, so it is disconnected instead.
-// Like Publish, delivery never blocks.
+// PublishCtl appends one control frame (SSE event `name` — "wm"
+// watermark punctuation, "adopted" rebalance markers) to the log. Only
+// subscriptions whose kind mask includes ctl frames receive it; like
+// results it is rendered once and shared. Never blocks.
 //
 //sharon:locksafe
 //sharon:deterministic
 func (h *Hub) PublishCtl(name string, payload []byte) {
+	fr := renderCtl(name, payload)
 	h.mu.Lock()
-	defer h.mu.Unlock()
-	//sharon:allow deterministicemit (per-subscriber frame streams are independent; each subscriber sees frames in publish-call order regardless of set iteration)
-	for s := range h.subs {
-		if !s.punct {
-			continue
-		}
-		h.deliver(s, resultFrame{seq: -1, payload: payload, ctl: name})
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.appendLocked(fr)
+	h.mu.Unlock()
+	h.encoded.Add(1)
+	h.wakeAll()
+}
+
+func (h *Hub) wakeAll() {
+	for _, w := range h.writers {
+		w.kick()
 	}
 }
 
-// deliver pushes one frame under h.mu, dropping s when its buffer is
-// full.
-func (h *Hub) deliver(s *subscriber, f resultFrame) {
-	select {
-	case s.ch <- f:
-		h.delivered.Add(1)
-	default:
-		s.slow = true
-		h.drop(s)
-		h.slowDrops.Add(1)
+// Subscribe attaches a subscription and maps its resume cursor onto the
+// log under one lock (attach order is log order, so no snapshot/dedup
+// dance is needed). The subscription is inert until Start hands it the
+// transport connection — letting handlers order status/headers before
+// the pool's first write. Returns *GapError when the resume cursor has
+// aged out (handler: 410 + Sharon-Oldest-Seq) and errHubClosed after
+// shutdown.
+func (h *Hub) Subscribe(o SubOptions) (*Sub, error) {
+	o.Filter.normalize()
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil, errHubClosed
 	}
+	tail := h.firstIdx + int64(len(h.frames)-h.head)
+	start := tail
+	if o.Resume {
+		oldest := h.oldestSeqLocked()
+		if o.After >= 0 && ((o.After+1 < oldest && h.nextSeq > o.After+1) || o.After >= h.nextSeq) {
+			h.mu.Unlock()
+			return nil, &GapError{After: o.After, Oldest: oldest}
+		}
+		start = tail
+		for i := h.head; i < len(h.frames); i++ {
+			if h.frames[i].kind == KindResult && h.frames[i].seq > o.After {
+				start = h.firstIdx + int64(i-h.head)
+				break
+			}
+		}
+	}
+	s := &Sub{
+		h:        h,
+		filter:   o.Filter,
+		ws:       o.WS,
+		cursor:   start,
+		liveFrom: tail,
+		done:     make(chan struct{}),
+	}
+	if o.SendInitWM && o.Filter.Kinds&KindWM != 0 {
+		fr := renderCtl("wm", []byte(`{"watermark":`+strconv.FormatInt(o.InitWM, 10)+`}`))
+		s.intro = &fr
+	}
+	w := h.writers[h.nextW]
+	h.nextW = (h.nextW + 1) % len(h.writers)
+	s.writer = w
+	s.widx = len(w.subs)
+	w.subs = append(w.subs, s)
+	h.subsN++
+	if o.Filter.wantsCtl() {
+		h.punctN++
+	}
+	h.mu.Unlock()
+	return s, nil
+}
+
+// Unsubscribe removes s (the subscriber's handler left) and barriers
+// against any in-flight pool write, so the caller may release its
+// transport immediately after. Idempotent with pool-side drops.
+func (h *Hub) Unsubscribe(s *Sub) {
+	h.mu.Lock()
+	h.detachLocked(s, "")
+	h.mu.Unlock()
+	s.wmu.Lock() //nolint:staticcheck // empty section: write barrier only
+	s.wmu.Unlock()
 }
 
 // Count reports the number of live subscriptions.
 func (h *Hub) Count() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return len(h.subs)
+	return h.subsN
 }
 
-// PunctCount reports the number of punctuating subscriptions — the
-// pump's cheap gate for skipping punctuation work entirely when nobody
-// listens.
+// PunctCount reports the number of ctl-subscribed (punctuating)
+// subscriptions — the pump's cheap gate for skipping punctuation work
+// entirely when nobody listens.
 func (h *Hub) PunctCount() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return h.puncts
+	return h.punctN
 }
 
-// Delivered reports the total frames delivered into subscriber buffers.
+// Encoded reports the shared frames rendered (one per published result
+// or ctl event — never multiplied by subscriber count).
+func (h *Hub) Encoded() int64 { return h.encoded.Load() }
+
+// Delivered reports the total frames written into subscriber streams
+// (one per frame per matching subscriber).
 func (h *Hub) Delivered() int64 { return h.delivered.Load() }
 
-// SlowDrops reports the subscribers dropped by the slow-consumer policy.
+// DeliveredResults reports delivered frames that were results.
+func (h *Hub) DeliveredResults() int64 { return h.deliveredResults.Load() }
+
+// SlowDrops reports subscribers dropped for falling behind the log.
 func (h *Hub) SlowDrops() int64 { return h.slowDrops.Load() }
 
-// Shutdown closes every subscription after the final results were
-// published (drain): handlers see the channel close with slow == false
-// and send the end-of-stream frame.
-func (h *Hub) Shutdown() {
+// FilteredDrops reports filtered subscribers dropped on overrun (their
+// terminal frame says filtered-resume; see broadcast.go).
+func (h *Hub) FilteredDrops() int64 { return h.filteredDrops.Load() }
+
+// OldestSeq reports the oldest retained result seq (the
+// Sharon-Oldest-Seq resume hint).
+func (h *Hub) OldestSeq() int64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	return h.oldestSeqLocked()
+}
+
+// Shutdown ends the stream after the final results were published
+// (drain): the writer pool finishes delivering every retained frame to
+// every subscriber, terminates each with a clean eof, and exits. New
+// subscriptions are refused.
+func (h *Hub) Shutdown() {
+	h.mu.Lock()
 	h.closed = true
-	for s := range h.subs {
-		delete(h.subs, s)
-		close(s.ch)
-	}
-	h.puncts = 0
+	h.mu.Unlock()
+	h.wakeAll()
 }

@@ -90,7 +90,12 @@ func (s *Server) writeProm(w http.ResponseWriter, st metrics.ServerStats) {
 	pw.Counter("sharon_results_emitted_total", "Results pushed to the server sink.", nil, float64(st.ResultsEmitted))
 	pw.Counter("sharon_results_delivered_total", "Result frames fanned out to subscribers.", nil, float64(st.ResultsDelivered))
 	pw.Gauge("sharon_subscribers", "Live result subscriptions.", nil, float64(st.Subscribers))
-	pw.Counter("sharon_slow_consumer_disconnects_total", "Subscribers dropped on delivery-buffer overflow.", nil, float64(st.SlowConsumerDisconnects))
+	pw.Counter("sharon_slow_consumer_disconnects_total", "Subscribers dropped on broadcast-log overrun.", nil, float64(st.SlowConsumerDisconnects))
+	pw.Gauge("sharon_fanout_subscribers", "Live subscriptions on the broadcast fan-out tier.", nil, float64(st.Subscribers))
+	pw.Counter("sharon_fanout_frames_encoded_total", "Shared frames rendered (once per published result or ctl event).", nil, float64(st.FanoutFramesEncoded))
+	pw.Counter("sharon_fanout_frames_delivered_total", "Frames written into subscriber streams.", nil, float64(st.FanoutFramesDelivered))
+	pw.Counter("sharon_fanout_dropped_total", "Subscribers ended with an explicit dropped frame, by reason.", []string{"reason", "slow-consumer"}, float64(st.FanoutDroppedSlow))
+	pw.Counter("sharon_fanout_dropped_total", "Subscribers ended with an explicit dropped frame, by reason.", []string{"reason", "filtered-resume"}, float64(st.FanoutDroppedFiltered))
 	pw.Counter("sharon_migrations_total", "Live workload changes that installed a new plan.", nil, float64(st.Migrations))
 	if st.BurstState != "" {
 		pw.Gauge("sharon_burst_state", "Adaptive detector state (0 = valley/split, 1 = burst/shared).", nil, boolGauge(st.BurstState == "burst"))

@@ -60,13 +60,21 @@ type Config struct {
 	// the engine (default 256). A full queue rejects ingestion with 429
 	// — the explicit backpressure signal.
 	IngestQueue int
-	// SubscriberBuffer bounds each subscription's delivery buffer in
-	// results (default 4096); a subscriber that falls further behind is
-	// disconnected (slow-consumer policy).
+	// SubscriberBuffer is deprecated: subscriptions no longer buffer
+	// per-subscriber. Delivery is cursor-based over the shared broadcast
+	// log, bounded by ReplayBuffer (a subscriber overrun by the log's
+	// retention is disconnected with an explicit `dropped` frame). The
+	// field is accepted and ignored so existing flag/config wiring keeps
+	// working.
 	SubscriberBuffer int
-	// ReplayBuffer bounds the retained recent-emission ring that
-	// /subscribe?after=N resumes from (default 16384 results).
+	// ReplayBuffer bounds the retained recent-emission window in results
+	// (default 16384): the broadcast log that /subscribe?after=N resume
+	// and slow-subscriber tolerance are served from, and the checkpoint
+	// replay ring.
 	ReplayBuffer int
+	// FanoutWriters sizes the broadcast writer pool fanning frames out
+	// to subscribers (default 4 goroutines).
+	FanoutWriters int
 
 	// DataDir enables durability: an append-only WAL of applied ingest
 	// steps plus periodic engine checkpoints live under this directory,
@@ -121,11 +129,11 @@ func (c *Config) fill() {
 	if c.IngestQueue <= 0 {
 		c.IngestQueue = 256
 	}
-	if c.SubscriberBuffer <= 0 {
-		c.SubscriberBuffer = 4096
-	}
 	if c.ReplayBuffer <= 0 {
 		c.ReplayBuffer = 16384
+	}
+	if c.FanoutWriters <= 0 {
+		c.FanoutWriters = 4
 	}
 	if c.CheckpointEvery <= 0 {
 		c.CheckpointEvery = 10 * time.Second
@@ -272,7 +280,6 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:           cfg,
 		reg:           sharon.NewRegistry(),
-		hub:           NewHub(),
 		ring:          NewReplayRing(cfg.ReplayBuffer),
 		start:         time.Now(),
 		ingest:        make(chan pumpMsg, cfg.IngestQueue),
@@ -286,6 +293,13 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.log = cfg.Logger
 	s.tracer = obs.NewTracer(cfg.TraceSpans)
+	s.hub = NewHub(HubOptions{
+		Writers:        cfg.FanoutWriters,
+		Retain:         cfg.ReplayBuffer,
+		HeartbeatEvery: cfg.HeartbeatEvery,
+		WriteTimeout:   cfg.WriteTimeout,
+		FanoutNs:       &s.stages.fanout,
+	})
 	s.wm.Store(-1)
 	s.lastWinTraced.Store(-1)
 
@@ -778,6 +792,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /ingest/stream", s.handleIngestStream)
 	s.mux.HandleFunc("POST /watermark", s.handleWatermark)
 	s.mux.HandleFunc("GET /subscribe", s.handleSubscribe)
+	s.mux.HandleFunc("GET /subscribe/ws", s.handleSubscribeWS)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -811,8 +826,10 @@ POST   /ingest        NDJSON events {"type":"A","time":1200,"key":7,"val":1.5}
 POST   /ingest/stream long-lived binary ingest: one request, many CRC-framed
                       batches, per-batch acks (busy = backpressure)
 POST   /watermark     {"watermark":5000} — close windows ending at or before it
-GET    /subscribe     SSE result stream (?query=ID filters); data: frames carry
+GET    /subscribe     SSE result stream; repeatable query=/group=/type= filters,
+                      after=N or Last-Event-ID resume; data: frames carry
                       {"seq","query","win","start","end","group","count","value"}
+GET    /subscribe/ws  the same stream over WebSocket (same filters and resume)
 GET    /queries       registered queries + sharing plan
 POST   /queries       {"query":"RETURN ..."} — live registration (plan diff in response)
 DELETE /queries/{id}  live deregistration
@@ -936,20 +953,23 @@ func (s *Server) handleWatermark(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, map[string]any{"watermark": *line.Watermark})
 }
 
-func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
-	ServeStream(w, r, StreamOptions{
-		Hub:  s.hub,
-		Ring: s.ring,
+func (s *Server) streamOptions() StreamOptions {
+	return StreamOptions{
+		Hub: s.hub,
 		QueryKnown: func(id int) bool {
 			_, ok := s.loadView().queries[id]
 			return ok
 		},
-		Watermark:        s.wm.Load,
-		SubscriberBuffer: s.cfg.SubscriberBuffer,
-		HeartbeatEvery:   s.cfg.HeartbeatEvery,
-		WriteTimeout:     s.cfg.WriteTimeout,
-		FanoutNs:         &s.stages.fanout,
-	})
+		Watermark: s.wm.Load,
+	}
+}
+
+func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	ServeStream(w, r, s.streamOptions())
+}
+
+func (s *Server) handleSubscribeWS(w http.ResponseWriter, r *http.Request) {
+	ServeStreamWS(w, r, s.streamOptions())
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -971,9 +991,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		IngestQueueCap:           cap(s.ingest),
 		Watermark:                s.wm.Load(),
 		ResultsEmitted:           s.emitted.Load(),
-		ResultsDelivered:         s.hub.Delivered(),
+		ResultsDelivered:         s.hub.DeliveredResults(),
 		Subscribers:              s.hub.Count(),
 		SlowConsumerDisconnects:  s.hub.SlowDrops(),
+		FanoutFramesEncoded:      s.hub.Encoded(),
+		FanoutFramesDelivered:    s.hub.Delivered(),
+		FanoutDroppedSlow:        s.hub.SlowDrops(),
+		FanoutDroppedFiltered:    s.hub.FilteredDrops(),
 		Migrations:               s.migrations.Load(),
 		ShareTransitions:         s.shareTrans.Load(),
 		SplitTransitions:         s.splitTrans.Load(),

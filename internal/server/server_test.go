@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -480,34 +481,140 @@ func TestParseBatchContract(t *testing.T) {
 	}
 }
 
-// TestHubSlowConsumer unit-tests the slow-consumer policy: a full
-// delivery buffer drops exactly that subscriber and counts it.
+// memConn is an in-memory SubConn for hub unit tests: it records every
+// burst buffer and the terminal reason, and can park WriteBurst on a
+// gate to simulate a consumer that stopped reading.
+type memConn struct {
+	mu       sync.Mutex
+	frames   []string
+	terminal chan string
+	gate     chan struct{} // non-nil: first WriteBurst parks until closed
+}
+
+func newMemConn(gate chan struct{}) *memConn {
+	return &memConn{terminal: make(chan string, 1), gate: gate}
+}
+
+func (c *memConn) WriteBurst(bufs [][]byte) error {
+	c.mu.Lock()
+	g := c.gate
+	c.gate = nil
+	c.mu.Unlock()
+	if g != nil {
+		<-g
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, b := range bufs {
+		c.frames = append(c.frames, string(b))
+	}
+	return nil
+}
+
+func (c *memConn) WriteHeartbeat() error { return nil }
+
+func (c *memConn) WriteTerminal(reason string) {
+	select {
+	case c.terminal <- reason:
+	default:
+	}
+}
+
+func (c *memConn) got() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.frames...)
+}
+
+// TestHubSlowConsumer unit-tests the slow-consumer policy: a subscriber
+// whose cursor is overrun by log retention is terminated with an
+// explicit `dropped` frame naming the reason, and only that subscriber.
 func TestHubSlowConsumer(t *testing.T) {
-	h := NewHub()
-	slow := h.subscribe(-1, 1, false)
-	fast := h.subscribe(-1, 8, false)
-	h.Publish(0, 0, []byte("r1"), 0)
-	h.Publish(0, 1, []byte("r2"), 0) // slow's buffer (1) is full: dropped
-	h.Publish(0, 2, []byte("r3"), 0)
-	if h.SlowDrops() != 1 {
-		t.Fatalf("slowDrops = %d, want 1", h.SlowDrops())
+	h := NewHub(HubOptions{Writers: 2, Retain: 2})
+	gate := make(chan struct{})
+	slowConn, fastConn := newMemConn(gate), newMemConn(nil)
+
+	slow, err := h.Subscribe(SubOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow.Start(slowConn)
+	fast, err := h.Subscribe(SubOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast.Start(fastConn)
+
+	// Overrun the slow subscriber: with Retain 2, ten results trim far
+	// past any cursor parked behind the gate. Pacing each publish against
+	// the fast subscriber's delivery keeps ITS cursor at the tail, so
+	// only the gated subscriber can be overrun.
+	for i := 0; i < 10; i++ {
+		h.Publish(0, 0, int64(i), []byte(`{"seq":`+strconv.Itoa(i)+`}`), 0)
+		n := i + 1
+		waitFor(t, "fast delivery", func() bool { return len(fastConn.got()) == n })
+	}
+	close(gate)
+
+	waitFor(t, "slow consumer dropped", func() bool { return h.SlowDrops() == 1 })
+	select {
+	case reason := <-slowConn.terminal:
+		if reason != ReasonSlowConsumer {
+			t.Fatalf("terminal reason = %q, want %q", reason, ReasonSlowConsumer)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no terminal frame on the dropped subscriber")
+	}
+	<-slow.Done()
+	if got := slow.Reason(); got != ReasonSlowConsumer {
+		t.Fatalf("slow.Reason() = %q, want %q", got, ReasonSlowConsumer)
 	}
 	if h.Count() != 1 {
 		t.Fatalf("live subscribers = %d, want 1", h.Count())
 	}
-	var got []string
-	for m := range slow.ch {
-		got = append(got, string(m.payload))
-	}
-	if len(got) != 1 || !slow.slow {
-		t.Fatalf("slow subscriber: got %v, slow=%v", got, slow.slow)
-	}
-	var fastGot []string
+
+	// The fast subscriber is untouched: clean drain to eof on shutdown.
+	waitFor(t, "fast subscriber drained", func() bool { return len(fastConn.got()) == 10 })
 	h.Shutdown()
-	for m := range fast.ch {
-		fastGot = append(fastGot, string(m.payload))
+	select {
+	case reason := <-fastConn.terminal:
+		if reason != "" {
+			t.Fatalf("fast terminal reason = %q, want clean eof", reason)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no eof on the fast subscriber after shutdown")
 	}
-	if len(fastGot) != 3 || fast.slow {
-		t.Fatalf("fast subscriber: got %v, slow=%v", fastGot, fast.slow)
+	for i, fr := range fastConn.got() {
+		want := "id: " + strconv.Itoa(i) + "\ndata: {\"seq\":" + strconv.Itoa(i) + "}\n\n"
+		if fr != want {
+			t.Fatalf("fast frame %d = %q, want %q", i, fr, want)
+		}
 	}
+	if h.Encoded() != 10 {
+		t.Fatalf("encoded = %d, want 10 (one per publish, not per subscriber)", h.Encoded())
+	}
+}
+
+// TestHubFilteredResumeDrop pins the distinct drop reason for filtered
+// subscribers: a narrowed stream is not seq-contiguous, so the client
+// cannot detect the loss itself and the terminal frame must say so.
+func TestHubFilteredResumeDrop(t *testing.T) {
+	h := NewHub(HubOptions{Writers: 1, Retain: 2})
+	gate := make(chan struct{})
+	conn := newMemConn(gate)
+	sub, err := h.Subscribe(SubOptions{Filter: SubFilter{Queries: []int{0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub.Start(conn)
+	for i := 0; i < 10; i++ {
+		h.Publish(0, 0, int64(i), []byte(`{"seq":`+strconv.Itoa(i)+`}`), 0)
+	}
+	close(gate)
+	waitFor(t, "filtered subscriber dropped", func() bool { return h.FilteredDrops() == 1 })
+	<-sub.Done()
+	if got := sub.Reason(); got != ReasonFilteredResume {
+		t.Fatalf("Reason() = %q, want %q", got, ReasonFilteredResume)
+	}
+	h.Shutdown()
 }

@@ -1,26 +1,25 @@
 package server
 
 import (
-	"fmt"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
-	"github.com/sharon-project/sharon/internal/obs"
 	"github.com/sharon-project/sharon/internal/persist"
 )
 
 // ReplayRing retains the last N emissions (seq-contiguous by
-// construction) so a resuming subscription can be backfilled. The sink
-// appends from the pump or merge goroutine; subscription handlers and
-// the checkpointer read snapshots. Trimming advances a head index and
+// construction) so recovery can reseed the broadcast log across a
+// restart. The sink appends from the pump or merge goroutine; the
+// checkpointer reads snapshots. Trimming advances a head index and
 // compacts the backing array only when half of it is dead, so append
 // stays amortized O(1) on the emission path (which PR 2 engineered to
 // zero per-event work) instead of copying the whole ring once full.
 // Both sharond and the cluster router retain their output streams in
-// one.
+// one. Live ?after=N resume is served by the broadcast log (hub.go),
+// which carries the same seq discipline plus the pre-rendered frames.
 type ReplayRing struct {
 	mu   sync.Mutex
 	buf  []persist.RingEntry
@@ -103,38 +102,200 @@ func (r *ReplayRing) Since(after int64) (entries []persist.RingEntry, gap bool, 
 	return entries, gap, first
 }
 
-// StreamOptions parameterize one SSE result stream: the hub that feeds
-// it, the optional replay ring behind ?after resume, and the limits of
-// the serving instance. sharond's /subscribe and the cluster router's
-// merged /subscribe are the same handler over different hubs.
+// apiVersion is the streaming-contract version stamped on every
+// /subscribe response (both transports). Bump on incompatible frame or
+// parameter changes.
+const apiVersion = "1"
+
+// StreamOptions parameterize one subscription endpoint: the broadcast
+// hub that feeds it and the serving instance's query registry. sharond's
+// /subscribe and the cluster router's merged /subscribe are the same
+// handlers over different hubs; delivery limits (buffering, heartbeats,
+// write deadlines) live on the hub itself.
 type StreamOptions struct {
 	Hub *Hub
-	// Ring, when non-nil, serves ?after=N resume from the retained
-	// emission tail.
-	Ring *ReplayRing
-	// QueryKnown validates a ?query=ID filter; nil rejects filtering.
+	// QueryKnown validates a query=ID filter; nil rejects filtering.
 	QueryKnown func(id int) bool
 	// Watermark supplies the current stream watermark for the initial
-	// punctuation frame of a ?punctuate=1 subscription.
+	// punctuation frame of a watermark-subscribed stream.
 	Watermark func() int64
-	// SubscriberBuffer bounds the delivery buffer (results).
-	SubscriberBuffer int
-	// HeartbeatEvery is the keep-alive comment interval.
-	HeartbeatEvery time.Duration
-	// WriteTimeout is the per-write deadline.
-	WriteTimeout time.Duration
-	// FanoutNs, when non-nil, records publish-to-socket-write latency
-	// (nanoseconds) for each live result frame — the pipeline's
-	// fan-out stage.
-	FanoutNs *obs.Histogram
 }
 
-// ServeStream handles one SSE subscription request end to end:
-// parameter parsing (?query, ?after, ?punctuate), ring backfill, live
-// delivery with heartbeats, and the eof / slow-consumer terminal
-// frames. With ?punctuate=1 the stream additionally carries control
-// frames — `event: wm` watermark punctuation after every applied step
-// ("every result for windows ending at or before W has been sent") and
+// subRequest is one parsed subscription: the filter, the resume cursor,
+// and whether any legacy parameter form was used (stamps a deprecation
+// header on the response).
+type subRequest struct {
+	filter SubFilter
+	resume bool
+	after  int64
+	legacy bool
+}
+
+// parseSubscribe parses the unified subscription surface shared by
+// GET /subscribe (SSE) and GET /subscribe/ws (WebSocket):
+//
+//   - query=ID (repeatable) filters to those query IDs;
+//   - group=K (repeatable) filters to those group keys;
+//   - type=result|wm|adopted (repeatable) selects frame kinds
+//     (default: results only);
+//   - after=N and the Last-Event-ID header resume from seq N
+//     (header wins; -1 replays everything retained);
+//   - punctuate=1 (legacy) = type=result&type=wm&type=adopted;
+//   - query=qID (legacy q-prefix) is accepted.
+//
+// Errors are written to w; ok is false then. Legacy forms keep working
+// but mark the response with a Deprecation header pointing at the
+// current surface.
+func parseSubscribe(w http.ResponseWriter, r *http.Request, o StreamOptions) (sr subRequest, ok bool) {
+	q := r.URL.Query()
+	sr.after = -1
+	for _, raw := range q["query"] {
+		s := raw
+		if strings.HasPrefix(s, "q") {
+			s = strings.TrimPrefix(s, "q")
+			sr.legacy = true
+		}
+		id, err := strconv.Atoi(s)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad query id %q", raw)
+			return sr, false
+		}
+		if o.QueryKnown == nil || !o.QueryKnown(id) {
+			writeErr(w, http.StatusNotFound, "no query %d", id)
+			return sr, false
+		}
+		sr.filter.Queries = append(sr.filter.Queries, id)
+	}
+	for _, raw := range q["group"] {
+		g, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad group key %q", raw)
+			return sr, false
+		}
+		sr.filter.Groups = append(sr.filter.Groups, g)
+	}
+	for _, raw := range q["type"] {
+		switch raw {
+		case "result":
+			sr.filter.Kinds |= KindResult
+		case "wm":
+			sr.filter.Kinds |= KindWM
+		case "adopted":
+			sr.filter.Kinds |= KindAdopted
+		default:
+			writeErr(w, http.StatusBadRequest, "bad type %q (want result, wm, or adopted)", raw)
+			return sr, false
+		}
+	}
+	if ps := q.Get("punctuate"); ps != "" && ps != "0" && ps != "false" {
+		sr.filter.Kinds |= KindResult | KindWM | KindAdopted
+		sr.legacy = true
+	}
+	// Resume: the Last-Event-ID header (what an SSE client reconnects
+	// with automatically) wins over the explicit after= form.
+	if lei := r.Header.Get("Last-Event-ID"); lei != "" {
+		v, err := strconv.ParseInt(lei, 10, 64)
+		if err != nil || v < -1 {
+			writeErr(w, http.StatusBadRequest, "bad Last-Event-ID %q", lei)
+			return sr, false
+		}
+		sr.after, sr.resume = v, true
+	} else if as := q.Get("after"); as != "" {
+		v, err := strconv.ParseInt(as, 10, 64)
+		if err != nil || v < -1 {
+			writeErr(w, http.StatusBadRequest, "bad after %q", as)
+			return sr, false
+		}
+		sr.after, sr.resume = v, true
+	}
+	h := w.Header()
+	h.Set("Sharon-Api-Version", apiVersion)
+	if sr.legacy {
+		h.Set("Deprecation", "true")
+		h.Set("Sharon-Api-Note", "legacy subscribe params (q-prefixed query=, punctuate=) accepted; current surface is repeatable query=/group=/type= with after=/Last-Event-ID resume — see README Streaming API")
+	}
+	return sr, true
+}
+
+// subscribe attaches to the hub for one parsed request, mapping the
+// errors onto the transport-shared status semantics: 410 +
+// Sharon-Oldest-Seq for an aged-out cursor, 503 while draining.
+func subscribe(w http.ResponseWriter, o StreamOptions, sr subRequest, ws bool) (*Sub, bool) {
+	// Capture the stream position BEFORE subscribing: every result the
+	// initial watermark covers was published before the subscription
+	// existed, so it is in the backfill. A live read after subscribing
+	// could time-travel past results between the attach and the read and
+	// let a router lane advance its frontier over undelivered rows.
+	initWM, haveInitWM := int64(0), false
+	if sr.filter.Kinds&KindWM != 0 && o.Watermark != nil {
+		initWM, haveInitWM = o.Watermark(), true
+	}
+	sub, err := o.Hub.Subscribe(SubOptions{
+		Filter:     sr.filter,
+		Resume:     sr.resume,
+		After:      sr.after,
+		WS:         ws,
+		SendInitWM: haveInitWM,
+		InitWM:     initWM,
+	})
+	if err != nil {
+		if gap, ok := err.(*GapError); ok {
+			w.Header().Set("Sharon-Oldest-Seq", strconv.FormatInt(gap.Oldest, 10))
+			writeErr(w, http.StatusGone, "%s; resubscribe from scratch or after=%d", gap.Error(), gap.Oldest-1)
+			return nil, false
+		}
+		writeErr(w, http.StatusServiceUnavailable, "draining")
+		return nil, false
+	}
+	return sub, true
+}
+
+// sseConn adapts an http.ResponseWriter to the broadcast pool's
+// SubConn. Frames are staged into the ResponseWriter's buffer and
+// flushed once per delivery burst, not per frame: a flush is a
+// chunked-write syscall, and the pool hands runs of queued frames at a
+// time, so the subscription's syscall count stays proportional to
+// bursts, not frames.
+type sseConn struct {
+	w       http.ResponseWriter
+	rc      *http.ResponseController
+	timeout time.Duration
+}
+
+func (c *sseConn) WriteBurst(bufs [][]byte) error {
+	if c.timeout > 0 {
+		_ = c.rc.SetWriteDeadline(time.Now().Add(c.timeout))
+	}
+	for _, b := range bufs {
+		if _, err := c.w.Write(b); err != nil {
+			return err
+		}
+	}
+	return c.rc.Flush()
+}
+
+func (c *sseConn) WriteHeartbeat() error {
+	return c.WriteBurst([][]byte{[]byte(": hb\n\n")})
+}
+
+func (c *sseConn) WriteTerminal(reason string) {
+	var frame []byte
+	if reason == "" {
+		frame = []byte("event: eof\ndata: {}\n\n")
+	} else {
+		frame = []byte("event: dropped\ndata: {\"reason\":\"" + reason + "\"}\n\n")
+	}
+	_ = c.WriteBurst([][]byte{frame})
+}
+
+// ServeStream handles one SSE subscription end to end: the unified
+// parameter surface (parseSubscribe), gap refusal before any 200, then
+// live delivery off the broadcast log — backfill, initial watermark,
+// shared pre-rendered frames, heartbeats, and an explicit terminal
+// frame (`eof`, or `dropped` with a reason) on every server-initiated
+// close. With ctl kinds subscribed the stream additionally carries
+// `event: wm` watermark punctuation after every applied step ("every
+// result for windows ending at or before W has been sent") and
 // `event: adopted` rebalance markers — which the cluster router's merge
 // frontier is built on.
 func ServeStream(w http.ResponseWriter, r *http.Request, o StreamOptions) {
@@ -142,175 +303,77 @@ func ServeStream(w http.ResponseWriter, r *http.Request, o StreamOptions) {
 		writeErr(w, http.StatusInternalServerError, "streaming unsupported")
 		return
 	}
-	queryID := -1
-	if qs := r.URL.Query().Get("query"); qs != "" {
-		id, err := strconv.Atoi(strings.TrimPrefix(qs, "q"))
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, "bad query id %q", qs)
-			return
-		}
-		if o.QueryKnown == nil || !o.QueryKnown(id) {
-			writeErr(w, http.StatusNotFound, "no query %d", id)
-			return
-		}
-		queryID = id
-	}
-	punct := false
-	if ps := r.URL.Query().Get("punctuate"); ps != "" && ps != "0" && ps != "false" {
-		punct = true
-	}
-	// after=N resumes a dropped subscription: results with seq > N are
-	// replayed from the retained ring before the live stream continues,
-	// so a subscriber that survives a server restart (or its own
-	// reconnect) sees a gap-free, duplicate-free sequence. after=-1
-	// replays everything still retained; no after parameter = live only.
-	after, resume := int64(-1), false
-	if as := r.URL.Query().Get("after"); as != "" {
-		v, err := strconv.ParseInt(as, 10, 64)
-		if err != nil || v < -1 {
-			writeErr(w, http.StatusBadRequest, "bad after %q", as)
-			return
-		}
-		if queryID >= 0 {
-			writeErr(w, http.StatusBadRequest, "after= resume requires an unfiltered subscription (the replay ring is not per-query)")
-			return
-		}
-		if o.Ring == nil {
-			writeErr(w, http.StatusBadRequest, "this stream retains no replay ring; subscribe without after=")
-			return
-		}
-		after, resume = v, true
-	}
-	// For a punctuating subscriber, capture the stream position BEFORE
-	// subscribing: every result it covers was published before the
-	// subscription existed (and is in the replay ring for resumes). A
-	// live read after subscribing could time-travel past results still
-	// queued in the subscriber channel and let a router lane advance its
-	// frontier over undelivered rows.
-	initWM, haveInitWM := int64(0), false
-	if punct && o.Watermark != nil {
-		initWM, haveInitWM = o.Watermark(), true
-	}
-	sub := o.Hub.subscribe(queryID, o.SubscriberBuffer, punct)
-	if sub == nil {
-		writeErr(w, http.StatusServiceUnavailable, "draining")
+	sr, ok := parseSubscribe(w, r, o)
+	if !ok {
 		return
 	}
-	defer o.Hub.unsubscribe(sub)
-	// Snapshot the ring after subscribing: every emission is in the
-	// snapshot, in the live channel, or both — the seq skip below
-	// removes the overlap.
-	var backlog []persist.RingEntry
-	if resume {
-		entries, gap, first := o.Ring.Since(after)
-		if gap {
-			writeErr(w, http.StatusGone, "results after seq %d no longer retained (replay ring starts at %d); raise -replay-buffer or resubscribe from scratch", after, first)
-			return
-		}
-		backlog = entries
+	sub, ok := subscribe(w, o, sr, false)
+	if !ok {
+		return
 	}
-
 	h := w.Header()
 	h.Set("Content-Type", "text/event-stream")
 	h.Set("Cache-Control", "no-cache")
 	h.Set("X-Accel-Buffering", "no")
 	w.WriteHeader(http.StatusOK)
-	rc := http.NewResponseController(w)
-	// Frames are staged into the ResponseWriter's buffer and flushed
-	// once per delivery burst, not per frame: a flush is a chunked-write
-	// syscall, and under load the hub hands the handler runs of queued
-	// results at a time. One deadline + one flush per burst keeps the
-	// subscription's syscall count proportional to bursts, not results.
-	dirty := false
-	push := func(frame string) bool {
-		if !dirty {
-			_ = rc.SetWriteDeadline(time.Now().Add(o.WriteTimeout))
-			dirty = true
-		}
-		_, err := fmt.Fprint(w, frame)
-		return err == nil
-	}
-	flush := func() bool {
-		if !dirty {
-			return true
-		}
-		dirty = false
-		return rc.Flush() == nil
-	}
-	write := func(frame string) bool {
-		return push(frame) && flush()
-	}
-	if !write(": subscribed\n\n") {
+	conn := &sseConn{w: w, rc: http.NewResponseController(w), timeout: o.Hub.writeTimeout}
+	if conn.WriteBurst([][]byte{[]byte(": subscribed\n\n")}) != nil {
+		o.Hub.Unsubscribe(sub)
 		return
 	}
-	lastSeq := after
-	for _, e := range backlog {
-		if !push("data: " + string(e.Payload) + "\n\n") {
-			return
-		}
-		lastSeq = e.Seq
-	}
-	if !flush() {
+	if !sub.Start(conn) { // hub drained between attach and start
+		conn.WriteTerminal("")
 		return
 	}
-	// A punctuating subscriber needs the stream position up front, or an
-	// idle stream leaves its frontier unknown. After the backlog, not
-	// before: a resuming router lane must bucket the replayed results
-	// before it may advance its frontier past their window ends.
-	if haveInitWM {
-		if !write(fmt.Sprintf("event: wm\ndata: {\"watermark\":%d}\n\n", initWM)) {
-			return
-		}
+	select {
+	case <-sub.Done():
+		// Pool-terminated (drain eof, drop, or write error): the
+		// terminal frame, if any, was written before Done closed.
+	case <-r.Context().Done():
+		o.Hub.Unsubscribe(sub)
 	}
-	heartbeat := time.NewTicker(o.HeartbeatEvery)
-	defer heartbeat.Stop()
-	for {
-		select {
-		case frame, open := <-sub.ch:
-			// Drain the whole queued burst before flushing once. The
-			// drain re-selects on the channel with a default, so an
-			// empty channel ends the burst and control returns to the
-			// outer select (heartbeats, cancellation).
-			for {
-				if !open {
-					if sub.slow {
-						write("event: error\ndata: {\"error\":\"slow consumer\"}\n\n")
-					} else {
-						write("event: eof\ndata: {}\n\n")
-					}
-					return
-				}
-				switch {
-				case frame.ctl != "":
-					if !push("event: " + frame.ctl + "\ndata: " + string(frame.payload) + "\n\n") {
-						return
-					}
-				case frame.seq <= lastSeq:
-					// already replayed from the ring
-				default:
-					if !push("data: " + string(frame.payload) + "\n\n") {
-						return
-					}
-					if o.FanoutNs != nil && frame.at > 0 {
-						o.FanoutNs.Record(time.Now().UnixNano() - frame.at)
-					}
-				}
-				select {
-				case frame, open = <-sub.ch:
-					continue
-				default:
-				}
-				break
-			}
-			if !flush() {
-				return
-			}
-		case <-heartbeat.C:
-			if !write(": hb\n\n") {
-				return
-			}
-		case <-r.Context().Done():
-			return
-		}
+}
+
+// ServeStreamWS handles one WebSocket subscription: the same parameter
+// surface, filters, resume forms, and status semantics as ServeStream,
+// with frames delivered as text messages (results are the bare result
+// JSON; ctl and terminal frames carry an "event" discriminator field)
+// and heartbeats as pings. Refusals (400/404/410/503) happen before the
+// upgrade, as plain HTTP responses.
+func ServeStreamWS(w http.ResponseWriter, r *http.Request, o StreamOptions) {
+	sr, ok := parseSubscribe(w, r, o)
+	if !ok {
+		return
+	}
+	sub, ok := subscribe(w, o, sr, true)
+	if !ok {
+		return
+	}
+	conn, br, err := upgradeWS(w, r)
+	if err != nil {
+		o.Hub.Unsubscribe(sub)
+		return
+	}
+	defer conn.Close()
+	wsc := &wsSubConn{conn: conn, timeout: o.Hub.writeTimeout}
+	if wsc.WriteBurst([][]byte{wsTextFrame([]byte(`{"event":"subscribed"}`))}) != nil {
+		o.Hub.Unsubscribe(sub)
+		return
+	}
+	if !sub.Start(wsc) {
+		wsc.WriteTerminal("")
+		return
+	}
+	closed := make(chan struct{})
+	go func() {
+		wsReadLoop(br, wsc)
+		close(closed)
+	}()
+	select {
+	case <-sub.Done():
+	case <-closed: // client closed or the connection broke
+		o.Hub.Unsubscribe(sub)
+	case <-r.Context().Done():
+		o.Hub.Unsubscribe(sub)
 	}
 }

@@ -127,7 +127,7 @@ func (sk *sink) onResult(r sharon.Result) {
 		}
 	}
 	sk.srv.ring.Append(seq, payload)
-	sk.srv.hub.Publish(r.Query, seq, payload, now)
+	sk.srv.hub.Publish(r.Query, int64(r.Group), seq, payload, now)
 }
 
 // builtSystem pairs a running system with its sink and metadata.
